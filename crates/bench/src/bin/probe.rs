@@ -1,0 +1,87 @@
+//! Internal tuning probe: prints the headline shapes so world/sensor
+//! parameters can be validated before the full harness is wired up.
+
+use waldo::baseline::{SpectrumDatabase, VScope};
+use waldo::eval::{cross_validate, evaluate_assessor};
+use waldo::{ClassifierKind, WaldoConfig};
+use waldo_bench::{Context, Scale};
+use waldo_iq::FeatureSet;
+use waldo_rf::TvChannel;
+use waldo_sensors::SensorKind;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let ctx = Context::build(Scale::Full);
+    eprintln!("context built in {:.1}s", t0.elapsed().as_secs_f64());
+
+    // --- sec2: sensor labels vs analyzer ground truth ---
+    for sensor in [SensorKind::RtlSdr, SensorKind::UsrpB200] {
+        let (mut fp, mut fn_, mut np, mut nn) = (0usize, 0usize, 0usize, 0usize);
+        for ch in TvChannel::STUDY {
+            let truth = ctx.campaign().ground_truth(ch);
+            let ds = ctx.campaign().dataset(sensor, ch).unwrap();
+            for (t, p) in truth.labels().iter().zip(ds.labels()) {
+                match (t.is_not_safe(), p.is_not_safe()) {
+                    (true, false) => { fp += 1; np += 1; }
+                    (true, true) => { np += 1; }
+                    (false, true) => { fn_ += 1; nn += 1; }
+                    (false, false) => { nn += 1; }
+                }
+            }
+        }
+        eprintln!("sec2 {sensor:?}: misdetect(FN)={:.3} false-alarm(FP)={:.3}",
+            fn_ as f64 / nn.max(1) as f64, fp as f64 / np.max(1) as f64);
+    }
+
+    // --- fig4: spectrum DB FN per channel vs analyzer truth ---
+    for ch in TvChannel::STUDY {
+        let truth = ctx.campaign().ground_truth(ch);
+        let txs: Vec<_> = ctx.world().field().transmitters().into_iter()
+            .filter(|t| t.channel() == ch).collect();
+        let db = SpectrumDatabase::new(ch, txs);
+        let cm = evaluate_assessor(&db, truth, None);
+        eprintln!("fig4 {ch}: FN={:.3} FP={:.3} (truth not-safe frac {:.2})",
+            cm.fn_rate(), cm.fp_rate(), truth.not_safe_fraction());
+    }
+
+    // --- fig12-ish: feature sweep, NB + SVM, both sensors, avg 3 channels ---
+    for sensor in [SensorKind::RtlSdr, SensorKind::UsrpB200] {
+        for kind in [ClassifierKind::NaiveBayes, ClassifierKind::Svm] {
+            for nf in 0usize..=3 {
+                let (mut fp, mut fnr, mut err) = (0.0, 0.0, 0.0);
+                for chn in [15u8, 17, 47] {
+                    let ch = TvChannel::new(chn).unwrap();
+                    let ds = ctx.campaign().dataset(sensor, ch).unwrap();
+                    let cfg = WaldoConfig::default().classifier(kind)
+                        .features(FeatureSet::first_n(nf)).localities(1).seed(1);
+                    let cm = cross_validate(ds, &cfg, 10, 1);
+                    fp += cm.fp_rate() / 3.0;
+                    fnr += cm.fn_rate() / 3.0;
+                    err += cm.error_rate() / 3.0;
+                }
+                eprintln!("fig12 {sensor:?} {kind} f={} err={err:.4} FP={fp:.4} FN={fnr:.4}",
+                    nf + 1);
+            }
+        }
+    }
+
+    // --- tab1: V-Scope vs Waldo(SVM, 2 feats, k=1), averaged over eval channels ---
+    let mut vs_fp = 0.0; let mut vs_fn = 0.0;
+    let mut wd_fp = 0.0; let mut wd_fn = 0.0;
+    let chans = ctx.evaluation_channels();
+    for &ch in &chans {
+        let ds = ctx.campaign().dataset(SensorKind::RtlSdr, ch).unwrap();
+        let txs: Vec<_> = ctx.world().field().transmitters().into_iter()
+            .filter(|t| t.channel() == ch).collect();
+        let vs = VScope::fit(ds, txs, 5, 1).unwrap();
+        let cm = evaluate_assessor(&vs, ds, None);
+        vs_fp += cm.fp_rate(); vs_fn += cm.fn_rate();
+        let cfg = WaldoConfig::default().features(FeatureSet::first_n(2)).localities(1).seed(1);
+        let cm = cross_validate(ds, &cfg, 10, 1);
+        wd_fp += cm.fp_rate(); wd_fn += cm.fn_rate();
+    }
+    let n = chans.len() as f64;
+    eprintln!("tab1: V-Scope FP={:.4} FN={:.4} | Waldo-RTL FP={:.4} FN={:.4}",
+        vs_fp / n, vs_fn / n, wd_fp / n, wd_fn / n);
+    eprintln!("total {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,23 @@
+//! Smoke tests of the experiment context at quick scale.
+
+#[cfg(test)]
+mod tests {
+    use crate::{Context, Scale};
+
+    #[test]
+    fn quick_context_covers_all_channels_and_sensors() {
+        let ctx = Context::quick();
+        assert_eq!(ctx.campaign().channels().len(), 9);
+        assert_eq!(ctx.campaign().sensors().len(), 3);
+        assert_eq!(ctx.evaluation_channels().len(), 7);
+        assert_eq!(ctx.low_cost_sensors().len(), 2);
+        assert_eq!(ctx.scale(), Scale::Quick);
+        assert_eq!(ctx.world().region().area_km2(), 700.0);
+    }
+
+    #[test]
+    fn scales_differ_in_volume() {
+        assert!(Scale::Full.readings() > Scale::Quick.readings());
+        assert!(Scale::Full.spacing_m() < Scale::Quick.spacing_m());
+    }
+}

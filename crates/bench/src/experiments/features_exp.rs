@@ -1,0 +1,102 @@
+//! §3.2 experiments: signal-feature discriminability (Figures 10–11).
+
+use serde_json::{json, Value};
+use waldo_iq::FeatureKind;
+use waldo_ml::anova::two_group;
+use waldo_rf::TvChannel;
+use waldo_sensors::SensorKind;
+
+use super::five_number_summary;
+use crate::Context;
+
+/// Figures 10/11: boxplot summaries of RSS/CFT/AFT for safe vs not-safe on
+/// channels 47 and 30, for both low-cost sensors.
+pub fn fig10_11(ctx: &Context) -> Value {
+    println!("# Fig 10/11 — feature boxplots (5/25/50/75/95 percentiles), safe vs not-safe");
+    let mut rows = Vec::new();
+    for chn in [47u8, 30] {
+        let ch = TvChannel::new(chn).expect("valid channel");
+        for sensor in ctx.low_cost_sensors() {
+            let ds = ctx.campaign().dataset(sensor, ch).expect("present");
+            for kind in FeatureKind::SELECTED {
+                let mut safe = Vec::new();
+                let mut not_safe = Vec::new();
+                for (m, l) in ds.measurements().iter().zip(ds.labels()) {
+                    let v = m.observation.features.value(kind);
+                    if l.is_not_safe() {
+                        not_safe.push(v);
+                    } else {
+                        safe.push(v);
+                    }
+                }
+                let s = five_number_summary(&safe);
+                let n = five_number_summary(&not_safe);
+                println!(
+                    "ch{chn} {:10} {:12}: safe med {:8.2}  not-safe med {:8.2}",
+                    sensor.to_string(),
+                    kind.to_string(),
+                    s[2],
+                    n[2]
+                );
+                rows.push(json!({
+                    "channel": chn,
+                    "sensor": sensor.to_string(),
+                    "feature": kind.to_string(),
+                    "safe_summary": s,
+                    "not_safe_summary": n,
+                }));
+            }
+        }
+    }
+    json!({ "boxplots": rows })
+}
+
+/// The ANOVA feature screening of §3.2: the selected trio must score
+/// p ≈ 0 on every evaluation channel; each rejected candidate must score
+/// p > 0.1 on at least one channel.
+pub fn anova_screening(ctx: &Context) -> Value {
+    println!("# §3.2 — ANOVA feature screening (worst-case p across evaluation channels)");
+    let mut rows = Vec::new();
+    for kind in FeatureKind::ALL {
+        let mut worst_p = 0.0f64;
+        let mut worst_ch = 0u8;
+        for ch in ctx.evaluation_channels() {
+            let ds = ctx
+                .campaign()
+                .dataset(SensorKind::RtlSdr, ch)
+                .expect("campaign covers all channels");
+            let mut safe = Vec::new();
+            let mut not_safe = Vec::new();
+            for (m, l) in ds.measurements().iter().zip(ds.labels()) {
+                let v = m.observation.features.value(kind);
+                if l.is_not_safe() {
+                    not_safe.push(v);
+                } else {
+                    safe.push(v);
+                }
+            }
+            let p = match two_group(&safe, &not_safe) {
+                Ok(r) => r.p_value,
+                Err(_) => 1.0, // single-class channel: no discriminability
+            };
+            if p >= worst_p {
+                worst_p = p;
+                worst_ch = ch.number();
+            }
+        }
+        let selected = FeatureKind::SELECTED.contains(&kind);
+        println!(
+            "{:14} worst p = {:9.2e} (ch{worst_ch})  [{}]",
+            kind.to_string(),
+            worst_p,
+            if selected { "selected" } else { "rejected" }
+        );
+        rows.push(json!({
+            "feature": kind.to_string(),
+            "worst_p": worst_p,
+            "worst_channel": worst_ch,
+            "selected": selected,
+        }));
+    }
+    json!({ "screening": rows })
+}

@@ -1,0 +1,82 @@
+//! One module per experiment family. Each experiment exposes a `run(ctx)`
+//! that prints the same rows/series the paper reports and returns a JSON
+//! value the harness writes under `results/`.
+
+pub mod device_exp;
+pub mod features_exp;
+pub mod sensors_exp;
+pub mod system_exp;
+
+use serde_json::Value;
+use std::path::Path;
+
+/// Writes one experiment's JSON next to the printed output.
+pub fn write_result(name: &str, value: &Value) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: could not create results/; skipping {name}.json");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_vec_pretty(value) {
+        Ok(bytes) => {
+            if let Err(e) = std::fs::write(&path, bytes) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Five-number summary used for the boxplot figures.
+pub fn five_number_summary(xs: &[f64]) -> [f64; 5] {
+    use waldo_ml::stats::percentile;
+    [
+        percentile(xs, 5.0),
+        percentile(xs, 25.0),
+        percentile(xs, 50.0),
+        percentile(xs, 75.0),
+        percentile(xs, 95.0),
+    ]
+}
+
+/// Quantiles of an empirical CDF for compact reporting.
+pub fn cdf_quantiles(xs: &[f64]) -> Vec<(f64, f64)> {
+    use waldo_ml::stats::percentile;
+    [5.0, 25.0, 50.0, 75.0, 95.0]
+        .iter()
+        .map(|&q| (q / 100.0, percentile(xs, q)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_number_summary_is_sorted() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let s = five_number_summary(&xs);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(s[2], 50.0);
+    }
+
+    #[test]
+    fn cdf_quantiles_cover_the_range() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        let q = cdf_quantiles(&xs);
+        assert_eq!(q.len(), 5);
+        assert!(q[0].1 >= 1.0 && q[4].1 <= 4.0);
+        assert!((q[2].0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_result_creates_a_readable_file() {
+        let value = serde_json::json!({ "hello": 1 });
+        write_result("selftest", &value);
+        let bytes = std::fs::read("results/selftest.json").expect("written");
+        let back: serde_json::Value = serde_json::from_slice(&bytes).expect("valid json");
+        assert_eq!(back["hello"], 1);
+        let _ = std::fs::remove_file("results/selftest.json");
+    }
+}

@@ -1,0 +1,515 @@
+//! §4 experiments: Waldo system evaluation (Figures 12–16, Tables 1–2).
+
+use serde_json::{json, Value};
+use waldo::baseline::{qualitative_comparison, IdwDatabase, KnnDatabase, SensingOnly, VScope};
+use waldo::eval::{cross_validate, evaluate_assessor, training_fraction_sweep};
+use waldo::{ClassifierKind, WaldoConfig};
+use waldo_data::{ChannelDataset, Labeler, Safety};
+use waldo_iq::FeatureSet;
+use waldo_ml::ConfusionMatrix;
+use waldo_rf::antenna::measurement_height_correction_db;
+use waldo_rf::TvChannel;
+use waldo_sensors::SensorKind;
+
+use crate::Context;
+
+const FOLDS: usize = 10;
+
+fn config(kind: ClassifierKind, features: usize, localities: usize) -> WaldoConfig {
+    WaldoConfig::default()
+        .classifier(kind)
+        .features(FeatureSet::first_n(features))
+        .localities(localities)
+        .seed(crate::MASTER_SEED)
+}
+
+/// Runs one (channel × config) cross validation for many channels in
+/// parallel (two worker threads — the harness machine has two cores).
+fn cv_channels(
+    ctx: &Context,
+    sensor: SensorKind,
+    channels: &[TvChannel],
+    cfg: &WaldoConfig,
+) -> Vec<(TvChannel, ConfusionMatrix)> {
+    fn worker(
+        ctx: &Context,
+        sensor: SensorKind,
+        cfg: &WaldoConfig,
+        chs: &[TvChannel],
+    ) -> Vec<(TvChannel, ConfusionMatrix)> {
+        chs.iter()
+            .map(|&ch| {
+                let ds = ctx
+                    .campaign()
+                    .dataset(sensor, ch)
+                    .expect("campaign covers all channels");
+                (ch, cross_validate(ds, cfg, FOLDS, crate::MASTER_SEED))
+            })
+            .collect()
+    }
+
+    let mut out = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mid = channels.len().div_ceil(2);
+        let (left, right) = channels.split_at(mid);
+        let handle = scope.spawn(move |_| worker(ctx, sensor, cfg, right));
+        let mut local = worker(ctx, sensor, cfg, left);
+        local.extend(handle.join().expect("worker thread must not panic"));
+        out = local;
+    })
+    .expect("scoped threads must not panic");
+    out
+}
+
+fn averaged(results: &[(TvChannel, ConfusionMatrix)]) -> (f64, f64, f64) {
+    let n = results.len() as f64;
+    let fp = results.iter().map(|(_, cm)| cm.fp_rate()).sum::<f64>() / n;
+    let fnr = results.iter().map(|(_, cm)| cm.fn_rate()).sum::<f64>() / n;
+    let err = results.iter().map(|(_, cm)| cm.error_rate()).sum::<f64>() / n;
+    (fp, fnr, err)
+}
+
+/// Fig 12: (a) per-channel error rate for NB/SVM with location only vs
+/// location + signal features; (b, c) average FP / FN rates per feature
+/// count, per sensor.
+pub fn fig12(ctx: &Context) -> Value {
+    let channels = ctx.evaluation_channels();
+    println!("# Fig 12(a) — per-channel error (USRP): location-only vs location+RSS+CFT");
+    let mut fig_a = Vec::new();
+    for kind in [ClassifierKind::NaiveBayes, ClassifierKind::Svm] {
+        let loc = cv_channels(ctx, SensorKind::UsrpB200, &channels, &config(kind, 0, 1));
+        let feat = cv_channels(ctx, SensorKind::UsrpB200, &channels, &config(kind, 2, 1));
+        for ((ch, cm_loc), (_, cm_feat)) in loc.iter().zip(&feat) {
+            println!(
+                "  {ch} {kind:3}: loc-only err {:.4}   loc+feat err {:.4}",
+                cm_loc.error_rate(),
+                cm_feat.error_rate()
+            );
+            fig_a.push(json!({
+                "channel": ch.number(),
+                "model": kind.to_string(),
+                "loc_only_error": cm_loc.error_rate(),
+                "loc_feat_error": cm_feat.error_rate(),
+            }));
+        }
+    }
+
+    println!("# Fig 12(b, c) — average FP / FN per feature count (1 = location only)");
+    let mut fig_bc = Vec::new();
+    for sensor in ctx.low_cost_sensors() {
+        for kind in [ClassifierKind::NaiveBayes, ClassifierKind::Svm] {
+            for nf in 0usize..=3 {
+                let res = cv_channels(ctx, sensor, &channels, &config(kind, nf, 1));
+                let (fp, fnr, err) = averaged(&res);
+                println!(
+                    "  {:10} {kind:3} features={}: FP {fp:.4}  FN {fnr:.4}  err {err:.4}",
+                    sensor.to_string(),
+                    nf + 1
+                );
+                fig_bc.push(json!({
+                    "sensor": sensor.to_string(),
+                    "model": kind.to_string(),
+                    "n_features": nf + 1,
+                    "fp_rate": fp,
+                    "fn_rate": fnr,
+                    "error_rate": err,
+                }));
+            }
+        }
+    }
+    json!({ "fig12a": fig_a, "fig12bc": fig_bc })
+}
+
+/// Fig 13: FP / FN per locality count k ∈ {1, 3, 5} per feature count
+/// (SVM, both sensors averaged over the evaluation channels).
+pub fn fig13(ctx: &Context) -> Value {
+    let channels = ctx.evaluation_channels();
+    println!("# Fig 13 — localities (k-means clustering) sweep, SVM");
+    let mut rows = Vec::new();
+    for sensor in ctx.low_cost_sensors() {
+        for k in [1usize, 3, 5] {
+            for nf in 0usize..=3 {
+                let res =
+                    cv_channels(ctx, sensor, &channels, &config(ClassifierKind::Svm, nf, k));
+                let (fp, fnr, err) = averaged(&res);
+                println!(
+                    "  {:10} k={k} features={}: FP {fp:.4}  FN {fnr:.4}  err {err:.4}",
+                    sensor.to_string(),
+                    nf + 1
+                );
+                rows.push(json!({
+                    "sensor": sensor.to_string(),
+                    "clusters": k,
+                    "n_features": nf + 1,
+                    "fp_rate": fp,
+                    "fn_rate": fnr,
+                    "error_rate": err,
+                }));
+            }
+        }
+    }
+    json!({ "sweep": rows })
+}
+
+/// Fig 14: effect of growing the training set (channels 15 and 30 in
+/// detail; error summary over all channels/models at coarse fractions).
+pub fn fig14(ctx: &Context) -> Value {
+    println!("# Fig 14 — training-set growth (held-out 10 % test set)");
+    let fractions: Vec<f64> = (1..=9).map(|i| i as f64 / 9.0).collect();
+    let mut detail = Vec::new();
+    for chn in [15u8, 30] {
+        let ch = TvChannel::new(chn).expect("valid channel");
+        for sensor in ctx.low_cost_sensors() {
+            for kind in [ClassifierKind::NaiveBayes, ClassifierKind::Svm] {
+                let ds = ctx.campaign().dataset(sensor, ch).expect("present");
+                let sweep = training_fraction_sweep(
+                    ds,
+                    &config(kind, 2, 5),
+                    &fractions,
+                    crate::MASTER_SEED,
+                );
+                let first = sweep.first().expect("non-empty sweep").1.error_rate();
+                let last = sweep.last().expect("non-empty sweep").1.error_rate();
+                println!(
+                    "  ch{chn} {:10} {kind:3}: err {first:.4} @11% → {last:.4} @100%",
+                    sensor.to_string()
+                );
+                detail.push(json!({
+                    "channel": chn,
+                    "sensor": sensor.to_string(),
+                    "model": kind.to_string(),
+                    "curve": sweep
+                        .iter()
+                        .map(|(f, cm)| json!({ "fraction": f, "error": cm.error_rate() }))
+                        .collect::<Vec<_>>(),
+                }));
+            }
+        }
+    }
+
+    // Fig 14(c): error CDF across all channels × sensors × models at four
+    // training fractions.
+    let mut cdf = Vec::new();
+    for frac in [0.25, 0.5, 0.75, 1.0] {
+        let mut errors = Vec::new();
+        for ch in ctx.evaluation_channels() {
+            for sensor in ctx.low_cost_sensors() {
+                for kind in [ClassifierKind::NaiveBayes, ClassifierKind::Svm] {
+                    let ds = ctx.campaign().dataset(sensor, ch).expect("present");
+                    let sweep = training_fraction_sweep(
+                        ds,
+                        &config(kind, 2, 5),
+                        &[frac],
+                        crate::MASTER_SEED,
+                    );
+                    errors.push(sweep[0].1.error_rate());
+                }
+            }
+        }
+        let med = waldo_ml::stats::median(&errors);
+        println!("  all-cases error median at {:>3.0}% data: {med:.4}", frac * 100.0);
+        cdf.push(json!({ "fraction": frac, "errors": errors, "median": med }));
+    }
+    json!({ "detail": detail, "cdf": cdf })
+}
+
+/// Fig 15: the Fig 12(b, c) sweep with the antenna correction factor
+/// applied to the labels; channels that become fully protected are dropped
+/// (the paper keeps 15, 17, 22, 47).
+pub fn fig15(ctx: &Context) -> Value {
+    let correction = measurement_height_correction_db();
+    println!("# Fig 15 — feature sweep with +{correction:.1} dB antenna correction");
+    let mut rows = Vec::new();
+    for sensor in ctx.low_cost_sensors() {
+        // Relabel and keep channels that retain both classes.
+        let mut usable: Vec<(TvChannel, ChannelDataset)> = Vec::new();
+        for ch in ctx.evaluation_channels() {
+            let labels = ctx.campaign().relabel(
+                sensor,
+                ch,
+                &Labeler::new().antenna_correction_db(correction),
+            );
+            let not_safe = labels.iter().filter(|l| l.is_not_safe()).count();
+            if not_safe > 0 && not_safe < labels.len() {
+                let ds = ctx
+                    .campaign()
+                    .dataset(sensor, ch)
+                    .expect("present")
+                    .clone()
+                    .with_labels(labels);
+                usable.push((ch, ds));
+            }
+        }
+        let kept: Vec<u8> = usable.iter().map(|(c, _)| c.number()).collect();
+        println!("  {:10} usable channels: {kept:?}", sensor.to_string());
+        if usable.is_empty() {
+            println!("  (all channels fully protected after correction at this scale)");
+            continue;
+        }
+        for kind in [ClassifierKind::NaiveBayes, ClassifierKind::Svm] {
+            for nf in 0usize..=3 {
+                let mut agg = Vec::new();
+                for (ch, ds) in &usable {
+                    let cm = cross_validate(ds, &config(kind, nf, 1), FOLDS, crate::MASTER_SEED);
+                    agg.push((*ch, cm));
+                }
+                let (fp, fnr, err) = averaged(&agg);
+                println!(
+                    "  {:10} {kind:3} features={}: FP {fp:.4}  FN {fnr:.4}  err {err:.4}",
+                    sensor.to_string(),
+                    nf + 1
+                );
+                rows.push(json!({
+                    "sensor": sensor.to_string(),
+                    "model": kind.to_string(),
+                    "n_features": nf + 1,
+                    "fp_rate": fp,
+                    "fn_rate": fnr,
+                    "error_rate": err,
+                    "channels": kept,
+                }));
+            }
+        }
+    }
+    json!({ "sweep": rows, "correction_db": correction })
+}
+
+/// Table 1 + Fig 16: Waldo vs V-Scope (and the other baselines) on FP/FN
+/// averaged over channels, plus per-channel error rates.
+pub fn tab1_fig16(ctx: &Context) -> Value {
+    let channels = ctx.evaluation_channels();
+    println!("# Table 1 / Fig 16 — Waldo vs V-Scope (SVM, location + RSS + CFT, no clustering)");
+
+    // Waldo via cross validation per sensor.
+    let mut waldo_rows = Vec::new();
+    for sensor in ctx.low_cost_sensors() {
+        let res = cv_channels(ctx, sensor, &channels, &config(ClassifierKind::Svm, 2, 1));
+        waldo_rows.push((sensor, res));
+    }
+
+    // V-Scope fitted per channel on the RTL dataset (the paper's V-Scope
+    // consumes the same collected measurements).
+    let mut vscope_rows: Vec<(TvChannel, ConfusionMatrix)> = Vec::new();
+    for &ch in &channels {
+        let ds = ctx.campaign().dataset(SensorKind::RtlSdr, ch).expect("present");
+        let txs: Vec<_> = ctx
+            .world()
+            .field()
+            .transmitters()
+            .into_iter()
+            .filter(|t| t.channel() == ch)
+            .collect();
+        let vs = VScope::fit(ds, txs, 5, crate::MASTER_SEED).expect("campaign data fits");
+        vscope_rows.push((ch, evaluate_assessor(&vs, ds, None)));
+    }
+
+    // k-NN interpolation DB (fit on even readings, scored on odd ones —
+    // scoring on its own training points would be leakage) and
+    // sensing-only for the wider comparison.
+    let mut knn_rows = Vec::new();
+    let mut idw_rows = Vec::new();
+    let mut sensing_rows = Vec::new();
+    for &ch in &channels {
+        let ds = ctx.campaign().dataset(SensorKind::RtlSdr, ch).expect("present");
+        let train: Vec<usize> = (0..ds.len()).filter(|i| i % 2 == 0).collect();
+        let test: Vec<usize> = (0..ds.len()).filter(|i| i % 2 == 1).collect();
+        let knn = KnnDatabase::fit(&ds.subset(&train), 5).expect("non-empty dataset");
+        knn_rows.push((ch, evaluate_assessor(&knn, &ds.subset(&test), None)));
+        let idw = IdwDatabase::fit(&ds.subset(&train)).expect("non-empty dataset");
+        idw_rows.push((ch, evaluate_assessor(&idw, &ds.subset(&test), None)));
+        sensing_rows.push((ch, evaluate_assessor(&SensingOnly::fcc(), ds, None)));
+    }
+
+    let (vs_fp, vs_fn, vs_err) = averaged(&vscope_rows);
+    println!("V-Scope        : FP {vs_fp:.4}  FN {vs_fn:.4}  err {vs_err:.4}");
+    let mut table = vec![json!({
+        "system": "V-Scope",
+        "fp_rate": vs_fp, "fn_rate": vs_fn, "error_rate": vs_err,
+    })];
+    for (sensor, res) in &waldo_rows {
+        let (fp, fnr, err) = averaged(res);
+        println!(
+            "Waldo {:9}: FP {fp:.4}  FN {fnr:.4}  err {err:.4}",
+            sensor.to_string()
+        );
+        table.push(json!({
+            "system": format!("Waldo {sensor}"),
+            "fp_rate": fp, "fn_rate": fnr, "error_rate": err,
+        }));
+    }
+    let (knn_fp, knn_fn, knn_err) = averaged(&knn_rows);
+    println!("kNN database   : FP {knn_fp:.4}  FN {knn_fn:.4}  err {knn_err:.4}");
+    let (idw_fp, idw_fn, idw_err) = averaged(&idw_rows);
+    println!("IDW database   : FP {idw_fp:.4}  FN {idw_fn:.4}  err {idw_err:.4}");
+    let (s_fp, s_fn, s_err) = averaged(&sensing_rows);
+    println!("Sensing −114   : FP {s_fp:.4}  FN {s_fn:.4}  err {s_err:.4}");
+    table.push(json!({
+        "system": "kNN database", "fp_rate": knn_fp, "fn_rate": knn_fn, "error_rate": knn_err,
+    }));
+    table.push(json!({
+        "system": "IDW database", "fp_rate": idw_fp, "fn_rate": idw_fn, "error_rate": idw_err,
+    }));
+    table.push(json!({
+        "system": "Sensing-only (-114 dBm)", "fp_rate": s_fp, "fn_rate": s_fn, "error_rate": s_err,
+    }));
+
+    println!("# Fig 16 — per-channel error rate");
+    let mut fig16 = Vec::new();
+    for (i, &ch) in channels.iter().enumerate() {
+        let vs = vscope_rows[i].1.error_rate();
+        let usrp = waldo_rows
+            .iter()
+            .find(|(s, _)| *s == SensorKind::UsrpB200)
+            .map(|(_, r)| r[i].1.error_rate())
+            .unwrap_or(f64::NAN);
+        let rtl = waldo_rows
+            .iter()
+            .find(|(s, _)| *s == SensorKind::RtlSdr)
+            .map(|(_, r)| r[i].1.error_rate())
+            .unwrap_or(f64::NAN);
+        println!("  {ch}: V-Scope {vs:.4}  Waldo-USRP {usrp:.4}  Waldo-RTL {rtl:.4}");
+        fig16.push(json!({
+            "channel": ch.number(),
+            "vscope_error": vs,
+            "waldo_usrp_error": usrp,
+            "waldo_rtl_error": rtl,
+        }));
+    }
+    json!({ "table1": table, "fig16": fig16 })
+}
+
+/// Table 2: the qualitative comparison matrix.
+pub fn tab2(_ctx: &Context) -> Value {
+    println!("# Table 2 — qualitative comparison");
+    let rows = qualitative_comparison();
+    for r in &rows {
+        println!(
+            "{:26} | {:46} | safety {:9} | efficiency {:9} | overhead {}",
+            r.approach, r.information_source, r.safety, r.efficiency, r.overhead
+        );
+    }
+    json!({
+        "rows": rows
+            .iter()
+            .map(|r| json!({
+                "approach": r.approach,
+                "information_source": r.information_source,
+                "safety": r.safety,
+                "efficiency": r.efficiency,
+                "overhead": r.overhead,
+            }))
+            .collect::<Vec<_>>()
+    })
+}
+
+/// §5 model-size: serialized descriptor bytes for NB vs SVM models
+/// (paper: ≈4 kB NB, ≈40 kB SVM).
+pub fn model_size(ctx: &Context) -> Value {
+    println!("# §5 — model descriptor sizes (k = 3 localities, 2 signal features)");
+    let mut rows = Vec::new();
+    for kind in [ClassifierKind::NaiveBayes, ClassifierKind::Svm, ClassifierKind::Logistic] {
+        let mut sizes = Vec::new();
+        for ch in ctx.evaluation_channels() {
+            let ds = ctx
+                .campaign()
+                .dataset(SensorKind::RtlSdr, ch)
+                .expect("present");
+            let model = waldo::ModelConstructor::new(config(kind, 2, 3))
+                .fit(ds)
+                .expect("campaign data trains");
+            sizes.push(model.descriptor_bytes() as f64);
+        }
+        let mean = waldo_ml::stats::mean(&sizes);
+        println!("{kind:3}: mean descriptor {:.1} kB", mean / 1024.0);
+        rows.push(json!({ "model": kind.to_string(), "mean_bytes": mean, "per_channel": sizes }));
+    }
+    json!({ "sizes": rows })
+}
+
+/// Ablation: k-means localities vs a regular grid partition of equal cell
+/// count (DESIGN.md §6).
+pub fn ablate_grid(ctx: &Context) -> Value {
+    println!("# Ablation — k-means localities vs single global model (SVM, 2 features)");
+    let channels = ctx.evaluation_channels();
+    let mut rows = Vec::new();
+    for k in [1usize, 3, 6] {
+        let res =
+            cv_channels(ctx, SensorKind::RtlSdr, &channels, &config(ClassifierKind::Svm, 2, k));
+        let (fp, fnr, err) = averaged(&res);
+        println!("  k={k}: FP {fp:.4}  FN {fnr:.4}  err {err:.4}");
+        rows.push(json!({ "k": k, "fp_rate": fp, "fn_rate": fnr, "error_rate": err }));
+    }
+    json!({ "k_sweep": rows })
+}
+
+/// Ablation: decision tree vs SVM/NB — reproduces the paper's "decision
+/// trees hit ≈1 % error and were rejected as overfit" observation by
+/// comparing train-set error against cross-validated error.
+pub fn ablate_tree(ctx: &Context) -> Value {
+    println!("# Ablation — decision tree overfitting check (ch 47, RTL)");
+    let ch = TvChannel::new(47).expect("valid channel");
+    let ds = ctx.campaign().dataset(SensorKind::RtlSdr, ch).expect("present");
+    let mut rows = Vec::new();
+    for kind in [ClassifierKind::DecisionTree, ClassifierKind::Svm, ClassifierKind::NaiveBayes] {
+        let cfg = config(kind, 2, 1);
+        let model = waldo::ModelConstructor::new(cfg.clone())
+            .fit(ds)
+            .expect("campaign data trains");
+        let train_cm = evaluate_assessor(&model, ds, None);
+        let cv_cm = cross_validate(ds, &cfg, FOLDS, crate::MASTER_SEED);
+        println!(
+            "  {kind:3}: train err {:.4}  vs  10-fold err {:.4}",
+            train_cm.error_rate(),
+            cv_cm.error_rate()
+        );
+        rows.push(json!({
+            "model": kind.to_string(),
+            "train_error": train_cm.error_rate(),
+            "cv_error": cv_cm.error_rate(),
+        }));
+    }
+    json!({ "rows": rows })
+}
+
+/// Extra analysis: the same Fig 12 sweep scored against the *analyzer*
+/// ground truth instead of the sensor's own labels — quantifies whether
+/// signal features pull decisions toward physical truth.
+pub fn fig12_truth(ctx: &Context) -> Value {
+    println!("# Analysis — feature sweep scored against analyzer ground truth (RTL, SVM)");
+    let channels = ctx.evaluation_channels();
+    let mut rows = Vec::new();
+    for nf in 0usize..=3 {
+        let cfg = config(ClassifierKind::Svm, nf, 1);
+        let constructor = waldo::ModelConstructor::new(cfg);
+        let mut agg = ConfusionMatrix::default();
+        for &ch in &channels {
+            let ds = ctx.campaign().dataset(SensorKind::RtlSdr, ch).expect("present");
+            let truth = ctx.campaign().ground_truth(ch);
+            let model = constructor.fit(ds).expect("campaign data trains");
+            let cm = evaluate_assessor(&model, ds, Some(truth.labels()));
+            agg.merge(&cm);
+        }
+        println!(
+            "  features={}: FP {:.4}  FN {:.4}  err {:.4}",
+            nf + 1,
+            agg.fp_rate(),
+            agg.fn_rate(),
+            agg.error_rate()
+        );
+        rows.push(json!({
+            "n_features": nf + 1,
+            "fp_rate": agg.fp_rate(),
+            "fn_rate": agg.fn_rate(),
+            "error_rate": agg.error_rate(),
+        }));
+    }
+    json!({ "sweep": rows })
+}
+
+/// Helper for tests: a no-allocation view of Safety slices.
+pub fn not_safe_fraction(labels: &[Safety]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    labels.iter().filter(|l| l.is_not_safe()).count() as f64 / labels.len() as f64
+}

@@ -1,0 +1,107 @@
+//! Shared context for the reproduction harness: one world + campaign per
+//! process, cached, plus small formatting helpers used by every
+//! experiment.
+
+pub mod experiments;
+
+mod context_tests;
+
+use std::sync::OnceLock;
+
+use waldo_data::{Campaign, CampaignBuilder};
+use waldo_rf::world::{World, WorldBuilder};
+use waldo_rf::TvChannel;
+use waldo_sensors::SensorKind;
+
+/// The master seed behind every published number in EXPERIMENTS.md.
+pub const MASTER_SEED: u64 = 42;
+
+/// Scale of a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper scale: 5282 readings per channel, 150 m spacing.
+    Full,
+    /// Quick mode for smoke tests: 1200 readings, 500 m spacing.
+    Quick,
+}
+
+impl Scale {
+    /// Readings per channel at this scale.
+    pub fn readings(self) -> usize {
+        match self {
+            Scale::Full => 5282,
+            Scale::Quick => 1200,
+        }
+    }
+
+    /// Reading spacing in metres at this scale.
+    pub fn spacing_m(self) -> f64 {
+        match self {
+            Scale::Full => 150.0,
+            Scale::Quick => 500.0,
+        }
+    }
+}
+
+/// The lazily built simulation context shared by all experiments.
+pub struct Context {
+    world: World,
+    campaign: Campaign,
+    scale: Scale,
+}
+
+impl Context {
+    /// Builds the context at the given scale (expensive: drives the full
+    /// campaign).
+    pub fn build(scale: Scale) -> Self {
+        let world = WorldBuilder::new().seed(MASTER_SEED).build();
+        let campaign = CampaignBuilder::new(&world)
+            .readings_per_channel(scale.readings())
+            .spacing_m(scale.spacing_m())
+            .seed(MASTER_SEED)
+            .collect();
+        Self { world, campaign, scale }
+    }
+
+    /// Process-wide cached full-scale context.
+    pub fn full() -> &'static Context {
+        static CTX: OnceLock<Context> = OnceLock::new();
+        CTX.get_or_init(|| Context::build(Scale::Full))
+    }
+
+    /// Process-wide cached quick context.
+    pub fn quick() -> &'static Context {
+        static CTX: OnceLock<Context> = OnceLock::new();
+        CTX.get_or_init(|| Context::build(Scale::Quick))
+    }
+
+    /// The simulated world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The collected campaign.
+    pub fn campaign(&self) -> &Campaign {
+        &self.campaign
+    }
+
+    /// The scale this context was built at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The seven evaluation channels.
+    pub fn evaluation_channels(&self) -> Vec<TvChannel> {
+        TvChannel::EVALUATION.to_vec()
+    }
+
+    /// The two low-cost sensors.
+    pub fn low_cost_sensors(&self) -> [SensorKind; 2] {
+        [SensorKind::RtlSdr, SensorKind::UsrpB200]
+    }
+}
+
+/// Formats a rate for result tables.
+pub fn pct(x: f64) -> String {
+    format!("{:.4}", x)
+}

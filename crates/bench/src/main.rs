@@ -1,0 +1,127 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick] <experiment | all>
+//! ```
+//!
+//! Experiments: fig4 fig5 fig6 fig7 sec2 fig10 fig12 fig13 fig14 fig15
+//! tab1 fig16 tab2 fig17 fig18 model-size ablate-grid ablate-tree
+//! fig12-truth all. Results are printed and written to `results/*.json`.
+
+use waldo_bench::experiments::{
+    self, device_exp, features_exp, sensors_exp, system_exp, write_result,
+};
+use waldo_bench::Context;
+
+struct Experiment {
+    name: &'static str,
+    describe: &'static str,
+    run: fn(&Context) -> serde_json::Value,
+}
+
+const EXPERIMENTS: &[Experiment] = &[
+    Experiment { name: "fig5", describe: "sensor sensitivity CDFs", run: sensors_exp::fig5 },
+    Experiment { name: "fig6", describe: "per-reading sensor comparison", run: sensors_exp::fig6 },
+    Experiment { name: "fig7", describe: "RTL/USRP label correlation", run: sensors_exp::fig7 },
+    Experiment { name: "sec2", describe: "low-cost sensor rates", run: sensors_exp::sec2 },
+    Experiment { name: "fig4", describe: "spectrum-database error", run: sensors_exp::fig4 },
+    Experiment {
+        name: "fig10",
+        describe: "feature boxplots + ANOVA screening",
+        run: |ctx| {
+            let a = features_exp::fig10_11(ctx);
+            let b = features_exp::anova_screening(ctx);
+            serde_json::json!({ "boxplots": a, "anova": b })
+        },
+    },
+    Experiment { name: "fig12", describe: "feature sweep", run: system_exp::fig12 },
+    Experiment { name: "fig13", describe: "localities sweep", run: system_exp::fig13 },
+    Experiment { name: "fig14", describe: "training-set growth", run: system_exp::fig14 },
+    Experiment { name: "fig15", describe: "antenna-corrected sweep", run: system_exp::fig15 },
+    Experiment {
+        name: "tab1",
+        describe: "baseline comparison + per-channel errors",
+        run: system_exp::tab1_fig16,
+    },
+    Experiment {
+        name: "fig16",
+        describe: "alias of tab1 (same computation)",
+        run: system_exp::tab1_fig16,
+    },
+    Experiment { name: "tab2", describe: "qualitative matrix", run: system_exp::tab2 },
+    Experiment { name: "fig17", describe: "convergence time", run: device_exp::fig17 },
+    Experiment { name: "fig18", describe: "CPU utilization", run: device_exp::fig18 },
+    Experiment { name: "model-size", describe: "descriptor sizes", run: system_exp::model_size },
+    Experiment { name: "ablate-grid", describe: "locality-count ablation", run: system_exp::ablate_grid },
+    Experiment { name: "ablate-tree", describe: "tree overfitting ablation", run: system_exp::ablate_tree },
+    Experiment {
+        name: "fig12-truth",
+        describe: "feature sweep vs analyzer truth",
+        run: system_exp::fig12_truth,
+    },
+    Experiment {
+        name: "coverage",
+        describe: "spatial maps: Waldo vs database availability",
+        run: sensors_exp::coverage,
+    },
+    Experiment {
+        name: "ablate-matched",
+        describe: "detector-statistic AUC ablation",
+        run: sensors_exp::ablate_matched,
+    },
+];
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--quick] <experiment | all>");
+    eprintln!("experiments:");
+    for e in EXPERIMENTS {
+        eprintln!("  {:12} {}", e.name, e.describe);
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    if args.is_empty() {
+        usage()
+    }
+
+    let t0 = std::time::Instant::now();
+    eprintln!(
+        "building simulation context ({}) …",
+        if quick { "quick scale" } else { "full paper scale" }
+    );
+    let ctx = if quick { Context::quick() } else { Context::full() };
+    eprintln!("context ready in {:.1} s", t0.elapsed().as_secs_f64());
+
+    let selected: Vec<&Experiment> = if args.iter().any(|a| a == "all") {
+        // fig16 duplicates tab1; run it once.
+        EXPERIMENTS.iter().filter(|e| e.name != "fig16").collect()
+    } else {
+        args.iter()
+            .map(|target| match EXPERIMENTS.iter().find(|e| e.name == *target) {
+                Some(e) => e,
+                None => usage(),
+            })
+            .collect()
+    };
+
+    for e in selected {
+        let t = std::time::Instant::now();
+        println!("\n=== {} — {} ===", e.name, e.describe);
+        let value = (e.run)(ctx);
+        write_result(e.name, &value);
+        println!("[{} finished in {:.1} s]", e.name, t.elapsed().as_secs_f64());
+    }
+    experiments::write_result(
+        "meta",
+        &serde_json::json!({
+            "seed": waldo_bench::MASTER_SEED,
+            "scale": if quick { "quick" } else { "full" },
+            "elapsed_s": t0.elapsed().as_secs_f64(),
+        }),
+    );
+    eprintln!("total {:.1} s", t0.elapsed().as_secs_f64());
+}

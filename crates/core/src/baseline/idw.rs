@@ -1,0 +1,236 @@
+//! Inverse-distance-weighted RSS interpolation: the statistical-
+//! interpolation flavour of the measurement-augmented-database family
+//! (Ying et al., COMSNETS'15 revisit TV coverage estimation with exactly
+//! such measurement-based interpolation; Achtzehn et al. use Kriging —
+//! IDW is its standard lightweight stand-in).
+//!
+//! The database interpolates a *signal level* at the query point from
+//! nearby measurements and thresholds it at the protected contour; like
+//! V-Scope it never looks at the querying device's own reading.
+
+use waldo_data::{ChannelDataset, Safety};
+use waldo_geo::{GridIndex, Point};
+use waldo_rf::DECODABLE_DBM;
+use waldo_sensors::Observation;
+
+use crate::Assessor;
+
+/// Errors from building the interpolator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdwError {
+    /// No measurements.
+    Empty,
+}
+
+impl std::fmt::Display for IdwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdwError::Empty => write!(f, "no measurements to interpolate from"),
+        }
+    }
+}
+
+impl std::error::Error for IdwError {}
+
+/// Inverse-distance-weighted RSS interpolation database.
+///
+/// # Examples
+///
+/// ```no_run
+/// # let ds: waldo_data::ChannelDataset = unimplemented!();
+/// use waldo::baseline::IdwDatabase;
+///
+/// let idw = IdwDatabase::fit(&ds).unwrap();
+/// let rss = idw.interpolate_rss_dbm(waldo_geo::Point::new(1_000.0, 2_000.0));
+/// # let _ = rss;
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdwDatabase {
+    points: Vec<(Point, f64)>,
+    index: GridIndex<usize>,
+    power: f64,
+    search_radius_m: f64,
+    threshold_dbm: f64,
+    margin_db: f64,
+}
+
+fn default_index() -> GridIndex<usize> {
+    GridIndex::new(2_000.0)
+}
+
+impl PartialEq for IdwDatabase {
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points
+            && self.power == other.power
+            && self.search_radius_m == other.search_radius_m
+            && self.threshold_dbm == other.threshold_dbm
+            && self.margin_db == other.margin_db
+    }
+}
+
+impl IdwDatabase {
+    /// Builds the interpolator from a channel dataset (weight exponent 2,
+    /// 3 km search radius, −84 dBm contour with a 3 dB protection margin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdwError::Empty`] for an empty dataset.
+    pub fn fit(ds: &ChannelDataset) -> Result<Self, IdwError> {
+        if ds.is_empty() {
+            return Err(IdwError::Empty);
+        }
+        let points: Vec<(Point, f64)> =
+            ds.measurements().iter().map(|m| (m.location, m.observation.rss_dbm)).collect();
+        let mut index = default_index();
+        for (i, &(p, _)) in points.iter().enumerate() {
+            index.insert(p, i);
+        }
+        Ok(Self {
+            points,
+            index,
+            power: 2.0,
+            search_radius_m: 3_000.0,
+            threshold_dbm: DECODABLE_DBM,
+            margin_db: 3.0,
+        })
+    }
+
+    /// Interpolated RSS at `p` (dBm): inverse-distance-squared weighted
+    /// mean over measurements within the search radius, falling back to
+    /// the single nearest measurement when the radius is empty. A query
+    /// within 1 m of a measurement returns that measurement's value.
+    pub fn interpolate_rss_dbm(&self, p: Point) -> f64 {
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (q, &i) in self.index.within(p, self.search_radius_m) {
+            let d = q.distance(p);
+            if d < 1.0 {
+                return self.points[i].1;
+            }
+            let w = 1.0 / d.powf(self.power);
+            num += w * self.points[i].1;
+            den += w;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            let (_, &i) = self
+                .index
+                .nearest(p)
+                .expect("construction guarantees at least one point");
+            self.points[i].1
+        }
+    }
+
+    /// Whether the interpolated level clears the (margin-protected)
+    /// contour threshold.
+    pub fn is_protected(&self, p: Point) -> bool {
+        self.interpolate_rss_dbm(p) > self.threshold_dbm - self.margin_db
+    }
+}
+
+impl Assessor for IdwDatabase {
+    fn assess(&self, location: Point, _observation: &Observation) -> Safety {
+        Safety::from_not_safe(self.is_protected(location))
+    }
+
+    fn name(&self) -> String {
+        "IDW-DB".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waldo_data::Measurement;
+    use waldo_iq::FeatureVector;
+    use waldo_rf::TvChannel;
+    use waldo_sensors::SensorKind;
+
+    fn m(x: f64, rss: f64) -> Measurement {
+        Measurement {
+            location: Point::new(x, 0.0),
+            odometer_m: x,
+            observation: Observation {
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.3,
+                    aft_db: rss - 12.5,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -110.0,
+                },
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        }
+    }
+
+    fn dataset() -> ChannelDataset {
+        // East hot (−70), west cold (−100), smooth ramp between.
+        let measurements: Vec<Measurement> = (0..200)
+            .map(|i| {
+                let x = i as f64 * 150.0;
+                let rss = -100.0 + 30.0 * (x / 30_000.0).clamp(0.0, 1.0);
+                m(x, rss)
+            })
+            .collect();
+        let labels = measurements
+            .iter()
+            .map(|mm| Safety::from_not_safe(mm.observation.rss_dbm > -84.0))
+            .collect();
+        ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+    }
+
+    #[test]
+    fn interpolation_tracks_the_ramp() {
+        let idw = IdwDatabase::fit(&dataset()).unwrap();
+        let est = idw.interpolate_rss_dbm(Point::new(15_000.0, 200.0));
+        assert!((est - -85.0).abs() < 1.5, "got {est}");
+    }
+
+    #[test]
+    fn exact_measurement_points_return_their_value() {
+        let idw = IdwDatabase::fit(&dataset()).unwrap();
+        let est = idw.interpolate_rss_dbm(Point::new(0.0, 0.0));
+        assert!((est - -100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn far_queries_fall_back_to_nearest() {
+        let idw = IdwDatabase::fit(&dataset()).unwrap();
+        // 20 km north of the transect: outside every search radius.
+        let est = idw.interpolate_rss_dbm(Point::new(29_850.0, 20_000.0));
+        assert!((est - -70.15).abs() < 0.5, "got {est}");
+    }
+
+    #[test]
+    fn protection_follows_the_contour_with_margin() {
+        let idw = IdwDatabase::fit(&dataset()).unwrap();
+        // Interpolated −84 at x = 16 km; the 3 dB margin protects down to
+        // −87 (x = 13 km).
+        assert!(idw.is_protected(Point::new(20_000.0, 0.0)));
+        assert!(idw.is_protected(Point::new(14_000.0, 0.0)));
+        assert!(!idw.is_protected(Point::new(8_000.0, 0.0)));
+    }
+
+    #[test]
+    fn ignores_the_observation() {
+        let idw = IdwDatabase::fit(&dataset()).unwrap();
+        let weak = dataset().measurements()[0].observation;
+        let p = Point::new(25_000.0, 0.0);
+        assert!(idw.assess(p, &weak).is_not_safe());
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let empty = ChannelDataset::new(
+            TvChannel::new(30).unwrap(),
+            SensorKind::RtlSdr,
+            vec![],
+            vec![],
+        );
+        assert_eq!(IdwDatabase::fit(&empty).unwrap_err(), IdwError::Empty);
+    }
+}

@@ -1,0 +1,124 @@
+//! k-NN interpolation over labeled measurements: the
+//! measurement-augmented-database flavour that classifies a query location
+//! by the labels of the nearest collected readings (Achtzehn et al.,
+//! Ying et al. — location-only, no signal features).
+
+use serde::{Deserialize, Serialize};
+use waldo_data::{ChannelDataset, Safety};
+use waldo_geo::Point;
+use waldo_ml::knn::{KnnClassifier, KnnError};
+use waldo_ml::{Classifier, Dataset};
+use waldo_sensors::Observation;
+
+use crate::Assessor;
+
+/// Location-only k-NN over the labeled campaign measurements.
+///
+/// # Examples
+///
+/// ```no_run
+/// # let ds: waldo_data::ChannelDataset = unimplemented!();
+/// use waldo::baseline::KnnDatabase;
+///
+/// let knn = KnnDatabase::fit(&ds, 5).unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnDatabase {
+    k: usize,
+    knn: KnnClassifier,
+}
+
+impl KnnDatabase {
+    /// Builds from a labeled dataset with `k` neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnnError`] on an empty dataset or `k == 0`.
+    pub fn fit(ds: &ChannelDataset, k: usize) -> Result<Self, KnnError> {
+        let rows: Vec<Vec<f64>> = ds
+            .measurements()
+            .iter()
+            .map(|m| vec![m.location.x / 1000.0, m.location.y / 1000.0])
+            .collect();
+        let ml = Dataset::from_rows(rows, ds.label_bools())
+            .expect("locations are finite by construction");
+        Ok(Self { k, knn: KnnClassifier::fit(k, &ml)? })
+    }
+
+    /// The neighbour count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Assessor for KnnDatabase {
+    fn assess(&self, location: Point, _observation: &Observation) -> Safety {
+        Safety::from_not_safe(self.knn.predict(&[location.x / 1000.0, location.y / 1000.0]))
+    }
+
+    fn name(&self) -> String {
+        format!("kNN-DB(k={})", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waldo_data::Measurement;
+    use waldo_iq::FeatureVector;
+    use waldo_rf::TvChannel;
+    use waldo_sensors::SensorKind;
+
+    fn observation(rss: f64) -> Observation {
+        Observation {
+            rss_dbm: rss,
+            features: FeatureVector {
+                rss_db: rss,
+                cft_db: rss - 11.3,
+                aft_db: rss - 12.5,
+                quadrature_imbalance_db: 0.0,
+                iq_kurtosis: 0.0,
+                edge_bin_db: -110.0,
+            },
+            raw_pilot_db: rss - 11.3,
+        }
+    }
+
+    fn dataset() -> ChannelDataset {
+        let mut measurements = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            let x = i as f64 * 300.0;
+            measurements.push(Measurement {
+                location: Point::new(x, 0.0),
+                odometer_m: x,
+                observation: observation(-90.0),
+                true_rss_dbm: -90.0,
+            });
+            labels.push(Safety::from_not_safe(x > 15_000.0));
+        }
+        ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+    }
+
+    #[test]
+    fn interpolates_labels_spatially() {
+        let knn = KnnDatabase::fit(&dataset(), 5).unwrap();
+        let obs = observation(-90.0);
+        assert!(knn.assess(Point::new(25_000.0, 0.0), &obs).is_not_safe());
+        assert!(!knn.assess(Point::new(5_000.0, 0.0), &obs).is_not_safe());
+    }
+
+    #[test]
+    fn ignores_the_observation_entirely() {
+        let knn = KnnDatabase::fit(&dataset(), 5).unwrap();
+        let weak = observation(-120.0);
+        let strong = observation(-40.0);
+        let p = Point::new(25_000.0, 0.0);
+        assert_eq!(knn.assess(p, &weak), knn.assess(p, &strong));
+    }
+
+    #[test]
+    fn zero_k_errors() {
+        assert!(KnnDatabase::fit(&dataset(), 0).is_err());
+    }
+}

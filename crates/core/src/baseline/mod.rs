@@ -1,0 +1,93 @@
+//! Every detection approach the paper compares Waldo against (§4.4,
+//! Table 2):
+//!
+//! * [`SpectrumDatabase`] — the FCC-style database: a registry of incumbent
+//!   transmitters plus a generic propagation model. Very safe, very
+//!   inefficient (overprotection), moderate operational overhead.
+//! * [`VScope`] — the measurement-augmented database family: k-means
+//!   clusters of local measurements with a per-cluster fitted log-distance
+//!   propagation model (Zhang et al., MobiCom'14).
+//! * [`KnnDatabase`] — the interpolation flavour of the same family
+//!   (Achtzehn et al., Ying et al.): classify by the labels of the nearest
+//!   measurements.
+//! * [`IdwDatabase`] — the statistical-interpolation flavour: interpolate
+//!   the RSS surface itself (inverse-distance weighting standing in for
+//!   Kriging) and threshold it at the contour.
+//! * [`SensingOnly`] — pure local spectrum sensing at a threshold; at the
+//!   FCC's −114 dBm it needs hardware low-cost sensors do not have, so on
+//!   their readings it degenerates to "everything is occupied".
+
+mod idw;
+mod knn_db;
+mod sensing;
+mod spectrum_db;
+mod vscope;
+
+pub use idw::{IdwDatabase, IdwError};
+pub use knn_db::KnnDatabase;
+pub use sensing::SensingOnly;
+pub use spectrum_db::SpectrumDatabase;
+pub use vscope::{VScope, VScopeError};
+
+/// A qualitative row of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualitativeProfile {
+    /// Approach name.
+    pub approach: &'static str,
+    /// Where its information comes from.
+    pub information_source: &'static str,
+    /// Safety rating.
+    pub safety: &'static str,
+    /// Efficiency rating.
+    pub efficiency: &'static str,
+    /// Operational overhead rating.
+    pub overhead: &'static str,
+}
+
+/// The four rows of Table 2, in the paper's column order.
+pub fn qualitative_comparison() -> Vec<QualitativeProfile> {
+    vec![
+        QualitativeProfile {
+            approach: "Spectrum sensing",
+            information_source: "Local information",
+            safety: "Very High",
+            efficiency: "Moderate",
+            overhead: "High",
+        },
+        QualitativeProfile {
+            approach: "Spectrum databases",
+            information_source: "Universal models",
+            safety: "Very High",
+            efficiency: "Low",
+            overhead: "Moderate",
+        },
+        QualitativeProfile {
+            approach: "Measurement-augmented DB",
+            information_source: "Locally constructed models",
+            safety: "High",
+            efficiency: "High",
+            overhead: "Moderate",
+        },
+        QualitativeProfile {
+            approach: "Waldo",
+            information_source: "Local information + locally constructed models",
+            safety: "High",
+            efficiency: "Very high",
+            overhead: "Low",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_two_has_four_approaches() {
+        let rows = qualitative_comparison();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[3].approach, "Waldo");
+        assert_eq!(rows[3].overhead, "Low");
+        assert!(rows.iter().all(|r| !r.safety.is_empty() && !r.efficiency.is_empty()));
+    }
+}

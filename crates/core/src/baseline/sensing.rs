@@ -1,0 +1,107 @@
+//! Threshold-only local spectrum sensing.
+
+use serde::{Deserialize, Serialize};
+use waldo_data::Safety;
+use waldo_geo::Point;
+use waldo_rf::SENSING_THRESHOLD_DBM;
+use waldo_sensors::Observation;
+
+use crate::Assessor;
+
+/// Pure spectrum sensing: a channel is not safe whenever the local reading
+/// exceeds a threshold. The FCC requires −114 dBm for standalone sensing —
+/// 30 dB below decodability — precisely because a single local reading can
+/// sit in a hidden-node null. Low-cost sensors cannot reach that floor
+/// (their vacant-channel readings already sit near −86/−91 dBm), so on
+/// their output this baseline collapses to "everything occupied".
+///
+/// # Examples
+///
+/// ```
+/// use waldo::baseline::SensingOnly;
+///
+/// let fcc = SensingOnly::fcc();
+/// assert_eq!(fcc.threshold_dbm(), -114.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensingOnly {
+    threshold_dbm: f64,
+}
+
+impl SensingOnly {
+    /// The FCC's −114 dBm sensing rule.
+    pub fn fcc() -> Self {
+        Self { threshold_dbm: SENSING_THRESHOLD_DBM }
+    }
+
+    /// A custom threshold (e.g. −84 dBm "optimistic sensing").
+    ///
+    /// # Panics
+    ///
+    /// Panics if not finite.
+    pub fn with_threshold(threshold_dbm: f64) -> Self {
+        assert!(threshold_dbm.is_finite(), "threshold must be finite");
+        Self { threshold_dbm }
+    }
+
+    /// The active threshold.
+    pub fn threshold_dbm(&self) -> f64 {
+        self.threshold_dbm
+    }
+}
+
+impl Assessor for SensingOnly {
+    fn assess(&self, _location: Point, observation: &Observation) -> Safety {
+        Safety::from_not_safe(observation.rss_dbm > self.threshold_dbm)
+    }
+
+    fn name(&self) -> String {
+        format!("Sensing({} dBm)", self.threshold_dbm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use waldo_sensors::{Calibration, SensorModel};
+
+    fn observe(sensor: &SensorModel, rss: Option<f64>, seed: u64) -> Observation {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Observation::measure(sensor, &Calibration::factory(sensor), rss, &mut rng)
+    }
+
+    #[test]
+    fn threshold_splits_decisions() {
+        let s = SensingOnly::with_threshold(-84.0);
+        let sa = SensorModel::spectrum_analyzer();
+        let hot = observe(&sa, Some(-60.0), 1);
+        let cold = observe(&sa, Some(-110.0), 2);
+        assert!(s.assess(Point::default(), &hot).is_not_safe());
+        assert!(!s.assess(Point::default(), &cold).is_not_safe());
+    }
+
+    #[test]
+    fn fcc_threshold_on_low_cost_hardware_declares_everything_occupied() {
+        // The infeasibility argument of §1: an RTL-SDR's vacant-channel
+        // reading (~−86 dBm) is far above −114 dBm, so sensing-only marks
+        // even silent channels as occupied.
+        let s = SensingOnly::fcc();
+        let rtl = SensorModel::rtl_sdr();
+        for seed in 0..20 {
+            let vacant = observe(&rtl, None, seed);
+            assert!(s.assess(Point::default(), &vacant).is_not_safe());
+        }
+    }
+
+    #[test]
+    fn analyzer_can_use_the_fcc_threshold() {
+        let s = SensingOnly::fcc();
+        let sa = SensorModel::spectrum_analyzer();
+        // A genuinely silent channel reads ≈ −102 dBm (floor + 12)… still
+        // above −114: even the analyzer overprotects under sensing rules,
+        // which is the 2× coverage overprotection the paper cites [30].
+        let vacant = observe(&sa, None, 3);
+        assert!(s.assess(Point::default(), &vacant).is_not_safe());
+    }
+}

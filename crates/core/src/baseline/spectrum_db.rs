@@ -1,0 +1,177 @@
+//! The conventional spectrum database (Google/SpectrumBridge class).
+
+use serde::{Deserialize, Serialize};
+use waldo_data::Safety;
+use waldo_geo::Point;
+use waldo_rf::pathloss::PathLossModel;
+use waldo_rf::{Transmitter, TvChannel, DECODABLE_DBM, PROTECTION_RADIUS_M};
+use waldo_sensors::Observation;
+
+use crate::Assessor;
+
+/// An FCC-style spectrum database for one channel: the incumbent registry
+/// plus a generic propagation model. A location is not safe when it falls
+/// within any transmitter's predicted protected contour plus the 6 km
+/// separation buffer. No measurement ever reaches it — that is the point.
+///
+/// # Examples
+///
+/// ```
+/// use waldo::baseline::SpectrumDatabase;
+/// use waldo_geo::Point;
+/// use waldo_rf::{Transmitter, TvChannel};
+///
+/// let ch = TvChannel::new(30).unwrap();
+/// let tx = Transmitter::new(ch, Point::new(0.0, 0.0), 70.0, 300.0);
+/// let db = SpectrumDatabase::new(ch, vec![tx]);
+/// assert!(db.is_protected(Point::new(1_000.0, 0.0))); // at the mast
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectrumDatabase {
+    channel: TvChannel,
+    transmitters: Vec<Transmitter>,
+    model: PathLossModel,
+    threshold_dbm: f64,
+    buffer_m: f64,
+    protection_margin_db: f64,
+}
+
+impl SpectrumDatabase {
+    /// Builds a database from the incumbent registry with the generic
+    /// planning-curve model, the −84 dBm contour, and the 6 km buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transmitter is on a different channel.
+    pub fn new(channel: TvChannel, transmitters: Vec<Transmitter>) -> Self {
+        assert!(
+            transmitters.iter().all(|t| t.channel() == channel),
+            "registry entries must match the database channel"
+        );
+        Self {
+            channel,
+            transmitters,
+            model: PathLossModel::ConservativeBroadcast,
+            threshold_dbm: DECODABLE_DBM,
+            buffer_m: PROTECTION_RADIUS_M,
+            protection_margin_db: 4.0,
+        }
+    }
+
+    /// Overrides the statistical protection margin (dB) the database adds
+    /// below the decodability threshold. FCC contours are F(50,90)-style
+    /// statistical curves: they protect until the *median* prediction falls
+    /// well below decodability, so shadowing upsides stay covered. The
+    /// 4 dB default approximates a high location quantile over the
+    /// planning curve's residual uncertainty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    pub fn with_protection_margin_db(mut self, margin: f64) -> Self {
+        assert!(margin >= 0.0, "margin must be non-negative");
+        self.protection_margin_db = margin;
+        self
+    }
+
+    /// Overrides the propagation model (ablation hook).
+    pub fn with_model(mut self, model: PathLossModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The channel this database answers for.
+    pub fn channel(&self) -> TvChannel {
+        self.channel
+    }
+
+    /// Predicted protected-contour radius for one transmitter, metres
+    /// (before the buffer).
+    pub fn contour_radius_m(&self, tx: &Transmitter) -> f64 {
+        self.model.contour_distance_m(
+            tx.erp_dbm(),
+            self.channel.center_mhz(),
+            tx.height_m(),
+            2.0,
+            self.threshold_dbm - self.protection_margin_db,
+        )
+    }
+
+    /// Whether `p` falls inside any predicted contour + buffer.
+    pub fn is_protected(&self, p: Point) -> bool {
+        self.transmitters.iter().any(|tx| {
+            tx.location().distance(p) <= self.contour_radius_m(tx) + self.buffer_m
+        })
+    }
+}
+
+impl Assessor for SpectrumDatabase {
+    fn assess(&self, location: Point, _observation: &Observation) -> Safety {
+        Safety::from_not_safe(self.is_protected(location))
+    }
+
+    fn name(&self) -> String {
+        "SpectrumDB".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waldo_rf::pathloss::PathLossModel;
+
+    fn db() -> SpectrumDatabase {
+        let ch = TvChannel::new(30).unwrap();
+        let tx = Transmitter::new(ch, Point::new(0.0, 0.0), 67.8, 300.0);
+        SpectrumDatabase::new(ch, vec![tx])
+    }
+
+    #[test]
+    fn protection_shrinks_with_distance() {
+        let db = db();
+        assert!(db.is_protected(Point::new(5_000.0, 0.0)));
+        assert!(!db.is_protected(Point::new(200_000.0, 0.0)));
+    }
+
+    #[test]
+    fn buffer_extends_the_contour() {
+        let db = db();
+        let tx = db.transmitters[0];
+        let r = db.contour_radius_m(&tx);
+        assert!(db.is_protected(Point::new(r + 5_999.0, 0.0)));
+        assert!(!db.is_protected(Point::new(r + 6_001.0, 0.0)));
+    }
+
+    #[test]
+    fn generic_model_overpredicts_street_level_truth() {
+        // The database's predicted contour must over-reach the street-level
+        // truth contour — the overprotection the paper quantifies in Fig 4.
+        let db = db();
+        let tx = db.transmitters[0];
+        let truth = PathLossModel::street_level_urban(
+            db.channel().center_mhz(),
+            tx.height_m(),
+            2.0,
+        );
+        let d_truth =
+            truth.contour_distance_m(tx.erp_dbm(), db.channel().center_mhz(), tx.height_m(), 2.0, -84.0);
+        let d_db = db.contour_radius_m(&tx);
+        assert!(d_db > 1.3 * d_truth, "db {d_db} vs truth {d_truth}");
+    }
+
+    #[test]
+    fn empty_registry_protects_nothing() {
+        let ch = TvChannel::new(30).unwrap();
+        let db = SpectrumDatabase::new(ch, vec![]);
+        assert!(!db.is_protected(Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "match the database channel")]
+    fn wrong_channel_registry_panics() {
+        let ch30 = TvChannel::new(30).unwrap();
+        let ch15 = TvChannel::new(15).unwrap();
+        let tx = Transmitter::new(ch15, Point::new(0.0, 0.0), 60.0, 300.0);
+        let _ = SpectrumDatabase::new(ch30, vec![tx]);
+    }
+}

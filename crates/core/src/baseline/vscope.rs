@@ -1,0 +1,313 @@
+//! V-Scope (Zhang et al., MobiCom'14): a measurement-augmented spectrum
+//! database. The paper re-implements its two core modules — measurement
+//! clustering and propagation-model fitting — and so does this baseline:
+//! k-means over measurement locations, then a per-cluster log-distance
+//! path-loss fit (`rss = p₀ − 10·n·log₁₀ d`) against the nearest
+//! transmitter. Queries predict the RSS at the location with the local
+//! fitted model and protect anything whose *predicted* level (plus the 6 km
+//! buffer treated in the distance domain) clears the −84 dBm contour.
+//!
+//! The structural weakness Waldo exploits is visible right in the design:
+//! the fitted model smooths over pockets — a location inside an obstacle
+//! shadow still *predicts* hot because the cluster-level fit cannot see
+//! point effects.
+
+use serde::{Deserialize, Serialize};
+use waldo_data::ChannelDataset;
+use waldo_data::Safety;
+use waldo_geo::Point;
+use waldo_ml::kmeans::{Clustering, KMeans};
+use waldo_ml::linreg::LinearRegression;
+use waldo_rf::{Transmitter, TvChannel, DECODABLE_DBM, PROTECTION_RADIUS_M};
+use waldo_sensors::Observation;
+
+use crate::Assessor;
+
+/// Errors from fitting the V-Scope model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VScopeError {
+    /// No measurements.
+    Empty,
+    /// The channel has no registered transmitter to anchor distances on.
+    NoTransmitter,
+    /// Fewer measurements than clusters.
+    TooFewForClusters,
+}
+
+impl std::fmt::Display for VScopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VScopeError::Empty => write!(f, "no measurements to fit"),
+            VScopeError::NoTransmitter => write!(f, "no transmitter to anchor the fit"),
+            VScopeError::TooFewForClusters => write!(f, "fewer measurements than clusters"),
+        }
+    }
+}
+
+impl std::error::Error for VScopeError {}
+
+/// One cluster's fitted log-distance model: `rss(d) = intercept + slope·log₁₀ d_km`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ClusterFit {
+    intercept: f64,
+    slope: f64,
+}
+
+impl ClusterFit {
+    fn predict_rss(&self, d_m: f64) -> f64 {
+        self.intercept + self.slope * (d_m.max(50.0) / 1000.0).log10()
+    }
+}
+
+/// The fitted V-Scope baseline for one channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VScope {
+    channel: TvChannel,
+    transmitters: Vec<Transmitter>,
+    clustering: Clustering,
+    fits: Vec<ClusterFit>,
+    threshold_dbm: f64,
+    buffer_m: f64,
+    protection_margin_db: f64,
+}
+
+impl VScope {
+    /// Fits from a labeled channel dataset and the incumbent registry for
+    /// the same channel, using `clusters` measurement clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VScopeError`] on empty data, a missing transmitter, or
+    /// fewer measurements than clusters.
+    pub fn fit(
+        ds: &ChannelDataset,
+        transmitters: Vec<Transmitter>,
+        clusters: usize,
+        seed: u64,
+    ) -> Result<Self, VScopeError> {
+        if ds.is_empty() {
+            return Err(VScopeError::Empty);
+        }
+        if transmitters.is_empty() {
+            return Err(VScopeError::NoTransmitter);
+        }
+        if ds.len() < clusters {
+            return Err(VScopeError::TooFewForClusters);
+        }
+
+        let locations: Vec<Vec<f64>> = ds
+            .measurements()
+            .iter()
+            .map(|m| vec![m.location.x / 1000.0, m.location.y / 1000.0])
+            .collect();
+        let clustering = KMeans::new(clusters)
+            .seed(seed)
+            .fit(&locations)
+            .expect("validated: len ≥ clusters ≥ 1");
+
+        let nearest_tx_dist = |p: Point| -> f64 {
+            transmitters
+                .iter()
+                .map(|t| t.location().distance(p))
+                .fold(f64::INFINITY, f64::min)
+        };
+
+        let mut fits = Vec::with_capacity(clusters);
+        for c in 0..clusters {
+            let pairs: Vec<(f64, f64)> = ds
+                .measurements()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| clustering.assignment()[*i] == c)
+                .map(|(_, m)| {
+                    let d_km = (nearest_tx_dist(m.location).max(50.0)) / 1000.0;
+                    (d_km.log10(), m.observation.rss_dbm)
+                })
+                .collect();
+            let fit = match LinearRegression::fit_simple(&pairs) {
+                Ok(reg) => ClusterFit {
+                    intercept: reg.intercept(),
+                    slope: reg.coefficients()[0],
+                },
+                // Degenerate cluster (e.g. all at one distance): fall back
+                // to a flat model at the cluster's mean RSS.
+                Err(_) => {
+                    let mean = pairs.iter().map(|p| p.1).sum::<f64>()
+                        / pairs.len().max(1) as f64;
+                    ClusterFit { intercept: mean, slope: 0.0 }
+                }
+            };
+            fits.push(fit);
+        }
+        Ok(Self {
+            channel: ds.channel(),
+            transmitters,
+            clustering,
+            fits,
+            threshold_dbm: DECODABLE_DBM,
+            buffer_m: PROTECTION_RADIUS_M,
+            protection_margin_db: 3.0,
+        })
+    }
+
+    /// Overrides the statistical protection margin added below the
+    /// decodability threshold (default 3 dB: the fitted model predicts the
+    /// *median*, so part of a shadowing quantile must be protected on top —
+    /// the same compromise real measurement-augmented databases make).
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    pub fn with_protection_margin_db(mut self, margin: f64) -> Self {
+        assert!(margin >= 0.0, "margin must be non-negative");
+        self.protection_margin_db = margin;
+        self
+    }
+
+    /// Predicted RSS at `p` from the local cluster's fitted model.
+    pub fn predict_rss_dbm(&self, p: Point) -> f64 {
+        let cluster = self.clustering.assign(&[p.x / 1000.0, p.y / 1000.0]);
+        let d = self
+            .transmitters
+            .iter()
+            .map(|t| t.location().distance(p))
+            .fold(f64::INFINITY, f64::min);
+        self.fits[cluster].predict_rss(d)
+    }
+
+    /// Whether the fitted model protects `p`: predicted RSS at the point —
+    /// or at the buffer-shifted distance toward the transmitter — clears
+    /// the contour threshold.
+    pub fn is_protected(&self, p: Point) -> bool {
+        let cluster = self.clustering.assign(&[p.x / 1000.0, p.y / 1000.0]);
+        let d = self
+            .transmitters
+            .iter()
+            .map(|t| t.location().distance(p))
+            .fold(f64::INFINITY, f64::min);
+        // 6 km closer to the transmitter: the separation buffer in the
+        // distance domain.
+        let d_buffered = (d - self.buffer_m).max(50.0);
+        self.fits[cluster].predict_rss(d_buffered) > self.threshold_dbm - self.protection_margin_db
+    }
+
+    /// The fitted per-cluster path-loss exponents (−slope/10), for
+    /// analysis.
+    pub fn fitted_exponents(&self) -> Vec<f64> {
+        self.fits.iter().map(|f| -f.slope / 10.0).collect()
+    }
+}
+
+impl Assessor for VScope {
+    fn assess(&self, location: Point, _observation: &Observation) -> Safety {
+        Safety::from_not_safe(self.is_protected(location))
+    }
+
+    fn name(&self) -> String {
+        format!("V-Scope(k={})", self.fits.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waldo_data::Measurement;
+    use waldo_iq::FeatureVector;
+    use waldo_sensors::SensorKind;
+
+    /// Synthetic channel: one transmitter at the origin, clean log-distance
+    /// decay with exponent 4 and intercept −30 dBm at 1 km.
+    fn dataset(n: usize) -> (ChannelDataset, Vec<Transmitter>) {
+        let ch = TvChannel::new(30).unwrap();
+        let tx = Transmitter::new(ch, Point::new(0.0, 0.0), 70.0, 300.0);
+        let mut measurements = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let d = 1_000.0 + (i as f64 / n as f64) * 29_000.0;
+            let angle = (i as f64) * 0.7;
+            let p = Point::new(d * angle.cos(), d * angle.sin());
+            let rss = -30.0 - 40.0 * (d / 1000.0).log10();
+            measurements.push(Measurement {
+                location: p,
+                odometer_m: 0.0,
+                observation: Observation {
+                    rss_dbm: rss,
+                    features: FeatureVector {
+                        rss_db: rss,
+                        cft_db: rss - 11.3,
+                        aft_db: rss - 12.5,
+                        quadrature_imbalance_db: 0.0,
+                        iq_kurtosis: 0.0,
+                        edge_bin_db: -110.0,
+                    },
+                    raw_pilot_db: rss - 11.3,
+                },
+                true_rss_dbm: rss,
+            });
+            labels.push(Safety::from_not_safe(rss > -84.0));
+        }
+        (
+            ChannelDataset::new(ch, SensorKind::SpectrumAnalyzer, measurements, labels),
+            vec![tx],
+        )
+    }
+
+    #[test]
+    fn recovers_the_true_exponent() {
+        let (ds, txs) = dataset(400);
+        let vs = VScope::fit(&ds, txs, 1, 0).unwrap();
+        let n = vs.fitted_exponents()[0];
+        assert!((n - 4.0).abs() < 0.05, "fitted exponent {n}");
+        // And the intercept: predicted RSS at 1 km ≈ −30 dBm.
+        let at_1km = vs.predict_rss_dbm(Point::new(1_000.0, 0.0));
+        assert!((at_1km - -30.0).abs() < 0.5, "at 1 km: {at_1km}");
+    }
+
+    #[test]
+    fn protects_inside_contour_frees_outside() {
+        let (ds, txs) = dataset(400);
+        let vs = VScope::fit(&ds, txs, 1, 0).unwrap();
+        // True −84 contour: −30 − 40·log d = −84 → d = 22.4 km. With the
+        // 3 dB protection margin the model guards to −87 dBm (26.7 km)
+        // plus the 6 km buffer.
+        assert!(vs.is_protected(Point::new(20_000.0, 0.0)));
+        assert!(vs.is_protected(Point::new(31_000.0, 0.0))); // margin + buffer
+        assert!(!vs.is_protected(Point::new(40_000.0, 0.0)));
+    }
+
+    #[test]
+    fn cannot_see_pockets() {
+        // Poke a 25 dB hole into the measurements near 10 km: the fitted
+        // model still predicts hot there — the structural error Waldo
+        // fixes.
+        let (ds, txs) = dataset(400);
+        let vs = VScope::fit(&ds, txs, 1, 0).unwrap();
+        let pocket = Point::new(10_000.0, 0.0);
+        // Truth-with-pocket would be −70 − 25 = −95 dBm → safe; V-Scope
+        // predicts the smooth −70 dBm → protected.
+        assert!(vs.is_protected(pocket));
+        assert!(vs.predict_rss_dbm(pocket) > -75.0);
+    }
+
+    #[test]
+    fn fit_errors() {
+        let (ds, txs) = dataset(10);
+        assert_eq!(
+            VScope::fit(&ds, vec![], 1, 0).unwrap_err(),
+            VScopeError::NoTransmitter
+        );
+        assert_eq!(
+            VScope::fit(&ds, txs, 100, 0).unwrap_err(),
+            VScopeError::TooFewForClusters
+        );
+    }
+
+    #[test]
+    fn multiple_clusters_fit_locally() {
+        let (ds, txs) = dataset(600);
+        let vs = VScope::fit(&ds, txs, 3, 1).unwrap();
+        for n in vs.fitted_exponents() {
+            assert!((n - 4.0).abs() < 0.4, "cluster exponent {n}");
+        }
+    }
+}

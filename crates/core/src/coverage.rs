@@ -1,0 +1,193 @@
+//! Spatial coverage maps: rasterizing a detection system's safe/not-safe
+//! view over the study region.
+//!
+//! The paper communicates its geography with maps (the war-driving path of
+//! Fig 3, the pocket geometry of Fig 1). [`CoverageMap`] grids the region,
+//! asks any decision function for each cell, and reports availability
+//! statistics plus an ASCII rendering — the harness and examples use it to
+//! *show* where Waldo finds spectrum that a database wastes.
+
+use serde::{Deserialize, Serialize};
+use waldo_data::Safety;
+use waldo_geo::{Point, Region};
+
+/// A rasterized safe/not-safe map over a region.
+///
+/// # Examples
+///
+/// ```
+/// use waldo::coverage::CoverageMap;
+/// use waldo_data::Safety;
+/// use waldo_geo::{Point, Region};
+///
+/// let region = Region::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0)).unwrap();
+/// // East half occupied.
+/// let map = CoverageMap::from_fn(region, 1_000.0, |p| {
+///     Safety::from_not_safe(p.x > 5_000.0)
+/// });
+/// assert!((map.safe_fraction() - 0.5).abs() < 0.11);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageMap {
+    region: Region,
+    cell_m: f64,
+    cols: usize,
+    rows: usize,
+    /// Row-major from the south-west corner; `true` = not safe.
+    cells: Vec<bool>,
+}
+
+impl CoverageMap {
+    /// Rasterizes `decide` over `region` with square cells of `cell_m`
+    /// metres (each cell is sampled at its centre).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cell_m > 0`.
+    pub fn from_fn<F: FnMut(Point) -> Safety>(
+        region: Region,
+        cell_m: f64,
+        mut decide: F,
+    ) -> Self {
+        assert!(cell_m > 0.0, "cell size must be positive");
+        let cols = (region.width_m() / cell_m).ceil() as usize;
+        let rows = (region.height_m() / cell_m).ceil() as usize;
+        let mut cells = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                let p = Point::new(
+                    region.min().x + (c as f64 + 0.5) * cell_m,
+                    region.min().y + (r as f64 + 0.5) * cell_m,
+                );
+                cells.push(decide(region.clamp(p)).is_not_safe());
+            }
+        }
+        Self { region, cell_m, cols, rows, cells }
+    }
+
+    /// The mapped region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// The decision at the cell containing `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` lies outside the region.
+    pub fn at(&self, p: Point) -> Safety {
+        assert!(self.region.contains(p), "point lies outside the mapped region");
+        let c = (((p.x - self.region.min().x) / self.cell_m) as usize).min(self.cols - 1);
+        let r = (((p.y - self.region.min().y) / self.cell_m) as usize).min(self.rows - 1);
+        Safety::from_not_safe(self.cells[r * self.cols + c])
+    }
+
+    /// Fraction of cells deemed safe (the availability the paper's
+    /// efficiency metric protects).
+    pub fn safe_fraction(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells.iter().filter(|&&ns| !ns).count() as f64 / self.cells.len() as f64
+    }
+
+    /// Cell-wise disagreement with another map over the same grid —
+    /// e.g. "where does the database waste spectrum Waldo finds".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids differ.
+    pub fn disagreement(&self, other: &CoverageMap) -> f64 {
+        assert_eq!(
+            (self.cols, self.rows),
+            (other.cols, other.rows),
+            "maps must share a grid"
+        );
+        self.cells
+            .iter()
+            .zip(&other.cells)
+            .filter(|(a, b)| a != b)
+            .count() as f64
+            / self.cells.len() as f64
+    }
+
+    /// ASCII rendering, north at the top: `.` safe, `#` not safe.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for r in (0..self.rows).rev() {
+            for c in 0..self.cols {
+                out.push(if self.cells[r * self.cols + c] { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Region {
+        Region::new(Point::new(0.0, 0.0), Point::new(10_000.0, 5_000.0)).unwrap()
+    }
+
+    #[test]
+    fn grid_covers_the_region() {
+        let map = CoverageMap::from_fn(region(), 1_000.0, |_| Safety::Safe);
+        assert_eq!(map.dimensions(), (10, 5));
+        assert_eq!(map.safe_fraction(), 1.0);
+    }
+
+    #[test]
+    fn east_west_split_maps_correctly() {
+        let map = CoverageMap::from_fn(region(), 500.0, |p| {
+            Safety::from_not_safe(p.x > 5_000.0)
+        });
+        assert!(!map.at(Point::new(1_000.0, 1_000.0)).is_not_safe());
+        assert!(map.at(Point::new(9_000.0, 1_000.0)).is_not_safe());
+        assert!((map.safe_fraction() - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn ascii_renders_north_up() {
+        let map = CoverageMap::from_fn(region(), 1_000.0, |p| {
+            Safety::from_not_safe(p.y > 2_500.0) // north occupied
+        });
+        let ascii = map.to_ascii();
+        let lines: Vec<&str> = ascii.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].chars().all(|c| c == '#'), "top row is north: {}", lines[0]);
+        assert!(lines[4].chars().all(|c| c == '.'), "bottom row is south");
+    }
+
+    #[test]
+    fn disagreement_counts_differing_cells() {
+        let a = CoverageMap::from_fn(region(), 1_000.0, |_| Safety::Safe);
+        let b = CoverageMap::from_fn(region(), 1_000.0, |p| {
+            Safety::from_not_safe(p.x > 5_000.0)
+        });
+        assert_eq!(a.disagreement(&a), 0.0);
+        assert!((a.disagreement(&b) - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a grid")]
+    fn mismatched_grids_panic() {
+        let a = CoverageMap::from_fn(region(), 1_000.0, |_| Safety::Safe);
+        let b = CoverageMap::from_fn(region(), 500.0, |_| Safety::Safe);
+        let _ = a.disagreement(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the mapped region")]
+    fn out_of_region_lookup_panics() {
+        let map = CoverageMap::from_fn(region(), 1_000.0, |_| Safety::Safe);
+        let _ = map.at(Point::new(-1.0, 0.0));
+    }
+}

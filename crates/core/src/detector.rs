@@ -1,0 +1,403 @@
+//! The White Space Detector (§3.3): turning a stream of noisy low-cost
+//! captures into one stable decision.
+//!
+//! The pipeline is exactly the paper's: smooth by averaging, drop outliers
+//! outside the 5th–95th percentile, and only decide once the span of the
+//! 90 % confidence interval of the readings falls below the sensitivity
+//! parameter α (dB). For mobile operation the paper suggests NOR-ing the
+//! decisions at the 5th and 95th percentile (conservative: either extreme
+//! saying "not safe" wins); [`WhiteSpaceDetector::assess_percentile_nored`]
+//! implements that.
+
+use waldo_data::Safety;
+use waldo_geo::Point;
+use waldo_iq::FeatureVector;
+use waldo_ml::stats::{mean_confidence_interval, percentile};
+use waldo_sensors::Observation;
+
+use crate::{Assessor, WaldoModel};
+
+/// The result of feeding one more reading into the detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorOutcome {
+    /// The confidence interval is still wider than α — keep sensing.
+    NeedMoreReadings {
+        /// Current 90 % CI span of the RSS readings (dB), if computable.
+        ci_span_db: Option<f64>,
+    },
+    /// The readings converged and the model decided.
+    Converged {
+        /// The decision.
+        safety: Safety,
+        /// Readings consumed (including filtered outliers).
+        readings_used: usize,
+    },
+}
+
+/// Online white-space detector around a downloaded [`WaldoModel`].
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn model() -> waldo::WaldoModel { unimplemented!() }
+/// use waldo::{DetectorOutcome, WhiteSpaceDetector};
+/// # let (location, observation): (waldo_geo::Point, waldo_sensors::Observation) = todo!();
+/// let mut det = WhiteSpaceDetector::new(model(), 0.5);
+/// match det.push(location, &observation) {
+///     DetectorOutcome::Converged { safety, readings_used } => {
+///         println!("decided {safety} after {readings_used} readings");
+///     }
+///     DetectorOutcome::NeedMoreReadings { .. } => {}
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhiteSpaceDetector {
+    model: WaldoModel,
+    alpha_db: f64,
+    min_readings: usize,
+    max_readings: usize,
+    location: Option<Point>,
+    rss_window: Vec<f64>,
+    feature_window: Vec<FeatureVector>,
+}
+
+impl WhiteSpaceDetector {
+    /// Creates a detector with sensitivity parameter `alpha_db` (the span
+    /// the 90 % CI must shrink below; the paper sweeps 0.5–5 dB).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha_db > 0`.
+    pub fn new(model: WaldoModel, alpha_db: f64) -> Self {
+        assert!(alpha_db > 0.0, "alpha must be positive");
+        Self {
+            model,
+            alpha_db,
+            min_readings: 4,
+            max_readings: 2_000,
+            location: None,
+            rss_window: Vec::new(),
+            feature_window: Vec::new(),
+        }
+    }
+
+    /// The sensitivity parameter α in dB.
+    pub fn alpha_db(&self) -> f64 {
+        self.alpha_db
+    }
+
+    /// Readings accumulated since the last reset.
+    pub fn readings_seen(&self) -> usize {
+        self.rss_window.len()
+    }
+
+    /// Overrides the hard cap on readings before a forced decision
+    /// (default 2000; the paper observes mobile runs that never converge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn max_readings(mut self, n: usize) -> Self {
+        assert!(n > 0, "cap must be positive");
+        self.max_readings = n;
+        self
+    }
+
+    /// Clears the window (e.g. after moving to a new location or channel).
+    pub fn reset(&mut self) {
+        self.location = None;
+        self.rss_window.clear();
+        self.feature_window.clear();
+    }
+
+    /// Feeds one reading; returns the decision once the CI converges.
+    ///
+    /// Readings are associated with the *latest* pushed location (the
+    /// detector models a device dwelling at roughly one spot; callers
+    /// handling mobility should `reset` on large jumps or use the NOR
+    /// variant).
+    pub fn push(&mut self, location: Point, observation: &Observation) -> DetectorOutcome {
+        self.location = Some(location);
+        self.rss_window.push(observation.rss_dbm);
+        self.feature_window.push(observation.features);
+
+        if self.rss_window.len() < self.min_readings {
+            return DetectorOutcome::NeedMoreReadings { ci_span_db: None };
+        }
+
+        let retained = self.retained_indices();
+        let rss: Vec<f64> = retained.iter().map(|&i| self.rss_window[i]).collect();
+        let ci = mean_confidence_interval(&rss, 0.90);
+        let span = ci.map(|c| c.span());
+        let forced = self.rss_window.len() >= self.max_readings;
+        match span {
+            Some(s) if s <= self.alpha_db || forced => {
+                let safety = self.decide(&retained);
+                DetectorOutcome::Converged { safety, readings_used: self.rss_window.len() }
+            }
+            other => DetectorOutcome::NeedMoreReadings { ci_span_db: other },
+        }
+    }
+
+    /// Indices inside the 5th–95th percentile band of the RSS window.
+    fn retained_indices(&self) -> Vec<usize> {
+        let lo = percentile(&self.rss_window, 5.0);
+        let hi = percentile(&self.rss_window, 95.0);
+        let kept: Vec<usize> = (0..self.rss_window.len())
+            .filter(|&i| (lo..=hi).contains(&self.rss_window[i]))
+            .collect();
+        if kept.is_empty() {
+            (0..self.rss_window.len()).collect()
+        } else {
+            kept
+        }
+    }
+
+    fn averaged_features(&self, retained: &[usize]) -> FeatureVector {
+        let n = retained.len() as f64;
+        let mut acc = FeatureVector {
+            rss_db: 0.0,
+            cft_db: 0.0,
+            aft_db: 0.0,
+            quadrature_imbalance_db: 0.0,
+            iq_kurtosis: 0.0,
+            edge_bin_db: 0.0,
+        };
+        for &i in retained {
+            let f = self.feature_window[i];
+            acc.rss_db += f.rss_db / n;
+            acc.cft_db += f.cft_db / n;
+            acc.aft_db += f.aft_db / n;
+            acc.quadrature_imbalance_db += f.quadrature_imbalance_db / n;
+            acc.iq_kurtosis += f.iq_kurtosis / n;
+            acc.edge_bin_db += f.edge_bin_db / n;
+        }
+        acc
+    }
+
+    fn decide(&self, retained: &[usize]) -> Safety {
+        let location = self.location.expect("decide is only called after a push");
+        let features = self.averaged_features(retained);
+        let rss = retained.iter().map(|&i| self.rss_window[i]).sum::<f64>()
+            / retained.len() as f64;
+        let obs = Observation { rss_dbm: rss, features, raw_pilot_db: rss - 12.0 };
+        self.model.assess(location, &obs)
+    }
+
+    /// The mobile-mode decision rule of §5: evaluate the model at the 5th
+    /// and the 95th percentile of the collected readings and NOR the
+    /// decisions — if either extreme says *not safe*, the answer is not
+    /// safe. Usable before CI convergence.
+    ///
+    /// Returns `None` until [`min_readings`](Self::push) have arrived.
+    pub fn assess_percentile_nored(&self) -> Option<Safety> {
+        if self.rss_window.len() < self.min_readings {
+            return None;
+        }
+        let location = self.location?;
+        let decide_at = |q: f64| {
+            let rss = percentile(&self.rss_window, q);
+            // Shift the averaged features to the percentile RSS level.
+            let retained = self.retained_indices();
+            let base = self.averaged_features(&retained);
+            let mean_rss = retained.iter().map(|&i| self.rss_window[i]).sum::<f64>()
+                / retained.len() as f64;
+            let features = base.shifted_db(rss - mean_rss);
+            let obs = Observation { rss_dbm: rss, features, raw_pilot_db: rss - 12.0 };
+            self.model.assess(location, &obs)
+        };
+        let low = decide_at(5.0);
+        let high = decide_at(95.0);
+        Some(if low.is_not_safe() || high.is_not_safe() {
+            Safety::NotSafe
+        } else {
+            Safety::Safe
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassifierKind, ModelConstructor, WaldoConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use waldo_data::{ChannelDataset, Measurement};
+    use waldo_rf::TvChannel;
+    use waldo_sensors::SensorKind;
+
+    fn observation(rss: f64) -> Observation {
+        Observation {
+            rss_dbm: rss,
+            features: FeatureVector {
+                rss_db: rss,
+                cft_db: rss - 11.3,
+                aft_db: rss - 12.5,
+                quadrature_imbalance_db: 0.0,
+                iq_kurtosis: 0.0,
+                edge_bin_db: -110.0,
+            },
+            raw_pilot_db: rss - 11.3,
+        }
+    }
+
+    /// East = not safe (strong), west = safe (weak).
+    fn model() -> WaldoModel {
+        let mut measurements = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..400 {
+            let x = (i as f64 / 400.0) * 30_000.0;
+            let not_safe = x > 15_000.0;
+            let rss = if not_safe { -70.0 } else { -95.0 } + ((i % 5) as f64 - 2.0);
+            measurements.push(Measurement {
+                location: Point::new(x, ((i * 3) % 20) as f64 * 1_000.0),
+                odometer_m: 0.0,
+                observation: observation(rss),
+                true_rss_dbm: rss,
+            });
+            labels.push(waldo_data::Safety::from_not_safe(not_safe));
+        }
+        let ds = ChannelDataset::new(
+            TvChannel::new(30).unwrap(),
+            SensorKind::RtlSdr,
+            measurements,
+            labels,
+        );
+        ModelConstructor::new(WaldoConfig::default().classifier(ClassifierKind::NaiveBayes))
+            .fit(&ds)
+            .unwrap()
+    }
+
+    #[test]
+    fn converges_on_stable_readings() {
+        let mut det = WhiteSpaceDetector::new(model(), 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let loc = Point::new(25_000.0, 10_000.0); // hot territory
+        for i in 0..200 {
+            let rss = -70.0 + 0.2 * rng.gen_range(-1.0..1.0);
+            match det.push(loc, &observation(rss)) {
+                DetectorOutcome::Converged { safety, readings_used } => {
+                    assert!(safety.is_not_safe());
+                    assert!(readings_used >= 4);
+                    assert!(readings_used <= i + 1);
+                    return;
+                }
+                DetectorOutcome::NeedMoreReadings { .. } => {}
+            }
+        }
+        panic!("never converged on stable input");
+    }
+
+    #[test]
+    fn noisier_input_takes_longer() {
+        let runs = |sigma: f64| -> usize {
+            let mut det = WhiteSpaceDetector::new(model(), 0.5);
+            let mut rng = StdRng::seed_from_u64(7);
+            let loc = Point::new(5_000.0, 10_000.0);
+            for i in 1..=5_000 {
+                let rss = -95.0 + sigma * waldo_iq::synth::standard_normal(&mut rng);
+                if let DetectorOutcome::Converged { .. } = det.push(loc, &observation(rss)) {
+                    return i;
+                }
+            }
+            5_000
+        };
+        let quiet = runs(0.2);
+        let noisy = runs(2.0);
+        assert!(noisy > quiet, "noisy {noisy} should exceed quiet {quiet}");
+    }
+
+    #[test]
+    fn outliers_are_filtered() {
+        let mut det = WhiteSpaceDetector::new(model(), 1.0);
+        let loc = Point::new(5_000.0, 10_000.0); // safe territory
+        // Mostly quiet readings with occasional absurd spikes; the
+        // percentile filter must keep the spikes from dominating.
+        let mut outcome = None;
+        for i in 0..400 {
+            let rss = if i % 25 == 25 - 1 { -30.0 } else { -95.0 + (i % 3) as f64 * 0.1 };
+            if let DetectorOutcome::Converged { safety, .. } = det.push(loc, &observation(rss))
+            {
+                outcome = Some(safety);
+                break;
+            }
+        }
+        let safety = outcome.expect("filtered stream must converge");
+        assert!(!safety.is_not_safe(), "spikes leaked through the filter");
+    }
+
+    #[test]
+    fn smaller_alpha_needs_more_readings() {
+        let count = |alpha: f64| -> usize {
+            let mut det = WhiteSpaceDetector::new(model(), alpha);
+            let mut rng = StdRng::seed_from_u64(3);
+            let loc = Point::new(25_000.0, 5_000.0);
+            for i in 1..=20_000 {
+                let rss = -70.0 + 2.0 * waldo_iq::synth::standard_normal(&mut rng);
+                if let DetectorOutcome::Converged { .. } = det.push(loc, &observation(rss)) {
+                    return i;
+                }
+            }
+            20_000
+        };
+        assert!(count(0.2) > count(4.0));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut det = WhiteSpaceDetector::new(model(), 0.5);
+        let loc = Point::new(1_000.0, 1_000.0);
+        for _ in 0..3 {
+            det.push(loc, &observation(-95.0));
+        }
+        assert_eq!(det.readings_seen(), 3);
+        det.reset();
+        assert_eq!(det.readings_seen(), 0);
+    }
+
+    #[test]
+    fn max_readings_forces_a_decision() {
+        let mut det = WhiteSpaceDetector::new(model(), 0.01).max_readings(20);
+        let mut rng = StdRng::seed_from_u64(5);
+        let loc = Point::new(25_000.0, 5_000.0);
+        for i in 1..=20 {
+            let rss = -70.0 + 5.0 * waldo_iq::synth::standard_normal(&mut rng);
+            if let DetectorOutcome::Converged { readings_used, .. } =
+                det.push(loc, &observation(rss))
+            {
+                assert_eq!(readings_used, 20);
+                assert_eq!(i, 20);
+                return;
+            }
+        }
+        panic!("cap did not force a decision");
+    }
+
+    #[test]
+    fn nored_decision_is_conservative() {
+        let mut det = WhiteSpaceDetector::new(model(), 0.5).max_readings(100_000);
+        let loc = Point::new(16_000.0, 10_000.0); // near the boundary
+        // Bimodal readings straddling the decision boundary: the NOR rule
+        // must come out not-safe.
+        for i in 0..60 {
+            let rss = if i % 2 == 0 { -95.0 } else { -70.0 };
+            det.push(loc, &observation(rss));
+        }
+        let nored = det.assess_percentile_nored().unwrap();
+        assert!(nored.is_not_safe());
+    }
+
+    #[test]
+    fn nored_needs_minimum_readings() {
+        let mut det = WhiteSpaceDetector::new(model(), 0.5);
+        assert!(det.assess_percentile_nored().is_none());
+        det.push(Point::new(0.0, 0.0), &observation(-95.0));
+        assert!(det.assess_percentile_nored().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_panics() {
+        let _ = WhiteSpaceDetector::new(model(), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Waldo: local and low-cost white-space detection (ICDCS 2017).
+//!
+//! Waldo combines the centrally coordinated, location-based nature of a
+//! spectrum database with the realistic local view of spectrum sensing. A
+//! central repository collects crowd-sourced low-cost measurements, labels
+//! them with the FCC contour rule (Algorithm 1), partitions the area into
+//! *localities* (k-means), and trains a compact classifier per locality on
+//! **location + signal features** (RSS, CFT, AFT). A mobile white-space
+//! device downloads the model for its area and decides locally, smoothing
+//! noisy hardware until a 90 % confidence interval converges.
+//!
+//! The crate is organized by the paper's §3 architecture:
+//!
+//! * [`ModelConstructor`] — §3.2: localities identification + per-locality
+//!   classifier training (SVM / Naive Bayes / decision tree).
+//! * [`WaldoModel`] — the downloadable model descriptor (the paper's 4 kB
+//!   NB / 40 kB SVM artifact).
+//! * [`WhiteSpaceDetector`] — §3.3: the online smoothing/outlier/confidence
+//!   pipeline around the model.
+//! * [`ModelUpdater`] — §3.4: growing the training set as devices upload
+//!   readings.
+//! * [`coverage`] — rasterized safe/not-safe maps for comparing systems
+//!   spatially (the Fig 1/Fig 3 geography).
+//! * [`repository`] — the server side of §3.1: versioned per-channel model
+//!   slots, location-keyed downloads, trust-gated uploads.
+//! * [`trust`] — §3.4's secure crowdsourcing: internal plausibility and
+//!   cross-contributor consensus checks on uploads.
+//! * [`baseline`] — every system the paper compares against: spectrum
+//!   databases, V-Scope-style measurement-augmented databases, k-NN
+//!   interpolation, and threshold-only spectrum sensing.
+//! * [`eval`] — the cross-validation harness behind Figures 12–16 and
+//!   Table 1.
+//! * [`device`] — §5: the phone deployment pipeline (responsiveness and
+//!   CPU overhead of Figures 17–18).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use waldo::{Assessor, ModelConstructor, WaldoConfig};
+//! use waldo_data::CampaignBuilder;
+//! use waldo_rf::world::WorldBuilder;
+//! use waldo_rf::TvChannel;
+//! use waldo_sensors::SensorKind;
+//!
+//! let world = WorldBuilder::new().seed(1).build();
+//! let campaign = CampaignBuilder::new(&world)
+//!     .readings_per_channel(1000)
+//!     .spacing_m(600.0)
+//!     .collect();
+//! let ds = campaign
+//!     .dataset(SensorKind::RtlSdr, TvChannel::new(47).unwrap())
+//!     .unwrap();
+//! let model = ModelConstructor::new(WaldoConfig::default()).fit(ds).unwrap();
+//! let m = &ds.measurements()[0];
+//! let _safety = model.assess(m.location, &m.observation);
+//! ```
+
+pub mod baseline;
+mod constructor;
+pub mod coverage;
+pub mod repository;
+pub mod trust;
+mod detector;
+pub mod device;
+pub mod eval;
+mod model;
+mod updater;
+
+pub use constructor::{ClassifierKind, ModelConstructor, TrainError, WaldoConfig};
+pub use detector::{DetectorOutcome, WhiteSpaceDetector};
+pub use model::WaldoModel;
+pub use updater::ModelUpdater;
+
+/// Anything that can decide whether a location is safe for white-space use
+/// given a fresh local observation. Implemented by [`WaldoModel`] and every
+/// baseline, so the evaluation harness can compare them uniformly.
+pub trait Assessor {
+    /// Decides for one location + observation.
+    fn assess(
+        &self,
+        location: waldo_geo::Point,
+        observation: &waldo_sensors::Observation,
+    ) -> waldo_data::Safety;
+
+    /// Short display name for result tables.
+    fn name(&self) -> String;
+}

@@ -1,0 +1,162 @@
+//! The downloadable Waldo model: localities plus one compact classifier per
+//! locality.
+
+use serde::{Deserialize, Serialize};
+use waldo_data::Safety;
+use waldo_geo::Point;
+use waldo_iq::FeatureSet;
+use waldo_ml::kmeans::Clustering;
+use waldo_ml::logistic::LogisticModel;
+use waldo_ml::nb::GaussianNb;
+use waldo_ml::svm::SvmModel;
+use waldo_ml::tree::DecisionTree;
+use waldo_ml::{Classifier, StandardScaler};
+use waldo_sensors::Observation;
+
+use crate::Assessor;
+
+/// One locality's trained classifier (or a constant when the locality is
+/// single-class — the paper notes all-safe/all-not-safe clusters make the
+/// model "binary" and more efficient).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum ClusterModel {
+    /// Locality is entirely one class.
+    Constant(bool),
+    /// SVM over standardized features.
+    Svm { scaler: StandardScaler, model: SvmModel },
+    /// Gaussian NB over standardized features.
+    Nb { scaler: StandardScaler, model: GaussianNb },
+    /// CART decision tree (kept for the paper's overfitting ablation).
+    Tree { scaler: StandardScaler, model: DecisionTree },
+    /// Logistic regression (the most compact descriptor).
+    Logistic { scaler: StandardScaler, model: LogisticModel },
+}
+
+impl ClusterModel {
+    fn predict_not_safe(&self, row: &[f64]) -> bool {
+        match self {
+            ClusterModel::Constant(v) => *v,
+            ClusterModel::Svm { scaler, model } => model.predict(&scaler.transform(row)),
+            ClusterModel::Nb { scaler, model } => model.predict(&scaler.transform(row)),
+            ClusterModel::Tree { scaler, model } => model.predict(&scaler.transform(row)),
+            ClusterModel::Logistic { scaler, model } => {
+                model.predict(&scaler.transform(row))
+            }
+        }
+    }
+
+    fn parameter_count(&self) -> usize {
+        match self {
+            ClusterModel::Constant(_) => 1,
+            ClusterModel::Svm { scaler, model } => {
+                scaler.parameter_count() + model.parameter_count()
+            }
+            ClusterModel::Nb { scaler, model } => {
+                scaler.parameter_count() + model.parameter_count()
+            }
+            // Trees do not expose a flat parameter count; approximate with
+            // leaves (each leaf ≈ one threshold + one label upstream).
+            ClusterModel::Tree { scaler, model } => {
+                scaler.parameter_count() + 2 * model.leaf_count()
+            }
+            ClusterModel::Logistic { scaler, model } => {
+                scaler.parameter_count() + model.parameter_count()
+            }
+        }
+    }
+}
+
+/// A trained Waldo white-space detection model for one channel over one
+/// area: the artifact a WSD downloads from the spectrum database.
+///
+/// Input rows are `[x_km, y_km, signal features…]` in the same layout as
+/// [`waldo_data::ChannelDataset::feature_row`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaldoModel {
+    pub(crate) features: FeatureSet,
+    pub(crate) clustering: Clustering,
+    pub(crate) clusters: Vec<ClusterModel>,
+}
+
+impl WaldoModel {
+    /// The signal features the model consumes (location is always implied).
+    pub fn features(&self) -> &FeatureSet {
+        &self.features
+    }
+
+    /// Number of localities.
+    pub fn locality_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of single-class ("binary") localities.
+    pub fn constant_locality_count(&self) -> usize {
+        self.clusters.iter().filter(|c| matches!(c, ClusterModel::Constant(_))).count()
+    }
+
+    /// Predicts from a raw feature row (`[x_km, y_km, features…]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row dimension does not match the model's feature set.
+    pub fn predict_row(&self, row: &[f64]) -> Safety {
+        assert_eq!(
+            row.len(),
+            2 + self.features.len(),
+            "row layout must be [x_km, y_km, features…]"
+        );
+        let locality = self.clustering.assign(&row[..2]);
+        Safety::from_not_safe(self.clusters[locality].predict_not_safe(row))
+    }
+
+    /// Total scalar parameters across localities (compactness metric; the
+    /// serialized JSON descriptor in [`descriptor_bytes`] is the artifact
+    /// whose size §5 reports).
+    ///
+    /// [`descriptor_bytes`]: Self::descriptor_bytes
+    pub fn parameter_count(&self) -> usize {
+        let centroid_params: usize = self.clustering.centroids().iter().map(Vec::len).sum();
+        centroid_params + self.clusters.iter().map(ClusterModel::parameter_count).sum::<usize>()
+    }
+
+    /// Serializes the model descriptor (what a WSD downloads) and returns
+    /// its size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which would indicate a broken
+    /// `serde` derive rather than a runtime condition.
+    pub fn descriptor_bytes(&self) -> usize {
+        serde_json::to_vec(self).expect("model descriptors always serialize").len()
+    }
+
+    /// Round-trips a descriptor (download simulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error if the descriptor is corrupt.
+    pub fn from_descriptor(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+
+    /// Serializes the descriptor to bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on a broken `serde` derive.
+    pub fn to_descriptor(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("model descriptors always serialize")
+    }
+}
+
+impl Assessor for WaldoModel {
+    fn assess(&self, location: Point, observation: &Observation) -> Safety {
+        let mut row = vec![location.x / 1000.0, location.y / 1000.0];
+        row.extend(observation.features.project(&self.features));
+        self.predict_row(&row)
+    }
+
+    fn name(&self) -> String {
+        format!("Waldo({} features, k={})", self.features.len() + 1, self.locality_count())
+    }
+}

@@ -1,0 +1,355 @@
+//! The central spectrum repository (§3.1's server side).
+//!
+//! Waldo's database differs from a conventional spectrum database in what
+//! it serves: instead of answering one location query at a time, it hands
+//! out a *model descriptor* covering a whole area, and it accepts
+//! measurement uploads that keep the models fresh. This module is that
+//! server: per-channel model slots, a download API keyed by location, an
+//! upload path guarded by the trust checker of [`crate::trust`], and
+//! version numbers so devices know when to refresh.
+
+use std::collections::BTreeMap;
+
+use waldo_data::{Labeler, Measurement};
+use waldo_geo::{Point, Region};
+use waldo_rf::TvChannel;
+
+use crate::trust::TrustPolicy;
+use crate::{ModelConstructor, ModelUpdater, TrainError, WaldoModel};
+
+/// A versioned model for one channel over one service area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSlot {
+    model: WaldoModel,
+    version: u64,
+}
+
+impl ModelSlot {
+    /// The current model.
+    pub fn model(&self) -> &WaldoModel {
+        &self.model
+    }
+
+    /// Monotonic version, bumped on every retrain.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// Errors from repository operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepositoryError {
+    /// The requested location falls outside the service area.
+    OutOfArea,
+    /// No model has been published for the channel yet.
+    NoModel,
+    /// The upload failed the trust policy.
+    UntrustedUpload,
+    /// Retraining failed (propagated from the constructor).
+    Train(TrainError),
+}
+
+impl std::fmt::Display for RepositoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepositoryError::OutOfArea => write!(f, "location is outside the service area"),
+            RepositoryError::NoModel => write!(f, "no model published for this channel"),
+            RepositoryError::UntrustedUpload => {
+                write!(f, "upload rejected by the trust policy")
+            }
+            RepositoryError::Train(e) => write!(f, "retraining failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepositoryError {}
+
+/// The central Waldo spectrum repository for one service area.
+///
+/// # Examples
+///
+/// ```no_run
+/// # let (region, ds): (waldo_geo::Region, waldo_data::ChannelDataset) = todo!();
+/// use waldo::repository::SpectrumRepository;
+/// use waldo::{ModelConstructor, WaldoConfig};
+///
+/// let mut repo = SpectrumRepository::new(region, ModelConstructor::new(WaldoConfig::default()));
+/// repo.bootstrap(ds.channel(), ds.measurements()).unwrap();
+/// let download = repo.download(ds.channel(), ds.measurements()[0].location).unwrap();
+/// println!("got model version {}", download.version);
+/// ```
+#[derive(Debug)]
+pub struct SpectrumRepository {
+    area: Region,
+    constructor: ModelConstructor,
+    labeler: Labeler,
+    trust: TrustPolicy,
+    updaters: BTreeMap<TvChannel, ModelUpdater>,
+    slots: BTreeMap<TvChannel, ModelSlot>,
+    rejected_uploads: usize,
+}
+
+/// A model download: the serialized descriptor plus its version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Download {
+    /// Serialized [`WaldoModel`] descriptor (what goes over the air).
+    pub descriptor: Vec<u8>,
+    /// Version to compare against a cached copy.
+    pub version: u64,
+}
+
+impl SpectrumRepository {
+    /// Creates a repository serving `area` with the given model
+    /// constructor, the standard Algorithm-1 labeler, and the default
+    /// trust policy.
+    pub fn new(area: Region, constructor: ModelConstructor) -> Self {
+        Self {
+            area,
+            constructor,
+            labeler: Labeler::new(),
+            trust: TrustPolicy::default(),
+            updaters: BTreeMap::new(),
+            slots: BTreeMap::new(),
+            rejected_uploads: 0,
+        }
+    }
+
+    /// Overrides the labeler (antenna correction, protection radius).
+    pub fn with_labeler(mut self, labeler: Labeler) -> Self {
+        self.labeler = labeler;
+        self
+    }
+
+    /// Overrides the trust policy for uploads.
+    pub fn with_trust_policy(mut self, trust: TrustPolicy) -> Self {
+        self.trust = trust;
+        self
+    }
+
+    /// The service area.
+    pub fn area(&self) -> Region {
+        self.area
+    }
+
+    /// Channels with a published model.
+    pub fn published_channels(&self) -> Vec<TvChannel> {
+        self.slots.keys().copied().collect()
+    }
+
+    /// Uploads rejected by the trust policy so far.
+    pub fn rejected_uploads(&self) -> usize {
+        self.rejected_uploads
+    }
+
+    /// Bootstraps a channel from trusted war-driving measurements and
+    /// publishes its first model (§3.4: "initially rely on trusted
+    /// entities that perform war driving").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RepositoryError::Train`] if the data cannot train a model.
+    pub fn bootstrap(
+        &mut self,
+        channel: TvChannel,
+        measurements: &[Measurement],
+    ) -> Result<u64, RepositoryError> {
+        let updater = self
+            .updaters
+            .entry(channel)
+            .or_insert_with(|| ModelUpdater::new(self.constructor.clone(), self.labeler));
+        updater.ingest(measurements).map_err(RepositoryError::Train)?;
+        Self::republish(updater, &mut self.slots, channel)
+    }
+
+    /// Accepts a device upload for a channel: the batch must pass the
+    /// trust policy (cross-checked against the pooled readings) and the
+    /// updater's noise criterion; accepted uploads trigger a retrain.
+    ///
+    /// # Errors
+    ///
+    /// [`RepositoryError::NoModel`] before bootstrap,
+    /// [`RepositoryError::UntrustedUpload`] when rejected.
+    pub fn upload(
+        &mut self,
+        channel: TvChannel,
+        batch: &[Measurement],
+    ) -> Result<u64, RepositoryError> {
+        let updater = self.updaters.get_mut(&channel).ok_or(RepositoryError::NoModel)?;
+        // Internal plausibility AND cross-contributor consensus against
+        // the pooled readings (the Fatemieh-style check of §3.4).
+        if !self.trust.accepts(batch, updater.pool()) {
+            self.rejected_uploads += 1;
+            return Err(RepositoryError::UntrustedUpload);
+        }
+        if !updater.ingest_device_upload(batch) {
+            self.rejected_uploads += 1;
+            return Err(RepositoryError::UntrustedUpload);
+        }
+        Self::republish(updater, &mut self.slots, channel)
+    }
+
+    fn republish(
+        updater: &ModelUpdater,
+        slots: &mut BTreeMap<TvChannel, ModelSlot>,
+        channel: TvChannel,
+    ) -> Result<u64, RepositoryError> {
+        let model = updater.retrain().map_err(RepositoryError::Train)?;
+        let version = slots.get(&channel).map_or(1, |s| s.version + 1);
+        slots.insert(channel, ModelSlot { model, version });
+        Ok(version)
+    }
+
+    /// Serves the model descriptor for `channel` to a device at
+    /// `location` — the Local Model Parameters Updater's server side.
+    ///
+    /// # Errors
+    ///
+    /// [`RepositoryError::OutOfArea`] outside the service area,
+    /// [`RepositoryError::NoModel`] before bootstrap.
+    pub fn download(
+        &self,
+        channel: TvChannel,
+        location: Point,
+    ) -> Result<Download, RepositoryError> {
+        if !self.area.contains(location) {
+            return Err(RepositoryError::OutOfArea);
+        }
+        let slot = self.slots.get(&channel).ok_or(RepositoryError::NoModel)?;
+        Ok(Download { descriptor: slot.model.to_descriptor(), version: slot.version })
+    }
+
+    /// Whether a device holding `cached_version` needs to re-download.
+    pub fn needs_refresh(&self, channel: TvChannel, cached_version: u64) -> bool {
+        self.slots.get(&channel).is_some_and(|s| s.version > cached_version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassifierKind, WaldoConfig};
+    use waldo_iq::FeatureVector;
+    use waldo_sensors::Observation;
+
+    fn measurement(x: f64, y: f64, rss: f64) -> Measurement {
+        Measurement {
+            location: Point::new(x, y),
+            odometer_m: 0.0,
+            observation: Observation {
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.3,
+                    aft_db: rss - 12.5,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -110.0,
+                },
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        }
+    }
+
+    fn bootstrap_data() -> Vec<Measurement> {
+        (0..300)
+            .map(|i| {
+                let x = i as f64 * 100.0;
+                let rss = if x > 15_000.0 { -70.0 } else { -100.0 } + (i % 3) as f64 * 0.2;
+                measurement(x, (i % 20) as f64 * 500.0, rss)
+            })
+            .collect()
+    }
+
+    fn repo() -> SpectrumRepository {
+        let area = Region::new(Point::new(0.0, 0.0), Point::new(35_000.0, 20_000.0)).unwrap();
+        SpectrumRepository::new(
+            area,
+            ModelConstructor::new(
+                WaldoConfig::default().classifier(ClassifierKind::NaiveBayes).localities(1),
+            ),
+        )
+    }
+
+    fn channel() -> TvChannel {
+        TvChannel::new(30).unwrap()
+    }
+
+    #[test]
+    fn bootstrap_publish_download_roundtrip() {
+        let mut r = repo();
+        let v = r.bootstrap(channel(), &bootstrap_data()).unwrap();
+        assert_eq!(v, 1);
+        let dl = r.download(channel(), Point::new(1_000.0, 1_000.0)).unwrap();
+        assert_eq!(dl.version, 1);
+        let model = WaldoModel::from_descriptor(&dl.descriptor).unwrap();
+        use crate::Assessor;
+        let hot = measurement(20_000.0, 5_000.0, -70.0);
+        assert!(model.assess(hot.location, &hot.observation).is_not_safe());
+    }
+
+    #[test]
+    fn download_gates() {
+        let mut r = repo();
+        assert_eq!(
+            r.download(channel(), Point::new(1.0, 1.0)).unwrap_err(),
+            RepositoryError::NoModel
+        );
+        r.bootstrap(channel(), &bootstrap_data()).unwrap();
+        assert_eq!(
+            r.download(channel(), Point::new(-5_000.0, 0.0)).unwrap_err(),
+            RepositoryError::OutOfArea
+        );
+    }
+
+    #[test]
+    fn uploads_bump_the_version_and_refresh_flag() {
+        let mut r = repo();
+        r.bootstrap(channel(), &bootstrap_data()).unwrap();
+        assert!(!r.needs_refresh(channel(), 1));
+        // A batch consistent with the pooled consensus (the east is hot at
+        // ≈ −70 dBm in the bootstrap data).
+        let batch: Vec<Measurement> =
+            (0..12).map(|i| measurement(20_000.0 + i as f64 * 30.0, 500.0, -70.3)).collect();
+        let v = r.upload(channel(), &batch).unwrap();
+        assert_eq!(v, 2);
+        assert!(r.needs_refresh(channel(), 1));
+    }
+
+    #[test]
+    fn implausible_uploads_are_rejected() {
+        let mut r = repo();
+        r.bootstrap(channel(), &bootstrap_data()).unwrap();
+        // Wildly spread readings fail the noise criterion / trust policy.
+        let noisy: Vec<Measurement> = (0..12)
+            .map(|i| measurement(2_000.0, 500.0, if i % 2 == 0 { -60.0 } else { -110.0 }))
+            .collect();
+        assert_eq!(
+            r.upload(channel(), &noisy).unwrap_err(),
+            RepositoryError::UntrustedUpload
+        );
+        assert_eq!(r.rejected_uploads(), 1);
+    }
+
+    #[test]
+    fn internally_consistent_lies_fail_the_consensus_check() {
+        let mut r = repo();
+        r.bootstrap(channel(), &bootstrap_data()).unwrap();
+        // A smooth, self-consistent batch claiming the quiet west
+        // (−100 dBm in the pool) is hot: internally plausible, but the
+        // cross-contributor consensus refutes it.
+        let liar: Vec<Measurement> =
+            (0..12).map(|i| measurement(2_000.0 + i as f64 * 120.0, 500.0, -60.0)).collect();
+        assert_eq!(
+            r.upload(channel(), &liar).unwrap_err(),
+            RepositoryError::UntrustedUpload
+        );
+    }
+
+    #[test]
+    fn upload_before_bootstrap_errors() {
+        let mut r = repo();
+        let batch = vec![measurement(1.0, 1.0, -70.0)];
+        assert_eq!(r.upload(channel(), &batch).unwrap_err(), RepositoryError::NoModel);
+    }
+}

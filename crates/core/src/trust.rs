@@ -1,0 +1,216 @@
+//! Securing crowd-sourced uploads (§3.4).
+//!
+//! The paper points at Fatemieh et al. (DySPAN'10): detect malicious
+//! contributions by correlating nearby readings from different
+//! contributors with expected signal-propagation behaviour. This module
+//! implements that approach in two layers:
+//!
+//! * [`TrustPolicy::batch_is_plausible`] — *internal consistency*: a batch
+//!   claiming wildly different power at nearly the same spot, or physically
+//!   impossible spatial gradients, is rejected outright.
+//! * [`TrustPolicy::score_against_pool`] — *cross-contributor
+//!   consistency*: each uploaded reading is compared to the consensus of
+//!   pooled readings nearby; a batch whose deviations are systematically
+//!   one-sided (the signature of an attacker trying to carve out or deny
+//!   spectrum) scores poorly.
+
+use waldo_data::Measurement;
+use waldo_geo::GridIndex;
+use waldo_ml::stats::{mean, std_dev};
+
+/// Upload vetting policy.
+///
+/// # Examples
+///
+/// ```
+/// use waldo::trust::TrustPolicy;
+///
+/// let policy = TrustPolicy::default();
+/// assert!(policy.batch_is_plausible(&[]) == false); // empty batches say nothing
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustPolicy {
+    /// Maximum plausible RSS spread (dB) among readings within
+    /// `colocation_m` of each other.
+    pub max_colocated_spread_db: f64,
+    /// Distance below which readings are considered co-located.
+    pub colocation_m: f64,
+    /// Maximum plausible |dRSS/d distance| in dB per metre (signals do not
+    /// change faster than deep shadowing edges allow).
+    pub max_gradient_db_per_m: f64,
+    /// Neighbourhood radius for cross-contributor consensus.
+    pub consensus_radius_m: f64,
+    /// Mean |deviation| from consensus (dB) above which a batch is flagged.
+    pub max_consensus_deviation_db: f64,
+}
+
+impl Default for TrustPolicy {
+    fn default() -> Self {
+        Self {
+            max_colocated_spread_db: 12.0,
+            colocation_m: 30.0,
+            max_gradient_db_per_m: 0.35,
+            consensus_radius_m: 1_000.0,
+            max_consensus_deviation_db: 12.0,
+        }
+    }
+}
+
+impl TrustPolicy {
+    /// Internal-consistency check: `false` for empty batches, co-located
+    /// contradictions, or impossible spatial gradients.
+    pub fn batch_is_plausible(&self, batch: &[Measurement]) -> bool {
+        if batch.is_empty() {
+            return false;
+        }
+        for (i, a) in batch.iter().enumerate() {
+            for b in &batch[i + 1..] {
+                let d = a.location.distance(b.location);
+                let drss = (a.observation.rss_dbm - b.observation.rss_dbm).abs();
+                if d <= self.colocation_m {
+                    if drss > self.max_colocated_spread_db {
+                        return false;
+                    }
+                } else if drss / d > self.max_gradient_db_per_m {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Cross-contributor score: mean |deviation| (dB) of the batch from the
+    /// consensus (mean RSS of pooled readings within
+    /// [`consensus_radius_m`](Self::consensus_radius_m)). Readings with no
+    /// neighbours contribute nothing. Returns `None` when no reading has a
+    /// neighbourhood to compare against.
+    pub fn score_against_pool(
+        &self,
+        batch: &[Measurement],
+        pool: &[Measurement],
+    ) -> Option<f64> {
+        let mut index = GridIndex::new(self.consensus_radius_m.max(1.0));
+        for (i, m) in pool.iter().enumerate() {
+            index.insert(m.location, i);
+        }
+        let mut deviations = Vec::new();
+        for m in batch {
+            let neighbours: Vec<f64> = index
+                .within(m.location, self.consensus_radius_m)
+                .map(|(_, &i)| pool[i].observation.rss_dbm)
+                .collect();
+            if neighbours.is_empty() {
+                continue;
+            }
+            deviations.push((m.observation.rss_dbm - mean(&neighbours)).abs());
+        }
+        if deviations.is_empty() {
+            None
+        } else {
+            Some(mean(&deviations))
+        }
+    }
+
+    /// Full verdict: internally plausible *and* (when a consensus exists)
+    /// within the deviation budget.
+    pub fn accepts(&self, batch: &[Measurement], pool: &[Measurement]) -> bool {
+        if !self.batch_is_plausible(batch) {
+            return false;
+        }
+        match self.score_against_pool(batch, pool) {
+            Some(score) => score <= self.max_consensus_deviation_db,
+            None => true, // no data to contradict: accept provisionally
+        }
+    }
+
+    /// Convenience: RSS spread (population std) of a batch, the quantity
+    /// the updater's α′ criterion also inspects.
+    pub fn batch_spread_db(batch: &[Measurement]) -> f64 {
+        let rss: Vec<f64> = batch.iter().map(|m| m.observation.rss_dbm).collect();
+        std_dev(&rss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waldo_geo::Point;
+    use waldo_iq::FeatureVector;
+    use waldo_sensors::Observation;
+
+    fn m(x: f64, y: f64, rss: f64) -> Measurement {
+        Measurement {
+            location: Point::new(x, y),
+            odometer_m: 0.0,
+            observation: Observation {
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.3,
+                    aft_db: rss - 12.5,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -110.0,
+                },
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        }
+    }
+
+    #[test]
+    fn consistent_batch_passes() {
+        let batch: Vec<Measurement> =
+            (0..10).map(|i| m(i as f64 * 100.0, 0.0, -80.0 - i as f64 * 0.5)).collect();
+        assert!(TrustPolicy::default().batch_is_plausible(&batch));
+    }
+
+    #[test]
+    fn colocated_contradiction_fails() {
+        let batch = vec![m(0.0, 0.0, -60.0), m(5.0, 0.0, -100.0)];
+        assert!(!TrustPolicy::default().batch_is_plausible(&batch));
+    }
+
+    #[test]
+    fn impossible_gradient_fails() {
+        // 40 dB over 60 m = 0.67 dB/m — faster than any shadowing edge.
+        let batch = vec![m(0.0, 0.0, -60.0), m(60.0, 0.0, -100.0)];
+        assert!(!TrustPolicy::default().batch_is_plausible(&batch));
+    }
+
+    #[test]
+    fn empty_batch_fails() {
+        assert!(!TrustPolicy::default().batch_is_plausible(&[]));
+    }
+
+    #[test]
+    fn consensus_scores_honest_and_lying_batches_apart() {
+        let policy = TrustPolicy::default();
+        // Pool: a consistent -85 dBm neighbourhood.
+        let pool: Vec<Measurement> =
+            (0..50).map(|i| m((i % 10) as f64 * 150.0, (i / 10) as f64 * 150.0, -85.0)).collect();
+        let honest: Vec<Measurement> = (0..5).map(|i| m(i as f64 * 120.0, 80.0, -86.0)).collect();
+        let liar: Vec<Measurement> = (0..5).map(|i| m(i as f64 * 120.0, 80.0, -60.0)).collect();
+        let honest_score = policy.score_against_pool(&honest, &pool).unwrap();
+        let liar_score = policy.score_against_pool(&liar, &pool).unwrap();
+        assert!(honest_score < 3.0, "honest {honest_score}");
+        assert!(liar_score > 20.0, "liar {liar_score}");
+        assert!(policy.accepts(&honest, &pool));
+        assert!(!policy.accepts(&liar, &pool));
+    }
+
+    #[test]
+    fn batch_with_no_neighbourhood_is_accepted_provisionally() {
+        let policy = TrustPolicy::default();
+        let pool: Vec<Measurement> = vec![m(0.0, 0.0, -85.0)];
+        let far: Vec<Measurement> = vec![m(30_000.0, 19_000.0, -70.0)];
+        assert_eq!(policy.score_against_pool(&far, &pool), None);
+        assert!(policy.accepts(&far, &pool));
+    }
+
+    #[test]
+    fn spread_helper_matches_std() {
+        let batch = vec![m(0.0, 0.0, -80.0), m(1_000.0, 0.0, -90.0)];
+        assert!((TrustPolicy::batch_spread_db(&batch) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+//! The Model Updater (§3.4): bootstrapping and continuously improving the
+//! central model as devices upload the readings behind their local
+//! decisions.
+
+use waldo_data::{ChannelDataset, Labeler, Measurement};
+use waldo_ml::stats::std_dev;
+
+use crate::{ModelConstructor, TrainError, WaldoModel};
+
+/// The Global Model Updater: a growing pool of location-tagged readings
+/// that is re-labeled (Algorithm 1 runs centrally on the *pooled* data) and
+/// re-trained on demand.
+///
+/// Uploads are filtered by a noise criterion α′: a batch whose RSS spread
+/// exceeds it is rejected, mirroring the paper's "readings that exhibit
+/// noise level that meet some criteria α′".
+///
+/// # Examples
+///
+/// ```no_run
+/// # let (ds, constructor): (waldo_data::ChannelDataset, waldo::ModelConstructor) = todo!();
+/// use waldo::ModelUpdater;
+///
+/// let mut updater = ModelUpdater::new(constructor, waldo_data::Labeler::new());
+/// updater.ingest(ds.measurements()).unwrap();
+/// let model = updater.retrain().unwrap();
+/// # let _ = model;
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelUpdater {
+    constructor: ModelConstructor,
+    labeler: Labeler,
+    pool: Vec<Measurement>,
+    noise_criterion_db: f64,
+    rejected_batches: usize,
+}
+
+impl ModelUpdater {
+    /// Creates an updater with an α′ of 3 dB.
+    pub fn new(constructor: ModelConstructor, labeler: Labeler) -> Self {
+        Self { constructor, labeler, pool: Vec::new(), noise_criterion_db: 3.0, rejected_batches: 0 }
+    }
+
+    /// Overrides the α′ upload noise criterion (dB of RSS spread a batch
+    /// may exhibit).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless positive.
+    pub fn noise_criterion_db(mut self, db: f64) -> Self {
+        assert!(db > 0.0, "criterion must be positive");
+        self.noise_criterion_db = db;
+        self
+    }
+
+    /// Readings currently pooled.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The pooled readings (the consensus base for upload vetting).
+    pub fn pool(&self) -> &[Measurement] {
+        &self.pool
+    }
+
+    /// Batches rejected by the noise criterion so far.
+    pub fn rejected_batches(&self) -> usize {
+        self.rejected_batches
+    }
+
+    /// Ingests a batch of trusted measurements (war-driving bootstrap) —
+    /// never filtered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Empty`] for an empty batch.
+    pub fn ingest(&mut self, batch: &[Measurement]) -> Result<(), TrainError> {
+        if batch.is_empty() {
+            return Err(TrainError::Empty);
+        }
+        self.pool.extend_from_slice(batch);
+        Ok(())
+    }
+
+    /// Ingests a device upload: accepted only when the batch RSS spread is
+    /// within α′ (a device that could not converge should not teach the
+    /// model). Returns whether the batch was accepted.
+    pub fn ingest_device_upload(&mut self, batch: &[Measurement]) -> bool {
+        if batch.is_empty() {
+            return false;
+        }
+        let rss: Vec<f64> = batch.iter().map(|m| m.observation.rss_dbm).collect();
+        if std_dev(&rss) > self.noise_criterion_db {
+            self.rejected_batches += 1;
+            return false;
+        }
+        self.pool.extend_from_slice(batch);
+        true
+    }
+
+    /// Relabels the pooled readings (Algorithm 1 over the *whole* pool) and
+    /// retrains the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] if the pool is empty or too small.
+    pub fn retrain(&self) -> Result<WaldoModel, TrainError> {
+        if self.pool.is_empty() {
+            return Err(TrainError::Empty);
+        }
+        let readings: Vec<_> =
+            self.pool.iter().map(|m| (m.location, m.observation.rss_dbm)).collect();
+        let labels = self.labeler.label(&readings);
+        // The dataset wrapper's channel/sensor fields are metadata only;
+        // the updater pools readings from many devices, so it tags the set
+        // with neutral values.
+        let ds = ChannelDataset::new(
+            waldo_rf::TvChannel::new(2).expect("2 is a valid channel tag"),
+            waldo_sensors::SensorKind::RtlSdr,
+            self.pool.clone(),
+            labels,
+        );
+        self.constructor.fit(&ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassifierKind, WaldoConfig};
+    use waldo_geo::Point;
+    use waldo_iq::FeatureVector;
+    use waldo_sensors::Observation;
+
+    fn measurement(x: f64, rss: f64) -> Measurement {
+        Measurement {
+            location: Point::new(x, 0.0),
+            odometer_m: x,
+            observation: Observation {
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.3,
+                    aft_db: rss - 12.5,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -110.0,
+                },
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        }
+    }
+
+    fn updater() -> ModelUpdater {
+        ModelUpdater::new(
+            ModelConstructor::new(
+                WaldoConfig::default().classifier(ClassifierKind::NaiveBayes).localities(1),
+            ),
+            Labeler::new(),
+        )
+    }
+
+    fn bootstrap_batch() -> Vec<Measurement> {
+        // West cold, east hot (the east end is > 6 km from the west end so
+        // poisoning stays local).
+        (0..200)
+            .map(|i| {
+                let x = i as f64 * 100.0;
+                let rss = if x > 14_000.0 { -70.0 } else { -100.0 };
+                measurement(x, rss + (i % 3) as f64 * 0.3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bootstrap_then_retrain() {
+        let mut u = updater();
+        u.ingest(&bootstrap_batch()).unwrap();
+        assert_eq!(u.pool_len(), 200);
+        let model = u.retrain().unwrap();
+        use crate::Assessor;
+        let hot = measurement(19_000.0, -70.0);
+        assert!(model.assess(hot.location, &hot.observation).is_not_safe());
+    }
+
+    #[test]
+    fn noise_criterion_rejects_spread_batches() {
+        let mut u = updater();
+        let noisy: Vec<Measurement> =
+            (0..20).map(|i| measurement(i as f64, -90.0 + (i % 2) as f64 * 20.0)).collect();
+        assert!(!u.ingest_device_upload(&noisy));
+        assert_eq!(u.rejected_batches(), 1);
+        assert_eq!(u.pool_len(), 0);
+
+        let quiet: Vec<Measurement> =
+            (0..20).map(|i| measurement(i as f64, -90.0 + (i % 2) as f64 * 0.5)).collect();
+        assert!(u.ingest_device_upload(&quiet));
+        assert_eq!(u.pool_len(), 20);
+    }
+
+    #[test]
+    fn uploads_refine_labels_through_relabeling() {
+        let mut u = updater();
+        u.ingest(&bootstrap_batch()).unwrap();
+        // A device discovers a hot spot in the formerly cold west: after
+        // relabeling, the west end must flip to not-safe.
+        let upload: Vec<Measurement> = (0..10).map(|i| measurement(1_000.0 + i as f64 * 10.0, -60.0)).collect();
+        assert!(u.ingest_device_upload(&upload));
+        let model = u.retrain().unwrap();
+        use crate::Assessor;
+        let west = measurement(1_000.0, -100.0);
+        assert!(model.assess(west.location, &west.observation).is_not_safe());
+    }
+
+    #[test]
+    fn empty_operations_error() {
+        let mut u = updater();
+        assert!(u.ingest(&[]).is_err());
+        assert!(!u.ingest_device_upload(&[]));
+        assert!(u.retrain().is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Measurement-campaign substrate: the war-driving data pipeline of §2.1.
+//!
+//! Reproduces the paper's collection methodology end to end:
+//!
+//! * [`CampaignBuilder`] drives every sensor along the same ~800 km route
+//!   through the simulated world, collecting 5282 location-tagged readings
+//!   per channel per sensor, spaced > 20 m apart.
+//! * [`Labeler`] is Algorithm 1 verbatim: a reading above −84 dBm marks
+//!   itself *and everything within 6 km* as not safe; everything else is
+//!   safe. An optional uniform antenna-correction factor (≈ 7.4 dB for the
+//!   2 m mast) can be added before thresholding.
+//! * [`ChannelDataset`] stores one (sensor, channel) measurement series and
+//!   converts it into an ML dataset with a chosen feature set.
+
+mod campaign;
+mod label;
+mod record;
+
+pub use campaign::{Campaign, CampaignBuilder};
+pub use label::Labeler;
+pub use record::{ChannelDataset, Measurement, Safety};

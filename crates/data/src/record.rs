@@ -1,0 +1,258 @@
+use serde::{Deserialize, Serialize};
+use waldo_geo::Point;
+use waldo_iq::FeatureSet;
+use waldo_ml::{Dataset, DatasetError};
+use waldo_rf::TvChannel;
+use waldo_sensors::{Observation, SensorKind};
+
+/// Whether a location is safe for white-space operation on a channel.
+///
+/// `NotSafe` is the positive class throughout the system (protecting the
+/// incumbent is the side regulators care about).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Safety {
+    /// Free for opportunistic use.
+    Safe,
+    /// Within the protected contour (or its 6 km buffer).
+    NotSafe,
+}
+
+impl Safety {
+    /// `true` when not safe (the boolean convention of the ML layer).
+    pub fn is_not_safe(self) -> bool {
+        matches!(self, Safety::NotSafe)
+    }
+
+    /// Constructs from the ML layer's boolean convention.
+    pub fn from_not_safe(not_safe: bool) -> Self {
+        if not_safe {
+            Safety::NotSafe
+        } else {
+            Safety::Safe
+        }
+    }
+}
+
+impl std::fmt::Display for Safety {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Safety::Safe => f.write_str("safe"),
+            Safety::NotSafe => f.write_str("not safe"),
+        }
+    }
+}
+
+/// One location-tagged spectrum measurement (GPS + calibrated observation),
+/// plus the simulator's hidden ground truth for analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Measurement location in the local frame.
+    pub location: Point,
+    /// Distance along the collection drive, metres.
+    pub odometer_m: f64,
+    /// The calibrated sensor output.
+    pub observation: Observation,
+    /// The simulator's true channel power at this point (never exposed to
+    /// Waldo or the baselines; used only for analysis plots).
+    pub true_rss_dbm: f64,
+}
+
+/// The measurement series of one (sensor, channel) pair, with labels once
+/// [`crate::Labeler`] has run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelDataset {
+    channel: TvChannel,
+    sensor: SensorKind,
+    measurements: Vec<Measurement>,
+    labels: Vec<Safety>,
+}
+
+impl ChannelDataset {
+    /// Bundles measurements with their labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != measurements.len()`.
+    pub fn new(
+        channel: TvChannel,
+        sensor: SensorKind,
+        measurements: Vec<Measurement>,
+        labels: Vec<Safety>,
+    ) -> Self {
+        assert_eq!(measurements.len(), labels.len(), "labels must align with measurements");
+        Self { channel, sensor, measurements, labels }
+    }
+
+    /// The channel.
+    pub fn channel(&self) -> TvChannel {
+        self.channel
+    }
+
+    /// The sensor that collected this series.
+    pub fn sensor(&self) -> SensorKind {
+        self.sensor
+    }
+
+    /// The measurements, in drive order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// The Algorithm-1 labels, parallel to the measurements.
+    pub fn labels(&self) -> &[Safety] {
+        &self.labels
+    }
+
+    /// Number of readings.
+    pub fn len(&self) -> usize {
+        self.measurements.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.measurements.is_empty()
+    }
+
+    /// Fraction of readings labeled not-safe.
+    pub fn not_safe_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|l| l.is_not_safe()).count() as f64 / self.labels.len() as f64
+    }
+
+    /// Labels as the ML layer's booleans (`true` = not safe).
+    pub fn label_bools(&self) -> Vec<bool> {
+        self.labels.iter().map(|l| l.is_not_safe()).collect()
+    }
+
+    /// Builds the classifier input row for one measurement: location in km
+    /// (for conditioning) followed by the selected signal features.
+    pub fn feature_row(m: &Measurement, set: &FeatureSet) -> Vec<f64> {
+        let mut row = vec![m.location.x / 1000.0, m.location.y / 1000.0];
+        row.extend(m.observation.features.project(set));
+        row
+    }
+
+    /// Converts the series into an ML dataset with location (always) plus
+    /// the signal features in `set`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DatasetError`] (non-finite features, which would mean a
+    /// broken sensor pipeline).
+    pub fn to_ml_dataset(&self, set: &FeatureSet) -> Result<Dataset, DatasetError> {
+        let rows = self.measurements.iter().map(|m| Self::feature_row(m, set)).collect();
+        Dataset::from_rows(rows, self.label_bools())
+    }
+
+    /// A copy restricted to the given indices (order preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn subset(&self, indices: &[usize]) -> ChannelDataset {
+        ChannelDataset {
+            channel: self.channel,
+            sensor: self.sensor,
+            measurements: indices.iter().map(|&i| self.measurements[i]).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Replaces the labels (used when re-labeling with an antenna
+    /// correction factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs.
+    pub fn with_labels(mut self, labels: Vec<Safety>) -> Self {
+        assert_eq!(labels.len(), self.measurements.len(), "labels must align");
+        self.labels = labels;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waldo_iq::{FeatureKind, FeatureVector};
+
+    fn measurement(x: f64, rss: f64) -> Measurement {
+        Measurement {
+            location: Point::new(x, 0.0),
+            odometer_m: x,
+            observation: waldo_sensors::Observation {
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.0,
+                    aft_db: rss - 12.0,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -100.0,
+                },
+                raw_pilot_db: rss - 12.0,
+            },
+            true_rss_dbm: rss,
+        }
+    }
+
+    fn dataset() -> ChannelDataset {
+        ChannelDataset::new(
+            TvChannel::new(30).unwrap(),
+            SensorKind::RtlSdr,
+            vec![measurement(0.0, -90.0), measurement(1000.0, -70.0)],
+            vec![Safety::Safe, Safety::NotSafe],
+        )
+    }
+
+    #[test]
+    fn safety_conversions() {
+        assert!(Safety::NotSafe.is_not_safe());
+        assert!(!Safety::Safe.is_not_safe());
+        assert_eq!(Safety::from_not_safe(true), Safety::NotSafe);
+        assert_eq!(Safety::from_not_safe(false), Safety::Safe);
+        assert_eq!(Safety::Safe.to_string(), "safe");
+    }
+
+    #[test]
+    fn ml_dataset_has_location_plus_features() {
+        let ds = dataset();
+        let ml = ds.to_ml_dataset(&FeatureSet::first_n(2)).unwrap();
+        assert_eq!(ml.dim(), 4); // x, y, RSS, CFT
+        assert_eq!(ml.len(), 2);
+        assert_eq!(ml.labels(), &[false, true]);
+        assert_eq!(ml.rows()[1][0], 1.0); // km
+        assert_eq!(ml.rows()[1][2], -70.0); // RSS feature
+    }
+
+    #[test]
+    fn location_only_dataset_is_two_dimensional() {
+        let ml = dataset().to_ml_dataset(&FeatureSet::location_only()).unwrap();
+        assert_eq!(ml.dim(), 2);
+    }
+
+    #[test]
+    fn custom_feature_order_respected() {
+        let set = FeatureSet::custom(vec![FeatureKind::Aft]);
+        let ml = dataset().to_ml_dataset(&set).unwrap();
+        assert_eq!(ml.rows()[0][2], -102.0); // AFT = rss − 12
+    }
+
+    #[test]
+    fn subset_and_fraction() {
+        let ds = dataset();
+        assert_eq!(ds.not_safe_fraction(), 0.5);
+        let sub = ds.subset(&[1]);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.not_safe_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_labels_panic() {
+        let ds = dataset();
+        let _ = ds.with_labels(vec![Safety::Safe]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests of Algorithm-1 labeling.
+
+use proptest::prelude::*;
+use waldo_data::Labeler;
+use waldo_geo::Point;
+
+fn arb_readings() -> impl Strategy<Value = Vec<(Point, f64)>> {
+    prop::collection::vec(
+        (0.0f64..35_000.0, 0.0f64..20_000.0, -120.0f64..-60.0)
+            .prop_map(|(x, y, rss)| (Point::new(x, y), rss)),
+        1..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn labeling_matches_brute_force(readings in arb_readings()) {
+        let labels = Labeler::new().label(&readings);
+        for (i, &(p, _)) in readings.iter().enumerate() {
+            let expect = readings
+                .iter()
+                .any(|&(q, r)| r > -84.0 && q.distance(p) <= 6_000.0);
+            prop_assert_eq!(labels[i].is_not_safe(), expect);
+        }
+    }
+
+    #[test]
+    fn adding_readings_is_monotone(readings in arb_readings(),
+                                   extra_x in 0.0f64..35_000.0,
+                                   extra_y in 0.0f64..20_000.0) {
+        let before = Labeler::new().label(&readings);
+        let mut more = readings.clone();
+        more.push((Point::new(extra_x, extra_y), -70.0)); // a hot reading
+        let after = Labeler::new().label(&more);
+        for i in 0..before.len() {
+            prop_assert!(!before[i].is_not_safe() || after[i].is_not_safe());
+        }
+    }
+
+    #[test]
+    fn raising_the_correction_is_monotone(readings in arb_readings(),
+                                          c1 in 0.0f64..10.0, c2 in 0.0f64..10.0) {
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let small = Labeler::new().antenna_correction_db(lo).label(&readings);
+        let big = Labeler::new().antenna_correction_db(hi).label(&readings);
+        for i in 0..small.len() {
+            prop_assert!(!small[i].is_not_safe() || big[i].is_not_safe());
+        }
+    }
+
+    #[test]
+    fn widening_the_radius_is_monotone(readings in arb_readings(),
+                                       r1 in 100.0f64..10_000.0, r2 in 100.0f64..10_000.0) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let small = Labeler::new().radius_m(lo).label(&readings);
+        let big = Labeler::new().radius_m(hi).label(&readings);
+        for i in 0..small.len() {
+            prop_assert!(!small[i].is_not_safe() || big[i].is_not_safe());
+        }
+    }
+}

@@ -1,0 +1,193 @@
+use std::collections::HashMap;
+
+use crate::Point;
+
+/// A bucket-grid spatial index over points in the local frame.
+///
+/// Algorithm 1 in the paper marks every reading within 6 km of a hot reading
+/// as not-safe. Done naively over the 5282 readings per channel this is an
+/// O(n²) sweep per hot point; the grid index makes each radius query touch
+/// only nearby buckets.
+///
+/// The index stores `(Point, T)` pairs; `T` is typically an index into the
+/// caller's measurement table.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_geo::{GridIndex, Point};
+///
+/// let mut idx = GridIndex::new(1_000.0);
+/// idx.insert(Point::new(0.0, 0.0), 0usize);
+/// idx.insert(Point::new(500.0, 0.0), 1usize);
+/// idx.insert(Point::new(10_000.0, 0.0), 2usize);
+/// let near: Vec<usize> = idx.within(Point::new(0.0, 0.0), 600.0).map(|(_, &v)| v).collect();
+/// assert_eq!(near.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell_m: f64,
+    cells: HashMap<(i64, i64), Vec<(Point, T)>>,
+    len: usize,
+}
+
+impl<T> GridIndex<T> {
+    /// Creates an index with square buckets of side `cell_m` metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_m` is not strictly positive and finite.
+    pub fn new(cell_m: f64) -> Self {
+        assert!(cell_m.is_finite() && cell_m > 0.0, "cell size must be positive");
+        Self { cell_m, cells: HashMap::new(), len: 0 }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn key(&self, p: Point) -> (i64, i64) {
+        ((p.x / self.cell_m).floor() as i64, (p.y / self.cell_m).floor() as i64)
+    }
+
+    /// Inserts a point with its payload.
+    pub fn insert(&mut self, p: Point, value: T) {
+        self.cells.entry(self.key(p)).or_default().push((p, value));
+        self.len += 1;
+    }
+
+    /// Iterates over all `(point, &payload)` pairs within `radius_m` of
+    /// `center` (inclusive).
+    pub fn within(&self, center: Point, radius_m: f64) -> impl Iterator<Item = (Point, &T)> + '_ {
+        let r2 = radius_m * radius_m;
+        let span = (radius_m / self.cell_m).ceil() as i64;
+        let (cx, cy) = self.key(center);
+        (cx - span..=cx + span)
+            .flat_map(move |ix| (cy - span..=cy + span).map(move |iy| (ix, iy)))
+            .filter_map(move |key| self.cells.get(&key))
+            .flatten()
+            .filter(move |(p, _)| p.distance_sq(center) <= r2)
+            .map(|(p, v)| (*p, v))
+    }
+
+    /// Returns the payload of the nearest stored point to `center`, or
+    /// `None` if the index is empty.
+    pub fn nearest(&self, center: Point) -> Option<(Point, &T)> {
+        if self.is_empty() {
+            return None;
+        }
+        // Expand Chebyshev ring by ring. Once a candidate is known, keep
+        // expanding until every unvisited ring is provably farther: any
+        // point in ring `r` lies at least `(r − 1)·cell` metres away, so we
+        // can stop as soon as that bound exceeds the best distance found.
+        let (cx, cy) = self.key(center);
+        let mut best: Option<(f64, Point, &T)> = None;
+        let mut ring = 0i64;
+        loop {
+            for ix in cx - ring..=cx + ring {
+                for iy in cy - ring..=cy + ring {
+                    if ix.abs_diff(cx).max(iy.abs_diff(cy)) != ring as u64 {
+                        continue;
+                    }
+                    if let Some(bucket) = self.cells.get(&(ix, iy)) {
+                        for (p, v) in bucket {
+                            let d = p.distance_sq(center);
+                            if best.as_ref().map_or(true, |(bd, _, _)| d < *bd) {
+                                best = Some((d, *p, v));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((best_sq, _, _)) = best {
+                let next_ring_min_dist = ring as f64 * self.cell_m;
+                if next_ring_min_dist * next_ring_min_dist > best_sq {
+                    break;
+                }
+            }
+            ring += 1;
+            if ring > 10_000_000 {
+                break; // safety net; unreachable for non-empty indices
+            }
+        }
+        best.map(|(_, p, v)| (p, v))
+    }
+
+    /// Iterates over every stored `(point, &payload)` pair in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (Point, &T)> + '_ {
+        self.cells.values().flatten().map(|(p, v)| (*p, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_panics() {
+        let _ = GridIndex::<usize>::new(0.0);
+    }
+
+    #[test]
+    fn within_respects_radius_boundary() {
+        let mut idx = GridIndex::new(100.0);
+        idx.insert(Point::new(0.0, 0.0), "origin");
+        idx.insert(Point::new(100.0, 0.0), "exact");
+        idx.insert(Point::new(100.1, 0.0), "outside");
+        let hits: Vec<&str> = idx.within(Point::new(0.0, 0.0), 100.0).map(|(_, &v)| v).collect();
+        assert!(hits.contains(&"origin"));
+        assert!(hits.contains(&"exact"));
+        assert!(!hits.contains(&"outside"));
+    }
+
+    #[test]
+    fn within_crosses_cell_boundaries() {
+        let mut idx = GridIndex::new(10.0);
+        for i in 0..100 {
+            idx.insert(Point::new(i as f64 * 7.3, (i % 13) as f64 * 5.1), i);
+        }
+        let center = Point::new(50.0, 10.0);
+        let brute: Vec<i32> = (0..100)
+            .filter(|&i| {
+                Point::new(i as f64 * 7.3, (i % 13) as f64 * 5.1).distance(center) <= 25.0
+            })
+            .collect();
+        let mut got: Vec<i32> = idx.within(center, 25.0).map(|(_, &v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, brute);
+    }
+
+    #[test]
+    fn nearest_finds_global_minimum() {
+        let mut idx = GridIndex::new(1000.0);
+        idx.insert(Point::new(5000.0, 5000.0), 0);
+        idx.insert(Point::new(900.0, 900.0), 1);
+        idx.insert(Point::new(-3000.0, 0.0), 2);
+        let (_, &v) = idx.nearest(Point::new(0.0, 0.0)).unwrap();
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn nearest_on_empty_is_none() {
+        let idx = GridIndex::<u8>::new(10.0);
+        assert!(idx.nearest(Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn len_and_iter_account_for_all_points() {
+        let mut idx = GridIndex::new(50.0);
+        assert!(idx.is_empty());
+        for i in 0..25 {
+            idx.insert(Point::new(i as f64, i as f64), i);
+        }
+        assert_eq!(idx.len(), 25);
+        assert_eq!(idx.iter().count(), 25);
+    }
+}

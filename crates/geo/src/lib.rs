@@ -1,0 +1,44 @@
+//! Geodesy substrate for the Waldo white-space reproduction.
+//!
+//! The paper's measurement campaign tags every spectrum reading with a GPS
+//! coordinate and reasons about distances (the 6 km protection radius of
+//! Algorithm 1, the > 20 m spacing between readings, the 700 km² coverage
+//! area). This crate provides the small geodesy toolkit those computations
+//! need:
+//!
+//! * [`GeoPoint`] — WGS-84 latitude/longitude with haversine distances.
+//! * [`LocalFrame`] — an equirectangular east/north projection anchored at a
+//!   reference point, adequate for metro-scale (< 100 km) areas.
+//! * [`Point`] — a point in the local metric frame.
+//! * [`Region`] — an axis-aligned study region in the local frame.
+//! * [`GridIndex`] — a bucket-grid spatial index for radius queries
+//!   (Algorithm 1 performs ~28 M pairwise checks without one).
+//! * [`DrivePath`] — a war-driving route generator producing GPS fixes with
+//!   a minimum spacing, mimicking the paper's 800 km drive.
+//!
+//! # Examples
+//!
+//! ```
+//! use waldo_geo::{GeoPoint, LocalFrame};
+//!
+//! let atlanta = GeoPoint::new(33.7490, -84.3880).unwrap();
+//! let marietta = GeoPoint::new(33.9526, -84.5499).unwrap();
+//! let frame = LocalFrame::new(atlanta);
+//! let d = frame.project(marietta).distance(frame.project(atlanta));
+//! assert!((d - atlanta.haversine_m(marietta)).abs() < 300.0);
+//! ```
+
+mod frame;
+mod index;
+mod path;
+mod point;
+mod region;
+
+pub use frame::LocalFrame;
+pub use index::GridIndex;
+pub use path::{DrivePath, DrivePathBuilder, PathSample};
+pub use point::{GeoPoint, InvalidCoordinate, Point};
+pub use region::Region;
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;

@@ -1,0 +1,248 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Point, Region};
+
+/// One GPS fix along a [`DrivePath`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathSample {
+    /// Location of the fix in the local frame.
+    pub point: Point,
+    /// Distance driven from the start of the route, metres.
+    pub odometer_m: f64,
+}
+
+/// Builder for [`DrivePath`]; see that type for the route model.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_geo::{DrivePathBuilder, Point, Region};
+///
+/// let region = Region::new(Point::new(0.0, 0.0), Point::new(35_000.0, 20_000.0)).unwrap();
+/// let path = DrivePathBuilder::new(region)
+///     .lane_spacing_m(2_000.0)
+///     .jitter_m(150.0)
+///     .seed(7)
+///     .build();
+/// assert!(path.length_m() > 100_000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DrivePathBuilder {
+    region: Region,
+    lane_spacing_m: f64,
+    jitter_m: f64,
+    waypoint_step_m: f64,
+    seed: u64,
+}
+
+impl DrivePathBuilder {
+    /// Starts a builder covering `region`.
+    pub fn new(region: Region) -> Self {
+        Self { region, lane_spacing_m: 1_750.0, jitter_m: 120.0, waypoint_step_m: 250.0, seed: 0 }
+    }
+
+    /// Distance between parallel sweep lanes (default 1 750 m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if not strictly positive.
+    pub fn lane_spacing_m(mut self, m: f64) -> Self {
+        assert!(m > 0.0, "lane spacing must be positive");
+        self.lane_spacing_m = m;
+        self
+    }
+
+    /// Random lateral deviation applied to waypoints, making the route
+    /// road-like instead of ruler-straight (default 120 m).
+    pub fn jitter_m(mut self, m: f64) -> Self {
+        assert!(m >= 0.0, "jitter must be non-negative");
+        self.jitter_m = m;
+        self
+    }
+
+    /// Spacing of jittered waypoints along each lane (default 250 m).
+    pub fn waypoint_step_m(mut self, m: f64) -> Self {
+        assert!(m > 0.0, "waypoint step must be positive");
+        self.waypoint_step_m = m;
+        self
+    }
+
+    /// RNG seed; identical seeds reproduce identical routes.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the route.
+    pub fn build(&self) -> DrivePath {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let r = self.region;
+        let mut waypoints: Vec<Point> = Vec::new();
+
+        // Horizontal lawnmower sweep: west→east, step north, east→west, …
+        let lanes = (r.height_m() / self.lane_spacing_m).floor() as usize + 1;
+        for lane in 0..lanes {
+            let y = r.min().y + lane as f64 * self.lane_spacing_m;
+            let y = y.min(r.max().y);
+            let steps = (r.width_m() / self.waypoint_step_m).ceil() as usize;
+            let eastbound = lane % 2 == 0;
+            for s in 0..=steps {
+                let f = s as f64 / steps as f64;
+                let x = if eastbound {
+                    r.min().x + f * r.width_m()
+                } else {
+                    r.max().x - f * r.width_m()
+                };
+                let jx = rng.gen_range(-self.jitter_m..=self.jitter_m);
+                let jy = rng.gen_range(-self.jitter_m..=self.jitter_m);
+                waypoints.push(r.clamp(Point::new(x + jx, y + jy)));
+            }
+        }
+
+        let mut length = 0.0;
+        for w in waypoints.windows(2) {
+            length += w[0].distance(w[1]);
+        }
+        DrivePath { waypoints, length_m: length }
+    }
+}
+
+/// A war-driving route through the study region.
+///
+/// Models the paper's ~800 km data-collection drive: a lawnmower sweep with
+/// road-like jitter. [`DrivePath::samples`] yields GPS fixes with a fixed
+/// along-route spacing; the paper requires readings on a channel to be more
+/// than 20 m apart (shadowing decorrelates beyond ~20 m in urban areas, per
+/// Gudmundson's model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrivePath {
+    waypoints: Vec<Point>,
+    length_m: f64,
+}
+
+impl DrivePath {
+    /// Total route length in metres.
+    pub fn length_m(&self) -> f64 {
+        self.length_m
+    }
+
+    /// The jittered waypoints defining the route.
+    pub fn waypoints(&self) -> &[Point] {
+        &self.waypoints
+    }
+
+    /// Returns the location at odometer distance `d` metres from the start,
+    /// clamped to the route ends.
+    pub fn at_odometer(&self, d: f64) -> Point {
+        if self.waypoints.is_empty() {
+            return Point::default();
+        }
+        let mut remaining = d.max(0.0);
+        for w in self.waypoints.windows(2) {
+            let seg = w[0].distance(w[1]);
+            if remaining <= seg && seg > 0.0 {
+                return w[0].lerp(w[1], remaining / seg);
+            }
+            remaining -= seg;
+        }
+        *self.waypoints.last().expect("non-empty")
+    }
+
+    /// Produces `count` samples spaced `spacing_m` apart along the route,
+    /// starting at the route origin. If the route is shorter than
+    /// `count * spacing_m` the samples wrap around to the start, modelling
+    /// repeated collection drives (the paper gathered two sets months apart).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spacing_m` is not strictly positive or the path is empty.
+    pub fn samples(&self, count: usize, spacing_m: f64) -> Vec<PathSample> {
+        assert!(spacing_m > 0.0, "sample spacing must be positive");
+        assert!(!self.waypoints.is_empty(), "cannot sample an empty path");
+        (0..count)
+            .map(|i| {
+                let od = i as f64 * spacing_m;
+                let wrapped = od % self.length_m.max(spacing_m);
+                PathSample { point: self.at_odometer(wrapped), odometer_m: od }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Region {
+        Region::new(Point::new(0.0, 0.0), Point::new(35_000.0, 20_000.0)).unwrap()
+    }
+
+    fn path() -> DrivePath {
+        DrivePathBuilder::new(region()).seed(42).build()
+    }
+
+    #[test]
+    fn route_covers_hundreds_of_km() {
+        // The paper's campaign drove ~800 km over the 700 km² region.
+        let p = path();
+        assert!(p.length_m() > 300_000.0, "length {}", p.length_m());
+    }
+
+    #[test]
+    fn waypoints_stay_inside_region() {
+        let p = path();
+        let r = region();
+        assert!(p.waypoints().iter().all(|&w| r.contains(w)));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = DrivePathBuilder::new(region()).seed(7).build();
+        let b = DrivePathBuilder::new(region()).seed(7).build();
+        assert_eq!(a, b);
+        let c = DrivePathBuilder::new(region()).seed(8).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn odometer_interpolates_monotonically() {
+        let p = path();
+        assert_eq!(p.at_odometer(-5.0), p.waypoints()[0]);
+        let far = p.at_odometer(p.length_m() + 10.0);
+        assert_eq!(far, *p.waypoints().last().unwrap());
+        // Successive odometer positions are close together.
+        let a = p.at_odometer(1_000.0);
+        let b = p.at_odometer(1_010.0);
+        assert!(a.distance(b) <= 11.0);
+    }
+
+    #[test]
+    fn samples_have_requested_spacing() {
+        let p = path();
+        let s = p.samples(100, 150.0);
+        assert_eq!(s.len(), 100);
+        for pair in s.windows(2) {
+            assert!((pair[1].odometer_m - pair[0].odometer_m - 150.0).abs() < 1e-9);
+            // Along-route spacing bounds crow-flies distance.
+            assert!(pair[0].point.distance(pair[1].point) <= 150.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn samples_wrap_on_short_routes() {
+        let small = Region::new(Point::new(0.0, 0.0), Point::new(1_000.0, 500.0)).unwrap();
+        let p = DrivePathBuilder::new(small).lane_spacing_m(400.0).jitter_m(0.0).seed(1).build();
+        let n = 1000;
+        let s = p.samples(n, 100.0);
+        assert_eq!(s.len(), n);
+        assert!(s.iter().all(|ps| small.contains(ps.point)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_spacing_panics() {
+        path().samples(10, 0.0);
+    }
+}

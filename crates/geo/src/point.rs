@@ -1,0 +1,232 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::EARTH_RADIUS_M;
+
+/// Error returned when constructing a [`GeoPoint`] from out-of-range values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidCoordinate {
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Latitude,
+    Longitude,
+    NotFinite,
+}
+
+impl fmt::Display for InvalidCoordinate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            Kind::Latitude => write!(f, "latitude outside [-90, 90] degrees"),
+            Kind::Longitude => write!(f, "longitude outside [-180, 180] degrees"),
+            Kind::NotFinite => write!(f, "coordinate is not a finite number"),
+        }
+    }
+}
+
+impl std::error::Error for InvalidCoordinate {}
+
+/// A WGS-84 geographic coordinate in decimal degrees.
+///
+/// Construction validates ranges, so every `GeoPoint` in the system is known
+/// to be on the globe.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_geo::GeoPoint;
+///
+/// let p = GeoPoint::new(33.749, -84.388).unwrap();
+/// assert_eq!(p.lat_deg(), 33.749);
+/// assert!(GeoPoint::new(95.0, 0.0).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude and longitude in decimal degrees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCoordinate`] if either value is non-finite, the
+    /// latitude is outside `[-90, 90]`, or the longitude is outside
+    /// `[-180, 180]`.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Result<Self, InvalidCoordinate> {
+        if !lat_deg.is_finite() || !lon_deg.is_finite() {
+            return Err(InvalidCoordinate { kind: Kind::NotFinite });
+        }
+        if !(-90.0..=90.0).contains(&lat_deg) {
+            return Err(InvalidCoordinate { kind: Kind::Latitude });
+        }
+        if !(-180.0..=180.0).contains(&lon_deg) {
+            return Err(InvalidCoordinate { kind: Kind::Longitude });
+        }
+        Ok(Self { lat_deg, lon_deg })
+    }
+
+    /// Latitude in decimal degrees.
+    pub fn lat_deg(self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in decimal degrees.
+    pub fn lon_deg(self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Great-circle distance to `other` in metres, by the haversine formula.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use waldo_geo::GeoPoint;
+    ///
+    /// let a = GeoPoint::new(33.749, -84.388).unwrap();
+    /// let b = GeoPoint::new(33.749, -84.388).unwrap();
+    /// assert_eq!(a.haversine_m(b), 0.0);
+    /// ```
+    pub fn haversine_m(self, other: GeoPoint) -> f64 {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlat = (other.lat_deg - self.lat_deg).to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().clamp(0.0, 1.0).asin();
+        EARTH_RADIUS_M * c
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lat_deg, self.lon_deg)
+    }
+}
+
+/// A point in a local metric east/north frame (metres).
+///
+/// Produced by [`LocalFrame::project`](crate::LocalFrame::project); all
+/// simulator geometry (transmitters, obstacles, drive paths) lives in this
+/// frame.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_geo::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// East offset from the frame anchor, metres.
+    pub x: f64,
+    /// North offset from the frame anchor, metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` metres.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance, avoiding the square root.
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation from `self` toward `other` by fraction `t`.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `other`; values outside `[0, 1]`
+    /// extrapolate along the same line.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1} m, {:.1} m)", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_point_validates_ranges() {
+        assert!(GeoPoint::new(33.7, -84.4).is_ok());
+        assert!(GeoPoint::new(90.0, 180.0).is_ok());
+        assert!(GeoPoint::new(-90.0, -180.0).is_ok());
+        assert!(GeoPoint::new(90.01, 0.0).is_err());
+        assert!(GeoPoint::new(0.0, 180.01).is_err());
+        assert!(GeoPoint::new(f64::NAN, 0.0).is_err());
+        assert!(GeoPoint::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn invalid_coordinate_messages_are_distinct() {
+        let lat = GeoPoint::new(100.0, 0.0).unwrap_err().to_string();
+        let lon = GeoPoint::new(0.0, 300.0).unwrap_err().to_string();
+        let nan = GeoPoint::new(f64::NAN, 0.0).unwrap_err().to_string();
+        assert!(lat.contains("latitude"));
+        assert!(lon.contains("longitude"));
+        assert!(nan.contains("finite"));
+    }
+
+    #[test]
+    fn haversine_matches_known_distance() {
+        // Atlanta downtown to Hartsfield-Jackson airport: roughly 13.2 km.
+        let dt = GeoPoint::new(33.7490, -84.3880).unwrap();
+        let atl = GeoPoint::new(33.6407, -84.4277).unwrap();
+        let d = dt.haversine_m(atl);
+        assert!((12_000.0..14_500.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric_and_zero_on_self() {
+        let a = GeoPoint::new(33.7, -84.4).unwrap();
+        let b = GeoPoint::new(34.0, -84.0).unwrap();
+        assert_eq!(a.haversine_m(a), 0.0);
+        assert!((a.haversine_m(b) - b.haversine_m(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_distance_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(6.0, 8.0);
+        assert_eq!(a.distance(b), 10.0);
+        assert_eq!(a.distance_sq(b), 100.0);
+        assert_eq!(a.midpoint(b), Point::new(3.0, 4.0));
+        assert_eq!(a.lerp(b, 0.5), Point::new(3.0, 4.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn display_formats() {
+        let g = GeoPoint::new(33.75, -84.39).unwrap();
+        assert_eq!(g.to_string(), "(33.750000, -84.390000)");
+        let p = Point::new(1.0, 2.0);
+        assert_eq!(p.to_string(), "(1.0 m, 2.0 m)");
+    }
+}

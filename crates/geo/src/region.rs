@@ -1,0 +1,143 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Point;
+
+/// An axis-aligned rectangular study region in the local frame.
+///
+/// The paper's campaign covers ~700 km² of metro Atlanta; the reproduction
+/// uses a 35 km × 20 km region. `Region` is used to bound the simulated
+/// world, clip drive paths, and size shadowing-field grids.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_geo::{Point, Region};
+///
+/// let r = Region::new(Point::new(0.0, 0.0), Point::new(35_000.0, 20_000.0)).unwrap();
+/// assert_eq!(r.area_km2(), 700.0);
+/// assert!(r.contains(Point::new(1.0, 1.0)));
+/// assert!(!r.contains(Point::new(-1.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    min: Point,
+    max: Point,
+}
+
+/// Error returned when a [`Region`] would be empty or inverted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyRegion;
+
+impl std::fmt::Display for EmptyRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "region corners are inverted or degenerate")
+    }
+}
+
+impl std::error::Error for EmptyRegion {}
+
+impl Region {
+    /// Creates a region from its minimum and maximum corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `max` is not strictly greater than `min` on both
+    /// axes.
+    pub fn new(min: Point, max: Point) -> Result<Self, EmptyRegion> {
+        if max.x <= min.x || max.y <= min.y {
+            return Err(EmptyRegion);
+        }
+        Ok(Self { min, max })
+    }
+
+    /// Minimum (south-west) corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Maximum (north-east) corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width (east extent) in metres.
+    pub fn width_m(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (north extent) in metres.
+    pub fn height_m(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square kilometres.
+    pub fn area_km2(&self) -> f64 {
+        self.width_m() * self.height_m() / 1e6
+    }
+
+    /// Centre of the region.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside the region (inclusive of the boundary).
+    pub fn contains(&self, p: Point) -> bool {
+        (self.min.x..=self.max.x).contains(&p.x) && (self.min.y..=self.max.y).contains(&p.y)
+    }
+
+    /// Clamps `p` to the nearest point inside the region.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+
+    /// The point at fractional position `(fx, fy)` within the region, where
+    /// `(0, 0)` is the minimum corner and `(1, 1)` the maximum.
+    pub fn at_fraction(&self, fx: f64, fy: f64) -> Point {
+        Point::new(self.min.x + fx * self.width_m(), self.min.y + fy * self.height_m())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Region {
+        Region::new(Point::new(0.0, 0.0), Point::new(35_000.0, 20_000.0)).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_corners() {
+        assert!(Region::new(Point::new(0.0, 0.0), Point::new(0.0, 1.0)).is_err());
+        assert!(Region::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0)).is_err());
+        assert!(Region::new(Point::new(2.0, 2.0), Point::new(1.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let r = region();
+        assert_eq!(r.width_m(), 35_000.0);
+        assert_eq!(r.height_m(), 20_000.0);
+        assert_eq!(r.area_km2(), 700.0);
+        assert_eq!(r.center(), Point::new(17_500.0, 10_000.0));
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let r = region();
+        assert!(r.contains(r.center()));
+        assert!(r.contains(r.min()));
+        assert!(r.contains(r.max()));
+        assert!(!r.contains(Point::new(35_000.1, 0.0)));
+        assert_eq!(r.clamp(Point::new(-5.0, 25_000.0)), Point::new(0.0, 20_000.0));
+        let inside = Point::new(10.0, 10.0);
+        assert_eq!(r.clamp(inside), inside);
+    }
+
+    #[test]
+    fn at_fraction_spans_region() {
+        let r = region();
+        assert_eq!(r.at_fraction(0.0, 0.0), r.min());
+        assert_eq!(r.at_fraction(1.0, 1.0), r.max());
+        assert_eq!(r.at_fraction(0.5, 0.5), r.center());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the geodesy substrate.
+
+use proptest::prelude::*;
+use waldo_geo::{GeoPoint, GridIndex, LocalFrame, Point};
+
+fn arb_geo() -> impl Strategy<Value = GeoPoint> {
+    (-80.0f64..80.0, -179.0f64..179.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon).unwrap())
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-50_000.0f64..50_000.0, -50_000.0f64..50_000.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_symmetric_and_nonnegative(a in arb_geo(), b in arb_geo()) {
+        let ab = a.haversine_m(b);
+        let ba = b.haversine_m(a);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in arb_geo(), b in arb_geo(), c in arb_geo()) {
+        // Great-circle distances satisfy the triangle inequality.
+        prop_assert!(a.haversine_m(c) <= a.haversine_m(b) + b.haversine_m(c) + 1e-6);
+    }
+
+    #[test]
+    fn frame_projection_roundtrips(anchor in arb_geo(),
+                                   x in -30_000.0f64..30_000.0,
+                                   y in -30_000.0f64..30_000.0) {
+        // Stay away from the poles where the equirectangular frame degrades.
+        prop_assume!(anchor.lat_deg().abs() < 70.0);
+        let frame = LocalFrame::new(anchor);
+        let p = Point::new(x, y);
+        let q = frame.project(frame.unproject(p));
+        prop_assert!((q.x - x).abs() < 1e-6 && (q.y - y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn point_distance_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.distance(a) == 0.0);
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn grid_index_matches_brute_force(
+        points in prop::collection::vec(arb_point(), 1..80),
+        center in arb_point(),
+        radius in 10.0f64..20_000.0,
+    ) {
+        let mut idx = GridIndex::new(1_000.0);
+        for (i, &p) in points.iter().enumerate() {
+            idx.insert(p, i);
+        }
+        let mut fast: Vec<usize> = idx.within(center, radius).map(|(_, &i)| i).collect();
+        fast.sort_unstable();
+        let brute: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(center) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn grid_nearest_matches_brute_force(
+        points in prop::collection::vec(arb_point(), 1..60),
+        center in arb_point(),
+    ) {
+        let mut idx = GridIndex::new(2_500.0);
+        for (i, &p) in points.iter().enumerate() {
+            idx.insert(p, i);
+        }
+        let (_, &got) = idx.nearest(center).unwrap();
+        let best = points
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.distance(center).total_cmp(&b.1.distance(center)))
+            .map(|(i, _)| i)
+            .unwrap();
+        prop_assert!(
+            (points[got].distance(center) - points[best].distance(center)).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Iterative radix-2 fast Fourier transform.
+//!
+//! The feature extractor computes a 256-point DFT per measurement, so a
+//! from-scratch FFT (no external DSP crates exist offline) is part of the
+//! substrate. The implementation is the standard bit-reversal +
+//! Cooley–Tukey butterfly scheme; [`dft_naive`] is the O(n²) reference the
+//! tests validate against.
+
+use crate::Complex;
+
+/// Error returned when a transform is requested on an unsupported length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonPowerOfTwo {
+    len: usize,
+}
+
+impl std::fmt::Display for NonPowerOfTwo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fft length {} is not a power of two", self.len)
+    }
+}
+
+impl std::error::Error for NonPowerOfTwo {}
+
+/// Computes the in-place forward FFT of `data`.
+///
+/// Uses the convention `X[k] = Σ x[n]·e^{-j2πkn/N}` with no normalization
+/// (matching common DSP libraries; the inverse divides by `N`).
+///
+/// # Errors
+///
+/// Returns [`NonPowerOfTwo`] if `data.len()` is not a power of two (zero
+/// length is rejected too).
+///
+/// # Examples
+///
+/// ```
+/// use waldo_iq::{fft, Complex};
+///
+/// let mut x = vec![Complex::ONE; 4];
+/// fft::fft(&mut x).unwrap();
+/// assert!((x[0].re - 4.0).abs() < 1e-12); // all energy at DC
+/// assert!(x[1].abs() < 1e-12);
+/// ```
+pub fn fft(data: &mut [Complex]) -> Result<(), NonPowerOfTwo> {
+    transform(data, Direction::Forward)
+}
+
+/// Computes the in-place inverse FFT of `data`, including the `1/N`
+/// normalization so that `ifft(fft(x)) == x`.
+///
+/// # Errors
+///
+/// Returns [`NonPowerOfTwo`] if `data.len()` is not a power of two.
+pub fn ifft(data: &mut [Complex]) -> Result<(), NonPowerOfTwo> {
+    transform(data, Direction::Inverse)?;
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(1.0 / n);
+    }
+    Ok(())
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+fn transform(data: &mut [Complex], dir: Direction) -> Result<(), NonPowerOfTwo> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(NonPowerOfTwo { len: n });
+    }
+    if n == 1 {
+        return Ok(());
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Cooley–Tukey butterflies.
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Reference O(n²) DFT with the same convention as [`fft`]. Works for any
+/// length; used by the tests and for tiny transforms.
+pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (i, &x) in data.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64;
+                acc += x * Complex::cis(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Reorders an FFT output so that DC sits at the centre bin `n/2`
+/// (equivalent of `fftshift`). The paper's CFT feature is "the central DFT
+/// bin" of exactly such a shifted spectrum.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_iq::{fft, Complex};
+///
+/// let spectrum = vec![
+///     Complex::new(1.0, 0.0), // DC
+///     Complex::new(2.0, 0.0),
+///     Complex::new(3.0, 0.0),
+///     Complex::new(4.0, 0.0),
+/// ];
+/// let shifted = fft::fftshift(&spectrum);
+/// assert_eq!(shifted[2], Complex::new(1.0, 0.0)); // DC now central
+/// ```
+pub fn fftshift(spectrum: &[Complex]) -> Vec<Complex> {
+    let n = spectrum.len();
+    let half = n / 2;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&spectrum[n - half..]);
+    out.extend_from_slice(&spectrum[..n - half]);
+    out
+}
+
+/// Power spectrum `|X[k]|²` of a shifted or unshifted spectrum.
+pub fn power_spectrum(spectrum: &[Complex]) -> Vec<f64> {
+    spectrum.iter().map(|z| z.norm_sq()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_frame(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Complex::ZERO; 3];
+        assert!(fft(&mut x).is_err());
+        let mut empty: Vec<Complex> = vec![];
+        assert!(fft(&mut empty).is_err());
+        let err = fft(&mut vec![Complex::ZERO; 6]).unwrap_err();
+        assert!(err.to_string().contains("6"));
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 64, 256] {
+            let x = random_frame(n, n as u64);
+            let expected = dft_naive(&x);
+            let mut got = x.clone();
+            fft(&mut got).unwrap();
+            for (g, e) in got.iter().zip(&expected) {
+                assert!(close(*g, *e, 1e-9 * n as f64), "n={n}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x = random_frame(256, 9);
+        let mut y = x.clone();
+        fft(&mut y).unwrap();
+        ifft(&mut y).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            assert!(close(*a, *b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let x = random_frame(128, 3);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sq()).sum();
+        let mut y = x.clone();
+        fft(&mut y).unwrap();
+        let freq_energy: f64 = y.iter().map(|z| z.norm_sq()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 256;
+        let k0 = 37;
+        let mut x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        fft(&mut x).unwrap();
+        let power = power_spectrum(&x);
+        let (argmax, max) =
+            power.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
+        assert_eq!(argmax, k0);
+        let rest: f64 = power.iter().sum::<f64>() - max;
+        assert!(rest < 1e-9 * max);
+    }
+
+    #[test]
+    fn fftshift_centers_dc() {
+        let n = 8;
+        let mut x = vec![Complex::ONE; n]; // DC only
+        fft(&mut x).unwrap();
+        let shifted = fftshift(&x);
+        assert!((shifted[n / 2].re - n as f64).abs() < 1e-9);
+        assert!(shifted[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn fftshift_roundtrips_even_lengths() {
+        let x = random_frame(16, 5);
+        let twice = fftshift(&fftshift(&x));
+        assert_eq!(x, twice);
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let a = random_frame(64, 11);
+        let b = random_frame(64, 12);
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        fft(&mut fa).unwrap();
+        fft(&mut fb).unwrap();
+        fft(&mut fs).unwrap();
+        for i in 0..64 {
+            assert!(close(fs[i], fa[i] + fb[i], 1e-9));
+        }
+    }
+}

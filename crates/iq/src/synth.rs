@@ -1,0 +1,270 @@
+//! ATSC-like I/Q frame synthesis.
+//!
+//! Real measurements tune the sensor to the pilot frequency of a digital TV
+//! channel and capture 256 I/Q samples. Within that narrow capture bandwidth
+//! the signal is: a strong pilot tone (defined to be 11.3 dB below the total
+//! 6 MHz channel power), a noise-like slice of the 8VSB data signal, and the
+//! receiver's own thermal noise. [`FrameSynthesizer`] produces frames with
+//! exactly those three components at configurable powers, which is all the
+//! energy detector and feature extractor downstream can observe.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::units::db_to_power;
+use crate::Complex;
+
+/// The pilot of an ATSC channel is 11.3 dB below total channel power; adding
+/// ~12 dB to a pilot measurement estimates full channel power (§2.1).
+pub const PILOT_TO_CHANNEL_DB: f64 = 11.3;
+
+/// A captured (or synthesized) frame of I/Q samples.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_iq::{Complex, IqFrame};
+///
+/// let frame = IqFrame::new(vec![Complex::new(1.0, 0.0); 4]);
+/// assert_eq!(frame.len(), 4);
+/// assert_eq!(frame.mean_power(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IqFrame {
+    samples: Vec<Complex>,
+}
+
+impl IqFrame {
+    /// Wraps raw samples in a frame.
+    pub fn new(samples: Vec<Complex>) -> Self {
+        Self { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the frame holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Borrow of the underlying samples.
+    pub fn samples(&self) -> &[Complex] {
+        &self.samples
+    }
+
+    /// Consumes the frame, returning the samples.
+    pub fn into_samples(self) -> Vec<Complex> {
+        self.samples
+    }
+
+    /// Mean instantaneous power `E[|x|²]` (linear, full-scale units).
+    ///
+    /// Returns `0.0` for an empty frame.
+    pub fn mean_power(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|z| z.norm_sq()).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Draws a standard normal via the Box–Muller transform (no `rand_distr`
+/// dependency; this and the shadowing field are the only Gaussian consumers).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Builder producing synthetic I/Q frames.
+///
+/// Powers are in dB relative to an arbitrary full-scale reference (dBFS);
+/// the sensor layer maps dBFS to dBm through its calibration function.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_iq::FrameSynthesizer;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let frame = FrameSynthesizer::new(256)
+///     .pilot_dbfs(-40.0)
+///     .data_dbfs(-45.0)
+///     .noise_dbfs(-70.0)
+///     .synthesize(&mut rng);
+/// assert_eq!(frame.len(), 256);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameSynthesizer {
+    len: usize,
+    pilot_dbfs: Option<f64>,
+    data_dbfs: Option<f64>,
+    noise_dbfs: f64,
+    pilot_offset_cycles: f64,
+}
+
+impl FrameSynthesizer {
+    /// Starts a synthesizer for frames of `len` samples with no signal and a
+    /// −80 dBFS noise floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "frame length must be positive");
+        Self { len, pilot_dbfs: None, data_dbfs: None, noise_dbfs: -80.0, pilot_offset_cycles: 0.0 }
+    }
+
+    /// Sets the pilot tone power (dBFS). Without this call no pilot is
+    /// generated (vacant channel).
+    pub fn pilot_dbfs(mut self, dbfs: f64) -> Self {
+        self.pilot_dbfs = Some(dbfs);
+        self
+    }
+
+    /// Sets the in-band 8VSB data-skirt power (dBFS), a white noise-like
+    /// component present only when the channel is occupied.
+    pub fn data_dbfs(mut self, dbfs: f64) -> Self {
+        self.data_dbfs = Some(dbfs);
+        self
+    }
+
+    /// Sets the receiver noise floor (dBFS). Defaults to −80 dBFS.
+    pub fn noise_dbfs(mut self, dbfs: f64) -> Self {
+        self.noise_dbfs = dbfs;
+        self
+    }
+
+    /// Offsets the pilot from DC by `cycles` full rotations across the frame
+    /// (models imperfect tuning; default 0, i.e. pilot exactly at the
+    /// central bin after `fftshift`).
+    pub fn pilot_offset_cycles(mut self, cycles: f64) -> Self {
+        self.pilot_offset_cycles = cycles;
+        self
+    }
+
+    /// Generates one frame.
+    pub fn synthesize<R: Rng + ?Sized>(&self, rng: &mut R) -> IqFrame {
+        let n = self.len;
+        let mut samples = vec![Complex::ZERO; n];
+
+        // Receiver noise: circular complex Gaussian of total power `noise`.
+        let noise_sigma = (db_to_power(self.noise_dbfs) / 2.0).sqrt();
+        for s in samples.iter_mut() {
+            *s += Complex::new(
+                noise_sigma * standard_normal(rng),
+                noise_sigma * standard_normal(rng),
+            );
+        }
+
+        // 8VSB data skirt: same statistics as noise, present only with signal.
+        if let Some(data_dbfs) = self.data_dbfs {
+            let sigma = (db_to_power(data_dbfs) / 2.0).sqrt();
+            for s in samples.iter_mut() {
+                *s += Complex::new(sigma * standard_normal(rng), sigma * standard_normal(rng));
+            }
+        }
+
+        // Pilot: a tone of power `pilot` at a small offset from DC, random
+        // phase per frame.
+        if let Some(pilot_dbfs) = self.pilot_dbfs {
+            let amp = db_to_power(pilot_dbfs).sqrt();
+            let phase0: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+            let dphi = 2.0 * std::f64::consts::PI * self.pilot_offset_cycles / n as f64;
+            for (i, s) in samples.iter_mut().enumerate() {
+                *s += Complex::from_polar(amp, phase0 + dphi * i as f64);
+            }
+        }
+
+        IqFrame::new(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::power_to_db;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xA11CE)
+    }
+
+    #[test]
+    fn noise_only_frame_has_requested_power() {
+        let mut rng = rng();
+        // Average many frames to beat estimator variance.
+        let synth = FrameSynthesizer::new(256).noise_dbfs(-60.0);
+        let mean: f64 =
+            (0..200).map(|_| synth.synthesize(&mut rng).mean_power()).sum::<f64>() / 200.0;
+        let db = power_to_db(mean);
+        assert!((db - -60.0).abs() < 0.3, "got {db}");
+    }
+
+    #[test]
+    fn pilot_dominates_when_strong() {
+        let mut rng = rng();
+        let frame = FrameSynthesizer::new(256)
+            .pilot_dbfs(-20.0)
+            .noise_dbfs(-80.0)
+            .synthesize(&mut rng);
+        let db = power_to_db(frame.mean_power());
+        assert!((db - -20.0).abs() < 0.5, "got {db}");
+    }
+
+    #[test]
+    fn components_add_in_power() {
+        let mut rng = rng();
+        let synth = FrameSynthesizer::new(256)
+            .pilot_dbfs(-30.0)
+            .data_dbfs(-30.0)
+            .noise_dbfs(-30.0);
+        let mean: f64 =
+            (0..300).map(|_| synth.synthesize(&mut rng).mean_power()).sum::<f64>() / 300.0;
+        // Three equal powers → +4.77 dB over one.
+        let db = power_to_db(mean);
+        assert!((db - -25.2).abs() < 0.4, "got {db}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn empty_frame_power_is_zero() {
+        let frame = IqFrame::new(vec![]);
+        assert!(frame.is_empty());
+        assert_eq!(frame.mean_power(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let synth = FrameSynthesizer::new(64).pilot_dbfs(-25.0);
+        let a = synth.synthesize(&mut StdRng::seed_from_u64(5));
+        let b = synth.synthesize(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_frame_panics() {
+        let _ = FrameSynthesizer::new(0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Decibel/linear power conversions used throughout the signal path.
+
+/// Converts a power ratio in decibels to a linear power ratio.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(waldo_iq::db_to_power(10.0), 10.0);
+/// assert_eq!(waldo_iq::db_to_power(0.0), 1.0);
+/// ```
+pub fn db_to_power(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to decibels.
+///
+/// Non-positive powers map to `f64::NEG_INFINITY` rather than NaN so that
+/// silent frames sort below every real reading.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(waldo_iq::power_to_db(100.0), 20.0);
+/// assert_eq!(waldo_iq::power_to_db(0.0), f64::NEG_INFINITY);
+/// ```
+pub fn power_to_db(power: f64) -> f64 {
+    if power <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * power.log10()
+    }
+}
+
+/// Sums a set of powers expressed in dB and returns the total in dB.
+///
+/// Used wherever independent contributions combine (signal + noise floors).
+///
+/// # Examples
+///
+/// ```
+/// let total = waldo_iq::db_power_sum(&[-90.0, -90.0]);
+/// assert!((total - -86.99).abs() < 0.01);
+/// ```
+pub fn db_power_sum(terms: &[f64]) -> f64 {
+    power_to_db(terms.iter().copied().map(db_to_power).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for &db in &[-120.0, -84.0, -30.0, 0.0, 17.5] {
+            assert!((power_to_db(db_to_power(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_power_is_negative_infinity() {
+        assert_eq!(power_to_db(0.0), f64::NEG_INFINITY);
+        assert_eq!(power_to_db(-1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn equal_powers_sum_to_plus_three_db() {
+        let total = db_power_sum(&[-90.0, -90.0]);
+        assert!((total - -86.9897).abs() < 1e-3, "got {total}");
+    }
+
+    #[test]
+    fn dominant_term_wins() {
+        let total = db_power_sum(&[-60.0, -120.0]);
+        assert!((total - -60.0).abs() < 1e-5);
+    }
+}

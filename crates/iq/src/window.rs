@@ -1,0 +1,131 @@
+//! Spectral windows applied before the DFT stage.
+//!
+//! The reproduction defaults to a Hann window (GNURadio's default for its
+//! spectral estimators); others are provided for ablation.
+
+use serde::{Deserialize, Serialize};
+
+/// The supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Window {
+    /// No tapering.
+    Rectangular,
+    /// Hann (raised cosine); default.
+    #[default]
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman (three-term).
+    Blackman,
+}
+
+impl Window {
+    /// Returns the window coefficients for length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        assert!(n > 0, "window length must be positive");
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / m;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+                    Window::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x).cos(),
+                    Window::Blackman => {
+                        0.42 - 0.5 * (2.0 * std::f64::consts::PI * x).cos()
+                            + 0.08 * (4.0 * std::f64::consts::PI * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Coherent (amplitude) gain of the window: mean of the coefficients.
+    /// Spectral estimates divide by this to stay calibrated.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let c = self.coefficients(n);
+        c.iter().sum::<f64>() / n as f64
+    }
+
+    /// Power (incoherent) gain: mean of squared coefficients. Energy
+    /// estimates divide by this.
+    pub fn power_gain(self, n: usize) -> f64 {
+        let c = self.coefficients(n);
+        c.iter().map(|v| v * v).sum::<f64>() / n as f64
+    }
+}
+
+impl std::fmt::Display for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Window::Rectangular => "rectangular",
+            Window::Hann => "hann",
+            Window::Hamming => "hamming",
+            Window::Blackman => "blackman",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        let c = Window::Rectangular.coefficients(16);
+        assert!(c.iter().all(|&v| v == 1.0));
+        assert_eq!(Window::Rectangular.coherent_gain(16), 1.0);
+        assert_eq!(Window::Rectangular.power_gain(16), 1.0);
+    }
+
+    #[test]
+    fn tapered_windows_are_symmetric_and_bounded() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let c = w.coefficients(65);
+            for i in 0..c.len() {
+                let j = c.len() - 1 - i;
+                assert!((c[i] - c[j]).abs() < 1e-12, "{w} asymmetric at {i}");
+                assert!(c[i] <= 1.0 + 1e-12 && c[i] >= -1e-12, "{w} out of range");
+            }
+            // Peak in the middle.
+            assert!((c[32] - c.iter().cloned().fold(f64::MIN, f64::max)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let c = Window::Hann.coefficients(64);
+        assert!(c[0].abs() < 1e-12);
+        assert!(c[63].abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_gains() {
+        // Hann coherent gain → 0.5, power gain → 0.375 as n grows.
+        let cg = Window::Hann.coherent_gain(4096);
+        let pg = Window::Hann.power_gain(4096);
+        assert!((cg - 0.5).abs() < 1e-3, "coherent {cg}");
+        assert!((pg - 0.375).abs() < 1e-3, "power {pg}");
+    }
+
+    #[test]
+    fn length_one_is_unity() {
+        for w in [Window::Rectangular, Window::Hann, Window::Hamming, Window::Blackman] {
+            assert_eq!(w.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_panics() {
+        let _ = Window::Hann.coefficients(0);
+    }
+}

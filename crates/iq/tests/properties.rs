@@ -1,0 +1,66 @@
+//! Property-based tests of the baseband substrate.
+
+use proptest::prelude::*;
+use waldo_iq::{db_to_power, fft, power_to_db, Complex};
+
+fn arb_frame(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec(
+        (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex::new(re, im)),
+        len..=len,
+    )
+}
+
+proptest! {
+    #[test]
+    fn fft_roundtrips(frame in arb_frame(64)) {
+        let mut buf = frame.clone();
+        fft::fft(&mut buf).unwrap();
+        fft::ifft(&mut buf).unwrap();
+        for (a, b) in frame.iter().zip(&buf) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_preserves_energy(frame in arb_frame(128)) {
+        let time: f64 = frame.iter().map(|z| z.norm_sq()).sum();
+        let mut buf = frame.clone();
+        fft::fft(&mut buf).unwrap();
+        let freq: f64 = buf.iter().map(|z| z.norm_sq()).sum::<f64>() / 128.0;
+        prop_assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(frame in arb_frame(16)) {
+        let expect = fft::dft_naive(&frame);
+        let mut got = frame.clone();
+        fft::fft(&mut got).unwrap();
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((*g - *e).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn db_conversions_roundtrip(db in -200.0f64..100.0) {
+        prop_assert!((power_to_db(db_to_power(db)) - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fftshift_is_an_involution_on_even_lengths(frame in arb_frame(32)) {
+        let twice = fft::fftshift(&fft::fftshift(&frame));
+        prop_assert_eq!(frame, twice);
+    }
+
+    #[test]
+    fn complex_field_axioms(re1 in -5.0f64..5.0, im1 in -5.0f64..5.0,
+                            re2 in -5.0f64..5.0, im2 in -5.0f64..5.0) {
+        let a = Complex::new(re1, im1);
+        let b = Complex::new(re2, im2);
+        // Commutativity and |ab| = |a||b|.
+        prop_assert!((a * b - b * a).abs() < 1e-12);
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+        // Division inverts multiplication away from zero.
+        prop_assume!(b.abs() > 1e-6);
+        prop_assert!(((a * b) / b - a).abs() < 1e-6);
+    }
+}

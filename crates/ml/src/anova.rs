@@ -1,0 +1,181 @@
+//! One-way analysis of variance (ANOVA).
+//!
+//! The paper screens candidate signal features by testing whether a
+//! feature's distribution differs between the *safe* and *not-safe* classes
+//! (§3.2): RSS, CFT, and AFT score p ≈ 0 on every channel, while the
+//! rejected features score p > 0.1 on at least one channel. This module
+//! provides that test with real F-distribution p-values (via
+//! [`crate::special::f_sf`]).
+
+use crate::special::f_sf;
+use crate::stats::mean;
+
+/// Result of a one-way ANOVA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnovaResult {
+    /// The F statistic (between-group over within-group variance).
+    pub f_statistic: f64,
+    /// Upper-tail probability of the F statistic under the null.
+    pub p_value: f64,
+    /// Between-group degrees of freedom.
+    pub df_between: usize,
+    /// Within-group degrees of freedom.
+    pub df_within: usize,
+}
+
+/// Errors from ANOVA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnovaError {
+    /// Fewer than two groups were supplied.
+    TooFewGroups,
+    /// A group was empty, or there are not enough samples for the
+    /// within-group variance.
+    TooFewSamples,
+}
+
+impl std::fmt::Display for AnovaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnovaError::TooFewGroups => write!(f, "need at least two groups"),
+            AnovaError::TooFewSamples => write!(f, "each group needs samples and df > 0"),
+        }
+    }
+}
+
+impl std::error::Error for AnovaError {}
+
+/// One-way ANOVA across `groups`.
+///
+/// # Errors
+///
+/// Returns [`AnovaError`] if fewer than two groups are given, any group is
+/// empty, or the within-group degrees of freedom vanish.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::anova::one_way;
+///
+/// let well_separated = one_way(&[&[1.0, 1.1, 0.9], &[5.0, 5.1, 4.9]]).unwrap();
+/// assert!(well_separated.p_value < 0.01);
+///
+/// let identical = one_way(&[&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]]).unwrap();
+/// assert!(identical.p_value > 0.9);
+/// ```
+pub fn one_way(groups: &[&[f64]]) -> Result<AnovaResult, AnovaError> {
+    if groups.len() < 2 {
+        return Err(AnovaError::TooFewGroups);
+    }
+    if groups.iter().any(|g| g.is_empty()) {
+        return Err(AnovaError::TooFewSamples);
+    }
+    let n_total: usize = groups.iter().map(|g| g.len()).sum();
+    let k = groups.len();
+    if n_total <= k {
+        return Err(AnovaError::TooFewSamples);
+    }
+
+    let all: Vec<f64> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+    let grand = mean(&all);
+
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    for g in groups {
+        let m = mean(g);
+        ss_between += g.len() as f64 * (m - grand) * (m - grand);
+        ss_within += g.iter().map(|x| (x - m) * (x - m)).sum::<f64>();
+    }
+
+    let df_between = k - 1;
+    let df_within = n_total - k;
+    let ms_between = ss_between / df_between as f64;
+    let ms_within = ss_within / df_within as f64;
+
+    let f_statistic = if ms_within <= 0.0 {
+        if ms_between > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        ms_between / ms_within
+    };
+    let p_value = if f_statistic.is_infinite() {
+        0.0
+    } else {
+        f_sf(f_statistic, df_between as f64, df_within as f64)
+    };
+    Ok(AnovaResult { f_statistic, p_value, df_between, df_within })
+}
+
+/// Convenience wrapper for the two-group (safe vs not-safe) screening the
+/// paper performs per feature per channel.
+///
+/// # Errors
+///
+/// Same as [`one_way`].
+pub fn two_group(a: &[f64], b: &[f64]) -> Result<AnovaResult, AnovaError> {
+    one_way(&[a, b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separated_groups_have_tiny_p() {
+        let a: Vec<f64> = (0..50).map(|i| 0.0 + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let r = two_group(&a, &b).unwrap();
+        assert!(r.p_value < 1e-10, "p = {}", r.p_value);
+        assert!(r.f_statistic > 100.0);
+    }
+
+    #[test]
+    fn identical_groups_have_large_p() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = two_group(&a, &a).unwrap();
+        assert!(r.f_statistic.abs() < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn matches_hand_computed_example() {
+        // Classic textbook example: three groups.
+        let g1 = [6.0, 8.0, 4.0, 5.0, 3.0, 4.0];
+        let g2 = [8.0, 12.0, 9.0, 11.0, 6.0, 8.0];
+        let g3 = [13.0, 9.0, 11.0, 8.0, 7.0, 12.0];
+        let r = one_way(&[&g1, &g2, &g3]).unwrap();
+        // Known result: F ≈ 9.3, df = (2, 15), p ≈ 0.0024.
+        assert!((r.f_statistic - 9.3).abs() < 0.2, "F = {}", r.f_statistic);
+        assert_eq!(r.df_between, 2);
+        assert_eq!(r.df_within, 15);
+        assert!((r.p_value - 0.0024).abs() < 5e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn zero_within_variance_gives_p_zero() {
+        let r = two_group(&[1.0, 1.0, 1.0], &[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(r.p_value, 0.0);
+        assert!(r.f_statistic.is_infinite());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(one_way(&[&[1.0, 2.0]]), Err(AnovaError::TooFewGroups));
+        assert_eq!(two_group(&[], &[1.0]), Err(AnovaError::TooFewSamples));
+        assert_eq!(two_group(&[1.0], &[2.0]), Err(AnovaError::TooFewSamples));
+    }
+
+    #[test]
+    fn p_value_monotone_in_separation() {
+        let base: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let mut last_p = 1.1;
+        for shift in [0.5, 2.0, 8.0] {
+            let moved: Vec<f64> = base.iter().map(|x| x + shift).collect();
+            let p = two_group(&base, &moved).unwrap().p_value;
+            assert!(p < last_p, "p should drop as groups separate");
+            last_p = p;
+        }
+    }
+}

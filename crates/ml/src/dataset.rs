@@ -1,0 +1,197 @@
+use serde::{Deserialize, Serialize};
+
+/// A dense binary-classification dataset: feature rows plus boolean labels
+/// (`true` = positive class = *not safe* in Waldo's convention).
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::Dataset;
+///
+/// let ds = Dataset::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![true, false]).unwrap();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.dim(), 2);
+/// assert_eq!(ds.positives(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    rows: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+}
+
+/// Errors from dataset construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Row count and label count differ.
+    LengthMismatch,
+    /// Rows have inconsistent dimensions.
+    Ragged,
+    /// A feature value is NaN or infinite.
+    NotFinite,
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::LengthMismatch => write!(f, "row count differs from label count"),
+            DatasetError::Ragged => write!(f, "feature rows have inconsistent dimensions"),
+            DatasetError::NotFinite => write!(f, "feature values must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Builds a dataset from rows and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if lengths mismatch, rows are ragged, or any value
+    /// is non-finite. An empty dataset (no rows) is valid.
+    pub fn from_rows(rows: Vec<Vec<f64>>, labels: Vec<bool>) -> Result<Self, DatasetError> {
+        if rows.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch);
+        }
+        if let Some(first) = rows.first() {
+            let d = first.len();
+            if rows.iter().any(|r| r.len() != d) {
+                return Err(DatasetError::Ragged);
+            }
+        }
+        if rows.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(DatasetError::NotFinite);
+        }
+        Ok(Self { rows, labels })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Feature dimension (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// The feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// One sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sample(&self, i: usize) -> (&[f64], bool) {
+        (&self.rows[i], self.labels[i])
+    }
+
+    /// Number of positive (`true`) labels.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Number of negative labels.
+    pub fn negatives(&self) -> usize {
+        self.len() - self.positives()
+    }
+
+    /// Whether both classes are present.
+    pub fn has_both_classes(&self) -> bool {
+        let p = self.positives();
+        p > 0 && p < self.len()
+    }
+
+    /// A new dataset containing the samples at `indices` (in that order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Applies `f` to every row, producing a dataset with transformed
+    /// features and the same labels.
+    pub fn map_rows<F: FnMut(&[f64]) -> Vec<f64>>(&self, mut f: F) -> Dataset {
+        Dataset { rows: self.rows.iter().map(|r| f(r)).collect(), labels: self.labels.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            Dataset::from_rows(vec![vec![1.0]], vec![]).unwrap_err(),
+            DatasetError::LengthMismatch
+        );
+        assert_eq!(
+            Dataset::from_rows(vec![vec![1.0], vec![1.0, 2.0]], vec![true, false]).unwrap_err(),
+            DatasetError::Ragged
+        );
+        assert_eq!(
+            Dataset::from_rows(vec![vec![f64::NAN]], vec![true]).unwrap_err(),
+            DatasetError::NotFinite
+        );
+        assert!(Dataset::from_rows(vec![], vec![]).is_ok());
+    }
+
+    #[test]
+    fn class_counts() {
+        let ds = Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![true, false, true],
+        )
+        .unwrap();
+        assert_eq!(ds.positives(), 2);
+        assert_eq!(ds.negatives(), 1);
+        assert!(ds.has_both_classes());
+        let single = Dataset::from_rows(vec![vec![0.0]], vec![true]).unwrap();
+        assert!(!single.has_both_classes());
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let ds = Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![false, true, false],
+        )
+        .unwrap();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.rows(), &[vec![2.0], vec![0.0]]);
+        assert_eq!(sub.labels(), &[false, false]);
+    }
+
+    #[test]
+    fn map_rows_transforms_features_only() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![true, false]).unwrap();
+        let doubled = ds.map_rows(|r| r.iter().map(|v| v * 2.0).collect());
+        assert_eq!(doubled.rows(), &[vec![2.0], vec![4.0]]);
+        assert_eq!(doubled.labels(), ds.labels());
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(DatasetError::Ragged.to_string().contains("inconsistent"));
+        assert!(DatasetError::NotFinite.to_string().contains("finite"));
+    }
+}

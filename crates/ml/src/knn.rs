@@ -1,0 +1,196 @@
+//! Brute-force k-nearest-neighbour classification and regression.
+//!
+//! The measurement-augmented-database family the paper compares against
+//! (Achtzehn et al., Ying et al.) classifies a location by interpolating
+//! nearby measurements — which is k-NN over location features. The
+//! regressor also backs RSS interpolation baselines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::dist_sq;
+use crate::{Classifier, Dataset};
+
+/// Errors from k-NN construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnError {
+    /// The training set is empty.
+    Empty,
+    /// `k` was zero.
+    ZeroNeighbours,
+}
+
+impl std::fmt::Display for KnnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KnnError::Empty => write!(f, "training set is empty"),
+            KnnError::ZeroNeighbours => write!(f, "k must be at least one"),
+        }
+    }
+}
+
+impl std::error::Error for KnnError {}
+
+/// k-NN majority-vote classifier.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::{Classifier, Dataset};
+/// use waldo_ml::knn::KnnClassifier;
+///
+/// let ds = Dataset::from_rows(
+///     vec![vec![0.0], vec![0.5], vec![10.0], vec![10.5]],
+///     vec![false, false, true, true],
+/// ).unwrap();
+/// let knn = KnnClassifier::fit(3, &ds).unwrap();
+/// assert!(knn.predict(&[9.0]));
+/// assert!(!knn.predict(&[1.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    k: usize,
+    ds: Dataset,
+}
+
+impl KnnClassifier {
+    /// Stores the training set for neighbour queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnnError`] if `k == 0` or the dataset is empty. `k` larger
+    /// than the dataset is clamped at query time.
+    pub fn fit(k: usize, ds: &Dataset) -> Result<Self, KnnError> {
+        if k == 0 {
+            return Err(KnnError::ZeroNeighbours);
+        }
+        if ds.is_empty() {
+            return Err(KnnError::Empty);
+        }
+        Ok(Self { k, ds: ds.clone() })
+    }
+
+    /// The `k` nearest training indices to `x`, nearest first.
+    pub fn neighbours(&self, x: &[f64]) -> Vec<usize> {
+        let mut order: Vec<(f64, usize)> = self
+            .ds
+            .rows()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (dist_sq(r, x), i))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+        order.into_iter().take(self.k.min(self.ds.len())).map(|(_, i)| i).collect()
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn predict(&self, x: &[f64]) -> bool {
+        let neigh = self.neighbours(x);
+        let pos = neigh.iter().filter(|&&i| self.ds.labels()[i]).count();
+        // Tie breaks toward not-safe (the conservative call).
+        2 * pos >= neigh.len()
+    }
+}
+
+/// k-NN mean regressor over `(row, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    k: usize,
+    rows: Vec<Vec<f64>>,
+    values: Vec<f64>,
+}
+
+impl KnnRegressor {
+    /// Stores `(rows, values)` for neighbour-mean prediction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnnError`] on `k == 0` or empty data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `values` differ in length.
+    pub fn fit(k: usize, rows: Vec<Vec<f64>>, values: Vec<f64>) -> Result<Self, KnnError> {
+        assert_eq!(rows.len(), values.len(), "rows and values must align");
+        if k == 0 {
+            return Err(KnnError::ZeroNeighbours);
+        }
+        if rows.is_empty() {
+            return Err(KnnError::Empty);
+        }
+        Ok(Self { k, rows, values })
+    }
+
+    /// Mean of the `k` nearest stored values.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut order: Vec<(f64, usize)> =
+            self.rows.iter().enumerate().map(|(i, r)| (dist_sq(r, x), i)).collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let take = self.k.min(self.rows.len());
+        order[..take].iter().map(|&(_, i)| self.values[i]).sum::<f64>() / take as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(
+            vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![10.0, 0.0], vec![11.0, 0.0]],
+            vec![false, false, true, true],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classification_by_majority() {
+        let knn = KnnClassifier::fit(3, &dataset()).unwrap();
+        assert!(!knn.predict(&[0.5, 0.0]));
+        assert!(knn.predict(&[10.5, 0.0]));
+    }
+
+    #[test]
+    fn neighbours_are_sorted_by_distance() {
+        let knn = KnnClassifier::fit(4, &dataset()).unwrap();
+        assert_eq!(knn.neighbours(&[0.9, 0.0]), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_not_safe() {
+        let ds = Dataset::from_rows(
+            vec![vec![0.0], vec![2.0]],
+            vec![true, false],
+        )
+        .unwrap();
+        let knn = KnnClassifier::fit(2, &ds).unwrap();
+        // One vote each → conservative not-safe.
+        assert!(knn.predict(&[1.0]));
+    }
+
+    #[test]
+    fn oversized_k_clamps() {
+        let knn = KnnClassifier::fit(100, &dataset()).unwrap();
+        // Majority of the whole set is a 2-2 tie → not-safe.
+        assert!(knn.predict(&[5.0, 0.0]));
+    }
+
+    #[test]
+    fn regressor_means_neighbours() {
+        let reg = KnnRegressor::fit(
+            2,
+            vec![vec![0.0], vec![1.0], vec![10.0]],
+            vec![-80.0, -82.0, -60.0],
+        )
+        .unwrap();
+        assert!((reg.predict(&[0.5]) - -81.0).abs() < 1e-12);
+        assert!((reg.predict(&[10.0]) - -71.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(KnnClassifier::fit(0, &dataset()), Err(KnnError::ZeroNeighbours));
+        assert_eq!(KnnClassifier::fit(1, &Dataset::default()), Err(KnnError::Empty));
+        assert_eq!(KnnRegressor::fit(1, vec![], vec![]), Err(KnnError::Empty));
+    }
+}

@@ -1,0 +1,85 @@
+//! From-scratch machine-learning substrate for the Waldo reproduction.
+//!
+//! The paper implements Waldo on OpenCV's ML library; no comparable library
+//! is available here, so this crate provides everything the system and its
+//! baselines consume:
+//!
+//! * [`svm`] — a support-vector machine trained with SMO (linear and RBF
+//!   kernels); the paper's primary classifier.
+//! * [`nb`] — Gaussian Naive Bayes, the paper's second classifier.
+//! * [`kmeans`] — k-means++ clustering for locality identification and for
+//!   the V-Scope baseline's measurement clustering.
+//! * [`tree`] — a CART decision tree (the paper trained one and rejected it
+//!   as overfit; the reproduction keeps it for the same ablation).
+//! * [`knn`] — k-nearest-neighbour classification/regression (the
+//!   measurement-augmented-database family interpolates this way).
+//! * [`linreg`] — ordinary least squares (V-Scope's propagation-model fit
+//!   and the sensor-calibration map).
+//! * [`logistic`] — L2-regularized logistic regression, the
+//!   "regression-analysis" classifier family of §3.2 and the most compact
+//!   descriptor of all.
+//! * [`anova`] — one-way ANOVA with real F-distribution p-values (feature
+//!   screening, §3.2).
+//! * [`metrics`], [`model_selection`], [`roc`], [`scaler`], [`stats`] —
+//!   evaluation plumbing: confusion matrices, ROC/AUC, 10-fold CV,
+//!   standardization, descriptive statistics.
+//!
+//! All estimators follow the same convention: a *trainer* (builder-style
+//! configuration) has a `fit(&Dataset) -> Model` method, and models
+//! implement [`Classifier::predict`] on feature slices.
+//!
+//! # Examples
+//!
+//! ```
+//! use waldo_ml::{Dataset, Classifier};
+//! use waldo_ml::nb::GaussianNbTrainer;
+//!
+//! let ds = Dataset::from_rows(
+//!     vec![vec![0.0], vec![0.2], vec![5.0], vec![5.2]],
+//!     vec![false, false, true, true],
+//! ).unwrap();
+//! let model = GaussianNbTrainer::new().fit(&ds).unwrap();
+//! assert!(model.predict(&[5.1]));
+//! assert!(!model.predict(&[0.1]));
+//! ```
+
+pub mod anova;
+mod dataset;
+pub mod kmeans;
+pub mod knn;
+pub mod linalg;
+pub mod linreg;
+pub mod logistic;
+pub mod metrics;
+pub mod model_selection;
+pub mod nb;
+pub mod roc;
+pub mod scaler;
+pub mod special;
+pub mod stats;
+pub mod svm;
+pub mod tree;
+
+pub use dataset::{Dataset, DatasetError};
+pub use metrics::ConfusionMatrix;
+pub use scaler::StandardScaler;
+
+/// A trained binary classifier over dense feature vectors.
+///
+/// `true` is the positive class; in the Waldo system positive means
+/// **not safe** for white-space operation (an incumbent is protected
+/// there).
+pub trait Classifier {
+    /// Predicts the class of one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len()` differs from the dimension
+    /// the model was trained on.
+    fn predict(&self, x: &[f64]) -> bool;
+
+    /// Predicts a whole batch, one row at a time.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<bool> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}

@@ -1,0 +1,301 @@
+//! Minimal dense linear algebra: just enough for OLS normal equations and
+//! the distance computations the estimators share.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(waldo_ml::linalg::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist_sq: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist_sq(a, b).sqrt()
+}
+
+/// A small dense row-major matrix.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::linalg::Matrix;
+///
+/// let m = Matrix::from_rows(vec![vec![2.0, 0.0], vec![0.0, 4.0]]).unwrap();
+/// let x = m.solve(&[2.0, 8.0]).unwrap();
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors from matrix construction and solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Rows have inconsistent lengths or the matrix is empty.
+    Ragged,
+    /// The dimensions do not fit the requested operation.
+    Shape,
+    /// The system is singular (no unique solution).
+    Singular,
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::Ragged => write!(f, "rows are empty or have inconsistent lengths"),
+            MatrixError::Shape => write!(f, "dimension mismatch"),
+            MatrixError::Singular => write!(f, "matrix is singular to working precision"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl Matrix {
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::Ragged`] if `rows` is empty or rows differ in
+    /// length.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, MatrixError> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        if r == 0 || c == 0 || rows.iter().any(|row| row.len() != c) {
+            return Err(MatrixError::Ragged);
+        }
+        Ok(Self { rows: r, cols: c, data: rows.into_iter().flatten().collect() })
+    }
+
+    /// A `n × n` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `Aᵀ·A` (the Gram matrix of the columns).
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self.get(r, i) * self.get(r, j);
+                }
+                out.set(i, j, s);
+                out.set(j, i, s);
+            }
+        }
+        out
+    }
+
+    /// `Aᵀ·v` for a vector `v` with one entry per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::Shape`] if `v.len() != nrows`.
+    pub fn transpose_mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if v.len() != self.rows {
+            return Err(MatrixError::Shape);
+        }
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c] += self.get(r, c) * v[r];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+    /// `A` must be square.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::Shape`] for non-square systems or mismatched
+    /// `b`, and [`MatrixError::Singular`] when a pivot underflows.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if self.rows != self.cols || b.len() != self.rows {
+            return Err(MatrixError::Shape);
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for r in col + 1..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return Err(MatrixError::Singular);
+            }
+            if pivot != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot * n + c);
+                }
+                x.swap(col, pivot);
+            }
+            // Eliminate below.
+            for r in col + 1..n {
+                let f = a[r * n + col] / a[col * n + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= f * a[col * n + c];
+                }
+                x[r] -= f * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for c in col + 1..n {
+                s -= a[col * n + c] * x[c];
+            }
+            x[col] = s / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_distances() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn dot_rejects_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert_eq!(Matrix::from_rows(vec![]), Err(MatrixError::Ragged));
+        assert_eq!(Matrix::from_rows(vec![vec![]]), Err(MatrixError::Ragged));
+        assert_eq!(
+            Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]),
+            Err(MatrixError::Ragged)
+        );
+    }
+
+    #[test]
+    fn solve_identity_returns_rhs() {
+        let m = Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert_eq!(m.solve(&[5.0, -2.0]).unwrap(), vec![5.0, -2.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let m = Matrix::from_rows(vec![vec![0.0, 2.0], vec![3.0, 1.0]]).unwrap();
+        let x = m.solve(&[4.0, 5.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_three_by_three() {
+        let m = Matrix::from_rows(vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let x = m.solve(&[8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (a, b) in x.iter().zip(expect) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(m.solve(&[1.0, 2.0]), Err(MatrixError::Singular));
+    }
+
+    #[test]
+    fn gram_and_transpose_mul() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let g = a.gram();
+        assert_eq!(g.get(0, 0), 35.0);
+        assert_eq!(g.get(0, 1), 44.0);
+        assert_eq!(g.get(1, 0), 44.0);
+        assert_eq!(g.get(1, 1), 56.0);
+        let v = a.transpose_mul_vec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(v, vec![9.0, 12.0]);
+        assert_eq!(a.transpose_mul_vec(&[1.0]), Err(MatrixError::Shape));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(MatrixError::Singular.to_string().contains("singular"));
+        assert!(MatrixError::Ragged.to_string().contains("rows"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Ordinary least squares via the normal equations.
+//!
+//! Two consumers: the wired sensor-calibration map (raw reading → dBm,
+//! §2.1) and the V-Scope baseline's per-cluster log-distance path-loss fit
+//! (`P(d) = p₀ − 10·n·log₁₀(d)` is linear in `log₁₀ d`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{Matrix, MatrixError};
+
+/// Errors from a least-squares fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinRegError {
+    /// No samples, or fewer samples than coefficients.
+    TooFewSamples,
+    /// Rows are ragged.
+    Ragged,
+    /// The design matrix is rank-deficient.
+    Singular,
+}
+
+impl std::fmt::Display for LinRegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinRegError::TooFewSamples => write!(f, "need at least as many samples as terms"),
+            LinRegError::Ragged => write!(f, "feature rows have inconsistent dimensions"),
+            LinRegError::Singular => write!(f, "design matrix is rank-deficient"),
+        }
+    }
+}
+
+impl std::error::Error for LinRegError {}
+
+/// A fitted linear model `y = intercept + coefficients·x`.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::linreg::LinearRegression;
+///
+/// // y = 1 + 2x fitted exactly.
+/// let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+/// let ys = vec![1.0, 3.0, 5.0];
+/// let model = LinearRegression::fit(&xs, &ys).unwrap();
+/// assert!((model.predict(&[10.0]) - 21.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    intercept: f64,
+    coefficients: Vec<f64>,
+}
+
+impl LinearRegression {
+    /// Fits by OLS with an implicit intercept term.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinRegError`] when the system is under-determined, ragged,
+    /// or singular.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, LinRegError> {
+        if xs.len() != ys.len() || xs.is_empty() {
+            return Err(LinRegError::TooFewSamples);
+        }
+        let dim = xs[0].len();
+        if xs.iter().any(|r| r.len() != dim) {
+            return Err(LinRegError::Ragged);
+        }
+        if xs.len() < dim + 1 {
+            return Err(LinRegError::TooFewSamples);
+        }
+        // Design matrix with a leading 1 column.
+        let rows: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|r| {
+                let mut row = Vec::with_capacity(dim + 1);
+                row.push(1.0);
+                row.extend_from_slice(r);
+                row
+            })
+            .collect();
+        let design = Matrix::from_rows(rows).map_err(|_| LinRegError::Ragged)?;
+        let gram = design.gram();
+        let rhs = design.transpose_mul_vec(ys).map_err(|_| LinRegError::TooFewSamples)?;
+        let beta = gram.solve(&rhs).map_err(|e| match e {
+            MatrixError::Singular => LinRegError::Singular,
+            _ => LinRegError::TooFewSamples,
+        })?;
+        Ok(Self { intercept: beta[0], coefficients: beta[1..].to_vec() })
+    }
+
+    /// Fits a simple (single-feature) regression from `(x, y)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fit`](Self::fit).
+    pub fn fit_simple(pairs: &[(f64, f64)]) -> Result<Self, LinRegError> {
+        let xs: Vec<Vec<f64>> = pairs.iter().map(|&(x, _)| vec![x]).collect();
+        let ys: Vec<f64> = pairs.iter().map(|&(_, y)| y).collect();
+        Self::fit(&xs, &ys)
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// The fitted slope coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Predicts `y` at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefficients.len(), "feature dimension mismatch");
+        self.intercept + x.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum::<f64>()
+    }
+
+    /// Coefficient of determination on a dataset.
+    pub fn r_squared(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 =
+            xs.iter().zip(ys).map(|(x, y)| (y - self.predict(x)).powi(2)).sum();
+        if ss_tot == 0.0 {
+            return if ss_res == 0.0 { 1.0 } else { 0.0 };
+        }
+        1.0 - ss_res / ss_tot
+    }
+
+    /// Inverts a single-feature model: the `x` that predicts `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is multivariate or the slope is (near) zero.
+    pub fn invert(&self, y: f64) -> f64 {
+        assert_eq!(self.coefficients.len(), 1, "inversion requires a single feature");
+        let slope = self.coefficients[0];
+        assert!(slope.abs() > 1e-12, "cannot invert a flat model");
+        (y - self.intercept) / slope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_on_noiseless_line() {
+        let model =
+            LinearRegression::fit_simple(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]).unwrap();
+        assert!((model.intercept() - 1.0).abs() < 1e-10);
+        assert!((model.coefficients()[0] - 2.0).abs() < 1e-10);
+        assert!((model.r_squared(&[vec![0.0], vec![1.0]], &[1.0, 3.0]) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multivariate_fit() {
+        // y = 2 + 3a − b on a grid.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                xs.push(vec![a as f64, b as f64]);
+                ys.push(2.0 + 3.0 * a as f64 - b as f64);
+            }
+        }
+        let model = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((model.intercept() - 2.0).abs() < 1e-9);
+        assert!((model.coefficients()[0] - 3.0).abs() < 1e-9);
+        assert!((model.coefficients()[1] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_on_noisy_data_recovers_slope() {
+        let pairs: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                let noise = if i % 2 == 0 { 0.1 } else { -0.1 };
+                (x, 5.0 - 2.0 * x + noise)
+            })
+            .collect();
+        let model = LinearRegression::fit_simple(&pairs).unwrap();
+        assert!((model.coefficients()[0] + 2.0).abs() < 0.02);
+        assert!((model.intercept() - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn invert_roundtrips() {
+        let model =
+            LinearRegression::fit_simple(&[(0.0, -100.0), (10.0, -50.0), (20.0, 0.0)]).unwrap();
+        let x = model.invert(-75.0);
+        assert!((model.predict(&[x]) - -75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_errors() {
+        assert_eq!(
+            LinearRegression::fit(&[], &[]),
+            Err(LinRegError::TooFewSamples)
+        );
+        assert_eq!(
+            LinearRegression::fit(&[vec![1.0, 2.0]], &[1.0]),
+            Err(LinRegError::TooFewSamples)
+        );
+        // Duplicate x with only that x → singular.
+        assert_eq!(
+            LinearRegression::fit_simple(&[(1.0, 2.0), (1.0, 3.0)]),
+            Err(LinRegError::Singular)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "single feature")]
+    fn invert_multivariate_panics() {
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let ys = vec![0.0, 1.0, 2.0, 3.0];
+        let model = LinearRegression::fit(&xs, &ys).unwrap();
+        let _ = model.invert(1.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! L2-regularized logistic regression trained by gradient descent.
+//!
+//! The paper lists "regression analysis-based classifiers" among the
+//! compact, Waldo-friendly model families (§3.2) alongside SVM and
+//! Bayesian classifiers; this is that family's standard representative.
+//! Its descriptor is the smallest of all (one weight per feature plus a
+//! bias), which matters for the model-download overhead of §5.
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::dot;
+use crate::{Classifier, Dataset};
+
+/// Errors from logistic-regression training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogisticError {
+    /// The dataset is empty.
+    Empty,
+    /// Only one class is present.
+    SingleClass,
+}
+
+impl std::fmt::Display for LogisticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogisticError::Empty => write!(f, "training set is empty"),
+            LogisticError::SingleClass => write!(f, "training set contains a single class"),
+        }
+    }
+}
+
+impl std::error::Error for LogisticError {}
+
+/// Trainer for [`LogisticModel`].
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::{Classifier, Dataset};
+/// use waldo_ml::logistic::LogisticTrainer;
+///
+/// let ds = Dataset::from_rows(
+///     vec![vec![-2.0], vec![-1.5], vec![1.5], vec![2.0]],
+///     vec![false, false, true, true],
+/// ).unwrap();
+/// let model = LogisticTrainer::new().fit(&ds).unwrap();
+/// assert!(model.predict(&[1.8]));
+/// assert!(!model.predict(&[-1.8]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticTrainer {
+    learning_rate: f64,
+    l2: f64,
+    epochs: usize,
+}
+
+impl Default for LogisticTrainer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogisticTrainer {
+    /// Creates a trainer with learning rate 0.1, L2 weight 1e-4, and 300
+    /// full-batch epochs — comfortable for standardized features.
+    pub fn new() -> Self {
+        Self { learning_rate: 0.1, l2: 1e-4, epochs: 300 }
+    }
+
+    /// Overrides the learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless positive.
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Overrides the L2 regularization weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    pub fn l2(mut self, l2: f64) -> Self {
+        assert!(l2 >= 0.0, "regularization must be non-negative");
+        self.l2 = l2;
+        self
+    }
+
+    /// Overrides the epoch count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        assert!(epochs > 0, "at least one epoch is required");
+        self.epochs = epochs;
+        self
+    }
+
+    /// Fits by full-batch gradient descent on the regularized log loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogisticError`] on empty or single-class data.
+    pub fn fit(&self, ds: &Dataset) -> Result<LogisticModel, LogisticError> {
+        if ds.is_empty() {
+            return Err(LogisticError::Empty);
+        }
+        if !ds.has_both_classes() {
+            return Err(LogisticError::SingleClass);
+        }
+        let n = ds.len() as f64;
+        let dim = ds.dim();
+        let mut weights = vec![0.0f64; dim];
+        let mut bias = 0.0f64;
+
+        for _ in 0..self.epochs {
+            let mut grad_w = vec![0.0f64; dim];
+            let mut grad_b = 0.0f64;
+            for (row, &label) in ds.rows().iter().zip(ds.labels()) {
+                let y = f64::from(u8::from(label));
+                let p = sigmoid(dot(&weights, row) + bias);
+                let err = p - y;
+                for (g, &x) in grad_w.iter_mut().zip(row) {
+                    *g += err * x / n;
+                }
+                grad_b += err / n;
+            }
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= self.learning_rate * (g + self.l2 * *w);
+            }
+            bias -= self.learning_rate * grad_b;
+        }
+        Ok(LogisticModel { weights, bias })
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// A trained logistic-regression classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticModel {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticModel {
+    /// Probability of the positive (not-safe) class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
+        sigmoid(dot(&self.weights, x) + self.bias)
+    }
+
+    /// The fitted weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Serialized parameter count: one weight per feature plus the bias —
+    /// the most compact descriptor of the classifier families in §3.2.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + 1
+    }
+}
+
+impl Classifier for LogisticModel {
+    fn predict(&self, x: &[f64]) -> bool {
+        self.probability(x) > 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let t = i as f64 * 0.01;
+            rows.push(vec![-1.0 - t, 0.5 + t]);
+            labels.push(false);
+            rows.push(vec![1.0 + t, -0.5 - t]);
+            labels.push(true);
+        }
+        Dataset::from_rows(rows, labels).unwrap()
+    }
+
+    #[test]
+    fn separates_linear_data() {
+        let model = LogisticTrainer::new().fit(&separable()).unwrap();
+        assert!(model.predict(&[1.5, -1.0]));
+        assert!(!model.predict(&[-1.5, 1.0]));
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_in_direction() {
+        let model = LogisticTrainer::new().fit(&separable()).unwrap();
+        let deep_pos = model.probability(&[3.0, -2.0]);
+        let border = model.probability(&[0.0, 0.0]);
+        let deep_neg = model.probability(&[-3.0, 2.0]);
+        assert!(deep_pos > border && border > deep_neg);
+        assert!((0.0..=1.0).contains(&deep_pos));
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let loose = LogisticTrainer::new().l2(0.0).fit(&separable()).unwrap();
+        let tight = LogisticTrainer::new().l2(1.0).fit(&separable()).unwrap();
+        let norm = |m: &LogisticModel| m.weights().iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&tight) < norm(&loose));
+    }
+
+    #[test]
+    fn training_errors() {
+        assert_eq!(LogisticTrainer::new().fit(&Dataset::default()), Err(LogisticError::Empty));
+        let single = Dataset::from_rows(vec![vec![1.0]], vec![true]).unwrap();
+        assert_eq!(LogisticTrainer::new().fit(&single), Err(LogisticError::SingleClass));
+    }
+
+    #[test]
+    fn parameter_count_is_minimal() {
+        let model = LogisticTrainer::new().fit(&separable()).unwrap();
+        assert_eq!(model.parameter_count(), 3);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let a = LogisticTrainer::new().fit(&separable()).unwrap();
+        let b = LogisticTrainer::new().fit(&separable()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,200 @@
+//! Detection metrics (§4.2 of the paper).
+//!
+//! The paper's convention — which this module adopts verbatim — is stated
+//! in terms of *channel vacancy decisions*:
+//!
+//! * **False positive**: the system declares a channel *vacant* while it is
+//!   occupied → a safety violation. FP rate must stay near zero.
+//! * **False negative**: the system declares a channel *occupied* while it
+//!   is vacant → lost opportunity; the efficiency metric to minimize.
+//! * **Error rate**: total fraction of wrong decisions.
+//!
+//! Internally labels are booleans where `true` means *not safe*
+//! (occupied/protected). A false positive is then "truth = not safe,
+//! prediction = safe".
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts for binary white-space decisions.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::ConfusionMatrix;
+///
+/// let truth = [true, true, false, false];
+/// let pred  = [true, false, false, true];
+/// let cm = ConfusionMatrix::from_labels(&truth, &pred);
+/// assert_eq!(cm.false_positives(), 1); // truth not-safe, predicted safe
+/// assert_eq!(cm.false_negatives(), 1); // truth safe, predicted not-safe
+/// assert_eq!(cm.error_rate(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Truth not-safe, predicted not-safe.
+    tp: usize,
+    /// Truth safe, predicted not-safe (lost opportunity).
+    fn_: usize,
+    /// Truth not-safe, predicted safe (safety violation).
+    fp: usize,
+    /// Truth safe, predicted safe.
+    tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel truth/prediction label slices, where
+    /// `true` = not safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_labels(truth: &[bool], pred: &[bool]) -> Self {
+        assert_eq!(truth.len(), pred.len(), "label slices must align");
+        let mut cm = ConfusionMatrix::default();
+        for (&t, &p) in truth.iter().zip(pred) {
+            cm.record(t, p);
+        }
+        cm
+    }
+
+    /// Records one decision.
+    pub fn record(&mut self, truth_not_safe: bool, pred_not_safe: bool) {
+        match (truth_not_safe, pred_not_safe) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Merges another matrix into this one (e.g. across CV folds).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// Total decisions recorded.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Count of safety violations (declared vacant while occupied).
+    pub fn false_positives(&self) -> usize {
+        self.fp
+    }
+
+    /// Count of lost opportunities (declared occupied while vacant).
+    pub fn false_negatives(&self) -> usize {
+        self.fn_
+    }
+
+    /// FP rate = FP / (number of truly not-safe samples); `0.0` when there
+    /// are none.
+    pub fn fp_rate(&self) -> f64 {
+        let denom = self.fp + self.tp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fp as f64 / denom as f64
+        }
+    }
+
+    /// FN rate = FN / (number of truly safe samples); `0.0` when there are
+    /// none.
+    pub fn fn_rate(&self) -> f64 {
+        let denom = self.fn_ + self.tn;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / denom as f64
+        }
+    }
+
+    /// Fraction of all decisions that were wrong.
+    pub fn error_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.fp + self.fn_) as f64 / t as f64
+        }
+    }
+
+    /// Fraction of all decisions that were right.
+    pub fn accuracy(&self) -> f64 {
+        1.0 - self.error_rate()
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FP {:.4} / FN {:.4} / err {:.4} (n = {})",
+            self.fp_rate(),
+            self.fn_rate(),
+            self.error_rate(),
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let t = [true, false, true];
+        let cm = ConfusionMatrix::from_labels(&t, &t);
+        assert_eq!(cm.error_rate(), 0.0);
+        assert_eq!(cm.fp_rate(), 0.0);
+        assert_eq!(cm.fn_rate(), 0.0);
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn rates_use_paper_denominators() {
+        // 4 truly not-safe, 1 declared safe → FP rate 0.25.
+        // 6 truly safe, 3 declared not-safe → FN rate 0.5.
+        let truth = [true, true, true, true, false, false, false, false, false, false];
+        let pred = [false, true, true, true, true, true, true, false, false, false];
+        let cm = ConfusionMatrix::from_labels(&truth, &pred);
+        assert_eq!(cm.fp_rate(), 0.25);
+        assert_eq!(cm.fn_rate(), 0.5);
+        assert_eq!(cm.error_rate(), 0.4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = ConfusionMatrix::from_labels(&[true], &[false]);
+        let mut b = ConfusionMatrix::from_labels(&[false], &[false]);
+        b.merge(&a);
+        assert_eq!(b.total(), 2);
+        assert_eq!(b.false_positives(), 1);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.error_rate(), 0.0);
+        assert_eq!(cm.fp_rate(), 0.0);
+        assert_eq!(cm.fn_rate(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    fn display_mentions_all_rates() {
+        let cm = ConfusionMatrix::from_labels(&[true, false], &[false, true]);
+        let s = cm.to_string();
+        assert!(s.contains("FP") && s.contains("FN") && s.contains("err"));
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_labels_panic() {
+        let _ = ConfusionMatrix::from_labels(&[true], &[]);
+    }
+}

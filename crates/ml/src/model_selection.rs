@@ -1,0 +1,194 @@
+//! Train/test splitting and k-fold cross validation.
+//!
+//! The paper evaluates with 10-fold cross validation: 90 % of the data
+//! trains, the remaining 10 % tests, repeated to cover everything (§4.1).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Dataset;
+
+/// One train/test index split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of the training samples.
+    pub train: Vec<usize>,
+    /// Indices of the test samples.
+    pub test: Vec<usize>,
+}
+
+/// Seeded k-fold splitter.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::model_selection::KFold;
+///
+/// let folds = KFold::new(5, 42).splits(50);
+/// assert_eq!(folds.len(), 5);
+/// for f in &folds {
+///     assert_eq!(f.test.len(), 10);
+///     assert_eq!(f.train.len(), 40);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KFold {
+    k: usize,
+    seed: u64,
+}
+
+impl KFold {
+    /// Creates a `k`-fold splitter with a shuffle seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "cross validation needs at least two folds");
+        Self { k, seed }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Produces the `k` splits over `n` samples. Every sample appears in
+    /// exactly one test fold; fold sizes differ by at most one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < k`.
+    pub fn splits(&self, n: usize) -> Vec<Split> {
+        assert!(n >= self.k, "need at least one sample per fold");
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        order.shuffle(&mut rng);
+
+        let base = n / self.k;
+        let extra = n % self.k;
+        let mut splits = Vec::with_capacity(self.k);
+        let mut start = 0;
+        for fold in 0..self.k {
+            let size = base + usize::from(fold < extra);
+            let test: Vec<usize> = order[start..start + size].to_vec();
+            let train: Vec<usize> =
+                order[..start].iter().chain(&order[start + size..]).copied().collect();
+            splits.push(Split { train, test });
+            start += size;
+        }
+        splits
+    }
+}
+
+/// Splits `n` samples into a shuffled train/test partition with the given
+/// test fraction.
+///
+/// # Panics
+///
+/// Panics unless `test_fraction ∈ (0, 1)` and both sides end up non-empty.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> Split {
+    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test fraction must be in (0, 1)");
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    assert!(n_test > 0 && n_test < n, "both partitions must be non-empty");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    Split { test: order[..n_test].to_vec(), train: order[n_test..].to_vec() }
+}
+
+/// Draws a random subsample of at most `cap` indices from a dataset,
+/// preserving at least one sample of each present class. Used to bound SVM
+/// training cost on large folds.
+pub fn stratified_cap(ds: &Dataset, cap: usize, seed: u64) -> Vec<usize> {
+    let n = ds.len();
+    if n <= cap {
+        return (0..n).collect();
+    }
+    let mut pos: Vec<usize> = (0..n).filter(|&i| ds.labels()[i]).collect();
+    let mut neg: Vec<usize> = (0..n).filter(|&i| !ds.labels()[i]).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+
+    // Proportional allocation, but never starve a present class.
+    let mut n_pos = ((pos.len() as f64 / n as f64) * cap as f64).round() as usize;
+    if !pos.is_empty() {
+        n_pos = n_pos.clamp(1, pos.len().min(cap.saturating_sub(usize::from(!neg.is_empty()))));
+    }
+    let n_neg = (cap - n_pos).min(neg.len());
+    let mut out: Vec<usize> = pos[..n_pos].to_vec();
+    out.extend_from_slice(&neg[..n_neg]);
+    out.shuffle(&mut rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_everything() {
+        let splits = KFold::new(10, 7).splits(103);
+        let mut seen = vec![false; 103];
+        for s in &splits {
+            for &i in &s.test {
+                assert!(!seen[i], "sample {i} tested twice");
+                seen[i] = true;
+            }
+            assert_eq!(s.train.len() + s.test.len(), 103);
+            // Train and test are disjoint.
+            for &i in &s.test {
+                assert!(!s.train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn folds_are_deterministic_per_seed() {
+        let a = KFold::new(5, 3).splits(40);
+        let b = KFold::new(5, 3).splits(40);
+        assert_eq!(a, b);
+        let c = KFold::new(5, 4).splits(40);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn train_test_split_fractions() {
+        let s = train_test_split(100, 0.1, 9);
+        assert_eq!(s.test.len(), 10);
+        assert_eq!(s.train.len(), 90);
+    }
+
+    #[test]
+    fn stratified_cap_keeps_both_classes() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let mut labels = vec![false; 100];
+        labels[0] = true; // a single positive
+        let ds = Dataset::from_rows(rows, labels).unwrap();
+        let idx = stratified_cap(&ds, 10, 1);
+        assert_eq!(idx.len(), 10);
+        assert!(idx.iter().any(|&i| ds.labels()[i]), "positive sample dropped");
+        assert!(idx.iter().any(|&i| !ds.labels()[i]));
+    }
+
+    #[test]
+    fn stratified_cap_noop_when_small() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![true, false]).unwrap();
+        assert_eq!(stratified_cap(&ds, 10, 0), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two folds")]
+    fn one_fold_panics() {
+        let _ = KFold::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "per fold")]
+    fn too_few_samples_panics() {
+        let _ = KFold::new(10, 0).splits(5);
+    }
+}

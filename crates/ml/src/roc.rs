@@ -1,0 +1,196 @@
+//! ROC curves and AUC over continuous detector scores.
+//!
+//! The confusion-matrix metrics of §4.2 score *hard* decisions; the
+//! detectors underneath (SVM decision values, NB log-odds, RSS readings
+//! against a threshold) are continuous. The ROC view sweeps the threshold
+//! and summarizes separability as the area under the curve — used by the
+//! ablations to compare sensing statistics independent of any particular
+//! operating point.
+
+use serde::{Deserialize, Serialize};
+
+/// One ROC operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Threshold at or above which samples are declared positive.
+    pub threshold: f64,
+    /// True-positive rate at this threshold.
+    pub tpr: f64,
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+}
+
+/// Errors from ROC construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RocError {
+    /// No samples.
+    Empty,
+    /// All samples share one label; TPR or FPR is undefined.
+    SingleClass,
+}
+
+impl std::fmt::Display for RocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RocError::Empty => write!(f, "no scored samples"),
+            RocError::SingleClass => write!(f, "need both classes for a ROC curve"),
+        }
+    }
+}
+
+impl std::error::Error for RocError {}
+
+/// A ROC curve built from `(score, is_positive)` pairs, where larger
+/// scores indicate the positive class.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::roc::RocCurve;
+///
+/// let scored = [(0.9, true), (0.8, true), (0.3, false), (0.1, false)];
+/// let roc = RocCurve::from_scores(&scored).unwrap();
+/// assert_eq!(roc.auc(), 1.0); // perfectly separable
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+    auc: f64,
+}
+
+impl RocCurve {
+    /// Builds the curve by sweeping the threshold over every distinct
+    /// score.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RocError`] on empty or single-class input.
+    pub fn from_scores(scored: &[(f64, bool)]) -> Result<Self, RocError> {
+        if scored.is_empty() {
+            return Err(RocError::Empty);
+        }
+        let pos = scored.iter().filter(|(_, l)| *l).count();
+        let neg = scored.len() - pos;
+        if pos == 0 || neg == 0 {
+            return Err(RocError::SingleClass);
+        }
+
+        let mut sorted: Vec<(f64, bool)> = scored.to_vec();
+        sorted.sort_by(|a, b| b.0.total_cmp(&a.0)); // descending score
+
+        let mut points = Vec::with_capacity(sorted.len() + 1);
+        points.push(RocPoint { threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0 });
+        let (mut tp, mut fp) = (0usize, 0usize);
+        let mut i = 0;
+        while i < sorted.len() {
+            // Consume ties together so the curve is threshold-consistent.
+            let score = sorted[i].0;
+            while i < sorted.len() && sorted[i].0 == score {
+                if sorted[i].1 {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                threshold: score,
+                tpr: tp as f64 / pos as f64,
+                fpr: fp as f64 / neg as f64,
+            });
+        }
+
+        // Trapezoidal AUC over the (fpr, tpr) polyline.
+        let mut auc = 0.0;
+        for w in points.windows(2) {
+            auc += (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0;
+        }
+        Ok(Self { points, auc })
+    }
+
+    /// The operating points, from the strictest threshold to the loosest.
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Area under the curve: 1.0 = perfect separation, 0.5 = chance.
+    pub fn auc(&self) -> f64 {
+        self.auc
+    }
+
+    /// The operating point with the highest Youden index (TPR − FPR) —
+    /// a standard threshold-selection rule.
+    pub fn best_youden(&self) -> RocPoint {
+        *self
+            .points
+            .iter()
+            .max_by(|a, b| (a.tpr - a.fpr).total_cmp(&(b.tpr - b.fpr)))
+            .expect("curves always have at least the origin point")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let scored: Vec<(f64, bool)> =
+            (0..20).map(|i| (i as f64, i >= 10)).collect();
+        let roc = RocCurve::from_scores(&scored).unwrap();
+        assert_eq!(roc.auc(), 1.0);
+        let best = roc.best_youden();
+        assert_eq!(best.tpr, 1.0);
+        assert_eq!(best.fpr, 0.0);
+    }
+
+    #[test]
+    fn inverted_scores_have_auc_zero() {
+        let scored: Vec<(f64, bool)> =
+            (0..20).map(|i| (i as f64, i < 10)).collect();
+        let roc = RocCurve::from_scores(&scored).unwrap();
+        assert_eq!(roc.auc(), 0.0);
+    }
+
+    #[test]
+    fn interleaved_scores_have_auc_half() {
+        let scored: Vec<(f64, bool)> =
+            (0..100).map(|i| (i as f64, i % 2 == 0)).collect();
+        let roc = RocCurve::from_scores(&scored).unwrap();
+        assert!((roc.auc() - 0.5).abs() < 0.02, "auc {}", roc.auc());
+    }
+
+    #[test]
+    fn ties_are_handled_as_one_step() {
+        // All scores equal: the curve is the diagonal, AUC exactly 0.5.
+        let scored = [(1.0, true), (1.0, false), (1.0, true), (1.0, false)];
+        let roc = RocCurve::from_scores(&scored).unwrap();
+        assert!((roc.auc() - 0.5).abs() < 1e-12);
+        assert_eq!(roc.points().len(), 2);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let scored: Vec<(f64, bool)> = (0..200)
+            .map(|i| {
+                let noise = ((i * 37) % 11) as f64 - 5.0;
+                (i as f64 + noise * 8.0, i >= 100)
+            })
+            .collect();
+        let roc = RocCurve::from_scores(&scored).unwrap();
+        for w in roc.points().windows(2) {
+            assert!(w[1].tpr >= w[0].tpr);
+            assert!(w[1].fpr >= w[0].fpr);
+        }
+        assert!(roc.auc() > 0.5);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(RocCurve::from_scores(&[]), Err(RocError::Empty));
+        assert_eq!(
+            RocCurve::from_scores(&[(1.0, true), (2.0, true)]),
+            Err(RocError::SingleClass)
+        );
+    }
+}

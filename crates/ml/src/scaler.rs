@@ -1,0 +1,133 @@
+//! Feature standardization.
+//!
+//! SVMs and k-means are scale-sensitive; location coordinates (tens of
+//! kilometres) and dB features (tens of dB) differ by three orders of
+//! magnitude, so every pipeline standardizes features first.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{mean, std_dev};
+use crate::Dataset;
+
+/// Per-dimension standardizer: `x → (x − μ) / σ`.
+///
+/// Dimensions with zero spread map to `0.0` (they carry no information).
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::{Dataset, StandardScaler};
+///
+/// let ds = Dataset::from_rows(vec![vec![0.0], vec![10.0]], vec![false, true]).unwrap();
+/// let scaler = StandardScaler::fit(&ds);
+/// assert_eq!(scaler.transform(&[5.0]), vec![0.0]); // the mean maps to 0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Learns per-dimension mean and standard deviation from `ds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ds` is empty.
+    pub fn fit(ds: &Dataset) -> Self {
+        assert!(!ds.is_empty(), "cannot fit a scaler on an empty dataset");
+        let dim = ds.dim();
+        let mut means = Vec::with_capacity(dim);
+        let mut stds = Vec::with_capacity(dim);
+        for d in 0..dim {
+            let col: Vec<f64> = ds.rows().iter().map(|r| r[d]).collect();
+            means.push(mean(&col));
+            stds.push(std_dev(&col));
+        }
+        Self { means, stds }
+    }
+
+    /// Identity scaler of dimension `dim` (μ = 0, σ = 1), useful when a
+    /// caller wants to bypass scaling without branching.
+    pub fn identity(dim: usize) -> Self {
+        Self { means: vec![0.0; dim], stds: vec![1.0; dim] }
+    }
+
+    /// Feature dimension this scaler operates on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "scaler dimension mismatch");
+        x.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| if *s > 0.0 { (v - m) / s } else { 0.0 })
+            .collect()
+    }
+
+    /// Standardizes a whole dataset.
+    pub fn transform_dataset(&self, ds: &Dataset) -> Dataset {
+        ds.map_rows(|r| self.transform(r))
+    }
+
+    /// Number of serialized parameters (used for the model-size experiment).
+    pub fn parameter_count(&self) -> usize {
+        self.means.len() + self.stds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(
+            vec![vec![0.0, 100.0], vec![10.0, 100.0], vec![20.0, 100.0]],
+            vec![false, true, false],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transformed_columns_are_standardized() {
+        let ds = dataset();
+        let scaler = StandardScaler::fit(&ds);
+        let out = scaler.transform_dataset(&ds);
+        let col0: Vec<f64> = out.rows().iter().map(|r| r[0]).collect();
+        assert!(mean(&col0).abs() < 1e-12);
+        assert!((std_dev(&col0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let ds = dataset();
+        let scaler = StandardScaler::fit(&ds);
+        let out = scaler.transform(&[10.0, 100.0]);
+        assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let s = StandardScaler::identity(2);
+        assert_eq!(s.transform(&[3.0, -4.0]), vec![3.0, -4.0]);
+        assert_eq!(s.parameter_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn dimension_mismatch_panics() {
+        StandardScaler::fit(&dataset()).transform(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        let _ = StandardScaler::fit(&Dataset::default());
+    }
+}

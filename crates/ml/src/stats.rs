@@ -1,0 +1,218 @@
+//! Descriptive statistics shared across the system: moments, percentiles,
+//! Pearson correlation, empirical CDFs, and confidence intervals.
+
+use crate::special::norm_ppf;
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`); `0.0` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (divides by `n − 1`); `0.0` for fewer than two samples.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolated percentile (`q` in `[0, 100]`) of unsorted data.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(waldo_ml::stats::percentile(&xs, 50.0), 2.5);
+/// assert_eq!(waldo_ml::stats::percentile(&xs, 0.0), 1.0);
+/// assert_eq!(waldo_ml::stats::percentile(&xs, 100.0), 4.0);
+/// ```
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of an empty slice");
+    assert!((0.0..=100.0).contains(&q), "percentile rank must be in [0, 100]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+/// Returns `0.0` when either series is constant (correlation undefined).
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are zero.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    assert!(!xs.is_empty(), "correlation of empty series");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// The points of an empirical CDF: sorted values paired with cumulative
+/// probability `i/n`. Used by every "CDF of …" figure.
+pub fn empirical_cdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len() as f64;
+    sorted.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
+}
+
+/// A two-sided normal-approximation confidence interval for the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Width of the interval.
+    pub fn span(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Confidence interval for the mean of `xs` at `level` (e.g. `0.90`),
+/// using the normal approximation `mean ± z·s/√n`.
+///
+/// Returns `None` for fewer than two samples (no spread estimate exists).
+///
+/// # Panics
+///
+/// Panics unless `level ∈ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::stats::mean_confidence_interval;
+///
+/// let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+/// let ci = mean_confidence_interval(&xs, 0.90).unwrap();
+/// assert!(ci.lo < 4.5 && 4.5 < ci.hi);
+/// ```
+pub fn mean_confidence_interval(xs: &[f64], level: f64) -> Option<ConfidenceInterval> {
+    assert!(level > 0.0 && level < 1.0, "confidence level must lie in (0, 1)");
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs);
+    let se = (sample_variance(xs) / xs.len() as f64).sqrt();
+    let z = norm_ppf(0.5 + level / 2.0);
+    Some(ConfidenceInterval { lo: m - z * se, hi: m + z * se })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_of_simple_series() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_are_degenerate() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(sample_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 25.0), 17.5);
+        assert_eq!(median(&xs), 25.0);
+        assert_eq!(percentile(&xs, 95.0), 38.5);
+    }
+
+    #[test]
+    fn pearson_known_cases() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let anti: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &anti) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let xs = [3.0, 1.0, 2.0];
+        let cdf = empirical_cdf(&xs);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0].0, 1.0);
+        assert!((cdf[2].1 - 1.0).abs() < 1e-12);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn ci_narrows_with_more_samples() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let big: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let ci_small = mean_confidence_interval(&small, 0.90).unwrap();
+        let ci_big = mean_confidence_interval(&big, 0.90).unwrap();
+        assert!(ci_big.span() < ci_small.span());
+        assert!(mean_confidence_interval(&[1.0], 0.9).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+}

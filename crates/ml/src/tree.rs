@@ -1,0 +1,309 @@
+//! CART decision tree (Gini impurity, axis-aligned splits).
+//!
+//! The paper trained decision trees, saw ≤ 1 % error, and rejected them as
+//! overfit to the road-following dataset (§3.2 — "standard decision trees
+//! are usually outperformed by SVM"). The reproduction keeps the tree to
+//! re-run exactly that ablation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Classifier, Dataset};
+
+/// Errors from tree training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeError {
+    /// The dataset is empty.
+    Empty,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "training set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Trainer for [`DecisionTree`].
+///
+/// # Examples
+///
+/// ```
+/// use waldo_ml::{Classifier, Dataset};
+/// use waldo_ml::tree::DecisionTreeTrainer;
+///
+/// let ds = Dataset::from_rows(
+///     vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]],
+///     vec![false, false, true, true],
+/// ).unwrap();
+/// let tree = DecisionTreeTrainer::new().fit(&ds).unwrap();
+/// assert!(tree.predict(&[10.5]));
+/// assert!(!tree.predict(&[0.5]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionTreeTrainer {
+    max_depth: usize,
+    min_samples_leaf: usize,
+}
+
+impl Default for DecisionTreeTrainer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecisionTreeTrainer {
+    /// Creates a trainer with depth ≤ 12 and ≥ 1 sample per leaf.
+    pub fn new() -> Self {
+        Self { max_depth: 12, min_samples_leaf: 1 }
+    }
+
+    /// Caps tree depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn max_depth(mut self, d: usize) -> Self {
+        assert!(d > 0, "depth must be at least one");
+        self.max_depth = d;
+        self
+    }
+
+    /// Minimum samples per leaf (pre-pruning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn min_samples_leaf(mut self, m: usize) -> Self {
+        assert!(m > 0, "leaves need at least one sample");
+        self.min_samples_leaf = m;
+        self
+    }
+
+    /// Fits a tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::Empty`] on an empty dataset. A single-class
+    /// dataset yields a valid single-leaf tree.
+    pub fn fit(&self, ds: &Dataset) -> Result<DecisionTree, TreeError> {
+        if ds.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let root = self.build(ds, &indices, 0);
+        Ok(DecisionTree { root })
+    }
+
+    fn build(&self, ds: &Dataset, indices: &[usize], depth: usize) -> Node {
+        let positives = indices.iter().filter(|&&i| ds.labels()[i]).count();
+        let majority = positives * 2 >= indices.len();
+        if depth >= self.max_depth
+            || positives == 0
+            || positives == indices.len()
+            || indices.len() < 2 * self.min_samples_leaf
+        {
+            return Node::Leaf { not_safe: majority };
+        }
+
+        match best_split(ds, indices, self.min_samples_leaf) {
+            None => Node::Leaf { not_safe: majority },
+            Some((feature, threshold)) => {
+                let (left, right): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| ds.rows()[i][feature] <= threshold);
+                if left.is_empty() || right.is_empty() {
+                    return Node::Leaf { not_safe: majority };
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(ds, &left, depth + 1)),
+                    right: Box::new(self.build(ds, &right, depth + 1)),
+                }
+            }
+        }
+    }
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+/// Best (feature, threshold) by weighted Gini, or `None` if no split
+/// improves purity.
+fn best_split(ds: &Dataset, indices: &[usize], min_leaf: usize) -> Option<(usize, f64)> {
+    let total = indices.len();
+    let total_pos = indices.iter().filter(|&&i| ds.labels()[i]).count();
+    let parent = gini(total_pos, total);
+    let mut best: Option<(f64, usize, f64)> = None;
+
+    for feature in 0..ds.dim() {
+        let mut vals: Vec<(f64, bool)> =
+            indices.iter().map(|&i| (ds.rows()[i][feature], ds.labels()[i])).collect();
+        vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut left_pos = 0usize;
+        for split_at in 1..total {
+            if vals[split_at - 1].1 {
+                left_pos += 1;
+            }
+            if vals[split_at - 1].0 == vals[split_at].0 {
+                continue; // cannot split between equal values
+            }
+            if split_at < min_leaf || total - split_at < min_leaf {
+                continue;
+            }
+            let left_g = gini(left_pos, split_at);
+            let right_g = gini(total_pos - left_pos, total - split_at);
+            let weighted = (split_at as f64 * left_g + (total - split_at) as f64 * right_g)
+                / total as f64;
+            let gain = parent - weighted;
+            // Zero-gain splits are admitted (gain ≥ 0): problems like XOR
+            // have no first split that improves Gini, yet splitting unlocks
+            // pure children one level down. Recursion still terminates
+            // because both children are strictly smaller.
+            if gain >= -1e-12 && best.map_or(true, |(bg, _, _)| gain > bg) {
+                let threshold = (vals[split_at - 1].0 + vals[split_at].0) / 2.0;
+                best = Some((gain, feature, threshold));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        not_safe: bool,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    fn leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => left.leaves() + right.leaves(),
+        }
+    }
+}
+
+/// A trained CART decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+}
+
+impl DecisionTree {
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.root.leaves()
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, x: &[f64]) -> bool {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { not_safe } => return *not_safe,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_dataset() -> Dataset {
+        // XOR needs depth ≥ 2; a linear model cannot solve it.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for &(x, y, l) in &[
+            (0.0, 0.0, false),
+            (0.0, 1.0, true),
+            (1.0, 0.0, true),
+            (1.0, 1.0, false),
+        ] {
+            for j in 0..5 {
+                rows.push(vec![x + j as f64 * 0.01, y + j as f64 * 0.01]);
+                labels.push(l);
+            }
+        }
+        Dataset::from_rows(rows, labels).unwrap()
+    }
+
+    #[test]
+    fn solves_xor() {
+        let tree = DecisionTreeTrainer::new().fit(&xor_dataset()).unwrap();
+        assert!(tree.predict(&[0.0, 1.0]));
+        assert!(tree.predict(&[1.0, 0.0]));
+        assert!(!tree.predict(&[0.0, 0.0]));
+        assert!(!tree.predict(&[1.0, 1.0]));
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn single_class_yields_single_leaf() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![true, true]).unwrap();
+        let tree = DecisionTreeTrainer::new().fit(&ds).unwrap();
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.leaf_count(), 1);
+        assert!(tree.predict(&[0.0]));
+    }
+
+    #[test]
+    fn depth_cap_is_respected() {
+        let tree = DecisionTreeTrainer::new().max_depth(1).fit(&xor_dataset()).unwrap();
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_prunes() {
+        let deep = DecisionTreeTrainer::new().fit(&xor_dataset()).unwrap();
+        let shallow =
+            DecisionTreeTrainer::new().min_samples_leaf(10).fit(&xor_dataset()).unwrap();
+        assert!(shallow.leaf_count() <= deep.leaf_count());
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        assert_eq!(DecisionTreeTrainer::new().fit(&Dataset::default()), Err(TreeError::Empty));
+    }
+
+    #[test]
+    fn overfits_training_data_perfectly_when_unbounded() {
+        // This is exactly the overfitting behaviour the paper warns about.
+        let ds = xor_dataset();
+        let tree = DecisionTreeTrainer::new().max_depth(64).fit(&ds).unwrap();
+        for (row, &label) in ds.rows().iter().zip(ds.labels()) {
+            assert_eq!(tree.predict(row), label);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the ML substrate's invariants.
+
+use proptest::prelude::*;
+use waldo_ml::kmeans::KMeans;
+use waldo_ml::model_selection::KFold;
+use waldo_ml::stats::{mean, percentile};
+use waldo_ml::{ConfusionMatrix, Dataset, StandardScaler};
+
+proptest! {
+    #[test]
+    fn percentile_is_monotone_and_bounded(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        q1 in 0.0f64..100.0,
+        q2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_lo = percentile(&xs, lo);
+        let p_hi = percentile(&xs, hi);
+        prop_assert!(p_lo <= p_hi);
+        xs.sort_by(|a, b| a.total_cmp(b));
+        prop_assert!(p_lo >= xs[0] && p_hi <= xs[xs.len() - 1]);
+    }
+
+    #[test]
+    fn kfold_partitions_exactly(n in 10usize..300, k in 2usize..10, seed in 0u64..50) {
+        prop_assume!(n >= k);
+        let splits = KFold::new(k, seed).splits(n);
+        let mut seen = vec![0usize; n];
+        for s in &splits {
+            for &i in &s.test {
+                seen[i] += 1;
+            }
+            prop_assert_eq!(s.train.len() + s.test.len(), n);
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn confusion_rates_are_probabilities(
+        labels in prop::collection::vec((any::<bool>(), any::<bool>()), 1..300),
+    ) {
+        let truth: Vec<bool> = labels.iter().map(|&(t, _)| t).collect();
+        let pred: Vec<bool> = labels.iter().map(|&(_, p)| p).collect();
+        let cm = ConfusionMatrix::from_labels(&truth, &pred);
+        for r in [cm.fp_rate(), cm.fn_rate(), cm.error_rate(), cm.accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+        prop_assert_eq!(cm.total(), labels.len());
+    }
+
+    #[test]
+    fn scaler_standardizes_every_column(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e3f64..1e3, 3..=3), 2..100),
+    ) {
+        let labels = vec![false; rows.len()];
+        let ds = Dataset::from_rows(rows, labels).unwrap();
+        let scaler = StandardScaler::fit(&ds);
+        let out = scaler.transform_dataset(&ds);
+        for d in 0..3 {
+            let col: Vec<f64> = out.rows().iter().map(|r| r[d]).collect();
+            let m = mean(&col);
+            prop_assert!(m.abs() < 1e-6, "column {} mean {}", d, m);
+        }
+    }
+
+    #[test]
+    fn kmeans_assignment_is_nearest_centroid(
+        pts in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 2..=2), 6..60),
+        k in 1usize..5,
+        seed in 0u64..20,
+    ) {
+        prop_assume!(pts.len() >= k);
+        let clustering = KMeans::new(k).seed(seed).fit(&pts).unwrap();
+        for (i, p) in pts.iter().enumerate() {
+            let assigned = clustering.assignment()[i];
+            let d_assigned = waldo_ml::linalg::dist_sq(p, &clustering.centroids()[assigned]);
+            for c in clustering.centroids() {
+                prop_assert!(d_assigned <= waldo_ml::linalg::dist_sq(p, c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn betainc_is_a_cdf_in_x(a in 0.2f64..20.0, b in 0.2f64..20.0,
+                              x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let f_lo = waldo_ml::special::betainc(lo, a, b);
+        let f_hi = waldo_ml::special::betainc(hi, a, b);
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!(f_lo <= f_hi + 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! Hata's mobile-antenna height correction (§2.1 of the paper).
+//!
+//! Regulations assume a 10 m receive antenna; the war-driving antennas sit
+//! at ~2 m. The paper compensates with the large-city correction factor of
+//! Hata's urban model, `a(h) = 3.2·(log₁₀ 11.5·h)² − 4.97`, evaluated at the
+//! 8 m height difference, yielding ≈ 7.4 dB that is added uniformly to all
+//! RSS values before labeling.
+
+/// Hata large-city antenna correction factor `a(h)` in dB for an antenna
+/// height `h` in metres (paper's form with the 11.5 constant).
+///
+/// # Panics
+///
+/// Panics unless `h > 0`.
+///
+/// # Examples
+///
+/// ```
+/// let a = waldo_rf::antenna::hata_correction_db(8.0);
+/// assert!((a - 7.4).abs() < 0.2); // the paper's "7.5 dB correction factor"
+/// ```
+pub fn hata_correction_db(h_m: f64) -> f64 {
+    assert!(h_m > 0.0, "antenna height must be positive");
+    let l = (11.5 * h_m).log10();
+    3.2 * l * l - 4.97
+}
+
+/// The correction the paper applies for measuring at 2 m instead of the
+/// 10 m the rules assume: `a(10 − 2) ≈ 7.4 dB`, added uniformly to every
+/// reading used in labeling.
+pub fn measurement_height_correction_db() -> f64 {
+    hata_correction_db(8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correction_at_eight_metres_matches_paper() {
+        // The paper reports "a 7.5 dB correction factor"; the formula gives
+        // 3.2·(log10 92)² − 4.97 ≈ 7.37 dB.
+        let a = hata_correction_db(8.0);
+        assert!((a - 7.37).abs() < 0.05, "got {a}");
+        assert_eq!(a, measurement_height_correction_db());
+    }
+
+    #[test]
+    fn correction_grows_with_height() {
+        assert!(hata_correction_db(10.0) > hata_correction_db(5.0));
+        assert!(hata_correction_db(5.0) > hata_correction_db(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_height_panics() {
+        let _ = hata_correction_db(0.0);
+    }
+}

@@ -1,0 +1,160 @@
+use serde::{Deserialize, Serialize};
+
+/// Error constructing a [`TvChannel`] outside the UHF/VHF plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelError {
+    number: u8,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel {} is outside the supported US TV plan (2-51)", self.number)
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// A US TV broadcast channel (6 MHz wide).
+///
+/// The measurement study covers nine UHF channels:
+/// {15, 17, 21, 22, 27, 30, 39, 46, 47}. Channels 27 and 39 were fully
+/// occupied in every reading and are excluded from the system evaluation,
+/// exactly as in the paper (§2.1).
+///
+/// # Examples
+///
+/// ```
+/// use waldo_rf::TvChannel;
+///
+/// let ch = TvChannel::new(47).unwrap();
+/// assert_eq!(ch.number(), 47);
+/// assert_eq!(ch.center_mhz(), 671.0);
+/// assert!(TvChannel::new(80).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TvChannel(u8);
+
+impl TvChannel {
+    /// The nine channels of the measurement study (§2.1).
+    pub const STUDY: [TvChannel; 9] = [
+        TvChannel(15),
+        TvChannel(17),
+        TvChannel(21),
+        TvChannel(22),
+        TvChannel(27),
+        TvChannel(30),
+        TvChannel(39),
+        TvChannel(46),
+        TvChannel(47),
+    ];
+
+    /// The seven channels used in the system evaluation (27 and 39 are
+    /// always occupied and dropped, §2.1).
+    pub const EVALUATION: [TvChannel; 7] = [
+        TvChannel(15),
+        TvChannel(17),
+        TvChannel(21),
+        TvChannel(22),
+        TvChannel(30),
+        TvChannel(46),
+        TvChannel(47),
+    ];
+
+    /// Creates a channel, validating against the US plan (2–51).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] for numbers outside 2–51.
+    pub fn new(number: u8) -> Result<Self, ChannelError> {
+        if (2..=51).contains(&number) {
+            Ok(Self(number))
+        } else {
+            Err(ChannelError { number })
+        }
+    }
+
+    /// The channel number.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Channel bandwidth: 6 MHz for all US TV channels.
+    pub fn bandwidth_mhz(self) -> f64 {
+        6.0
+    }
+
+    /// Centre frequency in MHz (US plan: VHF-low 2–6, VHF-high 7–13,
+    /// UHF 14–51).
+    pub fn center_mhz(self) -> f64 {
+        let n = self.0 as f64;
+        match self.0 {
+            2..=4 => 54.0 + (n - 2.0) * 6.0 + 3.0,
+            5..=6 => 76.0 + (n - 5.0) * 6.0 + 3.0,
+            7..=13 => 174.0 + (n - 7.0) * 6.0 + 3.0,
+            _ => 470.0 + (n - 14.0) * 6.0 + 3.0,
+        }
+    }
+
+    /// ATSC pilot frequency: 0.31 MHz above the lower channel edge.
+    pub fn pilot_mhz(self) -> f64 {
+        self.center_mhz() - 3.0 + 0.31
+    }
+}
+
+impl std::fmt::Display for TvChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_plan_bounds() {
+        assert!(TvChannel::new(2).is_ok());
+        assert!(TvChannel::new(51).is_ok());
+        assert!(TvChannel::new(1).is_err());
+        assert!(TvChannel::new(52).is_err());
+        assert!(TvChannel::new(0).is_err());
+    }
+
+    #[test]
+    fn uhf_frequencies_match_the_plan() {
+        // Known UHF centres: ch14 = 473 MHz, ch47 = 671 MHz, ch51 = 695 MHz.
+        assert_eq!(TvChannel::new(14).unwrap().center_mhz(), 473.0);
+        assert_eq!(TvChannel::new(47).unwrap().center_mhz(), 671.0);
+        assert_eq!(TvChannel::new(51).unwrap().center_mhz(), 695.0);
+    }
+
+    #[test]
+    fn vhf_frequencies_match_the_plan() {
+        assert_eq!(TvChannel::new(2).unwrap().center_mhz(), 57.0);
+        assert_eq!(TvChannel::new(5).unwrap().center_mhz(), 79.0);
+        assert_eq!(TvChannel::new(7).unwrap().center_mhz(), 177.0);
+        assert_eq!(TvChannel::new(13).unwrap().center_mhz(), 213.0);
+    }
+
+    #[test]
+    fn pilot_sits_near_lower_edge() {
+        let ch = TvChannel::new(30).unwrap();
+        assert!((ch.pilot_mhz() - (ch.center_mhz() - 2.69)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn study_and_evaluation_sets() {
+        assert_eq!(TvChannel::STUDY.len(), 9);
+        assert_eq!(TvChannel::EVALUATION.len(), 7);
+        for ch in TvChannel::EVALUATION {
+            assert!(TvChannel::STUDY.contains(&ch));
+        }
+        assert!(!TvChannel::EVALUATION.iter().any(|c| c.number() == 27 || c.number() == 39));
+    }
+
+    #[test]
+    fn display_and_error() {
+        assert_eq!(TvChannel::new(15).unwrap().to_string(), "ch15");
+        assert!(TvChannel::new(99).unwrap_err().to_string().contains("99"));
+    }
+}

@@ -1,0 +1,278 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use waldo_geo::Point;
+
+use crate::pathloss::PathLossModel;
+use crate::{Obstacle, ShadowingField, Transmitter, TvChannel};
+
+/// The ground-truth propagation state of one TV channel: its transmitters,
+/// a frozen shadowing realization, shared obstacles, and the path-loss
+/// model that ties them together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelField {
+    channel: TvChannel,
+    transmitters: Vec<Transmitter>,
+    shadowing: ShadowingField,
+    obstacles: Vec<Obstacle>,
+    pathloss: PathLossModel,
+    rx_height_m: f64,
+    shadow_cap_db: f64,
+}
+
+impl ChannelField {
+    /// Composes a channel field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transmitter is on a different channel, or
+    /// `rx_height_m <= 0`.
+    pub fn new(
+        channel: TvChannel,
+        transmitters: Vec<Transmitter>,
+        shadowing: ShadowingField,
+        obstacles: Vec<Obstacle>,
+        pathloss: PathLossModel,
+        rx_height_m: f64,
+    ) -> Self {
+        assert!(rx_height_m > 0.0, "receiver height must be positive");
+        assert!(
+            transmitters.iter().all(|t| t.channel() == channel),
+            "all transmitters must be on the field's channel"
+        );
+        Self {
+            channel,
+            transmitters,
+            shadowing,
+            obstacles,
+            pathloss,
+            rx_height_m,
+            shadow_cap_db: f64::INFINITY,
+        }
+    }
+
+    /// Caps positive shadowing excursions at `cap_db` (deep *negative*
+    /// shadowing — obstruction — is physically common; sustained gains
+    /// above the median are not: constructive multipath rarely beats a few
+    /// dB at UHF over street-level paths). The cap keeps Algorithm 1's
+    /// protected labels within territory whose signal low-cost sensors can
+    /// actually observe, which is the regime the paper measured.
+    pub fn with_shadow_cap_db(mut self, cap_db: f64) -> Self {
+        self.shadow_cap_db = cap_db;
+        self
+    }
+
+    /// The channel.
+    pub fn channel(&self) -> TvChannel {
+        self.channel
+    }
+
+    /// The incumbent transmitters.
+    pub fn transmitters(&self) -> &[Transmitter] {
+        &self.transmitters
+    }
+
+    /// The receive height the truth is evaluated at, metres.
+    pub fn rx_height_m(&self) -> f64 {
+        self.rx_height_m
+    }
+
+    /// Median received power from `tx` at `p` (path loss only, no
+    /// shadowing or obstacles) — what a model-driven database can know.
+    pub fn median_rss_dbm(&self, tx: &Transmitter, p: Point) -> f64 {
+        let d = tx.location().distance(p).max(1.0);
+        self.pathloss.received_dbm(
+            tx.erp_dbm(),
+            self.channel.center_mhz(),
+            d,
+            tx.height_m(),
+            self.rx_height_m,
+        )
+    }
+
+    /// Ground-truth received power at `p` in dBm: the power sum over
+    /// transmitters of median loss + correlated shadowing − obstacle
+    /// excess loss. Returns `-inf` when the channel has no transmitter.
+    pub fn rss_dbm(&self, p: Point) -> f64 {
+        if self.transmitters.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let shadow = self.shadowing.value_db(p).min(self.shadow_cap_db);
+        let obstacle: f64 = self.obstacles.iter().map(|o| o.excess_loss_db(p)).sum();
+        let total_mw: f64 = self
+            .transmitters
+            .iter()
+            .map(|tx| {
+                let db = self.median_rss_dbm(tx, p) + shadow - obstacle;
+                10f64.powf(db / 10.0)
+            })
+            .sum();
+        10.0 * total_mw.log10()
+    }
+}
+
+/// Ground truth for every channel in the study: the RF world the campaign
+/// drives through.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_rf::world::WorldBuilder;
+/// use waldo_geo::Point;
+///
+/// let world = WorldBuilder::new().seed(1).build();
+/// let ch = world.field().channels()[0];
+/// let rss = world.field().rss_dbm(ch, Point::new(10_000.0, 10_000.0));
+/// assert!(rss.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalField {
+    fields: BTreeMap<TvChannel, ChannelField>,
+}
+
+impl SignalField {
+    /// Builds the field from per-channel components.
+    pub fn new(fields: Vec<ChannelField>) -> Self {
+        Self { fields: fields.into_iter().map(|f| (f.channel(), f)).collect() }
+    }
+
+    /// The channels present, ascending.
+    pub fn channels(&self) -> Vec<TvChannel> {
+        self.fields.keys().copied().collect()
+    }
+
+    /// Per-channel field accessor.
+    pub fn channel_field(&self, ch: TvChannel) -> Option<&ChannelField> {
+        self.fields.get(&ch)
+    }
+
+    /// Ground-truth RSS for `ch` at `p` in dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is not part of this field.
+    pub fn rss_dbm(&self, ch: TvChannel, p: Point) -> f64 {
+        self.fields
+            .get(&ch)
+            .unwrap_or_else(|| panic!("channel {ch} is not part of this world"))
+            .rss_dbm(p)
+    }
+
+    /// Every transmitter across all channels (the incumbent registry a
+    /// spectrum database would hold).
+    pub fn transmitters(&self) -> Vec<Transmitter> {
+        self.fields.values().flat_map(|f| f.transmitters().iter().copied()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathloss::Environment;
+    use waldo_geo::Region;
+
+    fn region() -> Region {
+        Region::new(Point::new(0.0, 0.0), Point::new(20_000.0, 20_000.0)).unwrap()
+    }
+
+    fn channel_field(erp: f64, obstacles: Vec<Obstacle>, sigma: f64) -> ChannelField {
+        let ch = TvChannel::new(30).unwrap();
+        ChannelField::new(
+            ch,
+            vec![Transmitter::new(ch, Point::new(10_000.0, 10_000.0), erp, 300.0)],
+            ShadowingField::generate(region(), sigma, 250.0, 9),
+            obstacles,
+            PathLossModel::Hata { environment: Environment::Urban },
+            2.0,
+        )
+    }
+
+    #[test]
+    fn rss_decays_with_distance() {
+        let f = channel_field(60.0, vec![], 0.0);
+        let near = f.rss_dbm(Point::new(10_500.0, 10_000.0));
+        let mid = f.rss_dbm(Point::new(14_000.0, 10_000.0));
+        let far = f.rss_dbm(Point::new(19_900.0, 10_000.0));
+        assert!(near > mid && mid > far, "{near} {mid} {far}");
+    }
+
+    #[test]
+    fn obstacle_carves_a_pocket() {
+        let zone =
+            Region::new(Point::new(12_000.0, 9_000.0), Point::new(14_000.0, 11_000.0)).unwrap();
+        let blocked = channel_field(60.0, vec![Obstacle::new(zone, 30.0, 100.0)], 0.0);
+        let open = channel_field(60.0, vec![], 0.0);
+        let inside = Point::new(13_000.0, 10_000.0);
+        assert!((open.rss_dbm(inside) - blocked.rss_dbm(inside) - 30.0).abs() < 1e-9);
+        let outside = Point::new(5_000.0, 5_000.0);
+        assert_eq!(open.rss_dbm(outside), blocked.rss_dbm(outside));
+    }
+
+    #[test]
+    fn empty_channel_reads_negative_infinity() {
+        let ch = TvChannel::new(30).unwrap();
+        let f = ChannelField::new(
+            ch,
+            vec![],
+            ShadowingField::generate(region(), 6.0, 250.0, 1),
+            vec![],
+            PathLossModel::FreeSpace,
+            2.0,
+        );
+        assert_eq!(f.rss_dbm(Point::new(0.0, 0.0)), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn two_transmitters_sum_in_power() {
+        let ch = TvChannel::new(30).unwrap();
+        let mk = |txs: Vec<Transmitter>| {
+            ChannelField::new(
+                ch,
+                txs,
+                ShadowingField::generate(region(), 0.0, 250.0, 1),
+                vec![],
+                PathLossModel::FreeSpace,
+                2.0,
+            )
+        };
+        let a = Transmitter::new(ch, Point::new(0.0, 10_000.0), 60.0, 300.0);
+        let b = Transmitter::new(ch, Point::new(20_000.0, 10_000.0), 60.0, 300.0);
+        let p = Point::new(10_000.0, 10_000.0); // equidistant
+        let single = mk(vec![a]).rss_dbm(p);
+        let both = mk(vec![a, b]).rss_dbm(p);
+        assert!((both - single - 3.01).abs() < 0.02, "expected +3 dB, got {}", both - single);
+    }
+
+    #[test]
+    fn signal_field_lookup() {
+        let f = channel_field(60.0, vec![], 3.0);
+        let world = SignalField::new(vec![f]);
+        assert_eq!(world.channels().len(), 1);
+        assert_eq!(world.transmitters().len(), 1);
+        let ch = world.channels()[0];
+        assert!(world.channel_field(ch).is_some());
+        assert!(world.channel_field(TvChannel::new(15).unwrap()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of this world")]
+    fn unknown_channel_panics() {
+        let world = SignalField::new(vec![channel_field(60.0, vec![], 0.0)]);
+        let _ = world.rss_dbm(TvChannel::new(15).unwrap(), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "field's channel")]
+    fn mismatched_transmitter_channel_panics() {
+        let ch30 = TvChannel::new(30).unwrap();
+        let ch15 = TvChannel::new(15).unwrap();
+        let _ = ChannelField::new(
+            ch30,
+            vec![Transmitter::new(ch15, Point::default(), 60.0, 300.0)],
+            ShadowingField::generate(region(), 6.0, 250.0, 1),
+            vec![],
+            PathLossModel::FreeSpace,
+            2.0,
+        );
+    }
+}

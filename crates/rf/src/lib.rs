@@ -1,0 +1,50 @@
+//! RF propagation substrate: the physical world the paper measured, rebuilt
+//! as a simulator.
+//!
+//! The paper's dataset is 5282 readings per channel over 700 km² of metro
+//! Atlanta. That RF environment — TV transmitters, distance-dependent path
+//! loss, correlated log-normal shadowing, and the terrain/obstacle effects
+//! that carve out white-space "pockets" (Fig 1) — is the input every
+//! experiment depends on. This crate provides:
+//!
+//! * [`TvChannel`] — US TV channel numbers and their frequencies.
+//! * [`pathloss`] — free-space, Hata (urban/suburban/open), and
+//!   log-distance path-loss models, plus the R-6602-like conservative curve
+//!   the spectrum-database baseline uses.
+//! * [`antenna`] — Hata's mobile-antenna correction factor, including the
+//!   7.4 dB 2 m → 10 m correction the paper applies (§2.1).
+//! * [`ShadowingField`] — spatially correlated log-normal shadowing
+//!   (Gudmundson's exponential correlation model).
+//! * [`Obstacle`] — localized excess attenuation that creates pockets and
+//!   hidden nodes.
+//! * [`Transmitter`], [`SignalField`] — the composed ground-truth RSS at any
+//!   point, per channel.
+//! * [`world`] — the canonical "SimAtlanta" scenario every experiment runs
+//!   against (35 km × 20 km, nine channels, seeded).
+
+pub mod antenna;
+mod channel;
+mod field;
+mod obstacle;
+pub mod pathloss;
+mod shadowing;
+mod transmitter;
+pub mod world;
+
+pub use channel::{ChannelError, TvChannel};
+pub use field::{ChannelField, SignalField};
+pub use obstacle::Obstacle;
+pub use shadowing::ShadowingField;
+pub use transmitter::Transmitter;
+
+/// Minimum decodable TV signal per FCC rules: −84 dBm (§1, §2.1). Readings
+/// at or above this level mark the protected contour.
+pub const DECODABLE_DBM: f64 = -84.0;
+
+/// The legacy FCC sensing threshold for standalone spectrum sensing:
+/// −114 dBm, requiring expensive hardware.
+pub const SENSING_THRESHOLD_DBM: f64 = -114.0;
+
+/// Protection radius around a decodable reading for portable white-space
+/// devices: 6 km (§2.1, Algorithm 1).
+pub const PROTECTION_RADIUS_M: f64 = 6_000.0;

@@ -1,0 +1,126 @@
+//! Localized excess attenuation: the terrain and building effects that
+//! create white-space "pockets" (Fig 1 of the paper).
+//!
+//! A generic propagation model cannot see a pocket — a region inside the
+//! nominal contour where the signal is actually undecodable — nor the
+//! complementary hidden-node shadow. Obstacles inject exactly those
+//! structures into the ground truth, with a soft edge so boundaries are not
+//! knife-edge artifacts.
+
+use serde::{Deserialize, Serialize};
+use waldo_geo::{Point, Region};
+
+/// A rectangular obstruction adding `attenuation_db` of extra loss to
+/// receivers inside it, tapering linearly to zero over `edge_m` outside its
+/// boundary.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_geo::{Point, Region};
+/// use waldo_rf::Obstacle;
+///
+/// let zone = Region::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)).unwrap();
+/// let hill = Obstacle::new(zone, 25.0, 200.0);
+/// assert_eq!(hill.excess_loss_db(Point::new(500.0, 500.0)), 25.0);
+/// assert_eq!(hill.excess_loss_db(Point::new(5_000.0, 500.0)), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Obstacle {
+    zone: Region,
+    attenuation_db: f64,
+    edge_m: f64,
+}
+
+impl Obstacle {
+    /// Creates an obstacle over `zone` with full attenuation inside and a
+    /// linear taper over `edge_m` metres outside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attenuation_db < 0` or `edge_m < 0`.
+    pub fn new(zone: Region, attenuation_db: f64, edge_m: f64) -> Self {
+        assert!(attenuation_db >= 0.0, "attenuation must be non-negative");
+        assert!(edge_m >= 0.0, "edge width must be non-negative");
+        Self { zone, attenuation_db, edge_m }
+    }
+
+    /// The obstructed zone.
+    pub fn zone(&self) -> Region {
+        self.zone
+    }
+
+    /// Peak attenuation in dB.
+    pub fn attenuation_db(&self) -> f64 {
+        self.attenuation_db
+    }
+
+    /// Extra loss experienced by a receiver at `p`.
+    pub fn excess_loss_db(&self, p: Point) -> f64 {
+        if self.zone.contains(p) {
+            return self.attenuation_db;
+        }
+        if self.edge_m == 0.0 {
+            return 0.0;
+        }
+        let nearest = self.zone.clamp(p);
+        let d = nearest.distance(p);
+        if d >= self.edge_m {
+            0.0
+        } else {
+            self.attenuation_db * (1.0 - d / self.edge_m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obstacle() -> Obstacle {
+        let zone =
+            Region::new(Point::new(1_000.0, 1_000.0), Point::new(2_000.0, 2_000.0)).unwrap();
+        Obstacle::new(zone, 30.0, 500.0)
+    }
+
+    #[test]
+    fn full_loss_inside() {
+        let o = obstacle();
+        assert_eq!(o.excess_loss_db(Point::new(1_500.0, 1_500.0)), 30.0);
+        assert_eq!(o.excess_loss_db(Point::new(1_000.0, 1_000.0)), 30.0);
+    }
+
+    #[test]
+    fn taper_is_linear() {
+        let o = obstacle();
+        let at = |d: f64| o.excess_loss_db(Point::new(2_000.0 + d, 1_500.0));
+        assert_eq!(at(0.0), 30.0);
+        assert!((at(250.0) - 15.0).abs() < 1e-9);
+        assert_eq!(at(500.0), 0.0);
+        assert_eq!(at(501.0), 0.0);
+    }
+
+    #[test]
+    fn corner_distance_uses_euclidean_metric() {
+        let o = obstacle();
+        // 300 m diagonal from the (2000, 2000) corner: d = √(180000) ≈ 424 m.
+        let loss = o.excess_loss_db(Point::new(2_300.0, 2_300.0));
+        let expect = 30.0 * (1.0 - (300.0f64 * 300.0 * 2.0).sqrt() / 500.0);
+        assert!((loss - expect).abs() < 1e-9, "{loss} vs {expect}");
+    }
+
+    #[test]
+    fn hard_edge_with_zero_taper() {
+        let zone = Region::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)).unwrap();
+        let o = Obstacle::new(zone, 20.0, 0.0);
+        assert_eq!(o.excess_loss_db(Point::new(5.0, 5.0)), 20.0);
+        assert_eq!(o.excess_loss_db(Point::new(10.1, 5.0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_attenuation_panics() {
+        let zone = Region::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+        let _ = Obstacle::new(zone, -1.0, 0.0);
+    }
+}

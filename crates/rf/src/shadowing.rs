@@ -1,0 +1,199 @@
+//! Spatially correlated log-normal shadowing.
+//!
+//! Shadow fading decorrelates exponentially with distance
+//! (`R(d) = e^{−d/d₀}`, Gudmundson 1991 — reference [29] of the paper; the
+//! paper builds on this to require > 20 m spacing between readings). The
+//! field is realized by drawing i.i.d. Gaussians on a grid with spacing
+//! `d₀` and interpolating bilinearly, which yields a stationary field whose
+//! correlation decays over ~`d₀` — the behaviour the labeling rule and the
+//! pocket structure depend on.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use waldo_geo::{Point, Region};
+
+/// Draws a standard normal via Box–Muller (kept local to avoid a
+/// cross-crate dependency for one function).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    use rand::Rng;
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// A frozen realization of a correlated shadowing field over a region.
+///
+/// Values are in dB, zero-mean, with standard deviation `sigma_db` and
+/// decorrelation distance `decorrelation_m`. Points outside the region are
+/// clamped to its edge.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_geo::{Point, Region};
+/// use waldo_rf::ShadowingField;
+///
+/// let region = Region::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0)).unwrap();
+/// let field = ShadowingField::generate(region, 6.0, 300.0, 42);
+/// let a = field.value_db(Point::new(100.0, 100.0));
+/// let b = field.value_db(Point::new(100.0, 100.0));
+/// assert_eq!(a, b); // frozen realization
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShadowingField {
+    region: Region,
+    sigma_db: f64,
+    spacing_m: f64,
+    nx: usize,
+    ny: usize,
+    grid: Vec<f64>,
+}
+
+impl ShadowingField {
+    /// Generates a field over `region` with standard deviation `sigma_db`
+    /// and decorrelation distance `decorrelation_m`, deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_db < 0` or `decorrelation_m <= 0`.
+    pub fn generate(region: Region, sigma_db: f64, decorrelation_m: f64, seed: u64) -> Self {
+        assert!(sigma_db >= 0.0, "sigma must be non-negative");
+        assert!(decorrelation_m > 0.0, "decorrelation distance must be positive");
+        let spacing = decorrelation_m;
+        let nx = (region.width_m() / spacing).ceil() as usize + 2;
+        let ny = (region.height_m() / spacing).ceil() as usize + 2;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5badc0de);
+        let grid: Vec<f64> = (0..nx * ny).map(|_| standard_normal(&mut rng)).collect();
+        Self { region, sigma_db, spacing_m: spacing, nx, ny, grid }
+    }
+
+    /// The field's standard deviation in dB.
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    /// The decorrelation distance in metres.
+    pub fn decorrelation_m(&self) -> f64 {
+        self.spacing_m
+    }
+
+    /// Shadowing value in dB at `p` (bilinear interpolation of the frozen
+    /// grid; points outside the region clamp to its edge).
+    pub fn value_db(&self, p: Point) -> f64 {
+        let p = self.region.clamp(p);
+        let fx = (p.x - self.region.min().x) / self.spacing_m;
+        let fy = (p.y - self.region.min().y) / self.spacing_m;
+        let ix = (fx.floor() as usize).min(self.nx - 2);
+        let iy = (fy.floor() as usize).min(self.ny - 2);
+        let tx = (fx - ix as f64).clamp(0.0, 1.0);
+        let ty = (fy - iy as f64).clamp(0.0, 1.0);
+        let g = |x: usize, y: usize| self.grid[y * self.nx + x];
+        let v = g(ix, iy) * (1.0 - tx) * (1.0 - ty)
+            + g(ix + 1, iy) * tx * (1.0 - ty)
+            + g(ix, iy + 1) * (1.0 - tx) * ty
+            + g(ix + 1, iy + 1) * tx * ty;
+        // Bilinear blending of unit-variance corners shrinks variance
+        // between nodes; renormalize so σ holds everywhere.
+        let w = ((1.0 - tx) * (1.0 - ty)).powi(2)
+            + (tx * (1.0 - ty)).powi(2)
+            + ((1.0 - tx) * ty).powi(2)
+            + (tx * ty).powi(2);
+        self.sigma_db * v / w.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn region() -> Region {
+        Region::new(Point::new(0.0, 0.0), Point::new(20_000.0, 10_000.0)).unwrap()
+    }
+
+    fn sample_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..20_000.0), rng.gen_range(0.0..10_000.0)))
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ShadowingField::generate(region(), 6.0, 250.0, 7);
+        let b = ShadowingField::generate(region(), 6.0, 250.0, 7);
+        let c = ShadowingField::generate(region(), 6.0, 250.0, 8);
+        let p = Point::new(1234.0, 5678.0);
+        assert_eq!(a.value_db(p), b.value_db(p));
+        assert_ne!(a.value_db(p), c.value_db(p));
+    }
+
+    #[test]
+    fn marginal_statistics_match_sigma() {
+        let field = ShadowingField::generate(region(), 6.0, 250.0, 1);
+        let vals: Vec<f64> = sample_points(4000, 2).iter().map(|&p| field.value_db(p)).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - 6.0).abs() < 0.6, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn nearby_points_correlate_distant_points_do_not() {
+        let field = ShadowingField::generate(region(), 6.0, 300.0, 3);
+        let pts = sample_points(2000, 4);
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for &p in &pts {
+            let v = field.value_db(p);
+            near.push((v, field.value_db(Point::new(p.x + 30.0, p.y))));
+            far.push((v, field.value_db(Point::new(p.x + 5_000.0, p.y))));
+        }
+        let corr = |pairs: &[(f64, f64)]| {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+            let my = ys.iter().sum::<f64>() / ys.len() as f64;
+            let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+            for (x, y) in xs.iter().zip(&ys) {
+                sxy += (x - mx) * (y - my);
+                sxx += (x - mx) * (x - mx);
+                syy += (y - my) * (y - my);
+            }
+            sxy / (sxx * syy).sqrt()
+        };
+        let c_near = corr(&near);
+        let c_far = corr(&far);
+        assert!(c_near > 0.8, "30 m correlation too low: {c_near}");
+        assert!(c_far.abs() < 0.15, "5 km correlation too high: {c_far}");
+    }
+
+    #[test]
+    fn outside_points_clamp_to_edge() {
+        let field = ShadowingField::generate(region(), 6.0, 250.0, 5);
+        let inside = field.value_db(Point::new(0.0, 0.0));
+        let outside = field.value_db(Point::new(-500.0, -500.0));
+        assert_eq!(inside, outside);
+    }
+
+    #[test]
+    fn zero_sigma_field_is_flat() {
+        let field = ShadowingField::generate(region(), 0.0, 250.0, 5);
+        for p in sample_points(50, 6) {
+            assert_eq!(field.value_db(p), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_decorrelation_panics() {
+        let _ = ShadowingField::generate(region(), 6.0, 0.0, 0);
+    }
+}

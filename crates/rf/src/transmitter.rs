@@ -1,0 +1,93 @@
+use serde::{Deserialize, Serialize};
+use waldo_geo::Point;
+
+use crate::TvChannel;
+
+/// A licensed TV transmitter (a primary spectrum incumbent).
+///
+/// # Examples
+///
+/// ```
+/// use waldo_geo::Point;
+/// use waldo_rf::{Transmitter, TvChannel};
+///
+/// let tx = Transmitter::new(
+///     TvChannel::new(47).unwrap(),
+///     Point::new(10_000.0, 5_000.0),
+///     80.0,
+///     300.0,
+/// );
+/// assert_eq!(tx.erp_dbm(), 80.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transmitter {
+    channel: TvChannel,
+    location: Point,
+    erp_dbm: f64,
+    height_m: f64,
+}
+
+impl Transmitter {
+    /// Creates a transmitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `height_m > 0` and `erp_dbm` is finite.
+    pub fn new(channel: TvChannel, location: Point, erp_dbm: f64, height_m: f64) -> Self {
+        assert!(height_m > 0.0, "mast height must be positive");
+        assert!(erp_dbm.is_finite(), "ERP must be finite");
+        Self { channel, location, erp_dbm, height_m }
+    }
+
+    /// The channel this transmitter occupies.
+    pub fn channel(&self) -> TvChannel {
+        self.channel
+    }
+
+    /// Transmitter location in the local frame.
+    pub fn location(&self) -> Point {
+        self.location
+    }
+
+    /// Effective radiated power in dBm.
+    pub fn erp_dbm(&self) -> f64 {
+        self.erp_dbm
+    }
+
+    /// Mast height in metres.
+    pub fn height_m(&self) -> f64 {
+        self.height_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let tx = Transmitter::new(
+            TvChannel::new(30).unwrap(),
+            Point::new(1.0, 2.0),
+            75.0,
+            250.0,
+        );
+        assert_eq!(tx.channel().number(), 30);
+        assert_eq!(tx.location(), Point::new(1.0, 2.0));
+        assert_eq!(tx.erp_dbm(), 75.0);
+        assert_eq!(tx.height_m(), 250.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_height_panics() {
+        let _ = Transmitter::new(TvChannel::new(30).unwrap(), Point::default(), 75.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_erp_panics() {
+        let _ =
+            Transmitter::new(TvChannel::new(30).unwrap(), Point::default(), f64::NAN, 100.0);
+    }
+}

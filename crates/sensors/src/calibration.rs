@@ -1,0 +1,267 @@
+//! Wired calibration against a signal generator (§2.1).
+//!
+//! The paper calibrates the RTL-SDR and USRP with an Agilent E4422B over a
+//! wired connection, fitting "a linear function that maps different input
+//! levels to their corresponding output readings". [`calibrate`] reproduces
+//! that: drive the sensor with known tone levels, average its raw pilot
+//! readings, and least-squares fit the raw → dBm line (discarding levels
+//! swallowed by the noise floor, which would bend the fit).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use waldo_iq::FrameSynthesizer;
+
+use crate::SensorModel;
+
+/// A laboratory signal generator producing a CW tone at a known level, or
+/// nothing at all ("No signal" in Fig 5).
+///
+/// # Examples
+///
+/// ```
+/// use waldo_sensors::{SensorModel, SignalGenerator};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let generator = SignalGenerator::tone(-50.0);
+/// let raw = generator.drive(&SensorModel::rtl_sdr(), &mut rng);
+/// assert!((raw - (-50.0 + SensorModel::rtl_sdr().gain_db())).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalGenerator {
+    level_dbm: Option<f64>,
+}
+
+impl SignalGenerator {
+    /// A tone at `level_dbm`.
+    pub fn tone(level_dbm: f64) -> Self {
+        Self { level_dbm: Some(level_dbm) }
+    }
+
+    /// No output (noise-floor characterization).
+    pub fn off() -> Self {
+        Self { level_dbm: None }
+    }
+
+    /// The configured level, if any.
+    pub fn level_dbm(&self) -> Option<f64> {
+        self.level_dbm
+    }
+
+    /// Drives `sensor` over the wired connection and returns one raw pilot
+    /// reading (dB, uncalibrated). Wired operation bypasses over-the-air
+    /// impairments but keeps the device's own gain wobble and floor.
+    pub fn drive<R: Rng + ?Sized>(&self, sensor: &SensorModel, rng: &mut R) -> f64 {
+        use waldo_iq::{window::Window, FeatureVector, IqFrame};
+        let wobble = sensor.reading_sigma_db() * waldo_iq::synth::standard_normal(rng);
+        let mut synth = FrameSynthesizer::new(sensor.frame_len())
+            .noise_dbfs(sensor.capture_noise_raw_db());
+        if let Some(level) = self.level_dbm {
+            synth = synth.pilot_dbfs(level + sensor.gain_db() + wobble);
+        }
+        let frames: Vec<IqFrame> =
+            (0..sensor.frames_per_reading()).map(|_| synth.synthesize(rng)).collect();
+        FeatureVector::extract_from_frames(&frames, Window::Hann).pilot_db
+    }
+}
+
+/// Errors from the calibration procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// Fewer than two usable (above-floor) levels remain.
+    TooFewLevels,
+    /// The usable levels produced a degenerate (flat) fit.
+    Degenerate,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::TooFewLevels => {
+                write!(f, "need at least two calibration levels above the noise floor")
+            }
+            CalibrationError::Degenerate => write!(f, "calibration points produced a flat fit"),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// A linear raw-reading → dBm map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    slope: f64,
+    intercept_dbm: f64,
+}
+
+impl Calibration {
+    /// The identity map (used by the spectrum analyzer, which reads dBm
+    /// natively).
+    pub fn identity() -> Self {
+        Self { slope: 1.0, intercept_dbm: 0.0 }
+    }
+
+    /// An exact factory calibration for `sensor` (slope 1, intercept
+    /// −gain); field experiments use [`calibrate`] instead to exercise the
+    /// full procedure.
+    pub fn factory(sensor: &SensorModel) -> Self {
+        Self { slope: 1.0, intercept_dbm: -sensor.gain_db() }
+    }
+
+    /// Fitted slope (≈ 1 for a well-behaved energy detector).
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// Fitted intercept in dBm.
+    pub fn intercept_dbm(&self) -> f64 {
+        self.intercept_dbm
+    }
+
+    /// Maps a raw reading (dB) to input-referred dBm.
+    pub fn to_dbm(&self, raw_db: f64) -> f64 {
+        self.slope * raw_db + self.intercept_dbm
+    }
+}
+
+/// Runs the wired calibration: `frames_per_level` captures at each level in
+/// `levels_dbm`, keeping levels whose mean reading clears the sensor's raw
+/// noise floor by 3 dB, then fitting the raw → dBm line.
+///
+/// # Errors
+///
+/// Returns [`CalibrationError`] if fewer than two levels survive the floor
+/// cut or the fit degenerates.
+///
+/// # Panics
+///
+/// Panics if `frames_per_level == 0`.
+pub fn calibrate<R: Rng + ?Sized>(
+    sensor: &SensorModel,
+    levels_dbm: &[f64],
+    frames_per_level: usize,
+    rng: &mut R,
+) -> Result<Calibration, CalibrationError> {
+    assert!(frames_per_level > 0, "need at least one frame per level");
+    // Floor reference from a generator-off run.
+    let off = SignalGenerator::off();
+    let floor_raw = mean_db(
+        &(0..frames_per_level.max(20)).map(|_| off.drive(sensor, rng)).collect::<Vec<_>>(),
+    );
+
+    let mut points: Vec<(f64, f64)> = Vec::new(); // (raw, dBm)
+    for &level in levels_dbm {
+        let generator = SignalGenerator::tone(level);
+        let raws: Vec<f64> =
+            (0..frames_per_level).map(|_| generator.drive(sensor, rng)).collect();
+        let raw = mean_db(&raws);
+        if raw > floor_raw + 3.0 {
+            points.push((raw, level));
+        }
+    }
+    if points.len() < 2 {
+        return Err(CalibrationError::TooFewLevels);
+    }
+    // Inline 1-D OLS (y = dBm, x = raw).
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    if sxx < 1e-9 {
+        return Err(CalibrationError::Degenerate);
+    }
+    let slope = sxy / sxx;
+    Ok(Calibration { slope, intercept_dbm: my - slope * mx })
+}
+
+/// Power-domain mean of dB values.
+fn mean_db(vals: &[f64]) -> f64 {
+    let lin: f64 = vals.iter().map(|v| 10f64.powf(v / 10.0)).sum::<f64>() / vals.len() as f64;
+    10.0 * lin.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xCAFE)
+    }
+
+    #[test]
+    fn calibration_recovers_the_device_gain() {
+        let mut rng = rng();
+        for sensor in [SensorModel::rtl_sdr(), SensorModel::usrp_b200()] {
+            let cal = calibrate(&sensor, &[-90.0, -80.0, -70.0, -60.0, -50.0], 40, &mut rng)
+                .unwrap();
+            assert!((cal.slope() - 1.0).abs() < 0.03, "{}: slope {}", sensor.kind(), cal.slope());
+            // A raw reading equal to gain must map back to ~0 dBm.
+            let back = cal.to_dbm(sensor.gain_db());
+            assert!(back.abs() < 1.0, "{}: {back}", sensor.kind());
+        }
+    }
+
+    #[test]
+    fn calibration_roundtrips_unseen_levels() {
+        let mut rng = rng();
+        let sensor = SensorModel::usrp_b200();
+        let cal = calibrate(&sensor, &[-85.0, -70.0, -55.0], 40, &mut rng).unwrap();
+        // Probe a level not in the calibration set.
+        let raws: Vec<f64> = (0..60)
+            .map(|_| SignalGenerator::tone(-63.0).drive(&sensor, &mut rng))
+            .collect();
+        let est = cal.to_dbm(mean_db(&raws));
+        assert!((est - -63.0).abs() < 1.0, "estimated {est}");
+    }
+
+    #[test]
+    fn below_floor_levels_are_discarded() {
+        let mut rng = rng();
+        let sensor = SensorModel::rtl_sdr();
+        // Two levels below the −98 dBm floor, two above: fit must use the
+        // two above and stay linear.
+        let cal =
+            calibrate(&sensor, &[-120.0, -110.0, -70.0, -50.0], 40, &mut rng).unwrap();
+        assert!((cal.slope() - 1.0).abs() < 0.05, "slope {}", cal.slope());
+    }
+
+    #[test]
+    fn all_below_floor_fails() {
+        let mut rng = rng();
+        let sensor = SensorModel::rtl_sdr();
+        assert_eq!(
+            calibrate(&sensor, &[-130.0, -125.0, -120.0], 30, &mut rng),
+            Err(CalibrationError::TooFewLevels)
+        );
+    }
+
+    #[test]
+    fn factory_calibration_matches_fitted_calibration() {
+        let mut rng = rng();
+        let sensor = SensorModel::usrp_b200();
+        let fitted = calibrate(&sensor, &[-90.0, -70.0, -50.0], 60, &mut rng).unwrap();
+        let factory = Calibration::factory(&sensor);
+        for raw in [-60.0, -40.0, -20.0] {
+            assert!((fitted.to_dbm(raw) - factory.to_dbm(raw)).abs() < 1.5);
+        }
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let cal = Calibration::identity();
+        assert_eq!(cal.to_dbm(-84.0), -84.0);
+    }
+
+    #[test]
+    fn generator_off_reads_floor() {
+        let mut rng = rng();
+        let sensor = SensorModel::spectrum_analyzer();
+        let raws: Vec<f64> =
+            (0..60).map(|_| SignalGenerator::off().drive(&sensor, &mut rng)).collect();
+        let floor = mean_db(&raws);
+        assert!((floor - -114.0).abs() < 1.0, "floor {floor}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Sensor substrate: parametric models of the three devices the paper
+//! drives around Atlanta, plus the wired calibration procedure of §2.1.
+//!
+//! * [`SensorModel::rtl_sdr`] — the $15 dongle: very stable readings
+//!   (Fig 5c/d shows little variability) but an effective narrowband floor
+//!   of ≈ −98 dBm, only ~2 dB below the −84 dBm decodability threshold
+//!   once the +12 dB pilot-to-channel correction is applied. That bias is
+//!   what costs it efficiency (39.8 % misdetections in §2.2).
+//! * [`SensorModel::usrp_b200`] — the $686 SDR: sensitive to ≈ −103 dBm but
+//!   with visibly noisier readings (Fig 5a), which costs it safety
+//!   (5.2 % false alarms).
+//! * [`SensorModel::spectrum_analyzer`] — the $25k FieldFox-class reference
+//!   used as ground truth (−114 dBm, tight readings).
+//!
+//! The measurement pipeline is faithful to the paper: each observation is a
+//! 256-sample I/Q capture; the *narrowband pilot* estimator (+12 dB) turns
+//! it into a channel-power reading; a wired [`calibrate`] run against a
+//! [`SignalGenerator`] learns the linear raw-to-dBm map that is then
+//! applied in the field.
+
+mod calibration;
+mod model;
+mod observe;
+
+pub use calibration::{calibrate, Calibration, CalibrationError, SignalGenerator};
+pub use model::{SensorKind, SensorModel};
+pub use observe::Observation;

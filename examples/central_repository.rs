@@ -1,0 +1,74 @@
+//! The full §3.1 loop: a central repository bootstraps from war-driving
+//! data, devices download versioned models, sense locally, and upload
+//! their readings — honest uploads refine the model, implausible ones are
+//! rejected by the trust policy.
+//!
+//! ```text
+//! cargo run --release --example central_repository
+//! ```
+
+use waldo_repro::data::CampaignBuilder;
+use waldo_repro::rf::world::WorldBuilder;
+use waldo_repro::rf::TvChannel;
+use waldo_repro::sensors::SensorKind;
+use waldo_repro::waldo::repository::SpectrumRepository;
+use waldo_repro::waldo::{Assessor, ClassifierKind, ModelConstructor, WaldoConfig, WaldoModel};
+
+fn main() {
+    let world = WorldBuilder::new().seed(21).build();
+    let campaign = CampaignBuilder::new(&world)
+        .readings_per_channel(1_500)
+        .spacing_m(450.0)
+        .seed(21)
+        .collect();
+    let ch = TvChannel::new(30).expect("valid channel");
+    let ds = campaign.dataset(SensorKind::RtlSdr, ch).expect("collected");
+
+    // 1. Bootstrap the repository from the trusted war-driving data.
+    let mut repo = SpectrumRepository::new(
+        world.region(),
+        ModelConstructor::new(
+            WaldoConfig::default().classifier(ClassifierKind::NaiveBayes),
+        ),
+    );
+    let (bootstrap, rest) = ds.measurements().split_at(ds.len() / 2);
+    let v1 = repo.bootstrap(ch, bootstrap).expect("bootstrap data trains");
+    println!("bootstrapped channel {ch} at version {v1}");
+
+    // 2. A device downloads the model and decides locally.
+    let device_at = rest[10].location;
+    let download = repo.download(ch, device_at).expect("inside the service area");
+    let model = WaldoModel::from_descriptor(&download.descriptor).expect("valid descriptor");
+    println!(
+        "device downloaded {} bytes (v{}); local decision: {}",
+        download.descriptor.len(),
+        download.version,
+        model.assess(device_at, &rest[10].observation)
+    );
+
+    // 3. The device uploads a batch of its readings; the model refreshes.
+    let batch = &rest[..40.min(rest.len())];
+    match repo.upload(ch, batch) {
+        Ok(v) => println!("upload accepted, model now v{v}"),
+        Err(e) => println!("upload rejected: {e}"),
+    }
+    println!(
+        "device with cached v{} needs refresh: {}",
+        download.version,
+        repo.needs_refresh(ch, download.version)
+    );
+
+    // 4. A malicious contributor claims the same locations are 30 dB
+    //    hotter (denying spectrum to everyone nearby). The batch is
+    //    internally consistent — only the cross-contributor consensus
+    //    check can catch it.
+    let mut forged = batch.to_vec();
+    for m in &mut forged {
+        m.observation.rss_dbm += 30.0;
+    }
+    match repo.upload(ch, &forged) {
+        Ok(_) => println!("forged upload slipped through!"),
+        Err(e) => println!("forged upload rejected: {e}"),
+    }
+    println!("rejected uploads so far: {}", repo.rejected_uploads());
+}

@@ -1,0 +1,52 @@
+//! Waldo against every baseline of §4.4 on one channel: the spectrum
+//! database, V-Scope, k-NN interpolation, and threshold-only sensing.
+//!
+//! ```text
+//! cargo run --release --example compare_baselines
+//! ```
+
+use waldo_repro::data::CampaignBuilder;
+use waldo_repro::rf::world::WorldBuilder;
+use waldo_repro::rf::TvChannel;
+use waldo_repro::sensors::SensorKind;
+use waldo_repro::waldo::baseline::{KnnDatabase, SensingOnly, SpectrumDatabase, VScope};
+use waldo_repro::waldo::eval::{cross_validate, evaluate_assessor};
+use waldo_repro::waldo::WaldoConfig;
+
+fn main() {
+    let world = WorldBuilder::new().seed(9).build();
+    let campaign = CampaignBuilder::new(&world)
+        .readings_per_channel(2_000)
+        .spacing_m(400.0)
+        .seed(9)
+        .collect();
+    let ch = TvChannel::new(15).expect("valid channel");
+    let ds = campaign.dataset(SensorKind::RtlSdr, ch).expect("collected");
+    let txs: Vec<_> = world
+        .field()
+        .transmitters()
+        .into_iter()
+        .filter(|t| t.channel() == ch)
+        .collect();
+
+    println!("channel 15, RTL-SDR dataset ({} readings):", ds.len());
+
+    let db = SpectrumDatabase::new(ch, txs.clone());
+    let cm = evaluate_assessor(&db, ds, None);
+    println!("  spectrum database : {cm}");
+
+    let vscope = VScope::fit(ds, txs, 5, 9).expect("fits");
+    let cm = evaluate_assessor(&vscope, ds, None);
+    println!("  V-Scope           : {cm}");
+
+    let knn = KnnDatabase::fit(ds, 5).expect("fits");
+    let cm = evaluate_assessor(&knn, ds, None);
+    println!("  kNN database      : {cm}");
+
+    let sensing = SensingOnly::fcc();
+    let cm = evaluate_assessor(&sensing, ds, None);
+    println!("  sensing (−114 dBm): {cm}");
+
+    let cm = cross_validate(ds, &WaldoConfig::default(), 10, 9);
+    println!("  Waldo (10-fold CV): {cm}");
+}

@@ -1,0 +1,60 @@
+//! The §5 phone deployment: an RTL-SDR on a phone senses channels with the
+//! online detector until its 90 % confidence interval converges, both
+//! parked and while driving.
+//!
+//! ```text
+//! cargo run --release --example phone_detector
+//! ```
+
+use waldo_repro::data::CampaignBuilder;
+use waldo_repro::geo::Point;
+use waldo_repro::rf::world::WorldBuilder;
+use waldo_repro::rf::TvChannel;
+use waldo_repro::sensors::{SensorKind, SensorModel};
+use waldo_repro::waldo::device::{PhoneConfig, PhoneScanner};
+use waldo_repro::waldo::{ClassifierKind, ModelConstructor, WaldoConfig};
+
+fn main() {
+    let world = WorldBuilder::new().seed(5).build();
+    let campaign = CampaignBuilder::new(&world)
+        .readings_per_channel(1_200)
+        .spacing_m(500.0)
+        .seed(5)
+        .collect();
+    let ch = TvChannel::new(47).expect("valid channel");
+    let ds = campaign.dataset(SensorKind::RtlSdr, ch).expect("collected");
+    let model = ModelConstructor::new(
+        WaldoConfig::default().classifier(ClassifierKind::NaiveBayes),
+    )
+    .fit(ds)
+    .expect("campaign data trains");
+
+    // Parked: α sweep.
+    println!("stationary sensing at the city centre:");
+    for alpha in [0.5, 1.0, 2.0, 5.0] {
+        let mut phone = PhoneScanner::new(
+            PhoneConfig { alpha_db: alpha, ..PhoneConfig::default() },
+            SensorModel::rtl_sdr(),
+            alpha.to_bits(),
+        );
+        let here = Point::new(17_500.0, 10_000.0);
+        let rss = world.field().rss_dbm(ch, here);
+        let run = phone.sense_channel(&model, here, rss.is_finite().then_some(rss));
+        println!(
+            "  α = {alpha:3} dB: {} after {} captures ({:.3} s radio, {:.1} ms CPU)",
+            run.safety, run.captures, run.radio_time_s, run.cpu_time_s * 1e3
+        );
+    }
+
+    // Driving across the coverage boundary.
+    let mut phone = PhoneScanner::new(PhoneConfig::default(), SensorModel::rtl_sdr(), 1);
+    let run = phone.sense_channel_moving(&model, |i| {
+        let p = Point::new(2_000.0 + i as f64 * 150.0, 10_000.0);
+        let rss = world.field().rss_dbm(ch, p);
+        (p, rss.is_finite().then_some(rss))
+    });
+    println!(
+        "mobile run: converged = {}, {} captures, decision {}",
+        run.converged, run.captures, run.safety
+    );
+}

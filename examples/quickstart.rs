@@ -1,0 +1,57 @@
+//! Quickstart: build a world, collect a small campaign, train a Waldo
+//! model, and make one local white-space decision.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use waldo_repro::data::CampaignBuilder;
+use waldo_repro::geo::Point;
+use waldo_repro::rf::world::WorldBuilder;
+use waldo_repro::rf::TvChannel;
+use waldo_repro::sensors::{Calibration, Observation, SensorKind, SensorModel};
+use waldo_repro::waldo::{Assessor, ModelConstructor, WaldoConfig};
+
+fn main() {
+    // 1. A 700 km² simulated metro area with nine TV channels.
+    let world = WorldBuilder::new().seed(7).build();
+
+    // 2. Drive the sensors around and label the readings (Algorithm 1).
+    let campaign = CampaignBuilder::new(&world)
+        .readings_per_channel(1_200)
+        .spacing_m(500.0)
+        .seed(7)
+        .collect();
+
+    // 3. Train the channel-47 model from the RTL-SDR's labeled readings.
+    let ch = TvChannel::new(47).expect("47 is a valid channel");
+    let ds = campaign.dataset(SensorKind::RtlSdr, ch).expect("collected");
+    let model = ModelConstructor::new(WaldoConfig::default())
+        .fit(ds)
+        .expect("campaign data trains");
+    println!(
+        "trained {} ({} localities, descriptor {} bytes)",
+        model.name(),
+        model.locality_count(),
+        model.descriptor_bytes()
+    );
+
+    // 4. A device somewhere in the region measures the channel once and
+    //    asks the model.
+    let here = Point::new(9_000.0, 12_000.0);
+    let true_rss = world.field().rss_dbm(ch, here);
+    let sensor = SensorModel::rtl_sdr();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let obs = Observation::measure(
+        &sensor,
+        &Calibration::factory(&sensor),
+        true_rss.is_finite().then_some(true_rss),
+        &mut rng,
+    );
+    let decision = model.assess(here, &obs);
+    println!(
+        "at {here}: measured {:.1} dBm (truth {:.1} dBm) → channel 47 is {decision}",
+        obs.rss_dbm, true_rss
+    );
+}

@@ -1,0 +1,56 @@
+//! The full measurement study of §2: drive all three sensors through the
+//! metro area, label with Algorithm 1, and report per-channel occupancy
+//! plus the low-cost sensors' safety/efficiency against the analyzer.
+//!
+//! ```text
+//! cargo run --release --example wardriving_campaign
+//! ```
+
+use waldo_repro::data::CampaignBuilder;
+use waldo_repro::rf::world::WorldBuilder;
+use waldo_repro::rf::TvChannel;
+use waldo_repro::sensors::SensorKind;
+
+fn main() {
+    let world = WorldBuilder::new().seed(42).build();
+    println!(
+        "world: {:.0} km², {} transmitters across {} channels",
+        world.region().area_km2(),
+        world.field().transmitters().len(),
+        world.field().channels().len()
+    );
+
+    let campaign = CampaignBuilder::new(&world)
+        .readings_per_channel(2_000)
+        .spacing_m(400.0)
+        .seed(42)
+        .collect();
+
+    println!("\nper-channel protected fraction (analyzer ground truth):");
+    for ch in TvChannel::STUDY {
+        let truth = campaign.ground_truth(ch);
+        println!("  {ch}: {:5.1} % not safe", truth.not_safe_fraction() * 100.0);
+    }
+
+    println!("\nlow-cost sensors vs analyzer (pooled over all channels):");
+    for sensor in [SensorKind::RtlSdr, SensorKind::UsrpB200] {
+        let (mut fn_, mut nn, mut fp, mut np) = (0usize, 0usize, 0usize, 0usize);
+        for ch in TvChannel::STUDY {
+            let truth = campaign.ground_truth(ch);
+            let ds = campaign.dataset(sensor, ch).expect("collected");
+            for (t, p) in truth.labels().iter().zip(ds.labels()) {
+                match (t.is_not_safe(), p.is_not_safe()) {
+                    (true, false) => { fp += 1; np += 1; }
+                    (true, true) => np += 1,
+                    (false, true) => { fn_ += 1; nn += 1; }
+                    (false, false) => nn += 1,
+                }
+            }
+        }
+        println!(
+            "  {sensor}: misdetection {:.1} %, false alarm {:.2} %",
+            100.0 * fn_ as f64 / nn.max(1) as f64,
+            100.0 * fp as f64 / np.max(1) as f64
+        );
+    }
+}

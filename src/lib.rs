@@ -1,0 +1,21 @@
+//! Umbrella crate for the Waldo white-space detection reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use waldo_repro::...`. See the individual crates
+//! for documentation:
+//!
+//! * [`geo`] — coordinates, projections, spatial index, drive paths.
+//! * [`iq`] — I/Q synthesis, FFT, energy detection, signal features.
+//! * [`ml`] — from-scratch SVM / Naive Bayes / k-means / ANOVA / CV.
+//! * [`rf`] — propagation, shadowing, transmitters, ground-truth fields.
+//! * [`sensors`] — RTL-SDR / USRP / spectrum-analyzer models + calibration.
+//! * [`data`] — war-driving collection and Algorithm-1 labeling.
+//! * [`waldo`] — the Waldo system itself plus every baseline.
+
+pub use waldo;
+pub use waldo_data as data;
+pub use waldo_geo as geo;
+pub use waldo_iq as iq;
+pub use waldo_ml as ml;
+pub use waldo_rf as rf;
+pub use waldo_sensors as sensors;

@@ -1,0 +1,263 @@
+//! Cross-crate integration tests: the full pipeline from world synthesis
+//! through campaign collection, labeling, training, and detection.
+
+use rand::SeedableRng;
+use waldo_repro::data::{CampaignBuilder, Labeler};
+use waldo_repro::geo::Point;
+use waldo_repro::rf::world::WorldBuilder;
+use waldo_repro::rf::TvChannel;
+use waldo_repro::sensors::{Calibration, Observation, SensorKind, SensorModel};
+use waldo_repro::waldo::baseline::{SensingOnly, SpectrumDatabase, VScope};
+use waldo_repro::waldo::eval::{cross_validate, evaluate_assessor};
+use waldo_repro::waldo::{
+    Assessor, ClassifierKind, DetectorOutcome, ModelConstructor, WaldoConfig,
+    WhiteSpaceDetector,
+};
+
+fn small_campaign() -> (
+    &'static waldo_repro::rf::world::World,
+    &'static waldo_repro::data::Campaign,
+) {
+    use std::sync::OnceLock;
+    static WORLD: OnceLock<waldo_repro::rf::world::World> = OnceLock::new();
+    static CAMPAIGN: OnceLock<waldo_repro::data::Campaign> = OnceLock::new();
+    let world = WORLD.get_or_init(|| WorldBuilder::new().seed(123).build());
+    let campaign = CAMPAIGN.get_or_init(|| {
+        CampaignBuilder::new(world)
+            .readings_per_channel(900)
+            .spacing_m(600.0)
+            .factory_calibration()
+            .seed(123)
+            .collect()
+    });
+    (world, campaign)
+}
+
+#[test]
+fn waldo_cross_validates_well_on_every_evaluation_channel() {
+    let (_, campaign) = small_campaign();
+    for ch in TvChannel::EVALUATION {
+        let ds = campaign.dataset(SensorKind::RtlSdr, ch).unwrap();
+        let cm = cross_validate(ds, &WaldoConfig::default(), 5, 1);
+        assert!(
+            cm.error_rate() < 0.15,
+            "{ch}: Waldo error {} too high for a trained system",
+            cm.error_rate()
+        );
+    }
+}
+
+#[test]
+fn waldo_beats_vscope_on_average_error() {
+    let (world, campaign) = small_campaign();
+    let mut waldo_err = 0.0;
+    let mut vscope_err = 0.0;
+    let channels = TvChannel::EVALUATION;
+    for ch in channels {
+        let ds = campaign.dataset(SensorKind::RtlSdr, ch).unwrap();
+        let txs: Vec<_> = world
+            .field()
+            .transmitters()
+            .into_iter()
+            .filter(|t| t.channel() == ch)
+            .collect();
+        let vs = VScope::fit(ds, txs, 3, 1).unwrap();
+        vscope_err += evaluate_assessor(&vs, ds, None).error_rate();
+        waldo_err += cross_validate(ds, &WaldoConfig::default(), 5, 1).error_rate();
+    }
+    let n = channels.len() as f64;
+    assert!(
+        waldo_err / n < vscope_err / n,
+        "Waldo {} should beat V-Scope {}",
+        waldo_err / n,
+        vscope_err / n
+    );
+}
+
+#[test]
+fn spectrum_database_is_safe_but_inefficient() {
+    let (world, campaign) = small_campaign();
+    let mut fn_sum = 0.0;
+    let mut fp_sum = 0.0;
+    for ch in TvChannel::EVALUATION {
+        let truth = campaign.ground_truth(ch);
+        let txs: Vec<_> = world
+            .field()
+            .transmitters()
+            .into_iter()
+            .filter(|t| t.channel() == ch)
+            .collect();
+        let db = SpectrumDatabase::new(ch, txs);
+        let cm = evaluate_assessor(&db, truth, None);
+        fn_sum += cm.fn_rate();
+        fp_sum += cm.fp_rate();
+    }
+    let n = TvChannel::EVALUATION.len() as f64;
+    assert!(fn_sum / n > 0.2, "the database must overprotect: FN {}", fn_sum / n);
+    assert!(fp_sum / n < 0.1, "the database must stay safe: FP {}", fp_sum / n);
+}
+
+#[test]
+fn sensing_only_at_fcc_threshold_wastes_everything_on_rtl() {
+    let (_, campaign) = small_campaign();
+    let ch = TvChannel::new(15).unwrap();
+    let ds = campaign.dataset(SensorKind::RtlSdr, ch).unwrap();
+    let cm = evaluate_assessor(&SensingOnly::fcc(), ds, None);
+    // The RTL-SDR's vacant reading (−88 dBm) is far above −114 dBm: the
+    // sensing-only rule declares every reading occupied.
+    assert!(cm.fn_rate() > 0.99, "FN {}", cm.fn_rate());
+    assert_eq!(cm.fp_rate(), 0.0);
+}
+
+#[test]
+fn detector_converges_and_agrees_with_the_model() {
+    let (world, campaign) = small_campaign();
+    let ch = TvChannel::new(47).unwrap();
+    let ds = campaign.dataset(SensorKind::RtlSdr, ch).unwrap();
+    let model = ModelConstructor::new(
+        WaldoConfig::default().classifier(ClassifierKind::NaiveBayes),
+    )
+    .fit(ds)
+    .unwrap();
+
+    let sensor = SensorModel::rtl_sdr();
+    let cal = Calibration::factory(&sensor);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let here = Point::new(30_000.0, 5_000.0);
+    let rss = world.field().rss_dbm(ch, here);
+
+    let mut det = WhiteSpaceDetector::new(model.clone(), 1.0);
+    let mut decided = None;
+    for _ in 0..2_000 {
+        let obs =
+            Observation::measure(&sensor, &cal, rss.is_finite().then_some(rss), &mut rng);
+        if let DetectorOutcome::Converged { safety, .. } = det.push(here, &obs) {
+            decided = Some(safety);
+            break;
+        }
+    }
+    let safety = decided.expect("stationary sensing must converge");
+    // The smoothed decision matches a direct single-shot model assessment.
+    let obs = Observation::measure(&sensor, &cal, rss.is_finite().then_some(rss), &mut rng);
+    assert_eq!(safety, model.assess(here, &obs));
+}
+
+#[test]
+fn descriptor_roundtrip_over_the_wire() {
+    let (_, campaign) = small_campaign();
+    let ch = TvChannel::new(30).unwrap();
+    let ds = campaign.dataset(SensorKind::UsrpB200, ch).unwrap();
+    let model = ModelConstructor::new(WaldoConfig::default()).fit(ds).unwrap();
+    let bytes = model.to_descriptor();
+    let restored = waldo_repro::waldo::WaldoModel::from_descriptor(&bytes).unwrap();
+    // The downloaded model must reproduce decisions bit-for-bit.
+    for m in ds.measurements().iter().take(100) {
+        assert_eq!(
+            model.assess(m.location, &m.observation),
+            restored.assess(m.location, &m.observation)
+        );
+    }
+}
+
+#[test]
+fn antenna_correction_only_expands_protection() {
+    let (_, campaign) = small_campaign();
+    for ch in TvChannel::EVALUATION {
+        let base = campaign.ground_truth(ch);
+        let corrected = campaign.relabel(
+            SensorKind::SpectrumAnalyzer,
+            ch,
+            &Labeler::new().antenna_correction_db(7.4),
+        );
+        for (b, c) in base.labels().iter().zip(&corrected) {
+            assert!(
+                !b.is_not_safe() || c.is_not_safe(),
+                "{ch}: correction flipped a protected reading to safe"
+            );
+        }
+    }
+}
+
+#[test]
+fn tighter_protection_radius_frees_spectrum() {
+    let (_, campaign) = small_campaign();
+    let ch = TvChannel::new(15).unwrap();
+    // The FCC later reduced the separation distance from 6 km to 1.7 km;
+    // relabeling with the smaller radius must free readings, never protect
+    // more.
+    let wide = campaign.ground_truth(ch).not_safe_fraction();
+    let tight = campaign.relabel(
+        SensorKind::SpectrumAnalyzer,
+        ch,
+        &Labeler::new().radius_m(1_700.0),
+    );
+    let tight_frac =
+        tight.iter().filter(|l| l.is_not_safe()).count() as f64 / tight.len() as f64;
+    assert!(tight_frac <= wide, "1.7 km radius must not protect more than 6 km");
+}
+
+#[test]
+fn repository_serves_and_refreshes_models() {
+    use waldo_repro::waldo::repository::{RepositoryError, SpectrumRepository};
+
+    let (world, campaign) = small_campaign();
+    let ch = TvChannel::new(30).unwrap();
+    let ds = campaign.dataset(SensorKind::RtlSdr, ch).unwrap();
+    let mut repo = SpectrumRepository::new(
+        world.region(),
+        ModelConstructor::new(
+            WaldoConfig::default().classifier(ClassifierKind::NaiveBayes),
+        ),
+    );
+    let (bootstrap, rest) = ds.measurements().split_at(ds.len() / 2);
+    let v1 = repo.bootstrap(ch, bootstrap).unwrap();
+    let dl = repo.download(ch, rest[0].location).unwrap();
+    assert_eq!(dl.version, v1);
+
+    // The served model decides like a locally trained one would.
+    let model = waldo_repro::waldo::WaldoModel::from_descriptor(&dl.descriptor).unwrap();
+    let m = &rest[0];
+    let _ = model.assess(m.location, &m.observation);
+
+    // A consistent upload bumps the version.
+    let quiet: Vec<_> = rest
+        .iter()
+        .filter(|m| m.observation.rss_dbm < -84.0)
+        .take(30)
+        .cloned()
+        .collect();
+    if quiet.len() >= 5 {
+        match repo.upload(ch, &quiet) {
+            Ok(v2) => {
+                assert!(v2 > v1);
+                assert!(repo.needs_refresh(ch, v1));
+            }
+            Err(RepositoryError::UntrustedUpload) => {
+                // Spread batches can legitimately fail the noise criterion.
+            }
+            Err(e) => panic!("unexpected repository error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn trust_policy_rejects_forged_batches_from_real_data() {
+    use waldo_repro::waldo::trust::TrustPolicy;
+
+    let (_, campaign) = small_campaign();
+    let ch = TvChannel::new(15).unwrap();
+    let ds = campaign.dataset(SensorKind::RtlSdr, ch).unwrap();
+    let pool = ds.measurements().to_vec();
+    let policy = TrustPolicy::default();
+
+    // An honest slice of the campaign passes against the pooled data.
+    let honest: Vec<_> = pool[100..110].to_vec();
+    assert!(policy.accepts(&honest, &pool));
+
+    // The same locations claiming +30 dB fail the consensus check.
+    let mut forged = honest.clone();
+    for m in &mut forged {
+        m.observation.rss_dbm += 30.0;
+    }
+    assert!(!policy.accepts(&forged, &pool));
+}
