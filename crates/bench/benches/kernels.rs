@@ -12,7 +12,9 @@ use waldo::{ClassifierKind, ModelConstructor, WaldoConfig, WhiteSpaceDetector};
 use waldo_data::{ChannelDataset, Labeler, Measurement, Safety};
 use waldo_geo::Point;
 use waldo_iq::window::Window;
-use waldo_iq::{fft, Complex, EnergyDetector, FeatureSet, FeatureVector, FrameSynthesizer, IqFrame};
+use waldo_iq::{
+    fft, Complex, EnergyDetector, FeatureSet, FeatureVector, FrameSynthesizer, IqFrame,
+};
 use waldo_ml::nb::GaussianNbTrainer;
 use waldo_ml::svm::{Kernel, SvmTrainer};
 use waldo_ml::{Classifier, Dataset};
@@ -21,10 +23,7 @@ use waldo_sensors::{Observation, SensorKind, SensorModel};
 
 fn frames(n: usize, seed: u64) -> Vec<IqFrame> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let synth = FrameSynthesizer::new(256)
-        .pilot_dbfs(-40.0)
-        .data_dbfs(-45.0)
-        .noise_dbfs(-70.0);
+    let synth = FrameSynthesizer::new(256).pilot_dbfs(-40.0).data_dbfs(-45.0).noise_dbfs(-70.0);
     (0..n).map(|_| synth.synthesize(&mut rng)).collect()
 }
 
@@ -88,6 +87,17 @@ fn bench_signal_path(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+    // Same transform, but the plan (bit-reversal table + twiddles) is
+    // rebuilt on every call instead of fetched from the thread-local
+    // cache — the pre-FftPlan cost model.
+    group.bench_function("fft_256_unplanned", |b| {
+        let samples: Vec<Complex> = frame.samples().to_vec();
+        b.iter_batched(
+            || samples.clone(),
+            |mut buf| fft::fft_unplanned(black_box(&mut buf)).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
     group.bench_function("features_single_frame", |b| {
         b.iter(|| FeatureVector::extract(black_box(&frame), Window::Hann));
     });
@@ -120,10 +130,7 @@ fn bench_classifiers(c: &mut Criterion) {
     group.bench_function("svm_fit_300x4", |b| {
         let small = ds.subset(&(0..300).collect::<Vec<_>>());
         b.iter(|| {
-            SvmTrainer::new()
-                .kernel(Kernel::Rbf { gamma: 0.5 })
-                .fit(black_box(&small))
-                .unwrap()
+            SvmTrainer::new().kernel(Kernel::Rbf { gamma: 0.5 }).fit(black_box(&small)).unwrap()
         });
     });
     let svm = SvmTrainer::new().kernel(Kernel::Rbf { gamma: 0.5 }).fit(&ds).unwrap();
@@ -167,18 +174,15 @@ fn bench_system(c: &mut Criterion) {
         b.iter(|| c.fit(black_box(&ds)).unwrap());
     });
     group.bench_function("waldo_fit_svm_600", |b| {
-        let c = ModelConstructor::new(
-            WaldoConfig::default().features(FeatureSet::first_n(2)),
-        );
+        let c = ModelConstructor::new(WaldoConfig::default().features(FeatureSet::first_n(2)));
         b.iter(|| c.fit(black_box(&ds)).unwrap());
     });
 
     // One detector convergence episode (the Fig 17 unit of work).
-    let model = ModelConstructor::new(
-        WaldoConfig::default().classifier(ClassifierKind::NaiveBayes),
-    )
-    .fit(&ds)
-    .unwrap();
+    let model =
+        ModelConstructor::new(WaldoConfig::default().classifier(ClassifierKind::NaiveBayes))
+            .fit(&ds)
+            .unwrap();
     group.bench_function("detector_convergence_episode", |b| {
         let mut rng = StdRng::seed_from_u64(13);
         b.iter(|| {
@@ -203,9 +207,7 @@ fn bench_system(c: &mut Criterion) {
         300.0,
     )];
     group.bench_function("vscope_fit_600", |b| {
-        b.iter(|| {
-            waldo::baseline::VScope::fit(black_box(&ds), txs.clone(), 3, 1).unwrap()
-        });
+        b.iter(|| waldo::baseline::VScope::fit(black_box(&ds), txs.clone(), 3, 1).unwrap());
     });
     group.finish();
 }

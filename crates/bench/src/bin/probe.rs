@@ -1,18 +1,139 @@
 //! Internal tuning probe: prints the headline shapes so world/sensor
 //! parameters can be validated before the full harness is wired up.
+//!
+//! Always starts by timing the pipeline substrate — serial vs parallel
+//! `Context::build` and planned vs ad-hoc FFT — and writing the numbers to
+//! `BENCH_pipeline.json` in the working directory. Pass `--quick` to time
+//! at [`Scale::Quick`], and `--bench-only` to stop after the JSON is
+//! written (skipping the slow tuning sections below).
 
+use std::time::Instant;
+
+use serde_json::json;
 use waldo::baseline::{SpectrumDatabase, VScope};
 use waldo::eval::{cross_validate, evaluate_assessor};
 use waldo::{ClassifierKind, WaldoConfig};
 use waldo_bench::{Context, Scale};
-use waldo_iq::FeatureSet;
+use waldo_iq::{fft, Complex, FeatureSet};
 use waldo_rf::TvChannel;
 use waldo_sensors::SensorKind;
 
+/// Times planned (cached [`fft::FftPlan`]) vs per-call (plan rebuilt every
+/// transform) 256-point FFTs. Returns mean nanoseconds per call.
+fn bench_fft_256() -> (f64, f64) {
+    const N: usize = 256;
+    const ITERS: u32 = 10_000;
+    const PASSES: usize = 5;
+    // Deterministic non-trivial input; no RNG needed.
+    let samples: Vec<Complex> =
+        (0..N).map(|i| Complex::cis(0.37 * i as f64).scale(1.0 / (1.0 + i as f64))).collect();
+    let mut buf = samples.clone();
+    // Warm the thread-local plan cache before timing the planned path.
+    fft::fft(&mut buf).expect("256 is a power of two");
+
+    // Best-of-PASSES: the minimum per-call time is the least polluted by
+    // scheduler noise on a loaded host.
+    let mut planned_ns = f64::INFINITY;
+    let mut unplanned_ns = f64::INFINITY;
+    for _ in 0..PASSES {
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            buf.copy_from_slice(&samples);
+            fft::fft(std::hint::black_box(&mut buf)).expect("256 is a power of two");
+        }
+        planned_ns = planned_ns.min(t.elapsed().as_nanos() as f64 / f64::from(ITERS));
+
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            buf.copy_from_slice(&samples);
+            fft::fft_unplanned(std::hint::black_box(&mut buf)).expect("256 is a power of two");
+        }
+        unplanned_ns = unplanned_ns.min(t.elapsed().as_nanos() as f64 / f64::from(ITERS));
+    }
+    (planned_ns, unplanned_ns)
+}
+
+/// Total readings held by a campaign, summed across every (sensor,
+/// channel) series.
+fn total_readings(ctx: &Context) -> usize {
+    let campaign = ctx.campaign();
+    campaign
+        .sensors()
+        .iter()
+        .flat_map(|&s| campaign.channels().into_iter().map(move |c| (s, c)))
+        .filter_map(|(s, c)| campaign.dataset(s, c))
+        .map(|ds| ds.len())
+        .sum()
+}
+
+/// Builds the context serially and in parallel, times both, and writes
+/// `BENCH_pipeline.json`. Returns the parallel-built context for the
+/// tuning sections.
+fn bench_pipeline(scale: Scale) -> Context {
+    let (planned_ns, unplanned_ns) = bench_fft_256();
+    eprintln!(
+        "fft_256: planned {planned_ns:.0} ns, per-call plan {unplanned_ns:.0} ns ({:.2}x)",
+        unplanned_ns / planned_ns
+    );
+
+    let workers = waldo_par::available_workers();
+    let t = Instant::now();
+    let serial = waldo_par::with_workers(1, || Context::build(scale));
+    let serial_s = t.elapsed().as_secs_f64();
+    let readings = total_readings(&serial);
+    drop(serial);
+    eprintln!("context (serial, 1 worker) built in {serial_s:.1}s");
+
+    let t = Instant::now();
+    let ctx = Context::build(scale);
+    let parallel_s = t.elapsed().as_secs_f64();
+    eprintln!(
+        "context (parallel, {workers} workers) built in {parallel_s:.1}s ({:.2}x)",
+        serial_s / parallel_s
+    );
+
+    let report = json!({
+        "scale": format!("{scale:?}"),
+        "workers": workers,
+        "context_build": json!({
+            "readings": readings,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": serial_s / parallel_s,
+            "serial_readings_per_sec": readings as f64 / serial_s,
+            "parallel_readings_per_sec": readings as f64 / parallel_s,
+        }),
+        "fft_256": json!({
+            "planned_ns_per_call": planned_ns,
+            "unplanned_ns_per_call": unplanned_ns,
+            "speedup": unplanned_ns / planned_ns,
+        }),
+    });
+    let path = "BENCH_pipeline.json";
+    match serde_json::to_vec_pretty(&report) {
+        Ok(bytes) => {
+            if let Err(e) = std::fs::write(path, bytes) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {path}: {e}"),
+    }
+    ctx
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let bench_only = args.iter().any(|a| a == "--bench-only");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+
     let t0 = std::time::Instant::now();
-    let ctx = Context::build(Scale::Full);
-    eprintln!("context built in {:.1}s", t0.elapsed().as_secs_f64());
+    let ctx = bench_pipeline(scale);
+    if bench_only {
+        return;
+    }
 
     // --- sec2: sensor labels vs analyzer ground truth ---
     for sensor in [SensorKind::RtlSdr, SensorKind::UsrpB200] {
@@ -22,26 +143,43 @@ fn main() {
             let ds = ctx.campaign().dataset(sensor, ch).unwrap();
             for (t, p) in truth.labels().iter().zip(ds.labels()) {
                 match (t.is_not_safe(), p.is_not_safe()) {
-                    (true, false) => { fp += 1; np += 1; }
-                    (true, true) => { np += 1; }
-                    (false, true) => { fn_ += 1; nn += 1; }
-                    (false, false) => { nn += 1; }
+                    (true, false) => {
+                        fp += 1;
+                        np += 1;
+                    }
+                    (true, true) => {
+                        np += 1;
+                    }
+                    (false, true) => {
+                        fn_ += 1;
+                        nn += 1;
+                    }
+                    (false, false) => {
+                        nn += 1;
+                    }
                 }
             }
         }
-        eprintln!("sec2 {sensor:?}: misdetect(FN)={:.3} false-alarm(FP)={:.3}",
-            fn_ as f64 / nn.max(1) as f64, fp as f64 / np.max(1) as f64);
+        eprintln!(
+            "sec2 {sensor:?}: misdetect(FN)={:.3} false-alarm(FP)={:.3}",
+            fn_ as f64 / nn.max(1) as f64,
+            fp as f64 / np.max(1) as f64
+        );
     }
 
     // --- fig4: spectrum DB FN per channel vs analyzer truth ---
     for ch in TvChannel::STUDY {
         let truth = ctx.campaign().ground_truth(ch);
-        let txs: Vec<_> = ctx.world().field().transmitters().into_iter()
-            .filter(|t| t.channel() == ch).collect();
+        let txs: Vec<_> =
+            ctx.world().field().transmitters().into_iter().filter(|t| t.channel() == ch).collect();
         let db = SpectrumDatabase::new(ch, txs);
         let cm = evaluate_assessor(&db, truth, None);
-        eprintln!("fig4 {ch}: FN={:.3} FP={:.3} (truth not-safe frac {:.2})",
-            cm.fn_rate(), cm.fp_rate(), truth.not_safe_fraction());
+        eprintln!(
+            "fig4 {ch}: FN={:.3} FP={:.3} (truth not-safe frac {:.2})",
+            cm.fn_rate(),
+            cm.fp_rate(),
+            truth.not_safe_fraction()
+        );
     }
 
     // --- fig12-ish: feature sweep, NB + SVM, both sensors, avg 3 channels ---
@@ -52,36 +190,50 @@ fn main() {
                 for chn in [15u8, 17, 47] {
                     let ch = TvChannel::new(chn).unwrap();
                     let ds = ctx.campaign().dataset(sensor, ch).unwrap();
-                    let cfg = WaldoConfig::default().classifier(kind)
-                        .features(FeatureSet::first_n(nf)).localities(1).seed(1);
+                    let cfg = WaldoConfig::default()
+                        .classifier(kind)
+                        .features(FeatureSet::first_n(nf))
+                        .localities(1)
+                        .seed(1);
                     let cm = cross_validate(ds, &cfg, 10, 1);
                     fp += cm.fp_rate() / 3.0;
                     fnr += cm.fn_rate() / 3.0;
                     err += cm.error_rate() / 3.0;
                 }
-                eprintln!("fig12 {sensor:?} {kind} f={} err={err:.4} FP={fp:.4} FN={fnr:.4}",
-                    nf + 1);
+                eprintln!(
+                    "fig12 {sensor:?} {kind} f={} err={err:.4} FP={fp:.4} FN={fnr:.4}",
+                    nf + 1
+                );
             }
         }
     }
 
     // --- tab1: V-Scope vs Waldo(SVM, 2 feats, k=1), averaged over eval channels ---
-    let mut vs_fp = 0.0; let mut vs_fn = 0.0;
-    let mut wd_fp = 0.0; let mut wd_fn = 0.0;
+    let mut vs_fp = 0.0;
+    let mut vs_fn = 0.0;
+    let mut wd_fp = 0.0;
+    let mut wd_fn = 0.0;
     let chans = ctx.evaluation_channels();
     for &ch in &chans {
         let ds = ctx.campaign().dataset(SensorKind::RtlSdr, ch).unwrap();
-        let txs: Vec<_> = ctx.world().field().transmitters().into_iter()
-            .filter(|t| t.channel() == ch).collect();
+        let txs: Vec<_> =
+            ctx.world().field().transmitters().into_iter().filter(|t| t.channel() == ch).collect();
         let vs = VScope::fit(ds, txs, 5, 1).unwrap();
         let cm = evaluate_assessor(&vs, ds, None);
-        vs_fp += cm.fp_rate(); vs_fn += cm.fn_rate();
+        vs_fp += cm.fp_rate();
+        vs_fn += cm.fn_rate();
         let cfg = WaldoConfig::default().features(FeatureSet::first_n(2)).localities(1).seed(1);
         let cm = cross_validate(ds, &cfg, 10, 1);
-        wd_fp += cm.fp_rate(); wd_fn += cm.fn_rate();
+        wd_fp += cm.fp_rate();
+        wd_fn += cm.fn_rate();
     }
     let n = chans.len() as f64;
-    eprintln!("tab1: V-Scope FP={:.4} FN={:.4} | Waldo-RTL FP={:.4} FN={:.4}",
-        vs_fp / n, vs_fn / n, wd_fp / n, wd_fn / n);
+    eprintln!(
+        "tab1: V-Scope FP={:.4} FN={:.4} | Waldo-RTL FP={:.4} FN={:.4}",
+        vs_fp / n,
+        vs_fn / n,
+        wd_fp / n,
+        wd_fn / n
+    );
     eprintln!("total {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -14,10 +14,7 @@ use super::cdf_quantiles;
 use crate::Context;
 
 fn phone_model(ctx: &Context, ch: TvChannel) -> waldo::WaldoModel {
-    let ds = ctx
-        .campaign()
-        .dataset(SensorKind::RtlSdr, ch)
-        .expect("campaign covers all channels");
+    let ds = ctx.campaign().dataset(SensorKind::RtlSdr, ch).expect("campaign covers all channels");
     ModelConstructor::new(
         WaldoConfig::default()
             .classifier(ClassifierKind::NaiveBayes)
@@ -134,8 +131,7 @@ pub fn fig18(ctx: &Context) -> Value {
     for s in 0..25 {
         let channels: Vec<(Point, Option<f64>)> = (0..30)
             .map(|_| {
-                let p =
-                    Point::new(rng.gen_range(0.0..35_000.0), rng.gen_range(0.0..20_000.0));
+                let p = Point::new(rng.gen_range(0.0..35_000.0), rng.gen_range(0.0..20_000.0));
                 let ch = TvChannel::STUDY[rng.gen_range(0..TvChannel::STUDY.len())];
                 let rss = ctx.world().field().rss_dbm(ch, p);
                 (p, rss.is_finite().then_some(rss))
@@ -151,10 +147,7 @@ pub fn fig18(ctx: &Context) -> Value {
         duties.push(report.duty_cycle_cpu_fraction * 100.0);
     }
     let q = cdf_quantiles(&peaks);
-    println!(
-        "peak CPU while scanning: p5 {:.2}%  p50 {:.2}%  p95 {:.2}%",
-        q[0].1, q[2].1, q[4].1
-    );
+    println!("peak CPU while scanning: p5 {:.2}%  p50 {:.2}%  p95 {:.2}%", q[0].1, q[2].1, q[4].1);
     println!(
         "duty-cycle average over the 60 s interval: {:.3}% (paper ≈ 2.35 %)",
         waldo_ml::stats::mean(&duties)

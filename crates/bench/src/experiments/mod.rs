@@ -43,10 +43,7 @@ pub fn five_number_summary(xs: &[f64]) -> [f64; 5] {
 /// Quantiles of an empirical CDF for compact reporting.
 pub fn cdf_quantiles(xs: &[f64]) -> Vec<(f64, f64)> {
     use waldo_ml::stats::percentile;
-    [5.0, 25.0, 50.0, 75.0, 95.0]
-        .iter()
-        .map(|&q| (q / 100.0, percentile(xs, q)))
-        .collect()
+    [5.0, 25.0, 50.0, 75.0, 95.0].iter().map(|&q| (q / 100.0, percentile(xs, q))).collect()
 }
 
 #[cfg(test)]

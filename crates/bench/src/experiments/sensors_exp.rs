@@ -36,19 +36,14 @@ pub fn ablate_matched(_ctx: &Context) -> Value {
     let vacant = FrameSynthesizer::new(256).noise_dbfs(noise_raw);
 
     let mut rows = Vec::new();
-    for (name, score) in [
-        ("wideband-energy", 0usize),
-        ("pilot-narrowband", 1),
-        ("matched-filter", 2),
-    ] {
+    for (name, score) in
+        [("wideband-energy", 0usize), ("pilot-narrowband", 1), ("matched-filter", 2)]
+    {
         let mut scored = Vec::new();
         for i in 0..400 {
             let positive = i % 2 == 0;
-            let frame = if positive {
-                occupied.synthesize(&mut rng)
-            } else {
-                vacant.synthesize(&mut rng)
-            };
+            let frame =
+                if positive { occupied.synthesize(&mut rng) } else { vacant.synthesize(&mut rng) };
             let s = match score {
                 0 => det.wideband_dbfs(&frame),
                 1 => det.pilot_dbfs(&frame),
@@ -87,25 +82,18 @@ pub fn coverage(ctx: &Context) -> Value {
         )
         .fit(ds)
         .expect("campaign data trains");
-        let txs: Vec<_> = ctx
-            .world()
-            .field()
-            .transmitters()
-            .into_iter()
-            .filter(|t| t.channel() == ch)
-            .collect();
+        let txs: Vec<_> =
+            ctx.world().field().transmitters().into_iter().filter(|t| t.channel() == ch).collect();
         let db = Db::new(ch, txs);
         let mut rng = StdRng::seed_from_u64(crate::MASTER_SEED ^ ch.number() as u64);
         let waldo_map = CoverageMap::from_fn(ctx.world().region(), 1_000.0, |p| {
             let rss = ctx.world().field().rss_dbm(ch, p);
-            let obs =
-                Observation::measure(&sensor, &cal, rss.is_finite().then_some(rss), &mut rng);
+            let obs = Observation::measure(&sensor, &cal, rss.is_finite().then_some(rss), &mut rng);
             model.assess(p, &obs)
         });
         let _ = rng.gen::<u8>();
         let probe = ds.measurements()[0].observation;
-        let db_map =
-            CoverageMap::from_fn(ctx.world().region(), 1_000.0, |p| db.assess(p, &probe));
+        let db_map = CoverageMap::from_fn(ctx.world().region(), 1_000.0, |p| db.assess(p, &probe));
         println!(
             "  {ch}: Waldo {:5.1} %  database {:5.1} %  (disagreement {:4.1} %)",
             waldo_map.safe_fraction() * 100.0,
@@ -136,8 +124,7 @@ pub fn fig5(_ctx: &Context) -> Value {
                 Some(l) => SignalGenerator::tone(l),
                 None => SignalGenerator::off(),
             };
-            let readings: Vec<f64> =
-                (0..200).map(|_| generator.drive(&sensor, &mut rng)).collect();
+            let readings: Vec<f64> = (0..200).map(|_| generator.drive(&sensor, &mut rng)).collect();
             let q = cdf_quantiles(&readings);
             let label = level.map_or("none".to_string(), |l| format!("{l}"));
             println!(
@@ -166,8 +153,7 @@ pub fn fig6(ctx: &Context) -> Value {
     for sensor in [SensorKind::RtlSdr, SensorKind::UsrpB200, SensorKind::SpectrumAnalyzer] {
         let ds = ctx.campaign().dataset(sensor, ch).expect("campaign covers all sensors");
         let n = ds.len().min(700);
-        let rss: Vec<f64> =
-            ds.measurements()[..n].iter().map(|m| m.observation.rss_dbm).collect();
+        let rss: Vec<f64> = ds.measurements()[..n].iter().map(|m| m.observation.rss_dbm).collect();
         let labels: Vec<bool> = ds.labels()[..n].iter().map(|l| l.is_not_safe()).collect();
         let not_safe = labels.iter().filter(|&&b| b).count();
         println!(
@@ -271,10 +257,7 @@ pub fn fig4(ctx: &Context) -> Value {
     let correction = measurement_height_correction_db();
     let mut rows = Vec::new();
     for corrected in [false, true] {
-        println!(
-            "antenna correction: {}",
-            if corrected { "applied (+7.4 dB)" } else { "none" }
-        );
+        println!("antenna correction: {}", if corrected { "applied (+7.4 dB)" } else { "none" });
         for ch in TvChannel::STUDY {
             let truth = ctx.campaign().ground_truth(ch);
             let labels = if corrected {
@@ -295,8 +278,8 @@ pub fn fig4(ctx: &Context) -> Value {
                 .collect();
             let db = SpectrumDatabase::new(ch, txs);
             let cm = evaluate_assessor(&db, truth, Some(&labels));
-            let not_safe_frac = labels.iter().filter(|l| l.is_not_safe()).count() as f64
-                / labels.len() as f64;
+            let not_safe_frac =
+                labels.iter().filter(|l| l.is_not_safe()).count() as f64 / labels.len() as f64;
             println!(
                 "  {ch}: FN {:.3}  FP {:.3}  (protected fraction {:.2})",
                 cm.fn_rate(),

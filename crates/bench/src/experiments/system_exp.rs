@@ -24,41 +24,18 @@ fn config(kind: ClassifierKind, features: usize, localities: usize) -> WaldoConf
 }
 
 /// Runs one (channel × config) cross validation for many channels in
-/// parallel (two worker threads — the harness machine has two cores).
+/// parallel on the shared deterministic runtime (one task per channel, so
+/// the schedule scales with however many cores the host has).
 fn cv_channels(
     ctx: &Context,
     sensor: SensorKind,
     channels: &[TvChannel],
     cfg: &WaldoConfig,
 ) -> Vec<(TvChannel, ConfusionMatrix)> {
-    fn worker(
-        ctx: &Context,
-        sensor: SensorKind,
-        cfg: &WaldoConfig,
-        chs: &[TvChannel],
-    ) -> Vec<(TvChannel, ConfusionMatrix)> {
-        chs.iter()
-            .map(|&ch| {
-                let ds = ctx
-                    .campaign()
-                    .dataset(sensor, ch)
-                    .expect("campaign covers all channels");
-                (ch, cross_validate(ds, cfg, FOLDS, crate::MASTER_SEED))
-            })
-            .collect()
-    }
-
-    let mut out = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let mid = channels.len().div_ceil(2);
-        let (left, right) = channels.split_at(mid);
-        let handle = scope.spawn(move |_| worker(ctx, sensor, cfg, right));
-        let mut local = worker(ctx, sensor, cfg, left);
-        local.extend(handle.join().expect("worker thread must not panic"));
-        out = local;
+    waldo_par::par_map(channels, |&ch| {
+        let ds = ctx.campaign().dataset(sensor, ch).expect("campaign covers all channels");
+        (ch, cross_validate(ds, cfg, FOLDS, crate::MASTER_SEED))
     })
-    .expect("scoped threads must not panic");
-    out
 }
 
 fn averaged(results: &[(TvChannel, ConfusionMatrix)]) -> (f64, f64, f64) {
@@ -129,8 +106,7 @@ pub fn fig13(ctx: &Context) -> Value {
     for sensor in ctx.low_cost_sensors() {
         for k in [1usize, 3, 5] {
             for nf in 0usize..=3 {
-                let res =
-                    cv_channels(ctx, sensor, &channels, &config(ClassifierKind::Svm, nf, k));
+                let res = cv_channels(ctx, sensor, &channels, &config(ClassifierKind::Svm, nf, k));
                 let (fp, fnr, err) = averaged(&res);
                 println!(
                     "  {:10} k={k} features={}: FP {fp:.4}  FN {fnr:.4}  err {err:.4}",
@@ -292,13 +268,8 @@ pub fn tab1_fig16(ctx: &Context) -> Value {
     let mut vscope_rows: Vec<(TvChannel, ConfusionMatrix)> = Vec::new();
     for &ch in &channels {
         let ds = ctx.campaign().dataset(SensorKind::RtlSdr, ch).expect("present");
-        let txs: Vec<_> = ctx
-            .world()
-            .field()
-            .transmitters()
-            .into_iter()
-            .filter(|t| t.channel() == ch)
-            .collect();
+        let txs: Vec<_> =
+            ctx.world().field().transmitters().into_iter().filter(|t| t.channel() == ch).collect();
         let vs = VScope::fit(ds, txs, 5, crate::MASTER_SEED).expect("campaign data fits");
         vscope_rows.push((ch, evaluate_assessor(&vs, ds, None)));
     }
@@ -328,10 +299,7 @@ pub fn tab1_fig16(ctx: &Context) -> Value {
     })];
     for (sensor, res) in &waldo_rows {
         let (fp, fnr, err) = averaged(res);
-        println!(
-            "Waldo {:9}: FP {fp:.4}  FN {fnr:.4}  err {err:.4}",
-            sensor.to_string()
-        );
+        println!("Waldo {:9}: FP {fp:.4}  FN {fnr:.4}  err {err:.4}", sensor.to_string());
         table.push(json!({
             "system": format!("Waldo {sensor}"),
             "fp_rate": fp, "fn_rate": fnr, "error_rate": err,
@@ -410,10 +378,7 @@ pub fn model_size(ctx: &Context) -> Value {
     for kind in [ClassifierKind::NaiveBayes, ClassifierKind::Svm, ClassifierKind::Logistic] {
         let mut sizes = Vec::new();
         for ch in ctx.evaluation_channels() {
-            let ds = ctx
-                .campaign()
-                .dataset(SensorKind::RtlSdr, ch)
-                .expect("present");
+            let ds = ctx.campaign().dataset(SensorKind::RtlSdr, ch).expect("present");
             let model = waldo::ModelConstructor::new(config(kind, 2, 3))
                 .fit(ds)
                 .expect("campaign data trains");
@@ -452,9 +417,8 @@ pub fn ablate_tree(ctx: &Context) -> Value {
     let mut rows = Vec::new();
     for kind in [ClassifierKind::DecisionTree, ClassifierKind::Svm, ClassifierKind::NaiveBayes] {
         let cfg = config(kind, 2, 1);
-        let model = waldo::ModelConstructor::new(cfg.clone())
-            .fit(ds)
-            .expect("campaign data trains");
+        let model =
+            waldo::ModelConstructor::new(cfg.clone()).fit(ds).expect("campaign data trains");
         let train_cm = evaluate_assessor(&model, ds, None);
         let cv_cm = cross_validate(ds, &cfg, FOLDS, crate::MASTER_SEED);
         println!(

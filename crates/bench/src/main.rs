@@ -52,8 +52,16 @@ const EXPERIMENTS: &[Experiment] = &[
     Experiment { name: "fig17", describe: "convergence time", run: device_exp::fig17 },
     Experiment { name: "fig18", describe: "CPU utilization", run: device_exp::fig18 },
     Experiment { name: "model-size", describe: "descriptor sizes", run: system_exp::model_size },
-    Experiment { name: "ablate-grid", describe: "locality-count ablation", run: system_exp::ablate_grid },
-    Experiment { name: "ablate-tree", describe: "tree overfitting ablation", run: system_exp::ablate_tree },
+    Experiment {
+        name: "ablate-grid",
+        describe: "locality-count ablation",
+        run: system_exp::ablate_grid,
+    },
+    Experiment {
+        name: "ablate-tree",
+        describe: "tree overfitting ablation",
+        run: system_exp::ablate_tree,
+    },
     Experiment {
         name: "fig12-truth",
         describe: "feature sweep vs analyzer truth",

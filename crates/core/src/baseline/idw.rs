@@ -114,10 +114,8 @@ impl IdwDatabase {
         if den > 0.0 {
             num / den
         } else {
-            let (_, &i) = self
-                .index
-                .nearest(p)
-                .expect("construction guarantees at least one point");
+            let (_, &i) =
+                self.index.nearest(p).expect("construction guarantees at least one point");
             self.points[i].1
         }
     }
@@ -225,12 +223,8 @@ mod tests {
 
     #[test]
     fn empty_dataset_errors() {
-        let empty = ChannelDataset::new(
-            TvChannel::new(30).unwrap(),
-            SensorKind::RtlSdr,
-            vec![],
-            vec![],
-        );
+        let empty =
+            ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, vec![], vec![]);
         assert_eq!(IdwDatabase::fit(&empty).unwrap_err(), IdwError::Empty);
     }
 }

@@ -99,9 +99,9 @@ impl SpectrumDatabase {
 
     /// Whether `p` falls inside any predicted contour + buffer.
     pub fn is_protected(&self, p: Point) -> bool {
-        self.transmitters.iter().any(|tx| {
-            tx.location().distance(p) <= self.contour_radius_m(tx) + self.buffer_m
-        })
+        self.transmitters
+            .iter()
+            .any(|tx| tx.location().distance(p) <= self.contour_radius_m(tx) + self.buffer_m)
     }
 }
 
@@ -148,13 +148,15 @@ mod tests {
         // truth contour — the overprotection the paper quantifies in Fig 4.
         let db = db();
         let tx = db.transmitters[0];
-        let truth = PathLossModel::street_level_urban(
+        let truth =
+            PathLossModel::street_level_urban(db.channel().center_mhz(), tx.height_m(), 2.0);
+        let d_truth = truth.contour_distance_m(
+            tx.erp_dbm(),
             db.channel().center_mhz(),
             tx.height_m(),
             2.0,
+            -84.0,
         );
-        let d_truth =
-            truth.contour_distance_m(tx.erp_dbm(), db.channel().center_mhz(), tx.height_m(), 2.0, -84.0);
         let d_db = db.contour_radius_m(&tx);
         assert!(d_db > 1.3 * d_truth, "db {d_db} vs truth {d_truth}");
     }

@@ -106,10 +106,7 @@ impl VScope {
             .expect("validated: len ≥ clusters ≥ 1");
 
         let nearest_tx_dist = |p: Point| -> f64 {
-            transmitters
-                .iter()
-                .map(|t| t.location().distance(p))
-                .fold(f64::INFINITY, f64::min)
+            transmitters.iter().map(|t| t.location().distance(p)).fold(f64::INFINITY, f64::min)
         };
 
         let mut fits = Vec::with_capacity(clusters);
@@ -125,15 +122,11 @@ impl VScope {
                 })
                 .collect();
             let fit = match LinearRegression::fit_simple(&pairs) {
-                Ok(reg) => ClusterFit {
-                    intercept: reg.intercept(),
-                    slope: reg.coefficients()[0],
-                },
+                Ok(reg) => ClusterFit { intercept: reg.intercept(), slope: reg.coefficients()[0] },
                 // Degenerate cluster (e.g. all at one distance): fall back
                 // to a flat model at the cluster's mean RSS.
                 Err(_) => {
-                    let mean = pairs.iter().map(|p| p.1).sum::<f64>()
-                        / pairs.len().max(1) as f64;
+                    let mean = pairs.iter().map(|p| p.1).sum::<f64>() / pairs.len().max(1) as f64;
                     ClusterFit { intercept: mean, slope: 0.0 }
                 }
             };
@@ -246,10 +239,7 @@ mod tests {
             });
             labels.push(Safety::from_not_safe(rss > -84.0));
         }
-        (
-            ChannelDataset::new(ch, SensorKind::SpectrumAnalyzer, measurements, labels),
-            vec![tx],
-        )
+        (ChannelDataset::new(ch, SensorKind::SpectrumAnalyzer, measurements, labels), vec![tx])
     }
 
     #[test]
@@ -292,14 +282,8 @@ mod tests {
     #[test]
     fn fit_errors() {
         let (ds, txs) = dataset(10);
-        assert_eq!(
-            VScope::fit(&ds, vec![], 1, 0).unwrap_err(),
-            VScopeError::NoTransmitter
-        );
-        assert_eq!(
-            VScope::fit(&ds, txs, 100, 0).unwrap_err(),
-            VScopeError::TooFewForClusters
-        );
+        assert_eq!(VScope::fit(&ds, vec![], 1, 0).unwrap_err(), VScopeError::NoTransmitter);
+        assert_eq!(VScope::fit(&ds, txs, 100, 0).unwrap_err(), VScopeError::TooFewForClusters);
     }
 
     #[test]

@@ -213,9 +213,7 @@ impl ModelConstructor {
     /// Returns [`TrainError`] if the dataset is empty or smaller than the
     /// locality count.
     pub fn fit(&self, ds: &ChannelDataset) -> Result<WaldoModel, TrainError> {
-        let ml = ds
-            .to_ml_dataset(&self.config.features)
-            .map_err(|_| TrainError::Empty)?;
+        let ml = ds.to_ml_dataset(&self.config.features).map_err(|_| TrainError::Empty)?;
         self.fit_dataset(&ml)
     }
 
@@ -240,13 +238,13 @@ impl ModelConstructor {
             .fit(&locations)
             .expect("validated above: len ≥ k ≥ 1");
 
-        let mut clusters = Vec::with_capacity(self.config.localities);
-        for c in 0..self.config.localities {
-            let indices: Vec<usize> = (0..ml.len())
-                .filter(|&i| clustering.assignment()[i] == c)
-                .collect();
-            clusters.push(self.fit_cluster(ml, &indices));
-        }
+        // Locality training is embarrassingly parallel: each cluster trains
+        // from its own seeded trainer state, so the fan-out is bit-identical
+        // to a serial loop regardless of worker count.
+        let memberships: Vec<Vec<usize>> = (0..self.config.localities)
+            .map(|c| (0..ml.len()).filter(|&i| clustering.assignment()[i] == c).collect())
+            .collect();
+        let clusters = waldo_par::par_map(&memberships, |indices| self.fit_cluster(ml, indices));
         Ok(WaldoModel { features: self.config.features.clone(), clustering, clusters })
     }
 
@@ -347,9 +345,8 @@ mod tests {
         let ds = synthetic_dataset(400);
         for kind in [ClassifierKind::Svm, ClassifierKind::NaiveBayes, ClassifierKind::DecisionTree]
         {
-            let model = ModelConstructor::new(WaldoConfig::default().classifier(kind))
-                .fit(&ds)
-                .unwrap();
+            let model =
+                ModelConstructor::new(WaldoConfig::default().classifier(kind)).fit(&ds).unwrap();
             let mut correct = 0;
             for (m, l) in ds.measurements().iter().zip(ds.labels()) {
                 if model.assess_row_matches(m, *l) {
@@ -373,9 +370,7 @@ mod tests {
         let ds = synthetic_dataset(300);
         // Many localities over a hard east/west split: most clusters are
         // single-class.
-        let model = ModelConstructor::new(WaldoConfig::default().localities(6))
-            .fit(&ds)
-            .unwrap();
+        let model = ModelConstructor::new(WaldoConfig::default().localities(6)).fit(&ds).unwrap();
         assert!(model.constant_locality_count() >= 2, "expected binary localities");
         assert_eq!(model.locality_count(), 6);
     }

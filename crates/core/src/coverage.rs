@@ -44,11 +44,7 @@ impl CoverageMap {
     /// # Panics
     ///
     /// Panics unless `cell_m > 0`.
-    pub fn from_fn<F: FnMut(Point) -> Safety>(
-        region: Region,
-        cell_m: f64,
-        mut decide: F,
-    ) -> Self {
+    pub fn from_fn<F: FnMut(Point) -> Safety>(region: Region, cell_m: f64, mut decide: F) -> Self {
         assert!(cell_m > 0.0, "cell size must be positive");
         let cols = (region.width_m() / cell_m).ceil() as usize;
         let rows = (region.height_m() / cell_m).ceil() as usize;
@@ -103,16 +99,8 @@ impl CoverageMap {
     ///
     /// Panics if the grids differ.
     pub fn disagreement(&self, other: &CoverageMap) -> f64 {
-        assert_eq!(
-            (self.cols, self.rows),
-            (other.cols, other.rows),
-            "maps must share a grid"
-        );
-        self.cells
-            .iter()
-            .zip(&other.cells)
-            .filter(|(a, b)| a != b)
-            .count() as f64
+        assert_eq!((self.cols, self.rows), (other.cols, other.rows), "maps must share a grid");
+        self.cells.iter().zip(&other.cells).filter(|(a, b)| a != b).count() as f64
             / self.cells.len() as f64
     }
 
@@ -146,9 +134,7 @@ mod tests {
 
     #[test]
     fn east_west_split_maps_correctly() {
-        let map = CoverageMap::from_fn(region(), 500.0, |p| {
-            Safety::from_not_safe(p.x > 5_000.0)
-        });
+        let map = CoverageMap::from_fn(region(), 500.0, |p| Safety::from_not_safe(p.x > 5_000.0));
         assert!(!map.at(Point::new(1_000.0, 1_000.0)).is_not_safe());
         assert!(map.at(Point::new(9_000.0, 1_000.0)).is_not_safe());
         assert!((map.safe_fraction() - 0.5).abs() < 0.06);
@@ -169,9 +155,7 @@ mod tests {
     #[test]
     fn disagreement_counts_differing_cells() {
         let a = CoverageMap::from_fn(region(), 1_000.0, |_| Safety::Safe);
-        let b = CoverageMap::from_fn(region(), 1_000.0, |p| {
-            Safety::from_not_safe(p.x > 5_000.0)
-        });
+        let b = CoverageMap::from_fn(region(), 1_000.0, |p| Safety::from_not_safe(p.x > 5_000.0));
         assert_eq!(a.disagreement(&a), 0.0);
         assert!((a.disagreement(&b) - 0.5).abs() < 0.06);
     }

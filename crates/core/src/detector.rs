@@ -178,8 +178,7 @@ impl WhiteSpaceDetector {
     fn decide(&self, retained: &[usize]) -> Safety {
         let location = self.location.expect("decide is only called after a push");
         let features = self.averaged_features(retained);
-        let rss = retained.iter().map(|&i| self.rss_window[i]).sum::<f64>()
-            / retained.len() as f64;
+        let rss = retained.iter().map(|&i| self.rss_window[i]).sum::<f64>() / retained.len() as f64;
         let obs = Observation { rss_dbm: rss, features, raw_pilot_db: rss - 12.0 };
         self.model.assess(location, &obs)
     }
@@ -200,19 +199,15 @@ impl WhiteSpaceDetector {
             // Shift the averaged features to the percentile RSS level.
             let retained = self.retained_indices();
             let base = self.averaged_features(&retained);
-            let mean_rss = retained.iter().map(|&i| self.rss_window[i]).sum::<f64>()
-                / retained.len() as f64;
+            let mean_rss =
+                retained.iter().map(|&i| self.rss_window[i]).sum::<f64>() / retained.len() as f64;
             let features = base.shifted_db(rss - mean_rss);
             let obs = Observation { rss_dbm: rss, features, raw_pilot_db: rss - 12.0 };
             self.model.assess(location, &obs)
         };
         let low = decide_at(5.0);
         let high = decide_at(95.0);
-        Some(if low.is_not_safe() || high.is_not_safe() {
-            Safety::NotSafe
-        } else {
-            Safety::Safe
-        })
+        Some(if low.is_not_safe() || high.is_not_safe() { Safety::NotSafe } else { Safety::Safe })
     }
 }
 
@@ -290,9 +285,9 @@ mod tests {
 
     #[test]
     fn noisier_input_takes_longer() {
-        let runs = |sigma: f64| -> usize {
+        let runs = |sigma: f64, seed: u64| -> usize {
             let mut det = WhiteSpaceDetector::new(model(), 0.5);
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = StdRng::seed_from_u64(seed);
             let loc = Point::new(5_000.0, 10_000.0);
             for i in 1..=5_000 {
                 let rss = -95.0 + sigma * waldo_iq::synth::standard_normal(&mut rng);
@@ -302,8 +297,10 @@ mod tests {
             }
             5_000
         };
-        let quiet = runs(0.2);
-        let noisy = runs(2.0);
+        // Any single seed can tie (both converge at the minimum reading
+        // count), so compare totals across a handful of seeds.
+        let quiet: usize = (0..8).map(|s| runs(0.2, 7 + s)).sum();
+        let noisy: usize = (0..8).map(|s| runs(2.0, 7 + s)).sum();
         assert!(noisy > quiet, "noisy {noisy} should exceed quiet {quiet}");
     }
 
@@ -311,13 +308,12 @@ mod tests {
     fn outliers_are_filtered() {
         let mut det = WhiteSpaceDetector::new(model(), 1.0);
         let loc = Point::new(5_000.0, 10_000.0); // safe territory
-        // Mostly quiet readings with occasional absurd spikes; the
-        // percentile filter must keep the spikes from dominating.
+                                                 // Mostly quiet readings with occasional absurd spikes; the
+                                                 // percentile filter must keep the spikes from dominating.
         let mut outcome = None;
         for i in 0..400 {
             let rss = if i % 25 == 25 - 1 { -30.0 } else { -95.0 + (i % 3) as f64 * 0.1 };
-            if let DetectorOutcome::Converged { safety, .. } = det.push(loc, &observation(rss))
-            {
+            if let DetectorOutcome::Converged { safety, .. } = det.push(loc, &observation(rss)) {
                 outcome = Some(safety);
                 break;
             }
@@ -377,8 +373,8 @@ mod tests {
     fn nored_decision_is_conservative() {
         let mut det = WhiteSpaceDetector::new(model(), 0.5).max_readings(100_000);
         let loc = Point::new(16_000.0, 10_000.0); // near the boundary
-        // Bimodal readings straddling the decision boundary: the NOR rule
-        // must come out not-safe.
+                                                  // Bimodal readings straddling the decision boundary: the NOR rule
+                                                  // must come out not-safe.
         for i in 0..60 {
             let rss = if i % 2 == 0 { -95.0 } else { -70.0 };
             det.push(loc, &observation(rss));

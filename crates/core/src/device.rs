@@ -96,17 +96,12 @@ impl PhoneScanner {
     /// Mobile variant: `state_at(capture_index)` supplies the (possibly
     /// changing) location and true RSS per capture — the paper's mobile
     /// experiments move the device while sensing.
-    pub fn sense_channel_moving<F>(
-        &mut self,
-        model: &WaldoModel,
-        mut state_at: F,
-    ) -> ConvergenceRun
+    pub fn sense_channel_moving<F>(&mut self, model: &WaldoModel, mut state_at: F) -> ConvergenceRun
     where
         F: FnMut(usize) -> (Point, Option<f64>),
     {
-        let mut detector =
-            WhiteSpaceDetector::new(model.clone(), self.config.alpha_db)
-                .max_readings(self.config.max_captures);
+        let mut detector = WhiteSpaceDetector::new(model.clone(), self.config.alpha_db)
+            .max_readings(self.config.max_captures);
         let mut cpu = 0.0f64;
         let mut captures = 0usize;
         loop {
@@ -141,7 +136,9 @@ impl PhoneScanner {
                         cpu_time_s: cpu,
                     };
                 }
-                DetectorOutcome::NeedMoreReadings { .. } if captures >= self.config.max_captures => {
+                DetectorOutcome::NeedMoreReadings { .. }
+                    if captures >= self.config.max_captures =>
+                {
                     // The detector itself forces a decision at the cap; this
                     // arm is a belt-and-braces guard.
                     return ConvergenceRun {
@@ -162,20 +159,20 @@ impl PhoneScanner {
     /// (busy fraction while actively scanning) and the average over the
     /// whole `scan_interval_s` duty cycle — the two quantities §5 reports
     /// (Fig 18 and the 2.35 % average).
-    pub fn scan(
-        &mut self,
-        model: &WaldoModel,
-        channels: &[(Point, Option<f64>)],
-    ) -> ScanReport {
-        let runs: Vec<ConvergenceRun> = channels
-            .iter()
-            .map(|&(loc, rss)| self.sense_channel(model, loc, rss))
-            .collect();
+    pub fn scan(&mut self, model: &WaldoModel, channels: &[(Point, Option<f64>)]) -> ScanReport {
+        let runs: Vec<ConvergenceRun> =
+            channels.iter().map(|&(loc, rss)| self.sense_channel(model, loc, rss)).collect();
         let radio: f64 = runs.iter().map(|r| r.radio_time_s).sum();
         let cpu: f64 = runs.iter().map(|r| r.cpu_time_s).sum();
         let peak = if radio > 0.0 { (cpu / radio).min(1.0) } else { 0.0 };
         let avg = cpu / self.config.scan_interval_s.max(radio);
-        ScanReport { runs, busy_time_s: radio, cpu_time_s: cpu, peak_cpu_fraction: peak, duty_cycle_cpu_fraction: avg }
+        ScanReport {
+            runs,
+            busy_time_s: radio,
+            cpu_time_s: cpu,
+            peak_cpu_fraction: peak,
+            duty_cycle_cpu_fraction: avg,
+        }
     }
 }
 
@@ -253,11 +250,7 @@ impl ChannelCache {
 
     /// Channels currently in the skip state.
     pub fn cached_channels(&self) -> Vec<u8> {
-        self.entries
-            .iter()
-            .filter(|(_, e)| e.skips_remaining > 0)
-            .map(|(&c, _)| c)
-            .collect()
+        self.entries.iter().filter(|(_, e)| e.skips_remaining > 0).map(|(&c, _)| c).collect()
     }
 }
 
@@ -424,9 +417,8 @@ mod tests {
     fn scan_reports_cpu_fractions() {
         let mut phone = PhoneScanner::new(PhoneConfig::default(), SensorModel::rtl_sdr(), 4);
         let m = model();
-        let channels: Vec<(Point, Option<f64>)> = (0..5)
-            .map(|i| (Point::new(25_000.0, 10_000.0), Some(-70.0 - i as f64)))
-            .collect();
+        let channels: Vec<(Point, Option<f64>)> =
+            (0..5).map(|i| (Point::new(25_000.0, 10_000.0), Some(-70.0 - i as f64))).collect();
         let report = phone.scan(&m, &channels);
         assert_eq!(report.runs.len(), 5);
         assert!(report.peak_cpu_fraction > 0.0 && report.peak_cpu_fraction <= 1.0);

@@ -58,12 +58,12 @@
 pub mod baseline;
 mod constructor;
 pub mod coverage;
-pub mod repository;
-pub mod trust;
 mod detector;
 pub mod device;
 pub mod eval;
 mod model;
+pub mod repository;
+pub mod trust;
 mod updater;
 
 pub use constructor::{ClassifierKind, ModelConstructor, TrainError, WaldoConfig};

@@ -39,9 +39,7 @@ impl ClusterModel {
             ClusterModel::Svm { scaler, model } => model.predict(&scaler.transform(row)),
             ClusterModel::Nb { scaler, model } => model.predict(&scaler.transform(row)),
             ClusterModel::Tree { scaler, model } => model.predict(&scaler.transform(row)),
-            ClusterModel::Logistic { scaler, model } => {
-                model.predict(&scaler.transform(row))
-            }
+            ClusterModel::Logistic { scaler, model } => model.predict(&scaler.transform(row)),
         }
     }
 

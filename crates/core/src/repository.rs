@@ -324,10 +324,7 @@ mod tests {
         let noisy: Vec<Measurement> = (0..12)
             .map(|i| measurement(2_000.0, 500.0, if i % 2 == 0 { -60.0 } else { -110.0 }))
             .collect();
-        assert_eq!(
-            r.upload(channel(), &noisy).unwrap_err(),
-            RepositoryError::UntrustedUpload
-        );
+        assert_eq!(r.upload(channel(), &noisy).unwrap_err(), RepositoryError::UntrustedUpload);
         assert_eq!(r.rejected_uploads(), 1);
     }
 
@@ -340,10 +337,7 @@ mod tests {
         // cross-contributor consensus refutes it.
         let liar: Vec<Measurement> =
             (0..12).map(|i| measurement(2_000.0 + i as f64 * 120.0, 500.0, -60.0)).collect();
-        assert_eq!(
-            r.upload(channel(), &liar).unwrap_err(),
-            RepositoryError::UntrustedUpload
-        );
+        assert_eq!(r.upload(channel(), &liar).unwrap_err(), RepositoryError::UntrustedUpload);
     }
 
     #[test]

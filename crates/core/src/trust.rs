@@ -84,11 +84,7 @@ impl TrustPolicy {
     /// [`consensus_radius_m`](Self::consensus_radius_m)). Readings with no
     /// neighbours contribute nothing. Returns `None` when no reading has a
     /// neighbourhood to compare against.
-    pub fn score_against_pool(
-        &self,
-        batch: &[Measurement],
-        pool: &[Measurement],
-    ) -> Option<f64> {
+    pub fn score_against_pool(&self, batch: &[Measurement], pool: &[Measurement]) -> Option<f64> {
         let mut index = GridIndex::new(self.consensus_radius_m.max(1.0));
         for (i, m) in pool.iter().enumerate() {
             index.insert(m.location, i);

@@ -38,7 +38,13 @@ pub struct ModelUpdater {
 impl ModelUpdater {
     /// Creates an updater with an α′ of 3 dB.
     pub fn new(constructor: ModelConstructor, labeler: Labeler) -> Self {
-        Self { constructor, labeler, pool: Vec::new(), noise_criterion_db: 3.0, rejected_batches: 0 }
+        Self {
+            constructor,
+            labeler,
+            pool: Vec::new(),
+            noise_criterion_db: 3.0,
+            rejected_batches: 0,
+        }
     }
 
     /// Overrides the α′ upload noise criterion (dB of RSS spread a batch
@@ -205,7 +211,8 @@ mod tests {
         u.ingest(&bootstrap_batch()).unwrap();
         // A device discovers a hot spot in the formerly cold west: after
         // relabeling, the west end must flip to not-safe.
-        let upload: Vec<Measurement> = (0..10).map(|i| measurement(1_000.0 + i as f64 * 10.0, -60.0)).collect();
+        let upload: Vec<Measurement> =
+            (0..10).map(|i| measurement(1_000.0 + i as f64 * 10.0, -60.0)).collect();
         assert!(u.ingest_device_upload(&upload));
         let model = u.retrain().unwrap();
         use crate::Assessor;

@@ -120,50 +120,60 @@ impl<'a> CampaignBuilder<'a> {
 
     /// Runs the campaign: drives the route, collects every (sensor,
     /// channel) series, and labels each with Algorithm 1.
+    ///
+    /// The (sensor, channel) series fan out across the [`waldo_par`]
+    /// worker pool. Each series seeds its own RNG from `(seed, channel,
+    /// sensor)` — no generator is shared across series — so the parallel
+    /// collection is bit-identical to a serial one (and to any worker
+    /// count); see `waldo_par::with_workers` to pin the pool size.
     pub fn collect(&self) -> Campaign {
         let path = waldo_geo::DrivePathBuilder::new(self.world.region())
             .seed(self.seed ^ xd21ve_u64())
             .build();
         let samples = path.samples(self.readings_per_channel, self.spacing_m);
 
-        let mut datasets = BTreeMap::new();
-        for sensor in &self.sensors {
-            let calibration = self.calibration_for(sensor);
-            for &channel in &self.world.field().channels() {
-                let mut rng = StdRng::seed_from_u64(
-                    self.seed
-                        .wrapping_mul(0x517c_c1b7_2722_0a95)
-                        .wrapping_add((channel.number() as u64) << 8)
-                        .wrapping_add(sensor.kind() as u64),
-                );
-                let measurements: Vec<Measurement> = samples
-                    .iter()
-                    .map(|s| {
-                        let true_rss = self.world.field().rss_dbm(channel, s.point);
-                        let rss_opt = true_rss.is_finite().then_some(true_rss);
-                        Measurement {
-                            location: s.point,
-                            odometer_m: s.odometer_m,
-                            observation: Observation::measure(
-                                sensor,
-                                &calibration,
-                                rss_opt,
-                                &mut rng,
-                            ),
-                            true_rss_dbm: true_rss,
-                        }
-                    })
-                    .collect();
-                let readings: Vec<_> =
-                    measurements.iter().map(|m| (m.location, m.observation.rss_dbm)).collect();
-                let labels = self.labeler.label(&readings);
-                datasets.insert(
-                    (sensor.kind(), channel),
-                    ChannelDataset::new(channel, sensor.kind(), measurements, labels),
-                );
-            }
-        }
-        Campaign { datasets, labeler: self.labeler }
+        // Calibrations depend only on the sensor (their RNG is salted with
+        // the campaign seed, not the channel), so run them once up front
+        // and share them across the fan-out.
+        let calibrations: Vec<Calibration> =
+            self.sensors.iter().map(|s| self.calibration_for(s)).collect();
+
+        let channels = self.world.field().channels();
+        let series: Vec<(usize, TvChannel)> =
+            (0..self.sensors.len()).flat_map(|i| channels.iter().map(move |&c| (i, c))).collect();
+
+        let collected = waldo_par::par_map(&series, |&(i, channel)| {
+            let sensor = &self.sensors[i];
+            let calibration = &calibrations[i];
+            let mut rng = StdRng::seed_from_u64(
+                self.seed
+                    .wrapping_mul(0x517c_c1b7_2722_0a95)
+                    .wrapping_add((channel.number() as u64) << 8)
+                    .wrapping_add(sensor.kind() as u64),
+            );
+            let measurements: Vec<Measurement> = samples
+                .iter()
+                .map(|s| {
+                    let true_rss = self.world.field().rss_dbm(channel, s.point);
+                    let rss_opt = true_rss.is_finite().then_some(true_rss);
+                    Measurement {
+                        location: s.point,
+                        odometer_m: s.odometer_m,
+                        observation: Observation::measure(sensor, calibration, rss_opt, &mut rng),
+                        true_rss_dbm: true_rss,
+                    }
+                })
+                .collect();
+            let readings: Vec<_> =
+                measurements.iter().map(|m| (m.location, m.observation.rss_dbm)).collect();
+            let labels = self.labeler.label(&readings);
+            (
+                (sensor.kind(), channel),
+                ChannelDataset::new(channel, sensor.kind(), measurements, labels),
+            )
+        });
+
+        Campaign { datasets: collected.into_iter().collect(), labeler: self.labeler }
     }
 
     fn calibration_for(&self, sensor: &SensorModel) -> Calibration {
@@ -181,10 +191,10 @@ impl<'a> CampaignBuilder<'a> {
 
 // Salt helpers (readable hex tags would collide with identifier rules).
 fn xd21ve_u64() -> u64 {
-    0x6472_6976_65 // "drive"
+    0x0064_7269_7665 // "drive"
 }
 fn xca11b_u64() -> u64 {
-    0x6361_6c69_62 // "calib"
+    0x0063_616c_6962 // "calib"
 }
 
 /// The collected measurement campaign: one labeled [`ChannelDataset`] per
@@ -224,18 +234,40 @@ impl Campaign {
     ///
     /// # Panics
     ///
-    /// Panics if the analyzer did not ride along.
+    /// Panics (naming the channel and the series actually collected) if
+    /// the analyzer did not ride along or the channel was not driven.
     pub fn ground_truth(&self, channel: TvChannel) -> &ChannelDataset {
-        self.dataset(SensorKind::SpectrumAnalyzer, channel)
-            .expect("campaign must include the spectrum analyzer for ground truth")
+        self.dataset(SensorKind::SpectrumAnalyzer, channel).unwrap_or_else(|| {
+            panic!(
+                "no spectrum-analyzer ground truth for {channel}: the campaign holds \
+                 sensors {:?} over channels {:?}",
+                self.sensors(),
+                self.channels()
+            )
+        })
     }
 
     /// Re-labels one series with a different labeler (e.g. with the antenna
     /// correction factor) without re-driving the campaign.
-    pub fn relabel(&self, sensor: SensorKind, channel: TvChannel, labeler: &Labeler) -> Vec<Safety> {
-        let ds = self
-            .dataset(sensor, channel)
-            .expect("requested series was not collected");
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the sensor, channel, and what was collected) if the
+    /// requested series is absent.
+    pub fn relabel(
+        &self,
+        sensor: SensorKind,
+        channel: TvChannel,
+        labeler: &Labeler,
+    ) -> Vec<Safety> {
+        let ds = self.dataset(sensor, channel).unwrap_or_else(|| {
+            panic!(
+                "series ({sensor:?}, {channel}) was not collected: the campaign holds \
+                 sensors {:?} over channels {:?}",
+                self.sensors(),
+                self.channels()
+            )
+        });
         let readings: Vec<_> =
             ds.measurements().iter().map(|m| (m.location, m.observation.rss_dbm)).collect();
         labeler.label(&readings)
@@ -297,11 +329,7 @@ mod tests {
         for n in [27u8, 39] {
             let ch = TvChannel::new(n).unwrap();
             let truth = c.ground_truth(ch);
-            assert!(
-                truth.not_safe_fraction() > 0.999,
-                "{ch}: {}",
-                truth.not_safe_fraction()
-            );
+            assert!(truth.not_safe_fraction() > 0.999, "{ch}: {}", truth.not_safe_fraction());
         }
     }
 
@@ -336,11 +364,8 @@ mod tests {
         let c = small_campaign();
         let ch = TvChannel::new(21).unwrap();
         let plain = c.ground_truth(ch).not_safe_fraction();
-        let corrected = c.relabel(
-            SensorKind::SpectrumAnalyzer,
-            ch,
-            &Labeler::new().antenna_correction_db(7.4),
-        );
+        let corrected =
+            c.relabel(SensorKind::SpectrumAnalyzer, ch, &Labeler::new().antenna_correction_db(7.4));
         let frac =
             corrected.iter().filter(|l| l.is_not_safe()).count() as f64 / corrected.len() as f64;
         assert!(frac >= plain, "correction cannot reduce protection");
@@ -352,5 +377,49 @@ mod tests {
     fn tight_spacing_panics() {
         let world = WorldBuilder::new().build();
         let _ = CampaignBuilder::new(&world).spacing_m(10.0);
+    }
+
+    #[test]
+    fn parallel_collection_matches_serial_bit_for_bit() {
+        let world = WorldBuilder::new().seed(6).build();
+        let build = || {
+            CampaignBuilder::new(&world)
+                .readings_per_channel(40)
+                .spacing_m(2_000.0)
+                .factory_calibration()
+                .seed(6)
+                .collect()
+        };
+        let serial = waldo_par::with_workers(1, build);
+        for workers in [2usize, 4] {
+            let parallel = waldo_par::with_workers(workers, build);
+            assert_eq!(serial, parallel, "worker count {workers} changed the campaign");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no spectrum-analyzer ground truth")]
+    fn ground_truth_without_analyzer_panics_descriptively() {
+        let world = WorldBuilder::new().seed(2).build();
+        let c = CampaignBuilder::new(&world)
+            .sensors(vec![SensorModel::rtl_sdr()])
+            .readings_per_channel(25)
+            .spacing_m(2_000.0)
+            .factory_calibration()
+            .collect();
+        let _ = c.ground_truth(c.channels()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not collected")]
+    fn relabel_missing_series_panics_descriptively() {
+        let world = WorldBuilder::new().seed(2).build();
+        let c = CampaignBuilder::new(&world)
+            .sensors(vec![SensorModel::rtl_sdr()])
+            .readings_per_channel(25)
+            .spacing_m(2_000.0)
+            .factory_calibration()
+            .collect();
+        let _ = c.relabel(SensorKind::UsrpB200, c.channels()[0], &Labeler::new());
     }
 }

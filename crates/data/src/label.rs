@@ -143,10 +143,7 @@ mod tests {
         readings.push((Point::new(2_000.0, 0.0), -50.0));
         let after = Labeler::new().label(&readings);
         for i in 0..before.len() {
-            assert!(
-                !before[i].is_not_safe() || after[i].is_not_safe(),
-                "label {i} regressed"
-            );
+            assert!(!before[i].is_not_safe() || after[i].is_not_safe(), "label {i} regressed");
         }
         assert!(after[0].is_not_safe() && after[1].is_not_safe());
         assert!(!after[2].is_not_safe());
@@ -154,10 +151,7 @@ mod tests {
 
     #[test]
     fn custom_radius_respected() {
-        let readings = vec![
-            (Point::new(0.0, 0.0), -70.0),
-            (Point::new(2_000.0, 0.0), -120.0),
-        ];
+        let readings = vec![(Point::new(0.0, 0.0), -70.0), (Point::new(2_000.0, 0.0), -120.0)];
         let tight = Labeler::new().radius_m(1_700.0).label(&readings);
         assert!(!tight[1].is_not_safe());
         let wide = Labeler::new().radius_m(6_000.0).label(&readings);
@@ -198,9 +192,7 @@ mod tests {
         let fast = Labeler::new().label(&readings);
         // Brute force O(n²).
         for (i, &(p, _)) in readings.iter().enumerate() {
-            let expect = readings
-                .iter()
-                .any(|&(q, r)| r > -84.0 && q.distance(p) <= 6_000.0);
+            let expect = readings.iter().any(|&(q, r)| r > -84.0 && q.distance(p) <= 6_000.0);
             assert_eq!(fast[i].is_not_safe(), expect, "reading {i}");
         }
     }

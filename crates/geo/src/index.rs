@@ -98,7 +98,7 @@ impl<T> GridIndex<T> {
                     if let Some(bucket) = self.cells.get(&(ix, iy)) {
                         for (p, v) in bucket {
                             let d = p.distance_sq(center);
-                            if best.as_ref().map_or(true, |(bd, _, _)| d < *bd) {
+                            if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
                                 best = Some((d, *p, v));
                             }
                         }
@@ -155,9 +155,7 @@ mod tests {
         }
         let center = Point::new(50.0, 10.0);
         let brute: Vec<i32> = (0..100)
-            .filter(|&i| {
-                Point::new(i as f64 * 7.3, (i % 13) as f64 * 5.1).distance(center) <= 25.0
-            })
+            .filter(|&i| Point::new(i as f64 * 7.3, (i % 13) as f64 * 5.1).distance(center) <= 25.0)
             .collect();
         let mut got: Vec<i32> = idx.within(center, 25.0).map(|(_, &v)| v).collect();
         got.sort_unstable();

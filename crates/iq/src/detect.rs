@@ -12,10 +12,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::fft::{fft, fftshift};
+use crate::spectral::with_spectral;
 use crate::units::power_to_db;
 use crate::window::Window;
-use crate::{Complex, IqFrame};
+use crate::IqFrame;
 
 /// Energy detector with a configurable analysis window and pilot bin span.
 ///
@@ -91,31 +91,31 @@ impl EnergyDetector {
     /// normalized by the window's coherent gain so a pure tone reads its true
     /// power.
     ///
+    /// The window coefficients, FFT twiddles and span-response
+    /// normalization come from the thread's cached spectral context, so
+    /// each call costs one planned FFT and nothing else.
+    ///
     /// # Panics
     ///
     /// Panics if the frame length is not a power of two (frames in this
     /// system are always 256 samples).
     pub fn pilot_dbfs(&self, frame: &IqFrame) -> f64 {
         let n = frame.len();
-        let coeffs = self.window.coefficients(n);
-        let mut buf: Vec<Complex> =
-            frame.samples().iter().zip(&coeffs).map(|(s, w)| s.scale(*w)).collect();
-        fft(&mut buf).expect("frame length must be a power of two");
-        let shifted = fftshift(&buf);
-        let center = n / 2;
-        let half_span = self.pilot_bins / 2;
-        let lo = center.saturating_sub(half_span);
-        let hi = (center + half_span).min(n - 1);
-        let power: f64 = shifted[lo..=hi].iter().map(|z| z.norm_sq()).sum();
+        with_spectral(self.window, n, |ctx| {
+            ctx.reset_power();
+            ctx.accumulate_shifted_power(frame, 1.0);
+            let center = n / 2;
+            let half_span = self.pilot_bins / 2;
+            let lo = center.saturating_sub(half_span);
+            let hi = (center + half_span).min(n - 1);
+            let power: f64 = ctx.power()[lo..=hi].iter().sum();
 
-        // Normalize by the window's own response over the same span so that
-        // a unit-power on-bin tone reads exactly 0 dB regardless of how the
-        // window spreads it across neighbouring bins.
-        let mut wspec: Vec<Complex> = coeffs.iter().map(|&w| Complex::new(w, 0.0)).collect();
-        fft(&mut wspec).expect("window length equals frame length");
-        let wshift = fftshift(&wspec);
-        let span_response: f64 = wshift[lo..=hi].iter().map(|z| z.norm_sq()).sum();
-        power_to_db(power / span_response)
+            // Normalize by the window's own response over the same span so
+            // that a unit-power on-bin tone reads exactly 0 dB regardless of
+            // how the window spreads it across neighbouring bins.
+            let span_response: f64 = ctx.win_span_norms[lo..=hi].iter().sum();
+            power_to_db(power / span_response)
+        })
     }
 
     /// Estimated total channel power: pilot power plus the pilot-to-channel
@@ -133,20 +133,18 @@ impl EnergyDetector {
     /// their effective narrowband floor.
     pub fn noise_rejection_db(&self, frame_len: usize) -> f64 {
         let n = frame_len;
-        let coeffs = self.window.coefficients(n);
-        let power_sum: f64 = coeffs.iter().map(|w| w * w).sum();
-        // Expected pilot-estimator output for unit-power white noise:
-        // span_bins · Σw² normalized by the window span response.
-        let mut wspec: Vec<Complex> = coeffs.iter().map(|&w| Complex::new(w, 0.0)).collect();
-        fft(&mut wspec).expect("window length must be a power of two");
-        let shifted = fftshift(&wspec);
-        let center = n / 2;
-        let half_span = self.pilot_bins / 2;
-        let lo = center.saturating_sub(half_span);
-        let hi = (center + half_span).min(n - 1);
-        let span_response: f64 = shifted[lo..=hi].iter().map(|z| z.norm_sq()).sum();
-        let bins = (hi - lo + 1) as f64;
-        -power_to_db(bins * power_sum / span_response)
+        with_spectral(self.window, n, |ctx| {
+            let power_sum: f64 = ctx.coeffs.iter().map(|w| w * w).sum();
+            // Expected pilot-estimator output for unit-power white noise:
+            // span_bins · Σw² normalized by the window span response.
+            let center = n / 2;
+            let half_span = self.pilot_bins / 2;
+            let lo = center.saturating_sub(half_span);
+            let hi = (center + half_span).min(n - 1);
+            let span_response: f64 = ctx.win_span_norms[lo..=hi].iter().sum();
+            let bins = (hi - lo + 1) as f64;
+            -power_to_db(bins * power_sum / span_response)
+        })
     }
 }
 
@@ -174,10 +172,8 @@ mod tests {
     #[test]
     fn pilot_estimator_is_calibrated_on_pure_tone() {
         let mut rng = rng();
-        let frame = FrameSynthesizer::new(256)
-            .pilot_dbfs(-40.0)
-            .noise_dbfs(-120.0)
-            .synthesize(&mut rng);
+        let frame =
+            FrameSynthesizer::new(256).pilot_dbfs(-40.0).noise_dbfs(-120.0).synthesize(&mut rng);
         let det = EnergyDetector::new();
         let p = det.pilot_dbfs(&frame);
         assert!((p - -40.0).abs() < 0.5, "got {p}");
@@ -207,10 +203,8 @@ mod tests {
     #[test]
     fn channel_power_adds_correction() {
         let mut rng = rng();
-        let frame = FrameSynthesizer::new(256)
-            .pilot_dbfs(-50.0)
-            .noise_dbfs(-110.0)
-            .synthesize(&mut rng);
+        let frame =
+            FrameSynthesizer::new(256).pilot_dbfs(-50.0).noise_dbfs(-110.0).synthesize(&mut rng);
         let det = EnergyDetector::new();
         assert!((det.channel_power_dbfs(&frame) - (det.pilot_dbfs(&frame) + 12.0)).abs() < 1e-12);
         let det9 = EnergyDetector::new().with_pilot_to_channel_db(9.0);

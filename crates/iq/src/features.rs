@@ -14,10 +14,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::fft::{fft, fftshift};
+use crate::spectral::with_spectral;
 use crate::units::power_to_db;
 use crate::window::Window;
-use crate::{Complex, IqFrame};
+use crate::IqFrame;
 
 /// Every feature the extraction stage computes.
 ///
@@ -181,8 +181,11 @@ impl FeatureVector {
     /// single-frame pilot estimates carry ~3.5 dB of chi-square noise that
     /// would swamp the −84 dBm decision).
     ///
-    /// Each frame costs exactly one FFT. Returns the features along with
-    /// the batch pilot estimate.
+    /// Each frame costs exactly one planned FFT: the window coefficients,
+    /// twiddle tables and scratch buffers come from the thread's cached
+    /// spectral context, so the steady state allocates nothing and
+    /// evaluates no trig. Returns the features along with the batch pilot
+    /// estimate.
     ///
     /// # Panics
     ///
@@ -193,80 +196,71 @@ impl FeatureVector {
         let n = frames[0].len();
         assert!(n > 0, "cannot extract features from an empty frame");
         assert!(frames.iter().all(|f| f.len() == n), "frames must share a length");
-        let coeffs = window.coefficients(n);
-        let coherent_sum: f64 = coeffs.iter().sum();
-        let norm = coherent_sum * coherent_sum;
+        with_spectral(window, n, |ctx| {
+            let coherent_sum = ctx.coherent_sum;
+            let norm = coherent_sum * coherent_sum;
 
-        // Window span response for the pilot normalization (see
-        // EnergyDetector::pilot_dbfs).
-        let mut wspec: Vec<Complex> = coeffs.iter().map(|&w| Complex::new(w, 0.0)).collect();
-        fft(&mut wspec).expect("window length equals frame length");
-        let wshift = fftshift(&wspec);
+            let mut time_power = 0.0f64;
+            let mut p_i = 0.0f64;
+            let mut p_q = 0.0f64;
+            let mut kurtosis = 0.0f64;
+            let k = frames.len() as f64;
 
-        let mut avg_power = vec![0.0f64; n];
-        let mut time_power = 0.0f64;
-        let mut p_i = 0.0f64;
-        let mut p_q = 0.0f64;
-        let mut kurtosis = 0.0f64;
-        let k = frames.len() as f64;
+            ctx.reset_power();
+            for frame in frames {
+                ctx.accumulate_shifted_power(frame, 1.0 / (norm * k));
+                time_power += frame.mean_power() / k;
+                p_i += frame.samples().iter().map(|z| z.re * z.re).sum::<f64>() / (n as f64 * k);
+                p_q += frame.samples().iter().map(|z| z.im * z.im).sum::<f64>() / (n as f64 * k);
 
-        for frame in frames {
-            let mut buf: Vec<Complex> =
-                frame.samples().iter().zip(&coeffs).map(|(s, w)| s.scale(*w)).collect();
-            fft(&mut buf).expect("frame length must be a power of two");
-            let shifted = fftshift(&buf);
-            for (acc, z) in avg_power.iter_mut().zip(&shifted) {
-                *acc += z.norm_sq() / (norm * k);
+                let mean_i: f64 = frame.samples().iter().map(|z| z.re).sum::<f64>() / n as f64;
+                let var_i: f64 =
+                    frame.samples().iter().map(|z| (z.re - mean_i).powi(2)).sum::<f64>() / n as f64;
+                if var_i > 0.0 {
+                    kurtosis +=
+                        (frame.samples().iter().map(|z| (z.re - mean_i).powi(4)).sum::<f64>()
+                            / (n as f64 * var_i * var_i)
+                            - 3.0)
+                            / k;
+                }
             }
-            time_power += frame.mean_power() / k;
-            p_i += frame.samples().iter().map(|z| z.re * z.re).sum::<f64>() / (n as f64 * k);
-            p_q += frame.samples().iter().map(|z| z.im * z.im).sum::<f64>() / (n as f64 * k);
 
-            let mean_i: f64 = frame.samples().iter().map(|z| z.re).sum::<f64>() / n as f64;
-            let var_i: f64 = frame.samples().iter().map(|z| (z.re - mean_i).powi(2)).sum::<f64>()
-                / n as f64;
-            if var_i > 0.0 {
-                kurtosis += (frame.samples().iter().map(|z| (z.re - mean_i).powi(4)).sum::<f64>()
-                    / (n as f64 * var_i * var_i)
-                    - 3.0)
-                    / k;
+            let avg_power = ctx.power();
+            let center = n / 2;
+            let cft_db = power_to_db(avg_power[center]);
+
+            // Central 15 % of bins.
+            let span = ((n as f64 * 0.15).round() as usize).max(1);
+            let lo = center.saturating_sub(span / 2);
+            let hi = (lo + span).min(n);
+            let aft = avg_power[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            let aft_db = power_to_db(aft);
+
+            let edge_bin_db = power_to_db(avg_power[(3 * n) / 4]);
+            let rss_db = power_to_db(time_power);
+            let quadrature_imbalance_db = power_to_db(p_i) - power_to_db(p_q);
+
+            // Pilot estimate: central 3 bins of the averaged spectrum,
+            // re-normalized from coherent-gain to span-response units.
+            let half_span = 1usize;
+            let plo = center - half_span;
+            let phi = center + half_span;
+            let span_response: f64 = ctx.win_span_norms[plo..=phi].iter().sum();
+            let pilot_power: f64 = avg_power[plo..=phi].iter().sum::<f64>() * norm / span_response;
+            let pilot_db = power_to_db(pilot_power);
+
+            Extraction {
+                features: Self {
+                    rss_db,
+                    cft_db,
+                    aft_db,
+                    quadrature_imbalance_db,
+                    iq_kurtosis: kurtosis,
+                    edge_bin_db,
+                },
+                pilot_db,
             }
-        }
-
-        let center = n / 2;
-        let cft_db = power_to_db(avg_power[center]);
-
-        // Central 15 % of bins.
-        let span = ((n as f64 * 0.15).round() as usize).max(1);
-        let lo = center.saturating_sub(span / 2);
-        let hi = (lo + span).min(n);
-        let aft = avg_power[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
-        let aft_db = power_to_db(aft);
-
-        let edge_bin_db = power_to_db(avg_power[(3 * n) / 4]);
-        let rss_db = power_to_db(time_power);
-        let quadrature_imbalance_db = power_to_db(p_i) - power_to_db(p_q);
-
-        // Pilot estimate: central 3 bins of the averaged spectrum,
-        // re-normalized from coherent-gain to span-response units.
-        let half_span = 1usize;
-        let plo = center - half_span;
-        let phi = center + half_span;
-        let span_response: f64 = wshift[plo..=phi].iter().map(|z| z.norm_sq()).sum();
-        let pilot_power: f64 = avg_power[plo..=phi].iter().sum::<f64>() * norm / span_response;
-        let pilot_db = power_to_db(pilot_power);
-
-        Extraction {
-            features: Self {
-                rss_db,
-                cft_db,
-                aft_db,
-                quadrature_imbalance_db,
-                iq_kurtosis: kurtosis,
-                edge_bin_db,
-            },
-            pilot_db,
-        }
+        })
     }
 
     /// Value of one feature.

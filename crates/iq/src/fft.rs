@@ -1,10 +1,18 @@
-//! Iterative radix-2 fast Fourier transform.
+//! Iterative radix-2 fast Fourier transform with precomputed plans.
 //!
 //! The feature extractor computes a 256-point DFT per measurement, so a
 //! from-scratch FFT (no external DSP crates exist offline) is part of the
 //! substrate. The implementation is the standard bit-reversal +
-//! Cooley–Tukey butterfly scheme; [`dft_naive`] is the O(n²) reference the
-//! tests validate against.
+//! Cooley–Tukey butterfly scheme, driven by an [`FftPlan`]: the
+//! bit-reversal permutation and every stage's twiddle factors are computed
+//! once (each entry by a direct `cis` evaluation, not the error-accumulating
+//! `w *= wlen` recurrence) and reused across transforms. [`fft`]/[`ifft`]
+//! fetch a thread-local cached plan, so steady-state transforms do no trig
+//! and no allocation. [`dft_naive`] is the O(n²) reference the tests
+//! validate against.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use crate::Complex;
 
@@ -22,7 +30,170 @@ impl std::fmt::Display for NonPowerOfTwo {
 
 impl std::error::Error for NonPowerOfTwo {}
 
-/// Computes the in-place forward FFT of `data`.
+/// A precomputed radix-2 transform plan for one FFT size.
+///
+/// Holds the bit-reversal permutation and the per-stage twiddle tables.
+/// Every table entry is evaluated directly with [`Complex::cis`], so the
+/// tables are accurate to machine precision — unlike the classic
+/// `w *= wlen` recurrence, whose rounding error grows along each chunk.
+/// One plan serves both directions: the inverse conjugates table entries
+/// on the fly.
+///
+/// Plans are cheap to share (`Rc` via [`plan_for`]) and immutable; the
+/// transforms run in place, so no scratch allocation is needed per call.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_iq::{fft::FftPlan, Complex};
+///
+/// let plan = FftPlan::new(4).unwrap();
+/// let mut x = vec![Complex::ONE; 4];
+/// plan.forward(&mut x);
+/// assert!((x[0].re - 4.0).abs() < 1e-12); // all energy at DC
+/// plan.inverse(&mut x);
+/// assert!((x[0].re - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// `rev[i]` is `i` with its low `log2(n)` bits reversed.
+    rev: Vec<u32>,
+    /// Forward twiddles for all stages, concatenated. The stage with
+    /// half-length `h` (h = 1, 2, …, n/2) owns entries `h-1 .. 2h-1`;
+    /// entry `h-1+i` is `e^{-jπi/h}`. Total length `n - 1`.
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonPowerOfTwo`] if `n` is not a power of two (zero is
+    /// rejected too).
+    pub fn new(n: usize) -> Result<Self, NonPowerOfTwo> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(NonPowerOfTwo { len: n });
+        }
+        let bits = n.trailing_zeros();
+        let rev = if bits == 0 {
+            vec![0]
+        } else {
+            (0..n).map(|i| (i.reverse_bits() >> (usize::BITS - bits)) as u32).collect()
+        };
+        let mut twiddles = Vec::with_capacity(n - 1);
+        let mut half = 1usize;
+        while half < n {
+            let step = -std::f64::consts::PI / half as f64;
+            twiddles.extend((0..half).map(|i| Complex::cis(step * i as f64)));
+            half <<= 1;
+        }
+        Ok(Self { n, rev, twiddles })
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan length is zero (never true; plans reject `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT: `X[k] = Σ x[n]·e^{-j2πkn/N}`, no normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`len`](Self::len).
+    pub fn forward(&self, data: &mut [Complex]) {
+        self.process(data, Direction::Forward);
+    }
+
+    /// In-place inverse FFT, including the `1/N` normalization so that
+    /// `inverse(forward(x)) == x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`len`](Self::len).
+    pub fn inverse(&self, data: &mut [Complex]) {
+        self.process(data, Direction::Inverse);
+        let scale = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    fn process(&self, data: &mut [Complex], dir: Direction) {
+        assert_eq!(
+            data.len(),
+            self.n,
+            "plan built for length {} applied to a buffer of length {}",
+            self.n,
+            data.len()
+        );
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+
+        // Bit-reversal permutation (table lookup, computed once per plan).
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+
+        // Cooley–Tukey butterflies with table twiddles.
+        let mut half = 1;
+        while half < n {
+            let stage = &self.twiddles[half - 1..2 * half - 1];
+            for chunk in data.chunks_mut(2 * half) {
+                for (i, &tw) in stage.iter().enumerate() {
+                    let w = match dir {
+                        Direction::Forward => tw,
+                        Direction::Inverse => tw.conj(),
+                    };
+                    let u = chunk[i];
+                    let v = chunk[i + half] * w;
+                    chunk[i] = u + v;
+                    chunk[i + half] = u - v;
+                }
+            }
+            half <<= 1;
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread plan cache, keyed by transform length. The workspace
+    /// only ever uses a couple of sizes (256-point frames plus small test
+    /// transforms), so a linear scan over an `Rc` list beats a map.
+    static PLANS: RefCell<Vec<Rc<FftPlan>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Returns this thread's cached plan for length `n`, building it on first
+/// use. Subsequent calls for the same length are a pointer clone.
+///
+/// # Errors
+///
+/// Returns [`NonPowerOfTwo`] if `n` is not a power of two.
+pub fn plan_for(n: usize) -> Result<Rc<FftPlan>, NonPowerOfTwo> {
+    PLANS.with(|cell| {
+        let mut plans = cell.borrow_mut();
+        if let Some(p) = plans.iter().find(|p| p.len() == n) {
+            return Ok(Rc::clone(p));
+        }
+        let p = Rc::new(FftPlan::new(n)?);
+        plans.push(Rc::clone(&p));
+        Ok(p)
+    })
+}
+
+/// Computes the in-place forward FFT of `data` using the thread-local
+/// cached plan for its length.
 ///
 /// Uses the convention `X[k] = Σ x[n]·e^{-j2πkn/N}` with no normalization
 /// (matching common DSP libraries; the inverse divides by `N`).
@@ -43,21 +214,32 @@ impl std::error::Error for NonPowerOfTwo {}
 /// assert!(x[1].abs() < 1e-12);
 /// ```
 pub fn fft(data: &mut [Complex]) -> Result<(), NonPowerOfTwo> {
-    transform(data, Direction::Forward)
+    plan_for(data.len())?.forward(data);
+    Ok(())
 }
 
 /// Computes the in-place inverse FFT of `data`, including the `1/N`
-/// normalization so that `ifft(fft(x)) == x`.
+/// normalization so that `ifft(fft(x)) == x`. Uses the thread-local
+/// cached plan.
 ///
 /// # Errors
 ///
 /// Returns [`NonPowerOfTwo`] if `data.len()` is not a power of two.
 pub fn ifft(data: &mut [Complex]) -> Result<(), NonPowerOfTwo> {
-    transform(data, Direction::Inverse)?;
-    let n = data.len() as f64;
-    for z in data.iter_mut() {
-        *z = z.scale(1.0 / n);
-    }
+    plan_for(data.len())?.inverse(data);
+    Ok(())
+}
+
+/// Forward FFT that builds its plan from scratch on every call — the
+/// unplanned baseline the criterion benches compare [`fft`] against.
+/// Numerically identical to the planned path (same tables, same butterfly
+/// order), just slower.
+///
+/// # Errors
+///
+/// Returns [`NonPowerOfTwo`] if `data.len()` is not a power of two.
+pub fn fft_unplanned(data: &mut [Complex]) -> Result<(), NonPowerOfTwo> {
+    FftPlan::new(data.len())?.forward(data);
     Ok(())
 }
 
@@ -65,49 +247,6 @@ pub fn ifft(data: &mut [Complex]) -> Result<(), NonPowerOfTwo> {
 enum Direction {
     Forward,
     Inverse,
-}
-
-fn transform(data: &mut [Complex], dir: Direction) -> Result<(), NonPowerOfTwo> {
-    let n = data.len();
-    if n == 0 || !n.is_power_of_two() {
-        return Err(NonPowerOfTwo { len: n });
-    }
-    if n == 1 {
-        return Ok(());
-    }
-
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = i.reverse_bits() >> (usize::BITS - bits);
-        if j > i {
-            data.swap(i, j);
-        }
-    }
-
-    // Cooley–Tukey butterflies.
-    let sign = match dir {
-        Direction::Forward => -1.0,
-        Direction::Inverse => 1.0,
-    };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::cis(ang);
-        for chunk in data.chunks_mut(len) {
-            let mut w = Complex::ONE;
-            let half = len / 2;
-            for i in 0..half {
-                let u = chunk[i];
-                let v = chunk[i + half] * w;
-                chunk[i] = u + v;
-                chunk[i + half] = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
-    }
-    Ok(())
 }
 
 /// Reference O(n²) DFT with the same convention as [`fft`]. Works for any
@@ -130,6 +269,9 @@ pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
 /// (equivalent of `fftshift`). The paper's CFT feature is "the central DFT
 /// bin" of exactly such a shifted spectrum.
 ///
+/// Allocates the shifted copy; hot paths should prefer
+/// [`fftshift_in_place`].
+///
 /// # Examples
 ///
 /// ```
@@ -145,17 +287,30 @@ pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
 /// assert_eq!(shifted[2], Complex::new(1.0, 0.0)); // DC now central
 /// ```
 pub fn fftshift(spectrum: &[Complex]) -> Vec<Complex> {
-    let n = spectrum.len();
-    let half = n / 2;
-    let mut out = Vec::with_capacity(n);
-    out.extend_from_slice(&spectrum[n - half..]);
-    out.extend_from_slice(&spectrum[..n - half]);
+    let mut out = spectrum.to_vec();
+    fftshift_in_place(&mut out);
     out
+}
+
+/// In-place [`fftshift`]: rotates the slice so DC lands on bin `n/2`
+/// without allocating. Works on any element type (complex spectra and
+/// real power spectra alike).
+pub fn fftshift_in_place<T>(spectrum: &mut [T]) {
+    let n = spectrum.len();
+    spectrum.rotate_left(n - n / 2);
 }
 
 /// Power spectrum `|X[k]|²` of a shifted or unshifted spectrum.
 pub fn power_spectrum(spectrum: &[Complex]) -> Vec<f64> {
     spectrum.iter().map(|z| z.norm_sq()).collect()
+}
+
+/// Writes the power spectrum `|X[k]|²` into `out`, reusing its capacity
+/// (cleared first). The allocation-free counterpart of [`power_spectrum`]
+/// for per-reading hot paths.
+pub fn power_spectrum_into(spectrum: &[Complex], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(spectrum.iter().map(|z| z.norm_sq()));
 }
 
 #[cfg(test)]
@@ -179,21 +334,67 @@ mod tests {
         assert!(fft(&mut x).is_err());
         let mut empty: Vec<Complex> = vec![];
         assert!(fft(&mut empty).is_err());
-        let err = fft(&mut vec![Complex::ZERO; 6]).unwrap_err();
+        let err = fft(&mut [Complex::ZERO; 6]).unwrap_err();
         assert!(err.to_string().contains("6"));
+        assert!(FftPlan::new(12).is_err());
+        assert!(plan_for(0).is_err());
     }
 
     #[test]
     fn matches_naive_dft() {
+        // Table twiddles are exact per entry, so the FFT error is pure
+        // butterfly rounding — two orders tighter than the old `w *= wlen`
+        // recurrence allowed.
         for &n in &[1usize, 2, 4, 8, 64, 256] {
             let x = random_frame(n, n as u64);
             let expected = dft_naive(&x);
             let mut got = x.clone();
             fft(&mut got).unwrap();
             for (g, e) in got.iter().zip(&expected) {
-                assert!(close(*g, *e, 1e-9 * n as f64), "n={n}: {g} vs {e}");
+                assert!(close(*g, *e, 1e-11 * n as f64), "n={n}: {g} vs {e}");
             }
         }
+    }
+
+    #[test]
+    fn planned_and_unplanned_are_bit_identical() {
+        let x = random_frame(256, 21);
+        let mut planned = x.clone();
+        let mut unplanned = x;
+        fft(&mut planned).unwrap();
+        fft_unplanned(&mut unplanned).unwrap();
+        assert_eq!(planned, unplanned);
+    }
+
+    #[test]
+    fn plan_cache_returns_shared_plans() {
+        let a = plan_for(64).unwrap();
+        let b = plan_for(64).unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 64);
+        assert!(!a.is_empty());
+        let c = plan_for(128).unwrap();
+        assert_eq!(c.len(), 128);
+    }
+
+    #[test]
+    fn plan_twiddle_tables_cover_every_stage() {
+        let plan = FftPlan::new(32).unwrap();
+        assert_eq!(plan.twiddles.len(), 31);
+        // Stage with half-length h starts at h-1 and begins with W⁰ = 1.
+        for h in [1usize, 2, 4, 8, 16] {
+            assert!(close(plan.twiddles[h - 1], Complex::ONE, 1e-15));
+        }
+        // Last stage, quarter-way entry: e^{-jπ·8/16} = -j.
+        assert!(close(plan.twiddles[15 + 8], Complex::new(0.0, -1.0), 1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "plan built for length 8")]
+    fn plan_rejects_mismatched_buffer() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut x = vec![Complex::ZERO; 16];
+        plan.forward(&mut x);
     }
 
     #[test]
@@ -205,6 +406,19 @@ mod tests {
         for (a, b) in x.iter().zip(&y) {
             assert!(close(*a, *b, 1e-10));
         }
+    }
+
+    #[test]
+    fn plan_inverse_matches_free_function() {
+        let plan = FftPlan::new(64).unwrap();
+        let x = random_frame(64, 33);
+        let mut via_plan = x.clone();
+        plan.forward(&mut via_plan);
+        plan.inverse(&mut via_plan);
+        let mut via_free = x;
+        fft(&mut via_free).unwrap();
+        ifft(&mut via_free).unwrap();
+        assert_eq!(via_plan, via_free);
     }
 
     #[test]
@@ -226,8 +440,7 @@ mod tests {
             .collect();
         fft(&mut x).unwrap();
         let power = power_spectrum(&x);
-        let (argmax, max) =
-            power.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
+        let (argmax, max) = power.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
         assert_eq!(argmax, k0);
         let rest: f64 = power.iter().sum::<f64>() - max;
         assert!(rest < 1e-9 * max);
@@ -248,6 +461,28 @@ mod tests {
         let x = random_frame(16, 5);
         let twice = fftshift(&fftshift(&x));
         assert_eq!(x, twice);
+    }
+
+    #[test]
+    fn fftshift_in_place_matches_allocating_version() {
+        for n in [1usize, 2, 5, 8, 16] {
+            let x = random_frame(n, n as u64 + 40);
+            let shifted = fftshift(&x);
+            let mut in_place = x;
+            fftshift_in_place(&mut in_place);
+            assert_eq!(shifted, in_place, "n={n}");
+        }
+    }
+
+    #[test]
+    fn power_spectrum_into_reuses_the_buffer() {
+        let x = random_frame(32, 6);
+        let mut out = Vec::with_capacity(64);
+        power_spectrum_into(&x, &mut out);
+        assert_eq!(out, power_spectrum(&x));
+        let ptr = out.as_ptr();
+        power_spectrum_into(&x, &mut out);
+        assert_eq!(ptr, out.as_ptr(), "refill must not reallocate");
     }
 
     #[test]

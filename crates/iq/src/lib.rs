@@ -9,7 +9,8 @@
 //! path from scratch:
 //!
 //! * [`Complex`] — a minimal complex number type.
-//! * [`fft`] — an iterative radix-2 FFT (plus a reference DFT used in tests).
+//! * [`fft`] — an iterative radix-2 FFT driven by cached [`FftPlan`]s
+//!   (plus a reference DFT used in tests).
 //! * [`window`] — Hann / Hamming / Blackman / rectangular windows.
 //! * [`synth`] — ATSC-like frame synthesis: pilot tone (11.3 dB below total
 //!   channel power) + noise-like 8VSB data skirt + AWGN.
@@ -41,6 +42,7 @@ mod detect;
 pub mod features;
 pub mod fft;
 pub mod matched;
+mod spectral;
 pub mod synth;
 mod units;
 pub mod window;
@@ -48,5 +50,6 @@ pub mod window;
 pub use complex::Complex;
 pub use detect::EnergyDetector;
 pub use features::{Extraction, FeatureKind, FeatureSet, FeatureVector};
+pub use fft::FftPlan;
 pub use synth::{FrameSynthesizer, IqFrame};
 pub use units::{db_power_sum, db_to_power, power_to_db};

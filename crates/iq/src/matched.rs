@@ -71,8 +71,8 @@ impl MatchedFilter {
         let n = frame.len() as f64;
         let mut acc = Complex::ZERO;
         for (i, &x) in frame.samples().iter().enumerate() {
-            let phase = -2.0 * std::f64::consts::PI * self.template_cycles * i as f64
-                / frame.len() as f64;
+            let phase =
+                -2.0 * std::f64::consts::PI * self.template_cycles * i as f64 / frame.len() as f64;
             acc += x * Complex::cis(phase);
         }
         acc.norm_sq() / (n * n)

@@ -1,0 +1,168 @@
+//! Thread-local cached spectral context shared by the feature extractor
+//! and the energy detectors.
+//!
+//! Both hot paths ([`crate::FeatureVector::extract_from_frames`] and
+//! [`crate::EnergyDetector::pilot_dbfs`]) need the same per-(window,
+//! length) preparation: the FFT plan, the window coefficients, the
+//! window's own shifted spectrum (for span-response normalization) and a
+//! frame-sized scratch buffer. Computing those per call used to cost two
+//! FFTs and several allocations per reading; here they are built once per
+//! thread and reused, so the steady-state cost of a reading is exactly one
+//! planned FFT with no trig-table work and no heap traffic.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::fft::{fftshift_in_place, plan_for, FftPlan};
+use crate::window::Window;
+use crate::{Complex, IqFrame};
+
+/// Cached spectral state for one `(window, frame length)` pair.
+pub(crate) struct Spectral {
+    window: Window,
+    n: usize,
+    plan: Rc<FftPlan>,
+    /// Window coefficients for length `n`.
+    pub(crate) coeffs: Vec<f64>,
+    /// Coherent (amplitude) sum of the window, `Σw`.
+    pub(crate) coherent_sum: f64,
+    /// `|FFT(w)|²` after fftshift: the window's span response per bin.
+    pub(crate) win_span_norms: Vec<f64>,
+    /// Frame-sized complex scratch for the windowed transform.
+    scratch: Vec<Complex>,
+    /// Power-spectrum accumulator (see [`Self::reset_power`]).
+    power: Vec<f64>,
+}
+
+impl Spectral {
+    fn new(window: Window, n: usize) -> Self {
+        let plan = plan_for(n).expect("frame length must be a power of two");
+        let coeffs = window.coefficients(n);
+        let coherent_sum: f64 = coeffs.iter().sum();
+        let mut wspec: Vec<Complex> = coeffs.iter().map(|&w| Complex::new(w, 0.0)).collect();
+        plan.forward(&mut wspec);
+        fftshift_in_place(&mut wspec);
+        let win_span_norms = wspec.iter().map(|z| z.norm_sq()).collect();
+        Self {
+            window,
+            n,
+            plan,
+            coeffs,
+            coherent_sum,
+            win_span_norms,
+            scratch: vec![Complex::ZERO; n],
+            power: Vec::with_capacity(n),
+        }
+    }
+
+    /// Zeroes the power accumulator (no allocation after first use).
+    pub(crate) fn reset_power(&mut self) {
+        self.power.clear();
+        self.power.resize(self.n, 0.0);
+    }
+
+    /// Windows `frame` into the scratch buffer, runs the planned FFT and
+    /// the in-place fftshift, and adds `|X[k]|² · scale` into the power
+    /// accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len()` differs from the context length.
+    pub(crate) fn accumulate_shifted_power(&mut self, frame: &IqFrame, scale: f64) {
+        assert_eq!(frame.len(), self.n, "frame length must match the spectral context");
+        for ((dst, s), w) in self.scratch.iter_mut().zip(frame.samples()).zip(&self.coeffs) {
+            *dst = s.scale(*w);
+        }
+        self.plan.forward(&mut self.scratch);
+        fftshift_in_place(&mut self.scratch);
+        for (acc, z) in self.power.iter_mut().zip(&self.scratch) {
+            *acc += z.norm_sq() * scale;
+        }
+    }
+
+    /// The accumulated, fftshifted power spectrum.
+    pub(crate) fn power(&self) -> &[f64] {
+        &self.power
+    }
+}
+
+thread_local! {
+    /// Per-thread contexts; the workspace uses one or two (window, n)
+    /// pairs, so a linear scan is cheaper than a map.
+    static CONTEXTS: RefCell<Vec<Spectral>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with this thread's cached spectral context for `(window, n)`,
+/// building it on first use.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two. Re-entrant use (calling
+/// `with_spectral` from inside `f`) is not supported.
+pub(crate) fn with_spectral<R>(window: Window, n: usize, f: impl FnOnce(&mut Spectral) -> R) -> R {
+    CONTEXTS.with(|cell| {
+        let mut list = cell.borrow_mut();
+        let idx = match list.iter().position(|s| s.window == window && s.n == n) {
+            Some(i) => i,
+            None => {
+                list.push(Spectral::new(window, n));
+                list.len() - 1
+            }
+        };
+        f(&mut list[idx])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{fft, fftshift};
+
+    #[test]
+    fn context_is_cached_per_window_and_length() {
+        let first = with_spectral(Window::Hann, 64, |ctx| ctx.coeffs.as_ptr() as usize);
+        let second = with_spectral(Window::Hann, 64, |ctx| ctx.coeffs.as_ptr() as usize);
+        assert_eq!(first, second, "same (window, n) must reuse the context");
+        let other = with_spectral(Window::Hamming, 64, |ctx| ctx.coeffs.as_ptr() as usize);
+        assert_ne!(first, other, "different windows need their own context");
+    }
+
+    #[test]
+    fn window_span_norms_match_direct_computation() {
+        with_spectral(Window::Blackman, 32, |ctx| {
+            let coeffs = Window::Blackman.coefficients(32);
+            let mut wspec: Vec<Complex> = coeffs.iter().map(|&w| Complex::new(w, 0.0)).collect();
+            fft(&mut wspec).unwrap();
+            let expected: Vec<f64> = fftshift(&wspec).iter().map(|z| z.norm_sq()).collect();
+            assert_eq!(ctx.win_span_norms, expected);
+        });
+    }
+
+    #[test]
+    fn accumulation_sums_scaled_frame_spectra() {
+        let frame = IqFrame::new((0..16).map(|i| Complex::new(i as f64, -1.0)).collect());
+        with_spectral(Window::Hann, 16, |ctx| {
+            ctx.reset_power();
+            ctx.accumulate_shifted_power(&frame, 0.5);
+            ctx.accumulate_shifted_power(&frame, 0.5);
+            let coeffs = Window::Hann.coefficients(16);
+            let mut buf: Vec<Complex> =
+                frame.samples().iter().zip(&coeffs).map(|(s, w)| s.scale(*w)).collect();
+            fft(&mut buf).unwrap();
+            let expected: Vec<f64> = fftshift(&buf).iter().map(|z| z.norm_sq()).collect();
+            for (got, want) in ctx.power().iter().zip(&expected) {
+                assert!((got - want).abs() <= 1e-12 * want.max(1.0), "{got} vs {want}");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "frame length must match")]
+    fn mismatched_frame_length_panics() {
+        let frame = IqFrame::new(vec![Complex::ONE; 8]);
+        with_spectral(Window::Hann, 16, |ctx| {
+            ctx.reset_power();
+            ctx.accumulate_shifted_power(&frame, 1.0);
+        });
+    }
+}

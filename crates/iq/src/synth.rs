@@ -214,10 +214,8 @@ mod tests {
     #[test]
     fn pilot_dominates_when_strong() {
         let mut rng = rng();
-        let frame = FrameSynthesizer::new(256)
-            .pilot_dbfs(-20.0)
-            .noise_dbfs(-80.0)
-            .synthesize(&mut rng);
+        let frame =
+            FrameSynthesizer::new(256).pilot_dbfs(-20.0).noise_dbfs(-80.0).synthesize(&mut rng);
         let db = power_to_db(frame.mean_power());
         assert!((db - -20.0).abs() < 0.5, "got {db}");
     }
@@ -225,10 +223,7 @@ mod tests {
     #[test]
     fn components_add_in_power() {
         let mut rng = rng();
-        let synth = FrameSynthesizer::new(256)
-            .pilot_dbfs(-30.0)
-            .data_dbfs(-30.0)
-            .noise_dbfs(-30.0);
+        let synth = FrameSynthesizer::new(256).pilot_dbfs(-30.0).data_dbfs(-30.0).noise_dbfs(-30.0);
         let mean: f64 =
             (0..300).map(|_| synth.synthesize(&mut rng).mean_power()).sum::<f64>() / 300.0;
         // Three equal powers → +4.77 dB over one.

@@ -157,11 +157,8 @@ mod tests {
 
     #[test]
     fn class_counts() {
-        let ds = Dataset::from_rows(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![true, false, true],
-        )
-        .unwrap();
+        let ds = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![true, false, true])
+            .unwrap();
         assert_eq!(ds.positives(), 2);
         assert_eq!(ds.negatives(), 1);
         assert!(ds.has_both_classes());
@@ -171,11 +168,9 @@ mod tests {
 
     #[test]
     fn subset_preserves_order() {
-        let ds = Dataset::from_rows(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![false, true, false],
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![false, true, false])
+                .unwrap();
         let sub = ds.subset(&[2, 0]);
         assert_eq!(sub.rows(), &[vec![2.0], vec![0.0]]);
         assert_eq!(sub.labels(), &[false, false]);

@@ -93,12 +93,16 @@ impl KMeans {
         let mut assignment = vec![0usize; points.len()];
 
         for _ in 0..self.max_iter {
-            // Assignment step.
+            // Assignment step: each point's nearest centroid is independent
+            // of the others, so fan chunks out over the worker pool. The
+            // update step below stays serial to keep the floating-point
+            // accumulation order (and thus the centroids) bit-identical to
+            // a single-threaded run.
+            let next = assign_all(points, &centroids);
             let mut moved = false;
-            for (i, p) in points.iter().enumerate() {
-                let best = nearest(&centroids, p);
-                if assignment[i] != best {
-                    assignment[i] = best;
+            for (slot, best) in assignment.iter_mut().zip(&next) {
+                if *slot != *best {
+                    *slot = *best;
                     moved = true;
                 }
             }
@@ -128,8 +132,8 @@ impl KMeans {
                     centroids[c] = points[far].clone();
                     moved = true;
                 } else {
-                    for d in 0..dim {
-                        sums[c][d] /= counts[c] as f64;
+                    for slot in &mut sums[c] {
+                        *slot /= counts[c] as f64;
                     }
                     centroids[c] = std::mem::take(&mut sums[c]);
                 }
@@ -139,9 +143,7 @@ impl KMeans {
             }
         }
         // Final assignment after the last update.
-        for (i, p) in points.iter().enumerate() {
-            assignment[i] = nearest(&centroids, p);
-        }
+        let assignment = assign_all(points, &centroids);
         Ok(Clustering { centroids, assignment })
     }
 }
@@ -149,6 +151,20 @@ impl KMeans {
 /// Seed salt so k-means draws differ from other seeded components fed the
 /// same user seed ("kmeans" in ASCII).
 const KMEANS_SALT: u64 = 0x6b6d_6561_6e73;
+
+/// Points per parallel chunk in the assignment step: large enough that a
+/// chunk amortizes its scheduling, small enough to load-balance the
+/// campaign-sized inputs.
+const ASSIGN_CHUNK: usize = 256;
+
+/// Nearest-centroid assignment for every point, chunked over the worker
+/// pool. Pure per-point computation, so the output does not depend on the
+/// worker count or chunk boundaries.
+fn assign_all(points: &[Vec<f64>], centroids: &[Vec<f64>]) -> Vec<usize> {
+    waldo_par::par_chunk_map(points, ASSIGN_CHUNK, |chunk| {
+        chunk.iter().map(|p| nearest(centroids, p)).collect()
+    })
+}
 
 fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> usize {
     let mut best = 0;
@@ -228,11 +244,7 @@ impl Clustering {
 
     /// Sum of squared distances of training points to their centroids.
     pub fn inertia(&self, points: &[Vec<f64>]) -> f64 {
-        points
-            .iter()
-            .zip(&self.assignment)
-            .map(|(p, &c)| dist_sq(p, &self.centroids[c]))
-            .sum()
+        points.iter().zip(&self.assignment).map(|(p, &c)| dist_sq(p, &self.centroids[c])).sum()
     }
 }
 
@@ -305,10 +317,7 @@ mod tests {
     #[test]
     fn errors_on_bad_inputs() {
         assert_eq!(KMeans::new(0).fit(&blobs()), Err(KMeansError::ZeroClusters));
-        assert_eq!(
-            KMeans::new(5).fit(&[vec![1.0], vec![2.0]]),
-            Err(KMeansError::TooFewPoints)
-        );
+        assert_eq!(KMeans::new(5).fit(&[vec![1.0], vec![2.0]]), Err(KMeansError::TooFewPoints));
     }
 
     #[test]

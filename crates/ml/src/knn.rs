@@ -71,13 +71,8 @@ impl KnnClassifier {
 
     /// The `k` nearest training indices to `x`, nearest first.
     pub fn neighbours(&self, x: &[f64]) -> Vec<usize> {
-        let mut order: Vec<(f64, usize)> = self
-            .ds
-            .rows()
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (dist_sq(r, x), i))
-            .collect();
+        let mut order: Vec<(f64, usize)> =
+            self.ds.rows().iter().enumerate().map(|(i, r)| (dist_sq(r, x), i)).collect();
         order.sort_by(|a, b| a.0.total_cmp(&b.0));
         order.into_iter().take(self.k.min(self.ds.len())).map(|(_, i)| i).collect()
     }
@@ -158,11 +153,7 @@ mod tests {
 
     #[test]
     fn ties_break_not_safe() {
-        let ds = Dataset::from_rows(
-            vec![vec![0.0], vec![2.0]],
-            vec![true, false],
-        )
-        .unwrap();
+        let ds = Dataset::from_rows(vec![vec![0.0], vec![2.0]], vec![true, false]).unwrap();
         let knn = KnnClassifier::fit(2, &ds).unwrap();
         // One vote each → conservative not-safe.
         assert!(knn.predict(&[1.0]));
@@ -177,12 +168,9 @@ mod tests {
 
     #[test]
     fn regressor_means_neighbours() {
-        let reg = KnnRegressor::fit(
-            2,
-            vec![vec![0.0], vec![1.0], vec![10.0]],
-            vec![-80.0, -82.0, -60.0],
-        )
-        .unwrap();
+        let reg =
+            KnnRegressor::fit(2, vec![vec![0.0], vec![1.0], vec![10.0]], vec![-80.0, -82.0, -60.0])
+                .unwrap();
         assert!((reg.predict(&[0.5]) - -81.0).abs() < 1e-12);
         assert!((reg.predict(&[10.0]) - -71.0).abs() < 1e-12);
     }

@@ -150,9 +150,9 @@ impl Matrix {
             return Err(MatrixError::Shape);
         }
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c] += self.get(r, c) * v[r];
+        for (r, &vr) in v.iter().enumerate() {
+            for (c, slot) in out.iter_mut().enumerate() {
+                *slot += self.get(r, c) * vr;
             }
         }
         Ok(out)
@@ -238,10 +238,7 @@ mod tests {
     fn from_rows_validates() {
         assert_eq!(Matrix::from_rows(vec![]), Err(MatrixError::Ragged));
         assert_eq!(Matrix::from_rows(vec![vec![]]), Err(MatrixError::Ragged));
-        assert_eq!(
-            Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]),
-            Err(MatrixError::Ragged)
-        );
+        assert_eq!(Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]), Err(MatrixError::Ragged));
     }
 
     #[test]

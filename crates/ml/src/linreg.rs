@@ -123,8 +123,7 @@ impl LinearRegression {
     pub fn r_squared(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
         let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
         let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
-        let ss_res: f64 =
-            xs.iter().zip(ys).map(|(x, y)| (y - self.predict(x)).powi(2)).sum();
+        let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - self.predict(x)).powi(2)).sum();
         if ss_tot == 0.0 {
             return if ss_res == 0.0 { 1.0 } else { 0.0 };
         }
@@ -150,8 +149,7 @@ mod tests {
 
     #[test]
     fn exact_fit_on_noiseless_line() {
-        let model =
-            LinearRegression::fit_simple(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]).unwrap();
+        let model = LinearRegression::fit_simple(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]).unwrap();
         assert!((model.intercept() - 1.0).abs() < 1e-10);
         assert!((model.coefficients()[0] - 2.0).abs() < 1e-10);
         assert!((model.r_squared(&[vec![0.0], vec![1.0]], &[1.0, 3.0]) - 1.0).abs() < 1e-10);
@@ -198,10 +196,7 @@ mod tests {
 
     #[test]
     fn fit_errors() {
-        assert_eq!(
-            LinearRegression::fit(&[], &[]),
-            Err(LinRegError::TooFewSamples)
-        );
+        assert_eq!(LinearRegression::fit(&[], &[]), Err(LinRegError::TooFewSamples));
         assert_eq!(
             LinearRegression::fit(&[vec![1.0, 2.0]], &[1.0]),
             Err(LinRegError::TooFewSamples)

@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn folds_partition_everything() {
         let splits = KFold::new(10, 7).splits(103);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for s in &splits {
             for &i in &s.test {
                 assert!(!seen[i], "sample {i} tested twice");

@@ -227,8 +227,7 @@ mod tests {
     #[test]
     fn training_errors() {
         assert_eq!(GaussianNbTrainer::new().fit(&Dataset::default()), Err(NbError::Empty));
-        let single =
-            Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![true, true]).unwrap();
+        let single = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![true, true]).unwrap();
         assert_eq!(GaussianNbTrainer::new().fit(&single), Err(NbError::SingleClass));
     }
 

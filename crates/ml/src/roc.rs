@@ -135,8 +135,7 @@ mod tests {
 
     #[test]
     fn perfect_separation_has_auc_one() {
-        let scored: Vec<(f64, bool)> =
-            (0..20).map(|i| (i as f64, i >= 10)).collect();
+        let scored: Vec<(f64, bool)> = (0..20).map(|i| (i as f64, i >= 10)).collect();
         let roc = RocCurve::from_scores(&scored).unwrap();
         assert_eq!(roc.auc(), 1.0);
         let best = roc.best_youden();
@@ -146,16 +145,14 @@ mod tests {
 
     #[test]
     fn inverted_scores_have_auc_zero() {
-        let scored: Vec<(f64, bool)> =
-            (0..20).map(|i| (i as f64, i < 10)).collect();
+        let scored: Vec<(f64, bool)> = (0..20).map(|i| (i as f64, i < 10)).collect();
         let roc = RocCurve::from_scores(&scored).unwrap();
         assert_eq!(roc.auc(), 0.0);
     }
 
     #[test]
     fn interleaved_scores_have_auc_half() {
-        let scored: Vec<(f64, bool)> =
-            (0..100).map(|i| (i as f64, i % 2 == 0)).collect();
+        let scored: Vec<(f64, bool)> = (0..100).map(|i| (i as f64, i % 2 == 0)).collect();
         let roc = RocCurve::from_scores(&scored).unwrap();
         assert!((roc.auc() - 0.5).abs() < 0.02, "auc {}", roc.auc());
     }
@@ -188,9 +185,6 @@ mod tests {
     #[test]
     fn error_cases() {
         assert_eq!(RocCurve::from_scores(&[]), Err(RocError::Empty));
-        assert_eq!(
-            RocCurve::from_scores(&[(1.0, true), (2.0, true)]),
-            Err(RocError::SingleClass)
-        );
+        assert_eq!(RocCurve::from_scores(&[(1.0, true), (2.0, true)]), Err(RocError::SingleClass));
     }
 }

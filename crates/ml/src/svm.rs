@@ -202,15 +202,9 @@ impl SvmTrainer {
                 let e_j = f(&alpha, b, &k, j) - y[j];
                 let (a_i_old, a_j_old) = (alpha[i], alpha[j]);
                 let (lo, hi) = if (y[i] - y[j]).abs() > f64::EPSILON {
-                    (
-                        (a_j_old - a_i_old).max(0.0),
-                        (self.c + a_j_old - a_i_old).min(self.c),
-                    )
+                    ((a_j_old - a_i_old).max(0.0), (self.c + a_j_old - a_i_old).min(self.c))
                 } else {
-                    (
-                        (a_i_old + a_j_old - self.c).max(0.0),
-                        (a_i_old + a_j_old).min(self.c),
-                    )
+                    ((a_i_old + a_j_old - self.c).max(0.0), (a_i_old + a_j_old).min(self.c))
                 };
                 // Guard against floating-point producing hi marginally
                 // below lo (e.g. −2.2e−16 when the box collapses).
@@ -362,26 +356,17 @@ mod tests {
     fn linear_kernel_separates_linear_data() {
         let ds = linearly_separable(200, 1);
         let model = SvmTrainer::new().kernel(Kernel::Linear).seed(1).fit(&ds).unwrap();
-        let correct = ds
-            .rows()
-            .iter()
-            .zip(ds.labels())
-            .filter(|(r, &l)| model.predict(r) == l)
-            .count();
+        let correct =
+            ds.rows().iter().zip(ds.labels()).filter(|(r, &l)| model.predict(r) == l).count();
         assert!(correct as f64 / ds.len() as f64 > 0.97, "{correct}/{}", ds.len());
     }
 
     #[test]
     fn rbf_kernel_separates_ring_data() {
         let ds = ring(300, 2);
-        let model =
-            SvmTrainer::new().kernel(Kernel::Rbf { gamma: 1.0 }).seed(2).fit(&ds).unwrap();
-        let correct = ds
-            .rows()
-            .iter()
-            .zip(ds.labels())
-            .filter(|(r, &l)| model.predict(r) == l)
-            .count();
+        let model = SvmTrainer::new().kernel(Kernel::Rbf { gamma: 1.0 }).seed(2).fit(&ds).unwrap();
+        let correct =
+            ds.rows().iter().zip(ds.labels()).filter(|(r, &l)| model.predict(r) == l).count();
         assert!(correct as f64 / ds.len() as f64 > 0.95, "{correct}/{}", ds.len());
     }
 
@@ -392,8 +377,7 @@ mod tests {
         // roughly the majority-class rate.
         let ds = ring(300, 3);
         let linear = SvmTrainer::new().kernel(Kernel::Linear).seed(3).fit(&ds).unwrap();
-        let rbf =
-            SvmTrainer::new().kernel(Kernel::Rbf { gamma: 1.0 }).seed(3).fit(&ds).unwrap();
+        let rbf = SvmTrainer::new().kernel(Kernel::Rbf { gamma: 1.0 }).seed(3).fit(&ds).unwrap();
         let acc = |m: &SvmModel| {
             ds.rows().iter().zip(ds.labels()).filter(|(r, &l)| m.predict(r) == l).count() as f64
                 / ds.len() as f64

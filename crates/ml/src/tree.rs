@@ -160,14 +160,14 @@ fn best_split(ds: &Dataset, indices: &[usize], min_leaf: usize) -> Option<(usize
             }
             let left_g = gini(left_pos, split_at);
             let right_g = gini(total_pos - left_pos, total - split_at);
-            let weighted = (split_at as f64 * left_g + (total - split_at) as f64 * right_g)
-                / total as f64;
+            let weighted =
+                (split_at as f64 * left_g + (total - split_at) as f64 * right_g) / total as f64;
             let gain = parent - weighted;
             // Zero-gain splits are admitted (gain ≥ 0): problems like XOR
             // have no first split that improves Gini, yet splitting unlocks
             // pure children one level down. Recursion still terminates
             // because both children are strictly smaller.
-            if gain >= -1e-12 && best.map_or(true, |(bg, _, _)| gain > bg) {
+            if gain >= -1e-12 && best.is_none_or(|(bg, _, _)| gain > bg) {
                 let threshold = (vals[split_at - 1].0 + vals[split_at].0) / 2.0;
                 best = Some((gain, feature, threshold));
             }
@@ -178,15 +178,8 @@ fn best_split(ds: &Dataset, indices: &[usize], min_leaf: usize) -> Option<(usize
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Node {
-    Leaf {
-        not_safe: bool,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: Box<Node>,
-        right: Box<Node>,
-    },
+    Leaf { not_safe: bool },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
 impl Node {
@@ -245,12 +238,9 @@ mod tests {
         // XOR needs depth ≥ 2; a linear model cannot solve it.
         let mut rows = Vec::new();
         let mut labels = Vec::new();
-        for &(x, y, l) in &[
-            (0.0, 0.0, false),
-            (0.0, 1.0, true),
-            (1.0, 0.0, true),
-            (1.0, 1.0, false),
-        ] {
+        for &(x, y, l) in
+            &[(0.0, 0.0, false), (0.0, 1.0, true), (1.0, 0.0, true), (1.0, 1.0, false)]
+        {
             for j in 0..5 {
                 rows.push(vec![x + j as f64 * 0.01, y + j as f64 * 0.01]);
                 labels.push(l);
@@ -287,8 +277,7 @@ mod tests {
     #[test]
     fn min_samples_leaf_prunes() {
         let deep = DecisionTreeTrainer::new().fit(&xor_dataset()).unwrap();
-        let shallow =
-            DecisionTreeTrainer::new().min_samples_leaf(10).fit(&xor_dataset()).unwrap();
+        let shallow = DecisionTreeTrainer::new().min_samples_leaf(10).fit(&xor_dataset()).unwrap();
         assert!(shallow.leaf_count() <= deep.leaf_count());
     }
 

@@ -1,0 +1,220 @@
+//! Deterministic scoped parallel runtime for the Waldo pipeline.
+//!
+//! # Design
+//!
+//! Everything here is built on [`std::thread::scope`] — no external thread
+//! pool (the build environment is offline, so rayon is unavailable), no
+//! global state beyond a worker-count override. The primitives guarantee a
+//! property the rest of the workspace leans on heavily:
+//!
+//! > **Determinism policy.** For a pure per-item function `f`, the output of
+//! > [`par_map`] is the same `Vec` — bit for bit — as `items.iter().map(f)`,
+//! > regardless of worker count, scheduling order, or machine. Parallelism
+//! > may only change *when* an item is computed, never *what* is computed
+//! > or *where* its result lands.
+//!
+//! Callers keep that guarantee by deriving any per-item randomness from the
+//! item itself (e.g. a per-(sensor, channel) seed), never from shared
+//! mutable RNG state, and by keeping order-sensitive float reductions
+//! (like the k-means update step) serial.
+//!
+//! # Scheduling
+//!
+//! Workers pull item indices from a shared atomic counter (work stealing by
+//! index), collect `(index, result)` pairs locally, and the caller merges
+//! them back into input order. A thread-local depth guard makes nested
+//! `par_map` calls run serially instead of oversubscribing the machine.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Worker-count override installed by [`with_workers`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside pool workers so nested parallelism degrades to serial.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Worker count from the environment: `WALDO_WORKERS` if set and positive,
+/// otherwise the machine's available parallelism.
+pub fn available_workers() -> usize {
+    if let Ok(raw) = std::env::var("WALDO_WORKERS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The worker count [`par_map`] will use on this thread right now:
+/// the [`with_workers`] override if one is installed, else
+/// [`available_workers`], and always 1 inside a pool worker.
+pub fn current_workers() -> usize {
+    if IN_POOL.with(Cell::get) {
+        return 1;
+    }
+    OVERRIDE.with(Cell::get).unwrap_or_else(available_workers)
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread.
+///
+/// Results are identical for every `n` by the determinism policy; this
+/// exists for benchmarking (serial vs parallel wall-clock) and for the
+/// determinism test suite.
+pub fn with_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let previous = OVERRIDE.with(|cell| cell.replace(Some(n.max(1))));
+    let result = f();
+    OVERRIDE.with(|cell| cell.set(previous));
+    result
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// Output is bit-identical to `items.iter().map(f).collect()` for pure `f`.
+/// Panics in `f` propagate to the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = current_workers().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_POOL.with(|cell| cell.set(true));
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => buckets.push(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let mut indexed: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Chunked variant: applies `f` to consecutive `chunk_len`-sized slices of
+/// `items` in parallel and concatenates the per-chunk outputs in order.
+///
+/// For a pure `f`, the result equals
+/// `items.chunks(chunk_len).flat_map(f).collect()`. Use this when per-item
+/// work is too cheap to amortize scheduling (e.g. k-means assignment).
+pub fn par_chunk_map<T, R, F>(items: &[T], chunk_len: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    par_map(&chunks, |chunk| f(chunk)).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = with_workers(4, || par_map(&items, |&x| x * 2));
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_is_identical_across_worker_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(7) as f64 * 0.5;
+        let serial: Vec<f64> = items.iter().map(f).collect();
+        for workers in [1, 2, 3, 4, 8] {
+            let parallel = with_workers(workers, || par_map(&items, f));
+            assert!(
+                serial.iter().zip(&parallel).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(with_workers(4, || par_map(&empty, |&x| x)), empty);
+        assert_eq!(with_workers(4, || par_map(&[7u32], |&x| x + 1)), vec![8]);
+    }
+
+    #[test]
+    fn par_chunk_map_matches_serial_chunking() {
+        let items: Vec<i64> = (0..103).collect();
+        let expect: Vec<i64> = items.chunks(10).flat_map(|c| c.iter().map(|x| -x)).collect();
+        let got = with_workers(4, || {
+            par_chunk_map(&items, 10, |chunk| chunk.iter().map(|x| -x).collect())
+        });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn nested_par_map_degrades_to_serial() {
+        let outer: Vec<usize> = (0..8).collect();
+        let out = with_workers(4, || {
+            par_map(&outer, |&i| {
+                // Inside a worker, current_workers() must report 1.
+                let inner: Vec<usize> = (0..4).collect();
+                let nested = par_map(&inner, |&j| i * 10 + j);
+                (current_workers(), nested)
+            })
+        });
+        for (workers, nested) in &out {
+            assert_eq!(*workers, 1);
+            assert_eq!(nested.len(), 4);
+        }
+    }
+
+    #[test]
+    fn with_workers_restores_previous_override() {
+        with_workers(3, || {
+            assert_eq!(current_workers(), 3);
+            with_workers(2, || assert_eq!(current_workers(), 2));
+            assert_eq!(current_workers(), 3);
+        });
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            with_workers(2, || {
+                par_map(&[1u32, 2, 3, 4], |&x| {
+                    if x == 3 {
+                        panic!("boom");
+                    }
+                    x
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -78,8 +78,7 @@ mod tests {
     use super::*;
 
     fn obstacle() -> Obstacle {
-        let zone =
-            Region::new(Point::new(1_000.0, 1_000.0), Point::new(2_000.0, 2_000.0)).unwrap();
+        let zone = Region::new(Point::new(1_000.0, 1_000.0), Point::new(2_000.0, 2_000.0)).unwrap();
         Obstacle::new(zone, 30.0, 500.0)
     }
 

@@ -77,21 +77,16 @@ impl PathLossModel {
         assert!(dist_m > 0.0, "distance must be positive");
         let d_km = (dist_m.max(50.0)) / 1000.0;
         match *self {
-            PathLossModel::FreeSpace => {
-                32.45 + 20.0 * freq_mhz.log10() + 20.0 * d_km.log10()
-            }
+            PathLossModel::FreeSpace => 32.45 + 20.0 * freq_mhz.log10() + 20.0 * d_km.log10(),
             PathLossModel::Hata { environment } => {
                 let a = hata_correction_db(rx_h_m);
                 let urban = 69.55 + 26.16 * freq_mhz.log10() - 13.82 * tx_h_m.log10() - a
                     + (44.9 - 6.55 * tx_h_m.log10()) * d_km.log10();
                 match environment {
                     Environment::Urban => urban,
-                    Environment::Suburban => {
-                        urban - 2.0 * (freq_mhz / 28.0).log10().powi(2) - 5.4
-                    }
+                    Environment::Suburban => urban - 2.0 * (freq_mhz / 28.0).log10().powi(2) - 5.4,
                     Environment::Open => {
-                        urban - 4.78 * freq_mhz.log10().powi(2) + 18.33 * freq_mhz.log10()
-                            - 40.94
+                        urban - 4.78 * freq_mhz.log10().powi(2) + 18.33 * freq_mhz.log10() - 40.94
                     }
                 }
             }
@@ -102,7 +97,8 @@ impl PathLossModel {
                 // A planning curve that assumes clear terrain: Hata's 1 km
                 // intercept with a 3.5 exponent (vs the ~4.2 street-level
                 // truth), so coverage predictions over-reach.
-                let intercept = 69.55 + 26.16 * freq_mhz.log10() - 13.82 * tx_h_m.log10()
+                let intercept = 69.55 + 26.16 * freq_mhz.log10()
+                    - 13.82 * tx_h_m.log10()
                     - hata_correction_db(rx_h_m);
                 intercept + 40.0 * d_km.log10()
             }
@@ -184,7 +180,8 @@ mod tests {
     #[test]
     fn environment_ordering() {
         let d = 10_000.0;
-        let urban = PathLossModel::Hata { environment: Environment::Urban }.loss_db(F, d, TX_H, RX_H);
+        let urban =
+            PathLossModel::Hata { environment: Environment::Urban }.loss_db(F, d, TX_H, RX_H);
         let suburban =
             PathLossModel::Hata { environment: Environment::Suburban }.loss_db(F, d, TX_H, RX_H);
         let open = PathLossModel::Hata { environment: Environment::Open }.loss_db(F, d, TX_H, RX_H);

@@ -66,12 +66,7 @@ mod tests {
 
     #[test]
     fn accessors_roundtrip() {
-        let tx = Transmitter::new(
-            TvChannel::new(30).unwrap(),
-            Point::new(1.0, 2.0),
-            75.0,
-            250.0,
-        );
+        let tx = Transmitter::new(TvChannel::new(30).unwrap(), Point::new(1.0, 2.0), 75.0, 250.0);
         assert_eq!(tx.channel().number(), 30);
         assert_eq!(tx.location(), Point::new(1.0, 2.0));
         assert_eq!(tx.erp_dbm(), 75.0);
@@ -87,7 +82,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite")]
     fn nan_erp_panics() {
-        let _ =
-            Transmitter::new(TvChannel::new(30).unwrap(), Point::default(), f64::NAN, 100.0);
+        let _ = Transmitter::new(TvChannel::new(30).unwrap(), Point::default(), f64::NAN, 100.0);
     }
 }

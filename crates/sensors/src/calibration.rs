@@ -54,8 +54,8 @@ impl SignalGenerator {
     pub fn drive<R: Rng + ?Sized>(&self, sensor: &SensorModel, rng: &mut R) -> f64 {
         use waldo_iq::{window::Window, FeatureVector, IqFrame};
         let wobble = sensor.reading_sigma_db() * waldo_iq::synth::standard_normal(rng);
-        let mut synth = FrameSynthesizer::new(sensor.frame_len())
-            .noise_dbfs(sensor.capture_noise_raw_db());
+        let mut synth =
+            FrameSynthesizer::new(sensor.frame_len()).noise_dbfs(sensor.capture_noise_raw_db());
         if let Some(level) = self.level_dbm {
             synth = synth.pilot_dbfs(level + sensor.gain_db() + wobble);
         }
@@ -145,15 +145,13 @@ pub fn calibrate<R: Rng + ?Sized>(
     assert!(frames_per_level > 0, "need at least one frame per level");
     // Floor reference from a generator-off run.
     let off = SignalGenerator::off();
-    let floor_raw = mean_db(
-        &(0..frames_per_level.max(20)).map(|_| off.drive(sensor, rng)).collect::<Vec<_>>(),
-    );
+    let floor_raw =
+        mean_db(&(0..frames_per_level.max(20)).map(|_| off.drive(sensor, rng)).collect::<Vec<_>>());
 
     let mut points: Vec<(f64, f64)> = Vec::new(); // (raw, dBm)
     for &level in levels_dbm {
         let generator = SignalGenerator::tone(level);
-        let raws: Vec<f64> =
-            (0..frames_per_level).map(|_| generator.drive(sensor, rng)).collect();
+        let raws: Vec<f64> = (0..frames_per_level).map(|_| generator.drive(sensor, rng)).collect();
         let raw = mean_db(&raws);
         if raw > floor_raw + 3.0 {
             points.push((raw, level));
@@ -195,8 +193,8 @@ mod tests {
     fn calibration_recovers_the_device_gain() {
         let mut rng = rng();
         for sensor in [SensorModel::rtl_sdr(), SensorModel::usrp_b200()] {
-            let cal = calibrate(&sensor, &[-90.0, -80.0, -70.0, -60.0, -50.0], 40, &mut rng)
-                .unwrap();
+            let cal =
+                calibrate(&sensor, &[-90.0, -80.0, -70.0, -60.0, -50.0], 40, &mut rng).unwrap();
             assert!((cal.slope() - 1.0).abs() < 0.03, "{}: slope {}", sensor.kind(), cal.slope());
             // A raw reading equal to gain must map back to ~0 dBm.
             let back = cal.to_dbm(sensor.gain_db());
@@ -210,9 +208,8 @@ mod tests {
         let sensor = SensorModel::usrp_b200();
         let cal = calibrate(&sensor, &[-85.0, -70.0, -55.0], 40, &mut rng).unwrap();
         // Probe a level not in the calibration set.
-        let raws: Vec<f64> = (0..60)
-            .map(|_| SignalGenerator::tone(-63.0).drive(&sensor, &mut rng))
-            .collect();
+        let raws: Vec<f64> =
+            (0..60).map(|_| SignalGenerator::tone(-63.0).drive(&sensor, &mut rng)).collect();
         let est = cal.to_dbm(mean_db(&raws));
         assert!((est - -63.0).abs() < 1.0, "estimated {est}");
     }
@@ -223,8 +220,7 @@ mod tests {
         let sensor = SensorModel::rtl_sdr();
         // Two levels below the −98 dBm floor, two above: fit must use the
         // two above and stay linear.
-        let cal =
-            calibrate(&sensor, &[-120.0, -110.0, -70.0, -50.0], 40, &mut rng).unwrap();
+        let cal = calibrate(&sensor, &[-120.0, -110.0, -70.0, -50.0], 40, &mut rng).unwrap();
         assert!((cal.slope() - 1.0).abs() < 0.05, "slope {}", cal.slope());
     }
 

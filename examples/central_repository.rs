@@ -27,9 +27,7 @@ fn main() {
     // 1. Bootstrap the repository from the trusted war-driving data.
     let mut repo = SpectrumRepository::new(
         world.region(),
-        ModelConstructor::new(
-            WaldoConfig::default().classifier(ClassifierKind::NaiveBayes),
-        ),
+        ModelConstructor::new(WaldoConfig::default().classifier(ClassifierKind::NaiveBayes)),
     );
     let (bootstrap, rest) = ds.measurements().split_at(ds.len() / 2);
     let v1 = repo.bootstrap(ch, bootstrap).expect("bootstrap data trains");

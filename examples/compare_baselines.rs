@@ -15,19 +15,12 @@ use waldo_repro::waldo::WaldoConfig;
 
 fn main() {
     let world = WorldBuilder::new().seed(9).build();
-    let campaign = CampaignBuilder::new(&world)
-        .readings_per_channel(2_000)
-        .spacing_m(400.0)
-        .seed(9)
-        .collect();
+    let campaign =
+        CampaignBuilder::new(&world).readings_per_channel(2_000).spacing_m(400.0).seed(9).collect();
     let ch = TvChannel::new(15).expect("valid channel");
     let ds = campaign.dataset(SensorKind::RtlSdr, ch).expect("collected");
-    let txs: Vec<_> = world
-        .field()
-        .transmitters()
-        .into_iter()
-        .filter(|t| t.channel() == ch)
-        .collect();
+    let txs: Vec<_> =
+        world.field().transmitters().into_iter().filter(|t| t.channel() == ch).collect();
 
     println!("channel 15, RTL-SDR dataset ({} readings):", ds.len());
 

@@ -25,17 +25,12 @@ fn main() {
     // labels (and therefore its models) noticeably more conservative —
     // exactly the efficiency cost §2.2 quantifies.
     let ds = campaign.dataset(SensorKind::UsrpB200, ch).expect("collected");
-    let model = ModelConstructor::new(
-        WaldoConfig::default().classifier(ClassifierKind::NaiveBayes),
-    )
-    .fit(ds)
-    .expect("campaign data trains");
-    let txs: Vec<_> = world
-        .field()
-        .transmitters()
-        .into_iter()
-        .filter(|t| t.channel() == ch)
-        .collect();
+    let model =
+        ModelConstructor::new(WaldoConfig::default().classifier(ClassifierKind::NaiveBayes))
+            .fit(ds)
+            .expect("campaign data trains");
+    let txs: Vec<_> =
+        world.field().transmitters().into_iter().filter(|t| t.channel() == ch).collect();
     let db = SpectrumDatabase::new(ch, txs);
 
     // Waldo's map uses a fresh local observation per cell (what a device

@@ -16,18 +16,14 @@ use waldo_repro::waldo::{ClassifierKind, ModelConstructor, WaldoConfig};
 
 fn main() {
     let world = WorldBuilder::new().seed(5).build();
-    let campaign = CampaignBuilder::new(&world)
-        .readings_per_channel(1_200)
-        .spacing_m(500.0)
-        .seed(5)
-        .collect();
+    let campaign =
+        CampaignBuilder::new(&world).readings_per_channel(1_200).spacing_m(500.0).seed(5).collect();
     let ch = TvChannel::new(47).expect("valid channel");
     let ds = campaign.dataset(SensorKind::RtlSdr, ch).expect("collected");
-    let model = ModelConstructor::new(
-        WaldoConfig::default().classifier(ClassifierKind::NaiveBayes),
-    )
-    .fit(ds)
-    .expect("campaign data trains");
+    let model =
+        ModelConstructor::new(WaldoConfig::default().classifier(ClassifierKind::NaiveBayes))
+            .fit(ds)
+            .expect("campaign data trains");
 
     // Parked: α sweep.
     println!("stationary sensing at the city centre:");
@@ -42,7 +38,10 @@ fn main() {
         let run = phone.sense_channel(&model, here, rss.is_finite().then_some(rss));
         println!(
             "  α = {alpha:3} dB: {} after {} captures ({:.3} s radio, {:.1} ms CPU)",
-            run.safety, run.captures, run.radio_time_s, run.cpu_time_s * 1e3
+            run.safety,
+            run.captures,
+            run.radio_time_s,
+            run.cpu_time_s * 1e3
         );
     }
 

@@ -18,18 +18,14 @@ fn main() {
     let world = WorldBuilder::new().seed(7).build();
 
     // 2. Drive the sensors around and label the readings (Algorithm 1).
-    let campaign = CampaignBuilder::new(&world)
-        .readings_per_channel(1_200)
-        .spacing_m(500.0)
-        .seed(7)
-        .collect();
+    let campaign =
+        CampaignBuilder::new(&world).readings_per_channel(1_200).spacing_m(500.0).seed(7).collect();
 
     // 3. Train the channel-47 model from the RTL-SDR's labeled readings.
     let ch = TvChannel::new(47).expect("47 is a valid channel");
     let ds = campaign.dataset(SensorKind::RtlSdr, ch).expect("collected");
-    let model = ModelConstructor::new(WaldoConfig::default())
-        .fit(ds)
-        .expect("campaign data trains");
+    let model =
+        ModelConstructor::new(WaldoConfig::default()).fit(ds).expect("campaign data trains");
     println!(
         "trained {} ({} localities, descriptor {} bytes)",
         model.name(),

@@ -40,9 +40,15 @@ fn main() {
             let ds = campaign.dataset(sensor, ch).expect("collected");
             for (t, p) in truth.labels().iter().zip(ds.labels()) {
                 match (t.is_not_safe(), p.is_not_safe()) {
-                    (true, false) => { fp += 1; np += 1; }
+                    (true, false) => {
+                        fp += 1;
+                        np += 1;
+                    }
                     (true, true) => np += 1,
-                    (false, true) => { fn_ += 1; nn += 1; }
+                    (false, true) => {
+                        fn_ += 1;
+                        nn += 1;
+                    }
                     (false, false) => nn += 1,
                 }
             }

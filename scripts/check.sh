@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo-wide lint gate: formatting and clippy with warnings denied, then
+# the workspace test suite. Run from anywhere; operates on the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "ok"

@@ -10,6 +10,7 @@
 //! * [`rf`] — propagation, shadowing, transmitters, ground-truth fields.
 //! * [`sensors`] — RTL-SDR / USRP / spectrum-analyzer models + calibration.
 //! * [`data`] — war-driving collection and Algorithm-1 labeling.
+//! * [`par`] — the deterministic parallel runtime the pipeline fans out on.
 //! * [`waldo`] — the Waldo system itself plus every baseline.
 
 pub use waldo;
@@ -17,5 +18,6 @@ pub use waldo_data as data;
 pub use waldo_geo as geo;
 pub use waldo_iq as iq;
 pub use waldo_ml as ml;
+pub use waldo_par as par;
 pub use waldo_rf as rf;
 pub use waldo_sensors as sensors;

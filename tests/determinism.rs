@@ -1,0 +1,73 @@
+//! Determinism suite for the parallel runtime: every pipeline stage that
+//! fans out over `waldo_par` must produce bit-identical results at any
+//! worker count, because each unit of work derives its own seeded RNG and
+//! the runtime merges results in input order. These tests pin that
+//! contract end to end: campaign collection, model construction, and
+//! cross validation.
+
+use waldo_repro::data::{Campaign, CampaignBuilder};
+use waldo_repro::par::with_workers;
+use waldo_repro::rf::world::{World, WorldBuilder};
+use waldo_repro::rf::TvChannel;
+use waldo_repro::sensors::SensorKind;
+use waldo_repro::waldo::eval::cross_validate;
+use waldo_repro::waldo::{ClassifierKind, ModelConstructor, WaldoConfig};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn world() -> World {
+    WorldBuilder::new().seed(42).build()
+}
+
+fn collect(world: &World) -> Campaign {
+    CampaignBuilder::new(world)
+        .readings_per_channel(120)
+        .spacing_m(2_000.0)
+        .factory_calibration()
+        .seed(42)
+        .collect()
+}
+
+#[test]
+fn campaign_collection_is_bit_identical_at_any_worker_count() {
+    let world = world();
+    let baseline = with_workers(1, || collect(&world));
+    for workers in WORKER_COUNTS {
+        let candidate = with_workers(workers, || collect(&world));
+        assert_eq!(baseline, candidate, "collect() diverged from serial at {workers} workers");
+    }
+}
+
+#[test]
+fn model_construction_is_bit_identical_at_any_worker_count() {
+    let world = world();
+    let campaign = collect(&world);
+    let ds = campaign
+        .dataset(SensorKind::RtlSdr, TvChannel::EVALUATION[0])
+        .expect("evaluation channel is always collected");
+    for kind in [ClassifierKind::Svm, ClassifierKind::NaiveBayes] {
+        let config = WaldoConfig::default().classifier(kind).localities(4).seed(9);
+        let fit = || ModelConstructor::new(config.clone()).fit(ds).expect("campaign data trains");
+        let baseline = with_workers(1, fit);
+        for workers in WORKER_COUNTS {
+            let candidate = with_workers(workers, fit);
+            assert_eq!(baseline, candidate, "{kind} fit diverged from serial at {workers} workers");
+        }
+    }
+}
+
+#[test]
+fn cross_validation_is_bit_identical_at_any_worker_count() {
+    let world = world();
+    let campaign = collect(&world);
+    let ds = campaign
+        .dataset(SensorKind::RtlSdr, TvChannel::EVALUATION[1])
+        .expect("evaluation channel is always collected");
+    let config = WaldoConfig::default().classifier(ClassifierKind::NaiveBayes);
+    let run = || cross_validate(ds, &config, 5, 3);
+    let baseline = with_workers(1, run);
+    for workers in WORKER_COUNTS {
+        let candidate = with_workers(workers, run);
+        assert_eq!(baseline, candidate, "cross_validate diverged from serial at {workers} workers");
+    }
+}

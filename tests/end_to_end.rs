@@ -10,14 +10,11 @@ use waldo_repro::sensors::{Calibration, Observation, SensorKind, SensorModel};
 use waldo_repro::waldo::baseline::{SensingOnly, SpectrumDatabase, VScope};
 use waldo_repro::waldo::eval::{cross_validate, evaluate_assessor};
 use waldo_repro::waldo::{
-    Assessor, ClassifierKind, DetectorOutcome, ModelConstructor, WaldoConfig,
-    WhiteSpaceDetector,
+    Assessor, ClassifierKind, DetectorOutcome, ModelConstructor, WaldoConfig, WhiteSpaceDetector,
 };
 
-fn small_campaign() -> (
-    &'static waldo_repro::rf::world::World,
-    &'static waldo_repro::data::Campaign,
-) {
+fn small_campaign() -> (&'static waldo_repro::rf::world::World, &'static waldo_repro::data::Campaign)
+{
     use std::sync::OnceLock;
     static WORLD: OnceLock<waldo_repro::rf::world::World> = OnceLock::new();
     static CAMPAIGN: OnceLock<waldo_repro::data::Campaign> = OnceLock::new();
@@ -55,12 +52,8 @@ fn waldo_beats_vscope_on_average_error() {
     let channels = TvChannel::EVALUATION;
     for ch in channels {
         let ds = campaign.dataset(SensorKind::RtlSdr, ch).unwrap();
-        let txs: Vec<_> = world
-            .field()
-            .transmitters()
-            .into_iter()
-            .filter(|t| t.channel() == ch)
-            .collect();
+        let txs: Vec<_> =
+            world.field().transmitters().into_iter().filter(|t| t.channel() == ch).collect();
         let vs = VScope::fit(ds, txs, 3, 1).unwrap();
         vscope_err += evaluate_assessor(&vs, ds, None).error_rate();
         waldo_err += cross_validate(ds, &WaldoConfig::default(), 5, 1).error_rate();
@@ -81,12 +74,8 @@ fn spectrum_database_is_safe_but_inefficient() {
     let mut fp_sum = 0.0;
     for ch in TvChannel::EVALUATION {
         let truth = campaign.ground_truth(ch);
-        let txs: Vec<_> = world
-            .field()
-            .transmitters()
-            .into_iter()
-            .filter(|t| t.channel() == ch)
-            .collect();
+        let txs: Vec<_> =
+            world.field().transmitters().into_iter().filter(|t| t.channel() == ch).collect();
         let db = SpectrumDatabase::new(ch, txs);
         let cm = evaluate_assessor(&db, truth, None);
         fn_sum += cm.fn_rate();
@@ -114,11 +103,10 @@ fn detector_converges_and_agrees_with_the_model() {
     let (world, campaign) = small_campaign();
     let ch = TvChannel::new(47).unwrap();
     let ds = campaign.dataset(SensorKind::RtlSdr, ch).unwrap();
-    let model = ModelConstructor::new(
-        WaldoConfig::default().classifier(ClassifierKind::NaiveBayes),
-    )
-    .fit(ds)
-    .unwrap();
+    let model =
+        ModelConstructor::new(WaldoConfig::default().classifier(ClassifierKind::NaiveBayes))
+            .fit(ds)
+            .unwrap();
 
     let sensor = SensorModel::rtl_sdr();
     let cal = Calibration::factory(&sensor);
@@ -129,8 +117,7 @@ fn detector_converges_and_agrees_with_the_model() {
     let mut det = WhiteSpaceDetector::new(model.clone(), 1.0);
     let mut decided = None;
     for _ in 0..2_000 {
-        let obs =
-            Observation::measure(&sensor, &cal, rss.is_finite().then_some(rss), &mut rng);
+        let obs = Observation::measure(&sensor, &cal, rss.is_finite().then_some(rss), &mut rng);
         if let DetectorOutcome::Converged { safety, .. } = det.push(here, &obs) {
             decided = Some(safety);
             break;
@@ -186,13 +173,9 @@ fn tighter_protection_radius_frees_spectrum() {
     // relabeling with the smaller radius must free readings, never protect
     // more.
     let wide = campaign.ground_truth(ch).not_safe_fraction();
-    let tight = campaign.relabel(
-        SensorKind::SpectrumAnalyzer,
-        ch,
-        &Labeler::new().radius_m(1_700.0),
-    );
-    let tight_frac =
-        tight.iter().filter(|l| l.is_not_safe()).count() as f64 / tight.len() as f64;
+    let tight =
+        campaign.relabel(SensorKind::SpectrumAnalyzer, ch, &Labeler::new().radius_m(1_700.0));
+    let tight_frac = tight.iter().filter(|l| l.is_not_safe()).count() as f64 / tight.len() as f64;
     assert!(tight_frac <= wide, "1.7 km radius must not protect more than 6 km");
 }
 
@@ -205,9 +188,7 @@ fn repository_serves_and_refreshes_models() {
     let ds = campaign.dataset(SensorKind::RtlSdr, ch).unwrap();
     let mut repo = SpectrumRepository::new(
         world.region(),
-        ModelConstructor::new(
-            WaldoConfig::default().classifier(ClassifierKind::NaiveBayes),
-        ),
+        ModelConstructor::new(WaldoConfig::default().classifier(ClassifierKind::NaiveBayes)),
     );
     let (bootstrap, rest) = ds.measurements().split_at(ds.len() / 2);
     let v1 = repo.bootstrap(ch, bootstrap).unwrap();
@@ -220,12 +201,8 @@ fn repository_serves_and_refreshes_models() {
     let _ = model.assess(m.location, &m.observation);
 
     // A consistent upload bumps the version.
-    let quiet: Vec<_> = rest
-        .iter()
-        .filter(|m| m.observation.rss_dbm < -84.0)
-        .take(30)
-        .cloned()
-        .collect();
+    let quiet: Vec<_> =
+        rest.iter().filter(|m| m.observation.rss_dbm < -84.0).take(30).cloned().collect();
     if quiet.len() >= 5 {
         match repo.upload(ch, &quiet) {
             Ok(v2) => {

@@ -1,0 +1,225 @@
+//! Offline stand-in for `criterion` (the API subset this workspace uses).
+//!
+//! Implements the same surface — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`] —
+//! over a deliberately simple harness: warm up briefly, take `sample_size`
+//! wall-clock samples of an auto-scaled inner loop, and report the median
+//! time per iteration on stdout. No statistics engine, plots, or baselines;
+//! numbers are comparable within a run on an idle machine, which is what
+//! the repository's `BENCH_*` artifacts need.
+
+use std::time::{Duration, Instant};
+
+/// Re-export spot for `black_box`; `std::hint::black_box` is preferred.
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(60);
+const MIN_SAMPLE: Duration = Duration::from_millis(2);
+const DEFAULT_SAMPLE_SIZE: usize = 60;
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// The stand-in times each routine call individually, so the hint is
+/// accepted for API parity but does not change measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per allocation.
+    SmallInput,
+    /// Large inputs: batch few.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards flags like `--bench`; the only positional
+        // argument we honor is a substring filter on benchmark names.
+        let filter =
+            std::env::args().skip(1).find(|a| !a.starts_with('-')).filter(|a| !a.is_empty());
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n## {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark; `f` receives the [`Bencher`] and calls `iter`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{id}", self.group);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { samples_ns: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Ends the group (separator line for readability).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` called back-to-back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and discover a per-sample iteration count that makes one
+        // sample span at least MIN_SAMPLE.
+        let warm_start = Instant::now();
+        let mut iters_per_sample = 1u64;
+        let mut elapsed = Duration::ZERO;
+        while warm_start.elapsed() < WARMUP {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            elapsed = t.elapsed();
+            if elapsed < MIN_SAMPLE {
+                iters_per_sample = iters_per_sample.saturating_mul(2);
+            }
+        }
+        let _ = elapsed;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples_ns.push(t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine(setup()));
+        }
+        // Time each call individually over a batch large enough to reach
+        // MIN_SAMPLE per sample.
+        let probe_input = setup();
+        let t = Instant::now();
+        black_box(routine(probe_input));
+        let one = t.elapsed().max(Duration::from_nanos(20));
+        let per_sample = (MIN_SAMPLE.as_nanos() / one.as_nanos()).clamp(1, 10_000) as usize;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples_ns.push(t.elapsed().as_secs_f64() * 1e9 / per_sample as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        self.samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let lo = self.samples_ns[0];
+        let hi = self.samples_ns[self.samples_ns.len() - 1];
+        println!("{name:<44} time: [{} {} {}]", format_ns(lo), format_ns(median), format_ns(hi));
+    }
+}
+
+/// Formats nanoseconds with criterion-style units.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher { samples_ns: Vec::new(), sample_size: 3 };
+        b.iter(|| black_box(1u64 + 1));
+        assert_eq!(b.samples_ns.len(), 3);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+}

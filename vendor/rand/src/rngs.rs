@@ -1,0 +1,48 @@
+//! Named generators.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator: xoshiro256++.
+///
+/// Upstream's `StdRng` is ChaCha12; this stand-in only promises what the
+/// workspace relies on — a high-quality, deterministic stream per seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0; 4] {
+            let mut sm = 0x9e37_79b9_7f4a_7c15;
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+        }
+        Self { s }
+    }
+}
+
+/// Alias kept for API parity; the workspace only names `StdRng`.
+pub type SmallRng = StdRng;

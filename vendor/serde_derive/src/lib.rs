@@ -1,0 +1,554 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the value-tree `serde::Serialize` / `serde::Deserialize` traits
+//! defined by the vendored `serde` crate. The macro parses the item's token
+//! stream directly (no `syn`/`quote` offline) and emits impls matching
+//! upstream serde's JSON shape conventions:
+//!
+//! - named struct         → object of fields
+//! - newtype struct       → the inner value
+//! - tuple struct (n ≥ 2) → array
+//! - unit enum variant    → the variant name as a string
+//! - data enum variant    → `{ "VariantName": payload }`
+//!
+//! Supported field attribute (the only one this workspace uses):
+//! `#[serde(skip, default = "path::to::fn")]` — omitted on serialize,
+//! rebuilt via `path::to::fn()` (or `Default::default()`) on deserialize.
+//! Generic items are rejected with a `compile_error!` since the workspace
+//! derives only on concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    /// Named-struct field name, or tuple index rendered as `0`, `1`, …
+    name: String,
+    /// Field type as source text (token-joined; re-parses verbatim).
+    ty: String,
+    skip: bool,
+    default_path: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(Vec<Field>),
+    Struct(Vec<Field>),
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, fields: Vec<Field> },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Self { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == kw)
+    }
+
+    /// Consumes `#[...]` attributes, returning (skip, default_path) gleaned
+    /// from any `#[serde(...)]` among them.
+    fn take_attrs(&mut self) -> (bool, Option<String>) {
+        let mut skip = false;
+        let mut default_path = None;
+        while self.at_punct('#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let mut inner = Cursor::new(g.stream());
+                if inner.at_ident("serde") {
+                    inner.next();
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        let (s, d) = parse_serde_args(args.stream());
+                        skip |= s;
+                        default_path = default_path.or(d);
+                    }
+                }
+            }
+        }
+        (skip, default_path)
+    }
+
+    /// Consumes `pub` / `pub(crate)` / `pub(super)` if present.
+    fn take_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+}
+
+fn parse_serde_args(ts: TokenStream) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut default_path = None;
+    let mut cur = Cursor::new(ts);
+    while let Some(tok) = cur.next() {
+        let TokenTree::Ident(id) = tok else { continue };
+        match id.to_string().as_str() {
+            "skip" => skip = true,
+            "default" => {
+                if cur.at_punct('=') {
+                    cur.next();
+                    if let Some(TokenTree::Literal(lit)) = cur.next() {
+                        let text = lit.to_string();
+                        default_path = Some(text.trim_matches('"').to_string());
+                    }
+                } else {
+                    default_path = Some("::std::default::Default::default".to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    (skip, default_path)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.take_attrs();
+    cur.take_vis();
+
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if cur.at_punct('<') {
+        return Err(format!("serde stand-in derive does not support generics (on `{name}`)"));
+    }
+
+    match kind.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct { name, fields: parse_tuple_fields(g.stream())? })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            other => Err(format!("expected enum body for `{name}`, found {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}`")),
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let (skip, default_path) = cur.take_attrs();
+        cur.take_vis();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        if !cur.at_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        cur.next();
+        let ty = take_type(&mut cur);
+        fields.push(Field { name, ty, skip, default_path });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut fields = Vec::new();
+    let mut idx = 0usize;
+    while cur.peek().is_some() {
+        let (skip, default_path) = cur.take_attrs();
+        cur.take_vis();
+        let ty = take_type(&mut cur);
+        if ty.is_empty() {
+            break;
+        }
+        fields.push(Field { name: idx.to_string(), ty, skip, default_path });
+        idx += 1;
+    }
+    Ok(fields)
+}
+
+/// Consumes type tokens up to the next comma at angle-bracket depth 0
+/// (commas inside `<...>` belong to generic arguments; commas inside
+/// parenthesized groups are invisible at this token level). Consumes the
+/// trailing comma if present.
+fn take_type(cur: &mut Cursor) -> String {
+    let mut depth = 0i32;
+    let mut parts: Vec<String> = Vec::new();
+    while let Some(tok) = cur.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    cur.next();
+                    break;
+                }
+                _ => {}
+            }
+        }
+        parts.push(cur.next().expect("peeked token").to_string());
+    }
+    parts.join(" ")
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        cur.take_attrs();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cur.next();
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream())?;
+                cur.next();
+                VariantShape::Tuple(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if cur.at_punct('=') {
+            cur.next();
+            let mut depth = 0i32;
+            while let Some(tok) = cur.peek() {
+                if let TokenTree::Punct(p) = tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                cur.next();
+            }
+        }
+        if cur.at_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut b = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                b.push_str(&format!(
+                    "__m.insert(\"{0}\", ::serde::Serialize::to_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            b.push_str("::serde::Value::Object(__m)");
+            (name, b)
+        }
+        Item::TupleStruct { name, fields } if fields.len() == 1 => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, fields } => {
+            let elems: Vec<String> = fields
+                .iter()
+                .map(|f| format!("::serde::Serialize::to_value(&self.{})", f.name))
+                .collect();
+            (name, format!("::serde::Value::Array(vec![{}])", elems.join(", ")))
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&gen_variant_ser_arm(v));
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_variant_ser_arm(v: &Variant) -> String {
+    let name = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("Self::{name} => ::serde::Value::Str(\"{name}\".to_string()),\n")
+        }
+        VariantShape::Tuple(fields) if fields.len() == 1 => format!(
+            "Self::{name}(__f0) => {{\n\
+                 let mut __outer = ::serde::Map::new();\n\
+                 __outer.insert(\"{name}\", ::serde::Serialize::to_value(__f0));\n\
+                 ::serde::Value::Object(__outer)\n\
+             }}\n"
+        ),
+        VariantShape::Tuple(fields) => {
+            let binds: Vec<String> = (0..fields.len()).map(|i| format!("__f{i}")).collect();
+            let elems: Vec<String> =
+                binds.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+            format!(
+                "Self::{name}({binds}) => {{\n\
+                     let mut __outer = ::serde::Map::new();\n\
+                     __outer.insert(\"{name}\", ::serde::Value::Array(vec![{elems}]));\n\
+                     ::serde::Value::Object(__outer)\n\
+                 }}\n",
+                binds = binds.join(", "),
+                elems = elems.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let mut inserts = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                inserts.push_str(&format!(
+                    "__inner.insert(\"{0}\", ::serde::Serialize::to_value({0}));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "Self::{name} {{ {binds} }} => {{\n\
+                     let mut __inner = ::serde::Map::new();\n\
+                     {inserts}\
+                     let mut __outer = ::serde::Map::new();\n\
+                     __outer.insert(\"{name}\", ::serde::Value::Object(__inner));\n\
+                     ::serde::Value::Object(__outer)\n\
+                 }}\n",
+                binds = binds.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut b = format!(
+                "let __o = __v.as_object().ok_or_else(|| ::serde::DeError::msg(\
+                 format!(\"{name}: expected object, found {{}}\", __v.kind())))?;\n\
+                 ::std::result::Result::Ok(Self {{\n"
+            );
+            for f in fields {
+                b.push_str(&gen_named_field_de(name, f, "__o"));
+            }
+            b.push_str("})");
+            (name, b)
+        }
+        Item::TupleStruct { name, fields } if fields.len() == 1 => (
+            name,
+            format!(
+                "::std::result::Result::Ok(Self(<{} as ::serde::Deserialize>::from_value(__v)?))",
+                fields[0].ty
+            ),
+        ),
+        Item::TupleStruct { name, fields } => {
+            let n = fields.len();
+            let mut b = format!(
+                "let __a = __v.as_array().filter(|__a| __a.len() == {n}).ok_or_else(|| \
+                 ::serde::DeError::msg(format!(\"{name}: expected {n}-element array, found {{}}\", \
+                 __v.kind())))?;\n\
+                 ::std::result::Result::Ok(Self(\n"
+            );
+            for (i, f) in fields.iter().enumerate() {
+                b.push_str(&format!(
+                    "<{} as ::serde::Deserialize>::from_value(&__a[{i}])?,\n",
+                    f.ty
+                ));
+            }
+            b.push_str("))");
+            (name, b)
+        }
+        Item::UnitStruct { name } => (name, "::std::result::Result::Ok(Self)".to_string()),
+        Item::Enum { name, variants } => (name, gen_enum_de(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// One `field: <expr>,` initializer for a named-struct (or struct-variant)
+/// deserializer reading from object cursor `src`.
+fn gen_named_field_de(owner: &str, f: &Field, src: &str) -> String {
+    if f.skip {
+        let default = f
+            .default_path
+            .clone()
+            .unwrap_or_else(|| "::std::default::Default::default".to_string());
+        return format!("{}: {default}(),\n", f.name);
+    }
+    format!(
+        "{field}: match {src}.get(\"{field}\") {{\n\
+             ::std::option::Option::Some(__fv) => \
+                 <{ty} as ::serde::Deserialize>::from_value(__fv)?,\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::DeError::msg(\"{owner}: missing field `{field}`\")),\n\
+         }},\n",
+        field = f.name,
+        ty = f.ty,
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0}),\n", v.name))
+        .collect();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {}
+            VariantShape::Tuple(fields) if fields.len() == 1 => {
+                data_arms.push_str(&format!(
+                    "if let ::std::option::Option::Some(__p) = __o.get(\"{vname}\") {{\n\
+                         return ::std::result::Result::Ok(Self::{vname}(\
+                             <{} as ::serde::Deserialize>::from_value(__p)?));\n\
+                     }}\n",
+                    fields[0].ty
+                ));
+            }
+            VariantShape::Tuple(fields) => {
+                let n = fields.len();
+                let mut elems = String::new();
+                for (i, f) in fields.iter().enumerate() {
+                    elems.push_str(&format!(
+                        "<{} as ::serde::Deserialize>::from_value(&__a[{i}])?,\n",
+                        f.ty
+                    ));
+                }
+                data_arms.push_str(&format!(
+                    "if let ::std::option::Option::Some(__p) = __o.get(\"{vname}\") {{\n\
+                         let __a = __p.as_array().filter(|__a| __a.len() == {n}).ok_or_else(|| \
+                             ::serde::DeError::msg(\"{name}::{vname}: expected {n}-element array\"))?;\n\
+                         return ::std::result::Result::Ok(Self::{vname}({elems}));\n\
+                     }}\n"
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&gen_named_field_de(&format!("{name}::{vname}"), f, "__io"));
+                }
+                data_arms.push_str(&format!(
+                    "if let ::std::option::Option::Some(__p) = __o.get(\"{vname}\") {{\n\
+                         let __io = __p.as_object().ok_or_else(|| ::serde::DeError::msg(\
+                             format!(\"{name}::{vname}: expected object, found {{}}\", __p.kind())))?;\n\
+                         return ::std::result::Result::Ok(Self::{vname} {{\n{inits}}});\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    let obj_arm = if data_arms.is_empty() {
+        format!(
+            "::serde::Value::Object(_) => ::std::result::Result::Err(::serde::DeError::msg(\
+             \"{name}: unexpected object for unit-only enum\")),\n"
+        )
+    } else {
+        format!(
+            "::serde::Value::Object(__o) => {{\n\
+                 {data_arms}\
+                 ::std::result::Result::Err(::serde::DeError::msg(\
+                     \"{name}: object names no known variant\"))\n\
+             }}\n"
+        )
+    };
+    let str_arm = format!(
+        "::serde::Value::Str(__s) => match __s.as_str() {{\n\
+             {unit_arms}\
+             __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+         }},\n"
+    );
+    format!(
+        "match __v {{\n\
+             {str_arm}\
+             {obj_arm}\
+             __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 format!(\"{name}: expected string or object, found {{}}\", __other.kind()))),\n\
+         }}"
+    )
+}
