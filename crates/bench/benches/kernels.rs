@@ -107,6 +107,17 @@ fn bench_signal_path(c: &mut Criterion) {
     group.bench_function("pilot_detector", |b| {
         b.iter(|| detector.pilot_dbfs(black_box(&frame)));
     });
+    // Batched synthesis (shared Box–Muller pairs, merged noise + data
+    // skirt, pilot phasor recurrence) vs the per-draw reference path.
+    let synth = FrameSynthesizer::new(256).pilot_dbfs(-40.0).data_dbfs(-45.0).noise_dbfs(-70.0);
+    group.bench_function("frame_synth_256", |b| {
+        let mut rng = StdRng::seed_from_u64(21);
+        b.iter(|| black_box(synth.synthesize(&mut rng)));
+    });
+    group.bench_function("frame_synth_256_unbatched", |b| {
+        let mut rng = StdRng::seed_from_u64(21);
+        b.iter(|| black_box(synth.synthesize_unbatched(&mut rng)));
+    });
     group.bench_function("sensor_reading_rtl", |b| {
         let sensor = SensorModel::rtl_sdr();
         let mut rng = StdRng::seed_from_u64(3);
@@ -133,9 +144,25 @@ fn bench_classifiers(c: &mut Criterion) {
             SvmTrainer::new().kernel(Kernel::Rbf { gamma: 0.5 }).fit(black_box(&small)).unwrap()
         });
     });
+    // The pre-error-cache SMO (random second multiplier, f() recomputed
+    // per candidate) — the "before" of the svm_fit before/after numbers.
+    group.bench_function("svm_fit_naive_300x4", |b| {
+        let small = ds.subset(&(0..300).collect::<Vec<_>>());
+        b.iter(|| {
+            SvmTrainer::new()
+                .kernel(Kernel::Rbf { gamma: 0.5 })
+                .fit_naive_reference(black_box(&small))
+                .unwrap()
+        });
+    });
     let svm = SvmTrainer::new().kernel(Kernel::Rbf { gamma: 0.5 }).fit(&ds).unwrap();
     group.bench_function("svm_predict", |b| {
         b.iter(|| svm.predict(black_box(&[0.1, -0.2, 0.3, 0.0])));
+    });
+    // Full kernel evaluation per support vector, without the cached SV
+    // squared norms — the "before" of the svm_predict win.
+    group.bench_function("svm_predict_naive", |b| {
+        b.iter(|| svm.decision_function_naive(black_box(&[0.1, -0.2, 0.3, 0.0])) > 0.0);
     });
     group.bench_function("kmeans_k3_1000x2", |b| {
         let pts: Vec<Vec<f64>> = classification_dataset(1000, 2, 9).rows().to_vec();
@@ -161,6 +188,27 @@ fn bench_system(c: &mut Criterion) {
     group.bench_function("algorithm1_label_2000", |b| {
         let labeler = Labeler::new();
         b.iter(|| labeler.label(black_box(&readings)));
+    });
+
+    // Campaign-scale labeling (5k readings ≈ one full-scale channel), and
+    // the degenerate tiny-radius configuration whose GridIndex bucket size
+    // is clamped to 1 m — pinned behavior, see Labeler::label.
+    let mut rng5 = StdRng::seed_from_u64(17);
+    let readings_5k: Vec<(Point, f64)> = (0..5000)
+        .map(|_| {
+            (
+                Point::new(rng5.gen_range(0.0..35_000.0), rng5.gen_range(0.0..20_000.0)),
+                rng5.gen_range(-110.0..-60.0),
+            )
+        })
+        .collect();
+    group.bench_function("label_5k", |b| {
+        let labeler = Labeler::new();
+        b.iter(|| labeler.label(black_box(&readings_5k)));
+    });
+    group.bench_function("label_5k_tiny_radius", |b| {
+        let labeler = Labeler::new().radius_m(0.001);
+        b.iter(|| labeler.label(black_box(&readings_5k)));
     });
 
     // Model construction on a 600-reading channel.

@@ -1,0 +1,95 @@
+//! CI gate over a `probe`-written pipeline report.
+//!
+//! Usage: `gate <report.json> <floor.json>`
+//!
+//! Fails (exit 1) when:
+//! - any required stage timer (`synth`, `fft_features`, `label`, `kmeans`,
+//!   `svm_fit`, `cv`) is missing from the report's `stages` table or
+//!   recorded zero calls — catching a stage that silently lost its
+//!   instrumentation (or a report produced without the `prof` feature);
+//! - the error-cached SMO regresses more than 2× against the checked-in
+//!   floor (`svm_fit_ns_per_fit` in the floor file, measured on the
+//!   reference machine that produced `BENCH_pipeline.json`).
+
+use std::process::ExitCode;
+
+use serde::Value;
+
+const REQUIRED_STAGES: [&str; 6] = ["synth", "fft_features", "label", "kmeans", "svm_fit", "cv"];
+
+/// Maximum allowed ratio of measured `svm_fit` time to the checked-in
+/// floor; generous enough to absorb machine-to-machine variation, tight
+/// enough to catch an accidental return to O(n²) passes.
+const SVM_FIT_REGRESSION_LIMIT: f64 = 2.0;
+
+fn load(path: &str) -> Result<Value, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_slice(&bytes).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+fn check(report: &Value, floor: &Value) -> Result<(), String> {
+    if report.get("prof_enabled").and_then(Value::as_bool) != Some(true) {
+        return Err("report was produced without the prof feature (prof_enabled != true); \
+             rebuild probe with --features prof"
+            .into());
+    }
+
+    let stages = report
+        .get("stages")
+        .and_then(Value::as_object)
+        .ok_or("report has no stages object".to_string())?;
+    for name in REQUIRED_STAGES {
+        let calls = stages
+            .get(name)
+            .and_then(|s| s.get("calls"))
+            .and_then(Value::as_u64)
+            .ok_or(format!("stage timer {name:?} missing from report"))?;
+        if calls == 0 {
+            return Err(format!("stage timer {name:?} recorded zero calls"));
+        }
+    }
+
+    let measured = report
+        .get("svm_fit")
+        .and_then(|s| s.get("cached_ns_per_fit"))
+        .and_then(Value::as_f64)
+        .ok_or("report has no svm_fit.cached_ns_per_fit".to_string())?;
+    let floor_ns = floor
+        .get("svm_fit_ns_per_fit")
+        .and_then(Value::as_f64)
+        .ok_or("floor file has no svm_fit_ns_per_fit".to_string())?;
+    if measured > SVM_FIT_REGRESSION_LIMIT * floor_ns {
+        return Err(format!(
+            "svm_fit regressed: {:.2} ms measured vs {:.2} ms floor (> {SVM_FIT_REGRESSION_LIMIT}x)",
+            measured / 1e6,
+            floor_ns / 1e6
+        ));
+    }
+    eprintln!(
+        "gate ok: all {} stage timers present; svm_fit {:.2} ms vs {:.2} ms floor",
+        REQUIRED_STAGES.len(),
+        measured / 1e6,
+        floor_ns / 1e6
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [report_path, floor_path] = args.as_slice() else {
+        eprintln!("usage: gate <report.json> <floor.json>");
+        return ExitCode::FAILURE;
+    };
+    let run = || -> Result<(), String> {
+        let report = load(report_path)?;
+        let floor = load(floor_path)?;
+        check(&report, &floor)
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gate FAILED: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

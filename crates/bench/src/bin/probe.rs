@@ -2,19 +2,29 @@
 //! parameters can be validated before the full harness is wired up.
 //!
 //! Always starts by timing the pipeline substrate — serial vs parallel
-//! `Context::build` and planned vs ad-hoc FFT — and writing the numbers to
-//! `BENCH_pipeline.json` in the working directory. Pass `--quick` to time
-//! at [`Scale::Quick`], and `--bench-only` to stop after the JSON is
-//! written (skipping the slow tuning sections below).
+//! `Context::build`, planned vs ad-hoc FFT, error-cached vs naive SMO, and
+//! batched vs per-draw frame synthesis — and writing the numbers to
+//! `BENCH_pipeline.json` (override with `--out <path>`). When built with
+//! the `prof` feature the report also carries the per-stage wall-clock
+//! breakdown (synth / fft_features / label / kmeans / svm_fit / cv / …)
+//! recorded by `waldo-prof` across the parallel build plus one model fit
+//! and one cross-validation. Pass `--quick` to time at [`Scale::Quick`],
+//! and `--bench-only` to stop after the JSON is written (skipping the slow
+//! tuning sections below).
 
 use std::time::Instant;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Map, Value};
 use serde_json::json;
 use waldo::baseline::{SpectrumDatabase, VScope};
 use waldo::eval::{cross_validate, evaluate_assessor};
 use waldo::{ClassifierKind, WaldoConfig};
 use waldo_bench::{Context, Scale};
-use waldo_iq::{fft, Complex, FeatureSet};
+use waldo_iq::{fft, Complex, FeatureSet, FrameSynthesizer};
+use waldo_ml::svm::{Kernel, SvmTrainer};
+use waldo_ml::Dataset;
 use waldo_rf::TvChannel;
 use waldo_sensors::SensorKind;
 
@@ -53,6 +63,66 @@ fn bench_fft_256() -> (f64, f64) {
     (planned_ns, unplanned_ns)
 }
 
+/// Times error-cached SMO ([`SvmTrainer::fit`]) vs the retained naive
+/// recompute reference on a 300×4 RBF problem (the `svm_fit_300x4` bench
+/// shape). Returns best-of-passes nanoseconds per fit.
+fn bench_svm_fit() -> (f64, f64) {
+    const PASSES: usize = 3;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for _ in 0..300 {
+        let row: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        labels.push(row.iter().sum::<f64>() > 0.1);
+        rows.push(row);
+    }
+    let ds = Dataset::from_rows(rows, labels).expect("non-empty");
+    let trainer = SvmTrainer::new().kernel(Kernel::Rbf { gamma: 0.5 }).seed(1);
+
+    let mut cached_ns = f64::INFINITY;
+    let mut naive_ns = f64::INFINITY;
+    for _ in 0..PASSES {
+        let t = Instant::now();
+        std::hint::black_box(trainer.fit(std::hint::black_box(&ds)).expect("two classes"));
+        cached_ns = cached_ns.min(t.elapsed().as_nanos() as f64);
+
+        let t = Instant::now();
+        std::hint::black_box(
+            trainer.fit_naive_reference(std::hint::black_box(&ds)).expect("two classes"),
+        );
+        naive_ns = naive_ns.min(t.elapsed().as_nanos() as f64);
+    }
+    (cached_ns, naive_ns)
+}
+
+/// Times batched ([`FrameSynthesizer::synthesize`]) vs per-draw reference
+/// synthesis of occupied 256-sample frames. Returns best-of-passes
+/// nanoseconds per frame.
+fn bench_frame_synth() -> (f64, f64) {
+    const FRAMES: u32 = 2_000;
+    const PASSES: usize = 3;
+    let synth = FrameSynthesizer::new(256).pilot_dbfs(-40.0).data_dbfs(-45.0).noise_dbfs(-70.0);
+
+    let mut batched_ns = f64::INFINITY;
+    let mut unbatched_ns = f64::INFINITY;
+    for pass in 0..PASSES {
+        let mut rng = StdRng::seed_from_u64(pass as u64);
+        let t = Instant::now();
+        for _ in 0..FRAMES {
+            std::hint::black_box(synth.synthesize(&mut rng));
+        }
+        batched_ns = batched_ns.min(t.elapsed().as_nanos() as f64 / f64::from(FRAMES));
+
+        let mut rng = StdRng::seed_from_u64(pass as u64);
+        let t = Instant::now();
+        for _ in 0..FRAMES {
+            std::hint::black_box(synth.synthesize_unbatched(&mut rng));
+        }
+        unbatched_ns = unbatched_ns.min(t.elapsed().as_nanos() as f64 / f64::from(FRAMES));
+    }
+    (batched_ns, unbatched_ns)
+}
+
 /// Total readings held by a campaign, summed across every (sensor,
 /// channel) series.
 fn total_readings(ctx: &Context) -> usize {
@@ -66,14 +136,27 @@ fn total_readings(ctx: &Context) -> usize {
         .sum()
 }
 
-/// Builds the context serially and in parallel, times both, and writes
-/// `BENCH_pipeline.json`. Returns the parallel-built context for the
-/// tuning sections.
-fn bench_pipeline(scale: Scale) -> Context {
+/// Builds the context serially and in parallel, times both, runs one model
+/// fit + one cross-validation so the training stages appear in the
+/// profile, and writes the report to `out`. Returns the parallel-built
+/// context for the tuning sections.
+fn bench_pipeline(scale: Scale, out: &str) -> Context {
     let (planned_ns, unplanned_ns) = bench_fft_256();
     eprintln!(
         "fft_256: planned {planned_ns:.0} ns, per-call plan {unplanned_ns:.0} ns ({:.2}x)",
         unplanned_ns / planned_ns
+    );
+    let (svm_cached_ns, svm_naive_ns) = bench_svm_fit();
+    eprintln!(
+        "svm_fit_300x4: cached {:.2} ms, naive {:.2} ms ({:.2}x)",
+        svm_cached_ns / 1e6,
+        svm_naive_ns / 1e6,
+        svm_naive_ns / svm_cached_ns
+    );
+    let (synth_batched_ns, synth_unbatched_ns) = bench_frame_synth();
+    eprintln!(
+        "frame_synth_256: batched {synth_batched_ns:.0} ns, unbatched {synth_unbatched_ns:.0} ns ({:.2}x)",
+        synth_unbatched_ns / synth_batched_ns
     );
 
     let workers = waldo_par::available_workers();
@@ -84,6 +167,10 @@ fn bench_pipeline(scale: Scale) -> Context {
     drop(serial);
     eprintln!("context (serial, 1 worker) built in {serial_s:.1}s");
 
+    // Profile window: the parallel build plus one SVM model fit and one
+    // 5-fold cross-validation, so every stage of the ISSUE's breakdown
+    // (synth / fft_features / label / kmeans / svm_fit / cv) records.
+    waldo_prof::reset();
     let t = Instant::now();
     let ctx = Context::build(scale);
     let parallel_s = t.elapsed().as_secs_f64();
@@ -92,9 +179,45 @@ fn bench_pipeline(scale: Scale) -> Context {
         serial_s / parallel_s
     );
 
+    let ds = ctx
+        .campaign()
+        .dataset(SensorKind::RtlSdr, TvChannel::EVALUATION[0])
+        .expect("evaluation channel is always collected");
+    let cfg = WaldoConfig::default().features(FeatureSet::first_n(2)).seed(1);
+    let t = Instant::now();
+    let model = waldo::ModelConstructor::new(cfg.clone()).fit(ds).expect("campaign data trains");
+    let fit_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let cm = cross_validate(ds, &cfg, 5, 1);
+    let cv_s = t.elapsed().as_secs_f64();
+    eprintln!(
+        "stage workload: fit {fit_s:.2}s ({} localities), cv {cv_s:.2}s (err {:.4})",
+        model.locality_count(),
+        cm.error_rate()
+    );
+
+    let mut stages = Map::new();
+    for (name, stat) in waldo_prof::snapshot() {
+        stages.insert(
+            name,
+            json!({
+                "seconds": stat.seconds(),
+                "calls": stat.calls,
+            }),
+        );
+    }
+    if waldo_prof::enabled() {
+        let snap = waldo_prof::snapshot();
+        eprintln!("stage attribution (parallel build + fit + cv):");
+        for (name, stat) in &snap {
+            eprintln!("  {name:>14}: {:>9.3}s over {} calls", stat.seconds(), stat.calls);
+        }
+    }
+
     let report = json!({
         "scale": format!("{scale:?}"),
         "workers": workers,
+        "prof_enabled": waldo_prof::enabled(),
         "context_build": json!({
             "readings": readings,
             "serial_seconds": serial_s,
@@ -108,17 +231,27 @@ fn bench_pipeline(scale: Scale) -> Context {
             "unplanned_ns_per_call": unplanned_ns,
             "speedup": unplanned_ns / planned_ns,
         }),
+        "svm_fit": json!({
+            "cached_ns_per_fit": svm_cached_ns,
+            "naive_ns_per_fit": svm_naive_ns,
+            "speedup": svm_naive_ns / svm_cached_ns,
+        }),
+        "frame_synth": json!({
+            "batched_ns_per_frame": synth_batched_ns,
+            "unbatched_ns_per_frame": synth_unbatched_ns,
+            "speedup": synth_unbatched_ns / synth_batched_ns,
+        }),
+        "stages": Value::Object(stages),
     });
-    let path = "BENCH_pipeline.json";
     match serde_json::to_vec_pretty(&report) {
         Ok(bytes) => {
-            if let Err(e) = std::fs::write(path, bytes) {
-                eprintln!("warning: could not write {path}: {e}");
+            if let Err(e) = std::fs::write(out, bytes) {
+                eprintln!("warning: could not write {out}: {e}");
             } else {
-                eprintln!("wrote {path}");
+                eprintln!("wrote {out}");
             }
         }
-        Err(e) => eprintln!("warning: could not serialize {path}: {e}"),
+        Err(e) => eprintln!("warning: could not serialize {out}: {e}"),
     }
     ctx
 }
@@ -127,10 +260,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let bench_only = args.iter().any(|a| a == "--bench-only");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_pipeline.json", String::as_str);
     let scale = if quick { Scale::Quick } else { Scale::Full };
 
     let t0 = std::time::Instant::now();
-    let ctx = bench_pipeline(scale);
+    let ctx = bench_pipeline(scale, out);
     if bench_only {
         return;
     }

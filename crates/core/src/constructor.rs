@@ -224,6 +224,7 @@ impl ModelConstructor {
     ///
     /// Same as [`fit`](Self::fit).
     pub fn fit_dataset(&self, ml: &Dataset) -> Result<WaldoModel, TrainError> {
+        let _t = waldo_prof::scope("model_fit");
         if ml.is_empty() {
             return Err(TrainError::Empty);
         }

@@ -80,9 +80,12 @@ impl Labeler {
 
     /// Labels `(location, rss_dbm)` readings per Algorithm 1.
     pub fn label(&self, readings: &[(Point, f64)]) -> Vec<Safety> {
+        let _t = waldo_prof::scope("label");
         let mut not_safe = vec![false; readings.len()];
         // Index every reading once; then each hot reading marks its
-        // neighbourhood. Bucket size = radius keeps the scan at ≤ 9 cells.
+        // neighbourhood. Bucket size = radius keeps the scan at ≤ 9 cells;
+        // the 1 m clamp stops a degenerate sub-metre radius from exploding
+        // the bucket count (pinned by `tiny_radius_clamps_bucket_size`).
         let mut index: GridIndex<usize> = GridIndex::new(self.radius_m.max(1.0));
         for (i, &(p, _)) in readings.iter().enumerate() {
             index.insert(p, i);
@@ -175,6 +178,46 @@ mod tests {
     #[test]
     fn empty_input_is_empty_output() {
         assert!(Labeler::new().label(&[]).is_empty());
+    }
+
+    #[test]
+    fn tiny_radius_clamps_bucket_size() {
+        // A sub-metre protection radius must not blow up the grid: the
+        // `max(1.0)` clamp in `label` pins the bucket size at 1 m, and the
+        // labeling must stay correct (each reading only poisons points
+        // within the tiny radius — in practice, itself and co-located
+        // readings). Points 0/1 are 0.5 mm apart (inside 1 mm radius),
+        // point 2 is 10 m away (outside), point 3 is cold.
+        use rand::{Rng, SeedableRng};
+        let readings = vec![
+            (Point::new(0.0, 0.0), -70.0),
+            (Point::new(0.0005, 0.0), -120.0),
+            (Point::new(10.0, 0.0), -120.0),
+            (Point::new(5_000.0, 0.0), -120.0),
+        ];
+        let labels = Labeler::new().radius_m(0.001).label(&readings);
+        assert!(labels[0].is_not_safe());
+        assert!(labels[1].is_not_safe(), "co-located reading inside tiny radius");
+        assert!(!labels[2].is_not_safe(), "10 m away is outside a 1 mm radius");
+        assert!(!labels[3].is_not_safe());
+
+        // And against brute force on a dense random cloud, where the
+        // un-clamped bucket count would be astronomically large.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        let cloud: Vec<(Point, f64)> = (0..300)
+            .map(|_| {
+                (
+                    Point::new(rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)),
+                    rng.gen_range(-120.0..-60.0),
+                )
+            })
+            .collect();
+        let radius = 0.25;
+        let fast = Labeler::new().radius_m(radius).label(&cloud);
+        for (i, &(p, _)) in cloud.iter().enumerate() {
+            let expect = cloud.iter().any(|&(q, r)| r > -84.0 && q.distance(p) <= radius);
+            assert_eq!(fast[i].is_not_safe(), expect, "reading {i}");
+        }
     }
 
     #[test]

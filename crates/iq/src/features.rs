@@ -192,6 +192,7 @@ impl FeatureVector {
     /// Panics if `frames` is empty, any frame is empty, frames disagree in
     /// length, or the length is not a power of two.
     pub fn extract_from_frames(frames: &[IqFrame], window: Window) -> Extraction {
+        let _t = waldo_prof::scope("fft_features");
         assert!(!frames.is_empty(), "cannot extract features from an empty batch");
         let n = frames[0].len();
         assert!(n > 0, "cannot extract features from an empty frame");

@@ -1,0 +1,111 @@
+//! The workspace's one Gaussian sampler.
+//!
+//! Box–Muller turns two uniforms into **two** independent standard normals
+//! for one `ln`/`sqrt` and one `sin_cos`. The original per-call sampler
+//! discarded the sine half, and a second copy of it lived in
+//! `waldo-rf::shadowing` to dodge a cross-crate dependency; both now route
+//! here. Bulk consumers (frame synthesis, shadowing grids) should use
+//! [`fill_standard_normal`], which keeps every draw.
+
+use rand::Rng;
+
+/// Draws two independent standard normals from one Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let (a, b) = waldo_iq::gauss::standard_normal_pair(&mut rng);
+/// assert!(a.is_finite() && b.is_finite());
+/// ```
+pub fn standard_normal_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+        return (r * cos, r * sin);
+    }
+}
+
+/// Draws a single standard normal (the cosine half of a Box–Muller pair).
+///
+/// Consumes the same two uniforms per draw as the historical
+/// single-value sampler, so per-call RNG advancement is unchanged.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    standard_normal_pair(rng).0
+}
+
+/// Fills `out` with independent standard normals, two per Box–Muller
+/// transform (an odd trailing element costs one extra transform).
+pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    let mut chunks = out.chunks_exact_mut(2);
+    for pair in &mut chunks {
+        (pair[0], pair[1]) = standard_normal_pair(rng);
+    }
+    if let [last] = chunks.into_remainder() {
+        *last = standard_normal_pair(rng).0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pair_halves_are_independent_standard_normals() {
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        let n = 20_000;
+        let (mut xs, mut ys) = (Vec::with_capacity(n), Vec::with_capacity(n));
+        for _ in 0..n {
+            let (a, b) = standard_normal_pair(&mut rng);
+            xs.push(a);
+            ys.push(b);
+        }
+        for vals in [&xs, &ys] {
+            let mean = vals.iter().sum::<f64>() / n as f64;
+            let var = vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            assert!(mean.abs() < 0.03, "mean {mean}");
+            assert!((var - 1.0).abs() < 0.05, "var {var}");
+        }
+        // The two halves of one transform are uncorrelated.
+        let corr = xs.iter().zip(&ys).map(|(x, y)| x * y).sum::<f64>() / n as f64;
+        assert!(corr.abs() < 0.03, "corr {corr}");
+    }
+
+    #[test]
+    fn single_draw_is_the_cosine_half() {
+        let a = standard_normal(&mut StdRng::seed_from_u64(9));
+        let (pair_a, _) = standard_normal_pair(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a.to_bits(), pair_a.to_bits());
+    }
+
+    #[test]
+    fn fill_matches_sequential_pairs_even_and_odd() {
+        for len in [0usize, 1, 2, 7, 256] {
+            let mut buf = vec![0.0f64; len];
+            fill_standard_normal(&mut StdRng::seed_from_u64(42), &mut buf);
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut expect = Vec::with_capacity(len);
+            while expect.len() + 2 <= len {
+                let (a, b) = standard_normal_pair(&mut rng);
+                expect.push(a);
+                expect.push(b);
+            }
+            if expect.len() < len {
+                expect.push(standard_normal_pair(&mut rng).0);
+            }
+            assert!(
+                buf.iter().zip(&expect).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "len {len} diverged"
+            );
+        }
+    }
+}

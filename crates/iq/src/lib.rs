@@ -41,6 +41,7 @@ mod complex;
 mod detect;
 pub mod features;
 pub mod fft;
+pub mod gauss;
 pub mod matched;
 mod spectral;
 pub mod synth;

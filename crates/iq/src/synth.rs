@@ -71,18 +71,7 @@ impl IqFrame {
     }
 }
 
-/// Draws a standard normal via the Box–Muller transform (no `rand_distr`
-/// dependency; this and the shadowing field are the only Gaussian consumers).
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.gen();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f64 = rng.gen();
-        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    }
-}
+pub use crate::gauss::standard_normal;
 
 /// Builder producing synthetic I/Q frames.
 ///
@@ -113,6 +102,13 @@ pub struct FrameSynthesizer {
 }
 
 impl FrameSynthesizer {
+    /// Samples between exact pilot-phasor resyncs. The FFT deliberately
+    /// dropped its twiddle recurrence for accuracy (DESIGN.md §8.2); the
+    /// pilot keeps one but resynchronizes with `from_polar` every 64
+    /// samples, which bounds accumulated rounding error to a few ULP over
+    /// any run — far below the tolerances of the spectral tests.
+    pub const PILOT_RESYNC: usize = 64;
+
     /// Starts a synthesizer for frames of `len` samples with no signal and a
     /// −80 dBFS noise floor.
     ///
@@ -153,7 +149,53 @@ impl FrameSynthesizer {
     }
 
     /// Generates one frame.
+    ///
+    /// Receiver noise and the 8VSB data skirt are independent circular
+    /// complex Gaussians, so their sum is a single circular Gaussian of
+    /// combined power — both are realized with one buffered fill that
+    /// keeps every Box–Muller draw ([`crate::gauss::fill_standard_normal`]).
+    /// The pilot phasor advances by one complex multiply per sample, with
+    /// an exact `from_polar` resync every [`Self::PILOT_RESYNC`] samples to
+    /// bound rounding drift.
     pub fn synthesize<R: Rng + ?Sized>(&self, rng: &mut R) -> IqFrame {
+        let _t = waldo_prof::scope("synth");
+        let n = self.len;
+
+        // Noise + data skirt in one pass: 2n Gaussian draws, none wasted.
+        let mut power = db_to_power(self.noise_dbfs);
+        if let Some(data_dbfs) = self.data_dbfs {
+            power += db_to_power(data_dbfs);
+        }
+        let sigma = (power / 2.0).sqrt();
+        let mut gaussians = vec![0.0f64; 2 * n];
+        crate::gauss::fill_standard_normal(rng, &mut gaussians);
+        let mut samples: Vec<Complex> = gaussians
+            .chunks_exact(2)
+            .map(|re_im| Complex::new(sigma * re_im[0], sigma * re_im[1]))
+            .collect();
+
+        if let Some(pilot_dbfs) = self.pilot_dbfs {
+            let amp = db_to_power(pilot_dbfs).sqrt();
+            let phase0: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+            let dphi = 2.0 * std::f64::consts::PI * self.pilot_offset_cycles / n as f64;
+            let rot = Complex::cis(dphi);
+            let mut cur = Complex::ZERO;
+            for (i, s) in samples.iter_mut().enumerate() {
+                if i % Self::PILOT_RESYNC == 0 {
+                    cur = Complex::from_polar(amp, phase0 + dphi * i as f64);
+                }
+                *s += cur;
+                cur *= rot;
+            }
+        }
+
+        IqFrame::new(samples)
+    }
+
+    /// Pre-batching reference path: one discarding Box–Muller call per
+    /// Gaussian component and a `from_polar` per pilot sample. Retained as
+    /// the benchmark baseline for the batched [`Self::synthesize`].
+    pub fn synthesize_unbatched<R: Rng + ?Sized>(&self, rng: &mut R) -> IqFrame {
         let n = self.len;
         let mut samples = vec![Complex::ZERO; n];
 
@@ -261,5 +303,50 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_length_frame_panics() {
         let _ = FrameSynthesizer::new(0);
+    }
+
+    #[test]
+    fn batched_and_unbatched_agree_statistically() {
+        // The batched path merges noise + data skirt into one Gaussian of
+        // combined power and pairs Box–Muller draws; the distribution is
+        // identical, so averaged frame power must agree with the reference
+        // path well inside estimator variance.
+        let synth = FrameSynthesizer::new(256).pilot_dbfs(-35.0).data_dbfs(-40.0).noise_dbfs(-55.0);
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        let batched: f64 =
+            (0..300).map(|_| synth.synthesize(&mut rng_a).mean_power()).sum::<f64>() / 300.0;
+        let unbatched: f64 =
+            (0..300).map(|_| synth.synthesize_unbatched(&mut rng_b).mean_power()).sum::<f64>()
+                / 300.0;
+        let delta_db = power_to_db(batched) - power_to_db(unbatched);
+        assert!(delta_db.abs() < 0.3, "batched {batched} vs unbatched {unbatched}");
+    }
+
+    #[test]
+    fn pilot_recurrence_matches_exact_tone() {
+        // With the noise floor pushed to numerical zero, each sample is the
+        // pilot phasor alone; the cis-recurrence (with periodic resync)
+        // must track the exact per-sample `from_polar` to a few ULP.
+        let n = 256;
+        let synth =
+            FrameSynthesizer::new(n).pilot_dbfs(-20.0).noise_dbfs(-3000.0).pilot_offset_cycles(3.7);
+        let seed = 0xB0B;
+        let frame = synth.synthesize(&mut StdRng::seed_from_u64(seed));
+
+        // Replay the synthesizer's RNG consumption to learn the random
+        // pilot phase: 2n Gaussian draws, then the phase.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gaussians = vec![0.0f64; 2 * n];
+        crate::gauss::fill_standard_normal(&mut rng, &mut gaussians);
+        let phase0: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+
+        let amp = db_to_power(-20.0).sqrt();
+        let dphi = 2.0 * std::f64::consts::PI * 3.7 / n as f64;
+        for (i, s) in frame.samples().iter().enumerate() {
+            let exact = Complex::from_polar(amp, phase0 + dphi * i as f64);
+            let err = (*s - exact).abs();
+            assert!(err < 1e-12 * amp, "sample {i}: drift {err}");
+        }
     }
 }

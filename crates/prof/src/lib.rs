@@ -1,0 +1,268 @@
+//! Scoped timers and monotonic counters for pipeline stage attribution.
+//!
+//! The pipeline's hot stages (`synth`, `fft_features`, `label`, `kmeans`,
+//! `svm_fit`, `cv`, …) wrap their bodies in [`scope`] guards. With the
+//! `prof` cargo feature enabled, every guard records wall-clock nanoseconds
+//! into a thread-local table that is flushed into a global aggregate when
+//! the thread exits (or when [`snapshot`] runs on the current thread).
+//! Without the feature — the default — every entry point is a no-op and
+//! [`Scope`] is a zero-sized type, so instrumented code pays nothing.
+//!
+//! # Thread model
+//!
+//! `waldo-par` workers are scoped threads joined before their spawner
+//! returns, so by the time a coordinator calls [`snapshot`] every worker's
+//! thread-local table has already been flushed into the global aggregate.
+//! [`reset`] clears the global table and the calling thread's local table;
+//! it is meant to bracket a measurement window from the coordinating
+//! thread while no workers are in flight.
+//!
+//! # Examples
+//!
+//! ```
+//! {
+//!     let _t = waldo_prof::scope("stage");
+//!     // ... timed work ...
+//! }
+//! waldo_prof::count("items", 3);
+//! for (name, stat) in waldo_prof::snapshot() {
+//!     let _ = (name, stat.calls, stat.total_ns, stat.count);
+//! }
+//! ```
+
+/// Aggregated numbers for one named scope/counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stat {
+    /// Times a [`scope`] guard with this name was dropped.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those calls.
+    pub total_ns: u64,
+    /// Sum of [`count`] increments under this name.
+    pub count: u64,
+}
+
+impl Stat {
+    /// Total seconds across all calls.
+    pub fn seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    #[cfg(feature = "prof")]
+    fn merge(&mut self, other: &Stat) {
+        self.calls += other.calls;
+        self.total_ns += other.total_ns;
+        self.count += other.count;
+    }
+}
+
+#[cfg(feature = "prof")]
+mod imp {
+    use super::Stat;
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    static GLOBAL: Mutex<BTreeMap<&'static str, Stat>> = Mutex::new(BTreeMap::new());
+
+    /// Thread-local table whose `Drop` flushes into [`GLOBAL`] at thread
+    /// exit — this is what makes worker-thread scopes aggregate correctly.
+    struct Local(BTreeMap<&'static str, Stat>);
+
+    impl Drop for Local {
+        fn drop(&mut self) {
+            flush(&mut self.0);
+        }
+    }
+
+    thread_local! {
+        static LOCAL: RefCell<Local> = RefCell::new(Local(BTreeMap::new()));
+    }
+
+    fn flush(local: &mut BTreeMap<&'static str, Stat>) {
+        if local.is_empty() {
+            return;
+        }
+        let mut global = GLOBAL.lock().expect("prof table poisoned");
+        for (name, stat) in local.iter() {
+            global.entry(name).or_default().merge(stat);
+        }
+        local.clear();
+    }
+
+    fn with_local(f: impl FnOnce(&mut BTreeMap<&'static str, Stat>)) {
+        // `try_with` so a guard dropped during thread teardown (after the
+        // thread-local is destroyed) degrades to a silent no-op.
+        let _ = LOCAL.try_with(|cell| f(&mut cell.borrow_mut().0));
+    }
+
+    /// RAII wall-clock timer; records into the thread-local table on drop.
+    #[must_use = "a scope records its timing when dropped"]
+    pub struct Scope {
+        name: &'static str,
+        start: Instant,
+    }
+
+    impl Drop for Scope {
+        fn drop(&mut self) {
+            let ns = self.start.elapsed().as_nanos() as u64;
+            with_local(|local| {
+                let stat = local.entry(self.name).or_default();
+                stat.calls += 1;
+                stat.total_ns += ns;
+            });
+        }
+    }
+
+    /// Starts timing a named scope.
+    pub fn scope(name: &'static str) -> Scope {
+        Scope { name, start: Instant::now() }
+    }
+
+    /// Adds `n` to the named monotonic counter.
+    pub fn count(name: &'static str, n: u64) {
+        with_local(|local| local.entry(name).or_default().count += n);
+    }
+
+    /// Flushes the current thread's table and returns the global aggregate,
+    /// sorted by name.
+    pub fn snapshot() -> Vec<(&'static str, Stat)> {
+        with_local(flush);
+        let global = GLOBAL.lock().expect("prof table poisoned");
+        global.iter().map(|(&name, &stat)| (name, stat)).collect()
+    }
+
+    /// Clears the global table and the calling thread's local table.
+    pub fn reset() {
+        with_local(BTreeMap::clear);
+        GLOBAL.lock().expect("prof table poisoned").clear();
+    }
+
+    /// Whether profiling is compiled in.
+    pub const fn enabled() -> bool {
+        true
+    }
+}
+
+#[cfg(not(feature = "prof"))]
+mod imp {
+    use super::Stat;
+
+    /// Zero-sized stand-in for the RAII timer; dropping it does nothing.
+    #[must_use = "a scope records its timing when dropped"]
+    pub struct Scope(());
+
+    /// No-op (profiling compiled out).
+    pub fn scope(_name: &'static str) -> Scope {
+        Scope(())
+    }
+
+    /// No-op (profiling compiled out).
+    pub fn count(_name: &'static str, _n: u64) {}
+
+    /// Always empty (profiling compiled out).
+    pub fn snapshot() -> Vec<(&'static str, Stat)> {
+        Vec::new()
+    }
+
+    /// No-op (profiling compiled out).
+    pub fn reset() {}
+
+    /// Whether profiling is compiled in.
+    pub const fn enabled() -> bool {
+        false
+    }
+}
+
+pub use imp::{count, enabled, reset, scope, snapshot, Scope};
+
+/// Seconds spent in `name` according to `snapshot`, or 0 if absent.
+pub fn stage_seconds(snapshot: &[(&'static str, Stat)], name: &str) -> f64 {
+    snapshot.iter().find(|(n, _)| *n == name).map_or(0.0, |(_, s)| s.seconds())
+}
+
+#[cfg(all(test, not(feature = "prof")))]
+mod disabled_tests {
+    use super::*;
+
+    #[test]
+    fn compiles_out_to_nothing() {
+        assert!(!enabled());
+        // The guard must be zero-sized so instrumented hot loops carry no
+        // per-iteration state in default builds.
+        assert_eq!(std::mem::size_of::<Scope>(), 0);
+        {
+            let _t = scope("anything");
+            count("anything", 5);
+        }
+        assert!(snapshot().is_empty(), "disabled builds must record nothing");
+    }
+}
+
+#[cfg(all(test, feature = "prof"))]
+mod enabled_tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The global table is process-wide; serialize tests touching it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    #[test]
+    fn scope_records_calls_and_time() {
+        let _guard = exclusive();
+        reset();
+        for _ in 0..3 {
+            let _t = scope("unit_stage");
+            std::hint::black_box(0u64);
+        }
+        let snap = snapshot();
+        let stat = snap.iter().find(|(n, _)| *n == "unit_stage").expect("stage recorded").1;
+        assert_eq!(stat.calls, 3);
+        assert!(enabled());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let _guard = exclusive();
+        reset();
+        count("unit_counter", 2);
+        count("unit_counter", 40);
+        let snap = snapshot();
+        let stat = snap.iter().find(|(n, _)| *n == "unit_counter").expect("counter recorded").1;
+        assert_eq!(stat.count, 42);
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let _guard = exclusive();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _t = scope("worker_stage");
+                    count("worker_stage", 1);
+                });
+            }
+        });
+        let snap = snapshot();
+        let stat = snap.iter().find(|(n, _)| *n == "worker_stage").expect("workers flushed").1;
+        assert_eq!(stat.calls, 4);
+        assert_eq!(stat.count, 4);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _guard = exclusive();
+        reset();
+        {
+            let _t = scope("ephemeral");
+        }
+        assert!(!snapshot().is_empty());
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

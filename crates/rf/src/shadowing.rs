@@ -12,20 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use waldo_geo::{Point, Region};
-
-/// Draws a standard normal via Box–Muller (kept local to avoid a
-/// cross-crate dependency for one function).
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    use rand::Rng;
-    loop {
-        let u1: f64 = rng.gen();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f64 = rng.gen();
-        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    }
-}
+use waldo_iq::gauss;
 
 /// A frozen realization of a correlated shadowing field over a region.
 ///
@@ -70,7 +57,9 @@ impl ShadowingField {
         let nx = (region.width_m() / spacing).ceil() as usize + 2;
         let ny = (region.height_m() / spacing).ceil() as usize + 2;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5badc0de);
-        let grid: Vec<f64> = (0..nx * ny).map(|_| standard_normal(&mut rng)).collect();
+        // Buffered fill keeps both halves of every Box–Muller transform.
+        let mut grid = vec![0.0f64; nx * ny];
+        gauss::fill_standard_normal(&mut rng, &mut grid);
         Self { region, sigma_db, spacing_m: spacing, nx, ny, grid }
     }
 

@@ -43,6 +43,7 @@ impl Observation {
         true_rss_dbm: Option<f64>,
         rng: &mut R,
     ) -> Self {
+        let _t = waldo_prof::scope("observe");
         let frames = sensor.capture_reading(true_rss_dbm, rng);
         let extraction = FeatureVector::extract_from_frames(&frames, Window::Hann);
         let raw_pilot_db = extraction.pilot_db;

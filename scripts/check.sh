@@ -14,4 +14,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo test -p waldo-prof --features prof"
+cargo test -p waldo-prof --features prof -q
+
+echo "==> bench smoke (probe --bench-only + gate)"
+# Small-scale pipeline probe with the stage timers compiled in; the gate
+# fails if any stage timer went missing or svm_fit regressed more than 2x
+# against the checked-in floor (scripts/bench_floor.json).
+mkdir -p target
+cargo run --release -p waldo-bench --features prof --bin probe -- \
+    --quick --bench-only --out target/BENCH_smoke.json
+cargo run --release -p waldo-bench --features prof --bin gate -- \
+    target/BENCH_smoke.json scripts/bench_floor.json
+
 echo "ok"

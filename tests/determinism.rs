@@ -5,8 +5,13 @@
 //! contract end to end: campaign collection, model construction, and
 //! cross validation.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use waldo_repro::data::{Campaign, CampaignBuilder};
-use waldo_repro::par::with_workers;
+use waldo_repro::iq::{FrameSynthesizer, IqFrame};
+use waldo_repro::ml::svm::{Kernel, SvmTrainer};
+use waldo_repro::ml::Dataset;
+use waldo_repro::par::{par_map, with_workers};
 use waldo_repro::rf::world::{World, WorldBuilder};
 use waldo_repro::rf::TvChannel;
 use waldo_repro::sensors::SensorKind;
@@ -53,6 +58,53 @@ fn model_construction_is_bit_identical_at_any_worker_count() {
             let candidate = with_workers(workers, fit);
             assert_eq!(baseline, candidate, "{kind} fit diverged from serial at {workers} workers");
         }
+    }
+}
+
+#[test]
+fn error_cached_smo_is_bit_identical_at_any_worker_count() {
+    // The error-cached SMO consults a seeded RNG only through its own
+    // per-fit StdRng, so fanning independent fits out over the pool must
+    // reproduce the serial models exactly (support sets, coefficients,
+    // and bias all bit-identical).
+    use rand::Rng;
+    let datasets: Vec<Dataset> = (0..8u64)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let rows: Vec<Vec<f64>> =
+                (0..60).map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+            let labels: Vec<bool> = rows.iter().map(|r| r.iter().sum::<f64>() > 0.0).collect();
+            Dataset::from_rows(rows, labels).expect("valid dataset")
+        })
+        .collect();
+    let fit_all = || {
+        par_map(&datasets, |ds| {
+            SvmTrainer::new().kernel(Kernel::Rbf { gamma: 0.7 }).fit(ds).expect("separable-ish")
+        })
+    };
+    let baseline = with_workers(1, fit_all);
+    for workers in WORKER_COUNTS {
+        let candidate = with_workers(workers, fit_all);
+        assert_eq!(baseline, candidate, "SMO fits diverged from serial at {workers} workers");
+    }
+}
+
+#[test]
+fn batched_synthesis_is_bit_identical_at_any_worker_count() {
+    // Batched Gaussian synthesis draws every sample from a per-frame
+    // seeded RNG; the worker count must never leak into the stream.
+    let seeds: Vec<u64> = (0..32).collect();
+    let synthesize_all = || {
+        let synth = FrameSynthesizer::new(256).pilot_dbfs(-40.0).data_dbfs(-45.0).noise_dbfs(-70.0);
+        par_map(&seeds, |&seed| -> IqFrame {
+            let mut rng = StdRng::seed_from_u64(seed);
+            synth.synthesize(&mut rng)
+        })
+    };
+    let baseline = with_workers(1, synthesize_all);
+    for workers in WORKER_COUNTS {
+        let candidate = with_workers(workers, synthesize_all);
+        assert_eq!(baseline, candidate, "synthesis diverged from serial at {workers} workers");
     }
 }
 
