@@ -1,6 +1,7 @@
-//! CI gate over a `probe`-written pipeline report.
+//! CI gate over a `probe`-written pipeline report (and, optionally, a
+//! `serve_load`-written serving report).
 //!
-//! Usage: `gate <report.json> <floor.json>`
+//! Usage: `gate <report.json> <floor.json> [serve_report.json]`
 //!
 //! Fails (exit 1) when:
 //! - any required stage timer (`synth`, `fft_features`, `label`, `kmeans`,
@@ -9,7 +10,11 @@
 //!   instrumentation (or a report produced without the `prof` feature);
 //! - the error-cached SMO regresses more than 2× against the checked-in
 //!   floor (`svm_fit_ns_per_fit` in the floor file, measured on the
-//!   reference machine that produced `BENCH_pipeline.json`).
+//!   reference machine that produced `BENCH_pipeline.json`);
+//! - a serve report is given and it recorded any protocol error, ran with
+//!   fewer than 16 clients, saved less than half the full-fetch bytes on
+//!   delta fetches, or its p50 fetch latency regressed more than 10×
+//!   against the checked-in floor (`serve_fetch_p50_ns`).
 
 use std::process::ExitCode;
 
@@ -21,6 +26,21 @@ const REQUIRED_STAGES: [&str; 6] = ["synth", "fft_features", "label", "kmeans", 
 /// floor; generous enough to absorb machine-to-machine variation, tight
 /// enough to catch an accidental return to O(n²) passes.
 const SVM_FIT_REGRESSION_LIMIT: f64 = 2.0;
+
+/// Maximum allowed ratio of measured p50 fetch latency to the checked-in
+/// floor. Wider than the svm_fit limit because loopback latency under 16
+/// contending client threads is far noisier than a single-threaded fit
+/// loop, especially on a single-core runner.
+const SERVE_FETCH_REGRESSION_LIMIT: f64 = 10.0;
+
+/// Minimum fraction of full-fetch bytes a delta fetch must save. The
+/// epoch diff makes steady-state deltas nearly free; anywhere below this
+/// means the delta path stopped short-circuiting unchanged localities.
+const SERVE_DELTA_SAVINGS_FLOOR: f64 = 0.5;
+
+/// Serve reports must come from a load run with at least this many
+/// concurrent clients to count as a concurrency smoke.
+const SERVE_MIN_CLIENTS: u64 = 16;
 
 fn load(path: &str) -> Result<Value, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -74,16 +94,69 @@ fn check(report: &Value, floor: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn check_serve(report: &Value, floor: &Value) -> Result<(), String> {
+    let field = |name: &str| {
+        report.get(name).and_then(Value::as_f64).ok_or(format!("serve report has no {name}"))
+    };
+    let errors = field("protocol_errors")?;
+    if errors != 0.0 {
+        return Err(format!("serve load run recorded {errors} protocol errors"));
+    }
+    let clients = field("clients")? as u64;
+    if clients < SERVE_MIN_CLIENTS {
+        return Err(format!(
+            "serve load run used {clients} clients; the smoke needs >= {SERVE_MIN_CLIENTS}"
+        ));
+    }
+    let saved = field("delta_bytes_saved_fraction")?;
+    if saved < SERVE_DELTA_SAVINGS_FLOOR {
+        return Err(format!(
+            "delta fetches saved only {:.0}% of full-fetch bytes (floor {:.0}%)",
+            saved * 100.0,
+            SERVE_DELTA_SAVINGS_FLOOR * 100.0
+        ));
+    }
+    let p50 = field("fetch_p50_ns")?;
+    let floor_ns = floor
+        .get("serve_fetch_p50_ns")
+        .and_then(Value::as_f64)
+        .ok_or("floor file has no serve_fetch_p50_ns".to_string())?;
+    if p50 > SERVE_FETCH_REGRESSION_LIMIT * floor_ns {
+        return Err(format!(
+            "serve fetch p50 regressed: {:.3} ms measured vs {:.3} ms floor \
+             (> {SERVE_FETCH_REGRESSION_LIMIT}x)",
+            p50 / 1e6,
+            floor_ns / 1e6
+        ));
+    }
+    eprintln!(
+        "gate ok: serve load {clients} clients, 0 protocol errors, p50 {:.3} ms vs {:.3} ms \
+         floor, deltas save {:.0}%",
+        p50 / 1e6,
+        floor_ns / 1e6,
+        saved * 100.0
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [report_path, floor_path] = args.as_slice() else {
-        eprintln!("usage: gate <report.json> <floor.json>");
-        return ExitCode::FAILURE;
+    let (report_path, floor_path, serve_path) = match args.as_slice() {
+        [report, floor] => (report, floor, None),
+        [report, floor, serve] => (report, floor, Some(serve)),
+        _ => {
+            eprintln!("usage: gate <report.json> <floor.json> [serve_report.json]");
+            return ExitCode::FAILURE;
+        }
     };
     let run = || -> Result<(), String> {
         let report = load(report_path)?;
         let floor = load(floor_path)?;
-        check(&report, &floor)
+        check(&report, &floor)?;
+        if let Some(serve_path) = serve_path {
+            check_serve(&load(serve_path)?, &floor)?;
+        }
+        Ok(())
     };
     match run() {
         Ok(()) => ExitCode::SUCCESS,

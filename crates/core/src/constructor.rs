@@ -246,6 +246,10 @@ impl ModelConstructor {
             .map(|c| (0..ml.len()).filter(|&i| clustering.assignment()[i] == c).collect())
             .collect();
         let clusters = waldo_par::par_map(&memberships, |indices| self.fit_cluster(ml, indices));
+        // The per-training-point assignment scales with the campaign (up to
+        // ~142k entries), not the model; devices only route by centroid, so
+        // the downloadable descriptor ships without it.
+        let clustering = clustering.without_assignment();
         Ok(WaldoModel { features: self.config.features.clone(), clustering, clusters })
     }
 

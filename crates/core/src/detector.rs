@@ -57,6 +57,9 @@ pub struct WhiteSpaceDetector {
     min_readings: usize,
     max_readings: usize,
     location: Option<Point>,
+    /// Total readings pushed since the last reset. Tracked separately from
+    /// the window length because the windows are trimmed to `max_readings`.
+    pushed: usize,
     rss_window: Vec<f64>,
     feature_window: Vec<FeatureVector>,
 }
@@ -76,6 +79,7 @@ impl WhiteSpaceDetector {
             min_readings: 4,
             max_readings: 2_000,
             location: None,
+            pushed: 0,
             rss_window: Vec::new(),
             feature_window: Vec::new(),
         }
@@ -86,9 +90,10 @@ impl WhiteSpaceDetector {
         self.alpha_db
     }
 
-    /// Readings accumulated since the last reset.
+    /// Readings accumulated since the last reset (the retained window is
+    /// capped at `max_readings`, but this counts every push).
     pub fn readings_seen(&self) -> usize {
-        self.rss_window.len()
+        self.pushed
     }
 
     /// Overrides the hard cap on readings before a forced decision
@@ -106,6 +111,7 @@ impl WhiteSpaceDetector {
     /// Clears the window (e.g. after moving to a new location or channel).
     pub fn reset(&mut self) {
         self.location = None;
+        self.pushed = 0;
         self.rss_window.clear();
         self.feature_window.clear();
     }
@@ -118,10 +124,23 @@ impl WhiteSpaceDetector {
     /// variant).
     pub fn push(&mut self, location: Point, observation: &Observation) -> DetectorOutcome {
         self.location = Some(location);
+        self.pushed += 1;
         self.rss_window.push(observation.rss_dbm);
         self.feature_window.push(observation.features);
+        // A long dwell must not grow memory without bound: keep only the
+        // newest `max_readings` readings (older ones can no longer change
+        // the forced decision anyway).
+        if self.rss_window.len() > self.max_readings {
+            let excess = self.rss_window.len() - self.max_readings;
+            self.rss_window.drain(..excess);
+            self.feature_window.drain(..excess);
+        }
 
-        if self.rss_window.len() < self.min_readings {
+        // The cap takes priority over everything else — including the
+        // minimum-readings gate and a degenerate window whose confidence
+        // interval is undefined — so a device can never scan forever.
+        let forced = self.pushed >= self.max_readings;
+        if self.pushed < self.min_readings && !forced {
             return DetectorOutcome::NeedMoreReadings { ci_span_db: None };
         }
 
@@ -129,11 +148,16 @@ impl WhiteSpaceDetector {
         let rss: Vec<f64> = retained.iter().map(|&i| self.rss_window[i]).collect();
         let ci = mean_confidence_interval(&rss, 0.90);
         let span = ci.map(|c| c.span());
-        let forced = self.rss_window.len() >= self.max_readings;
         match span {
-            Some(s) if s <= self.alpha_db || forced => {
+            Some(s) if s <= self.alpha_db => {
                 let safety = self.decide(&retained);
-                DetectorOutcome::Converged { safety, readings_used: self.rss_window.len() }
+                DetectorOutcome::Converged { safety, readings_used: self.pushed }
+            }
+            // Forced decision at the cap, whether or not the interval is
+            // even computable (e.g. a degenerate retained set).
+            _ if forced => {
+                let safety = self.decide(&retained);
+                DetectorOutcome::Converged { safety, readings_used: self.pushed }
             }
             other => DetectorOutcome::NeedMoreReadings { ci_span_db: other },
         }
@@ -367,6 +391,68 @@ mod tests {
             }
         }
         panic!("cap did not force a decision");
+    }
+
+    #[test]
+    fn forced_convergence_with_degenerate_window() {
+        // Regression: a constant-RSS (zero-variance) window below the
+        // minimum-readings gate has no computable confidence interval, and
+        // the pre-fix match let the `forced` case fall into
+        // `NeedMoreReadings` — the detector scanned forever. The cap must
+        // force a decision at exactly `max_readings`.
+        let mut det = WhiteSpaceDetector::new(model(), 0.5).max_readings(3);
+        let loc = Point::new(25_000.0, 10_000.0);
+        for i in 1..=3 {
+            match det.push(loc, &observation(-70.0)) {
+                DetectorOutcome::Converged { safety, readings_used } => {
+                    assert_eq!(i, 3, "converged before the cap");
+                    assert_eq!(readings_used, 3);
+                    assert!(safety.is_not_safe());
+                    return;
+                }
+                DetectorOutcome::NeedMoreReadings { .. } => {
+                    assert!(i < 3, "cap did not force a decision at max_readings");
+                }
+            }
+        }
+        panic!("never converged at the cap");
+    }
+
+    #[test]
+    fn cap_of_one_decides_on_an_undefined_interval() {
+        // With a single retained reading the 90 % CI does not exist (span
+        // is `None`); the forced arm must still convert it into a decision.
+        let mut det = WhiteSpaceDetector::new(model(), 0.5).max_readings(1);
+        match det.push(Point::new(25_000.0, 10_000.0), &observation(-70.0)) {
+            DetectorOutcome::Converged { safety, readings_used } => {
+                assert_eq!(readings_used, 1);
+                assert!(safety.is_not_safe());
+            }
+            DetectorOutcome::NeedMoreReadings { .. } => {
+                panic!("undefined CI stalled the forced decision")
+            }
+        }
+    }
+
+    #[test]
+    fn long_dwell_does_not_grow_the_window() {
+        // A caller that ignores `Converged` and keeps dwelling must not
+        // accumulate unbounded readings.
+        let mut det = WhiteSpaceDetector::new(model(), 0.000_1).max_readings(50);
+        let loc = Point::new(25_000.0, 10_000.0);
+        for i in 0..500 {
+            let outcome = det.push(loc, &observation(-70.0 + (i % 7) as f64));
+            if i + 1 >= 50 {
+                assert!(
+                    matches!(outcome, DetectorOutcome::Converged { readings_used, .. }
+                        if readings_used == i + 1),
+                    "past the cap every push must force a decision"
+                );
+            }
+        }
+        assert_eq!(det.readings_seen(), 500);
+        assert!(det.rss_window.len() <= 50, "window grew to {}", det.rss_window.len());
+        assert!(det.feature_window.len() <= 50);
     }
 
     #[test]

@@ -245,6 +245,11 @@ impl ChannelCache {
         e.consecutive_safe += 1;
         if e.consecutive_safe >= self.skip_after && e.skips_remaining == 0 {
             e.skips_remaining = self.ttl_scans;
+            // Granting a skip cycle spends the streak: once the cycle's TTL
+            // runs out the channel must again observe `skip_after`
+            // consecutive safe scans before it may be skipped — otherwise a
+            // single safe scan would re-enter the skip state forever.
+            e.consecutive_safe = 0;
         }
     }
 
@@ -387,6 +392,23 @@ mod tests {
         assert!(cache.should_skip(40));
         assert!(cache.should_skip(40));
         assert!(!cache.should_skip(40), "ttl exhausted");
+    }
+
+    #[test]
+    fn skip_cycle_requires_a_fresh_streak() {
+        // Regression: granting a skip cycle used to leave `consecutive_safe`
+        // at its accumulated value, so after the TTL ran out a single safe
+        // scan re-entered the skip state instead of requiring `skip_after`
+        // consecutive ones.
+        let mut cache = ChannelCache::new().skip_after(2).ttl_scans(1);
+        cache.record(40, Safety::Safe);
+        cache.record(40, Safety::Safe);
+        assert!(cache.should_skip(40));
+        assert!(!cache.should_skip(40), "ttl exhausted");
+        cache.record(40, Safety::Safe);
+        assert!(!cache.should_skip(40), "one safe scan must not re-grant a skip cycle");
+        cache.record(40, Safety::Safe);
+        assert!(cache.should_skip(40), "a full fresh streak re-grants the cycle");
     }
 
     #[test]

@@ -65,6 +65,7 @@ mod model;
 pub mod repository;
 pub mod trust;
 mod updater;
+pub mod wire;
 
 pub use constructor::{ClassifierKind, ModelConstructor, TrainError, WaldoConfig};
 pub use detector::{DetectorOutcome, WhiteSpaceDetector};

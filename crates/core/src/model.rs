@@ -87,6 +87,13 @@ impl WaldoModel {
         self.clusters.len()
     }
 
+    /// The locality centroids (`[x_km, y_km]` each) that route readings to
+    /// per-locality classifiers — what a distribution server uses for
+    /// locality-scoped fetches.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        self.clustering.centroids()
+    }
+
     /// Number of single-class ("binary") localities.
     pub fn constant_locality_count(&self) -> usize {
         self.clusters.iter().filter(|c| matches!(c, ClusterModel::Constant(_))).count()

@@ -1,0 +1,105 @@
+//! Property tests for the binary model wire format: encode→decode must be
+//! the identity for trained SVM and NB models at arbitrary locality counts,
+//! and the decoded model must classify bit-identically to the original.
+
+use proptest::prelude::*;
+use waldo::{ClassifierKind, ModelConstructor, WaldoConfig, WaldoModel};
+use waldo_data::{ChannelDataset, Measurement, Safety};
+use waldo_geo::Point;
+use waldo_iq::FeatureVector;
+use waldo_rf::TvChannel;
+use waldo_sensors::{Observation, SensorKind};
+
+/// A tiny east/west dataset, parameterized so different seeds yield
+/// different boundaries (and therefore different trained parameters).
+fn dataset(n: usize, boundary_m: f64) -> ChannelDataset {
+    let mut measurements = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let x = (i as f64 / n as f64) * 30_000.0;
+        let y = ((i * 7) % 20) as f64 * 1_000.0;
+        let not_safe = x > boundary_m;
+        let rss = if not_safe { -70.0 } else { -95.0 } + ((i % 5) as f64 - 2.0);
+        measurements.push(Measurement {
+            location: Point::new(x, y),
+            odometer_m: i as f64 * 100.0,
+            observation: Observation {
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.3,
+                    aft_db: rss - 12.5,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -110.0,
+                },
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        });
+        labels.push(Safety::from_not_safe(not_safe));
+    }
+    ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+}
+
+fn train(kind: ClassifierKind, localities: usize, seed: u64, boundary_m: f64) -> WaldoModel {
+    let config = WaldoConfig::default().classifier(kind).localities(localities).seed(seed);
+    ModelConstructor::new(config).fit(&dataset(160, boundary_m)).expect("synthetic data trains")
+}
+
+fn probe_rows(model: &WaldoModel) -> Vec<Vec<f64>> {
+    let width = 2 + model.features().len();
+    (0..40)
+        .map(|i| {
+            let mut row = vec![0.0; width];
+            row[0] = (i as f64 * 0.7) % 30.0;
+            row[1] = (i as f64 * 1.3) % 20.0;
+            for (j, v) in row.iter_mut().enumerate().skip(2) {
+                *v = -100.0 + (i * 3 + j) as f64 * 1.7;
+            }
+            row
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn wire_roundtrip_is_identity_for_svm_and_nb(
+        svm in any::<bool>(),
+        localities in 1usize..6,
+        seed in 0u64..1000,
+        boundary_km in 8.0f64..22.0,
+    ) {
+        let kind = if svm { ClassifierKind::Svm } else { ClassifierKind::NaiveBayes };
+        let model = train(kind, localities, seed, boundary_km * 1_000.0);
+        prop_assert_eq!(model.locality_count(), localities);
+
+        let bytes = model.to_wire();
+        let decoded = WaldoModel::from_wire(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &model);
+        for row in probe_rows(&model) {
+            prop_assert_eq!(decoded.predict_row(&row), model.predict_row(&row));
+        }
+        // Re-encoding the decoded model must be byte-stable.
+        prop_assert_eq!(decoded.to_wire(), bytes);
+    }
+
+    #[test]
+    fn locality_parts_reassemble_the_model(
+        svm in any::<bool>(),
+        localities in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let kind = if svm { ClassifierKind::Svm } else { ClassifierKind::NaiveBayes };
+        let model = train(kind, localities, seed, 15_000.0);
+        let payloads = model.locality_payloads();
+        prop_assert_eq!(payloads.len(), model.locality_count());
+        let rebuilt = WaldoModel::from_locality_parts(
+            model.features().clone(),
+            model.centroids().to_vec(),
+            &payloads,
+        )
+        .expect("own payloads reassemble");
+        prop_assert_eq!(rebuilt, model);
+    }
+}

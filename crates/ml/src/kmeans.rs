@@ -229,9 +229,34 @@ impl Clustering {
         &self.centroids
     }
 
-    /// Training-point assignments, parallel to the input order.
+    /// Training-point assignments, parallel to the input order. Empty for
+    /// clusterings rebuilt from centroids alone (see
+    /// [`from_centroids`](Self::from_centroids)).
     pub fn assignment(&self) -> &[usize] {
         &self.assignment
+    }
+
+    /// Builds a clustering from bare centroids, with no training
+    /// assignment. This is the decode path for distributed models: a device
+    /// only needs the centroids to route readings to localities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centroids` is empty or the centroids disagree on
+    /// dimension.
+    pub fn from_centroids(centroids: Vec<Vec<f64>>) -> Self {
+        assert!(!centroids.is_empty(), "at least one centroid is required");
+        let dim = centroids[0].len();
+        assert!(centroids.iter().all(|c| c.len() == dim), "centroid dimension mismatch");
+        Self { centroids, assignment: Vec::new() }
+    }
+
+    /// Drops the training assignment, keeping only the centroids. Shipping
+    /// a model does not require the per-training-point assignment (which
+    /// scales with the campaign size, not the model), so constructors strip
+    /// it before storing the downloadable descriptor.
+    pub fn without_assignment(self) -> Self {
+        Self { centroids: self.centroids, assignment: Vec::new() }
     }
 
     /// Assigns an arbitrary point to its nearest centroid.

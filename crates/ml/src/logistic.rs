@@ -150,6 +150,11 @@ pub struct LogisticModel {
 }
 
 impl LogisticModel {
+    /// Assembles a model from decoded parts.
+    pub fn from_parts(weights: Vec<f64>, bias: f64) -> Self {
+        Self { weights, bias }
+    }
+
     /// Probability of the positive (not-safe) class.
     ///
     /// # Panics

@@ -86,14 +86,15 @@ impl GaussianNbTrainer {
             return Err(NbError::SingleClass);
         }
         let dim = ds.dim();
-        let mut stats = [ClassStats::new(dim), ClassStats::new(dim)];
+        let mut acc = [Accumulator::new(dim), Accumulator::new(dim)];
         for (row, &label) in ds.rows().iter().zip(ds.labels()) {
-            stats[usize::from(label)].accumulate(row);
+            acc[usize::from(label)].accumulate(row);
         }
+        let [neg_acc, pos_acc] = acc;
+        let mut stats = [neg_acc.finalize(), pos_acc.finalize()];
         // Global max variance for the smoothing floor.
         let mut max_var: f64 = 0.0;
-        for s in &mut stats {
-            s.finalize();
+        for s in &stats {
             for &v in &s.vars {
                 max_var = max_var.max(v);
             }
@@ -119,24 +120,18 @@ impl GaussianNbTrainer {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct ClassStats {
+/// Fit-time running sums; collapses into [`ClassMoments`] once the pass
+/// over the training set finishes. Never stored or serialized — the
+/// descriptor only carries the finished moments.
+struct Accumulator {
     count: usize,
-    means: Vec<f64>,
-    vars: Vec<f64>,
     sums: Vec<f64>,
     sq_sums: Vec<f64>,
 }
 
-impl ClassStats {
+impl Accumulator {
     fn new(dim: usize) -> Self {
-        Self {
-            count: 0,
-            means: vec![0.0; dim],
-            vars: vec![0.0; dim],
-            sums: vec![0.0; dim],
-            sq_sums: vec![0.0; dim],
-        }
+        Self { count: 0, sums: vec![0.0; dim], sq_sums: vec![0.0; dim] }
     }
 
     fn accumulate(&mut self, row: &[f64]) {
@@ -147,12 +142,50 @@ impl ClassStats {
         }
     }
 
-    fn finalize(&mut self) {
+    fn finalize(self) -> ClassMoments {
         let n = self.count.max(1) as f64;
-        for d in 0..self.means.len() {
-            self.means[d] = self.sums[d] / n;
-            self.vars[d] = (self.sq_sums[d] / n - self.means[d] * self.means[d]).max(0.0);
-        }
+        let means: Vec<f64> = self.sums.iter().map(|&s| s / n).collect();
+        let vars =
+            self.sq_sums.iter().zip(&means).map(|(&sq, &m)| (sq / n - m * m).max(0.0)).collect();
+        ClassMoments { count: self.count, means, vars }
+    }
+}
+
+/// Per-class Gaussian parameters: the sample count and, per feature, the
+/// mean and (smoothed) variance. This is everything the classifier needs
+/// at prediction time, and all that the JSON descriptor and the
+/// `waldo-serve` wire format carry per class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassMoments {
+    count: usize,
+    means: Vec<f64>,
+    vars: Vec<f64>,
+}
+
+impl ClassMoments {
+    /// Assembles moments from decoded parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `means` and `vars` differ in length.
+    pub fn from_parts(count: usize, means: Vec<f64>, vars: Vec<f64>) -> Self {
+        assert_eq!(means.len(), vars.len(), "means/vars dimension mismatch");
+        Self { count, means, vars }
+    }
+
+    /// Training rows this class observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Per-feature means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature smoothed variances.
+    pub fn vars(&self) -> &[f64] {
+        &self.vars
     }
 
     fn log_likelihood(&self, x: &[f64]) -> f64 {
@@ -170,11 +203,45 @@ impl ClassStats {
 pub struct GaussianNb {
     log_prior_pos: f64,
     log_prior_neg: f64,
-    pos: ClassStats,
-    neg: ClassStats,
+    pos: ClassMoments,
+    neg: ClassMoments,
 }
 
 impl GaussianNb {
+    /// Assembles a model from decoded parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two classes disagree on feature dimension.
+    pub fn from_parts(
+        log_prior_pos: f64,
+        log_prior_neg: f64,
+        pos: ClassMoments,
+        neg: ClassMoments,
+    ) -> Self {
+        assert_eq!(pos.means.len(), neg.means.len(), "class dimension mismatch");
+        Self { log_prior_pos, log_prior_neg, pos, neg }
+    }
+
+    /// Log prior of the positive (not-safe) class.
+    pub fn log_prior_pos(&self) -> f64 {
+        self.log_prior_pos
+    }
+
+    /// Log prior of the negative (safe) class.
+    pub fn log_prior_neg(&self) -> f64 {
+        self.log_prior_neg
+    }
+
+    /// Moments of the positive class.
+    pub fn positive(&self) -> &ClassMoments {
+        &self.pos
+    }
+
+    /// Moments of the negative class.
+    pub fn negative(&self) -> &ClassMoments {
+        &self.neg
+    }
     /// Log-odds of the positive class for `x` (positive ⇒ predicts `true`).
     ///
     /// # Panics

@@ -53,6 +53,26 @@ impl StandardScaler {
         Self { means: vec![0.0; dim], stds: vec![1.0; dim] }
     }
 
+    /// Assembles a scaler from decoded parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `means` and `stds` differ in length.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "means/stds dimension mismatch");
+        Self { means, stds }
+    }
+
+    /// Per-dimension means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-dimension standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
     /// Feature dimension this scaler operates on.
     pub fn dim(&self) -> usize {
         self.means.len()

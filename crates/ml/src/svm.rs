@@ -482,8 +482,9 @@ pub struct SvmModel {
 
 impl SvmModel {
     /// Assembles a model from its serialized parts, computing the
-    /// prediction caches.
-    fn from_parts(kernel: Kernel, support: Vec<Vec<f64>>, coef: Vec<f64>, bias: f64) -> Self {
+    /// prediction caches. This is the decode path for both the JSON
+    /// descriptor and the `waldo-serve` binary wire format.
+    pub fn from_parts(kernel: Kernel, support: Vec<Vec<f64>>, coef: Vec<f64>, bias: f64) -> Self {
         let sv_norms = match kernel {
             Kernel::Rbf { .. } => support.iter().map(|sv| dot(sv, sv)).collect(),
             Kernel::Linear => Vec::new(),
@@ -572,6 +573,11 @@ impl SvmModel {
     /// The kernel the model was trained with.
     pub fn kernel(&self) -> Kernel {
         self.kernel
+    }
+
+    /// The decision-function bias term `b`.
+    pub fn bias(&self) -> f64 {
+        self.bias
     }
 
     /// Number of serialized parameters: every support vector plus its dual

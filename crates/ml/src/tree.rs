@@ -198,6 +198,25 @@ impl Node {
     }
 }
 
+/// A tree node in flattened (preorder) form, for wire encoding. A `Split`
+/// is always followed by its complete left subtree, then its complete
+/// right subtree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlatNode {
+    /// A leaf carrying the not-safe decision.
+    Leaf {
+        /// Whether this leaf predicts not-safe.
+        not_safe: bool,
+    },
+    /// An axis-aligned split.
+    Split {
+        /// Feature index the split tests.
+        feature: usize,
+        /// `x[feature] <= threshold` goes left.
+        threshold: f64,
+    },
+}
+
 /// A trained CART decision tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionTree {
@@ -213,6 +232,49 @@ impl DecisionTree {
     /// Number of leaves.
     pub fn leaf_count(&self) -> usize {
         self.root.leaves()
+    }
+
+    /// Serializes the tree into a preorder node list.
+    pub fn flatten(&self) -> Vec<FlatNode> {
+        fn walk(node: &Node, out: &mut Vec<FlatNode>) {
+            match node {
+                Node::Leaf { not_safe } => out.push(FlatNode::Leaf { not_safe: *not_safe }),
+                Node::Split { feature, threshold, left, right } => {
+                    out.push(FlatNode::Split { feature: *feature, threshold: *threshold });
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Rebuilds a tree from a preorder node list produced by
+    /// [`flatten`](Self::flatten). Returns `None` if the list is truncated,
+    /// empty, or has trailing nodes — i.e. it does not describe exactly one
+    /// complete tree.
+    pub fn from_flat(nodes: &[FlatNode]) -> Option<Self> {
+        fn build(nodes: &[FlatNode], at: &mut usize) -> Option<Node> {
+            let node = *nodes.get(*at)?;
+            *at += 1;
+            Some(match node {
+                FlatNode::Leaf { not_safe } => Node::Leaf { not_safe },
+                FlatNode::Split { feature, threshold } => Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(build(nodes, at)?),
+                    right: Box::new(build(nodes, at)?),
+                },
+            })
+        }
+        let mut at = 0;
+        let root = build(nodes, &mut at)?;
+        if at != nodes.len() {
+            return None; // trailing garbage
+        }
+        Some(Self { root })
     }
 }
 
@@ -284,6 +346,33 @@ mod tests {
     #[test]
     fn empty_dataset_errors() {
         assert_eq!(DecisionTreeTrainer::new().fit(&Dataset::default()), Err(TreeError::Empty));
+    }
+
+    #[test]
+    fn flatten_roundtrip_preserves_tree() {
+        let tree = DecisionTreeTrainer::new().fit(&xor_dataset()).unwrap();
+        let flat = tree.flatten();
+        assert!(flat.len() >= 3, "xor tree must have splits");
+        let back = DecisionTree::from_flat(&flat).unwrap();
+        assert_eq!(tree, back);
+    }
+
+    #[test]
+    fn from_flat_rejects_malformed_lists() {
+        assert_eq!(DecisionTree::from_flat(&[]), None);
+        // A split with no children.
+        assert_eq!(
+            DecisionTree::from_flat(&[FlatNode::Split { feature: 0, threshold: 1.0 }]),
+            None
+        );
+        // A complete leaf followed by trailing garbage.
+        assert_eq!(
+            DecisionTree::from_flat(&[
+                FlatNode::Leaf { not_safe: true },
+                FlatNode::Leaf { not_safe: false },
+            ]),
+            None
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 thread_local! {
     /// Worker-count override installed by [`with_workers`].
@@ -37,15 +38,23 @@ thread_local! {
 
 /// Worker count from the environment: `WALDO_WORKERS` if set and positive,
 /// otherwise the machine's available parallelism.
+///
+/// The lookup is resolved once per process and cached — hot callers (the
+/// k-means assignment step calls into the pool every Lloyd iteration) must
+/// not pay an environment read per dispatch. Use [`with_workers`] to vary
+/// the count within a process.
 pub fn available_workers() -> usize {
-    if let Ok(raw) = std::env::var("WALDO_WORKERS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(raw) = std::env::var("WALDO_WORKERS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
             }
         }
-    }
-    std::thread::available_parallelism().map_or(1, usize::from)
+        std::thread::available_parallelism().map_or(1, usize::from)
+    })
 }
 
 /// The worker count [`par_map`] will use on this thread right now:
@@ -74,6 +83,11 @@ pub fn with_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
 ///
 /// Output is bit-identical to `items.iter().map(f).collect()` for pure `f`.
 /// Panics in `f` propagate to the caller.
+///
+/// When the effective worker count is 1 (single-core host, `WALDO_WORKERS=1`,
+/// or a nested call inside a pool worker) this is *exactly* the serial loop:
+/// no threads, no shared counter, no index buckets, no merge sort — a
+/// single-worker run must not pay any scheduling overhead.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -131,6 +145,16 @@ where
     F: Fn(&[T]) -> Vec<R> + Sync,
 {
     assert!(chunk_len > 0, "chunk_len must be positive");
+    // Single-worker path: stream chunks straight into the output without
+    // materializing the chunk list or the per-chunk result buckets the
+    // parallel merge needs.
+    if current_workers() <= 1 || items.len() <= chunk_len {
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in items.chunks(chunk_len) {
+            out.extend(f(chunk));
+        }
+        return out;
+    }
     let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
     par_map(&chunks, |chunk| f(chunk)).into_iter().flatten().collect()
 }
@@ -175,6 +199,23 @@ mod tests {
             par_chunk_map(&items, 10, |chunk| chunk.iter().map(|x| -x).collect())
         });
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn single_worker_results_match_parallel_results() {
+        // The 1-worker short-circuits (no threads, no chunk list) must be
+        // bit-identical to the multi-worker paths.
+        let items: Vec<u64> = (0..1001).collect();
+        let f = |&x: &u64| (x as f64 + 0.25).sqrt() * 0.123;
+        let one = with_workers(1, || par_map(&items, f));
+        let four = with_workers(4, || par_map(&items, f));
+        assert!(one.iter().zip(&four).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        let g = |chunk: &[u64]| chunk.iter().map(|&x| (x as f64).ln_1p()).collect::<Vec<_>>();
+        let one = with_workers(1, || par_chunk_map(&items, 64, g));
+        let four = with_workers(4, || par_chunk_map(&items, 64, g));
+        assert_eq!(one.len(), items.len());
+        assert!(one.iter().zip(&four).all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

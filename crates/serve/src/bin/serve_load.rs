@@ -1,0 +1,301 @@
+//! Multi-client load generator for the model-distribution server.
+//!
+//! Starts a server on an ephemeral port, publishes a model, and hammers it
+//! from `--clients` concurrent keep-alive clients: each does one full
+//! fetch followed by `--fetches` delta fetches while the main thread
+//! republishes mid-run (so deltas exercise both the nothing-changed and
+//! some-localities-changed paths). Each client also fires one
+//! malformed-frame probe and one oversized-frame probe on throwaway
+//! connections and verifies the typed rejection. Emits `BENCH_serve.json`
+//! with p50/p99 fetch latency, fetch throughput, and delta-vs-full bytes.
+//!
+//! Usage: `serve_load [--quick] [--clients N] [--fetches M] [--out PATH]`
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use serde_json::json;
+use waldo::{ClassifierKind, ModelConstructor, WaldoConfig, WaldoModel};
+use waldo_data::{ChannelDataset, Measurement, Safety};
+use waldo_geo::Point;
+use waldo_iq::FeatureVector;
+use waldo_rf::TvChannel;
+use waldo_sensors::{Observation, SensorKind};
+use waldo_serve::protocol::{read_frame, write_frame, FrameRead, Status};
+use waldo_serve::{serve, ModelCatalog, ModelClient, ServeConfig};
+
+const CHANNEL: u8 = 30;
+
+/// Synthetic east/west channel, the same shape the core tests train on.
+/// `flip` relabels a slice of the map so retrained models differ in some —
+/// but not all — localities.
+fn dataset(n: usize, flip: bool) -> ChannelDataset {
+    let mut measurements = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let x = (i as f64 / n as f64) * 30_000.0;
+        let y = ((i * 7) % 20) as f64 * 1_000.0;
+        let boundary = if flip && y > 10_000.0 { 12_000.0 } else { 15_000.0 };
+        let not_safe = x > boundary;
+        let rss = if not_safe { -70.0 } else { -95.0 } + ((i % 5) as f64 - 2.0);
+        measurements.push(Measurement {
+            location: Point::new(x, y),
+            odometer_m: i as f64 * 100.0,
+            observation: Observation {
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.3,
+                    aft_db: rss - 12.5,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -110.0,
+                },
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        });
+        labels.push(Safety::from_not_safe(not_safe));
+    }
+    ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+}
+
+fn train(n: usize, flip: bool, localities: usize) -> WaldoModel {
+    ModelConstructor::new(
+        WaldoConfig::default().classifier(ClassifierKind::Svm).localities(localities),
+    )
+    .fit(&dataset(n, flip))
+    .expect("synthetic data trains")
+}
+
+/// Sends raw garbage (and an oversized length announcement) and expects
+/// the server's typed rejections. Returns the number of *unexpected*
+/// outcomes.
+fn probe_malformed(addr: std::net::SocketAddr) -> usize {
+    let mut unexpected = 0;
+
+    // Garbage payload in a well-formed frame → MalformedFrame status.
+    match TcpStream::connect(addr) {
+        Ok(mut stream) => {
+            stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            if write_frame(&mut stream, b"this is not a waldo request").is_err() {
+                unexpected += 1;
+            } else {
+                match read_frame(&mut stream, 1 << 20) {
+                    Ok(FrameRead::Frame(payload)) => {
+                        let ok = waldo_serve::protocol::decode_response(&payload)
+                            .map(|(status, _)| status == Status::MalformedFrame)
+                            .unwrap_or(false);
+                        if !ok {
+                            unexpected += 1;
+                        }
+                    }
+                    _ => unexpected += 1,
+                }
+            }
+        }
+        Err(_) => unexpected += 1,
+    }
+
+    // Oversized length prefix → RequestTooLarge, without the server
+    // reading the (never-sent) body.
+    match TcpStream::connect(addr) {
+        Ok(mut stream) => {
+            stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            let huge = (16u32 << 20).to_le_bytes();
+            if stream.write_all(&huge).and_then(|()| stream.flush()).is_err() {
+                unexpected += 1;
+            } else {
+                match read_frame(&mut stream, 1 << 20) {
+                    Ok(FrameRead::Frame(payload)) => {
+                        let ok = waldo_serve::protocol::decode_response(&payload)
+                            .map(|(status, _)| status == Status::RequestTooLarge)
+                            .unwrap_or(false);
+                        if !ok {
+                            unexpected += 1;
+                        }
+                    }
+                    _ => unexpected += 1,
+                }
+            }
+        }
+        Err(_) => unexpected += 1,
+    }
+
+    unexpected
+}
+
+struct ClientStats {
+    /// (latency_ns, response_bytes, localities_sent, was_full_fetch)
+    fetches: Vec<(u64, usize, usize, bool)>,
+}
+
+fn run_client(
+    addr: std::net::SocketAddr,
+    fetches: usize,
+    client_idx: usize,
+    errors: &AtomicUsize,
+) -> ClientStats {
+    let mut client = ModelClient::new(addr, Duration::from_secs(10));
+    let mut stats = ClientStats { fetches: Vec::with_capacity(fetches + 1) };
+    if client.ping().is_err() {
+        errors.fetch_add(1, Ordering::Relaxed);
+        return stats;
+    }
+    // Clients spread across the map; unscoped fetches so every client
+    // downloads (and delta-tracks) the full locality set.
+    let x_km = 5.0 + (client_idx as f64 * 7.0) % 20.0;
+    let y_km = (client_idx as f64 * 3.0) % 19.0;
+    for fetch_idx in 0..=fetches {
+        let t = Instant::now();
+        match client.fetch(CHANNEL, x_km, y_km, -1.0) {
+            Ok((model, report)) => {
+                let ns = t.elapsed().as_nanos() as u64;
+                if model.locality_count() == 0 {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+                stats.fetches.push((ns, report.response_bytes, report.sent, fetch_idx == 0));
+            }
+            Err(_) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    if probe_malformed(addr) != 0 {
+        errors.fetch_add(1, Ordering::Relaxed);
+    }
+    stats
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let clients: usize =
+        flag("--clients").map_or(16, |v| v.parse().expect("--clients takes a number"));
+    let fetches: usize = flag("--fetches")
+        .map_or(if quick { 8 } else { 40 }, |v| v.parse().expect("--fetches takes a number"));
+    let out = flag("--out").unwrap_or("BENCH_serve.json").to_string();
+    let train_n = if quick { 400 } else { 1200 };
+    let localities = 6;
+
+    eprintln!("training models ({train_n} readings, {localities} localities)...");
+    let model_a = train(train_n, false, localities);
+    let model_b = train(train_n, true, localities);
+    let full_model_bytes = model_a.to_wire().len();
+
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().expect("catalog lock").publish(CHANNEL, &model_a);
+    let mut server = serve(
+        "127.0.0.1:0",
+        Arc::clone(&catalog),
+        ServeConfig { read_timeout: Duration::from_secs(10), ..ServeConfig::default() },
+    )
+    .expect("ephemeral bind succeeds");
+    let addr = server.addr();
+    eprintln!("serving on {addr}; {clients} clients x {} fetches", fetches + 1);
+
+    waldo_prof::reset();
+    let errors = AtomicUsize::new(0);
+    let errors_ref = &errors;
+    let t0 = Instant::now();
+    let all_stats: Vec<ClientStats> = std::thread::scope(|scope| {
+        let republisher = scope.spawn(|| {
+            // Mid-run republishes: first a partial change (some localities
+            // differ), then a byte-identical publish (pure epoch bump — a
+            // delta fetch after it transfers zero payloads).
+            std::thread::sleep(Duration::from_millis(if quick { 60 } else { 250 }));
+            catalog.write().expect("catalog lock").publish(CHANNEL, &model_b);
+            std::thread::sleep(Duration::from_millis(if quick { 60 } else { 250 }));
+            catalog.write().expect("catalog lock").publish(CHANNEL, &model_b);
+        });
+        let handles: Vec<_> = (0..clients)
+            .map(|i| scope.spawn(move || run_client(addr, fetches, i, errors_ref)))
+            .collect();
+        let stats = handles.into_iter().map(|h| h.join().expect("client thread")).collect();
+        republisher.join().expect("republisher thread");
+        stats
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let protocol_errors = errors.load(Ordering::Relaxed);
+    let all: Vec<&(u64, usize, usize, bool)> =
+        all_stats.iter().flat_map(|s| s.fetches.iter()).collect();
+    let mut latencies: Vec<u64> = all.iter().map(|f| f.0).collect();
+    latencies.sort_unstable();
+    let full: Vec<&&(u64, usize, usize, bool)> = all.iter().filter(|f| f.3).collect();
+    let delta: Vec<&&(u64, usize, usize, bool)> = all.iter().filter(|f| !f.3).collect();
+    let mean_bytes = |xs: &[&&(u64, usize, usize, bool)]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().map(|f| f.1 as f64).sum::<f64>() / xs.len() as f64
+        }
+    };
+    let full_bytes = mean_bytes(&full);
+    let delta_bytes = mean_bytes(&delta);
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let fetches_per_s = all.len() as f64 / wall_s;
+    let delta_saved = if full_bytes > 0.0 { 1.0 - delta_bytes / full_bytes } else { 0.0 };
+
+    let mut prof = serde_json::Map::new();
+    for (name, stat) in waldo_prof::snapshot() {
+        if name.starts_with("serve") {
+            prof.insert(
+                name,
+                json!({ "seconds": stat.seconds(), "calls": stat.calls, "count": stat.count }),
+            );
+        }
+    }
+
+    let report = json!({
+        "clients": clients,
+        "fetches_total": all.len(),
+        "full_model_bytes": full_model_bytes,
+        "fetch_p50_ns": p50,
+        "fetch_p99_ns": p99,
+        "fetches_per_s": fetches_per_s,
+        "full_fetch_bytes_mean": full_bytes,
+        "delta_fetch_bytes_mean": delta_bytes,
+        "delta_bytes_saved_fraction": delta_saved,
+        "protocol_errors": protocol_errors,
+        "wall_seconds": wall_s,
+        "prof_enabled": waldo_prof::enabled(),
+        "prof": serde_json::Value::Object(prof),
+    });
+    eprintln!(
+        "{} fetches in {wall_s:.2}s ({fetches_per_s:.0}/s), p50 {:.2}ms p99 {:.2}ms, \
+         full {full_bytes:.0}B delta {delta_bytes:.0}B ({:.1}% saved), {protocol_errors} errors",
+        all.len(),
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        delta_saved * 100.0
+    );
+    match serde_json::to_vec_pretty(&report) {
+        Ok(bytes) => {
+            if let Err(e) = std::fs::write(&out, bytes) {
+                eprintln!("warning: could not write {out}: {e}");
+            } else {
+                eprintln!("wrote {out}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {out}: {e}"),
+    }
+
+    assert_eq!(protocol_errors, 0, "load run must complete with zero protocol errors");
+}

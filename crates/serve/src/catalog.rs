@@ -1,0 +1,90 @@
+//! The server-side model catalog: per-channel epochs and per-locality
+//! payload slots, diffed on every publish.
+
+use std::collections::BTreeMap;
+
+use waldo::wire::{encode_prelude, fnv1a64};
+use waldo::WaldoModel;
+
+/// One locality's current payload and the epoch at which its content last
+/// changed.
+#[derive(Debug, Clone)]
+pub struct LocalitySlot {
+    /// Epoch at which this payload last changed.
+    pub epoch: u64,
+    /// FNV-1a-64 digest of the payload.
+    pub digest: u64,
+    /// The encoded classifier.
+    pub payload: Vec<u8>,
+    /// Centroid `[x_km, y_km]` used for locality scoping.
+    pub centroid: [f64; 2],
+}
+
+/// A published channel: the routing prelude plus one slot per locality.
+#[derive(Debug, Clone)]
+pub struct ServedChannel {
+    /// Current epoch (bumped on every publish).
+    pub epoch: u64,
+    /// Encoded prelude (features + centroids).
+    pub prelude: Vec<u8>,
+    /// Per-locality slots, in locality order.
+    pub slots: Vec<LocalitySlot>,
+}
+
+/// Per-channel published models, keyed by TV channel number.
+///
+/// [`publish`](Self::publish) bumps the channel epoch and stamps only the
+/// localities whose payload bytes actually changed — that diff is what
+/// makes epoch-based delta fetches cheap.
+#[derive(Debug, Clone, Default)]
+pub struct ModelCatalog {
+    channels: BTreeMap<u8, ServedChannel>,
+}
+
+impl ModelCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes (or republishes) `model` for `channel` and returns the new
+    /// epoch. Localities whose encoded payload is byte-identical to the
+    /// previous publish keep their old change-epoch; everything else —
+    /// including structural changes like a different locality count — is
+    /// stamped with the new epoch.
+    pub fn publish(&mut self, channel: u8, model: &WaldoModel) -> u64 {
+        let previous = self.channels.get(&channel);
+        let epoch = previous.map_or(0, |c| c.epoch) + 1;
+        let prelude = encode_prelude(model.features(), model.centroids());
+        let slots = model
+            .locality_payloads()
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| {
+                let digest = fnv1a64(&payload);
+                let unchanged = previous
+                    .and_then(|c| c.slots.get(i))
+                    .filter(|old| old.digest == digest && old.payload == payload);
+                let centroid = [model.centroids()[i][0], model.centroids()[i][1]];
+                LocalitySlot {
+                    epoch: unchanged.map_or(epoch, |old| old.epoch),
+                    digest,
+                    payload,
+                    centroid,
+                }
+            })
+            .collect();
+        self.channels.insert(channel, ServedChannel { epoch, prelude, slots });
+        epoch
+    }
+
+    /// The published state for `channel`, if any.
+    pub fn channel(&self, channel: u8) -> Option<&ServedChannel> {
+        self.channels.get(&channel)
+    }
+
+    /// Channels with a published model.
+    pub fn channels(&self) -> Vec<u8> {
+        self.channels.keys().copied().collect()
+    }
+}

@@ -1,0 +1,248 @@
+//! The device-side model client: keep-alive connection, per-channel payload
+//! cache, and delta-aware model assembly.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use waldo::wire::{conservative_payload, decode_prelude, fnv1a64, Reader, WireError};
+use waldo::WaldoModel;
+
+use crate::protocol::{
+    decode_response, read_frame, write_frame, FrameRead, LocalityEntry, Request, Status,
+    MAX_RESPONSE_BYTES,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server answered with a non-`Ok` status.
+    Server(Status),
+    /// The response bytes did not decode.
+    Wire(WireError),
+    /// The response was well-formed but inconsistent (e.g. an `Unchanged`
+    /// entry for a locality this client never downloaded).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(status) => write!(f, "server rejected request: {status}"),
+            ClientError::Wire(e) => write!(f, "undecodable response: {e}"),
+            ClientError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// What one fetch cost and carried — the measurement surface for
+/// `BENCH_serve.json`'s delta-vs-full accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchReport {
+    /// Epoch of the assembled model.
+    pub epoch: u64,
+    /// Total response payload bytes received.
+    pub response_bytes: usize,
+    /// Localities whose payload travelled in this response.
+    pub sent: usize,
+    /// Localities served from the client cache.
+    pub unchanged: usize,
+    /// Localities outside the fetch scope (conservative fallback).
+    pub out_of_scope: usize,
+}
+
+#[derive(Debug, Default)]
+struct ChannelState {
+    epoch: u64,
+    /// Locality count of the last response (0 = never fetched).
+    locality_count: usize,
+    payloads: BTreeMap<usize, Vec<u8>>,
+}
+
+impl ChannelState {
+    /// Whether the cache holds a payload for every locality. Only then may
+    /// the client advertise its epoch: `have_epoch = N` tells the server
+    /// "skip everything unchanged since N", which is only sound if we
+    /// actually hold all of epoch N — a scoped fetch leaves gaps.
+    fn full_coverage(&self) -> bool {
+        self.locality_count > 0 && self.payloads.len() == self.locality_count
+    }
+}
+
+/// A model-distribution client. Holds one keep-alive connection
+/// (re-established transparently if the server dropped it as idle) and a
+/// per-channel cache of locality payloads that makes delta fetches cheap.
+#[derive(Debug)]
+pub struct ModelClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+    channels: BTreeMap<u8, ChannelState>,
+}
+
+impl ModelClient {
+    /// Creates a client for the server at `addr` with the given I/O
+    /// timeout. No connection is made until the first request.
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        Self { addr, timeout, stream: None, channels: BTreeMap::new() }
+    }
+
+    /// The model epoch this client can advertise for `channel` (0 = none).
+    /// A cache with partial locality coverage — the residue of scoped
+    /// fetches — advertises 0, because claiming epoch N while holding only
+    /// part of it would make the server skip localities we never received.
+    pub fn cached_epoch(&self, channel: u8) -> u64 {
+        self.channels.get(&channel).map_or(0, |s| if s.full_coverage() { s.epoch } else { 0 })
+    }
+
+    /// Liveness round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport or protocol failure.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let response = self.round_trip(&Request::Ping)?;
+        let (status, _) = decode_response(&response)?;
+        if status != Status::Ok {
+            return Err(ClientError::Server(status));
+        }
+        Ok(())
+    }
+
+    /// Fetches the model for `channel`, scoped to localities within
+    /// `radius_km` of `(x_km, y_km)` (`radius_km <= 0` fetches everything),
+    /// delta-encoded against this client's cached epoch (see
+    /// [`cached_epoch`](Self::cached_epoch) — a partial cache advertises 0
+    /// and re-downloads its scope). Localities outside the scope assemble
+    /// as the conservative not-safe fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport, server, or decode failure.
+    pub fn fetch(
+        &mut self,
+        channel: u8,
+        x_km: f64,
+        y_km: f64,
+        radius_km: f64,
+    ) -> Result<(WaldoModel, FetchReport), ClientError> {
+        let have_epoch = self.cached_epoch(channel);
+        let request = Request::Fetch { channel, x_km, y_km, radius_km, have_epoch };
+        let response = self.round_trip(&request)?;
+        let (status, body) = decode_response(&response)?;
+        if status != Status::Ok {
+            return Err(ClientError::Server(status));
+        }
+        let body = body.ok_or(ClientError::Protocol("fetch response without a body"))?;
+
+        let mut r = Reader::new(&body.prelude);
+        let (features, centroids) = decode_prelude(&mut r)?;
+        r.finish()?;
+        if centroids.len() != body.entries.len() {
+            return Err(ClientError::Protocol("entry count != centroid count"));
+        }
+
+        let state = self.channels.entry(channel).or_default();
+        // Drop cached payloads beyond the new locality count (model shrank).
+        state.payloads.retain(|&i, _| i < body.entries.len());
+        state.locality_count = body.entries.len();
+
+        let mut sent = 0usize;
+        let mut unchanged = 0usize;
+        let mut out_of_scope = 0usize;
+        for (i, entry) in body.entries.iter().enumerate() {
+            match entry {
+                LocalityEntry::Sent { digest, payload } => {
+                    if fnv1a64(payload) != *digest {
+                        return Err(ClientError::Protocol("payload digest mismatch"));
+                    }
+                    state.payloads.insert(i, payload.clone());
+                    sent += 1;
+                }
+                LocalityEntry::Unchanged => {
+                    if !state.payloads.contains_key(&i) {
+                        return Err(ClientError::Protocol(
+                            "unchanged entry for a locality never downloaded",
+                        ));
+                    }
+                    unchanged += 1;
+                }
+                LocalityEntry::OutOfScope => {
+                    // Changed on the server but outside our scope: whatever
+                    // we cached is stale.
+                    state.payloads.remove(&i);
+                    out_of_scope += 1;
+                }
+            }
+        }
+        state.epoch = body.epoch;
+
+        let payloads: Vec<Vec<u8>> = (0..body.entries.len())
+            .map(|i| state.payloads.get(&i).cloned().unwrap_or_else(conservative_payload))
+            .collect();
+        let model = WaldoModel::from_locality_parts(features, centroids, &payloads)?;
+        let report = FetchReport {
+            epoch: body.epoch,
+            response_bytes: response.len(),
+            sent,
+            unchanged,
+            out_of_scope,
+        };
+        Ok((model, report))
+    }
+
+    /// Sends one frame and reads one frame, reconnecting once if the
+    /// keep-alive connection was dropped (idle timeout, server restart).
+    fn round_trip(&mut self, request: &Request) -> Result<Vec<u8>, ClientError> {
+        let payload = request.encode();
+        for attempt in 0..2 {
+            if self.stream.is_none() {
+                let stream = TcpStream::connect(self.addr)?;
+                stream.set_read_timeout(Some(self.timeout))?;
+                stream.set_write_timeout(Some(self.timeout))?;
+                stream.set_nodelay(true)?;
+                self.stream = Some(stream);
+            }
+            let stream = self.stream.as_mut().expect("connected above");
+            let result =
+                write_frame(stream, &payload).and_then(|()| read_frame(stream, MAX_RESPONSE_BYTES));
+            match result {
+                Ok(FrameRead::Frame(response)) => return Ok(response),
+                Ok(FrameRead::TooLarge(_)) => {
+                    self.stream = None;
+                    return Err(ClientError::Protocol("response frame exceeds client limit"));
+                }
+                Ok(FrameRead::Closed) | Err(_) if attempt == 0 => {
+                    // Stale keep-alive connection: reconnect and retry once.
+                    self.stream = None;
+                }
+                Ok(FrameRead::Closed) => {
+                    self.stream = None;
+                    return Err(ClientError::Protocol("connection closed mid-request"));
+                }
+                Err(e) => {
+                    self.stream = None;
+                    return Err(e.into());
+                }
+            }
+        }
+        unreachable!("loop returns on the second attempt")
+    }
+}

@@ -1,0 +1,56 @@
+//! Model distribution for the Waldo reproduction (§3.1's download path,
+//! grown into a service).
+//!
+//! The paper's deployment story is a central constructor that devices
+//! query: *"a mobile white-space device downloads the model for its area
+//! and classifies locally."* This crate is that distribution layer:
+//!
+//! * [`protocol`] — length-prefixed frames over TCP with typed statuses,
+//!   bounded request sizes, and versioned request/response codecs.
+//! * [`catalog`] — the server-side [`ModelCatalog`]: per-channel epochs and
+//!   per-locality payload slots, diffed on every publish.
+//! * [`server`] — a threaded `TcpListener` server (`std` only): keep-alive
+//!   connections, per-connection read/write timeouts, graceful shutdown.
+//! * [`client`] — the device side: a payload cache per channel, so a fetch
+//!   at epoch N transfers only localities that changed since N, and
+//!   locality-scoped fetches assemble out-of-scope territory as the
+//!   conservative not-safe fallback.
+//!
+//! Models travel in the compact binary wire format of [`waldo::wire`]
+//! (k-means centroids + per-locality SVM/NB/tree/logistic parameters);
+//! payload identity across epochs is their FNV-1a-64 digest. The whole
+//! path is instrumented with `waldo-prof` (`serve_handle`, `serve_encode`
+//! scopes; `serve_requests`, `serve_bytes_out`, `serve_errors` counters)
+//! and exercised by the `serve_load` multi-client load generator, which
+//! emits `BENCH_serve.json`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use std::sync::{Arc, RwLock};
+//! use std::time::Duration;
+//! use waldo::{ModelConstructor, WaldoConfig};
+//! use waldo_serve::{serve, ModelCatalog, ModelClient, ServeConfig};
+//!
+//! # fn dataset() -> waldo_data::ChannelDataset { unimplemented!() }
+//! let model = ModelConstructor::new(WaldoConfig::default()).fit(&dataset()).unwrap();
+//! let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+//! catalog.write().unwrap().publish(30, &model);
+//!
+//! let mut server = serve("127.0.0.1:0", Arc::clone(&catalog), ServeConfig::default()).unwrap();
+//! let mut client = ModelClient::new(server.addr(), Duration::from_secs(2));
+//! let (downloaded, report) = client.fetch(30, 12.0, 8.0, -1.0).unwrap();
+//! assert_eq!(downloaded, model);
+//! assert_eq!(report.epoch, 1);
+//! server.shutdown();
+//! ```
+
+pub mod catalog;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use catalog::ModelCatalog;
+pub use client::{ClientError, FetchReport, ModelClient};
+pub use protocol::{Request, Status};
+pub use server::{serve, ServeConfig, ServerHandle};

@@ -1,0 +1,383 @@
+//! Frame layer and request/response codec for the model-distribution
+//! protocol.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` length
+//! prefix followed by that many payload bytes. Requests are bounded by
+//! [`MAX_REQUEST_BYTES`]; a peer announcing a larger frame is rejected
+//! without reading it. Inside the frame, requests and responses carry
+//! their own magic + version so a stray client speaking the wrong
+//! protocol fails with a typed error instead of garbage.
+//!
+//! ```text
+//! request  := "WSRQ" | version u8 | opcode u8 | body
+//!   PING  (op 0): empty body
+//!   FETCH (op 1): channel u8 | x_km f64 | y_km f64 | radius_km f64
+//!                 | have_epoch u64
+//! response := "WSRS" | version u8 | status u8 | body (empty unless Ok)
+//!   PING  body: empty
+//!   FETCH body: epoch u64 | prelude len u32 | prelude
+//!               | locality count u32 | locality entry…
+//!   entry := 0 u8 | digest u64 | len u32 | payload   (sent)
+//!          | 1 u8                                    (unchanged since have_epoch)
+//!          | 2 u8                                    (changed but out of scope)
+//! ```
+//!
+//! A `radius_km <= 0` fetch is unscoped: every changed locality is sent.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use waldo::wire::{put_u32, put_u64, Reader, WireError};
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Magic prefix of every request frame.
+pub const REQUEST_MAGIC: [u8; 4] = *b"WSRQ";
+
+/// Magic prefix of every response frame.
+pub const RESPONSE_MAGIC: [u8; 4] = *b"WSRS";
+
+/// Upper bound on request frames. Requests are fixed-shape and tiny; a
+/// larger announcement is hostile or corrupt and is rejected unread.
+pub const MAX_REQUEST_BYTES: u32 = 1024;
+
+/// Upper bound on response frames a client will accept (64 MiB — far above
+/// any real model, low enough to bound a malicious server's allocation).
+pub const MAX_RESPONSE_BYTES: u32 = 64 << 20;
+
+/// Typed response status. Anything but [`Status::Ok`] ends the connection
+/// after the response is flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Request served; a body follows.
+    Ok,
+    /// The request frame did not parse (bad magic, short body, bad tag).
+    MalformedFrame,
+    /// The request's protocol version is not supported.
+    UnsupportedVersion,
+    /// The opcode byte is unknown.
+    UnknownOpcode,
+    /// No model is published for the requested channel.
+    UnknownChannel,
+    /// The announced request length exceeds [`MAX_REQUEST_BYTES`].
+    RequestTooLarge,
+    /// The server failed internally.
+    Internal,
+}
+
+impl Status {
+    /// Wire byte for this status.
+    pub fn code(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::MalformedFrame => 1,
+            Status::UnsupportedVersion => 2,
+            Status::UnknownOpcode => 3,
+            Status::UnknownChannel => 4,
+            Status::RequestTooLarge => 5,
+            Status::Internal => 6,
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Status::Ok,
+            1 => Status::MalformedFrame,
+            2 => Status::UnsupportedVersion,
+            3 => Status::UnknownOpcode,
+            4 => Status::UnknownChannel,
+            5 => Status::RequestTooLarge,
+            6 => Status::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Status::Ok => "ok",
+            Status::MalformedFrame => "malformed frame",
+            Status::UnsupportedVersion => "unsupported protocol version",
+            Status::UnknownOpcode => "unknown opcode",
+            Status::UnknownChannel => "unknown channel",
+            Status::RequestTooLarge => "request too large",
+            Status::Internal => "internal server error",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Model fetch, locality-scoped around a position, delta-encoded
+    /// against the client's `have_epoch`.
+    Fetch {
+        /// TV channel whose model is requested.
+        channel: u8,
+        /// Client position, km east.
+        x_km: f64,
+        /// Client position, km north.
+        y_km: f64,
+        /// Scope radius around the position; `<= 0` means unscoped.
+        radius_km: f64,
+        /// Model epoch the client already holds (0 = none).
+        have_epoch: u64,
+    },
+}
+
+const OP_PING: u8 = 0;
+const OP_FETCH: u8 = 1;
+
+impl Request {
+    /// Encodes the request frame payload (without the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        out.extend_from_slice(&REQUEST_MAGIC);
+        out.push(PROTOCOL_VERSION);
+        match *self {
+            Request::Ping => out.push(OP_PING),
+            Request::Fetch { channel, x_km, y_km, radius_km, have_epoch } => {
+                out.push(OP_FETCH);
+                out.push(channel);
+                waldo::wire::put_f64(&mut out, x_km);
+                waldo::wire::put_f64(&mut out, y_km);
+                waldo::wire::put_f64(&mut out, radius_km);
+                put_u64(&mut out, have_epoch);
+            }
+        }
+        out
+    }
+
+    /// Decodes a request frame payload, mapping every parse failure to the
+    /// status the server should answer with.
+    pub fn decode(payload: &[u8]) -> Result<Self, Status> {
+        let mut r = Reader::new(payload);
+        let magic = r.bytes(4).map_err(|_| Status::MalformedFrame)?;
+        if magic != REQUEST_MAGIC {
+            return Err(Status::MalformedFrame);
+        }
+        let version = r.u8().map_err(|_| Status::MalformedFrame)?;
+        if version != PROTOCOL_VERSION {
+            return Err(Status::UnsupportedVersion);
+        }
+        let op = r.u8().map_err(|_| Status::MalformedFrame)?;
+        let request = match op {
+            OP_PING => Request::Ping,
+            OP_FETCH => Request::Fetch {
+                channel: r.u8().map_err(|_| Status::MalformedFrame)?,
+                x_km: r.f64().map_err(|_| Status::MalformedFrame)?,
+                y_km: r.f64().map_err(|_| Status::MalformedFrame)?,
+                radius_km: r.f64().map_err(|_| Status::MalformedFrame)?,
+                have_epoch: r.u64().map_err(|_| Status::MalformedFrame)?,
+            },
+            _ => return Err(Status::UnknownOpcode),
+        };
+        r.finish().map_err(|_| Status::MalformedFrame)?;
+        Ok(request)
+    }
+}
+
+/// One locality's entry in a fetch response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalityEntry {
+    /// Payload included (changed since `have_epoch` and in scope).
+    Sent {
+        /// FNV-1a-64 digest of the payload.
+        digest: u64,
+        /// The encoded classifier.
+        payload: Vec<u8>,
+    },
+    /// Unchanged since the client's `have_epoch`; its cached copy is valid.
+    Unchanged,
+    /// Changed since `have_epoch` but outside the requested scope; any
+    /// cached copy is stale and must be dropped.
+    OutOfScope,
+}
+
+const ENTRY_SENT: u8 = 0;
+const ENTRY_UNCHANGED: u8 = 1;
+const ENTRY_OUT_OF_SCOPE: u8 = 2;
+
+/// The body of a successful fetch response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchResponse {
+    /// Server's current epoch for the channel.
+    pub epoch: u64,
+    /// Encoded prelude (features + centroids), always included.
+    pub prelude: Vec<u8>,
+    /// One entry per locality, in locality order.
+    pub entries: Vec<LocalityEntry>,
+}
+
+/// Encodes a response frame payload: header, then for [`Status::Ok`] the
+/// optional fetch body (`None` for a ping acknowledgement).
+pub fn encode_response(status: Status, body: Option<&FetchResponse>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&RESPONSE_MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(status.code());
+    if let Some(body) = body {
+        debug_assert_eq!(status, Status::Ok);
+        put_u64(&mut out, body.epoch);
+        put_u32(&mut out, body.prelude.len() as u32);
+        out.extend_from_slice(&body.prelude);
+        put_u32(&mut out, body.entries.len() as u32);
+        for entry in &body.entries {
+            match entry {
+                LocalityEntry::Sent { digest, payload } => {
+                    out.push(ENTRY_SENT);
+                    put_u64(&mut out, *digest);
+                    put_u32(&mut out, payload.len() as u32);
+                    out.extend_from_slice(payload);
+                }
+                LocalityEntry::Unchanged => out.push(ENTRY_UNCHANGED),
+                LocalityEntry::OutOfScope => out.push(ENTRY_OUT_OF_SCOPE),
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a response frame payload into `(status, fetch body)`. The body
+/// is present only for an `Ok` response that carries one.
+pub fn decode_response(payload: &[u8]) -> Result<(Status, Option<FetchResponse>), WireError> {
+    let mut r = Reader::new(payload);
+    if r.bytes(4)? != RESPONSE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let status =
+        Status::from_code(r.u8()?).ok_or(WireError::BadTag { what: "status", tag: payload[5] })?;
+    if status != Status::Ok || r.remaining() == 0 {
+        r.finish()?;
+        return Ok((status, None));
+    }
+    let epoch = r.u64()?;
+    let prelude_len = r.u32()? as usize;
+    let prelude = r.bytes(prelude_len)?.to_vec();
+    let n = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(n.min(r.remaining() + 1));
+    for _ in 0..n {
+        entries.push(match r.u8()? {
+            ENTRY_SENT => {
+                let digest = r.u64()?;
+                let len = r.u32()? as usize;
+                LocalityEntry::Sent { digest, payload: r.bytes(len)?.to_vec() }
+            }
+            ENTRY_UNCHANGED => LocalityEntry::Unchanged,
+            ENTRY_OUT_OF_SCOPE => LocalityEntry::OutOfScope,
+            other => return Err(WireError::BadTag { what: "locality entry", tag: other }),
+        });
+    }
+    r.finish()?;
+    Ok((status, Some(FetchResponse { epoch, prelude, entries })))
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Outcome of reading one frame.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The announced length exceeds `max_bytes`; nothing further was read.
+    TooLarge(u32),
+}
+
+/// Reads one length-prefixed frame, enforcing `max_bytes`.
+pub fn read_frame(stream: &mut TcpStream, max_bytes: u32) -> std::io::Result<FrameRead> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(FrameRead::Closed),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max_bytes {
+        return Ok(FrameRead::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(FrameRead::Frame(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for request in [
+            Request::Ping,
+            Request::Fetch { channel: 30, x_km: 12.5, y_km: -3.0, radius_km: 8.0, have_epoch: 7 },
+        ] {
+            assert_eq!(Request::decode(&request.encode()), Ok(request));
+        }
+    }
+
+    #[test]
+    fn request_decode_rejects_garbage() {
+        assert_eq!(Request::decode(b""), Err(Status::MalformedFrame));
+        assert_eq!(Request::decode(b"XXXX\x01\x00"), Err(Status::MalformedFrame));
+        assert_eq!(Request::decode(b"WSRQ\x63\x00"), Err(Status::UnsupportedVersion));
+        assert_eq!(Request::decode(b"WSRQ\x01\x7f"), Err(Status::UnknownOpcode));
+        // FETCH with a truncated body.
+        assert_eq!(Request::decode(b"WSRQ\x01\x01\x1e"), Err(Status::MalformedFrame));
+        // Valid ping with trailing bytes.
+        assert_eq!(Request::decode(b"WSRQ\x01\x00\x00"), Err(Status::MalformedFrame));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let body = FetchResponse {
+            epoch: 3,
+            prelude: vec![1, 2, 3],
+            entries: vec![
+                LocalityEntry::Sent { digest: 0xdead_beef, payload: vec![9, 8] },
+                LocalityEntry::Unchanged,
+                LocalityEntry::OutOfScope,
+            ],
+        };
+        let bytes = encode_response(Status::Ok, Some(&body));
+        let (status, decoded) = decode_response(&bytes).unwrap();
+        assert_eq!(status, Status::Ok);
+        assert_eq!(decoded, Some(body));
+
+        let err = encode_response(Status::UnknownChannel, None);
+        assert_eq!(decode_response(&err).unwrap(), (Status::UnknownChannel, None));
+    }
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for status in [
+            Status::Ok,
+            Status::MalformedFrame,
+            Status::UnsupportedVersion,
+            Status::UnknownOpcode,
+            Status::UnknownChannel,
+            Status::RequestTooLarge,
+            Status::Internal,
+        ] {
+            assert_eq!(Status::from_code(status.code()), Some(status));
+        }
+        assert_eq!(Status::from_code(200), None);
+    }
+}

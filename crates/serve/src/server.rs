@@ -1,0 +1,240 @@
+//! The threaded model-distribution server.
+//!
+//! One accept loop plus one thread per connection, all on `std` — no async
+//! runtime, consistent with the workspace's vendored-offline policy.
+//! Connections are keep-alive: a client may issue many requests over one
+//! stream. The timeout policy is deliberately simple:
+//!
+//! * a connection that stays idle longer than
+//!   [`ServeConfig::read_timeout`] is dropped (clients reconnect
+//!   transparently on their next request);
+//! * writes are bounded by [`ServeConfig::write_timeout`], so one stalled
+//!   client cannot pin a handler thread;
+//! * any error response ([`Status`] ≠ `Ok`) is flushed and the connection
+//!   closed — a peer that sent one malformed frame is not trusted to frame
+//!   the next one correctly.
+
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::catalog::{ModelCatalog, ServedChannel};
+use crate::protocol::{
+    encode_response, read_frame, write_frame, FetchResponse, FrameRead, LocalityEntry, Request,
+    Status, MAX_REQUEST_BYTES,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Idle limit per connection; an idle connection is dropped after this.
+    pub read_timeout: Duration,
+    /// Per-write stall limit.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    /// 5 s idle limit, 5 s write stall limit.
+    fn default() -> Self {
+        Self { read_timeout: Duration::from_secs(5), write_timeout: Duration::from_secs(5) }
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) leaves the threads running until process
+/// exit; tests and the load generator always shut down explicitly.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to stop, unblocks it, and joins every
+    /// connection thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Self-connect to unblock the accept() call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts the server on `addr` (use port 0 for an ephemeral port) serving
+/// models from `catalog`. Publishing into the catalog after start is fine —
+/// handlers read it behind the `RwLock` per request.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    catalog: Arc<RwLock<ModelCatalog>>,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let catalog = Arc::clone(&catalog);
+            let config = config.clone();
+            let handle = std::thread::spawn(move || serve_connection(stream, &catalog, &config));
+            let mut guard = connections.lock().expect("connection list poisoned");
+            // Reap finished handlers so a long-lived server does not
+            // accumulate dead handles.
+            guard.retain(|h| !h.is_finished());
+            guard.push(handle);
+        }
+        for handle in connections.into_inner().expect("connection list poisoned") {
+            let _ = handle.join();
+        }
+    });
+    Ok(ServerHandle { addr, stop, accept_thread: Some(accept_thread) })
+}
+
+/// Keep-alive request loop for one connection. Returns (closing the
+/// connection) on clean EOF, idle timeout, I/O error, or after flushing an
+/// error response.
+fn serve_connection(mut stream: TcpStream, catalog: &RwLock<ModelCatalog>, config: &ServeConfig) {
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(config.write_timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    loop {
+        let payload = match read_frame(&mut stream, MAX_REQUEST_BYTES) {
+            Ok(FrameRead::Frame(payload)) => payload,
+            Ok(FrameRead::Closed) => return,
+            Ok(FrameRead::TooLarge(_)) => {
+                waldo_prof::count("serve_errors", 1);
+                let _ = respond(&mut stream, Status::RequestTooLarge, None);
+                return;
+            }
+            // Idle timeout or transport error: drop the connection.
+            Err(_) => return,
+        };
+        let _t = waldo_prof::scope("serve_handle");
+        waldo_prof::count("serve_requests", 1);
+        match Request::decode(&payload) {
+            Ok(Request::Ping) => {
+                if respond(&mut stream, Status::Ok, None).is_err() {
+                    return;
+                }
+            }
+            Ok(Request::Fetch { channel, x_km, y_km, radius_km, have_epoch }) => {
+                let guard = match catalog.read() {
+                    Ok(guard) => guard,
+                    Err(_) => {
+                        waldo_prof::count("serve_errors", 1);
+                        let _ = respond(&mut stream, Status::Internal, None);
+                        return;
+                    }
+                };
+                match guard.channel(channel) {
+                    None => {
+                        waldo_prof::count("serve_errors", 1);
+                        let _ = respond(&mut stream, Status::UnknownChannel, None);
+                        return;
+                    }
+                    Some(served) => {
+                        let body = build_fetch_response(served, x_km, y_km, radius_km, have_epoch);
+                        drop(guard);
+                        if respond(&mut stream, Status::Ok, Some(&body)).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(status) => {
+                waldo_prof::count("serve_errors", 1);
+                let _ = respond(&mut stream, status, None);
+                return;
+            }
+        }
+    }
+}
+
+/// Applies the delta + scope rules for one fetch. Per locality:
+///
+/// * change-epoch ≤ `have_epoch` → `Unchanged` (client's copy is current);
+/// * changed and in scope (or unscoped) → `Sent` with the payload;
+/// * changed but out of scope → `OutOfScope` (client must drop its copy).
+///
+/// The locality nearest the client is always in scope, so a scoped fetch
+/// never comes back empty-handed.
+fn build_fetch_response(
+    served: &ServedChannel,
+    x_km: f64,
+    y_km: f64,
+    radius_km: f64,
+    have_epoch: u64,
+) -> FetchResponse {
+    let _t = waldo_prof::scope("serve_encode");
+    let nearest = served
+        .slots
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            dist_sq_km(a.centroid, x_km, y_km).total_cmp(&dist_sq_km(b.centroid, x_km, y_km))
+        })
+        .map_or(0, |(i, _)| i);
+    let entries = served
+        .slots
+        .iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            if slot.epoch <= have_epoch {
+                return LocalityEntry::Unchanged;
+            }
+            let in_scope = radius_km <= 0.0
+                || i == nearest
+                || dist_sq_km(slot.centroid, x_km, y_km) <= radius_km * radius_km;
+            if in_scope {
+                LocalityEntry::Sent { digest: slot.digest, payload: slot.payload.clone() }
+            } else {
+                LocalityEntry::OutOfScope
+            }
+        })
+        .collect();
+    FetchResponse { epoch: served.epoch, prelude: served.prelude.clone(), entries }
+}
+
+fn dist_sq_km(centroid: [f64; 2], x_km: f64, y_km: f64) -> f64 {
+    let dx = centroid[0] - x_km;
+    let dy = centroid[1] - y_km;
+    dx * dx + dy * dy
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: Status,
+    body: Option<&FetchResponse>,
+) -> std::io::Result<()> {
+    let payload = encode_response(status, body);
+    waldo_prof::count("serve_bytes_out", payload.len() as u64);
+    write_frame(stream, &payload)
+}

@@ -1,0 +1,303 @@
+//! End-to-end tests of the model-distribution layer: full fetches, epoch
+//! deltas, locality scoping, robustness against malformed peers, and
+//! shutdown.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use waldo::wire::conservative_payload;
+use waldo::{ClassifierKind, ModelConstructor, WaldoConfig, WaldoModel};
+use waldo_data::{ChannelDataset, Measurement, Safety};
+use waldo_geo::Point;
+use waldo_iq::FeatureVector;
+use waldo_rf::TvChannel;
+use waldo_sensors::{Observation, SensorKind};
+use waldo_serve::protocol::{decode_response, read_frame, write_frame, FrameRead};
+use waldo_serve::{serve, ClientError, ModelCatalog, ModelClient, ServeConfig, Status};
+
+const CHANNEL: u8 = 30;
+
+fn dataset(n: usize) -> ChannelDataset {
+    let mut measurements = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let x = (i as f64 / n as f64) * 30_000.0;
+        let y = ((i * 7) % 20) as f64 * 1_000.0;
+        let not_safe = x > 15_000.0;
+        let rss = if not_safe { -70.0 } else { -95.0 } + ((i % 5) as f64 - 2.0);
+        measurements.push(Measurement {
+            location: Point::new(x, y),
+            odometer_m: i as f64 * 100.0,
+            observation: Observation {
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.3,
+                    aft_db: rss - 12.5,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -110.0,
+                },
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        });
+        labels.push(Safety::from_not_safe(not_safe));
+    }
+    ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+}
+
+fn model(localities: usize) -> WaldoModel {
+    ModelConstructor::new(
+        WaldoConfig::default().classifier(ClassifierKind::Svm).localities(localities),
+    )
+    .fit(&dataset(200))
+    .expect("synthetic data trains")
+}
+
+/// The same model with `replace` localities' payloads swapped for the
+/// conservative constant — a deterministic "these exact localities
+/// changed" variant.
+fn with_replaced_localities(base: &WaldoModel, replace: &[usize]) -> WaldoModel {
+    let mut payloads = base.locality_payloads();
+    for &i in replace {
+        payloads[i] = conservative_payload();
+    }
+    WaldoModel::from_locality_parts(base.features().clone(), base.centroids().to_vec(), &payloads)
+        .expect("payload surgery stays decodable")
+}
+
+fn start(catalog: &Arc<RwLock<ModelCatalog>>) -> waldo_serve::ServerHandle {
+    serve("127.0.0.1:0", Arc::clone(catalog), ServeConfig::default()).expect("ephemeral bind")
+}
+
+#[test]
+fn full_fetch_returns_the_published_model() {
+    let published = model(4);
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &published);
+    let mut server = start(&catalog);
+
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+    client.ping().expect("server answers ping");
+    let (fetched, report) = client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("full fetch");
+    assert_eq!(fetched, published);
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.sent, 4);
+    assert_eq!(report.unchanged, 0);
+    assert_eq!(report.out_of_scope, 0);
+    server.shutdown();
+}
+
+#[test]
+fn delta_fetch_transfers_only_changed_localities() {
+    let v1 = model(5);
+    // Replace two localities that are not already the conservative
+    // constant (a uniform-label locality trains to Constant, and
+    // "replacing" it would be a byte-level no-op).
+    let non_constant: Vec<usize> = v1
+        .locality_payloads()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| **p != conservative_payload())
+        .map(|(i, _)| i)
+        .collect();
+    assert!(non_constant.len() >= 2, "fixture needs two non-constant localities");
+    let v2 = with_replaced_localities(&v1, &non_constant[..2]);
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &v1);
+    let mut server = start(&catalog);
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+
+    let (fetched, full) = client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("initial full fetch");
+    assert_eq!(fetched, v1);
+    assert_eq!((full.epoch, full.sent, full.unchanged), (1, 5, 0));
+
+    // Epoch 1 → 2 with exactly localities 1 and 3 changed.
+    catalog.write().unwrap().publish(CHANNEL, &v2);
+    let (fetched, delta) = client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("delta fetch");
+    assert_eq!(fetched, v2);
+    assert_eq!((delta.epoch, delta.sent, delta.unchanged), (2, 2, 3));
+    assert!(
+        delta.response_bytes < full.response_bytes,
+        "delta response ({}) should be smaller than the full one ({})",
+        delta.response_bytes,
+        full.response_bytes
+    );
+
+    // Republish the identical model: epoch bumps, nothing travels.
+    catalog.write().unwrap().publish(CHANNEL, &v2);
+    let (fetched, noop) = client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("no-op delta fetch");
+    assert_eq!(fetched, v2);
+    assert_eq!((noop.epoch, noop.sent, noop.unchanged), (3, 0, 5));
+
+    // A fresh client (no cache) still gets everything.
+    let mut newcomer = ModelClient::new(server.addr(), Duration::from_secs(5));
+    let (fetched, first) = newcomer.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("newcomer fetch");
+    assert_eq!(fetched, v2);
+    assert_eq!((first.epoch, first.sent), (3, 5));
+    server.shutdown();
+}
+
+#[test]
+fn scoped_fetch_assembles_conservative_fallback_out_of_scope() {
+    let published = model(6);
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &published);
+    let mut server = start(&catalog);
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+
+    // A tight radius around one corner of the map: some localities must be
+    // out of scope, but the nearest one is always sent.
+    let (x, y) = (1.0, 1.0);
+    let (scoped, report) = client.fetch(CHANNEL, x, y, 4.0).expect("scoped fetch");
+    assert!(report.sent >= 1, "nearest locality is always in scope");
+    assert!(report.out_of_scope >= 1, "a 4 km radius cannot cover the 30 km map");
+    assert_eq!(report.sent + report.out_of_scope, published.locality_count());
+    assert_eq!(scoped.locality_count(), published.locality_count());
+
+    // Out-of-scope territory classifies as the conservative not-safe
+    // constant; a safe row far from the client must flip to NotSafe.
+    let width = 2 + published.features().len();
+    let mut far_safe_row = vec![0.0; width];
+    far_safe_row[0] = 29.0; // east edge, far outside the 4 km scope
+    far_safe_row[1] = 19.0;
+    for v in far_safe_row.iter_mut().skip(2) {
+        *v = -95.0; // quiet spectrum: the full model calls this safe-ish
+    }
+    assert_eq!(scoped.predict_row(&far_safe_row), Safety::NotSafe);
+
+    // A repeat of the same scoped fetch re-downloads the scope (a partial
+    // cache advertises epoch 0) instead of tripping on bogus deltas.
+    let (again, repeat) = client.fetch(CHANNEL, x, y, 4.0).expect("repeated scoped fetch");
+    assert_eq!(again, scoped);
+    assert_eq!(repeat.sent, report.sent);
+    assert_eq!(repeat.out_of_scope, report.out_of_scope);
+
+    // An unscoped fetch backfills everything; only then is the cache
+    // complete enough to advertise its epoch and get real deltas.
+    let (refetched, refill) = client.fetch(CHANNEL, x, y, -1.0).expect("unscoped refetch");
+    assert_eq!(refetched, published);
+    assert_eq!(refill.sent, published.locality_count());
+    let (_, delta) = client.fetch(CHANNEL, x, y, -1.0).expect("now-cached fetch");
+    assert_eq!((delta.sent, delta.unchanged), (0, published.locality_count()));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_typed_rejections() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    let mut server = start(&catalog);
+
+    // Garbage payload in a well-formed frame.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write_frame(&mut stream, b"definitely not a request").unwrap();
+    let FrameRead::Frame(reply) = read_frame(&mut stream, 1 << 20).unwrap() else {
+        panic!("server should reply before closing");
+    };
+    let (status, body) = decode_response(&reply).unwrap();
+    assert_eq!(status, Status::MalformedFrame);
+    assert!(body.is_none());
+
+    // An absurd length prefix is rejected without reading the body.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(&(64u32 << 20).to_le_bytes()).unwrap();
+    let FrameRead::Frame(reply) = read_frame(&mut stream, 1 << 20).unwrap() else {
+        panic!("server should reply before closing");
+    };
+    let (status, _) = decode_response(&reply).unwrap();
+    assert_eq!(status, Status::RequestTooLarge);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_channel_is_a_typed_server_error() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    let mut server = start(&catalog);
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+    match client.fetch(CHANNEL + 1, 10.0, 10.0, -1.0) {
+        Err(ClientError::Server(Status::UnknownChannel)) => {}
+        other => panic!("expected UnknownChannel, got {other:?}"),
+    }
+    // The channel that does exist still serves (on a fresh connection —
+    // error responses close the stream).
+    let (fetched, _) = client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("valid channel serves");
+    assert_eq!(fetched.locality_count(), 3);
+    server.shutdown();
+}
+
+#[test]
+fn idle_dropped_connections_reconnect_transparently() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    let config = ServeConfig {
+        read_timeout: Duration::from_millis(100),
+        write_timeout: Duration::from_secs(5),
+    };
+    let mut server = serve("127.0.0.1:0", Arc::clone(&catalog), config).expect("ephemeral bind");
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+    client.ping().expect("first ping");
+    // Outlive the server's idle limit; the keep-alive stream is now dead
+    // and the next request must reconnect under the hood.
+    std::thread::sleep(Duration::from_millis(300));
+    client.ping().expect("ping after idle drop reconnects");
+    let (fetched, _) = client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("fetch after idle drop");
+    assert_eq!(fetched.locality_count(), 3);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_all_fetch_consistently() {
+    let published = model(4);
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &published);
+    let mut server = start(&catalog);
+    let addr = server.addr();
+
+    let published = &published;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = ModelClient::new(addr, Duration::from_secs(5));
+                    for _ in 0..4 {
+                        let (fetched, _) = client
+                            .fetch(CHANNEL, i as f64, i as f64, -1.0)
+                            .expect("concurrent fetch");
+                        assert_eq!(&fetched, published);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_graceful_and_idempotent() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    let mut server = start(&catalog);
+    let addr = server.addr();
+    let mut client = ModelClient::new(addr, Duration::from_secs(1));
+    client.ping().expect("server up");
+
+    server.shutdown();
+    server.shutdown(); // idempotent
+
+    // The listener is gone: a fresh fetch must fail with a transport error.
+    let mut late = ModelClient::new(addr, Duration::from_secs(1));
+    match late.fetch(CHANNEL, 10.0, 10.0, -1.0) {
+        Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {}
+        other => panic!("expected a transport failure after shutdown, got {other:?}"),
+    }
+}

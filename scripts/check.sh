@@ -27,4 +27,14 @@ cargo run --release -p waldo-bench --features prof --bin probe -- \
 cargo run --release -p waldo-bench --features prof --bin gate -- \
     target/BENCH_smoke.json scripts/bench_floor.json
 
+echo "==> serve smoke (serve_load --quick + gate)"
+# Boots the model server, runs 16 concurrent clients through full fetches,
+# delta fetches, and malformed-frame probes, then shuts down gracefully.
+# serve_load itself exits nonzero on any protocol error; the gate addition-
+# ally enforces the fetch-latency floor (scripts/bench_floor.json).
+cargo run --release -p waldo-serve --features prof --bin serve_load -- \
+    --quick --out target/BENCH_serve_smoke.json
+cargo run --release -p waldo-bench --features prof --bin gate -- \
+    target/BENCH_smoke.json scripts/bench_floor.json target/BENCH_serve_smoke.json
+
 echo "ok"

@@ -12,6 +12,8 @@
 //! * [`data`] — war-driving collection and Algorithm-1 labeling.
 //! * [`par`] — the deterministic parallel runtime the pipeline fans out on.
 //! * [`waldo`] — the Waldo system itself plus every baseline.
+//! * [`serve`] — the model-distribution layer: wire format over TCP with
+//!   epoch-based delta fetches.
 
 pub use waldo;
 pub use waldo_data as data;
@@ -21,3 +23,4 @@ pub use waldo_ml as ml;
 pub use waldo_par as par;
 pub use waldo_rf as rf;
 pub use waldo_sensors as sensors;
+pub use waldo_serve as serve;
