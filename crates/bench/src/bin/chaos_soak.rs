@@ -1,0 +1,531 @@
+//! Chaos soak for the model-distribution path: seeded fault injection on
+//! every client transport plus sensor-level faults on every detector,
+//! driven through a full outage/recovery cycle of the server.
+//!
+//! The run has three barrier-separated phases shared by all clients:
+//!
+//! 1. **Healthy** — fetches succeed (modulo injected transport faults) and
+//!    detection bouts decide against ground truth.
+//! 2. **Outage** — the main thread stops the server; every client backdates
+//!    its [`StaleModelGuard`] past the TTL, so *all* decisions during the
+//!    outage must degrade to the conservative not-safe answer.
+//! 3. **Recovery** — the server restarts on the same address; each client
+//!    loops until a fetch succeeds (timing the recovery from the restart
+//!    instant), then resumes healthy fetch+detect rounds.
+//!
+//! Every random choice — fault schedules, retry jitter, synthetic readings —
+//! derives from `--seed` via [`derive_seed`], so a given seed reproduces
+//! the identical fault event sequence across runs and client counts.
+//!
+//! Emits `BENCH_chaos.json`: fault counts per category, retry/breaker
+//! totals, decision tallies (including the outage-phase conservative
+//! count), recovery latency percentiles, and the panic count. Exits
+//! nonzero on any panic or any incorrect "safe" decision.
+//!
+//! Usage: `chaos_soak [--quick] [--seed N] [--clients N] [--out PATH]`
+//! (needs the `fault` feature; without it the schedules are no-ops and the
+//! report says so).
+
+use std::sync::{Arc, Barrier, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use waldo::{
+    ClassifierKind, DetectorOutcome, ModelConstructor, StaleModelGuard, WaldoConfig, WaldoModel,
+    WhiteSpaceDetector,
+};
+use waldo_data::{ChannelDataset, Measurement, Safety};
+use waldo_fault::{
+    derive_seed, SensorFault, SensorFaults, SensorPlan, TransportFaults, TransportPlan,
+};
+use waldo_geo::Point;
+use waldo_iq::FeatureVector;
+use waldo_rf::TvChannel;
+use waldo_sensors::{Observation, SensorKind};
+use waldo_serve::{
+    serve, CircuitBreakerPolicy, ClientError, ModelCatalog, ModelClient, RetryPolicy, ServeConfig,
+};
+
+const CHANNEL: u8 = 30;
+/// CI convergence threshold (dB). With ±2 dB uniform reading noise the
+/// detector converges in a dozen-odd readings, so bouts stay cheap.
+const ALPHA_DB: f64 = 1.2;
+/// Forced-decision cap per bout; also bounds bout wall time under drops.
+const MAX_READINGS: usize = 120;
+/// Uniform reading-noise half width (dB).
+const NOISE_HALF_DB: f64 = 2.0;
+/// Model TTL for the stale-model guard. Real wall time never approaches
+/// it; outage staleness is forced deterministically via `backdate`.
+const TTL: Duration = Duration::from_secs(3600);
+
+/// Per-run knob set, scaled by `--quick`.
+struct Scale {
+    clients: usize,
+    /// Healthy-phase fetch rounds (each followed by detection bouts).
+    rounds_healthy: usize,
+    /// Detection bouts per fetch round.
+    bouts_per_round: usize,
+    /// Fetch attempts per client during the outage (all must fail).
+    outage_fetches: usize,
+    /// Detection bouts per client during the outage (all must gate
+    /// not-safe).
+    outage_bouts: usize,
+    /// Post-recovery fetch rounds.
+    rounds_recovered: usize,
+}
+
+impl Scale {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self {
+                clients: 4,
+                rounds_healthy: 5,
+                bouts_per_round: 2,
+                outage_fetches: 4,
+                outage_bouts: 4,
+                rounds_recovered: 4,
+            }
+        } else {
+            Self {
+                clients: 6,
+                rounds_healthy: 12,
+                bouts_per_round: 3,
+                outage_fetches: 8,
+                outage_bouts: 8,
+                rounds_recovered: 10,
+            }
+        }
+    }
+}
+
+/// Synthetic east/west channel, the same shape the serve tests train on:
+/// safe west of 15 km, not-safe east of it.
+fn dataset(n: usize) -> ChannelDataset {
+    let mut measurements = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let x = (i as f64 / n as f64) * 30_000.0;
+        let y = ((i * 7) % 20) as f64 * 1_000.0;
+        let not_safe = x > 15_000.0;
+        let rss = if not_safe { -70.0 } else { -95.0 } + ((i % 5) as f64 - 2.0);
+        measurements.push(Measurement {
+            location: Point::new(x, y),
+            odometer_m: i as f64 * 100.0,
+            observation: observation(rss),
+            true_rss_dbm: rss,
+        });
+        labels.push(Safety::from_not_safe(not_safe));
+    }
+    ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+}
+
+fn observation(rss: f64) -> Observation {
+    Observation {
+        rss_dbm: rss,
+        features: FeatureVector {
+            rss_db: rss,
+            cft_db: rss - 11.3,
+            aft_db: rss - 12.5,
+            quadrature_imbalance_db: 0.0,
+            iq_kurtosis: 0.0,
+            edge_bin_db: -110.0,
+        },
+        raw_pilot_db: rss - 11.3,
+    }
+}
+
+fn train() -> WaldoModel {
+    ModelConstructor::new(WaldoConfig::default().classifier(ClassifierKind::Svm).localities(4))
+        .fit(&dataset(300))
+        .expect("synthetic data trains")
+}
+
+/// Everything one client thread tallies; summed by the main thread.
+#[derive(Debug, Default)]
+struct ClientStats {
+    fetch_ok: u64,
+    fetch_err: u64,
+    retries: u64,
+    breaker_opens: u64,
+    circuit_rejections: u64,
+    /// Undecodable response frames — must stay zero (responses are never
+    /// fault-injected; the client reads clean bytes or a dead socket).
+    wire_errors: u64,
+    /// Client-detected state divergence after a *corrupted request* slipped
+    /// through as well-formed (e.g. a flipped `have_epoch` making the
+    /// server answer `Unchanged` for never-downloaded localities). Typed
+    /// and recovered from; allowed to be nonzero.
+    consistency_rejections: u64,
+    decisions_total: u64,
+    decisions_outage: u64,
+    /// Decisions the stale-model guard downgraded from safe to not-safe.
+    conservative_overrides: u64,
+    incorrect_safe: u64,
+    recovery_ns: Option<u64>,
+    transport: waldo_fault::TransportEvents,
+    sensor: waldo_fault::SensorEvents,
+}
+
+/// One fetch through the hardened client, folded into the tallies.
+/// Returns the new model on success.
+fn try_fetch(client: &mut ModelClient, stats: &mut ClientStats) -> Option<WaldoModel> {
+    match client.fetch(CHANNEL, 10.0, 10.0, -1.0) {
+        Ok((model, _report)) => {
+            stats.fetch_ok += 1;
+            Some(model)
+        }
+        Err(e) => {
+            stats.fetch_err += 1;
+            match e {
+                ClientError::CircuitOpen => stats.circuit_rejections += 1,
+                ClientError::Wire(_) => stats.wire_errors += 1,
+                ClientError::Protocol(_) => stats.consistency_rejections += 1,
+                ClientError::Io(_) | ClientError::Server(_) => {}
+            }
+            None
+        }
+    }
+}
+
+/// Where a client sits and what the right answer there is.
+struct Site {
+    location: Point,
+    base_rss: f64,
+    truth: Safety,
+}
+
+/// One detection bout: a fresh detector over the guard's model, fed
+/// fault-injected synthetic readings until convergence (the cap forces a
+/// decision even under heavy drops). The decision goes through the
+/// stale-model gate before being scored against ground truth.
+fn detection_bout(
+    guard: &StaleModelGuard,
+    sensor: &mut SensorFaults,
+    rng: &mut StdRng,
+    site: &Site,
+    outage: bool,
+    stats: &mut ClientStats,
+) {
+    let mut det =
+        WhiteSpaceDetector::new(guard.model().clone(), ALPHA_DB).max_readings(MAX_READINGS);
+    let mut last_rss = site.base_rss;
+    // Drops consume draw budget without pushing; 10x the cap bounds the
+    // bout even under pathological schedules.
+    for _ in 0..MAX_READINGS * 10 {
+        let mut rss = site.base_rss + (rng.gen::<f64>() * 2.0 - 1.0) * NOISE_HALF_DB;
+        match sensor.next_fault() {
+            SensorFault::Drop => continue,
+            SensorFault::Stuck => rss = last_rss,
+            SensorFault::Burst(db) => rss += db,
+            SensorFault::None => {}
+        }
+        last_rss = rss;
+        if let DetectorOutcome::Converged { safety, .. } =
+            det.push(site.location, &observation(rss))
+        {
+            let gated = guard.gate_decision(safety);
+            stats.decisions_total += 1;
+            if outage {
+                stats.decisions_outage += 1;
+            }
+            if gated != safety {
+                stats.conservative_overrides += 1;
+            }
+            if gated == Safety::Safe && (site.truth == Safety::NotSafe || outage) {
+                stats.incorrect_safe += 1;
+            }
+            return;
+        }
+    }
+    unreachable!("detector must force a decision at the reading cap");
+}
+
+fn run_client(
+    index: u64,
+    seed: u64,
+    addr: std::net::SocketAddr,
+    scale: &Scale,
+    barrier: &Barrier,
+    restart_at: &Mutex<Option<Instant>>,
+) -> ClientStats {
+    let mut stats = ClientStats::default();
+
+    let faults = TransportFaults::new(
+        derive_seed(seed, "transport", index),
+        TransportPlan {
+            refuse_connect: 0.06,
+            corrupt_byte: 0.05,
+            short_write: 0.05,
+            drop_mid_frame: 0.04,
+            read_stall: 0.03,
+            stall: Duration::from_millis(30),
+        },
+    );
+    let mut client = ModelClient::new(addr, Duration::from_secs(1))
+        .retry_policy(RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(80),
+            jitter: 0.5,
+        })
+        .circuit_breaker(CircuitBreakerPolicy { failure_threshold: 3, cooldown_requests: 2 })
+        .jitter_seed(derive_seed(seed, "jitter", index))
+        .with_transport_faults(faults.clone());
+    let mut sensor = SensorFaults::new(
+        derive_seed(seed, "sensor", index),
+        SensorPlan { stuck: 0.05, stuck_len: 6, drop: 0.05, burst: 0.03, burst_db: 25.0 },
+    );
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, "readings", index));
+
+    // Even clients sit deep in the protected contour, odd clients in clean
+    // white space: both decision polarities are exercised every phase.
+    let site = if index.is_multiple_of(2) {
+        Site { location: Point::new(25_000.0, 10_000.0), base_rss: -70.0, truth: Safety::NotSafe }
+    } else {
+        Site { location: Point::new(5_000.0, 10_000.0), base_rss: -95.0, truth: Safety::Safe }
+    };
+
+    // Phase 1: healthy rounds. The guard appears with the first successful
+    // fetch; injected faults may delay that past the first round.
+    let mut guard: Option<StaleModelGuard> = None;
+    for _ in 0..scale.rounds_healthy {
+        if let Some(model) = try_fetch(&mut client, &mut stats) {
+            match &mut guard {
+                Some(g) => g.refresh(model),
+                None => guard = Some(StaleModelGuard::new(model, TTL)),
+            }
+        }
+        if let Some(g) = &guard {
+            for _ in 0..scale.bouts_per_round {
+                detection_bout(g, &mut sensor, &mut rng, &site, false, &mut stats);
+            }
+        }
+    }
+    let mut guard = guard.expect("at least one healthy-phase fetch must succeed");
+
+    barrier.wait(); // healthy phase done; main stops the server
+    barrier.wait(); // outage confirmed
+
+    // Phase 2: outage. Deterministically age the cached model past its
+    // TTL: every decision below must gate to the conservative answer.
+    guard.backdate(TTL + Duration::from_secs(1));
+    for _ in 0..scale.outage_fetches {
+        assert!(
+            try_fetch(&mut client, &mut stats).is_none(),
+            "fetch succeeded against a stopped server"
+        );
+    }
+    for _ in 0..scale.outage_bouts {
+        detection_bout(&guard, &mut sensor, &mut rng, &site, true, &mut stats);
+    }
+
+    barrier.wait(); // outage phase done; main restarts the server
+    barrier.wait(); // restart instant recorded
+
+    // Phase 3: recovery. Loop until a fetch lands; the breaker opened
+    // during the outage, so the first attempts burn its cooldown.
+    let restarted = restart_at.lock().unwrap().expect("main thread records the restart instant");
+    for attempt in 0.. {
+        assert!(attempt < 1_000, "client failed to recover within 1000 attempts");
+        if let Some(model) = try_fetch(&mut client, &mut stats) {
+            guard.refresh(model);
+            stats.recovery_ns = Some(restarted.elapsed().as_nanos() as u64);
+            break;
+        }
+        // Breaker cooldown is counted in requests; pace them out a little.
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for _ in 0..scale.rounds_recovered {
+        if let Some(model) = try_fetch(&mut client, &mut stats) {
+            guard.refresh(model);
+        }
+        for _ in 0..scale.bouts_per_round {
+            detection_bout(&guard, &mut sensor, &mut rng, &site, false, &mut stats);
+        }
+    }
+
+    stats.retries = client.retries_total();
+    stats.breaker_opens = client.breaker_opens();
+    stats.transport = faults.events();
+    stats.sensor = sensor.events();
+    stats
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed: u64 = 42;
+    let mut clients_override: Option<usize> = None;
+    let mut out = String::from("target/BENCH_chaos.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes a u64");
+            }
+            "--clients" => {
+                i += 1;
+                clients_override = Some(args[i].parse().expect("--clients takes a count"));
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    let mut scale = Scale::new(quick);
+    if let Some(n) = clients_override {
+        scale.clients = n;
+    }
+    let scale = Arc::new(scale);
+
+    let started = Instant::now();
+    let model = train();
+    let mut catalog = ModelCatalog::new();
+    catalog.publish(CHANNEL, &model);
+    let catalog = Arc::new(RwLock::new(catalog));
+    let config = ServeConfig {
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        frame_deadline: Duration::from_secs(1),
+        max_connections: 32,
+        ..ServeConfig::default()
+    };
+    let mut server =
+        serve("127.0.0.1:0", Arc::clone(&catalog), config.clone()).expect("bind ephemeral port");
+    let addr = server.addr();
+    eprintln!(
+        "chaos_soak: seed {seed}, {} clients, fault injection {} — serving on {addr}",
+        scale.clients,
+        if cfg!(feature = "fault") { "ON" } else { "OFF (build with --features fault)" },
+    );
+
+    let barrier = Arc::new(Barrier::new(scale.clients + 1));
+    let restart_at = Arc::new(Mutex::new(None::<Instant>));
+    let handles: Vec<_> = (0..scale.clients as u64)
+        .map(|index| {
+            let barrier = Arc::clone(&barrier);
+            let restart_at = Arc::clone(&restart_at);
+            let scale = Arc::clone(&scale);
+            std::thread::spawn(move || run_client(index, seed, addr, &scale, &barrier, &restart_at))
+        })
+        .collect();
+
+    barrier.wait(); // clients finished the healthy phase
+    server.shutdown();
+    drop(server);
+    eprintln!("chaos_soak: server stopped — outage phase");
+    barrier.wait(); // release clients into the outage
+
+    barrier.wait(); // clients finished the outage phase
+    let mut server = serve(addr, Arc::clone(&catalog), config).expect("rebind the same address");
+    *restart_at.lock().unwrap() = Some(Instant::now());
+    eprintln!("chaos_soak: server restarted — recovery phase");
+    barrier.wait(); // release clients into recovery
+
+    let mut total = ClientStats::default();
+    let mut recoveries: Vec<u64> = Vec::new();
+    let mut panics = 0u64;
+    for handle in handles {
+        match handle.join() {
+            Ok(stats) => {
+                total.fetch_ok += stats.fetch_ok;
+                total.fetch_err += stats.fetch_err;
+                total.retries += stats.retries;
+                total.breaker_opens += stats.breaker_opens;
+                total.circuit_rejections += stats.circuit_rejections;
+                total.wire_errors += stats.wire_errors;
+                total.consistency_rejections += stats.consistency_rejections;
+                total.decisions_total += stats.decisions_total;
+                total.decisions_outage += stats.decisions_outage;
+                total.conservative_overrides += stats.conservative_overrides;
+                total.incorrect_safe += stats.incorrect_safe;
+                total.transport.refused += stats.transport.refused;
+                total.transport.corrupted += stats.transport.corrupted;
+                total.transport.short_writes += stats.transport.short_writes;
+                total.transport.dropped += stats.transport.dropped;
+                total.transport.stalled += stats.transport.stalled;
+                total.sensor.stuck += stats.sensor.stuck;
+                total.sensor.dropped += stats.sensor.dropped;
+                total.sensor.bursts += stats.sensor.bursts;
+                recoveries.extend(stats.recovery_ns);
+            }
+            Err(_) => panics += 1,
+        }
+    }
+    server.shutdown();
+    recoveries.sort_unstable();
+    let recovered = recoveries.len() as u64;
+    let recovery_p50 = percentile(&recoveries, 0.50);
+    let recovery_p99 = percentile(&recoveries, 0.99);
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let report = json!({
+        "seed": seed,
+        "clients": scale.clients as u64,
+        "quick": quick,
+        "fault_enabled": cfg!(feature = "fault"),
+        "fetch_ok": total.fetch_ok,
+        "fetch_errors": total.fetch_err,
+        "retries_total": total.retries,
+        "breaker_opens": total.breaker_opens,
+        "circuit_open_rejections": total.circuit_rejections,
+        "protocol_violations": total.wire_errors,
+        "consistency_rejections": total.consistency_rejections,
+        "transport_refused": total.transport.refused,
+        "transport_corrupted": total.transport.corrupted,
+        "transport_short_writes": total.transport.short_writes,
+        "transport_dropped": total.transport.dropped,
+        "transport_stalled": total.transport.stalled,
+        "sensor_stuck": total.sensor.stuck,
+        "sensor_dropped": total.sensor.dropped,
+        "sensor_bursts": total.sensor.bursts,
+        "decisions_total": total.decisions_total,
+        "decisions_during_outage": total.decisions_outage,
+        "conservative_overrides": total.conservative_overrides,
+        "incorrect_safe_decisions": total.incorrect_safe,
+        "clients_recovered": recovered,
+        "recovery_p50_ns": recovery_p50,
+        "recovery_p99_ns": recovery_p99,
+        "panics": panics,
+        "wall_seconds": wall_seconds,
+    });
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out, body).expect("write report");
+    eprintln!(
+        "chaos_soak: {} fetches ok / {} errors, {} retries, {} breaker opens, \
+         {} decisions ({} during outage, {} conservative overrides), \
+         recovery p50 {:.1} ms / p99 {:.1} ms, {} panics -> {out}",
+        total.fetch_ok,
+        total.fetch_err,
+        total.retries,
+        total.breaker_opens,
+        total.decisions_total,
+        total.decisions_outage,
+        total.conservative_overrides,
+        recovery_p50 as f64 / 1e6,
+        recovery_p99 as f64 / 1e6,
+        panics,
+    );
+
+    assert_eq!(panics, 0, "client thread panicked");
+    assert_eq!(total.incorrect_safe, 0, "incorrect safe decision recorded");
+    assert_eq!(recovered, scale.clients as u64, "not every client recovered");
+}

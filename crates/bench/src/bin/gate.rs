@@ -1,7 +1,8 @@
 //! CI gate over a `probe`-written pipeline report (and, optionally, a
-//! `serve_load`-written serving report).
+//! `serve_load`-written serving report and a `chaos_soak`-written chaos
+//! report).
 //!
-//! Usage: `gate <report.json> <floor.json> [serve_report.json]`
+//! Usage: `gate <report.json> <floor.json> [serve_report.json] [--chaos chaos_report.json]`
 //!
 //! Fails (exit 1) when:
 //! - any required stage timer (`synth`, `fft_features`, `label`, `kmeans`,
@@ -14,7 +15,13 @@
 //! - a serve report is given and it recorded any protocol error, ran with
 //!   fewer than 16 clients, saved less than half the full-fetch bytes on
 //!   delta fetches, or its p50 fetch latency regressed more than 10×
-//!   against the checked-in floor (`serve_fetch_p50_ns`).
+//!   against the checked-in floor (`serve_fetch_p50_ns`);
+//! - a chaos report is given and it ran without the `fault` feature, any
+//!   fault category never fired (the soak proved nothing), it recorded a
+//!   panic, a protocol violation, an incorrect "safe" decision, an
+//!   unrecovered client, no retries / breaker opens / outage decisions
+//!   (the hardened paths went unexercised), or the recovery p99 exceeds
+//!   the absolute ceiling (`chaos_recovery_p99_ns` in the floor file).
 
 use std::process::ExitCode;
 
@@ -139,13 +146,98 @@ fn check_serve(report: &Value, floor: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn check_chaos(report: &Value, floor: &Value) -> Result<(), String> {
+    let field = |name: &str| {
+        report.get(name).and_then(Value::as_f64).ok_or(format!("chaos report has no {name}"))
+    };
+    if report.get("fault_enabled").and_then(Value::as_bool) != Some(true) {
+        return Err("chaos report was produced without the fault feature \
+             (fault_enabled != true); rebuild chaos_soak with --features fault"
+            .into());
+    }
+    // Invariants: a chaotic run must stay typed, conservative, and alive.
+    for (name, why) in [
+        ("panics", "client thread panicked under injected faults"),
+        ("protocol_violations", "undecodable response reached the client"),
+        ("incorrect_safe_decisions", "a decision claimed safe when it must not"),
+    ] {
+        let v = field(name)?;
+        if v != 0.0 {
+            return Err(format!("chaos soak recorded {name} = {v}: {why}"));
+        }
+    }
+    // Coverage: every fault category and every hardened path must have
+    // actually fired, or the soak proved nothing.
+    for name in [
+        "transport_refused",
+        "transport_corrupted",
+        "transport_short_writes",
+        "transport_dropped",
+        "transport_stalled",
+        "sensor_stuck",
+        "sensor_dropped",
+        "sensor_bursts",
+        "retries_total",
+        "breaker_opens",
+        "decisions_during_outage",
+        "conservative_overrides",
+    ] {
+        if field(name)? == 0.0 {
+            return Err(format!("chaos soak never exercised {name} (count is zero)"));
+        }
+    }
+    let clients = field("clients")?;
+    let recovered = field("clients_recovered")?;
+    if recovered < clients {
+        return Err(format!("only {recovered} of {clients} clients recovered after the outage"));
+    }
+    let p99 = field("recovery_p99_ns")?;
+    let ceiling = floor
+        .get("chaos_recovery_p99_ns")
+        .and_then(Value::as_f64)
+        .ok_or("floor file has no chaos_recovery_p99_ns".to_string())?;
+    if p99 > ceiling {
+        return Err(format!(
+            "chaos recovery p99 too slow: {:.1} ms vs {:.1} ms ceiling",
+            p99 / 1e6,
+            ceiling / 1e6
+        ));
+    }
+    eprintln!(
+        "gate ok: chaos soak {clients} clients all recovered, {} faults injected, \
+         0 panics/violations/unsafe decisions, recovery p99 {:.1} ms vs {:.1} ms ceiling",
+        (field("transport_refused")?
+            + field("transport_corrupted")?
+            + field("transport_short_writes")?
+            + field("transport_dropped")?
+            + field("transport_stalled")?
+            + field("sensor_stuck")?
+            + field("sensor_dropped")?
+            + field("sensor_bursts")?),
+        p99 / 1e6,
+        ceiling / 1e6
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut chaos_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--chaos") {
+        if pos + 1 >= args.len() {
+            eprintln!("--chaos needs a path");
+            return ExitCode::FAILURE;
+        }
+        chaos_path = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
     let (report_path, floor_path, serve_path) = match args.as_slice() {
         [report, floor] => (report, floor, None),
         [report, floor, serve] => (report, floor, Some(serve)),
         _ => {
-            eprintln!("usage: gate <report.json> <floor.json> [serve_report.json]");
+            eprintln!(
+                "usage: gate <report.json> <floor.json> [serve_report.json] [--chaos chaos.json]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -155,6 +247,9 @@ fn main() -> ExitCode {
         check(&report, &floor)?;
         if let Some(serve_path) = serve_path {
             check_serve(&load(serve_path)?, &floor)?;
+        }
+        if let Some(chaos_path) = &chaos_path {
+            check_chaos(&load(chaos_path)?, &floor)?;
         }
         Ok(())
     };

@@ -62,6 +62,13 @@ pub struct WhiteSpaceDetector {
     pushed: usize,
     rss_window: Vec<f64>,
     feature_window: Vec<FeatureVector>,
+    /// Bit-identical trailing run length at or above which CI convergence
+    /// is withheld (a stuck sensor reports a perfectly repeated value,
+    /// which narrows the CI without carrying information). 0 disables.
+    stuck_limit: usize,
+    /// Length of the current trailing run of bit-identical RSS readings.
+    stuck_run: usize,
+    last_rss_bits: Option<u64>,
 }
 
 impl WhiteSpaceDetector {
@@ -82,6 +89,9 @@ impl WhiteSpaceDetector {
             pushed: 0,
             rss_window: Vec::new(),
             feature_window: Vec::new(),
+            stuck_limit: 16,
+            stuck_run: 0,
+            last_rss_bits: None,
         }
     }
 
@@ -108,12 +118,29 @@ impl WhiteSpaceDetector {
         self
     }
 
+    /// Overrides the stuck-sensor guard: a trailing run of `n` or more
+    /// bit-identical RSS readings withholds CI convergence (the repeated
+    /// value narrows the interval without carrying information, so a stuck
+    /// sensor would otherwise *converge faster* — falsely). The cap still
+    /// forces a decision at `max_readings`. Default 16; 0 disables.
+    pub fn stuck_run_limit(mut self, n: usize) -> Self {
+        self.stuck_limit = n;
+        self
+    }
+
+    /// Length of the current trailing run of bit-identical RSS readings.
+    pub fn stuck_run(&self) -> usize {
+        self.stuck_run
+    }
+
     /// Clears the window (e.g. after moving to a new location or channel).
     pub fn reset(&mut self) {
         self.location = None;
         self.pushed = 0;
         self.rss_window.clear();
         self.feature_window.clear();
+        self.stuck_run = 0;
+        self.last_rss_bits = None;
     }
 
     /// Feeds one reading; returns the decision once the CI converges.
@@ -127,6 +154,9 @@ impl WhiteSpaceDetector {
         self.pushed += 1;
         self.rss_window.push(observation.rss_dbm);
         self.feature_window.push(observation.features);
+        let bits = observation.rss_dbm.to_bits();
+        self.stuck_run = if self.last_rss_bits == Some(bits) { self.stuck_run + 1 } else { 1 };
+        self.last_rss_bits = Some(bits);
         // A long dwell must not grow memory without bound: keep only the
         // newest `max_readings` readings (older ones can no longer change
         // the forced decision anyway).
@@ -148,8 +178,12 @@ impl WhiteSpaceDetector {
         let rss: Vec<f64> = retained.iter().map(|&i| self.rss_window[i]).collect();
         let ci = mean_confidence_interval(&rss, 0.90);
         let span = ci.map(|c| c.span());
+        // A stuck sensor repeats one value bit-for-bit; that narrows the CI
+        // without new information, so convergence is withheld for the run
+        // (the cap still forces a decision).
+        let stuck = self.stuck_limit > 0 && self.stuck_run >= self.stuck_limit;
         match span {
-            Some(s) if s <= self.alpha_db => {
+            Some(s) if s <= self.alpha_db && !stuck => {
                 let safety = self.decide(&retained);
                 DetectorOutcome::Converged { safety, readings_used: self.pushed }
             }
@@ -481,5 +515,106 @@ mod tests {
     #[should_panic(expected = "alpha must be positive")]
     fn zero_alpha_panics() {
         let _ = WhiteSpaceDetector::new(model(), 0.0);
+    }
+
+    #[test]
+    fn stuck_sensor_run_blocks_false_convergence_until_the_cap() {
+        // Degradation regression: a healthy-noisy phase (CI too wide to
+        // converge) followed by a stuck sensor repeating one value. The
+        // repeats would shrink the CI below α within a handful of readings;
+        // the stuck guard must withhold that false convergence until the
+        // cap forces a conservative decision, while an unguarded control
+        // detector demonstrates the failure mode being prevented.
+        let model = model();
+        let loc = Point::new(25_000.0, 10_000.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let noisy: Vec<f64> =
+            (0..10).map(|_| -70.0 + 3.0 * waldo_iq::synth::standard_normal(&mut rng)).collect();
+
+        let run = |stuck_limit: usize| -> usize {
+            let mut det = WhiteSpaceDetector::new(model.clone(), 0.5)
+                .max_readings(100)
+                .stuck_run_limit(stuck_limit);
+            for (i, &rss) in noisy.iter().enumerate() {
+                if let DetectorOutcome::Converged { .. } = det.push(loc, &observation(rss)) {
+                    return i + 1;
+                }
+            }
+            for i in noisy.len()..200 {
+                if let DetectorOutcome::Converged { safety, readings_used } =
+                    det.push(loc, &observation(-70.0))
+                {
+                    assert!(safety.is_not_safe());
+                    assert_eq!(readings_used, i + 1);
+                    return i + 1;
+                }
+            }
+            panic!("never converged even at the cap");
+        };
+
+        let unguarded = run(0);
+        let guarded = run(8);
+        assert!(
+            unguarded < 100,
+            "control: without the guard the stuck run converges early ({unguarded})"
+        );
+        assert_eq!(guarded, 100, "the guard must hold out until the cap forces the decision");
+    }
+
+    #[test]
+    fn stuck_run_resets_when_the_sensor_recovers() {
+        let mut det = WhiteSpaceDetector::new(model(), 0.5).stuck_run_limit(4);
+        let loc = Point::new(25_000.0, 10_000.0);
+        for _ in 0..6 {
+            det.push(loc, &observation(-70.0));
+        }
+        assert_eq!(det.stuck_run(), 6);
+        det.push(loc, &observation(-70.25));
+        assert_eq!(det.stuck_run(), 1, "a fresh value ends the run");
+        det.reset();
+        assert_eq!(det.stuck_run(), 0);
+    }
+
+    #[test]
+    fn dropped_readings_delay_but_never_prevent_convergence() {
+        // Degradation regression: dropped readings mean the detector sees a
+        // subsequence of the sensor stream. Fewer samples can only keep the
+        // CI wide for longer — the lossy run must never converge earlier
+        // (in wall-clock readings) than the lossless one — and the cap
+        // still guarantees an eventual decision.
+        let model = model();
+        let loc = Point::new(25_000.0, 10_000.0);
+        for seed in [3u64, 17, 29, 71] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let stream: Vec<f64> = (0..400)
+                .map(|_| -70.0 + 1.5 * waldo_iq::synth::standard_normal(&mut rng))
+                .collect();
+
+            let converge_at = |drop_run: bool| -> usize {
+                let mut det = WhiteSpaceDetector::new(model.clone(), 0.5).max_readings(400);
+                for (i, &rss) in stream.iter().enumerate() {
+                    // A burst of consecutive drops mid-run: readings 20..60
+                    // never reach the detector.
+                    if drop_run && (20..60).contains(&i) {
+                        continue;
+                    }
+                    if let DetectorOutcome::Converged { safety, .. } =
+                        det.push(loc, &observation(rss))
+                    {
+                        assert!(safety.is_not_safe());
+                        return i + 1;
+                    }
+                }
+                panic!("seed {seed}: never converged despite the cap");
+            };
+
+            let lossless = converge_at(false);
+            let lossy = converge_at(true);
+            assert!(
+                lossy >= lossless,
+                "seed {seed}: dropping readings must not accelerate convergence \
+                 (lossy {lossy} < lossless {lossless})"
+            );
+        }
     }
 }

@@ -10,7 +10,7 @@
 //! run, and wall-clock time is measured around them, which is what Fig 18
 //! reports.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,7 +20,7 @@ use waldo_iq::window::Window;
 use waldo_iq::FeatureVector;
 use waldo_sensors::{Calibration, Observation, SensorModel};
 
-use crate::{DetectorOutcome, WaldoModel, WhiteSpaceDetector};
+use crate::{Assessor, DetectorOutcome, WaldoModel, WhiteSpaceDetector};
 
 /// Timing configuration of the phone pipeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -259,6 +259,90 @@ impl ChannelCache {
     }
 }
 
+/// The stale-model grace policy: a device cut off from the constructor
+/// keeps deciding locally from its cached model — but only within a TTL.
+/// Once the model is older than the TTL, the paper's conservative rule
+/// applies and *everything* assesses not-safe: serving stale safety claims
+/// risks interfering with a licensed transmitter that appeared since the
+/// model was built, and a false "occupied" merely wastes a channel.
+///
+/// The guard tracks the model's age from the moment it was installed
+/// ([`new`](Self::new) / [`refresh`](Self::refresh)); callers that know
+/// the transfer happened earlier can [`backdate`](Self::backdate) it.
+#[derive(Debug, Clone)]
+pub struct StaleModelGuard {
+    model: WaldoModel,
+    ttl: Duration,
+    fetched: Instant,
+    backdated: Duration,
+}
+
+impl StaleModelGuard {
+    /// Wraps a freshly downloaded `model` with a time-to-live.
+    pub fn new(model: WaldoModel, ttl: Duration) -> Self {
+        Self { model, ttl, fetched: Instant::now(), backdated: Duration::ZERO }
+    }
+
+    /// Installs a newly downloaded model and restarts the clock.
+    pub fn refresh(&mut self, model: WaldoModel) {
+        self.model = model;
+        self.mark_refreshed();
+    }
+
+    /// Restarts the clock without replacing the model (e.g. the server
+    /// confirmed the cached epoch is still current).
+    pub fn mark_refreshed(&mut self) {
+        self.fetched = Instant::now();
+        self.backdated = Duration::ZERO;
+    }
+
+    /// Ages the model by `by` (on top of elapsed wall time). Lets callers
+    /// account for transfer delay — and lets tests and chaos drivers push a
+    /// guard over its TTL deterministically.
+    pub fn backdate(&mut self, by: Duration) {
+        self.backdated += by;
+    }
+
+    /// Current age of the wrapped model.
+    pub fn age(&self) -> Duration {
+        self.fetched.elapsed() + self.backdated
+    }
+
+    /// Whether the model has outlived its TTL.
+    pub fn is_stale(&self) -> bool {
+        self.age() > self.ttl
+    }
+
+    /// The configured TTL.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// The wrapped model (for direct use while fresh; going through
+    /// [`assess`](Self::assess) / [`gate_decision`](Self::gate_decision)
+    /// keeps the staleness rule applied).
+    pub fn model(&self) -> &WaldoModel {
+        &self.model
+    }
+
+    /// Assesses an observation through the TTL rule: the model's answer
+    /// while fresh, unconditionally [`Safety::NotSafe`] once stale.
+    pub fn assess(&self, location: Point, observation: &Observation) -> Safety {
+        self.gate_decision(self.model.assess(location, observation))
+    }
+
+    /// Applies the TTL rule to a decision made elsewhere (e.g. a
+    /// [`WhiteSpaceDetector`] convergence over the same model): passes it
+    /// through while fresh, degrades it to [`Safety::NotSafe`] once stale.
+    pub fn gate_decision(&self, decided: Safety) -> Safety {
+        if self.is_stale() {
+            Safety::NotSafe
+        } else {
+            decided
+        }
+    }
+}
+
 /// IEEE 802.22 requires in-service sensing to complete within 2 seconds;
 /// the paper measures its 30-channel scan at 5.89 s (2.9× over).
 pub const IEEE_802_22_BUDGET_S: f64 = 2.0;
@@ -419,6 +503,49 @@ mod tests {
         cache.record(40, Safety::NotSafe);
         assert!(!cache.should_skip(40));
         assert!(cache.cached_channels().is_empty());
+    }
+
+    #[test]
+    fn stale_model_guard_degrades_to_not_safe() {
+        let m = model();
+        let quiet_spot = Point::new(5_000.0, 10_000.0);
+        let quiet_obs = Observation {
+            rss_dbm: -92.0,
+            features: FeatureVector {
+                rss_db: -92.0,
+                cft_db: -92.0 - 11.3,
+                aft_db: -92.0 - 12.5,
+                quadrature_imbalance_db: 0.0,
+                iq_kurtosis: 0.0,
+                edge_bin_db: -110.0,
+            },
+            raw_pilot_db: -92.0 - 11.3,
+        };
+        assert_eq!(m.assess(quiet_spot, &quiet_obs), Safety::Safe, "fixture sanity");
+
+        let mut guard = StaleModelGuard::new(m, Duration::from_secs(3600));
+        assert!(!guard.is_stale());
+        assert_eq!(guard.assess(quiet_spot, &quiet_obs), Safety::Safe);
+        assert_eq!(guard.gate_decision(Safety::Safe), Safety::Safe);
+
+        // Push the guard over its TTL: everything degrades to not-safe.
+        guard.backdate(Duration::from_secs(3601));
+        assert!(guard.is_stale());
+        assert_eq!(guard.assess(quiet_spot, &quiet_obs), Safety::NotSafe);
+        assert_eq!(guard.gate_decision(Safety::Safe), Safety::NotSafe);
+        assert_eq!(guard.gate_decision(Safety::NotSafe), Safety::NotSafe);
+
+        // A refresh restores fresh behaviour (and clears the backdating).
+        let m2 = guard.model().clone();
+        guard.refresh(m2);
+        assert!(!guard.is_stale());
+        assert_eq!(guard.assess(quiet_spot, &quiet_obs), Safety::Safe);
+
+        // mark_refreshed restarts the clock without swapping the model.
+        guard.backdate(Duration::from_secs(7200));
+        assert!(guard.is_stale());
+        guard.mark_refreshed();
+        assert!(!guard.is_stale());
     }
 
     #[test]

@@ -62,6 +62,14 @@ fn probe_rows(model: &WaldoModel) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// One representative encoded model, built once: corruption tests sample
+/// hundreds of cases and retraining per case would dominate the run.
+fn encoded_model() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| train(ClassifierKind::Svm, 3, 7, 15_000.0).to_wire())
+}
+
 proptest! {
     #[test]
     fn wire_roundtrip_is_identity_for_svm_and_nb(
@@ -101,5 +109,43 @@ proptest! {
         )
         .expect("own payloads reassemble");
         prop_assert_eq!(rebuilt, model);
+    }
+
+    /// Cutting a valid frame short at any point must surface as a typed
+    /// [`waldo::wire::WireError`], never a panic: a fault-injected transport
+    /// can hand the decoder exactly these prefixes.
+    #[test]
+    fn truncated_model_frames_decode_to_typed_errors(cut in 0.0f64..1.0) {
+        let bytes = encoded_model();
+        let keep = ((bytes.len() as f64) * cut) as usize;
+        prop_assert!(keep < bytes.len());
+        let err = WaldoModel::from_wire(&bytes[..keep]);
+        prop_assert!(err.is_err(), "prefix of {keep}/{} bytes decoded Ok", bytes.len());
+    }
+
+    /// Flipping any bit of a valid frame must not panic. The decoder may
+    /// reject it (typed error) or, for payload bytes, produce a different
+    /// but well-formed model whose re-encoding also must not panic.
+    #[test]
+    fn bit_flips_in_model_frames_never_panic(
+        pos in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let bytes = encoded_model();
+        let mut corrupted = bytes.to_vec();
+        let at = ((bytes.len() as f64) * pos) as usize;
+        corrupted[at] ^= 1u8 << bit;
+        if let Ok(model) = WaldoModel::from_wire(&corrupted) {
+            let _ = model.to_wire();
+        }
+    }
+
+    /// Decoding is total over arbitrary byte strings: garbage in, typed
+    /// error (or a coincidentally valid model) out — never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = WaldoModel::from_wire(&bytes);
     }
 }

@@ -1,0 +1,707 @@
+//! Deterministic fault injection for the distribution and detection paths.
+//!
+//! The paper's claim is that a white-space device keeps deciding *locally*
+//! while its link to the central constructor misbehaves. This crate makes
+//! that misbehaviour reproducible: seeded fault *schedules* that drive
+//! three seams —
+//!
+//! * **transport** — [`FaultStream`] wraps the serve client/server sockets
+//!   and injects connection refusals, mid-frame drops, partial writes,
+//!   single-bit corruption, and read stalls ([`TransportFaults`]);
+//! * **server** — the accept-loop backpressure (connection cap, per-frame
+//!   progress deadline) in `waldo-serve` is exercised under these streams;
+//! * **sensor** — [`SensorFaults`] perturbs the RSS stream fed into the
+//!   detector with stuck-at runs, dropped readings, and noise bursts.
+//!
+//! # Determinism
+//!
+//! Every decision is drawn from a seeded xoshiro stream (the vendored
+//! `rand`), and decisions are only drawn at points whose call counts the
+//! *caller* controls: once per connection attempt, once per `write` call,
+//! once per sensor reading. Read-side behaviour never draws (kernel read
+//! segmentation is not reproducible), so a given seed replays the identical
+//! fault sequence across runs and worker counts. Independent entities
+//! (clients, connections) derive their own streams with [`derive_seed`] /
+//! [`TransportFaults::fork`], which keeps each sequence invariant under
+//! concurrency.
+//!
+//! # Feature gating
+//!
+//! Without the `fault` cargo feature (the default) every decision method
+//! returns "no fault", [`FaultStream`] is a transparent passthrough with no
+//! policy state, and the serve/detect paths behave bit-identically to a
+//! build that never heard of this crate.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+#[cfg(feature = "fault")]
+use rand::rngs::StdRng;
+#[cfg(feature = "fault")]
+use rand::{Rng, SeedableRng};
+
+/// Derives an independent fault-schedule seed for entity `index` of a
+/// named seam (`salt`), so concurrent entities replay their own sequences
+/// regardless of interleaving. SplitMix64 over an FNV-1a fold of the salt.
+pub fn derive_seed(seed: u64, salt: &str, index: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in salt.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = seed ^ h.wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    // SplitMix64 finalizer: decorrelates adjacent (seed, index) pairs.
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Transport faults.
+
+/// Per-operation fault probabilities for one transport schedule. All
+/// probabilities default to zero (no faults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportPlan {
+    /// P(connection attempt is refused before the socket is opened).
+    pub refuse_connect: f64,
+    /// P(one bit of a written buffer is flipped), per `write` call.
+    pub corrupt_byte: f64,
+    /// P(only a prefix is written and the stream then dies), per `write`.
+    pub short_write: f64,
+    /// P(the connection aborts mid-frame after a partial write), per
+    /// `write`.
+    pub drop_mid_frame: f64,
+    /// P(the next `read` on the stream stalls for [`stall`](Self::stall)),
+    /// per `write`.
+    pub read_stall: f64,
+    /// How long an injected read stall sleeps.
+    pub stall: Duration,
+}
+
+impl Default for TransportPlan {
+    fn default() -> Self {
+        Self {
+            refuse_connect: 0.0,
+            corrupt_byte: 0.0,
+            short_write: 0.0,
+            drop_mid_frame: 0.0,
+            read_stall: 0.0,
+            stall: Duration::ZERO,
+        }
+    }
+}
+
+/// Counts of transport faults a schedule has injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportEvents {
+    /// Connection attempts refused.
+    pub refused: u64,
+    /// Writes with one bit flipped.
+    pub corrupted: u64,
+    /// Writes cut short (stream dead afterwards).
+    pub short_writes: u64,
+    /// Mid-frame connection aborts.
+    pub dropped: u64,
+    /// Read stalls scheduled.
+    pub stalled: u64,
+}
+
+impl TransportEvents {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.refused + self.corrupted + self.short_writes + self.dropped + self.stalled
+    }
+}
+
+/// What one `write` call should do. Crate-internal: [`FaultStream`]
+/// translates it into I/O behaviour.
+#[cfg(feature = "fault")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteFault {
+    None,
+    /// Flip one bit of byte `at`, then write normally.
+    Corrupt {
+        at: usize,
+    },
+    /// Write only the first `keep` bytes, report them, and die.
+    Short {
+        keep: usize,
+    },
+    /// Write the first `keep` bytes, then abort the connection.
+    Drop {
+        keep: usize,
+    },
+    /// Write normally; the next `read` sleeps for the plan's stall.
+    StallNextRead,
+}
+
+#[cfg(feature = "fault")]
+mod transport_imp {
+    use super::{StdRng, TransportEvents, TransportPlan, WriteFault};
+    use rand::{Rng, SeedableRng};
+    use std::sync::Mutex;
+
+    #[derive(Debug)]
+    pub(super) struct State {
+        pub(super) seed: u64,
+        pub(super) plan: TransportPlan,
+        pub(super) inner: Mutex<Inner>,
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Inner {
+        pub(super) rng: StdRng,
+        pub(super) events: TransportEvents,
+    }
+
+    impl State {
+        pub(super) fn new(seed: u64, plan: TransportPlan) -> Self {
+            Self {
+                seed,
+                plan,
+                inner: Mutex::new(Inner {
+                    rng: StdRng::seed_from_u64(seed),
+                    events: TransportEvents::default(),
+                }),
+            }
+        }
+
+        pub(super) fn connect_refused(&self) -> bool {
+            let mut inner = self.inner.lock().expect("fault state poisoned");
+            let refused =
+                self.plan.refuse_connect > 0.0 && inner.rng.gen::<f64>() < self.plan.refuse_connect;
+            if refused {
+                inner.events.refused += 1;
+            }
+            refused
+        }
+
+        pub(super) fn write_fault(&self, len: usize) -> WriteFault {
+            if len == 0 {
+                return WriteFault::None;
+            }
+            let plan = &self.plan;
+            let mut inner = self.inner.lock().expect("fault state poisoned");
+            let u = inner.rng.gen::<f64>();
+            let mut edge = plan.corrupt_byte;
+            if u < edge {
+                let at = inner.rng.gen_range(0..len);
+                inner.events.corrupted += 1;
+                return WriteFault::Corrupt { at };
+            }
+            edge += plan.short_write;
+            if u < edge {
+                let keep = inner.rng.gen_range(0..len);
+                inner.events.short_writes += 1;
+                return WriteFault::Short { keep };
+            }
+            edge += plan.drop_mid_frame;
+            if u < edge {
+                let keep = inner.rng.gen_range(0..len);
+                inner.events.dropped += 1;
+                return WriteFault::Drop { keep };
+            }
+            edge += plan.read_stall;
+            if u < edge {
+                inner.events.stalled += 1;
+                return WriteFault::StallNextRead;
+            }
+            WriteFault::None
+        }
+
+        pub(super) fn events(&self) -> TransportEvents {
+            self.inner.lock().expect("fault state poisoned").events
+        }
+    }
+}
+
+/// A seeded transport fault schedule. Cloning shares the underlying
+/// decision stream and event counters, so one schedule can follow a client
+/// across reconnects (each new socket continues the same sequence).
+///
+/// Without the `fault` feature this is an inert zero-sized handle.
+#[derive(Debug, Clone)]
+pub struct TransportFaults {
+    #[cfg(feature = "fault")]
+    state: std::sync::Arc<transport_imp::State>,
+}
+
+impl TransportFaults {
+    /// Creates a schedule drawing from `seed` under `plan`.
+    #[cfg_attr(not(feature = "fault"), allow(unused_variables))]
+    pub fn new(seed: u64, plan: TransportPlan) -> Self {
+        Self {
+            #[cfg(feature = "fault")]
+            state: std::sync::Arc::new(transport_imp::State::new(seed, plan)),
+        }
+    }
+
+    /// Derives an independent schedule for entity `index` (same plan, seed
+    /// derived via [`derive_seed`]). Fresh counters, fresh stream: the
+    /// fork's sequence does not depend on draws made from `self`.
+    #[cfg_attr(not(feature = "fault"), allow(unused_variables))]
+    pub fn fork(&self, index: u64) -> Self {
+        #[cfg(feature = "fault")]
+        {
+            TransportFaults::new(derive_seed(self.state.seed, "fork", index), self.state.plan)
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            TransportFaults::new(0, TransportPlan::default())
+        }
+    }
+
+    /// Whether the next connection attempt should be refused (one decision
+    /// draw). Always `false` without the `fault` feature.
+    pub fn connect_refused(&self) -> bool {
+        #[cfg(feature = "fault")]
+        {
+            self.state.connect_refused()
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            false
+        }
+    }
+
+    /// Snapshot of the faults injected so far.
+    pub fn events(&self) -> TransportEvents {
+        #[cfg(feature = "fault")]
+        {
+            self.state.events()
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            TransportEvents::default()
+        }
+    }
+
+    #[cfg(feature = "fault")]
+    fn write_fault(&self, len: usize) -> WriteFault {
+        self.state.write_fault(len)
+    }
+
+    #[cfg(feature = "fault")]
+    fn stall(&self) -> Duration {
+        self.state.plan.stall
+    }
+}
+
+/// A fault-injecting wrapper around a byte stream. Created
+/// [`transparent`](Self::transparent) it forwards every call untouched;
+/// created [`with_faults`](Self::with_faults) (and with the `fault`
+/// feature compiled in) it consults the schedule on every `write` and
+/// executes scheduled stalls on `read`. Once a schedule kills the stream
+/// (short write / mid-frame drop), every further operation fails with
+/// `BrokenPipe` — the wrapper stays dead until discarded, mirroring a
+/// genuinely broken socket.
+#[derive(Debug)]
+pub struct FaultStream<S> {
+    inner: S,
+    #[cfg(feature = "fault")]
+    faults: Option<TransportFaults>,
+    #[cfg(feature = "fault")]
+    dead: bool,
+    #[cfg(feature = "fault")]
+    pending_stall: bool,
+}
+
+impl<S> FaultStream<S> {
+    /// Wraps `inner` with no fault schedule: a pure passthrough.
+    pub fn transparent(inner: S) -> Self {
+        Self {
+            inner,
+            #[cfg(feature = "fault")]
+            faults: None,
+            #[cfg(feature = "fault")]
+            dead: false,
+            #[cfg(feature = "fault")]
+            pending_stall: false,
+        }
+    }
+
+    /// Wraps `inner` under `faults`. Without the `fault` feature the
+    /// schedule is inert and this is equivalent to
+    /// [`transparent`](Self::transparent).
+    #[cfg_attr(not(feature = "fault"), allow(unused_variables))]
+    pub fn with_faults(inner: S, faults: TransportFaults) -> Self {
+        Self {
+            inner,
+            #[cfg(feature = "fault")]
+            faults: Some(faults),
+            #[cfg(feature = "fault")]
+            dead: false,
+            #[cfg(feature = "fault")]
+            pending_stall: false,
+        }
+    }
+
+    /// The wrapped stream (e.g. to adjust socket timeouts).
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped stream.
+    pub fn get_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps the stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+#[cfg(feature = "fault")]
+fn dead_stream_error() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::BrokenPipe, "fault-injected dead stream")
+}
+
+impl<S: Read> Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        #[cfg(feature = "fault")]
+        {
+            if self.dead {
+                return Err(dead_stream_error());
+            }
+            if self.pending_stall {
+                self.pending_stall = false;
+                if let Some(f) = &self.faults {
+                    std::thread::sleep(f.stall());
+                }
+            }
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultStream<S> {
+    #[cfg_attr(not(feature = "fault"), inline)]
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        #[cfg(feature = "fault")]
+        {
+            if self.dead {
+                return Err(dead_stream_error());
+            }
+            if let Some(faults) = self.faults.clone() {
+                match faults.write_fault(buf.len()) {
+                    WriteFault::None => {}
+                    WriteFault::StallNextRead => self.pending_stall = true,
+                    WriteFault::Corrupt { at } => {
+                        let mut copy = buf.to_vec();
+                        copy[at] ^= 0x04;
+                        return self.inner.write(&copy);
+                    }
+                    WriteFault::Short { keep } => {
+                        self.dead = true;
+                        if keep > 0 {
+                            self.inner.write_all(&buf[..keep])?;
+                            let _ = self.inner.flush();
+                        }
+                        // `Ok(0)` surfaces as `WriteZero` in the caller's
+                        // `write_all` — still a transport error, as intended.
+                        return Ok(keep);
+                    }
+                    WriteFault::Drop { keep } => {
+                        self.dead = true;
+                        if keep > 0 {
+                            let _ = self.inner.write_all(&buf[..keep]);
+                            let _ = self.inner.flush();
+                        }
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionAborted,
+                            "fault-injected mid-frame drop",
+                        ));
+                    }
+                }
+            }
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        #[cfg(feature = "fault")]
+        if self.dead {
+            return Err(dead_stream_error());
+        }
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sensor faults.
+
+/// Per-reading fault probabilities for a sensor schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorPlan {
+    /// P(a stuck-at run starts at this reading).
+    pub stuck: f64,
+    /// Length of a stuck-at run, readings (the trigger reading included).
+    pub stuck_len: u32,
+    /// P(this reading is dropped before reaching the detector).
+    pub drop: f64,
+    /// P(this reading carries a noise burst).
+    pub burst: f64,
+    /// Burst amplitude added to the true RSS, dB.
+    pub burst_db: f64,
+}
+
+impl Default for SensorPlan {
+    fn default() -> Self {
+        Self { stuck: 0.0, stuck_len: 4, drop: 0.0, burst: 0.0, burst_db: 20.0 }
+    }
+}
+
+/// What one sensor reading should do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorFault {
+    /// Deliver the reading unchanged.
+    None,
+    /// Repeat the previous delivered value (stuck sensor).
+    Stuck,
+    /// Drop the reading entirely.
+    Drop,
+    /// Add this many dB of burst noise to the reading.
+    Burst(f64),
+}
+
+/// Counts of sensor faults a schedule has injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SensorEvents {
+    /// Readings replaced by a stuck-at value.
+    pub stuck: u64,
+    /// Readings dropped.
+    pub dropped: u64,
+    /// Readings hit by a noise burst.
+    pub bursts: u64,
+}
+
+impl SensorEvents {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.stuck + self.dropped + self.bursts
+    }
+}
+
+/// A seeded sensor fault schedule: one decision per reading.
+///
+/// Without the `fault` feature [`next_fault`](Self::next_fault) always returns
+/// [`SensorFault::None`].
+#[derive(Debug, Clone)]
+pub struct SensorFaults {
+    #[cfg(feature = "fault")]
+    rng: StdRng,
+    #[cfg(feature = "fault")]
+    plan: SensorPlan,
+    #[cfg(feature = "fault")]
+    stuck_remaining: u32,
+    events: SensorEvents,
+}
+
+impl SensorFaults {
+    /// Creates a schedule drawing from `seed` under `plan`.
+    #[cfg_attr(not(feature = "fault"), allow(unused_variables))]
+    pub fn new(seed: u64, plan: SensorPlan) -> Self {
+        Self {
+            #[cfg(feature = "fault")]
+            rng: StdRng::seed_from_u64(seed),
+            #[cfg(feature = "fault")]
+            plan,
+            #[cfg(feature = "fault")]
+            stuck_remaining: 0,
+            events: SensorEvents::default(),
+        }
+    }
+
+    /// Draws the fault decision for the next reading.
+    pub fn next_fault(&mut self) -> SensorFault {
+        #[cfg(feature = "fault")]
+        {
+            if self.stuck_remaining > 0 {
+                self.stuck_remaining -= 1;
+                self.events.stuck += 1;
+                return SensorFault::Stuck;
+            }
+            let u = self.rng.gen::<f64>();
+            let mut edge = self.plan.stuck;
+            if u < edge {
+                self.stuck_remaining = self.plan.stuck_len.saturating_sub(1);
+                self.events.stuck += 1;
+                return SensorFault::Stuck;
+            }
+            edge += self.plan.drop;
+            if u < edge {
+                self.events.dropped += 1;
+                return SensorFault::Drop;
+            }
+            edge += self.plan.burst;
+            if u < edge {
+                self.events.bursts += 1;
+                return SensorFault::Burst(self.plan.burst_db);
+            }
+        }
+        SensorFault::None
+    }
+
+    /// Snapshot of the faults injected so far.
+    pub fn events(&self) -> SensorEvents {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_separates_salts_and_indices() {
+        assert_ne!(derive_seed(42, "transport", 0), derive_seed(42, "transport", 1));
+        assert_ne!(derive_seed(42, "transport", 0), derive_seed(42, "sensor", 0));
+        assert_ne!(derive_seed(42, "transport", 0), derive_seed(43, "transport", 0));
+        assert_eq!(derive_seed(42, "transport", 7), derive_seed(42, "transport", 7));
+    }
+
+    #[cfg(not(feature = "fault"))]
+    #[test]
+    fn without_the_feature_everything_is_inert() {
+        let plan = TransportPlan {
+            refuse_connect: 1.0,
+            corrupt_byte: 1.0,
+            short_write: 1.0,
+            drop_mid_frame: 1.0,
+            read_stall: 1.0,
+            stall: Duration::from_secs(1),
+        };
+        let faults = TransportFaults::new(1, plan);
+        assert!(!faults.connect_refused());
+        assert_eq!(faults.events(), TransportEvents::default());
+
+        let mut sensor = SensorFaults::new(
+            1,
+            SensorPlan { stuck: 1.0, drop: 1.0, burst: 1.0, ..SensorPlan::default() },
+        );
+        for _ in 0..32 {
+            assert_eq!(sensor.next_fault(), SensorFault::None);
+        }
+        assert_eq!(sensor.events(), SensorEvents::default());
+
+        // The stream forwards bytes untouched.
+        let mut out = Vec::new();
+        let mut stream = FaultStream::with_faults(&mut out, faults);
+        stream.write_all(b"pristine").unwrap();
+        stream.flush().unwrap();
+        assert_eq!(out, b"pristine");
+    }
+
+    #[cfg(feature = "fault")]
+    mod with_feature {
+        use super::super::*;
+
+        fn busy_plan() -> TransportPlan {
+            TransportPlan {
+                refuse_connect: 0.2,
+                corrupt_byte: 0.15,
+                short_write: 0.15,
+                drop_mid_frame: 0.1,
+                read_stall: 0.1,
+                stall: Duration::ZERO,
+            }
+        }
+
+        /// Replays a schedule as a comparable decision trace.
+        fn transport_trace(faults: &TransportFaults, ops: usize) -> Vec<String> {
+            (0..ops)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        format!("connect:{}", faults.connect_refused())
+                    } else {
+                        format!("{:?}", faults.write_fault(64))
+                    }
+                })
+                .collect()
+        }
+
+        #[test]
+        fn same_seed_replays_the_identical_transport_sequence() {
+            let a = TransportFaults::new(7, busy_plan());
+            let b = TransportFaults::new(7, busy_plan());
+            assert_eq!(transport_trace(&a, 200), transport_trace(&b, 200));
+            assert_eq!(a.events(), b.events());
+            assert!(a.events().total() > 0, "a busy plan must fire");
+        }
+
+        #[test]
+        fn forked_sequences_are_independent_of_sibling_draws() {
+            // Fork 3's sequence must not depend on how much the parent or
+            // other forks have drawn — that is what makes the aggregate
+            // fault counts invariant under worker interleaving.
+            let parent = TransportFaults::new(7, busy_plan());
+            let quiet_fork = parent.fork(3);
+            let quiet = transport_trace(&quiet_fork, 100);
+
+            let parent = TransportFaults::new(7, busy_plan());
+            let _ = transport_trace(&parent, 57);
+            let busy_sibling = parent.fork(1);
+            let _ = transport_trace(&busy_sibling, 31);
+            let noisy_fork = parent.fork(3);
+            assert_eq!(transport_trace(&noisy_fork, 100), quiet);
+        }
+
+        #[test]
+        fn clones_share_one_stream_and_counters() {
+            let a = TransportFaults::new(9, busy_plan());
+            let b = a.clone();
+            let merged: Vec<String> =
+                transport_trace(&a, 50).into_iter().chain(transport_trace(&b, 50)).collect();
+            let solo = TransportFaults::new(9, busy_plan());
+            assert_eq!(merged, transport_trace(&solo, 100));
+            assert_eq!(a.events(), b.events());
+        }
+
+        #[test]
+        fn sensor_schedule_replays_and_runs_stick() {
+            let plan =
+                SensorPlan { stuck: 0.1, stuck_len: 3, drop: 0.1, burst: 0.1, burst_db: 25.0 };
+            let mut a = SensorFaults::new(11, plan);
+            let mut b = SensorFaults::new(11, plan);
+            let seq_a: Vec<SensorFault> = (0..300).map(|_| a.next_fault()).collect();
+            let seq_b: Vec<SensorFault> = (0..300).map(|_| b.next_fault()).collect();
+            assert_eq!(seq_a, seq_b);
+            let events = a.events();
+            assert!(events.stuck > 0 && events.dropped > 0 && events.bursts > 0);
+            // A stuck trigger holds for stuck_len consecutive readings.
+            let first = seq_a.iter().position(|f| *f == SensorFault::Stuck).unwrap();
+            assert!(seq_a[first..first + 3].iter().all(|f| *f == SensorFault::Stuck));
+        }
+
+        #[test]
+        fn short_write_kills_the_stream() {
+            let plan = TransportPlan { short_write: 1.0, ..TransportPlan::default() };
+            let mut out = Vec::new();
+            let mut stream = FaultStream::with_faults(&mut out, TransportFaults::new(1, plan));
+            let err = stream.write_all(b"twelve bytes").unwrap_err();
+            assert!(matches!(
+                err.kind(),
+                std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::WriteZero
+            ));
+            assert!(stream.get_ref().len() < 12, "a short write must not deliver the whole buffer");
+            assert!(stream.write(b"more").is_err(), "the stream stays dead");
+            assert!(stream.flush().is_err());
+        }
+
+        #[test]
+        fn corruption_flips_exactly_one_bit() {
+            let plan = TransportPlan { corrupt_byte: 1.0, ..TransportPlan::default() };
+            let mut out = Vec::new();
+            let mut stream = FaultStream::with_faults(&mut out, TransportFaults::new(2, plan));
+            let original = b"payload bytes under test";
+            stream.write_all(original).unwrap();
+            assert_eq!(out.len(), original.len());
+            let flipped_bits: u32 =
+                out.iter().zip(original.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
+            assert_eq!(flipped_bits, 1, "exactly one bit must differ");
+        }
+    }
+}

@@ -80,7 +80,13 @@ fn probe_malformed(addr: std::net::SocketAddr) -> usize {
     // Garbage payload in a well-formed frame → MalformedFrame status.
     match TcpStream::connect(addr) {
         Ok(mut stream) => {
-            stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            if stream.set_read_timeout(Some(Duration::from_secs(5))).is_err()
+                || stream.set_write_timeout(Some(Duration::from_secs(5))).is_err()
+            {
+                // A socket we cannot bound is a failed probe, not a silent
+                // pass.
+                return unexpected + 1;
+            }
             if write_frame(&mut stream, b"this is not a waldo request").is_err() {
                 unexpected += 1;
             } else {
@@ -104,7 +110,11 @@ fn probe_malformed(addr: std::net::SocketAddr) -> usize {
     // reading the (never-sent) body.
     match TcpStream::connect(addr) {
         Ok(mut stream) => {
-            stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            if stream.set_read_timeout(Some(Duration::from_secs(5))).is_err()
+                || stream.set_write_timeout(Some(Duration::from_secs(5))).is_err()
+            {
+                return unexpected + 1;
+            }
             let huge = (16u32 << 20).to_le_bytes();
             if stream.write_all(&huge).and_then(|()| stream.flush()).is_err() {
                 unexpected += 1;
@@ -133,15 +143,29 @@ struct ClientStats {
     fetches: Vec<(u64, usize, usize, bool)>,
 }
 
+/// Whether a client error was an I/O timeout (on Linux, timed-out socket
+/// reads surface as `WouldBlock`).
+fn is_timeout(e: &waldo_serve::ClientError) -> bool {
+    matches!(
+        e,
+        waldo_serve::ClientError::Io(io)
+            if matches!(io.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock)
+    )
+}
+
 fn run_client(
     addr: std::net::SocketAddr,
     fetches: usize,
     client_idx: usize,
     errors: &AtomicUsize,
+    timeouts: &AtomicUsize,
 ) -> ClientStats {
     let mut client = ModelClient::new(addr, Duration::from_secs(10));
     let mut stats = ClientStats { fetches: Vec::with_capacity(fetches + 1) };
-    if client.ping().is_err() {
+    if let Err(e) = client.ping() {
+        if is_timeout(&e) {
+            timeouts.fetch_add(1, Ordering::Relaxed);
+        }
         errors.fetch_add(1, Ordering::Relaxed);
         return stats;
     }
@@ -159,7 +183,10 @@ fn run_client(
                 }
                 stats.fetches.push((ns, report.response_bytes, report.sent, fetch_idx == 0));
             }
-            Err(_) => {
+            Err(e) => {
+                if is_timeout(&e) {
+                    timeouts.fetch_add(1, Ordering::Relaxed);
+                }
                 errors.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -210,7 +237,9 @@ fn main() {
 
     waldo_prof::reset();
     let errors = AtomicUsize::new(0);
+    let timeouts = AtomicUsize::new(0);
     let errors_ref = &errors;
+    let timeouts_ref = &timeouts;
     let t0 = Instant::now();
     let all_stats: Vec<ClientStats> = std::thread::scope(|scope| {
         let republisher = scope.spawn(|| {
@@ -223,7 +252,7 @@ fn main() {
             catalog.write().expect("catalog lock").publish(CHANNEL, &model_b);
         });
         let handles: Vec<_> = (0..clients)
-            .map(|i| scope.spawn(move || run_client(addr, fetches, i, errors_ref)))
+            .map(|i| scope.spawn(move || run_client(addr, fetches, i, errors_ref, timeouts_ref)))
             .collect();
         let stats = handles.into_iter().map(|h| h.join().expect("client thread")).collect();
         republisher.join().expect("republisher thread");
@@ -233,6 +262,7 @@ fn main() {
     server.shutdown();
 
     let protocol_errors = errors.load(Ordering::Relaxed);
+    let timeout_errors = timeouts.load(Ordering::Relaxed);
     let all: Vec<&(u64, usize, usize, bool)> =
         all_stats.iter().flat_map(|s| s.fetches.iter()).collect();
     let mut latencies: Vec<u64> = all.iter().map(|f| f.0).collect();
@@ -274,13 +304,15 @@ fn main() {
         "delta_fetch_bytes_mean": delta_bytes,
         "delta_bytes_saved_fraction": delta_saved,
         "protocol_errors": protocol_errors,
+        "timeout_errors": timeout_errors,
         "wall_seconds": wall_s,
         "prof_enabled": waldo_prof::enabled(),
         "prof": serde_json::Value::Object(prof),
     });
     eprintln!(
         "{} fetches in {wall_s:.2}s ({fetches_per_s:.0}/s), p50 {:.2}ms p99 {:.2}ms, \
-         full {full_bytes:.0}B delta {delta_bytes:.0}B ({:.1}% saved), {protocol_errors} errors",
+         full {full_bytes:.0}B delta {delta_bytes:.0}B ({:.1}% saved), {protocol_errors} errors \
+         ({timeout_errors} timeouts)",
         all.len(),
         p50 as f64 / 1e6,
         p99 as f64 / 1e6,

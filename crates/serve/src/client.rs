@@ -1,12 +1,34 @@
 //! The device-side model client: keep-alive connection, per-channel payload
 //! cache, and delta-aware model assembly.
+//!
+//! # Failure policy
+//!
+//! The client is built for the paper's deployment reality — flaky links to
+//! the central constructor — and hardens `round_trip` accordingly:
+//!
+//! * **poisoned-stream invariant** — *any* transport or decode error drops
+//!   the cached keep-alive socket, so a request never reuses a stream whose
+//!   framing state is unknown;
+//! * **bounded retries** — transient transport errors (refused connects,
+//!   timeouts, short reads, mid-request closes) retry up to
+//!   [`RetryPolicy::max_attempts`] under deterministic exponential backoff
+//!   with seeded jitter;
+//! * **circuit breaker** — after [`CircuitBreakerPolicy::failure_threshold`]
+//!   consecutive round-trip failures the client fails fast with
+//!   [`ClientError::CircuitOpen`] for the next
+//!   [`CircuitBreakerPolicy::cooldown_requests`] requests, then lets one
+//!   half-open probe through. Cooldown is counted in *requests*, not wall
+//!   time, so replays are deterministic.
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use waldo::wire::{conservative_payload, decode_prelude, fnv1a64, Reader, WireError};
 use waldo::WaldoModel;
+use waldo_fault::{FaultStream, TransportFaults};
 
 use crate::protocol::{
     decode_response, read_frame, write_frame, FrameRead, LocalityEntry, Request, Status,
@@ -25,6 +47,9 @@ pub enum ClientError {
     /// The response was well-formed but inconsistent (e.g. an `Unchanged`
     /// entry for a locality this client never downloaded).
     Protocol(&'static str),
+    /// The circuit breaker is open: recent requests all failed and the
+    /// cooldown has not elapsed, so the request was not attempted.
+    CircuitOpen,
 }
 
 impl std::fmt::Display for ClientError {
@@ -34,7 +59,56 @@ impl std::fmt::Display for ClientError {
             ClientError::Server(status) => write!(f, "server rejected request: {status}"),
             ClientError::Wire(e) => write!(f, "undecodable response: {e}"),
             ClientError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            ClientError::CircuitOpen => f.write_str("circuit breaker open: request not attempted"),
         }
+    }
+}
+
+/// Retry schedule for transient transport failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per round trip (first try included). 0 acts as 1.
+    pub max_attempts: u32,
+    /// Backoff before retry k is `base_delay * 2^k`, capped at
+    /// [`max_delay`](Self::max_delay).
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep (jitter included).
+    pub max_delay: Duration,
+    /// Jitter amplitude in `[0, 1]`: each sleep is scaled by a seeded
+    /// uniform draw from `[1 - jitter, 1 + jitter)`. 0 disables jitter
+    /// (and draws nothing, preserving the jitter stream).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    /// 3 attempts, 10 ms base, 500 ms cap, ±50 % jitter.
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            jitter: 0.5,
+        }
+    }
+}
+
+/// Fail-fast policy after persistent failure. Cooldown is measured in
+/// requests (not wall time) so a given request sequence replays the same
+/// breaker transitions on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreakerPolicy {
+    /// Consecutive failed round trips (retries exhausted) that open the
+    /// breaker. 0 disables the breaker.
+    pub failure_threshold: u32,
+    /// How many subsequent requests fail fast with
+    /// [`ClientError::CircuitOpen`] before one half-open probe is allowed.
+    pub cooldown_requests: u32,
+}
+
+impl Default for CircuitBreakerPolicy {
+    /// Opens after 8 consecutive failures, sheds 16 requests per cooldown.
+    fn default() -> Self {
+        Self { failure_threshold: 8, cooldown_requests: 16 }
     }
 }
 
@@ -74,6 +148,8 @@ struct ChannelState {
     /// Locality count of the last response (0 = never fetched).
     locality_count: usize,
     payloads: BTreeMap<usize, Vec<u8>>,
+    /// When the last successful fetch for this channel completed.
+    fetched_at: Option<Instant>,
 }
 
 impl ChannelState {
@@ -93,15 +169,94 @@ impl ChannelState {
 pub struct ModelClient {
     addr: SocketAddr,
     timeout: Duration,
-    stream: Option<TcpStream>,
+    stream: Option<FaultStream<TcpStream>>,
     channels: BTreeMap<u8, ChannelState>,
+    retry: RetryPolicy,
+    breaker: CircuitBreakerPolicy,
+    jitter_rng: StdRng,
+    faults: Option<TransportFaults>,
+    consecutive_failures: u32,
+    breaker_open: bool,
+    cooldown_left: u32,
+    retries_total: u64,
+    breaker_opens: u64,
 }
 
 impl ModelClient {
     /// Creates a client for the server at `addr` with the given I/O
-    /// timeout. No connection is made until the first request.
+    /// timeout. No connection is made until the first request. Retry and
+    /// breaker behaviour come from the policy defaults; override them with
+    /// the builder methods.
     pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
-        Self { addr, timeout, stream: None, channels: BTreeMap::new() }
+        Self {
+            addr,
+            timeout,
+            stream: None,
+            channels: BTreeMap::new(),
+            retry: RetryPolicy::default(),
+            breaker: CircuitBreakerPolicy::default(),
+            jitter_rng: StdRng::seed_from_u64(0xbac_c0ff),
+            faults: None,
+            consecutive_failures: 0,
+            breaker_open: false,
+            cooldown_left: 0,
+            retries_total: 0,
+            breaker_opens: 0,
+        }
+    }
+
+    /// Overrides the retry schedule.
+    #[must_use]
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Overrides the circuit-breaker policy.
+    #[must_use]
+    pub fn circuit_breaker(mut self, policy: CircuitBreakerPolicy) -> Self {
+        self.breaker = policy;
+        self
+    }
+
+    /// Reseeds the backoff-jitter stream (deterministic replays need each
+    /// client on its own derived seed).
+    #[must_use]
+    pub fn jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Installs a transport fault schedule: connects may be refused and
+    /// every socket is wrapped in a [`FaultStream`]. Inert without the
+    /// `fault` feature.
+    #[must_use]
+    pub fn with_transport_faults(mut self, faults: TransportFaults) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Retries performed beyond first attempts, over the client's lifetime.
+    pub fn retries_total(&self) -> u64 {
+        self.retries_total
+    }
+
+    /// Times the circuit breaker opened (or re-armed after a failed
+    /// half-open probe).
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker_opens
+    }
+
+    /// Whether the breaker is currently open (requests may fail fast).
+    pub fn breaker_is_open(&self) -> bool {
+        self.breaker_open
+    }
+
+    /// Age of the cached model for `channel`: time since the last
+    /// successful fetch, `None` if the channel was never fetched. Feed this
+    /// to `waldo::StaleModelGuard` to enforce a TTL.
+    pub fn model_age(&self, channel: u8) -> Option<Duration> {
+        self.channels.get(&channel).and_then(|s| s.fetched_at).map(|t| t.elapsed())
     }
 
     /// The model epoch this client can advertise for `channel` (0 = none).
@@ -119,11 +274,29 @@ impl ModelClient {
     /// Returns [`ClientError`] on transport or protocol failure.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         let response = self.round_trip(&Request::Ping)?;
-        let (status, _) = decode_response(&response)?;
+        let (status, _) = self.decode_checked(&response)?;
         if status != Status::Ok {
+            // The server closes the connection after any error response.
+            self.stream = None;
             return Err(ClientError::Server(status));
         }
         Ok(())
+    }
+
+    /// Decodes a response payload, dropping the cached stream on failure —
+    /// undecodable bytes mean the transport corrupted data, so the stream's
+    /// framing can no longer be trusted.
+    fn decode_checked(
+        &mut self,
+        response: &[u8],
+    ) -> Result<(Status, Option<crate::protocol::FetchResponse>), ClientError> {
+        match decode_response(response) {
+            Ok(decoded) => Ok(decoded),
+            Err(e) => {
+                self.stream = None;
+                Err(e.into())
+            }
+        }
     }
 
     /// Fetches the model for `channel`, scoped to localities within
@@ -146,16 +319,28 @@ impl ModelClient {
         let have_epoch = self.cached_epoch(channel);
         let request = Request::Fetch { channel, x_km, y_km, radius_km, have_epoch };
         let response = self.round_trip(&request)?;
-        let (status, body) = decode_response(&response)?;
+        let (status, body) = self.decode_checked(&response)?;
         if status != Status::Ok {
+            // The server closes the connection after any error response.
+            self.stream = None;
             return Err(ClientError::Server(status));
         }
         let body = body.ok_or(ClientError::Protocol("fetch response without a body"))?;
 
         let mut r = Reader::new(&body.prelude);
-        let (features, centroids) = decode_prelude(&mut r)?;
-        r.finish()?;
+        let (features, centroids) = match decode_prelude(&mut r).and_then(|p| {
+            r.finish()?;
+            Ok(p)
+        }) {
+            Ok(p) => p,
+            Err(e) => {
+                // Undecodable prelude: corrupted transport, poison the stream.
+                self.stream = None;
+                return Err(e.into());
+            }
+        };
         if centroids.len() != body.entries.len() {
+            self.stream = None;
             return Err(ClientError::Protocol("entry count != centroid count"));
         }
 
@@ -171,6 +356,8 @@ impl ModelClient {
             match entry {
                 LocalityEntry::Sent { digest, payload } => {
                     if fnv1a64(payload) != *digest {
+                        // Corrupted in flight: the stream is not trustworthy.
+                        self.stream = None;
                         return Err(ClientError::Protocol("payload digest mismatch"));
                     }
                     state.payloads.insert(i, payload.clone());
@@ -193,6 +380,7 @@ impl ModelClient {
             }
         }
         state.epoch = body.epoch;
+        state.fetched_at = Some(Instant::now());
 
         let payloads: Vec<Vec<u8>> = (0..body.entries.len())
             .map(|i| state.payloads.get(&i).cloned().unwrap_or_else(conservative_payload))
@@ -208,41 +396,114 @@ impl ModelClient {
         Ok((model, report))
     }
 
-    /// Sends one frame and reads one frame, reconnecting once if the
-    /// keep-alive connection was dropped (idle timeout, server restart).
+    /// Sends one frame and reads one frame under the failure policy:
+    /// circuit-breaker gate, then up to [`RetryPolicy::max_attempts`]
+    /// attempts with exponential backoff + jitter between them. Every
+    /// failed attempt drops the cached stream (poisoned-stream invariant),
+    /// so a retry always reconnects from scratch.
     fn round_trip(&mut self, request: &Request) -> Result<Vec<u8>, ClientError> {
+        // An open breaker with cooldown spent falls through as the
+        // half-open probe.
+        if self.breaker_open && self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return Err(ClientError::CircuitOpen);
+        }
         let payload = request.encode();
-        for attempt in 0..2 {
-            if self.stream.is_none() {
-                let stream = TcpStream::connect(self.addr)?;
-                stream.set_read_timeout(Some(self.timeout))?;
-                stream.set_write_timeout(Some(self.timeout))?;
-                stream.set_nodelay(true)?;
-                self.stream = Some(stream);
-            }
-            let stream = self.stream.as_mut().expect("connected above");
-            let result =
-                write_frame(stream, &payload).and_then(|()| read_frame(stream, MAX_RESPONSE_BYTES));
-            match result {
-                Ok(FrameRead::Frame(response)) => return Ok(response),
-                Ok(FrameRead::TooLarge(_)) => {
-                    self.stream = None;
-                    return Err(ClientError::Protocol("response frame exceeds client limit"));
-                }
-                Ok(FrameRead::Closed) | Err(_) if attempt == 0 => {
-                    // Stale keep-alive connection: reconnect and retry once.
-                    self.stream = None;
-                }
-                Ok(FrameRead::Closed) => {
-                    self.stream = None;
-                    return Err(ClientError::Protocol("connection closed mid-request"));
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            match self.attempt(&payload) {
+                Ok(response) => {
+                    self.consecutive_failures = 0;
+                    self.breaker_open = false;
+                    return Ok(response);
                 }
                 Err(e) => {
+                    // Poisoned-stream invariant: never reuse a socket that
+                    // saw any failure (short read, timeout, stray bytes).
                     self.stream = None;
-                    return Err(e.into());
+                    attempt += 1;
+                    let retryable = matches!(e, ClientError::Io(_));
+                    if retryable && attempt < max_attempts {
+                        self.retries_total += 1;
+                        let delay = self.backoff_delay(attempt - 1);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        continue;
+                    }
+                    self.note_round_trip_failure();
+                    return Err(e);
                 }
             }
         }
-        unreachable!("loop returns on the second attempt")
+    }
+
+    /// One connect-if-needed + request/response exchange.
+    fn attempt(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        if self.stream.is_none() {
+            if let Some(faults) = &self.faults {
+                if faults.connect_refused() {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionRefused,
+                        "fault-injected connection refusal",
+                    )));
+                }
+            }
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(match &self.faults {
+                Some(faults) => FaultStream::with_faults(stream, faults.clone()),
+                None => FaultStream::transparent(stream),
+            });
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        write_frame(stream, payload)?;
+        match read_frame(stream, MAX_RESPONSE_BYTES)? {
+            FrameRead::Frame(response) => Ok(response),
+            FrameRead::TooLarge(_) => {
+                Err(ClientError::Protocol("response frame exceeds client limit"))
+            }
+            // A close between our request and the response is transient
+            // (idle-dropped keep-alive, server restart): surface it as a
+            // retryable transport error.
+            FrameRead::Closed => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ))),
+        }
+    }
+
+    /// Backoff before retry `retry_index` (0-based): exponential from
+    /// `base_delay`, capped at `max_delay`, scaled by seeded jitter.
+    fn backoff_delay(&mut self, retry_index: u32) -> Duration {
+        let base = self.retry.base_delay.as_secs_f64();
+        let cap = self.retry.max_delay.as_secs_f64();
+        let exp = base * 2f64.powi(retry_index.min(30) as i32);
+        let jitter = self.retry.jitter.clamp(0.0, 1.0);
+        let factor = if jitter > 0.0 {
+            1.0 - jitter + 2.0 * jitter * self.jitter_rng.gen::<f64>()
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64((exp.min(cap) * factor).min(cap))
+    }
+
+    /// Records one failed round trip (retries exhausted) and opens or
+    /// re-arms the breaker at the threshold.
+    fn note_round_trip_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.breaker.failure_threshold > 0
+            && self.consecutive_failures >= self.breaker.failure_threshold
+        {
+            // First opening, or a failed half-open probe re-arming it.
+            if !self.breaker_open || self.cooldown_left == 0 {
+                self.breaker_opens += 1;
+            }
+            self.breaker_open = true;
+            self.cooldown_left = self.breaker.cooldown_requests;
+        }
     }
 }

@@ -51,6 +51,6 @@ pub mod protocol;
 pub mod server;
 
 pub use catalog::ModelCatalog;
-pub use client::{ClientError, FetchReport, ModelClient};
+pub use client::{CircuitBreakerPolicy, ClientError, FetchReport, ModelClient, RetryPolicy};
 pub use protocol::{Request, Status};
 pub use server::{serve, ServeConfig, ServerHandle};

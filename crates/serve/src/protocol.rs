@@ -25,7 +25,6 @@
 //! A `radius_km <= 0` fetch is unscoped: every changed locality is sent.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
 
 use waldo::wire::{put_u32, put_u64, Reader, WireError};
 
@@ -64,6 +63,8 @@ pub enum Status {
     RequestTooLarge,
     /// The server failed internally.
     Internal,
+    /// The server is at its connection cap; retry after a backoff.
+    Busy,
 }
 
 impl Status {
@@ -77,6 +78,7 @@ impl Status {
             Status::UnknownChannel => 4,
             Status::RequestTooLarge => 5,
             Status::Internal => 6,
+            Status::Busy => 7,
         }
     }
 
@@ -90,6 +92,7 @@ impl Status {
             4 => Status::UnknownChannel,
             5 => Status::RequestTooLarge,
             6 => Status::Internal,
+            7 => Status::Busy,
             _ => return None,
         })
     }
@@ -105,6 +108,7 @@ impl std::fmt::Display for Status {
             Status::UnknownChannel => "unknown channel",
             Status::RequestTooLarge => "request too large",
             Status::Internal => "internal server error",
+            Status::Busy => "server busy",
         };
         f.write_str(name)
     }
@@ -283,7 +287,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(Status, Option<FetchResponse>)
 }
 
 /// Writes one length-prefixed frame.
-pub fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+pub fn write_frame<W: Write>(stream: &mut W, payload: &[u8]) -> std::io::Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
     stream.write_all(&len.to_le_bytes())?;
@@ -303,7 +307,7 @@ pub enum FrameRead {
 }
 
 /// Reads one length-prefixed frame, enforcing `max_bytes`.
-pub fn read_frame(stream: &mut TcpStream, max_bytes: u32) -> std::io::Result<FrameRead> {
+pub fn read_frame<R: Read>(stream: &mut R, max_bytes: u32) -> std::io::Result<FrameRead> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
         Ok(()) => {}
@@ -375,6 +379,7 @@ mod tests {
             Status::UnknownChannel,
             Status::RequestTooLarge,
             Status::Internal,
+            Status::Busy,
         ] {
             assert_eq!(Status::from_code(status.code()), Some(status));
         }

@@ -8,22 +8,34 @@
 //! * a connection that stays idle longer than
 //!   [`ServeConfig::read_timeout`] is dropped (clients reconnect
 //!   transparently on their next request);
-//! * writes are bounded by [`ServeConfig::write_timeout`], so one stalled
-//!   client cannot pin a handler thread;
+//! * once the first byte of a frame arrives, the whole frame must land
+//!   within [`ServeConfig::frame_deadline`] — a slow-loris peer trickling
+//!   one byte per idle window cannot pin a handler thread;
+//! * writes are bounded by [`ServeConfig::write_timeout`];
+//! * at most [`ServeConfig::max_connections`] handlers run at once; excess
+//!   connections are answered [`Status::Busy`] and closed, so an accept
+//!   flood degrades into fast rejections instead of unbounded threads;
 //! * any error response ([`Status`] ≠ `Ok`) is flushed and the connection
 //!   closed — a peer that sent one malformed frame is not trusted to frame
 //!   the next one correctly.
+//!
+//! For chaos testing, a [`TransportFaults`] schedule in the config wraps
+//! every accepted socket in a [`FaultStream`] (forked per connection, so
+//! each connection replays its own deterministic sequence).
 
+use std::io::Read;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use waldo_fault::{FaultStream, TransportFaults};
 
 use crate::catalog::{ModelCatalog, ServedChannel};
 use crate::protocol::{
-    encode_response, read_frame, write_frame, FetchResponse, FrameRead, LocalityEntry, Request,
-    Status, MAX_REQUEST_BYTES,
+    encode_response, write_frame, FetchResponse, FrameRead, LocalityEntry, Request, Status,
+    MAX_REQUEST_BYTES,
 };
 
 /// Server tuning knobs.
@@ -33,12 +45,28 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Per-write stall limit.
     pub write_timeout: Duration,
+    /// Once a frame's first byte arrives, the rest must follow within this
+    /// budget or the connection is dropped (anti-slow-loris).
+    pub frame_deadline: Duration,
+    /// Hard cap on concurrently served connections; connections beyond it
+    /// get [`Status::Busy`] and are closed.
+    pub max_connections: usize,
+    /// Optional fault schedule wrapped around every accepted socket
+    /// (forked per connection). Inert without the `fault` feature.
+    pub faults: Option<TransportFaults>,
 }
 
 impl Default for ServeConfig {
-    /// 5 s idle limit, 5 s write stall limit.
+    /// 5 s idle limit, 5 s write stall limit, 10 s frame deadline,
+    /// 256 connections, no fault injection.
     fn default() -> Self {
-        Self { read_timeout: Duration::from_secs(5), write_timeout: Duration::from_secs(5) }
+        Self {
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            frame_deadline: Duration::from_secs(10),
+            max_connections: 256,
+            faults: None,
+        }
     }
 }
 
@@ -94,6 +122,8 @@ pub fn serve(
     let accept_stop = Arc::clone(&stop);
     let accept_thread = std::thread::spawn(move || {
         let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut conn_index: u64 = 0;
         for stream in listener.incoming() {
             if accept_stop.load(Ordering::SeqCst) {
                 break;
@@ -101,7 +131,16 @@ pub fn serve(
             let Ok(stream) = stream else { continue };
             let catalog = Arc::clone(&catalog);
             let config = config.clone();
-            let handle = std::thread::spawn(move || serve_connection(stream, &catalog, &config));
+            let faults = config.faults.as_ref().map(|f| f.fork(conn_index));
+            conn_index += 1;
+            // Claim the slot before spawning so a flood cannot race past
+            // the cap; the handler releases it on exit.
+            let over_cap = active.fetch_add(1, Ordering::SeqCst) >= config.max_connections;
+            let slot = ConnectionSlot(Arc::clone(&active));
+            let handle = std::thread::spawn(move || {
+                let _slot = slot;
+                serve_connection(stream, &catalog, &config, over_cap, faults);
+            });
             let mut guard = connections.lock().expect("connection list poisoned");
             // Reap finished handlers so a long-lived server does not
             // accumulate dead handles.
@@ -115,18 +154,58 @@ pub fn serve(
     Ok(ServerHandle { addr, stop, accept_thread: Some(accept_thread) })
 }
 
+/// Releases one connection slot on drop, however the handler exits.
+struct ConnectionSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Keep-alive request loop for one connection. Returns (closing the
-/// connection) on clean EOF, idle timeout, I/O error, or after flushing an
-/// error response.
-fn serve_connection(mut stream: TcpStream, catalog: &RwLock<ModelCatalog>, config: &ServeConfig) {
-    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
-        || stream.set_write_timeout(Some(config.write_timeout)).is_err()
+/// connection) on clean EOF, idle timeout, frame-deadline breach, I/O
+/// error, or after flushing an error response.
+fn serve_connection(
+    stream: TcpStream,
+    catalog: &RwLock<ModelCatalog>,
+    config: &ServeConfig,
+    over_cap: bool,
+    faults: Option<TransportFaults>,
+) {
+    if stream.set_write_timeout(Some(config.write_timeout)).is_err()
         || stream.set_nodelay(true).is_err()
     {
         return;
     }
+    let mut stream = match faults {
+        Some(faults) => FaultStream::with_faults(stream, faults),
+        None => FaultStream::transparent(stream),
+    };
+    if over_cap {
+        waldo_prof::count("serve_errors", 1);
+        // Read (and discard) one request before answering, so the client
+        // gets a clean Busy frame instead of a reset from closing a socket
+        // with unread data.
+        let frame = read_frame_deadline(
+            &mut stream,
+            MAX_REQUEST_BYTES,
+            config.read_timeout,
+            config.frame_deadline,
+        );
+        if matches!(frame, Ok(FrameRead::Frame(_) | FrameRead::TooLarge(_))) {
+            let _ = respond(&mut stream, Status::Busy, None);
+        }
+        return;
+    }
     loop {
-        let payload = match read_frame(&mut stream, MAX_REQUEST_BYTES) {
+        let frame = read_frame_deadline(
+            &mut stream,
+            MAX_REQUEST_BYTES,
+            config.read_timeout,
+            config.frame_deadline,
+        );
+        let payload = match frame {
             Ok(FrameRead::Frame(payload)) => payload,
             Ok(FrameRead::Closed) => return,
             Ok(FrameRead::TooLarge(_)) => {
@@ -229,12 +308,93 @@ fn dist_sq_km(centroid: [f64; 2], x_km: f64, y_km: f64) -> f64 {
     dx * dx + dy * dy
 }
 
-fn respond(
-    stream: &mut TcpStream,
+fn respond<W: std::io::Write>(
+    stream: &mut W,
     status: Status,
     body: Option<&FetchResponse>,
 ) -> std::io::Result<()> {
     let payload = encode_response(status, body);
     waldo_prof::count("serve_bytes_out", payload.len() as u64);
     write_frame(stream, &payload)
+}
+
+/// Reads one length-prefixed frame with two time bounds: the first byte
+/// may take up to `idle`, but once it lands the *entire* frame must
+/// complete within `frame_deadline`. Implemented by re-arming the socket
+/// read timeout to `min(idle, deadline remaining)` before every `read`, so
+/// a peer trickling one byte per idle window still runs out of budget.
+fn read_frame_deadline(
+    stream: &mut FaultStream<TcpStream>,
+    max_bytes: u32,
+    idle: Duration,
+    frame_deadline: Duration,
+) -> std::io::Result<FrameRead> {
+    let mut started: Option<Instant> = None;
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        arm_read_timeout(stream.get_ref(), idle, started, frame_deadline)?;
+        match stream.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(FrameRead::Closed),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid frame header",
+                ));
+            }
+            Ok(n) => {
+                got += n;
+                started.get_or_insert_with(Instant::now);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max_bytes {
+        return Ok(FrameRead::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < payload.len() {
+        arm_read_timeout(stream.get_ref(), idle, started, frame_deadline)?;
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid frame payload",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Sets the socket read timeout for the next `read`: `idle` before a frame
+/// has started, `min(idle, deadline remaining)` once inside one. Errors
+/// with `TimedOut` when the frame deadline is already spent (a zero socket
+/// timeout is invalid, so the check happens here).
+fn arm_read_timeout(
+    stream: &TcpStream,
+    idle: Duration,
+    started: Option<Instant>,
+    frame_deadline: Duration,
+) -> std::io::Result<()> {
+    let budget = match started {
+        None => idle,
+        Some(t0) => {
+            let remaining = frame_deadline.saturating_sub(t0.elapsed());
+            if remaining.is_zero() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "frame deadline exceeded",
+                ));
+            }
+            idle.min(remaining)
+        }
+    };
+    stream.set_read_timeout(Some(budget))
 }

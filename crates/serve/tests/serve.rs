@@ -239,6 +239,7 @@ fn idle_dropped_connections_reconnect_transparently() {
     let config = ServeConfig {
         read_timeout: Duration::from_millis(100),
         write_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
     };
     let mut server = serve("127.0.0.1:0", Arc::clone(&catalog), config).expect("ephemeral bind");
     let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
@@ -279,6 +280,239 @@ fn concurrent_clients_all_fetch_consistently() {
             h.join().expect("client thread");
         }
     });
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_excess_connections_with_busy() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    let config = ServeConfig { max_connections: 2, ..ServeConfig::default() };
+    let mut server = serve("127.0.0.1:0", Arc::clone(&catalog), config).expect("ephemeral bind");
+
+    // Two connections pin the cap by connecting and staying idle (a ping
+    // keeps them established server-side).
+    let mut pinned: Vec<ModelClient> = (0..2)
+        .map(|_| {
+            let mut c = ModelClient::new(server.addr(), Duration::from_secs(5));
+            c.ping().expect("under-cap ping");
+            c
+        })
+        .collect();
+
+    // The third connection must be shed with Busy, not queued forever.
+    let mut overflow = ModelClient::new(server.addr(), Duration::from_secs(5));
+    match overflow.ping() {
+        Err(ClientError::Server(Status::Busy)) => {}
+        other => panic!("expected Busy beyond the connection cap, got {other:?}"),
+    }
+
+    // Freeing a slot lets new connections in again.
+    drop(pinned.pop());
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match overflow.ping() {
+            Ok(()) => break,
+            Err(ClientError::Server(Status::Busy)) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("expected the freed slot to admit us, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_frames_are_cut_off_at_the_deadline() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    let config = ServeConfig {
+        read_timeout: Duration::from_secs(5),
+        frame_deadline: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let mut server = serve("127.0.0.1:0", Arc::clone(&catalog), config).expect("ephemeral bind");
+
+    // Trickle a frame one byte at a time, each under the idle limit but
+    // blowing the whole-frame deadline.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let request = waldo_serve::Request::Ping.encode();
+    let mut frame = (request.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&request);
+    let start = std::time::Instant::now();
+    let mut cut_off = false;
+    for byte in frame {
+        if stream.write_all(&[byte]).is_err() {
+            cut_off = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if !cut_off {
+        // All bytes were buffered locally; the proof is the read side: the
+        // server must have hung up instead of answering.
+        let mut reply = [0u8; 1];
+        use std::io::Read;
+        match stream.read(&mut reply) {
+            Ok(0) => {}
+            Ok(_) => panic!("server answered a slow-loris frame that blew its deadline"),
+            Err(_) => {}
+        }
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "the connection must die at the frame deadline, not the idle limit"
+    );
+
+    // A well-behaved client is unaffected.
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+    client.ping().expect("fast frames still served");
+    server.shutdown();
+}
+
+#[test]
+fn breaker_fails_fast_after_consecutive_failures() {
+    // An address nobody listens on: bind, grab the port, drop the listener.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let mut client = ModelClient::new(addr, Duration::from_millis(200))
+        .retry_policy(waldo_serve::RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: 0.0,
+        })
+        .circuit_breaker(waldo_serve::CircuitBreakerPolicy {
+            failure_threshold: 2,
+            cooldown_requests: 2,
+        });
+
+    for _ in 0..2 {
+        match client.ping() {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected a connect failure, got {other:?}"),
+        }
+    }
+    assert!(client.breaker_is_open(), "two consecutive failures must open the breaker");
+    assert_eq!(client.breaker_opens(), 1);
+
+    // The cooldown sheds the next two requests without touching the wire.
+    for _ in 0..2 {
+        match client.ping() {
+            Err(ClientError::CircuitOpen) => {}
+            other => panic!("expected CircuitOpen during cooldown, got {other:?}"),
+        }
+    }
+    // Cooldown spent: the half-open probe goes to the wire, fails, and
+    // re-arms the breaker.
+    match client.ping() {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected the half-open probe to hit the wire, got {other:?}"),
+    }
+    assert!(client.breaker_is_open());
+    assert_eq!(client.breaker_opens(), 2);
+}
+
+#[test]
+fn breaker_closes_again_on_recovery() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+
+    // Reserve a port, run the failure phase with nothing listening, then
+    // start the server on that same port (SO_REUSEADDR makes this safe).
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let mut client = ModelClient::new(addr, Duration::from_millis(200))
+        .retry_policy(waldo_serve::RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: 0.0,
+        })
+        .circuit_breaker(waldo_serve::CircuitBreakerPolicy {
+            failure_threshold: 2,
+            cooldown_requests: 1,
+        });
+    for _ in 0..2 {
+        assert!(client.ping().is_err());
+    }
+    assert!(client.breaker_is_open());
+    assert!(matches!(client.ping(), Err(ClientError::CircuitOpen)));
+
+    let mut server = serve(addr, Arc::clone(&catalog), ServeConfig::default())
+        .expect("rebind the reserved port");
+    // The half-open probe reaches the revived server and closes the breaker.
+    client.ping().expect("half-open probe succeeds against the revived server");
+    assert!(!client.breaker_is_open());
+    let (fetched, _) = client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("post-recovery fetch");
+    assert_eq!(fetched.locality_count(), 3);
+    server.shutdown();
+}
+
+/// Under an aggressive injected-fault schedule the client must never
+/// panic, must surface only typed errors, and must keep recovering — and
+/// the server must survive the abuse unscathed.
+#[cfg(feature = "fault")]
+#[test]
+fn injected_transport_faults_degrade_into_typed_errors_and_retries() {
+    use waldo_fault::{TransportFaults, TransportPlan};
+
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    let mut server = start(&catalog);
+
+    let faults = TransportFaults::new(
+        0xc4a05,
+        TransportPlan {
+            refuse_connect: 0.15,
+            corrupt_byte: 0.1,
+            short_write: 0.1,
+            drop_mid_frame: 0.1,
+            read_stall: 0.1,
+            stall: Duration::from_millis(5),
+        },
+    );
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(2))
+        .retry_policy(waldo_serve::RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+            jitter: 0.5,
+        })
+        .jitter_seed(7)
+        .with_transport_faults(faults.clone());
+
+    let mut successes = 0usize;
+    for _ in 0..25 {
+        match client.fetch(CHANNEL, 10.0, 10.0, -1.0) {
+            Ok((fetched, _)) => {
+                assert_eq!(fetched.locality_count(), 3);
+                successes += 1;
+            }
+            // Corruption the digest/decode layer catches is not retryable
+            // (the response is gone); refusals and drops retry underneath.
+            Err(
+                ClientError::Io(_)
+                | ClientError::Server(_)
+                | ClientError::Wire(_)
+                | ClientError::Protocol(_)
+                | ClientError::CircuitOpen,
+            ) => {}
+        }
+    }
+    assert!(successes > 0, "some fetches must survive the fault schedule");
+    assert!(faults.events().total() > 0, "the schedule must actually fire");
+    assert!(client.retries_total() > 0, "transient faults must be retried");
+
+    // The server shrugged it all off: a clean client still gets served.
+    let mut clean = ModelClient::new(server.addr(), Duration::from_secs(5));
+    let (fetched, _) = clean.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("server survived the chaos");
+    assert_eq!(fetched.locality_count(), 3);
     server.shutdown();
 }
 

@@ -14,6 +14,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo test (fault feature armed)"
+# The fault-injection schedules compile to no-ops by default; this pass
+# runs the fault crate and the serve chaos tests with them armed.
+cargo test -p waldo-fault -p waldo-serve --features "waldo-fault/fault waldo-serve/fault" -q
+
 echo "==> cargo test -p waldo-prof --features prof"
 cargo test -p waldo-prof --features prof -q
 
@@ -36,5 +41,16 @@ cargo run --release -p waldo-serve --features prof --bin serve_load -- \
     --quick --out target/BENCH_serve_smoke.json
 cargo run --release -p waldo-bench --features prof --bin gate -- \
     target/BENCH_smoke.json scripts/bench_floor.json target/BENCH_serve_smoke.json
+
+echo "==> chaos smoke (chaos_soak --quick + gate --chaos)"
+# Seeded fault injection on every client transport and sensor, through a
+# full server outage/recovery cycle. chaos_soak itself exits nonzero on
+# any panic or incorrect safe decision; the gate additionally requires
+# every fault category to have fired and enforces the recovery-latency
+# ceiling (scripts/bench_floor.json).
+cargo run --release -p waldo-bench --features "prof fault" --bin chaos_soak -- \
+    --quick --out target/BENCH_chaos_smoke.json
+cargo run --release -p waldo-bench --features prof --bin gate -- \
+    target/BENCH_smoke.json scripts/bench_floor.json --chaos target/BENCH_chaos_smoke.json
 
 echo "ok"
