@@ -33,9 +33,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
 use waldo::{
-    ClassifierKind, DetectorOutcome, ModelConstructor, StaleModelGuard, WaldoConfig, WaldoModel,
-    WhiteSpaceDetector,
+    ClassifierKind, DecisionAuditLog, DecisionRecord, DetectorOutcome, ModelConstructor,
+    StaleModelGuard, WaldoConfig, WaldoModel, WhiteSpaceDetector,
 };
+use waldo_bench::report::{percentile, write_json};
 use waldo_data::{ChannelDataset, Measurement, Safety};
 use waldo_fault::{
     derive_seed, SensorFault, SensorFaults, SensorPlan, TransportFaults, TransportPlan,
@@ -166,6 +167,17 @@ struct ClientStats {
     recovery_ns: Option<u64>,
     transport: waldo_fault::TransportEvents,
     sensor: waldo_fault::SensorEvents,
+    /// Failure-policy counters from the hardened client at thread exit.
+    obs: waldo_serve::ClientObsSnapshot,
+    /// Decisions ever written to this client's audit log.
+    audit_total: u64,
+    /// Audit records evicted by the ring bound.
+    audit_dropped: u64,
+    /// Records still retained at thread exit.
+    audit_retained: u64,
+    /// Stale-gate downgrades as the audit log counted them (must agree
+    /// with `conservative_overrides`).
+    audit_downgrades: u64,
 }
 
 /// One fetch through the hardened client, folded into the tallies.
@@ -199,18 +211,23 @@ struct Site {
 /// One detection bout: a fresh detector over the guard's model, fed
 /// fault-injected synthetic readings until convergence (the cap forces a
 /// decision even under heavy drops). The decision goes through the
-/// stale-model gate before being scored against ground truth.
+/// stale-model gate before being scored against ground truth, and the
+/// whole trail lands in the client's decision-audit log.
+#[allow(clippy::too_many_arguments)]
 fn detection_bout(
     guard: &StaleModelGuard,
     sensor: &mut SensorFaults,
     rng: &mut StdRng,
     site: &Site,
     outage: bool,
+    epoch: u64,
+    log: &mut DecisionAuditLog,
     stats: &mut ClientStats,
 ) {
     let mut det =
         WhiteSpaceDetector::new(guard.model().clone(), ALPHA_DB).max_readings(MAX_READINGS);
     let mut last_rss = site.base_rss;
+    let mut ci_trail: Vec<f64> = Vec::new();
     // Drops consume draw budget without pushing; 10x the cap bounds the
     // bout even under pathological schedules.
     for _ in 0..MAX_READINGS * 10 {
@@ -222,21 +239,40 @@ fn detection_bout(
             SensorFault::None => {}
         }
         last_rss = rss;
-        if let DetectorOutcome::Converged { safety, .. } =
-            det.push(site.location, &observation(rss))
-        {
-            let gated = guard.gate_decision(safety);
-            stats.decisions_total += 1;
-            if outage {
-                stats.decisions_outage += 1;
+        match det.push(site.location, &observation(rss)) {
+            DetectorOutcome::Converged { safety, readings_used } => {
+                let gated = guard.gate_decision(safety);
+                log.push(DecisionRecord {
+                    seq: 0,
+                    channel: CHANNEL,
+                    locality: guard.model().locality_for(site.location),
+                    model_epoch: epoch,
+                    readings_used,
+                    ci_trajectory_db: ci_trail,
+                    decided: safety,
+                    gated,
+                    converged: readings_used < MAX_READINGS,
+                });
+                stats.decisions_total += 1;
+                if outage {
+                    stats.decisions_outage += 1;
+                }
+                if gated != safety {
+                    stats.conservative_overrides += 1;
+                }
+                if gated == Safety::Safe && (site.truth == Safety::NotSafe || outage) {
+                    stats.incorrect_safe += 1;
+                }
+                return;
             }
-            if gated != safety {
-                stats.conservative_overrides += 1;
+            DetectorOutcome::NeedMoreReadings { ci_span_db } => {
+                if let Some(span) = ci_span_db {
+                    if ci_trail.len() >= waldo::device::CI_TRAJECTORY_CAP {
+                        ci_trail.remove(0);
+                    }
+                    ci_trail.push(span);
+                }
             }
-            if gated == Safety::Safe && (site.truth == Safety::NotSafe || outage) {
-                stats.incorrect_safe += 1;
-            }
-            return;
         }
     }
     unreachable!("detector must force a decision at the reading cap");
@@ -287,6 +323,10 @@ fn run_client(
         Site { location: Point::new(5_000.0, 10_000.0), base_rss: -95.0, truth: Safety::Safe }
     };
 
+    // A deliberately small audit ring: a long soak must exercise the
+    // eviction path while the totals stay exact.
+    let mut audit = DecisionAuditLog::new(32);
+
     // Phase 1: healthy rounds. The guard appears with the first successful
     // fetch; injected faults may delay that past the first round.
     let mut guard: Option<StaleModelGuard> = None;
@@ -299,7 +339,17 @@ fn run_client(
         }
         if let Some(g) = &guard {
             for _ in 0..scale.bouts_per_round {
-                detection_bout(g, &mut sensor, &mut rng, &site, false, &mut stats);
+                let epoch = client.cached_epoch(CHANNEL);
+                detection_bout(
+                    g,
+                    &mut sensor,
+                    &mut rng,
+                    &site,
+                    false,
+                    epoch,
+                    &mut audit,
+                    &mut stats,
+                );
             }
         }
     }
@@ -318,7 +368,8 @@ fn run_client(
         );
     }
     for _ in 0..scale.outage_bouts {
-        detection_bout(&guard, &mut sensor, &mut rng, &site, true, &mut stats);
+        let epoch = client.cached_epoch(CHANNEL);
+        detection_bout(&guard, &mut sensor, &mut rng, &site, true, epoch, &mut audit, &mut stats);
     }
 
     barrier.wait(); // outage phase done; main restarts the server
@@ -342,7 +393,17 @@ fn run_client(
             guard.refresh(model);
         }
         for _ in 0..scale.bouts_per_round {
-            detection_bout(&guard, &mut sensor, &mut rng, &site, false, &mut stats);
+            let epoch = client.cached_epoch(CHANNEL);
+            detection_bout(
+                &guard,
+                &mut sensor,
+                &mut rng,
+                &site,
+                false,
+                epoch,
+                &mut audit,
+                &mut stats,
+            );
         }
     }
 
@@ -350,15 +411,12 @@ fn run_client(
     stats.breaker_opens = client.breaker_opens();
     stats.transport = faults.events();
     stats.sensor = sensor.events();
+    stats.obs = client.obs_snapshot();
+    stats.audit_total = audit.total();
+    stats.audit_dropped = audit.dropped();
+    stats.audit_retained = audit.len() as u64;
+    stats.audit_downgrades = audit.downgrades();
     stats
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn main() {
@@ -462,6 +520,15 @@ fn main() {
                 total.sensor.stuck += stats.sensor.stuck;
                 total.sensor.dropped += stats.sensor.dropped;
                 total.sensor.bursts += stats.sensor.bursts;
+                total.obs.attempts_total += stats.obs.attempts_total;
+                total.obs.retries_total += stats.obs.retries_total;
+                total.obs.reconnects_total += stats.obs.reconnects_total;
+                total.obs.breaker_opens += stats.obs.breaker_opens;
+                total.obs.half_open_probes += stats.obs.half_open_probes;
+                total.audit_total += stats.audit_total;
+                total.audit_dropped += stats.audit_dropped;
+                total.audit_retained += stats.audit_retained;
+                total.audit_downgrades += stats.audit_downgrades;
                 recoveries.extend(stats.recovery_ns);
             }
             Err(_) => panics += 1,
@@ -503,12 +570,16 @@ fn main() {
         "recovery_p99_ns": recovery_p99,
         "panics": panics,
         "wall_seconds": wall_seconds,
+        "obs_enabled": waldo_obs::enabled(),
+        "client_attempts_total": total.obs.attempts_total,
+        "client_reconnects_total": total.obs.reconnects_total,
+        "client_half_open_probes": total.obs.half_open_probes,
+        "audit_decisions": total.audit_total,
+        "audit_retained": total.audit_retained,
+        "audit_dropped": total.audit_dropped,
+        "audit_downgrades": total.audit_downgrades,
     });
-    let body = serde_json::to_string_pretty(&report).expect("report serializes");
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        std::fs::create_dir_all(dir).expect("create output directory");
-    }
-    std::fs::write(&out, body).expect("write report");
+    write_json(&out, &report);
     eprintln!(
         "chaos_soak: {} fetches ok / {} errors, {} retries, {} breaker opens, \
          {} decisions ({} during outage, {} conservative overrides), \
@@ -528,4 +599,19 @@ fn main() {
     assert_eq!(panics, 0, "client thread panicked");
     assert_eq!(total.incorrect_safe, 0, "incorrect safe decision recorded");
     assert_eq!(recovered, scale.clients as u64, "not every client recovered");
+    // The audit trail must agree with the live tallies: every decision was
+    // logged, and the two independent downgrade counters match.
+    assert_eq!(
+        total.audit_total, total.decisions_total,
+        "every decision must land in the audit log"
+    );
+    assert_eq!(
+        total.audit_downgrades, total.conservative_overrides,
+        "audit-log downgrades must match the conservative-override tally"
+    );
+    assert_eq!(
+        total.audit_retained + total.audit_dropped,
+        total.audit_total,
+        "retained + dropped must account for every audit record"
+    );
 }

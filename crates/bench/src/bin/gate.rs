@@ -2,7 +2,7 @@
 //! `serve_load`-written serving report and a `chaos_soak`-written chaos
 //! report).
 //!
-//! Usage: `gate <report.json> <floor.json> [serve_report.json] [--chaos chaos_report.json]`
+//! Usage: `gate <report.json> <floor.json> [serve_report.json] [--obs] [--chaos chaos_report.json]`
 //!
 //! Fails (exit 1) when:
 //! - any required stage timer (`synth`, `fft_features`, `label`, `kmeans`,
@@ -16,6 +16,11 @@
 //!   fewer than 16 clients, saved less than half the full-fetch bytes on
 //!   delta fetches, or its p50 fetch latency regressed more than 10×
 //!   against the checked-in floor (`serve_fetch_p50_ns`);
+//! - `--obs` is given and the serve report ran without the `obs` feature,
+//!   has no `obs_overhead` A/B table (rerun `serve_load --obs-overhead`),
+//!   lost the `serve_handle` endpoint histogram, or the obs-enabled fetch
+//!   p50 exceeds the obs-disabled p50 by more than 5% plus a small
+//!   absolute slack — the recording-overhead ceiling;
 //! - a chaos report is given and it ran without the `fault` feature, any
 //!   fault category never fired (the soak proved nothing), it recorded a
 //!   panic, a protocol violation, an incorrect "safe" decision, an
@@ -48,6 +53,18 @@ const SERVE_DELTA_SAVINGS_FLOOR: f64 = 0.5;
 /// Serve reports must come from a load run with at least this many
 /// concurrent clients to count as a concurrency smoke.
 const SERVE_MIN_CLIENTS: u64 = 16;
+
+/// Maximum allowed relative increase of the client-observed fetch p50 with
+/// obs recording enabled versus disabled, measured by the same-process A/B
+/// blocks of `serve_load --obs-overhead`.
+const OBS_OVERHEAD_CEILING: f64 = 0.05;
+
+/// Absolute slack on top of the relative obs ceiling. Loopback delta
+/// fetches complete in a few hundred µs, so one scheduler preemption is
+/// worth more than 5% of p50 on its own; the slack keeps the gate from
+/// flaking on timer granularity while still catching a real per-request
+/// recording cost.
+const OBS_OVERHEAD_SLACK_NS: f64 = 20_000.0;
 
 fn load(path: &str) -> Result<Value, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -146,6 +163,61 @@ fn check_serve(report: &Value, floor: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn check_obs(report: &Value) -> Result<(), String> {
+    if report.get("obs_enabled").and_then(Value::as_bool) != Some(true) {
+        return Err("serve report was produced without the obs feature (obs_enabled != true); \
+             rebuild serve_load with --features obs"
+            .into());
+    }
+    let overhead = report.get("obs_overhead").and_then(Value::as_object).ok_or(
+        "serve report has no obs_overhead table; rerun serve_load with --obs-overhead".to_string(),
+    )?;
+    let field = |name: &str| {
+        overhead.get(name).and_then(Value::as_f64).ok_or(format!("obs_overhead has no {name}"))
+    };
+    let off = field("fetch_p50_off_ns")?;
+    let on = field("fetch_p50_on_ns")?;
+    if off <= 0.0 {
+        return Err("obs_overhead recorded a zero disabled-p50; the A/B blocks did not run".into());
+    }
+    let ceiling = off.mul_add(1.0 + OBS_OVERHEAD_CEILING, OBS_OVERHEAD_SLACK_NS);
+    if on > ceiling {
+        return Err(format!(
+            "obs recording overhead too high: fetch p50 {:.1} µs enabled vs {:.1} µs disabled \
+             (ceiling {:.1} µs = +{:.0}% + {:.0} µs slack)",
+            on / 1e3,
+            off / 1e3,
+            ceiling / 1e3,
+            OBS_OVERHEAD_CEILING * 100.0,
+            OBS_OVERHEAD_SLACK_NS / 1e3
+        ));
+    }
+    // The ceiling means nothing if recording silently stopped: the server
+    // snapshot in the same report must still carry the serve_handle
+    // histogram the load phase populated.
+    let handle_count = report
+        .get("obs")
+        .and_then(|o| o.get("server"))
+        .and_then(|s| s.get("endpoints"))
+        .and_then(|e| e.get("serve_handle"))
+        .and_then(|h| h.get("count"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    if handle_count == 0 {
+        return Err("serve report's obs.server.endpoints has no populated serve_handle \
+             histogram; recording was not active during the load run"
+            .into());
+    }
+    eprintln!(
+        "gate ok: obs fetch p50 {:.1} µs enabled vs {:.1} µs disabled (ceiling {:.1} µs), \
+         serve_handle histogram holds {handle_count} samples",
+        on / 1e3,
+        off / 1e3,
+        ceiling / 1e3
+    );
+    Ok(())
+}
+
 fn check_chaos(report: &Value, floor: &Value) -> Result<(), String> {
     let field = |name: &str| {
         report.get(name).and_then(Value::as_f64).ok_or(format!("chaos report has no {name}"))
@@ -231,22 +303,36 @@ fn main() -> ExitCode {
         chaos_path = Some(args.remove(pos + 1));
         args.remove(pos);
     }
+    let mut want_obs = false;
+    if let Some(pos) = args.iter().position(|a| a == "--obs") {
+        want_obs = true;
+        args.remove(pos);
+    }
     let (report_path, floor_path, serve_path) = match args.as_slice() {
         [report, floor] => (report, floor, None),
         [report, floor, serve] => (report, floor, Some(serve)),
         _ => {
             eprintln!(
-                "usage: gate <report.json> <floor.json> [serve_report.json] [--chaos chaos.json]"
+                "usage: gate <report.json> <floor.json> [serve_report.json] [--obs] \
+                 [--chaos chaos.json]"
             );
             return ExitCode::FAILURE;
         }
     };
+    if want_obs && serve_path.is_none() {
+        eprintln!("--obs checks the serve report; pass serve_report.json as the third argument");
+        return ExitCode::FAILURE;
+    }
     let run = || -> Result<(), String> {
         let report = load(report_path)?;
         let floor = load(floor_path)?;
         check(&report, &floor)?;
         if let Some(serve_path) = serve_path {
-            check_serve(&load(serve_path)?, &floor)?;
+            let serve_report = load(serve_path)?;
+            check_serve(&serve_report, &floor)?;
+            if want_obs {
+                check_obs(&serve_report)?;
+            }
         }
         if let Some(chaos_path) = &chaos_path {
             check_chaos(&load(chaos_path)?, &floor)?;

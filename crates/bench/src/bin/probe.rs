@@ -243,16 +243,7 @@ fn bench_pipeline(scale: Scale, out: &str) -> Context {
         }),
         "stages": Value::Object(stages),
     });
-    match serde_json::to_vec_pretty(&report) {
-        Ok(bytes) => {
-            if let Err(e) = std::fs::write(out, bytes) {
-                eprintln!("warning: could not write {out}: {e}");
-            } else {
-                eprintln!("wrote {out}");
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {out}: {e}"),
-    }
+    waldo_bench::report::write_json(out, &report);
     ctx
 }
 

@@ -7,9 +7,18 @@
 //! some-localities-changed paths). Each client also fires one
 //! malformed-frame probe and one oversized-frame probe on throwaway
 //! connections and verifies the typed rejection. Emits `BENCH_serve.json`
-//! with p50/p99 fetch latency, fetch throughput, and delta-vs-full bytes.
+//! with p50/p99 fetch latency, fetch throughput, delta-vs-full bytes, and
+//! — in obs builds — the server's per-endpoint latency histograms (read
+//! over the wire via the `Stats` opcode) plus the summed client
+//! failure-policy counters.
 //!
-//! Usage: `serve_load [--quick] [--clients N] [--fetches M] [--out PATH]`
+//! With `--obs-overhead`, after the load run a single client measures
+//! fetch p50 in alternating recording-off/recording-on blocks (same
+//! process, same server, same connection), emitting the A/B fields that
+//! `gate --obs` holds to the ≤5 % overhead ceiling.
+//!
+//! Usage: `serve_load [--quick] [--clients N] [--fetches M] [--out PATH]
+//! [--obs-overhead] [--trace PATH]`
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -19,13 +28,14 @@ use std::time::{Duration, Instant};
 
 use serde_json::json;
 use waldo::{ClassifierKind, ModelConstructor, WaldoConfig, WaldoModel};
+use waldo_bench::report::{percentile, write_json};
 use waldo_data::{ChannelDataset, Measurement, Safety};
 use waldo_geo::Point;
 use waldo_iq::FeatureVector;
 use waldo_rf::TvChannel;
 use waldo_sensors::{Observation, SensorKind};
 use waldo_serve::protocol::{read_frame, write_frame, FrameRead, Status};
-use waldo_serve::{serve, ModelCatalog, ModelClient, ServeConfig};
+use waldo_serve::{serve, ClientObsSnapshot, ModelCatalog, ModelClient, ServeConfig};
 
 const CHANNEL: u8 = 30;
 
@@ -93,7 +103,7 @@ fn probe_malformed(addr: std::net::SocketAddr) -> usize {
                 match read_frame(&mut stream, 1 << 20) {
                     Ok(FrameRead::Frame(payload)) => {
                         let ok = waldo_serve::protocol::decode_response(&payload)
-                            .map(|(status, _)| status == Status::MalformedFrame)
+                            .map(|(_req_id, status, _)| status == Status::MalformedFrame)
                             .unwrap_or(false);
                         if !ok {
                             unexpected += 1;
@@ -122,7 +132,7 @@ fn probe_malformed(addr: std::net::SocketAddr) -> usize {
                 match read_frame(&mut stream, 1 << 20) {
                     Ok(FrameRead::Frame(payload)) => {
                         let ok = waldo_serve::protocol::decode_response(&payload)
-                            .map(|(status, _)| status == Status::RequestTooLarge)
+                            .map(|(_req_id, status, _)| status == Status::RequestTooLarge)
                             .unwrap_or(false);
                         if !ok {
                             unexpected += 1;
@@ -141,6 +151,8 @@ fn probe_malformed(addr: std::net::SocketAddr) -> usize {
 struct ClientStats {
     /// (latency_ns, response_bytes, localities_sent, was_full_fetch)
     fetches: Vec<(u64, usize, usize, bool)>,
+    /// Failure-policy counters at thread exit.
+    obs: ClientObsSnapshot,
 }
 
 /// Whether a client error was an I/O timeout (on Linux, timed-out socket
@@ -161,12 +173,14 @@ fn run_client(
     timeouts: &AtomicUsize,
 ) -> ClientStats {
     let mut client = ModelClient::new(addr, Duration::from_secs(10));
-    let mut stats = ClientStats { fetches: Vec::with_capacity(fetches + 1) };
+    let mut stats =
+        ClientStats { fetches: Vec::with_capacity(fetches + 1), obs: ClientObsSnapshot::default() };
     if let Err(e) = client.ping() {
         if is_timeout(&e) {
             timeouts.fetch_add(1, Ordering::Relaxed);
         }
         errors.fetch_add(1, Ordering::Relaxed);
+        stats.obs = client.obs_snapshot();
         return stats;
     }
     // Clients spread across the map; unscoped fetches so every client
@@ -194,20 +208,79 @@ fn run_client(
     if probe_malformed(addr) != 0 {
         errors.fetch_add(1, Ordering::Relaxed);
     }
+    stats.obs = client.obs_snapshot();
     stats
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+/// A/B overhead measurement: one client, alternating recording-off /
+/// recording-on blocks of delta fetches against the already-warm server,
+/// pooled per mode. Same process, same connection, so the only difference
+/// between the pools is whether `waldo_obs` is recording.
+fn measure_obs_overhead(
+    addr: std::net::SocketAddr,
+    fetches_per_block: usize,
+    blocks: usize,
+) -> serde_json::Value {
+    let mut client = ModelClient::new(addr, Duration::from_secs(10));
+    client.ping().expect("overhead probe connects");
+    // Warm the cache (and the connection) so every measured fetch is a
+    // nothing-changed delta — the cheapest, most overhead-sensitive path.
+    client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("warmup fetch");
+    let mut run_block = |on: bool, pool: &mut Vec<u64>| {
+        waldo_obs::set_enabled(on);
+        for _ in 0..fetches_per_block {
+            let t = Instant::now();
+            client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("overhead fetch");
+            pool.push(t.elapsed().as_nanos() as u64);
+        }
+    };
+    let mut off = Vec::with_capacity(fetches_per_block * blocks);
+    let mut on = Vec::with_capacity(fetches_per_block * blocks);
+    // Throwaway block first so both pools see an equally warm process.
+    run_block(false, &mut Vec::new());
+    for _ in 0..blocks {
+        run_block(false, &mut off);
+        run_block(true, &mut on);
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    waldo_obs::set_enabled(true);
+    off.sort_unstable();
+    on.sort_unstable();
+    let p50_off = percentile(&off, 0.50);
+    let p50_on = percentile(&on, 0.50);
+    let overhead =
+        if p50_off > 0 { (p50_on as f64 - p50_off as f64) / p50_off as f64 } else { 0.0 };
+    eprintln!(
+        "obs overhead: p50 off {:.1}us on {:.1}us ({:+.2}%)",
+        p50_off as f64 / 1e3,
+        p50_on as f64 / 1e3,
+        overhead * 100.0
+    );
+    json!({
+        "fetches_per_mode": off.len(),
+        "fetch_p50_off_ns": p50_off,
+        "fetch_p50_on_ns": p50_on,
+        "fetch_p99_off_ns": percentile(&off, 0.99),
+        "fetch_p99_on_ns": percentile(&on, 0.99),
+        "overhead_fraction": overhead,
+    })
+}
+
+/// Folds a histogram into the quantile summary the report carries.
+fn endpoint_json(hist: &waldo_obs::Histogram) -> serde_json::Value {
+    json!({
+        "count": hist.count(),
+        "p50_ns": hist.quantile(0.50),
+        "p90_ns": hist.quantile(0.90),
+        "p99_ns": hist.quantile(0.99),
+        "max_ns": hist.max(),
+        "mean_ns": hist.mean(),
+    })
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let obs_overhead = args.iter().any(|a| a == "--obs-overhead");
     let flag = |name: &str| {
         args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
     };
@@ -216,8 +289,19 @@ fn main() {
     let fetches: usize = flag("--fetches")
         .map_or(if quick { 8 } else { 40 }, |v| v.parse().expect("--fetches takes a number"));
     let out = flag("--out").unwrap_or("BENCH_serve.json").to_string();
+    let trace_path = flag("--trace").map(str::to_string);
     let train_n = if quick { 400 } else { 1200 };
     let localities = 6;
+
+    if let Some(path) = &trace_path {
+        if waldo_obs::compiled() {
+            let file = std::fs::File::create(path).expect("create trace file");
+            waldo_obs::set_sink(Some(Box::new(std::io::BufWriter::new(file))));
+            eprintln!("tracing to {path}");
+        } else {
+            eprintln!("warning: --trace ignored (build with --features obs)");
+        }
+    }
 
     eprintln!("training models ({train_n} readings, {localities} localities)...");
     let model_a = train(train_n, false, localities);
@@ -236,6 +320,7 @@ fn main() {
     eprintln!("serving on {addr}; {clients} clients x {} fetches", fetches + 1);
 
     waldo_prof::reset();
+    waldo_obs::reset_histograms();
     let errors = AtomicUsize::new(0);
     let timeouts = AtomicUsize::new(0);
     let errors_ref = &errors;
@@ -259,6 +344,25 @@ fn main() {
         stats
     });
     let wall_s = t0.elapsed().as_secs_f64();
+
+    // Read the server's live stats over the wire (exercising the `Stats`
+    // opcode end-to-end) before anything resets or adds samples.
+    let server_stats = {
+        let mut probe = ModelClient::new(addr, Duration::from_secs(10));
+        probe.stats().expect("stats query succeeds")
+    };
+
+    let overhead = if obs_overhead {
+        if !waldo_obs::compiled() {
+            eprintln!("warning: --obs-overhead needs --features obs; skipping");
+            None
+        } else {
+            Some(measure_obs_overhead(addr, fetches.max(8), 4))
+        }
+    } else {
+        None
+    };
+
     server.shutdown();
 
     let protocol_errors = errors.load(Ordering::Relaxed);
@@ -293,7 +397,35 @@ fn main() {
         }
     }
 
-    let report = json!({
+    let mut client_obs = ClientObsSnapshot::default();
+    for s in &all_stats {
+        client_obs.attempts_total += s.obs.attempts_total;
+        client_obs.retries_total += s.obs.retries_total;
+        client_obs.reconnects_total += s.obs.reconnects_total;
+        client_obs.breaker_opens += s.obs.breaker_opens;
+        client_obs.half_open_probes += s.obs.half_open_probes;
+    }
+    let mut endpoints = serde_json::Map::new();
+    for ep in &server_stats.endpoints {
+        endpoints.insert(ep.name.clone(), endpoint_json(&ep.hist));
+    }
+    let server_obs = json!({
+        "accepted_total": server_stats.accepted_total,
+        "busy_rejections": server_stats.busy_rejections,
+        "requests_total": server_stats.requests_total,
+        "errors_total": server_stats.errors_total,
+        "endpoints": serde_json::Value::Object(endpoints),
+    });
+    let client_obs = json!({
+        "attempts_total": client_obs.attempts_total,
+        "retries_total": client_obs.retries_total,
+        "reconnects_total": client_obs.reconnects_total,
+        "breaker_opens": client_obs.breaker_opens,
+        "half_open_probes": client_obs.half_open_probes,
+    });
+    let obs = json!({ "server": server_obs, "client": client_obs });
+
+    let mut report = json!({
         "clients": clients,
         "fetches_total": all.len(),
         "full_model_bytes": full_model_bytes,
@@ -308,7 +440,14 @@ fn main() {
         "wall_seconds": wall_s,
         "prof_enabled": waldo_prof::enabled(),
         "prof": serde_json::Value::Object(prof),
+        "obs_enabled": waldo_obs::enabled(),
+        "obs": obs,
     });
+    if let Some(overhead) = overhead {
+        if let serde::Value::Object(map) = &mut report {
+            map.insert("obs_overhead", overhead);
+        }
+    }
     eprintln!(
         "{} fetches in {wall_s:.2}s ({fetches_per_s:.0}/s), p50 {:.2}ms p99 {:.2}ms, \
          full {full_bytes:.0}B delta {delta_bytes:.0}B ({:.1}% saved), {protocol_errors} errors \
@@ -318,15 +457,11 @@ fn main() {
         p99 as f64 / 1e6,
         delta_saved * 100.0
     );
-    match serde_json::to_vec_pretty(&report) {
-        Ok(bytes) => {
-            if let Err(e) = std::fs::write(&out, bytes) {
-                eprintln!("warning: could not write {out}: {e}");
-            } else {
-                eprintln!("wrote {out}");
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {out}: {e}"),
+    write_json(&out, &report);
+
+    if trace_path.is_some() && waldo_obs::compiled() {
+        waldo_obs::flush_sink();
+        waldo_obs::set_sink(None);
     }
 
     assert_eq!(protocol_errors, 0, "load run must complete with zero protocol errors");

@@ -1,0 +1,71 @@
+//! Shared helpers for the `BENCH_*.json` report writers.
+//!
+//! Every harness binary (`probe`, `serve_load`, `chaos_soak`) emits a
+//! flat JSON report consumed by `gate` and `scripts/bench_floor.json`;
+//! this module owns the two pieces they all duplicated — the
+//! warn-don't-crash writer and the nearest-rank percentile — so the
+//! on-disk format stays bit-compatible across binaries.
+
+use serde::Value;
+
+/// Serializes `report` pretty-printed to `path`, creating parent
+/// directories as needed. Failures warn on stderr instead of panicking:
+/// a benchmark that ran to completion should still print its summary
+/// even when the report path is unwritable.
+pub fn write_json(path: &str, report: &Value) {
+    match serde_json::to_vec_pretty(report) {
+        Ok(bytes) => {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("warning: could not create {}: {e}", dir.display());
+                    }
+                }
+            }
+            if let Err(e) = std::fs::write(path, bytes) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {path}: {e}"),
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0 when empty.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.0), 7);
+        assert_eq!(percentile(&[7], 1.0), 7);
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 0.0), 1);
+        assert_eq!(percentile(&xs, 0.5), 51);
+        assert_eq!(percentile(&xs, 1.0), 100);
+    }
+
+    #[test]
+    fn write_json_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("waldo_report_test");
+        let path = dir.join("nested").join("out.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let report = serde_json::json!({ "a": 1, "b": [1, 2, 3] });
+        write_json(&path_str, &report);
+        let body = std::fs::read_to_string(&path).expect("report written");
+        let back: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(back, report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

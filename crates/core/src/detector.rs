@@ -150,6 +150,7 @@ impl WhiteSpaceDetector {
     /// handling mobility should `reset` on large jumps or use the NOR
     /// variant).
     pub fn push(&mut self, location: Point, observation: &Observation) -> DetectorOutcome {
+        let _t = waldo_obs::timed("detector_push");
         self.location = Some(location);
         self.pushed += 1;
         self.rss_window.push(observation.rss_dbm);

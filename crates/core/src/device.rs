@@ -96,7 +96,54 @@ impl PhoneScanner {
     /// Mobile variant: `state_at(capture_index)` supplies the (possibly
     /// changing) location and true RSS per capture — the paper's mobile
     /// experiments move the device while sensing.
-    pub fn sense_channel_moving<F>(&mut self, model: &WaldoModel, mut state_at: F) -> ConvergenceRun
+    pub fn sense_channel_moving<F>(&mut self, model: &WaldoModel, state_at: F) -> ConvergenceRun
+    where
+        F: FnMut(usize) -> (Point, Option<f64>),
+    {
+        self.sense_with_trajectory(model, state_at, None)
+    }
+
+    /// Like [`sense_channel`](Self::sense_channel), but writes a
+    /// [`DecisionRecord`] into `log` — channel, routing locality, model
+    /// epoch, readings used, CI trajectory, and (when a `guard` is given)
+    /// whether the stale-model rule downgraded the decision. The returned
+    /// run carries the *gated* decision, so callers acting on it inherit
+    /// the conservative answer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sense_channel_audited(
+        &mut self,
+        model: &WaldoModel,
+        location: Point,
+        true_rss_dbm: Option<f64>,
+        channel: u8,
+        model_epoch: u64,
+        guard: Option<&StaleModelGuard>,
+        log: &mut DecisionAuditLog,
+    ) -> ConvergenceRun {
+        let mut trajectory = Vec::new();
+        let run =
+            self.sense_with_trajectory(model, |_| (location, true_rss_dbm), Some(&mut trajectory));
+        let gated = guard.map_or(run.safety, |g| g.gate_decision(run.safety));
+        log.push(DecisionRecord {
+            seq: 0,
+            channel,
+            locality: model.locality_for(location),
+            model_epoch,
+            readings_used: run.captures,
+            ci_trajectory_db: trajectory,
+            decided: run.safety,
+            gated,
+            converged: run.converged,
+        });
+        ConvergenceRun { safety: gated, ..run }
+    }
+
+    fn sense_with_trajectory<F>(
+        &mut self,
+        model: &WaldoModel,
+        mut state_at: F,
+        mut trajectory: Option<&mut Vec<f64>>,
+    ) -> ConvergenceRun
     where
         F: FnMut(usize) -> (Point, Option<f64>),
     {
@@ -125,6 +172,17 @@ impl PhoneScanner {
             let outcome = detector.push(location, &observation);
             cpu += start.elapsed().as_secs_f64();
             captures += 1;
+
+            if let Some(track) = trajectory.as_deref_mut() {
+                if let DetectorOutcome::NeedMoreReadings { ci_span_db: Some(s) } = outcome {
+                    // Bounded tail: the last CI_TRAJECTORY_CAP spans show
+                    // the convergence approach without unbounded growth.
+                    if track.len() >= CI_TRAJECTORY_CAP {
+                        track.remove(0);
+                    }
+                    track.push(s);
+                }
+            }
 
             match outcome {
                 DetectorOutcome::Converged { safety, readings_used } => {
@@ -343,6 +401,141 @@ impl StaleModelGuard {
     }
 }
 
+/// Per-record cap on retained CI-trajectory samples (the *last* N spans,
+/// i.e. the convergence tail).
+pub const CI_TRAJECTORY_CAP: usize = 32;
+
+/// One audited white-space decision: everything needed to reconstruct
+/// *why* a device transmitted (or refused to) after the fact — the
+/// regulator-facing half of the observability story.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Monotonic sequence number, assigned by the log (starts at 1;
+    /// survives ring eviction, so gaps at the front reveal drops).
+    pub seq: u64,
+    /// TV channel the decision is about.
+    pub channel: u8,
+    /// Locality index that routed the classification
+    /// ([`WaldoModel::locality_for`]).
+    pub locality: usize,
+    /// Epoch of the model used (0 when unknown, e.g. a locally built
+    /// model that never travelled through the distribution layer).
+    pub model_epoch: u64,
+    /// Readings consumed before the decision.
+    pub readings_used: usize,
+    /// Trailing 90 % CI spans (dB) observed while converging, capped at
+    /// [`CI_TRAJECTORY_CAP`] samples. Empty when the detector decided
+    /// before a span was computable.
+    pub ci_trajectory_db: Vec<f64>,
+    /// The raw decision from the detector/model.
+    pub decided: Safety,
+    /// The decision after the stale-model gate.
+    pub gated: Safety,
+    /// Whether the detector converged (vs being forced at the cap).
+    pub converged: bool,
+}
+
+impl DecisionRecord {
+    /// Whether the stale-model guard downgraded this decision.
+    pub fn downgraded(&self) -> bool {
+        self.gated != self.decided
+    }
+}
+
+/// A bounded ring buffer of [`DecisionRecord`]s. Old records are evicted
+/// (and counted, never silently lost) once capacity is reached, so a
+/// long-running device keeps a fixed-size audit tail plus exact totals.
+#[derive(Debug, Clone)]
+pub struct DecisionAuditLog {
+    records: std::collections::VecDeque<DecisionRecord>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    downgrades: u64,
+}
+
+impl DecisionAuditLog {
+    /// Creates a log retaining at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an audit log must retain at least one record");
+        Self {
+            records: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 1,
+            dropped: 0,
+            downgrades: 0,
+        }
+    }
+
+    /// Appends a record (its `seq` field is assigned by the log) and
+    /// returns the assigned sequence number, evicting the oldest record
+    /// when full.
+    pub fn push(&mut self, mut record: DecisionRecord) -> u64 {
+        record.seq = self.next_seq;
+        self.next_seq += 1;
+        if record.downgraded() {
+            self.downgrades += 1;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+        self.next_seq - 1
+    }
+
+    /// Maximum records retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records ever pushed (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Records evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Decisions the stale-model gate downgraded, over the log's whole
+    /// lifetime (not just the retained window).
+    pub fn downgrades(&self) -> u64 {
+        self.downgrades
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &DecisionRecord> {
+        self.records.iter()
+    }
+
+    /// The most recent record.
+    pub fn latest(&self) -> Option<&DecisionRecord> {
+        self.records.back()
+    }
+
+    /// Clones the retained records out, oldest first — the export surface
+    /// for reports and post-mortems.
+    pub fn export(&self) -> Vec<DecisionRecord> {
+        self.records.iter().cloned().collect()
+    }
+}
+
 /// IEEE 802.22 requires in-service sensing to complete within 2 seconds;
 /// the paper measures its 30-channel scan at 5.89 s (2.9× over).
 pub const IEEE_802_22_BUDGET_S: f64 = 2.0;
@@ -546,6 +739,122 @@ mod tests {
         assert!(guard.is_stale());
         guard.mark_refreshed();
         assert!(!guard.is_stale());
+    }
+
+    fn record(decided: Safety, gated: Safety) -> DecisionRecord {
+        DecisionRecord {
+            seq: 0,
+            channel: 30,
+            locality: 0,
+            model_epoch: 1,
+            readings_used: 10,
+            ci_trajectory_db: vec![2.0, 1.0, 0.4],
+            decided,
+            gated,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn audit_log_bounds_retention_and_keeps_exact_totals() {
+        let mut log = DecisionAuditLog::new(3);
+        assert!(log.is_empty());
+        for _ in 0..5 {
+            log.push(record(Safety::Safe, Safety::Safe));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.capacity(), 3);
+        assert_eq!(log.total(), 5);
+        assert_eq!(log.dropped(), 2);
+        // Sequence numbers are monotonic and survive eviction: the
+        // retained tail is 3, 4, 5.
+        let seqs: Vec<u64> = log.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        assert_eq!(log.latest().unwrap().seq, 5);
+        assert_eq!(log.export().len(), 3);
+    }
+
+    #[test]
+    fn audit_log_counts_downgrades_across_evictions() {
+        let mut log = DecisionAuditLog::new(2);
+        log.push(record(Safety::Safe, Safety::NotSafe));
+        log.push(record(Safety::Safe, Safety::Safe));
+        log.push(record(Safety::NotSafe, Safety::NotSafe));
+        // The downgraded record was evicted, but the counter remembers.
+        assert!(log.records().all(|r| !r.downgraded()));
+        assert_eq!(log.downgrades(), 1);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn audited_sensing_records_the_decision_trail() {
+        let m = model();
+        // A tight α forces the CI to iterate, so the trajectory gets
+        // samples (the default α can converge right at the minimum-reading
+        // gate, before any span is recorded).
+        let config = PhoneConfig { alpha_db: 0.15, max_captures: 400, ..PhoneConfig::default() };
+        let mut phone = PhoneScanner::new(config, SensorModel::rtl_sdr(), 1);
+        let mut log = DecisionAuditLog::new(16);
+        let loud = Point::new(25_000.0, 10_000.0);
+        let run = phone.sense_channel_audited(&m, loud, Some(-70.0), 30, 7, None, &mut log);
+        assert!(run.safety.is_not_safe());
+
+        let rec = log.latest().expect("the run was logged");
+        assert_eq!((rec.seq, rec.channel, rec.model_epoch), (1, 30, 7));
+        assert_eq!(rec.locality, m.locality_for(loud), "routing locality recorded");
+        assert_eq!(rec.readings_used, run.captures);
+        assert_eq!(rec.decided, run.safety);
+        assert!(!rec.downgraded(), "no guard, no downgrade");
+        assert_eq!(rec.converged, run.converged);
+        assert!(rec.ci_trajectory_db.len() <= CI_TRAJECTORY_CAP, "trajectory stays bounded");
+        assert!(!rec.ci_trajectory_db.is_empty(), "a multi-reading convergence leaves a CI trail");
+    }
+
+    #[test]
+    fn audited_sensing_applies_and_records_the_stale_gate() {
+        let m = model();
+        let mut phone = PhoneScanner::new(PhoneConfig::default(), SensorModel::rtl_sdr(), 5);
+        let mut log = DecisionAuditLog::new(16);
+        let quiet = Point::new(5_000.0, 10_000.0);
+
+        let mut guard = StaleModelGuard::new(m.clone(), Duration::from_secs(3600));
+        let fresh =
+            phone.sense_channel_audited(&m, quiet, Some(-92.0), 30, 1, Some(&guard), &mut log);
+        assert_eq!(fresh.safety, Safety::Safe, "fresh guard passes the decision through");
+        assert!(!log.latest().unwrap().downgraded());
+
+        guard.backdate(Duration::from_secs(7200));
+        let stale =
+            phone.sense_channel_audited(&m, quiet, Some(-92.0), 30, 1, Some(&guard), &mut log);
+        assert_eq!(stale.safety, Safety::NotSafe, "the returned run carries the gated answer");
+        let rec = log.latest().unwrap();
+        assert_eq!(rec.decided, Safety::Safe);
+        assert_eq!(rec.gated, Safety::NotSafe);
+        assert!(rec.downgraded());
+        assert_eq!(log.downgrades(), 1);
+    }
+
+    #[test]
+    fn locality_routing_matches_prediction_routing() {
+        let m = model();
+        // locality_for must agree with the centroid nearest to the point
+        // in km space — the same routing predict_row uses.
+        for &(x, y) in &[(1_000.0, 1_000.0), (15_000.0, 10_000.0), (29_000.0, 19_000.0)] {
+            let p = Point::new(x, y);
+            let locality = m.locality_for(p);
+            assert!(locality < m.locality_count());
+            let km = [x / 1000.0, y / 1000.0];
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (i, c) in m.centroids().iter().enumerate() {
+                let d = (c[0] - km[0]).powi(2) + (c[1] - km[1]).powi(2);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            assert_eq!(locality, best);
+        }
     }
 
     #[test]

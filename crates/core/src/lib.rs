@@ -69,7 +69,7 @@ pub mod wire;
 
 pub use constructor::{ClassifierKind, ModelConstructor, TrainError, WaldoConfig};
 pub use detector::{DetectorOutcome, WhiteSpaceDetector};
-pub use device::StaleModelGuard;
+pub use device::{DecisionAuditLog, DecisionRecord, StaleModelGuard};
 pub use model::WaldoModel;
 pub use updater::ModelUpdater;
 

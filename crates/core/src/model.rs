@@ -94,6 +94,14 @@ impl WaldoModel {
         self.clustering.centroids()
     }
 
+    /// The locality index that would classify a reading at `location` —
+    /// the same centroid routing [`predict_row`](Self::predict_row) and
+    /// [`assess`](crate::Assessor::assess) use. Exposed for the decision
+    /// audit log and locality-scoped tooling.
+    pub fn locality_for(&self, location: Point) -> usize {
+        self.clustering.assign(&[location.x / 1000.0, location.y / 1000.0])
+    }
+
     /// Number of single-class ("binary") localities.
     pub fn constant_locality_count(&self) -> usize {
         self.clusters.iter().filter(|c| matches!(c, ClusterModel::Constant(_))).count()

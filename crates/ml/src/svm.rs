@@ -529,6 +529,7 @@ impl SvmModel {
     ///
     /// Panics if `x` has the wrong dimension.
     pub fn decision_function(&self, x: &[f64]) -> f64 {
+        let _t = waldo_obs::timed("svm_predict");
         match self.kernel {
             Kernel::Linear => dot(&self.weights, x) + self.bias,
             Kernel::Rbf { gamma } => {

@@ -1,0 +1,287 @@
+//! Log-linear latency histograms: bounded relative error, constant-time
+//! recording, and lossless merging across threads.
+//!
+//! # Bucketing scheme
+//!
+//! Values below 64 get one bucket each (exact). Above that, each power of
+//! two is split into [`SUB_BUCKETS`] linear sub-buckets, so the relative
+//! width of any bucket is at most `1/64` (~1.6 %) — fine enough that a
+//! quantile read off the bucket floor is within ~2 % of the true value,
+//! which is inside the ±5 % overhead ceiling the obs gate enforces.
+//!
+//! Recording is one index computation plus one increment; histograms merge
+//! by element-wise addition, so per-thread instances can be combined into
+//! a global view without losing any quantile information beyond the bucket
+//! resolution both sides already had.
+
+/// Linear sub-buckets per power of two (and the size of the exact range).
+pub const SUB_BUCKETS: u64 = 64;
+
+/// Number of low bits resolved exactly (`2^LINEAR_BITS == SUB_BUCKETS`).
+const LINEAR_BITS: u32 = 6;
+
+/// Bucket index for a recorded value.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros();
+        let octave = (top - LINEAR_BITS + 1) as usize;
+        let sub = ((v >> (top - LINEAR_BITS)) & (SUB_BUCKETS - 1)) as usize;
+        octave * SUB_BUCKETS as usize + sub
+    }
+}
+
+/// Smallest value that lands in bucket `index` (the bucket's floor).
+#[must_use]
+pub fn bucket_floor(index: usize) -> u64 {
+    let sub = SUB_BUCKETS as usize;
+    if index < sub {
+        index as u64
+    } else {
+        let octave = index / sub;
+        let offset = (index % sub) as u128;
+        // Saturate: the floor of a bucket past u64::MAX (reachable as
+        // "one past the bucket of u64::MAX") clamps to u64::MAX.
+        let floor = (u128::from(SUB_BUCKETS) + offset) << (octave - 1);
+        floor.min(u128::from(u64::MAX)) as u64
+    }
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples (latencies in ns).
+///
+/// Tracks exact `count`, `sum`, `min`, and `max` alongside the buckets, so
+/// mean and extremes are exact while quantiles carry only bucket-resolution
+/// error.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Folds `other` into `self` (element-wise; lossless at bucket
+    /// resolution).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, &src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact mean of the recorded samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile at `p ∈ [0, 1]`, read off the containing bucket's floor
+    /// and clamped into `[min, max]` — so `quantile(0.0) >= min`,
+    /// `quantile(1.0) <= max`, and the result is monotone in `p`. Returns 0
+    /// on an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank of the sample the quantile asks for, 1-based.
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_floor(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs — the sparse form
+    /// the serve stats endpoint puts on the wire.
+    #[must_use]
+    pub fn sparse_buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its exact counters and sparse buckets
+    /// (the inverse of [`sparse_buckets`](Self::sparse_buckets)); used by
+    /// the stats wire decoder. Pairs with an out-of-range index are
+    /// ignored defensively.
+    #[must_use]
+    pub fn from_parts(count: u64, sum: u64, min: u64, max: u64, sparse: &[(u32, u64)]) -> Self {
+        let mut buckets = Vec::new();
+        for &(idx, n) in sparse {
+            let idx = idx as usize;
+            if idx >= buckets.len() {
+                buckets.resize(idx + 1, 0);
+            }
+            buckets[idx] += n;
+        }
+        Self { count, sum, min, max, buckets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_floor_are_consistent() {
+        for v in (0..4096u64).chain([u64::MAX / 3, u64::MAX]) {
+            let idx = bucket_index(v);
+            let floor = bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} must not exceed value {v}");
+            // The next bucket's floor must be strictly above the value
+            // (except at u64::MAX, where the next floor saturates to it).
+            assert!(bucket_floor(idx + 1) > v || v == u64::MAX, "value {v} escaped bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for v in [100u64, 1_000, 65_537, 1 << 30, (1 << 40) + 12345] {
+            let floor = bucket_floor(bucket_index(v));
+            let err = (v - floor) as f64 / v as f64;
+            assert!(err <= 1.0 / 32.0, "relative error {err} too large for {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((470..=500).contains(&p50), "p50 {p50}");
+        assert!((960..=990).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(1.0) <= h.max());
+        assert!(h.quantile(0.0) >= h.min());
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..500u64 {
+            let v = v * 37 % 100_000;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn sparse_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 5, 63, 64, 999, 123_456_789] {
+            h.record(v);
+        }
+        let back = Histogram::from_parts(h.count(), h.sum(), h.min(), h.max(), &h.sparse_buckets());
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the histogram invariants the obs layer leans
+//! on: bucket monotonicity, quantile bounds, merge behaviour, and exact
+//! count totals under concurrent recording.
+
+use proptest::prelude::*;
+use waldo_obs::hist::{bucket_floor, bucket_index, Histogram};
+
+proptest! {
+    #[test]
+    fn bucket_index_is_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    #[test]
+    fn bucket_floor_brackets_the_value(v in 0u64..u64::MAX) {
+        let idx = bucket_index(v);
+        prop_assert!(bucket_floor(idx) <= v);
+        prop_assert!(bucket_floor(idx + 1) > v);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded(
+        xs in prop::collection::vec(0u64..10_000_000_000, 1..400),
+    ) {
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let lo = *xs.iter().min().unwrap();
+        let hi = *xs.iter().max().unwrap();
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        prop_assert!(h.min() <= p50, "min {} > p50 {}", h.min(), p50);
+        prop_assert!(p50 <= p90 && p90 <= p99, "p50 {p50} p90 {p90} p99 {p99}");
+        prop_assert!(p99 <= h.max(), "p99 {} > max {}", p99, h.max());
+    }
+
+    #[test]
+    fn merge_quantiles_are_bounded_by_inputs(
+        xs in prop::collection::vec(0u64..1_000_000_000, 1..200),
+        ys in prop::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &x in &xs {
+            a.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.count(), a.count() + b.count());
+        prop_assert_eq!(merged.sum(), a.sum() + b.sum());
+        prop_assert_eq!(merged.min(), a.min().min(b.min()));
+        prop_assert_eq!(merged.max(), a.max().max(b.max()));
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let q = merged.quantile(p);
+            // A merged quantile can never escape the envelope of the two
+            // inputs' extreme values.
+            prop_assert!(q >= a.min().min(b.min()));
+            prop_assert!(q <= a.max().max(b.max()));
+        }
+        // Merging the other way round must give the identical histogram.
+        let mut other = b.clone();
+        other.merge(&a);
+        prop_assert_eq!(other, merged);
+    }
+
+    #[test]
+    fn sparse_round_trip_is_lossless(
+        xs in prop::collection::vec(0u64..u64::MAX / 2, 0..200),
+    ) {
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let back =
+            Histogram::from_parts(h.count(), h.sum(), h.min(), h.max(), &h.sparse_buckets());
+        prop_assert_eq!(back, h);
+    }
+}
+
+/// Concurrent recording through the global registry must lose no samples:
+/// the final count per name is exactly what the threads put in, however
+/// the scheduler interleaves them.
+#[cfg(feature = "obs")]
+#[test]
+fn concurrent_recording_counts_are_deterministic() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 1000;
+    waldo_obs::reset_histograms();
+    waldo_obs::set_enabled(true);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    waldo_obs::record_duration_ns("concurrent_path", t as u64 * 131 + i);
+                }
+            });
+        }
+    });
+    let snap = waldo_obs::histogram_snapshot();
+    let (_, hist) = snap.iter().find(|(n, _)| *n == "concurrent_path").expect("histogram present");
+    assert_eq!(hist.count(), THREADS as u64 * PER_THREAD);
+    let total: u64 = hist.sparse_buckets().iter().map(|&(_, n)| n).sum();
+    assert_eq!(total, hist.count(), "bucket totals must equal the count");
+    waldo_obs::reset_histograms();
+}

@@ -60,10 +60,19 @@ mod imp {
     use super::Stat;
     use std::cell::RefCell;
     use std::collections::BTreeMap;
-    use std::sync::Mutex;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
     use std::time::Instant;
 
     static GLOBAL: Mutex<BTreeMap<&'static str, Stat>> = Mutex::new(BTreeMap::new());
+
+    /// Locks the global table, recovering from poisoning: if an
+    /// instrumented thread panicked while flushing, the table holds
+    /// complete per-stage rows (merges are applied row-at-a-time), and
+    /// losing post-mortem stats to an unrelated crash is exactly the
+    /// failure mode a profiler must not have.
+    fn global() -> MutexGuard<'static, BTreeMap<&'static str, Stat>> {
+        GLOBAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 
     /// Thread-local table whose `Drop` flushes into [`GLOBAL`] at thread
     /// exit — this is what makes worker-thread scopes aggregate correctly.
@@ -76,14 +85,14 @@ mod imp {
     }
 
     thread_local! {
-        static LOCAL: RefCell<Local> = RefCell::new(Local(BTreeMap::new()));
+        static LOCAL: RefCell<Local> = const { RefCell::new(Local(BTreeMap::new())) };
     }
 
     fn flush(local: &mut BTreeMap<&'static str, Stat>) {
         if local.is_empty() {
             return;
         }
-        let mut global = GLOBAL.lock().expect("prof table poisoned");
+        let mut global = global();
         for (name, stat) in local.iter() {
             global.entry(name).or_default().merge(stat);
         }
@@ -105,12 +114,7 @@ mod imp {
 
     impl Drop for Scope {
         fn drop(&mut self) {
-            let ns = self.start.elapsed().as_nanos() as u64;
-            with_local(|local| {
-                let stat = local.entry(self.name).or_default();
-                stat.calls += 1;
-                stat.total_ns += ns;
-            });
+            record_ns(self.name, self.start.elapsed().as_nanos() as u64);
         }
     }
 
@@ -119,23 +123,46 @@ mod imp {
         Scope { name, start: Instant::now() }
     }
 
+    /// Records one call of `ns` nanoseconds against `name`, exactly as if
+    /// a [`scope`] guard had timed it — lets external timers (the
+    /// `waldo-obs` histogram guards) feed the same aggregate table without
+    /// double-reading the clock.
+    pub fn record_ns(name: &'static str, ns: u64) {
+        with_local(|local| {
+            let stat = local.entry(name).or_default();
+            stat.calls += 1;
+            stat.total_ns += ns;
+        });
+    }
+
     /// Adds `n` to the named monotonic counter.
     pub fn count(name: &'static str, n: u64) {
         with_local(|local| local.entry(name).or_default().count += n);
+    }
+
+    /// Deliberately poisons the global table from a sacrificial thread so
+    /// tests can prove snapshots survive a crashed instrumented thread.
+    #[cfg(test)]
+    pub(crate) fn poison_global_for_tests() {
+        let result = std::thread::spawn(|| {
+            let _guard = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("poisoning prof table for test");
+        })
+        .join();
+        assert!(result.is_err(), "poisoning thread must panic");
     }
 
     /// Flushes the current thread's table and returns the global aggregate,
     /// sorted by name.
     pub fn snapshot() -> Vec<(&'static str, Stat)> {
         with_local(flush);
-        let global = GLOBAL.lock().expect("prof table poisoned");
-        global.iter().map(|(&name, &stat)| (name, stat)).collect()
+        global().iter().map(|(&name, &stat)| (name, stat)).collect()
     }
 
     /// Clears the global table and the calling thread's local table.
     pub fn reset() {
         with_local(BTreeMap::clear);
-        GLOBAL.lock().expect("prof table poisoned").clear();
+        global().clear();
     }
 
     /// Whether profiling is compiled in.
@@ -158,6 +185,9 @@ mod imp {
     }
 
     /// No-op (profiling compiled out).
+    pub fn record_ns(_name: &'static str, _ns: u64) {}
+
+    /// No-op (profiling compiled out).
     pub fn count(_name: &'static str, _n: u64) {}
 
     /// Always empty (profiling compiled out).
@@ -174,7 +204,7 @@ mod imp {
     }
 }
 
-pub use imp::{count, enabled, reset, scope, snapshot, Scope};
+pub use imp::{count, enabled, record_ns, reset, scope, snapshot, Scope};
 
 /// Seconds spent in `name` according to `snapshot`, or 0 if absent.
 pub fn stage_seconds(snapshot: &[(&'static str, Stat)], name: &str) -> f64 {
@@ -252,6 +282,45 @@ mod enabled_tests {
         let stat = snap.iter().find(|(n, _)| *n == "worker_stage").expect("workers flushed").1;
         assert_eq!(stat.calls, 4);
         assert_eq!(stat.count, 4);
+    }
+
+    #[test]
+    fn snapshot_survives_a_panicked_scope_and_a_poisoned_table() {
+        let _guard = exclusive();
+        reset();
+        // An instrumented thread that panics mid-scope still flushes its
+        // timing during unwind (Scope drop + thread-local Local drop)...
+        let crashed = std::thread::spawn(|| {
+            let _t = scope("crashing_stage");
+            panic!("instrumented thread crashed");
+        })
+        .join();
+        assert!(crashed.is_err());
+        // ...and even with the global table mutex poisoned outright,
+        // post-mortem snapshots and resets must keep working.
+        imp::poison_global_for_tests();
+        let snap = snapshot();
+        let stat =
+            snap.iter().find(|(n, _)| *n == "crashing_stage").expect("crash stats survive").1;
+        assert_eq!(stat.calls, 1);
+        count("post_poison_counter", 1);
+        let snap = snapshot();
+        assert!(snap.iter().any(|(n, _)| *n == "post_poison_counter"));
+        reset();
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn record_ns_matches_scope_accounting() {
+        let _guard = exclusive();
+        reset();
+        record_ns("external_timer", 1_000);
+        record_ns("external_timer", 2_000);
+        let snap = snapshot();
+        let stat = snap.iter().find(|(n, _)| *n == "external_timer").expect("recorded").1;
+        assert_eq!(stat.calls, 2);
+        assert_eq!(stat.total_ns, 3_000);
+        reset();
     }
 
     #[test]

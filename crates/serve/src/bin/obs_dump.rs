@@ -1,0 +1,182 @@
+//! Dumps a running model-distribution server's live statistics.
+//!
+//! Connects to `ADDR`, issues one `Stats` request, and pretty-prints the
+//! versioned snapshot: connection and request counters, plus per-endpoint
+//! latency quantiles when the server was built with the `obs` feature and
+//! recording is on. The client's own failure-policy counters (attempts,
+//! retries, breaker state) are printed alongside, so one invocation shows
+//! both halves of the observability story.
+//!
+//! `--self-test` instead spawns a server in-process, drives one ping and
+//! one fetch through a hardened client, and asserts the snapshot is
+//! consistent with that traffic — the smoke check `scripts/check.sh` runs.
+//!
+//! Usage: `obs_dump ADDR` or `obs_dump --self-test`
+
+use std::time::Duration;
+
+use waldo_serve::{ModelClient, StatsSnapshot};
+
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+fn print_snapshot(snap: &StatsSnapshot) {
+    println!(
+        "server: obs {} / recording {}",
+        if snap.obs_compiled { "compiled" } else { "compiled out" },
+        if snap.obs_enabled { "on" } else { "off" },
+    );
+    println!(
+        "connections: {} accepted, {} active, {} busy-rejected",
+        snap.accepted_total, snap.active_connections, snap.busy_rejections,
+    );
+    println!("requests: {} handled, {} errors", snap.requests_total, snap.errors_total);
+    if snap.endpoints.is_empty() {
+        println!("no latency histograms (server built without obs, or recording off)");
+        return;
+    }
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "endpoint", "count", "p50 us", "p90 us", "p99 us", "max us", "mean us",
+    );
+    for ep in &snap.endpoints {
+        let h = &ep.hist;
+        println!(
+            "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            ep.name,
+            h.count(),
+            us(h.quantile(0.50)),
+            us(h.quantile(0.90)),
+            us(h.quantile(0.99)),
+            us(h.max()),
+            us(h.mean() as u64),
+        );
+    }
+}
+
+fn print_client(client: &ModelClient) {
+    let obs = client.obs_snapshot();
+    println!(
+        "client: {} attempts, {} retries, {} reconnects, {} breaker opens, \
+         {} half-open probes, breaker {}",
+        obs.attempts_total,
+        obs.retries_total,
+        obs.reconnects_total,
+        obs.breaker_opens,
+        obs.half_open_probes,
+        if obs.breaker_open { "OPEN" } else { "closed" },
+    );
+}
+
+fn dump(addr: &str) {
+    let addr: std::net::SocketAddr = addr.parse().unwrap_or_else(|e| {
+        eprintln!("obs_dump: bad address {addr:?}: {e}");
+        std::process::exit(2);
+    });
+    let mut client = ModelClient::new(addr, Duration::from_secs(5));
+    match client.stats() {
+        Ok(snap) => {
+            print_snapshot(&snap);
+            print_client(&client);
+        }
+        Err(e) => {
+            eprintln!("obs_dump: stats query to {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Spawns a throwaway server, drives known traffic through it, and checks
+/// the snapshot reflects that traffic.
+fn self_test() {
+    use std::sync::{Arc, RwLock};
+    use waldo::{ModelConstructor, WaldoConfig};
+    use waldo_data::{ChannelDataset, Measurement, Safety};
+    use waldo_geo::Point;
+    use waldo_iq::FeatureVector;
+    use waldo_rf::TvChannel;
+    use waldo_sensors::{Observation, SensorKind};
+    use waldo_serve::{serve, ModelCatalog, ServeConfig};
+
+    let mut measurements = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..200usize {
+        let x = (i as f64 / 200.0) * 30_000.0;
+        let y = ((i * 7) % 20) as f64 * 1_000.0;
+        let not_safe = x > 15_000.0;
+        let rss = if not_safe { -70.0 } else { -95.0 } + ((i % 5) as f64 - 2.0);
+        measurements.push(Measurement {
+            location: Point::new(x, y),
+            odometer_m: i as f64 * 100.0,
+            observation: Observation {
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.3,
+                    aft_db: rss - 12.5,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -110.0,
+                },
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        });
+        labels.push(Safety::from_not_safe(not_safe));
+    }
+    let dataset =
+        ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels);
+    let model = ModelConstructor::new(WaldoConfig::default().localities(4))
+        .fit(&dataset)
+        .expect("synthetic data trains");
+
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().expect("catalog lock").publish(30, &model);
+    let mut server = serve("127.0.0.1:0", Arc::clone(&catalog), ServeConfig::default())
+        .expect("ephemeral bind succeeds");
+    let addr = server.addr();
+
+    let mut client = ModelClient::new(addr, Duration::from_secs(5));
+    client.ping().expect("ping succeeds");
+    let (fetched, report) = client.fetch(30, 10.0, 10.0, -1.0).expect("fetch succeeds");
+    assert!(fetched.locality_count() > 0, "fetched model has localities");
+    assert!(report.request_id > 0, "fetch travelled under a request ID");
+    let snap = client.stats().expect("stats query succeeds");
+
+    // Ping + fetch + the stats query itself, all on one keep-alive
+    // connection.
+    assert!(snap.accepted_total >= 1, "accept counter moved");
+    assert_eq!(snap.active_connections, 1, "only this client is connected");
+    assert!(snap.requests_total >= 3, "ping + fetch + stats were counted");
+    assert_eq!(snap.errors_total, 0, "clean traffic produced no errors");
+    assert_eq!(snap.obs_compiled, waldo_obs::compiled(), "flag matches the build");
+    if snap.obs_compiled && snap.obs_enabled {
+        let handle = snap.endpoint("serve_handle").expect("serve_handle histogram present");
+        assert!(handle.hist.count() >= 2, "ping and fetch were timed");
+        assert!(handle.hist.max() >= handle.hist.quantile(0.5), "quantiles ordered");
+        assert!(snap.endpoint("serve_encode").is_some(), "encode histogram present");
+    } else {
+        assert!(snap.endpoints.is_empty(), "no histograms without obs");
+    }
+    let obs = client.obs_snapshot();
+    assert!(obs.attempts_total >= 3, "client counted its attempts");
+    assert!(!obs.breaker_open, "breaker closed after clean traffic");
+
+    print_snapshot(&snap);
+    print_client(&client);
+    server.shutdown();
+    println!("obs_dump: self-test OK");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--self-test") => self_test(),
+        Some(addr) if !addr.starts_with('-') => dump(addr),
+        _ => {
+            eprintln!("usage: obs_dump ADDR | obs_dump --self-test");
+            std::process::exit(2);
+        }
+    }
+}

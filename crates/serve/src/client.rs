@@ -31,9 +31,10 @@ use waldo::WaldoModel;
 use waldo_fault::{FaultStream, TransportFaults};
 
 use crate::protocol::{
-    decode_response, read_frame, write_frame, FrameRead, LocalityEntry, Request, Status,
-    MAX_RESPONSE_BYTES,
+    decode_response, decode_response_header, read_frame, write_frame, FrameRead, LocalityEntry,
+    Request, Status, MAX_RESPONSE_BYTES,
 };
+use crate::stats::StatsSnapshot;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -126,10 +127,35 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// Point-in-time view of the client's failure-policy counters — the
+/// device-side half of the obs story, pairing with the server's
+/// [`StatsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientObsSnapshot {
+    /// Wire attempts made (first tries and retries alike).
+    pub attempts_total: u64,
+    /// Retries performed beyond first attempts.
+    pub retries_total: u64,
+    /// Reconnects after the first-ever connection (dropped keep-alive,
+    /// poisoned stream, server restart).
+    pub reconnects_total: u64,
+    /// Times the circuit breaker opened (or re-armed after a failed
+    /// half-open probe).
+    pub breaker_opens: u64,
+    /// Half-open probes let through after a cooldown.
+    pub half_open_probes: u64,
+    /// Whether the breaker is open right now.
+    pub breaker_open: bool,
+    /// Requests left to shed before the next half-open probe.
+    pub cooldown_left: u32,
+}
+
 /// What one fetch cost and carried — the measurement surface for
 /// `BENCH_serve.json`'s delta-vs-full accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FetchReport {
+    /// Request ID this fetch travelled under (also in the JSONL trace).
+    pub request_id: u64,
     /// Epoch of the assembled model.
     pub epoch: u64,
     /// Total response payload bytes received.
@@ -180,6 +206,10 @@ pub struct ModelClient {
     cooldown_left: u32,
     retries_total: u64,
     breaker_opens: u64,
+    attempts_total: u64,
+    reconnects_total: u64,
+    half_open_probes: u64,
+    ever_connected: bool,
 }
 
 impl ModelClient {
@@ -202,6 +232,10 @@ impl ModelClient {
             cooldown_left: 0,
             retries_total: 0,
             breaker_opens: 0,
+            attempts_total: 0,
+            reconnects_total: 0,
+            half_open_probes: 0,
+            ever_connected: false,
         }
     }
 
@@ -252,6 +286,53 @@ impl ModelClient {
         self.breaker_open
     }
 
+    /// The client's retry/backoff/breaker counters as one snapshot — the
+    /// obs-facing view that used to be reconstructible only from
+    /// chaos_soak's report.
+    pub fn obs_snapshot(&self) -> ClientObsSnapshot {
+        ClientObsSnapshot {
+            attempts_total: self.attempts_total,
+            retries_total: self.retries_total,
+            reconnects_total: self.reconnects_total,
+            breaker_opens: self.breaker_opens,
+            half_open_probes: self.half_open_probes,
+            breaker_open: self.breaker_open,
+            cooldown_left: self.cooldown_left,
+        }
+    }
+
+    /// Queries the server's live statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport, server, or decode failure.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let req_id = waldo_obs::next_request_id();
+        let response = self.round_trip(req_id, &Request::Stats)?;
+        let (echoed, status, mut r) = match decode_response_header(&response) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.stream = None;
+                return Err(e.into());
+            }
+        };
+        if echoed != req_id {
+            self.stream = None;
+            return Err(ClientError::Protocol("response echoed a different request ID"));
+        }
+        if status != Status::Ok {
+            self.stream = None;
+            return Err(ClientError::Server(status));
+        }
+        match StatsSnapshot::decode(&mut r) {
+            Ok(snapshot) => Ok(snapshot),
+            Err(e) => {
+                self.stream = None;
+                Err(e.into())
+            }
+        }
+    }
+
     /// Age of the cached model for `channel`: time since the last
     /// successful fetch, `None` if the channel was never fetched. Feed this
     /// to `waldo::StaleModelGuard` to enforce a TTL.
@@ -273,8 +354,9 @@ impl ModelClient {
     ///
     /// Returns [`ClientError`] on transport or protocol failure.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        let response = self.round_trip(&Request::Ping)?;
-        let (status, _) = self.decode_checked(&response)?;
+        let req_id = waldo_obs::next_request_id();
+        let response = self.round_trip(req_id, &Request::Ping)?;
+        let (status, _) = self.decode_checked(req_id, &response)?;
         if status != Status::Ok {
             // The server closes the connection after any error response.
             self.stream = None;
@@ -283,15 +365,25 @@ impl ModelClient {
         Ok(())
     }
 
-    /// Decodes a response payload, dropping the cached stream on failure —
-    /// undecodable bytes mean the transport corrupted data, so the stream's
-    /// framing can no longer be trusted.
+    /// Decodes a response payload and verifies it echoes our request ID,
+    /// dropping the cached stream on failure — undecodable bytes or a
+    /// mismatched ID mean the stream's framing can no longer be trusted
+    /// (a stray ID on a keep-alive stream is a desynchronized response).
     fn decode_checked(
         &mut self,
+        expected_req_id: u64,
         response: &[u8],
     ) -> Result<(Status, Option<crate::protocol::FetchResponse>), ClientError> {
         match decode_response(response) {
-            Ok(decoded) => Ok(decoded),
+            Ok((echoed, status, body)) => {
+                // Header-mangled errors echo 0; only a *different* real ID
+                // indicates desynchronization.
+                if echoed != expected_req_id && echoed != 0 {
+                    self.stream = None;
+                    return Err(ClientError::Protocol("response echoed a different request ID"));
+                }
+                Ok((status, body))
+            }
             Err(e) => {
                 self.stream = None;
                 Err(e.into())
@@ -316,10 +408,13 @@ impl ModelClient {
         y_km: f64,
         radius_km: f64,
     ) -> Result<(WaldoModel, FetchReport), ClientError> {
+        let req_id = waldo_obs::next_request_id();
+        let _span = waldo_obs::span_req("client_fetch", req_id);
+        let _t = waldo_obs::timed("client_fetch");
         let have_epoch = self.cached_epoch(channel);
         let request = Request::Fetch { channel, x_km, y_km, radius_km, have_epoch };
-        let response = self.round_trip(&request)?;
-        let (status, body) = self.decode_checked(&response)?;
+        let response = self.round_trip(req_id, &request)?;
+        let (status, body) = self.decode_checked(req_id, &response)?;
         if status != Status::Ok {
             // The server closes the connection after any error response.
             self.stream = None;
@@ -387,6 +482,7 @@ impl ModelClient {
             .collect();
         let model = WaldoModel::from_locality_parts(features, centroids, &payloads)?;
         let report = FetchReport {
+            request_id: req_id,
             epoch: body.epoch,
             response_bytes: response.len(),
             sent,
@@ -401,17 +497,23 @@ impl ModelClient {
     /// attempts with exponential backoff + jitter between them. Every
     /// failed attempt drops the cached stream (poisoned-stream invariant),
     /// so a retry always reconnects from scratch.
-    fn round_trip(&mut self, request: &Request) -> Result<Vec<u8>, ClientError> {
+    fn round_trip(&mut self, req_id: u64, request: &Request) -> Result<Vec<u8>, ClientError> {
         // An open breaker with cooldown spent falls through as the
         // half-open probe.
         if self.breaker_open && self.cooldown_left > 0 {
             self.cooldown_left -= 1;
             return Err(ClientError::CircuitOpen);
         }
-        let payload = request.encode();
+        if self.breaker_open {
+            self.half_open_probes += 1;
+        }
+        // One ID for the whole logical request: retries reuse it, so a
+        // trace shows every attempt of one fetch under one req.
+        let payload = request.encode(req_id);
         let max_attempts = self.retry.max_attempts.max(1);
         let mut attempt = 0u32;
         loop {
+            self.attempts_total += 1;
             match self.attempt(&payload) {
                 Ok(response) => {
                     self.consecutive_failures = 0;
@@ -451,6 +553,10 @@ impl ModelClient {
                 }
             }
             let stream = TcpStream::connect(self.addr)?;
+            if self.ever_connected {
+                self.reconnects_total += 1;
+            }
+            self.ever_connected = true;
             stream.set_read_timeout(Some(self.timeout))?;
             stream.set_write_timeout(Some(self.timeout))?;
             stream.set_nodelay(true)?;

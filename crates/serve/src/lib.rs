@@ -49,8 +49,12 @@ pub mod catalog;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod stats;
 
 pub use catalog::ModelCatalog;
-pub use client::{CircuitBreakerPolicy, ClientError, FetchReport, ModelClient, RetryPolicy};
+pub use client::{
+    CircuitBreakerPolicy, ClientError, ClientObsSnapshot, FetchReport, ModelClient, RetryPolicy,
+};
 pub use protocol::{Request, Status};
 pub use server::{serve, ServeConfig, ServerHandle};
+pub use stats::{EndpointStats, StatsSnapshot};

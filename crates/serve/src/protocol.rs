@@ -9,27 +9,39 @@
 //! protocol fails with a typed error instead of garbage.
 //!
 //! ```text
-//! request  := "WSRQ" | version u8 | opcode u8 | body
+//! request  := "WSRQ" | version u8 | req_id u64 | opcode u8 | body
 //!   PING  (op 0): empty body
 //!   FETCH (op 1): channel u8 | x_km f64 | y_km f64 | radius_km f64
 //!                 | have_epoch u64
-//! response := "WSRS" | version u8 | status u8 | body (empty unless Ok)
+//!   STATS (op 2): empty body
+//! response := "WSRS" | version u8 | req_id u64 | status u8 | body
 //!   PING  body: empty
 //!   FETCH body: epoch u64 | prelude len u32 | prelude
 //!               | locality count u32 | locality entry…
+//!   STATS body: versioned stats snapshot (see `crate::stats`)
 //!   entry := 0 u8 | digest u64 | len u32 | payload   (sent)
 //!          | 1 u8                                    (unchanged since have_epoch)
 //!          | 2 u8                                    (changed but out of scope)
 //! ```
 //!
+//! The `req_id` is minted by the client (`waldo_obs::next_request_id`) and
+//! echoed verbatim by the server, so one logical fetch is traceable across
+//! both halves of a combined JSONL trace and a client can detect a
+//! desynchronized keep-alive stream. Error responses echo the request's ID
+//! when the header parsed far enough to recover it, and 0 otherwise.
+//!
 //! A `radius_km <= 0` fetch is unscoped: every changed locality is sent.
+//!
+//! Version history: v1 had no `req_id` and no STATS opcode; v2 is not
+//! wire-compatible with it, and v1 peers are answered/refused with
+//! `UnsupportedVersion`.
 
 use std::io::{Read, Write};
 
 use waldo::wire::{put_u32, put_u64, Reader, WireError};
 
 /// Protocol version spoken by this build.
-pub const PROTOCOL_VERSION: u8 = 1;
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Magic prefix of every request frame.
 pub const REQUEST_MAGIC: [u8; 4] = *b"WSRQ";
@@ -133,17 +145,22 @@ pub enum Request {
         /// Model epoch the client already holds (0 = none).
         have_epoch: u64,
     },
+    /// Live server statistics snapshot (see `crate::stats`).
+    Stats,
 }
 
 const OP_PING: u8 = 0;
 const OP_FETCH: u8 = 1;
+const OP_STATS: u8 = 2;
 
 impl Request {
-    /// Encodes the request frame payload (without the length prefix).
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(48);
+    /// Encodes the request frame payload (without the length prefix),
+    /// stamping it with the caller's request ID.
+    pub fn encode(&self, req_id: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(56);
         out.extend_from_slice(&REQUEST_MAGIC);
         out.push(PROTOCOL_VERSION);
+        put_u64(&mut out, req_id);
         match *self {
             Request::Ping => out.push(OP_PING),
             Request::Fetch { channel, x_km, y_km, radius_km, have_epoch } => {
@@ -154,36 +171,41 @@ impl Request {
                 waldo::wire::put_f64(&mut out, radius_km);
                 put_u64(&mut out, have_epoch);
             }
+            Request::Stats => out.push(OP_STATS),
         }
         out
     }
 
-    /// Decodes a request frame payload, mapping every parse failure to the
-    /// status the server should answer with.
-    pub fn decode(payload: &[u8]) -> Result<Self, Status> {
+    /// Decodes a request frame payload into `(req_id, request)`, mapping
+    /// every parse failure to the status the server should answer with.
+    /// The error side carries the request ID too (0 when the header was
+    /// too mangled to recover it) so error responses can still echo it.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Self), (u64, Status)> {
         let mut r = Reader::new(payload);
-        let magic = r.bytes(4).map_err(|_| Status::MalformedFrame)?;
+        let magic = r.bytes(4).map_err(|_| (0, Status::MalformedFrame))?;
         if magic != REQUEST_MAGIC {
-            return Err(Status::MalformedFrame);
+            return Err((0, Status::MalformedFrame));
         }
-        let version = r.u8().map_err(|_| Status::MalformedFrame)?;
+        let version = r.u8().map_err(|_| (0, Status::MalformedFrame))?;
         if version != PROTOCOL_VERSION {
-            return Err(Status::UnsupportedVersion);
+            return Err((0, Status::UnsupportedVersion));
         }
-        let op = r.u8().map_err(|_| Status::MalformedFrame)?;
+        let req_id = r.u64().map_err(|_| (0, Status::MalformedFrame))?;
+        let op = r.u8().map_err(|_| (req_id, Status::MalformedFrame))?;
         let request = match op {
             OP_PING => Request::Ping,
             OP_FETCH => Request::Fetch {
-                channel: r.u8().map_err(|_| Status::MalformedFrame)?,
-                x_km: r.f64().map_err(|_| Status::MalformedFrame)?,
-                y_km: r.f64().map_err(|_| Status::MalformedFrame)?,
-                radius_km: r.f64().map_err(|_| Status::MalformedFrame)?,
-                have_epoch: r.u64().map_err(|_| Status::MalformedFrame)?,
+                channel: r.u8().map_err(|_| (req_id, Status::MalformedFrame))?,
+                x_km: r.f64().map_err(|_| (req_id, Status::MalformedFrame))?,
+                y_km: r.f64().map_err(|_| (req_id, Status::MalformedFrame))?,
+                radius_km: r.f64().map_err(|_| (req_id, Status::MalformedFrame))?,
+                have_epoch: r.u64().map_err(|_| (req_id, Status::MalformedFrame))?,
             },
-            _ => return Err(Status::UnknownOpcode),
+            OP_STATS => Request::Stats,
+            _ => return Err((req_id, Status::UnknownOpcode)),
         };
-        r.finish().map_err(|_| Status::MalformedFrame)?;
-        Ok(request)
+        r.finish().map_err(|_| (req_id, Status::MalformedFrame))?;
+        Ok((req_id, request))
     }
 }
 
@@ -219,13 +241,38 @@ pub struct FetchResponse {
     pub entries: Vec<LocalityEntry>,
 }
 
-/// Encodes a response frame payload: header, then for [`Status::Ok`] the
-/// optional fetch body (`None` for a ping acknowledgement).
-pub fn encode_response(status: Status, body: Option<&FetchResponse>) -> Vec<u8> {
+/// Encodes a response header: magic, version, echoed request ID, status.
+/// The opcode-specific body (if any) is appended by the caller.
+pub fn encode_response_header(req_id: u64, status: Status) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&RESPONSE_MAGIC);
     out.push(PROTOCOL_VERSION);
+    put_u64(&mut out, req_id);
     out.push(status.code());
+    out
+}
+
+/// Decodes a response header, returning the echoed request ID, the status,
+/// and a reader positioned at the start of the body.
+pub fn decode_response_header(payload: &[u8]) -> Result<(u64, Status, Reader<'_>), WireError> {
+    let mut r = Reader::new(payload);
+    if r.bytes(4)? != RESPONSE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let req_id = r.u64()?;
+    let code = r.u8()?;
+    let status = Status::from_code(code).ok_or(WireError::BadTag { what: "status", tag: code })?;
+    Ok((req_id, status, r))
+}
+
+/// Encodes a response frame payload: header, then for [`Status::Ok`] the
+/// optional fetch body (`None` for a ping acknowledgement).
+pub fn encode_response(req_id: u64, status: Status, body: Option<&FetchResponse>) -> Vec<u8> {
+    let mut out = encode_response_header(req_id, status);
     if let Some(body) = body {
         debug_assert_eq!(status, Status::Ok);
         put_u64(&mut out, body.epoch);
@@ -248,22 +295,13 @@ pub fn encode_response(status: Status, body: Option<&FetchResponse>) -> Vec<u8> 
     out
 }
 
-/// Decodes a response frame payload into `(status, fetch body)`. The body
-/// is present only for an `Ok` response that carries one.
-pub fn decode_response(payload: &[u8]) -> Result<(Status, Option<FetchResponse>), WireError> {
-    let mut r = Reader::new(payload);
-    if r.bytes(4)? != RESPONSE_MAGIC {
-        return Err(WireError::BadMagic);
-    }
-    let version = r.u8()?;
-    if version != PROTOCOL_VERSION {
-        return Err(WireError::UnsupportedVersion(version));
-    }
-    let status =
-        Status::from_code(r.u8()?).ok_or(WireError::BadTag { what: "status", tag: payload[5] })?;
+/// Decodes a response frame payload into `(req_id, status, fetch body)`.
+/// The body is present only for an `Ok` response that carries one.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Status, Option<FetchResponse>), WireError> {
+    let (req_id, status, mut r) = decode_response_header(payload)?;
     if status != Status::Ok || r.remaining() == 0 {
         r.finish()?;
-        return Ok((status, None));
+        return Ok((req_id, status, None));
     }
     let epoch = r.u64()?;
     let prelude_len = r.u32()? as usize;
@@ -283,7 +321,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(Status, Option<FetchResponse>)
         });
     }
     r.finish()?;
-    Ok((status, Some(FetchResponse { epoch, prelude, entries })))
+    Ok((req_id, status, Some(FetchResponse { epoch, prelude, entries })))
 }
 
 /// Writes one length-prefixed frame.
@@ -332,21 +370,41 @@ mod tests {
         for request in [
             Request::Ping,
             Request::Fetch { channel: 30, x_km: 12.5, y_km: -3.0, radius_km: 8.0, have_epoch: 7 },
+            Request::Stats,
         ] {
-            assert_eq!(Request::decode(&request.encode()), Ok(request));
+            assert_eq!(Request::decode(&request.encode(99)), Ok((99, request)));
         }
+    }
+
+    /// A v2 request header on the wire: magic, version, request ID.
+    fn req_header(req_id: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"WSRQ\x02");
+        out.extend_from_slice(&req_id.to_le_bytes());
+        out
     }
 
     #[test]
     fn request_decode_rejects_garbage() {
-        assert_eq!(Request::decode(b""), Err(Status::MalformedFrame));
-        assert_eq!(Request::decode(b"XXXX\x01\x00"), Err(Status::MalformedFrame));
-        assert_eq!(Request::decode(b"WSRQ\x63\x00"), Err(Status::UnsupportedVersion));
-        assert_eq!(Request::decode(b"WSRQ\x01\x7f"), Err(Status::UnknownOpcode));
+        assert_eq!(Request::decode(b""), Err((0, Status::MalformedFrame)));
+        assert_eq!(Request::decode(b"XXXX\x02\x00"), Err((0, Status::MalformedFrame)));
+        // v1 (no req_id) and future versions are both refused up front.
+        assert_eq!(Request::decode(b"WSRQ\x01\x00"), Err((0, Status::UnsupportedVersion)));
+        assert_eq!(Request::decode(b"WSRQ\x63\x00"), Err((0, Status::UnsupportedVersion)));
+        // Header truncated inside the request ID: the ID is unrecoverable.
+        assert_eq!(Request::decode(b"WSRQ\x02\x07\x00"), Err((0, Status::MalformedFrame)));
+        // Once the ID parsed, errors carry it so responses can echo it.
+        let mut unknown_op = req_header(7);
+        unknown_op.push(0x7f);
+        assert_eq!(Request::decode(&unknown_op), Err((7, Status::UnknownOpcode)));
         // FETCH with a truncated body.
-        assert_eq!(Request::decode(b"WSRQ\x01\x01\x1e"), Err(Status::MalformedFrame));
+        let mut short_fetch = req_header(8);
+        short_fetch.extend_from_slice(&[0x01, 0x1e]);
+        assert_eq!(Request::decode(&short_fetch), Err((8, Status::MalformedFrame)));
         // Valid ping with trailing bytes.
-        assert_eq!(Request::decode(b"WSRQ\x01\x00\x00"), Err(Status::MalformedFrame));
+        let mut trailing = req_header(9);
+        trailing.extend_from_slice(&[0x00, 0x00]);
+        assert_eq!(Request::decode(&trailing), Err((9, Status::MalformedFrame)));
     }
 
     #[test]
@@ -360,13 +418,28 @@ mod tests {
                 LocalityEntry::OutOfScope,
             ],
         };
-        let bytes = encode_response(Status::Ok, Some(&body));
-        let (status, decoded) = decode_response(&bytes).unwrap();
+        let bytes = encode_response(41, Status::Ok, Some(&body));
+        let (req_id, status, decoded) = decode_response(&bytes).unwrap();
+        assert_eq!(req_id, 41);
         assert_eq!(status, Status::Ok);
         assert_eq!(decoded, Some(body));
 
-        let err = encode_response(Status::UnknownChannel, None);
-        assert_eq!(decode_response(&err).unwrap(), (Status::UnknownChannel, None));
+        let err = encode_response(42, Status::UnknownChannel, None);
+        assert_eq!(decode_response(&err).unwrap(), (42, Status::UnknownChannel, None));
+    }
+
+    #[test]
+    fn response_header_decode_rejects_version_skew() {
+        let mut v1 = encode_response_header(1, Status::Ok);
+        v1[4] = 1;
+        assert!(matches!(decode_response_header(&v1), Err(WireError::UnsupportedVersion(1))));
+        let mut bad_status = encode_response_header(1, Status::Ok);
+        let last = bad_status.len() - 1;
+        bad_status[last] = 200;
+        assert!(matches!(
+            decode_response_header(&bad_status),
+            Err(WireError::BadTag { tag: 200, .. })
+        ));
     }
 
     #[test]

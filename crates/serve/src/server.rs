@@ -25,7 +25,7 @@
 
 use std::io::Read;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -37,6 +37,7 @@ use crate::protocol::{
     encode_response, write_frame, FetchResponse, FrameRead, LocalityEntry, Request, Status,
     MAX_REQUEST_BYTES,
 };
+use crate::stats::{EndpointStats, StatsSnapshot};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -70,6 +71,48 @@ impl Default for ServeConfig {
     }
 }
 
+/// Live counters shared between the accept loop, every handler thread,
+/// and the `Stats` endpoint. All monotonic except `active`.
+#[derive(Debug, Default)]
+pub(crate) struct ServerStats {
+    /// Connections accepted since startup.
+    accepted_total: AtomicU64,
+    /// Connections open right now (also the connection-cap accounting).
+    active: AtomicUsize,
+    /// Connections answered [`Status::Busy`] at the cap.
+    busy_rejections: AtomicU64,
+    /// Requests handled (any opcode, any outcome).
+    requests_total: AtomicU64,
+    /// Requests answered with a non-`Ok` status.
+    errors_total: AtomicU64,
+}
+
+impl ServerStats {
+    /// Builds the wire-facing snapshot, folding in the process-wide obs
+    /// histograms (which is what "per-endpoint" means here: one histogram
+    /// per `waldo_obs::timed` name).
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            obs_compiled: waldo_obs::compiled(),
+            obs_enabled: waldo_obs::enabled(),
+            accepted_total: self.accepted_total.load(Ordering::Relaxed),
+            active_connections: self.active.load(Ordering::Relaxed) as u64,
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            errors_total: self.errors_total.load(Ordering::Relaxed),
+            endpoints: waldo_obs::histogram_snapshot()
+                .into_iter()
+                .map(|(name, hist)| EndpointStats { name: name.to_owned(), hist })
+                .collect(),
+        }
+    }
+
+    fn error(&self) {
+        waldo_prof::count("serve_errors", 1);
+        self.errors_total.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// A running server. Dropping the handle without calling
 /// [`shutdown`](Self::shutdown) leaves the threads running until process
 /// exit; tests and the load generator always shut down explicitly.
@@ -77,6 +120,7 @@ impl Default for ServeConfig {
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -84,6 +128,11 @@ impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
+    }
+
+    /// The same snapshot the `Stats` opcode serves, read in-process.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
     }
 
     /// Signals the accept loop to stop, unblocks it, and joins every
@@ -119,10 +168,11 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
     let accept_stop = Arc::clone(&stop);
+    let accept_stats = Arc::clone(&stats);
     let accept_thread = std::thread::spawn(move || {
         let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
-        let active = Arc::new(AtomicUsize::new(0));
         let mut conn_index: u64 = 0;
         for stream in listener.incoming() {
             if accept_stop.load(Ordering::SeqCst) {
@@ -133,13 +183,16 @@ pub fn serve(
             let config = config.clone();
             let faults = config.faults.as_ref().map(|f| f.fork(conn_index));
             conn_index += 1;
+            accept_stats.accepted_total.fetch_add(1, Ordering::Relaxed);
             // Claim the slot before spawning so a flood cannot race past
             // the cap; the handler releases it on exit.
-            let over_cap = active.fetch_add(1, Ordering::SeqCst) >= config.max_connections;
-            let slot = ConnectionSlot(Arc::clone(&active));
+            let over_cap =
+                accept_stats.active.fetch_add(1, Ordering::SeqCst) >= config.max_connections;
+            let slot = ConnectionSlot(Arc::clone(&accept_stats));
+            let conn_stats = Arc::clone(&accept_stats);
             let handle = std::thread::spawn(move || {
                 let _slot = slot;
-                serve_connection(stream, &catalog, &config, over_cap, faults);
+                serve_connection(stream, &catalog, &config, over_cap, faults, &conn_stats);
             });
             let mut guard = connections.lock().expect("connection list poisoned");
             // Reap finished handlers so a long-lived server does not
@@ -151,15 +204,15 @@ pub fn serve(
             let _ = handle.join();
         }
     });
-    Ok(ServerHandle { addr, stop, accept_thread: Some(accept_thread) })
+    Ok(ServerHandle { addr, stop, stats, accept_thread: Some(accept_thread) })
 }
 
 /// Releases one connection slot on drop, however the handler exits.
-struct ConnectionSlot(Arc<AtomicUsize>);
+struct ConnectionSlot(Arc<ServerStats>);
 
 impl Drop for ConnectionSlot {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -172,6 +225,7 @@ fn serve_connection(
     config: &ServeConfig,
     over_cap: bool,
     faults: Option<TransportFaults>,
+    stats: &ServerStats,
 ) {
     if stream.set_write_timeout(Some(config.write_timeout)).is_err()
         || stream.set_nodelay(true).is_err()
@@ -183,7 +237,8 @@ fn serve_connection(
         None => FaultStream::transparent(stream),
     };
     if over_cap {
-        waldo_prof::count("serve_errors", 1);
+        stats.error();
+        stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
         // Read (and discard) one request before answering, so the client
         // gets a clean Busy frame instead of a reset from closing a socket
         // with unread data.
@@ -193,8 +248,15 @@ fn serve_connection(
             config.read_timeout,
             config.frame_deadline,
         );
-        if matches!(frame, Ok(FrameRead::Frame(_) | FrameRead::TooLarge(_))) {
-            let _ = respond(&mut stream, Status::Busy, None);
+        if let Ok(FrameRead::Frame(payload)) = frame {
+            // Echo the request ID even on the rejection path, if the
+            // request parsed far enough to carry one.
+            let req_id = match Request::decode(&payload) {
+                Ok((id, _)) | Err((id, _)) => id,
+            };
+            let _ = respond(&mut stream, req_id, Status::Busy, None);
+        } else if matches!(frame, Ok(FrameRead::TooLarge(_))) {
+            let _ = respond(&mut stream, 0, Status::Busy, None);
         }
         return;
     }
@@ -209,49 +271,61 @@ fn serve_connection(
             Ok(FrameRead::Frame(payload)) => payload,
             Ok(FrameRead::Closed) => return,
             Ok(FrameRead::TooLarge(_)) => {
-                waldo_prof::count("serve_errors", 1);
-                let _ = respond(&mut stream, Status::RequestTooLarge, None);
+                stats.error();
+                let _ = respond(&mut stream, 0, Status::RequestTooLarge, None);
                 return;
             }
             // Idle timeout or transport error: drop the connection.
             Err(_) => return,
         };
-        let _t = waldo_prof::scope("serve_handle");
         waldo_prof::count("serve_requests", 1);
-        match Request::decode(&payload) {
-            Ok(Request::Ping) => {
-                if respond(&mut stream, Status::Ok, None).is_err() {
+        stats.requests_total.fetch_add(1, Ordering::Relaxed);
+        let (req_id, request) = match Request::decode(&payload) {
+            Ok(parsed) => parsed,
+            Err((req_id, status)) => {
+                stats.error();
+                let _ = respond(&mut stream, req_id, status, None);
+                return;
+            }
+        };
+        let _span = waldo_obs::span_req("serve_handle", req_id);
+        let _t = waldo_obs::timed("serve_handle");
+        match request {
+            Request::Ping => {
+                if respond(&mut stream, req_id, Status::Ok, None).is_err() {
                     return;
                 }
             }
-            Ok(Request::Fetch { channel, x_km, y_km, radius_km, have_epoch }) => {
+            Request::Fetch { channel, x_km, y_km, radius_km, have_epoch } => {
                 let guard = match catalog.read() {
                     Ok(guard) => guard,
                     Err(_) => {
-                        waldo_prof::count("serve_errors", 1);
-                        let _ = respond(&mut stream, Status::Internal, None);
+                        stats.error();
+                        let _ = respond(&mut stream, req_id, Status::Internal, None);
                         return;
                     }
                 };
                 match guard.channel(channel) {
                     None => {
-                        waldo_prof::count("serve_errors", 1);
-                        let _ = respond(&mut stream, Status::UnknownChannel, None);
+                        stats.error();
+                        let _ = respond(&mut stream, req_id, Status::UnknownChannel, None);
                         return;
                     }
                     Some(served) => {
                         let body = build_fetch_response(served, x_km, y_km, radius_km, have_epoch);
                         drop(guard);
-                        if respond(&mut stream, Status::Ok, Some(&body)).is_err() {
+                        if respond(&mut stream, req_id, Status::Ok, Some(&body)).is_err() {
                             return;
                         }
                     }
                 }
             }
-            Err(status) => {
-                waldo_prof::count("serve_errors", 1);
-                let _ = respond(&mut stream, status, None);
-                return;
+            Request::Stats => {
+                let payload = crate::stats::encode_stats_response(req_id, &stats.snapshot());
+                waldo_prof::count("serve_bytes_out", payload.len() as u64);
+                if write_frame(&mut stream, &payload).is_err() {
+                    return;
+                }
             }
         }
     }
@@ -272,7 +346,7 @@ fn build_fetch_response(
     radius_km: f64,
     have_epoch: u64,
 ) -> FetchResponse {
-    let _t = waldo_prof::scope("serve_encode");
+    let _t = waldo_obs::timed("serve_encode");
     let nearest = served
         .slots
         .iter()
@@ -310,10 +384,11 @@ fn dist_sq_km(centroid: [f64; 2], x_km: f64, y_km: f64) -> f64 {
 
 fn respond<W: std::io::Write>(
     stream: &mut W,
+    req_id: u64,
     status: Status,
     body: Option<&FetchResponse>,
 ) -> std::io::Result<()> {
-    let payload = encode_response(status, body);
+    let payload = encode_response(req_id, status, body);
     waldo_prof::count("serve_bytes_out", payload.len() as u64);
     write_frame(stream, &payload)
 }

@@ -1,0 +1,142 @@
+//! Obs-gated end-to-end checks: request-ID propagation from the client's
+//! fetch span through the wire into the server's handler span, and the
+//! live `Stats` endpoint agreeing with the traffic that produced it.
+//!
+//! These compile only with `--features obs`; the default build exercises
+//! the same paths with the no-op twins via `tests/serve.rs`.
+#![cfg(feature = "obs")]
+
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use waldo::{ClassifierKind, ModelConstructor, WaldoConfig, WaldoModel};
+use waldo_data::{ChannelDataset, Measurement, Safety};
+use waldo_geo::Point;
+use waldo_iq::FeatureVector;
+use waldo_rf::TvChannel;
+use waldo_sensors::{Observation, SensorKind};
+use waldo_serve::{serve, ModelCatalog, ModelClient, ServeConfig};
+
+const CHANNEL: u8 = 30;
+
+fn dataset(n: usize) -> ChannelDataset {
+    let mut measurements = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let x = (i as f64 / n as f64) * 30_000.0;
+        let y = ((i * 7) % 20) as f64 * 1_000.0;
+        let not_safe = x > 15_000.0;
+        let rss = if not_safe { -70.0 } else { -95.0 } + ((i % 5) as f64 - 2.0);
+        measurements.push(Measurement {
+            location: Point::new(x, y),
+            odometer_m: i as f64 * 100.0,
+            observation: Observation {
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.3,
+                    aft_db: rss - 12.5,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -110.0,
+                },
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        });
+        labels.push(Safety::from_not_safe(not_safe));
+    }
+    ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+}
+
+fn model(localities: usize) -> WaldoModel {
+    ModelConstructor::new(
+        WaldoConfig::default().classifier(ClassifierKind::Svm).localities(localities),
+    )
+    .fit(&dataset(200))
+    .expect("synthetic data trains")
+}
+
+/// The trace lines whose `"req"` field equals `req_id`.
+fn lines_for_request(trace: &str, req_id: u64) -> Vec<String> {
+    let needle = format!("\"req\":{req_id},");
+    trace.lines().filter(|l| l.contains(&needle)).map(str::to_owned).collect()
+}
+
+/// One fetch must produce a JSONL trace whose client-side and server-side
+/// spans carry the same request ID — the span-stitching the whole tracing
+/// design exists for. The server runs in-process, so both halves land in
+/// the same sink.
+#[test]
+fn client_and_server_spans_share_one_request_id() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    let mut server =
+        serve("127.0.0.1:0", Arc::clone(&catalog), ServeConfig::default()).expect("ephemeral bind");
+
+    let buffer = waldo_obs::SharedBuffer::new();
+    waldo_obs::set_enabled(true);
+    waldo_obs::set_sink(Some(Box::new(buffer.clone())));
+
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+    let (_, report) = client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("fetch succeeds");
+    assert!(report.request_id > 0, "the fetch travelled under a request ID");
+
+    // Give the server's handler span time to drop and write its line; it
+    // closes after the response is flushed, so it may trail the client's.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let (mut client_spans, mut server_spans) = (0, 0);
+    while std::time::Instant::now() < deadline {
+        waldo_obs::flush_sink();
+        let trace = buffer.contents();
+        let lines = lines_for_request(&trace, report.request_id);
+        client_spans = lines.iter().filter(|l| l.contains("\"name\":\"client_fetch\"")).count();
+        server_spans = lines.iter().filter(|l| l.contains("\"name\":\"serve_handle\"")).count();
+        if client_spans >= 1 && server_spans >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    waldo_obs::set_sink(None);
+    server.shutdown();
+
+    assert_eq!(client_spans, 1, "exactly one client span under the fetch's request ID");
+    assert!(server_spans >= 1, "the server handler span must echo the same request ID");
+}
+
+/// The `Stats` opcode must report counters consistent with known traffic,
+/// and its histograms must cover the instrumented serve endpoints.
+#[test]
+fn stats_snapshot_reflects_known_traffic() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    let mut server =
+        serve("127.0.0.1:0", Arc::clone(&catalog), ServeConfig::default()).expect("ephemeral bind");
+
+    waldo_obs::set_enabled(true);
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+    client.ping().expect("ping succeeds");
+    client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("fetch succeeds");
+    let before = server.stats_snapshot();
+    let wire = client.stats().expect("stats over the wire");
+
+    assert!(wire.obs_compiled && wire.obs_enabled);
+    assert!(wire.requests_total >= before.requests_total, "counters are monotonic");
+    assert!(wire.requests_total >= 3, "ping + fetch + stats all counted");
+    assert_eq!(wire.errors_total, 0);
+    assert!(wire.accepted_total >= 1);
+
+    // Histograms recorded under this process's traffic. Other tests in
+    // this binary share the obs registry, so counts are lower bounds.
+    let handle = wire.endpoint("serve_handle").expect("serve_handle histogram");
+    assert!(handle.hist.count() >= 2, "ping and fetch were timed");
+    assert!(handle.hist.min() <= handle.hist.quantile(0.5));
+    assert!(handle.hist.quantile(0.5) <= handle.hist.max());
+    assert!(wire.endpoint("serve_encode").is_some(), "encode path timed");
+    assert!(wire.endpoint("client_fetch").is_some(), "client fetch timed (same process)");
+
+    let obs = client.obs_snapshot();
+    assert!(obs.attempts_total >= 3, "client counted each wire attempt");
+    assert_eq!(obs.breaker_opens, 0);
+    server.shutdown();
+}

@@ -199,8 +199,9 @@ fn malformed_frames_get_typed_rejections() {
     let FrameRead::Frame(reply) = read_frame(&mut stream, 1 << 20).unwrap() else {
         panic!("server should reply before closing");
     };
-    let (status, body) = decode_response(&reply).unwrap();
+    let (req_id, status, body) = decode_response(&reply).unwrap();
     assert_eq!(status, Status::MalformedFrame);
+    assert_eq!(req_id, 0, "a mangled header cannot echo a request ID");
     assert!(body.is_none());
 
     // An absurd length prefix is rejected without reading the body.
@@ -210,7 +211,7 @@ fn malformed_frames_get_typed_rejections() {
     let FrameRead::Frame(reply) = read_frame(&mut stream, 1 << 20).unwrap() else {
         panic!("server should reply before closing");
     };
-    let (status, _) = decode_response(&reply).unwrap();
+    let (_, status, _) = decode_response(&reply).unwrap();
     assert_eq!(status, Status::RequestTooLarge);
     server.shutdown();
 }
@@ -337,7 +338,7 @@ fn slow_loris_frames_are_cut_off_at_the_deadline() {
     // blowing the whole-frame deadline.
     let mut stream = TcpStream::connect(server.addr()).unwrap();
     stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-    let request = waldo_serve::Request::Ping.encode();
+    let request = waldo_serve::Request::Ping.encode(waldo_obs::next_request_id());
     let mut frame = (request.len() as u32).to_le_bytes().to_vec();
     frame.extend_from_slice(&request);
     let start = std::time::Instant::now();

@@ -22,6 +22,12 @@ cargo test -p waldo-fault -p waldo-serve --features "waldo-fault/fault waldo-ser
 echo "==> cargo test -p waldo-prof --features prof"
 cargo test -p waldo-prof --features prof -q
 
+echo "==> cargo test (obs feature armed)"
+# The obs instrumentation compiles to no-ops by default; this pass runs
+# the histogram/trace property tests and the serve request-ID propagation
+# and stats-snapshot tests with recording compiled in.
+cargo test -p waldo-obs -p waldo-serve --features "waldo-obs/obs waldo-serve/obs" -q
+
 echo "==> bench smoke (probe --bench-only + gate)"
 # Small-scale pipeline probe with the stage timers compiled in; the gate
 # fails if any stage timer went missing or svm_fit regressed more than 2x
@@ -32,15 +38,21 @@ cargo run --release -p waldo-bench --features prof --bin probe -- \
 cargo run --release -p waldo-bench --features prof --bin gate -- \
     target/BENCH_smoke.json scripts/bench_floor.json
 
-echo "==> serve smoke (serve_load --quick + gate)"
+echo "==> serve smoke (serve_load --quick --obs-overhead + gate --obs)"
 # Boots the model server, runs 16 concurrent clients through full fetches,
 # delta fetches, and malformed-frame probes, then shuts down gracefully.
 # serve_load itself exits nonzero on any protocol error; the gate addition-
-# ally enforces the fetch-latency floor (scripts/bench_floor.json).
-cargo run --release -p waldo-serve --features prof --bin serve_load -- \
-    --quick --out target/BENCH_serve_smoke.json
+# ally enforces the fetch-latency floor (scripts/bench_floor.json) and,
+# with --obs, the recording-overhead ceiling on the obs-enabled build.
+cargo run --release -p waldo-bench --features "prof obs" --bin serve_load -- \
+    --quick --obs-overhead --out target/BENCH_serve_smoke.json
 cargo run --release -p waldo-bench --features prof --bin gate -- \
-    target/BENCH_smoke.json scripts/bench_floor.json target/BENCH_serve_smoke.json
+    target/BENCH_smoke.json scripts/bench_floor.json target/BENCH_serve_smoke.json --obs
+
+echo "==> obs_dump self-test"
+# In-process server + client round trip through the Stats opcode; asserts
+# connection/request counters and (with obs) per-endpoint histograms.
+cargo run --release -p waldo-serve --features obs --bin obs_dump -- --self-test
 
 echo "==> chaos smoke (chaos_soak --quick + gate --chaos)"
 # Seeded fault injection on every client transport and sensor, through a
