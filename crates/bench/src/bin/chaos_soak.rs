@@ -534,6 +534,13 @@ fn main() {
             Err(_) => panics += 1,
         }
     }
+    // Reactor-mode counters from the restarted server, read over the wire
+    // before shutdown, so the chaos report shows the serving plane the
+    // soak actually ran against (obs_dump renders the same snapshot).
+    let server_stats = {
+        let mut probe = ModelClient::new(addr, Duration::from_secs(10));
+        probe.stats().ok()
+    };
     server.shutdown();
     recoveries.sort_unstable();
     let recovered = recoveries.len() as u64;
@@ -569,6 +576,10 @@ fn main() {
         "recovery_p50_ns": recovery_p50,
         "recovery_p99_ns": recovery_p99,
         "panics": panics,
+        "serve_cache_hits": server_stats.as_ref().map_or(0, |s| s.cache_hits),
+        "serve_cache_misses": server_stats.as_ref().map_or(0, |s| s.cache_misses),
+        "serve_reactors": server_stats.as_ref().map_or(0, |s| s.reactors),
+        "serve_busy_rejections": server_stats.as_ref().map_or(0, |s| s.busy_rejections),
         "wall_seconds": wall_seconds,
         "obs_enabled": waldo_obs::enabled(),
         "client_attempts_total": total.obs.attempts_total,

@@ -16,6 +16,10 @@
 //!   fewer than 16 clients, saved less than half the full-fetch bytes on
 //!   delta fetches, or its p50 fetch latency regressed more than 10×
 //!   against the checked-in floor (`serve_fetch_p50_ns`);
+//! - a serve report's throughput phase held fewer than 256 concurrent
+//!   connections, its `fetches_per_s` fell below the absolute floor
+//!   (`serve_fetches_per_s` in the floor file), or the pre-encoded
+//!   response cache hit fewer than 90% of steady-state lookups;
 //! - `--obs` is given and the serve report ran without the `obs` feature,
 //!   has no `obs_overhead` A/B table (rerun `serve_load --obs-overhead`),
 //!   lost the `serve_handle` endpoint histogram, or the obs-enabled fetch
@@ -53,6 +57,15 @@ const SERVE_DELTA_SAVINGS_FLOOR: f64 = 0.5;
 /// Serve reports must come from a load run with at least this many
 /// concurrent clients to count as a concurrency smoke.
 const SERVE_MIN_CLIENTS: u64 = 16;
+
+/// The throughput phase must have held at least this many concurrent
+/// keep-alive connections for its `fetches_per_s` to count.
+const SERVE_MIN_CONNECTIONS: u64 = 256;
+
+/// Minimum steady-state hit rate of the pre-encoded response cache. The
+/// reactor's hot path is a memcpy of a cached tail; below this, unscoped
+/// fetches are falling back to per-request encoding.
+const SERVE_CACHE_HIT_RATE_FLOOR: f64 = 0.90;
 
 /// Maximum allowed relative increase of the client-observed fetch p50 with
 /// obs recording enabled versus disabled, measured by the same-process A/B
@@ -153,12 +166,42 @@ fn check_serve(report: &Value, floor: &Value) -> Result<(), String> {
             floor_ns / 1e6
         ));
     }
+
+    // Throughput phase: enough concurrency, enough capacity, and the
+    // cached hot path actually taken.
+    let connections = field("connections")? as u64;
+    if connections < SERVE_MIN_CONNECTIONS {
+        return Err(format!(
+            "throughput phase held {connections} connections; needs >= {SERVE_MIN_CONNECTIONS}"
+        ));
+    }
+    let fetches_per_s = field("fetches_per_s")?;
+    let rate_floor = floor
+        .get("serve_fetches_per_s")
+        .and_then(Value::as_f64)
+        .ok_or("floor file has no serve_fetches_per_s".to_string())?;
+    if fetches_per_s < rate_floor {
+        return Err(format!(
+            "serve throughput regressed: {fetches_per_s:.0} fetches/s vs {rate_floor:.0} floor"
+        ));
+    }
+    let hit_rate = field("cache_hit_rate")?;
+    if hit_rate < SERVE_CACHE_HIT_RATE_FLOOR {
+        return Err(format!(
+            "response cache hit rate {:.1}% is below the {:.0}% steady-state floor",
+            hit_rate * 100.0,
+            SERVE_CACHE_HIT_RATE_FLOOR * 100.0
+        ));
+    }
+
     eprintln!(
         "gate ok: serve load {clients} clients, 0 protocol errors, p50 {:.3} ms vs {:.3} ms \
-         floor, deltas save {:.0}%",
+         floor, deltas save {:.0}%; {fetches_per_s:.0} fetches/s at {connections} connections \
+         vs {rate_floor:.0} floor, cache {:.1}% hits",
         p50 / 1e6,
         floor_ns / 1e6,
-        saved * 100.0
+        saved * 100.0,
+        hit_rate * 100.0
     );
     Ok(())
 }

@@ -1,24 +1,30 @@
-//! Multi-client load generator for the model-distribution server.
+//! Two-phase load generator for the model-distribution server.
 //!
-//! Starts a server on an ephemeral port, publishes a model, and hammers it
-//! from `--clients` concurrent keep-alive clients: each does one full
-//! fetch followed by `--fetches` delta fetches while the main thread
-//! republishes mid-run (so deltas exercise both the nothing-changed and
-//! some-localities-changed paths). Each client also fires one
-//! malformed-frame probe and one oversized-frame probe on throwaway
-//! connections and verifies the typed rejection. Emits `BENCH_serve.json`
-//! with p50/p99 fetch latency, fetch throughput, delta-vs-full bytes, and
-//! — in obs builds — the server's per-endpoint latency histograms (read
-//! over the wire via the `Stats` opcode) plus the summed client
-//! failure-policy counters.
+//! **Validation phase** — starts a server on an ephemeral port, publishes
+//! a model, and hammers it from `--clients` concurrent hardened
+//! [`ModelClient`]s: each does one full fetch followed by `--fetches`
+//! delta fetches while the main thread republishes mid-run (so deltas
+//! exercise both the nothing-changed and some-localities-changed paths).
+//! Each client also fires one malformed-frame probe and one
+//! oversized-frame probe on throwaway connections and verifies the typed
+//! rejection. This phase sources the request/response latency numbers
+//! (`fetch_p50_ns`, `fetch_p99_ns`) and the delta-vs-full byte savings.
 //!
-//! With `--obs-overhead`, after the load run a single client measures
+//! **Throughput phase** — holds `--connections` keep-alive connections
+//! open against the same server and keeps a small pipeline of unscoped
+//! fetches in flight on every one (see `waldo_bench::loadgen`), measuring
+//! server capacity for `--duration` seconds: the headline
+//! `fetches_per_s`, connection-setup p50/p99, and — from the server's own
+//! stats — the pre-encoded response cache hit rate and reactor count.
+//!
+//! With `--obs-overhead`, after both phases a single client measures
 //! fetch p50 in alternating recording-off/recording-on blocks (same
 //! process, same server, same connection), emitting the A/B fields that
 //! `gate --obs` holds to the ≤5 % overhead ceiling.
 //!
-//! Usage: `serve_load [--quick] [--clients N] [--fetches M] [--out PATH]
-//! [--obs-overhead] [--trace PATH]`
+//! Usage: `serve_load [--quick] [--clients N] [--fetches M]
+//! [--connections N] [--duration SECS] [--out PATH] [--obs-overhead]
+//! [--trace PATH]`
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -28,6 +34,7 @@ use std::time::{Duration, Instant};
 
 use serde_json::json;
 use waldo::{ClassifierKind, ModelConstructor, WaldoConfig, WaldoModel};
+use waldo_bench::loadgen::{self, LoadConfig};
 use waldo_bench::report::{percentile, write_json};
 use waldo_data::{ChannelDataset, Measurement, Safety};
 use waldo_geo::Point;
@@ -288,6 +295,11 @@ fn main() {
         flag("--clients").map_or(16, |v| v.parse().expect("--clients takes a number"));
     let fetches: usize = flag("--fetches")
         .map_or(if quick { 8 } else { 40 }, |v| v.parse().expect("--fetches takes a number"));
+    let connections: usize = flag("--connections").map_or(if quick { 256 } else { 1000 }, |v| {
+        v.parse().expect("--connections takes a number")
+    });
+    let duration_s: f64 = flag("--duration")
+        .map_or(if quick { 1.0 } else { 2.0 }, |v| v.parse().expect("--duration takes seconds"));
     let out = flag("--out").unwrap_or("BENCH_serve.json").to_string();
     let trace_path = flag("--trace").map(str::to_string);
     let train_n = if quick { 400 } else { 1200 };
@@ -310,10 +322,17 @@ fn main() {
 
     let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
     catalog.write().expect("catalog lock").publish(CHANNEL, &model_a);
+    let default_config = ServeConfig::default();
     let mut server = serve(
         "127.0.0.1:0",
         Arc::clone(&catalog),
-        ServeConfig { read_timeout: Duration::from_secs(10), ..ServeConfig::default() },
+        ServeConfig {
+            read_timeout: Duration::from_secs(10),
+            // Room for the throughput fleet on top of the validation
+            // clients and probe/stats connections.
+            max_connections: default_config.max_connections.max(connections + clients + 64),
+            ..default_config
+        },
     )
     .expect("ephemeral bind succeeds");
     let addr = server.addr();
@@ -345,12 +364,42 @@ fn main() {
     });
     let wall_s = t0.elapsed().as_secs_f64();
 
+    // Throughput phase: a pipelined raw-socket fleet at `connections`
+    // keep-alive connections, run against the now-stable epoch so the
+    // steady state is the pre-encoded `Unchanged` cache tail.
+    eprintln!("load phase: {connections} connections for {duration_s:.1}s...");
+    let load_config = LoadConfig {
+        connections,
+        threads: 2,
+        depth: 4,
+        duration: Duration::from_secs_f64(duration_s),
+        channel: CHANNEL,
+    };
+    let load = loadgen::run(addr, load_config);
+    let established = load.connect_ns.len();
+    let load_fetches_per_s = load.fetches as f64 / duration_s;
+    let mut connect_ns = load.connect_ns.clone();
+    connect_ns.sort_unstable();
+    let mut load_latency_ns = load.latency_ns.clone();
+    load_latency_ns.sort_unstable();
+    eprintln!(
+        "load phase: {} fetches in {duration_s:.1}s ({load_fetches_per_s:.0}/s) over \
+         {established} connections ({} failed), {} errors, connect p99 {:.1}us",
+        load.fetches,
+        load.connect_failures,
+        load.errors,
+        percentile(&connect_ns, 0.99) as f64 / 1e3,
+    );
+
     // Read the server's live stats over the wire (exercising the `Stats`
     // opcode end-to-end) before anything resets or adds samples.
     let server_stats = {
         let mut probe = ModelClient::new(addr, Duration::from_secs(10));
         probe.stats().expect("stats query succeeds")
     };
+    let cache_lookups = server_stats.cache_hits + server_stats.cache_misses;
+    let cache_hit_rate =
+        if cache_lookups > 0 { server_stats.cache_hits as f64 / cache_lookups as f64 } else { 0.0 };
 
     let overhead = if obs_overhead {
         if !waldo_obs::compiled() {
@@ -384,7 +433,7 @@ fn main() {
     let delta_bytes = mean_bytes(&delta);
     let p50 = percentile(&latencies, 0.50);
     let p99 = percentile(&latencies, 0.99);
-    let fetches_per_s = all.len() as f64 / wall_s;
+    let validation_fetches_per_s = all.len() as f64 / wall_s;
     let delta_saved = if full_bytes > 0.0 { 1.0 - delta_bytes / full_bytes } else { 0.0 };
 
     let mut prof = serde_json::Map::new();
@@ -414,6 +463,9 @@ fn main() {
         "busy_rejections": server_stats.busy_rejections,
         "requests_total": server_stats.requests_total,
         "errors_total": server_stats.errors_total,
+        "cache_hits": server_stats.cache_hits,
+        "cache_misses": server_stats.cache_misses,
+        "reactors": server_stats.reactors,
         "endpoints": serde_json::Value::Object(endpoints),
     });
     let client_obs = json!({
@@ -431,7 +483,23 @@ fn main() {
         "full_model_bytes": full_model_bytes,
         "fetch_p50_ns": p50,
         "fetch_p99_ns": p99,
-        "fetches_per_s": fetches_per_s,
+        "fetches_per_s": load_fetches_per_s,
+        "validation_fetches_per_s": validation_fetches_per_s,
+        "connections": established,
+        "connections_requested": connections,
+        "connect_failures": load.connect_failures,
+        "connect_p50_ns": percentile(&connect_ns, 0.50),
+        "connect_p99_ns": percentile(&connect_ns, 0.99),
+        "load_duration_seconds": duration_s,
+        "load_fetches_total": load.fetches,
+        "load_fetches_late": load.late,
+        "load_errors": load.errors,
+        "load_fetch_p50_ns": percentile(&load_latency_ns, 0.50),
+        "load_fetch_p99_ns": percentile(&load_latency_ns, 0.99),
+        "cache_hits": server_stats.cache_hits,
+        "cache_misses": server_stats.cache_misses,
+        "cache_hit_rate": cache_hit_rate,
+        "reactors": server_stats.reactors,
         "full_fetch_bytes_mean": full_bytes,
         "delta_fetch_bytes_mean": delta_bytes,
         "delta_bytes_saved_fraction": delta_saved,
@@ -449,13 +517,19 @@ fn main() {
         }
     }
     eprintln!(
-        "{} fetches in {wall_s:.2}s ({fetches_per_s:.0}/s), p50 {:.2}ms p99 {:.2}ms, \
-         full {full_bytes:.0}B delta {delta_bytes:.0}B ({:.1}% saved), {protocol_errors} errors \
-         ({timeout_errors} timeouts)",
+        "validation: {} fetches in {wall_s:.2}s ({validation_fetches_per_s:.0}/s), \
+         p50 {:.2}ms p99 {:.2}ms, full {full_bytes:.0}B delta {delta_bytes:.0}B ({:.1}% saved), \
+         {protocol_errors} errors ({timeout_errors} timeouts)",
         all.len(),
         p50 as f64 / 1e6,
         p99 as f64 / 1e6,
         delta_saved * 100.0
+    );
+    eprintln!(
+        "throughput: {load_fetches_per_s:.0} fetches/s at {established} connections; \
+         cache {:.1}% hit rate over {cache_lookups} lookups; {} reactors",
+        cache_hit_rate * 100.0,
+        server_stats.reactors,
     );
     write_json(&out, &report);
 
@@ -465,4 +539,11 @@ fn main() {
     }
 
     assert_eq!(protocol_errors, 0, "load run must complete with zero protocol errors");
+    assert_eq!(load.connect_failures, 0, "every load connection must establish");
+    assert!(
+        load.errors <= (load.fetches / 100).max(2),
+        "load phase error rate is out of bounds: {} errors / {} fetches",
+        load.errors,
+        load.fetches,
+    );
 }

@@ -3,6 +3,7 @@
 //! experiment.
 
 pub mod experiments;
+pub mod loadgen;
 pub mod report;
 
 mod context_tests;

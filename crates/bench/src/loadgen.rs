@@ -1,0 +1,303 @@
+//! Raw pipelined load driver for the serving plane.
+//!
+//! `serve_load`'s validation phase uses the hardened [`ModelClient`],
+//! which is strictly request/response: one in-flight request per
+//! connection, so a single client measures round-trip latency, not
+//! server capacity. This module is the throughput half: it opens many
+//! keep-alive connections from a small pool of driver threads, keeps a
+//! fixed pipeline depth of unscoped fetches outstanding on every
+//! connection, and counts responses completed inside the measurement
+//! window. Connections run non-blocking with the same resumable
+//! [`FrameReader`]/[`FrameWriter`] state machines the server's reactors
+//! use, so the driver itself never stalls on one slow socket.
+//!
+//! Each connection tracks the newest epoch it has seen and sends it as
+//! `have_epoch`, which is exactly the steady-state fleet shape: after
+//! the first response per connection, every fetch hits the server's
+//! pre-encoded `Unchanged` tail for the current epoch.
+//!
+//! [`ModelClient`]: waldo_serve::ModelClient
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use waldo_serve::protocol::{Fill, FrameReader, FrameWriter, Request, MAX_RESPONSE_BYTES};
+use waldo_serve::Status;
+
+/// Shape of one load run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent keep-alive connections to hold open.
+    pub connections: usize,
+    /// Driver threads the connections are split across.
+    pub threads: usize,
+    /// Fetches kept in flight per connection.
+    pub depth: usize,
+    /// Measurement window; requests stop being issued at its end.
+    pub duration: Duration,
+    /// TV channel to fetch.
+    pub channel: u8,
+}
+
+/// Aggregated result of one load run.
+#[derive(Debug, Default)]
+pub struct LoadOutcome {
+    /// Fetch responses completed inside the measurement window.
+    pub fetches: u64,
+    /// Responses that arrived only during the post-window drain.
+    pub late: u64,
+    /// Connections lost or non-`Ok` statuses observed.
+    pub errors: u64,
+    /// In-window fetch round-trip latencies, nanoseconds (sampled).
+    pub latency_ns: Vec<u64>,
+    /// TCP connect + socket-setup latencies, nanoseconds (all connects).
+    pub connect_ns: Vec<u64>,
+    /// Connections that never got established.
+    pub connect_failures: u64,
+}
+
+impl LoadOutcome {
+    fn absorb(&mut self, other: LoadOutcome) {
+        self.fetches += other.fetches;
+        self.late += other.late;
+        self.errors += other.errors;
+        self.latency_ns.extend(other.latency_ns);
+        self.connect_ns.extend(other.connect_ns);
+        self.connect_failures += other.connect_failures;
+    }
+}
+
+/// Keep only every k-th latency sample above this many in-flight
+/// responses per window, bounding sample memory at high rates.
+const LATENCY_SAMPLE_EVERY: u64 = 7;
+
+/// How long after the window closes we wait for in-flight responses.
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
+
+/// Connects are paced in bursts so a thousand simultaneous SYNs don't
+/// overflow the accept queue and poison the connect-latency samples
+/// with retransmit timeouts.
+const CONNECT_BURST: usize = 64;
+const CONNECT_PAUSE: Duration = Duration::from_millis(2);
+
+struct LoadConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    writer: FrameWriter,
+    /// Send times of in-flight requests, oldest first.
+    inflight: VecDeque<Instant>,
+    have_epoch: u64,
+    alive: bool,
+}
+
+impl LoadConn {
+    fn issue(&mut self, channel: u8, now: Instant) {
+        let req = Request::Fetch {
+            channel,
+            x_km: 10.0,
+            y_km: 10.0,
+            radius_km: -1.0,
+            have_epoch: self.have_epoch,
+        };
+        self.writer.push_frame(&req.encode(1));
+        self.inflight.push_back(now);
+    }
+}
+
+/// Parses just enough of a response to judge it: `(status, epoch)`.
+/// Layout: magic(4) version(1) req_id(8) status(1) then, for fetches,
+/// the body's leading `epoch u64`.
+fn response_status_epoch(payload: &[u8]) -> Option<(u8, Option<u64>)> {
+    if payload.len() < 14 {
+        return None;
+    }
+    let status = payload[13];
+    let epoch =
+        payload.get(14..22).map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")));
+    Some((status, epoch))
+}
+
+/// Opens `count` connections to `addr`, recording setup latency for
+/// each. Failed connects are retried once, then counted.
+fn connect_all(addr: SocketAddr, count: usize, outcome: &mut LoadOutcome) -> Vec<LoadConn> {
+    let mut conns = Vec::with_capacity(count);
+    for i in 0..count {
+        if i > 0 && i.is_multiple_of(CONNECT_BURST) {
+            std::thread::sleep(CONNECT_PAUSE);
+        }
+        let attempt = || -> std::io::Result<(TcpStream, u64)> {
+            let t0 = Instant::now();
+            let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+            stream.set_nodelay(true)?;
+            stream.set_nonblocking(true)?;
+            Ok((stream, t0.elapsed().as_nanos() as u64))
+        };
+        let connected = attempt().or_else(|_| {
+            std::thread::sleep(Duration::from_millis(50));
+            attempt()
+        });
+        match connected {
+            Ok((stream, ns)) => {
+                outcome.connect_ns.push(ns);
+                conns.push(LoadConn {
+                    stream,
+                    reader: FrameReader::new(),
+                    writer: FrameWriter::new(),
+                    inflight: VecDeque::new(),
+                    have_epoch: 0,
+                    alive: true,
+                });
+            }
+            Err(_) => outcome.connect_failures += 1,
+        }
+    }
+    conns
+}
+
+/// Drives one batch of connections until the shared deadline passes and
+/// the pipelines drain (or the grace period expires).
+fn drive(mut conns: Vec<LoadConn>, config: LoadConfig, deadline: Instant) -> LoadOutcome {
+    let mut outcome = LoadOutcome::default();
+    let drain_deadline = deadline + DRAIN_GRACE;
+    let ok = Status::Ok.code();
+
+    // Prime every pipeline.
+    let now = Instant::now();
+    for conn in &mut conns {
+        for _ in 0..config.depth {
+            conn.issue(config.channel, now);
+        }
+    }
+
+    let mut seen: u64 = 0;
+    loop {
+        let now = Instant::now();
+        let in_window = now < deadline;
+        let mut open = 0usize;
+        let mut progress = false;
+        for conn in &mut conns {
+            if !conn.alive {
+                continue;
+            }
+            open += 1;
+
+            // Write phase: push queued request frames out.
+            if !conn.writer.is_empty() && conn.writer.flush_into(&mut conn.stream).is_err() {
+                outcome.errors += 1 + conn.inflight.len() as u64;
+                conn.alive = false;
+                continue;
+            }
+
+            // Read phase: drain whatever responses have landed.
+            let mut fills = 0;
+            'reads: while fills < 8 {
+                match conn.reader.fill(&mut conn.stream) {
+                    Ok(Fill::Bytes(_)) => {
+                        fills += 1;
+                        progress = true;
+                        loop {
+                            match conn.reader.pop_frame(MAX_RESPONSE_BYTES) {
+                                Ok(Some(payload)) => {
+                                    let sent = conn.inflight.pop_front();
+                                    match response_status_epoch(&payload) {
+                                        Some((status, epoch)) if status == ok => {
+                                            if let Some(e) = epoch {
+                                                conn.have_epoch = e;
+                                            }
+                                            if in_window {
+                                                outcome.fetches += 1;
+                                                seen += 1;
+                                                if seen.is_multiple_of(LATENCY_SAMPLE_EVERY) {
+                                                    if let Some(t) = sent {
+                                                        outcome
+                                                            .latency_ns
+                                                            .push(now.duration_since(t).as_nanos()
+                                                                as u64);
+                                                    }
+                                                }
+                                            } else {
+                                                outcome.late += 1;
+                                            }
+                                            if in_window {
+                                                conn.issue(config.channel, now);
+                                            }
+                                        }
+                                        _ => {
+                                            outcome.errors += 1;
+                                            conn.alive = false;
+                                            break 'reads;
+                                        }
+                                    }
+                                }
+                                Ok(None) => break,
+                                Err(_) => {
+                                    outcome.errors += 1;
+                                    conn.alive = false;
+                                    break 'reads;
+                                }
+                            }
+                        }
+                    }
+                    Ok(Fill::WouldBlock) => break,
+                    Ok(Fill::Eof) | Err(_) => {
+                        outcome.errors += conn.inflight.len() as u64;
+                        conn.alive = false;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if open == 0 {
+            break;
+        }
+        if !in_window {
+            let drained = conns.iter().all(|c| !c.alive || c.inflight.is_empty());
+            if drained {
+                break;
+            }
+            if now >= drain_deadline {
+                for conn in &conns {
+                    if conn.alive {
+                        outcome.errors += conn.inflight.len() as u64;
+                    }
+                }
+                break;
+            }
+        }
+        if !progress {
+            // Everything is in flight; let the server's reactor run.
+            std::thread::yield_now();
+        }
+    }
+    outcome
+}
+
+/// Runs the full load: connect, split across driver threads, drive to
+/// the deadline, merge.
+pub fn run(addr: SocketAddr, config: LoadConfig) -> LoadOutcome {
+    let mut outcome = LoadOutcome::default();
+    let conns = connect_all(addr, config.connections, &mut outcome);
+    let threads = config.threads.clamp(1, conns.len().max(1));
+
+    // Split connections into contiguous batches, one per driver thread.
+    let mut batches: Vec<Vec<LoadConn>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, conn) in conns.into_iter().enumerate() {
+        batches[i % threads].push(conn);
+    }
+
+    let deadline = Instant::now() + config.duration;
+    let handles: Vec<_> = batches
+        .into_iter()
+        .filter(|b| !b.is_empty())
+        .map(|batch| std::thread::spawn(move || drive(batch, config, deadline)))
+        .collect();
+    for handle in handles {
+        match handle.join() {
+            Ok(part) => outcome.absorb(part),
+            Err(_) => outcome.errors += 1,
+        }
+    }
+    outcome
+}

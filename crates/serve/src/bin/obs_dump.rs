@@ -32,6 +32,16 @@ fn print_snapshot(snap: &StatsSnapshot) {
         snap.accepted_total, snap.active_connections, snap.busy_rejections,
     );
     println!("requests: {} handled, {} errors", snap.requests_total, snap.errors_total);
+    let looked_up = snap.cache_hits + snap.cache_misses;
+    let hit_rate = if looked_up > 0 {
+        format!("{:.1}% hit rate", 100.0 * snap.cache_hits as f64 / looked_up as f64)
+    } else {
+        "no lookups".to_owned()
+    };
+    println!(
+        "response cache: {} hits, {} misses ({hit_rate}); reactors: {}",
+        snap.cache_hits, snap.cache_misses, snap.reactors,
+    );
     if snap.endpoints.is_empty() {
         println!("no latency histograms (server built without obs, or recording off)");
         return;
@@ -150,6 +160,8 @@ fn self_test() {
     assert_eq!(snap.active_connections, 1, "only this client is connected");
     assert!(snap.requests_total >= 3, "ping + fetch + stats were counted");
     assert_eq!(snap.errors_total, 0, "clean traffic produced no errors");
+    assert!(snap.reactors >= 1, "the reactor pool is reported");
+    assert_eq!(snap.cache_misses, 1, "the unscoped fetch built its cached tail");
     assert_eq!(snap.obs_compiled, waldo_obs::compiled(), "flag matches the build");
     if snap.obs_compiled && snap.obs_enabled {
         let handle = snap.endpoint("serve_handle").expect("serve_handle histogram present");

@@ -1,10 +1,22 @@
 //! The server-side model catalog: per-channel epochs and per-locality
 //! payload slots, diffed on every publish.
+//!
+//! Each channel also owns a cache of pre-encoded response *tails* (the
+//! request-independent suffix of a fetch response — status byte + body),
+//! keyed by the client's `have_epoch`. Unscoped fetches are position-
+//! independent, so every client asking "what changed since epoch E?"
+//! gets byte-identical response bytes; encoding them once per `(channel
+//! state, have_epoch)` and sharing the `Arc<[u8]>` turns the serving hot
+//! path into a memcpy. Invalidation is structural: `publish` replaces the
+//! whole `ServedChannel`, and the stale cache dies with the old value.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use waldo::wire::{encode_prelude, fnv1a64};
 use waldo::WaldoModel;
+
+use crate::protocol::{encode_response_tail, FetchResponse, LocalityEntry, Status};
 
 /// One locality's current payload and the epoch at which its content last
 /// changed.
@@ -20,8 +32,14 @@ pub struct LocalitySlot {
     pub centroid: [f64; 2],
 }
 
+/// Distinct `have_epoch` keys cached per channel. Steady-state traffic
+/// concentrates on a handful of epochs (0 for cold clients, the current
+/// and a few recent epochs for warm ones); the bound only matters against
+/// a client lying about exotic epochs, and eviction keeps that harmless.
+const RESPONSE_CACHE_CAP: usize = 64;
+
 /// A published channel: the routing prelude plus one slot per locality.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ServedChannel {
     /// Current epoch (bumped on every publish).
     pub epoch: u64,
@@ -29,6 +47,67 @@ pub struct ServedChannel {
     pub prelude: Vec<u8>,
     /// Per-locality slots, in locality order.
     pub slots: Vec<LocalitySlot>,
+    /// Pre-encoded unscoped response tails, keyed by `have_epoch`.
+    /// Lazily built on first use, shared across requests and reactors.
+    tails: Mutex<BTreeMap<u64, Arc<[u8]>>>,
+}
+
+impl Clone for ServedChannel {
+    /// Clones the published state with a fresh, empty tail cache (the
+    /// cache is a per-value memo, not part of the channel's identity).
+    fn clone(&self) -> Self {
+        Self {
+            epoch: self.epoch,
+            prelude: self.prelude.clone(),
+            slots: self.slots.clone(),
+            tails: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl ServedChannel {
+    /// The pre-encoded response tail for an unscoped fetch with
+    /// `have_epoch`, and whether it was already cached. Builds and caches
+    /// it on miss; the build is the once-per-`(channel state, have_epoch)`
+    /// `serve_encode` cost the per-request hot path no longer pays.
+    pub fn unscoped_response_tail(&self, have_epoch: u64) -> (Arc<[u8]>, bool) {
+        // Epochs beyond the current one behave exactly like the current
+        // one (every slot is `Unchanged`); normalizing the key stops a
+        // lying client from manufacturing unbounded distinct keys.
+        let key = have_epoch.min(self.epoch);
+        {
+            let tails = self.tails.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(tail) = tails.get(&key) {
+                return (Arc::clone(tail), true);
+            }
+        }
+        let tail: Arc<[u8]> = {
+            let _t = waldo_obs::timed("serve_encode");
+            let entries = self
+                .slots
+                .iter()
+                .map(|slot| {
+                    if slot.epoch <= key {
+                        LocalityEntry::Unchanged
+                    } else {
+                        LocalityEntry::Sent { digest: slot.digest, payload: slot.payload.clone() }
+                    }
+                })
+                .collect();
+            let body = FetchResponse { epoch: self.epoch, prelude: self.prelude.clone(), entries };
+            encode_response_tail(Status::Ok, Some(&body)).into()
+        };
+        let mut tails = self.tails.lock().unwrap_or_else(|e| e.into_inner());
+        if tails.len() >= RESPONSE_CACHE_CAP {
+            // Evict the smallest key: old epochs no live client still
+            // holds. The current epoch (largest key) is never evicted.
+            tails.pop_first();
+        }
+        // A racing builder may have inserted the same key; both values
+        // are byte-identical, so last-write-wins is fine.
+        tails.insert(key, Arc::clone(&tail));
+        (tail, false)
+    }
 }
 
 /// Per-channel published models, keyed by TV channel number.
@@ -74,7 +153,10 @@ impl ModelCatalog {
                 }
             })
             .collect();
-        self.channels.insert(channel, ServedChannel { epoch, prelude, slots });
+        self.channels.insert(
+            channel,
+            ServedChannel { epoch, prelude, slots, tails: Mutex::new(BTreeMap::new()) },
+        );
         epoch
     }
 

@@ -6,11 +6,14 @@
 //! and classifies locally."* This crate is that distribution layer:
 //!
 //! * [`protocol`] — length-prefixed frames over TCP with typed statuses,
-//!   bounded request sizes, and versioned request/response codecs.
+//!   bounded request sizes, versioned request/response codecs, and
+//!   resumable frame state machines for non-blocking transports.
 //! * [`catalog`] — the server-side [`ModelCatalog`]: per-channel epochs and
-//!   per-locality payload slots, diffed on every publish.
-//! * [`server`] — a threaded `TcpListener` server (`std` only): keep-alive
-//!   connections, per-connection read/write timeouts, graceful shutdown.
+//!   per-locality payload slots, diffed on every publish, each channel
+//!   carrying a cache of pre-encoded response tails keyed by `have_epoch`.
+//! * [`server`] — a reactor-pool `TcpListener` server (`std` only):
+//!   non-blocking sockets swept by a small fixed pool of event loops,
+//!   keep-alive connections, per-connection deadlines, graceful shutdown.
 //! * [`client`] — the device side: a payload cache per channel, so a fetch
 //!   at epoch N transfers only localities that changed since N, and
 //!   locality-scoped fetches assemble out-of-scope territory as the

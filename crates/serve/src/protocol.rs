@@ -252,27 +252,28 @@ pub fn encode_response_header(req_id: u64, status: Status) -> Vec<u8> {
     out
 }
 
-/// Decodes a response header, returning the echoed request ID, the status,
-/// and a reader positioned at the start of the body.
-pub fn decode_response_header(payload: &[u8]) -> Result<(u64, Status, Reader<'_>), WireError> {
-    let mut r = Reader::new(payload);
-    if r.bytes(4)? != RESPONSE_MAGIC {
-        return Err(WireError::BadMagic);
-    }
-    let version = r.u8()?;
-    if version != PROTOCOL_VERSION {
-        return Err(WireError::UnsupportedVersion(version));
-    }
-    let req_id = r.u64()?;
-    let code = r.u8()?;
-    let status = Status::from_code(code).ok_or(WireError::BadTag { what: "status", tag: code })?;
-    Ok((req_id, status, r))
+/// Bytes of a response payload that depend on the individual request:
+/// magic, version, and the echoed request ID. Everything after them — the
+/// status byte and the body — depends only on catalog state, which is what
+/// makes pre-encoded response tails shareable across requests.
+pub const RESPONSE_HEAD_BYTES: usize = 4 + 1 + 8;
+
+/// The per-request prefix of a response payload (magic, version, echoed
+/// request ID). Concatenated with a tail from [`encode_response_tail`] it
+/// is byte-identical to [`encode_response`] for the same arguments.
+pub fn response_head(req_id: u64) -> [u8; RESPONSE_HEAD_BYTES] {
+    let mut head = [0u8; RESPONSE_HEAD_BYTES];
+    head[..4].copy_from_slice(&RESPONSE_MAGIC);
+    head[4] = PROTOCOL_VERSION;
+    head[5..13].copy_from_slice(&req_id.to_le_bytes());
+    head
 }
 
-/// Encodes a response frame payload: header, then for [`Status::Ok`] the
-/// optional fetch body (`None` for a ping acknowledgement).
-pub fn encode_response(req_id: u64, status: Status, body: Option<&FetchResponse>) -> Vec<u8> {
-    let mut out = encode_response_header(req_id, status);
+/// The request-independent suffix of a response payload: the status byte
+/// followed by the optional fetch body. This is the unit the serving plane
+/// caches per `(channel state, have_epoch)` and shares across requests.
+pub fn encode_response_tail(status: Status, body: Option<&FetchResponse>) -> Vec<u8> {
+    let mut out = vec![status.code()];
     if let Some(body) = body {
         debug_assert_eq!(status, Status::Ok);
         put_u64(&mut out, body.epoch);
@@ -292,6 +293,35 @@ pub fn encode_response(req_id: u64, status: Status, body: Option<&FetchResponse>
             }
         }
     }
+    out
+}
+
+/// Decodes a response header, returning the echoed request ID, the status,
+/// and a reader positioned at the start of the body.
+pub fn decode_response_header(payload: &[u8]) -> Result<(u64, Status, Reader<'_>), WireError> {
+    let mut r = Reader::new(payload);
+    if r.bytes(4)? != RESPONSE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let req_id = r.u64()?;
+    let code = r.u8()?;
+    let status = Status::from_code(code).ok_or(WireError::BadTag { what: "status", tag: code })?;
+    Ok((req_id, status, r))
+}
+
+/// Encodes a response frame payload: header, then for [`Status::Ok`] the
+/// optional fetch body (`None` for a ping acknowledgement). Defined as
+/// `response_head ++ encode_response_tail`, which is the split the cached
+/// serving plane exploits.
+pub fn encode_response(req_id: u64, status: Status, body: Option<&FetchResponse>) -> Vec<u8> {
+    let tail = encode_response_tail(status, body);
+    let mut out = Vec::with_capacity(RESPONSE_HEAD_BYTES + tail.len());
+    out.extend_from_slice(&response_head(req_id));
+    out.extend_from_slice(&tail);
     out
 }
 
@@ -359,6 +389,245 @@ pub fn read_frame<R: Read>(stream: &mut R, max_bytes: u32) -> std::io::Result<Fr
     let mut payload = vec![0u8; len as usize];
     stream.read_exact(&mut payload)?;
     Ok(FrameRead::Frame(payload))
+}
+
+/// How many bytes one `FrameReader::fill` call asks the stream for.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Coalesced writes stop appending to an owned segment past this size and
+/// start a fresh one, bounding per-flush memcpy churn.
+const COALESCE_SEGMENT_CAP: usize = 256 * 1024;
+
+/// Response tails at or below this size are copied into the coalesced
+/// write buffer instead of being queued as a separate shared segment: for
+/// tiny frames (all-unchanged deltas, errors) one memcpy is cheaper than
+/// the extra `write` syscall a segment boundary would cost.
+const INLINE_TAIL_BYTES: usize = 1024;
+
+/// Outcome of one [`FrameReader::fill`] attempt on a non-blocking stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// This many bytes were read into the buffer.
+    Bytes(usize),
+    /// The stream has no data right now (`WouldBlock`); try again later.
+    WouldBlock,
+    /// The peer closed its write side; no more bytes will ever arrive.
+    Eof,
+}
+
+/// Incremental frame reader for non-blocking streams.
+///
+/// A readiness-driven reactor cannot use [`read_frame`], which blocks in
+/// `read_exact` until a whole frame arrives; `FrameReader` instead accepts
+/// whatever bytes the socket has ([`fill`](Self::fill)), buffers partial
+/// frames across calls, and hands out complete payloads via
+/// [`pop_frame`](Self::pop_frame). Oversized announcements are rejected
+/// from the 4-byte prefix alone, before any body is buffered, preserving
+/// `read_frame`'s `TooLarge` semantics.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Prefix of `buf` already handed out as popped frames.
+    consumed: usize,
+    /// Reusable read target, sized [`READ_CHUNK`] on first use. Reading
+    /// here and copying the received prefix into `buf` avoids the
+    /// zero-fill a `buf.resize` before every `read` would cost.
+    scratch: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads once from `stream` into the internal buffer. Never blocks on
+    /// a non-blocking stream; `Interrupted` is reported as `WouldBlock`
+    /// (the caller's next sweep retries).
+    pub fn fill<R: Read>(&mut self, stream: &mut R) -> std::io::Result<Fill> {
+        if self.scratch.is_empty() {
+            self.scratch = vec![0u8; READ_CHUNK];
+        }
+        match stream.read(&mut self.scratch) {
+            Ok(0) => Ok(Fill::Eof),
+            Ok(n) => {
+                if self.consumed == self.buf.len() {
+                    self.buf.clear();
+                } else if self.consumed > 0 {
+                    self.buf.drain(..self.consumed);
+                }
+                self.consumed = 0;
+                self.buf.extend_from_slice(&self.scratch[..n]);
+                Ok(Fill::Bytes(n))
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                Ok(Fill::WouldBlock)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Pops the next complete frame payload, if one is fully buffered.
+    /// `Err(len)` reports an announced length above `max_bytes` (the
+    /// stream is unusable from here on — lengths are not self-syncing).
+    pub fn pop_frame(&mut self, max_bytes: u32) -> Result<Option<Vec<u8>>, u32> {
+        let avail = &self.buf[self.consumed..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len > max_bytes {
+            return Err(len);
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[4..total].to_vec();
+        self.consumed += total;
+        Ok(Some(payload))
+    }
+
+    /// Whether un-popped bytes are buffered — i.e. a frame has started
+    /// arriving but has not completed. Drives the slow-loris deadline.
+    pub fn has_partial(&self) -> bool {
+        self.buf.len() > self.consumed
+    }
+}
+
+/// One queued chunk of outbound bytes: either owned (small coalesced
+/// frames) or a shared pre-encoded response tail.
+#[derive(Debug)]
+enum Segment {
+    Owned(Vec<u8>),
+    Shared(std::sync::Arc<[u8]>),
+}
+
+impl Segment {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Segment::Owned(v) => v,
+            Segment::Shared(a) => a,
+        }
+    }
+}
+
+/// Outcome of one [`FrameWriter::flush_into`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flush {
+    /// Everything queued has been written.
+    Done,
+    /// The stream stopped accepting bytes (`WouldBlock`); bytes remain.
+    Pending,
+}
+
+/// Incremental frame writer for non-blocking streams.
+///
+/// Responses are queued as length-prefixed frames and flushed as far as
+/// the socket will accept, resuming mid-frame on the next sweep. Two
+/// queueing paths exist: [`push_frame`](Self::push_frame) copies a payload
+/// into a coalescing buffer (so a pipelined burst of small responses costs
+/// one `write`), and [`push_frame_split`](Self::push_frame_split) queues a
+/// per-request head plus a shared pre-encoded tail without copying large
+/// tails at all.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    segments: std::collections::VecDeque<Segment>,
+    /// Bytes of the front segment already written.
+    offset: usize,
+    /// Total unwritten bytes across all segments.
+    queued: usize,
+}
+
+impl FrameWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no bytes are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Unwritten bytes currently queued (for backpressure decisions).
+    pub fn queued_bytes(&self) -> usize {
+        self.queued
+    }
+
+    /// The trailing owned segment to append to, starting a new one if the
+    /// queue is empty, ends in a shared segment, or the tail is full.
+    fn coalesce_buf(&mut self) -> &mut Vec<u8> {
+        let start_new = match self.segments.back() {
+            Some(Segment::Owned(v)) => v.len() >= COALESCE_SEGMENT_CAP,
+            _ => true,
+        };
+        if start_new {
+            self.segments.push_back(Segment::Owned(Vec::new()));
+        }
+        match self.segments.back_mut() {
+            Some(Segment::Owned(v)) => v,
+            _ => unreachable!("just pushed an owned segment"),
+        }
+    }
+
+    /// Queues one frame, copying `payload` into the coalescing buffer.
+    pub fn push_frame(&mut self, payload: &[u8]) {
+        let len = payload.len() as u32;
+        let buf = self.coalesce_buf();
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.queued += 4 + payload.len();
+    }
+
+    /// Queues one frame whose payload is `head ++ tail`. The head (and a
+    /// small tail) is copied into the coalescing buffer; a large tail is
+    /// queued as a shared segment and never copied.
+    pub fn push_frame_split(&mut self, head: &[u8], tail: &std::sync::Arc<[u8]>) {
+        let len = (head.len() + tail.len()) as u32;
+        let buf = self.coalesce_buf();
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(head);
+        if tail.len() <= INLINE_TAIL_BYTES {
+            buf.extend_from_slice(tail);
+        } else {
+            self.segments.push_back(Segment::Shared(std::sync::Arc::clone(tail)));
+        }
+        self.queued += 4 + head.len() + tail.len();
+    }
+
+    /// Writes queued bytes until the stream stops accepting them or the
+    /// queue drains. Never blocks on a non-blocking stream.
+    pub fn flush_into<W: Write>(&mut self, stream: &mut W) -> std::io::Result<Flush> {
+        loop {
+            let Some(front) = self.segments.front() else {
+                return Ok(Flush::Done);
+            };
+            let bytes = front.as_slice();
+            match stream.write(&bytes[self.offset..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "stream accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.offset += n;
+                    self.queued -= n;
+                    if self.offset == bytes.len() {
+                        self.segments.pop_front();
+                        self.offset = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(Flush::Pending),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +709,82 @@ mod tests {
             decode_response_header(&bad_status),
             Err(WireError::BadTag { tag: 200, .. })
         ));
+    }
+
+    #[test]
+    fn split_response_is_byte_identical_to_encode_response() {
+        let body = FetchResponse {
+            epoch: 9,
+            prelude: vec![4, 5, 6, 7],
+            entries: vec![
+                LocalityEntry::Unchanged,
+                LocalityEntry::Sent { digest: 17, payload: vec![0; 2048] },
+                LocalityEntry::OutOfScope,
+            ],
+        };
+        for (status, body) in [(Status::Ok, Some(&body)), (Status::Ok, None), (Status::Busy, None)]
+        {
+            let mut joined = response_head(0xfeed_f00d).to_vec();
+            joined.extend_from_slice(&encode_response_tail(status, body));
+            assert_eq!(joined, encode_response(0xfeed_f00d, status, body));
+        }
+    }
+
+    #[test]
+    fn frame_writer_split_and_owned_frames_interleave() {
+        let big_tail: std::sync::Arc<[u8]> = vec![7u8; 5000].into();
+        let small_tail: std::sync::Arc<[u8]> = vec![1u8, 2, 3].into();
+        let mut w = FrameWriter::new();
+        w.push_frame(b"alpha");
+        w.push_frame_split(&response_head(1), &big_tail);
+        w.push_frame_split(&response_head(2), &small_tail);
+        w.push_frame(b"omega");
+        let mut out = Vec::new();
+        assert_eq!(w.flush_into(&mut out).unwrap(), Flush::Done);
+        assert!(w.is_empty());
+
+        let mut expect = Vec::new();
+        for payload in [
+            b"alpha".to_vec(),
+            {
+                let mut p = response_head(1).to_vec();
+                p.extend_from_slice(&big_tail);
+                p
+            },
+            {
+                let mut p = response_head(2).to_vec();
+                p.extend_from_slice(&small_tail);
+                p
+            },
+            b"omega".to_vec(),
+        ] {
+            expect.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            expect.extend_from_slice(&payload);
+        }
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn frame_reader_pops_pipelined_frames_and_rejects_oversize() {
+        let mut wire = Vec::new();
+        for payload in [vec![1u8; 10], vec![2u8; 0], vec![3u8; 100]] {
+            wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            wire.extend_from_slice(&payload);
+        }
+        let mut r = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(r.fill(&mut cursor).unwrap(), Fill::Bytes(_)));
+        assert_eq!(r.pop_frame(1024).unwrap(), Some(vec![1u8; 10]));
+        assert_eq!(r.pop_frame(1024).unwrap(), Some(vec![]));
+        assert_eq!(r.pop_frame(1024).unwrap(), Some(vec![3u8; 100]));
+        assert_eq!(r.pop_frame(1024).unwrap(), None);
+        assert!(!r.has_partial());
+        assert!(matches!(r.fill(&mut cursor).unwrap(), Fill::Eof));
+
+        let mut r = FrameReader::new();
+        let mut oversize = std::io::Cursor::new(9000u32.to_le_bytes().to_vec());
+        assert!(matches!(r.fill(&mut oversize).unwrap(), Fill::Bytes(4)));
+        assert_eq!(r.pop_frame(1024), Err(9000));
     }
 
     #[test]

@@ -1,32 +1,45 @@
-//! The threaded model-distribution server.
+//! The reactor-based model-distribution server.
 //!
-//! One accept loop plus one thread per connection, all on `std` — no async
-//! runtime, consistent with the workspace's vendored-offline policy.
-//! Connections are keep-alive: a client may issue many requests over one
-//! stream. The timeout policy is deliberately simple:
+//! A small fixed pool of event-loop threads ("reactors") shares one
+//! non-blocking listener, all on `std` — no async runtime, consistent with
+//! the workspace's vendored-offline policy. Each reactor owns a set of
+//! connections outright and sweeps them with non-blocking reads/writes:
+//! per-connection [`FrameReader`]/[`FrameWriter`] state machines resume
+//! partial frames across sweeps, so one thread serves thousands of
+//! keep-alive connections instead of one thread pinning one socket.
+//!
+//! Fetch responses come from the catalog's pre-encoded tail cache where
+//! possible (unscoped fetches — see `crate::catalog`): the hot path is a
+//! 13-byte per-request head plus a shared `Arc<[u8]>` tail, not a fresh
+//! `encode_response`. Scoped fetches still encode per request and count as
+//! cache misses.
+//!
+//! The timeout policy carries over from the threaded server unchanged:
 //!
 //! * a connection that stays idle longer than
 //!   [`ServeConfig::read_timeout`] is dropped (clients reconnect
 //!   transparently on their next request);
 //! * once the first byte of a frame arrives, the whole frame must land
 //!   within [`ServeConfig::frame_deadline`] — a slow-loris peer trickling
-//!   one byte per idle window cannot pin a handler thread;
-//! * writes are bounded by [`ServeConfig::write_timeout`];
-//! * at most [`ServeConfig::max_connections`] handlers run at once; excess
-//!   connections are answered [`Status::Busy`] and closed, so an accept
-//!   flood degrades into fast rejections instead of unbounded threads;
+//!   one byte per idle window cannot pin buffer space forever;
+//! * a write that makes no progress for [`ServeConfig::write_timeout`]
+//!   drops the connection, as does a peer that queues requests without
+//!   draining responses past a fixed backpressure bound;
+//! * at most [`ServeConfig::max_connections`] connections are served at
+//!   once; excess connections get one [`Status::Busy`] response and are
+//!   closed, so an accept flood degrades into fast rejections;
 //! * any error response ([`Status`] ≠ `Ok`) is flushed and the connection
 //!   closed — a peer that sent one malformed frame is not trusted to frame
 //!   the next one correctly.
 //!
 //! For chaos testing, a [`TransportFaults`] schedule in the config wraps
 //! every accepted socket in a [`FaultStream`] (forked per connection, so
-//! each connection replays its own deterministic sequence).
+//! each connection replays its own deterministic sequence); fault-induced
+//! I/O errors tear the one connection down, never the reactor.
 
-use std::io::Read;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -34,10 +47,34 @@ use waldo_fault::{FaultStream, TransportFaults};
 
 use crate::catalog::{ModelCatalog, ServedChannel};
 use crate::protocol::{
-    encode_response, write_frame, FetchResponse, FrameRead, LocalityEntry, Request, Status,
-    MAX_REQUEST_BYTES,
+    encode_response, response_head, FetchResponse, Fill, Flush, FrameReader, FrameWriter,
+    LocalityEntry, Request, Status, MAX_REQUEST_BYTES,
 };
 use crate::stats::{EndpointStats, StatsSnapshot};
+
+/// Environment variable overriding the default connection cap
+/// (mirrors `WALDO_WORKERS`: positive integer, anything else ignored).
+pub const ENV_MAX_CONNECTIONS: &str = "WALDO_SERVE_MAX_CONNECTIONS";
+
+/// Environment variable overriding the reactor-pool size
+/// (mirrors `WALDO_WORKERS`: positive integer, anything else ignored).
+pub const ENV_REACTORS: &str = "WALDO_SERVE_REACTORS";
+
+/// A peer that has queued this many unread response bytes stops being
+/// read from until it drains them — bounds per-connection memory against
+/// a pipeliner that never reads.
+const WRITE_BACKPRESSURE_BYTES: usize = 1 << 20;
+
+/// Reads attempted per connection per sweep before moving on, so one
+/// fire-hose peer cannot starve its reactor's other connections.
+const MAX_FILLS_PER_SWEEP: usize = 8;
+
+/// Sweeps that yield (stay hot) before an idle reactor starts sleeping.
+const IDLE_SPIN_YIELDS: u32 = 64;
+
+/// Idle sleep ramp: 50µs per idle sweep past the yield budget, capped.
+const IDLE_SLEEP_STEP: Duration = Duration::from_micros(50);
+const IDLE_SLEEP_MAX: Duration = Duration::from_millis(2);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -52,27 +89,52 @@ pub struct ServeConfig {
     /// Hard cap on concurrently served connections; connections beyond it
     /// get [`Status::Busy`] and are closed.
     pub max_connections: usize,
+    /// Reactor event-loop threads; `0` means auto (available parallelism,
+    /// capped at 4 — reactors are I/O loops, not compute workers).
+    pub reactors: usize,
     /// Optional fault schedule wrapped around every accepted socket
     /// (forked per connection). Inert without the `fault` feature.
     pub faults: Option<TransportFaults>,
 }
 
 impl Default for ServeConfig {
-    /// 5 s idle limit, 5 s write stall limit, 10 s frame deadline,
-    /// 256 connections, no fault injection.
+    /// 5 s idle limit, 5 s write stall limit, 10 s frame deadline, no
+    /// fault injection. The connection cap defaults to 256 and the
+    /// reactor pool to auto, each overridable via [`ENV_MAX_CONNECTIONS`]
+    /// and [`ENV_REACTORS`].
     fn default() -> Self {
         Self {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             frame_deadline: Duration::from_secs(10),
-            max_connections: 256,
+            max_connections: env_positive(ENV_MAX_CONNECTIONS).unwrap_or(256),
+            reactors: env_positive(ENV_REACTORS).unwrap_or(0),
             faults: None,
         }
     }
 }
 
-/// Live counters shared between the accept loop, every handler thread,
-/// and the `Stats` endpoint. All monotonic except `active`.
+/// Parses a positive integer the way `WALDO_WORKERS` does: trimmed,
+/// base 10, rejecting zero and garbage.
+fn parse_positive(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+fn env_positive(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|raw| parse_positive(&raw))
+}
+
+/// Resolves `ServeConfig::reactors == 0` to the machine's parallelism,
+/// capped at 4.
+fn resolve_reactors(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism().map_or(1, usize::from).clamp(1, 4)
+}
+
+/// Live counters shared between the reactors and the `Stats` endpoint.
+/// All monotonic except `active`.
 #[derive(Debug, Default)]
 pub(crate) struct ServerStats {
     /// Connections accepted since startup.
@@ -85,6 +147,12 @@ pub(crate) struct ServerStats {
     requests_total: AtomicU64,
     /// Requests answered with a non-`Ok` status.
     errors_total: AtomicU64,
+    /// Fetches answered from the pre-encoded response-tail cache.
+    cache_hits: AtomicU64,
+    /// Fetches that encoded a response (cache build or scoped fetch).
+    cache_misses: AtomicU64,
+    /// Reactor threads, fixed at startup.
+    reactors: AtomicU64,
 }
 
 impl ServerStats {
@@ -100,6 +168,9 @@ impl ServerStats {
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             requests_total: self.requests_total.load(Ordering::Relaxed),
             errors_total: self.errors_total.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            reactors: self.reactors.load(Ordering::Relaxed),
             endpoints: waldo_obs::histogram_snapshot()
                 .into_iter()
                 .map(|(name, hist)| EndpointStats { name: name.to_owned(), hist })
@@ -114,14 +185,14 @@ impl ServerStats {
 }
 
 /// A running server. Dropping the handle without calling
-/// [`shutdown`](Self::shutdown) leaves the threads running until process
+/// [`shutdown`](Self::shutdown) leaves the reactors running until process
 /// exit; tests and the load generator always shut down explicitly.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -135,13 +206,11 @@ impl ServerHandle {
         self.stats.snapshot()
     }
 
-    /// Signals the accept loop to stop, unblocks it, and joins every
-    /// connection thread. Idempotent.
+    /// Signals the reactors to stop and joins them; open connections are
+    /// dropped. Idempotent.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Self-connect to unblock the accept() call.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.reactors.drain(..) {
             let _ = t.join();
         }
     }
@@ -155,59 +224,45 @@ impl Drop for ServerHandle {
 
 /// Starts the server on `addr` (use port 0 for an ephemeral port) serving
 /// models from `catalog`. Publishing into the catalog after start is fine —
-/// handlers read it behind the `RwLock` per request.
+/// reactors read it behind the `RwLock` per request, and a publish swaps
+/// in a fresh response cache with the new channel state.
 ///
 /// # Errors
 ///
-/// Returns the bind error if the address is unavailable.
+/// Returns the bind error if the address is unavailable, or the error from
+/// configuring/cloning the shared non-blocking listener.
 pub fn serve(
     addr: impl ToSocketAddrs,
     catalog: Arc<RwLock<ModelCatalog>>,
     config: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
-    let accept_stop = Arc::clone(&stop);
-    let accept_stats = Arc::clone(&stats);
-    let accept_thread = std::thread::spawn(move || {
-        let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
-        let mut conn_index: u64 = 0;
-        for stream in listener.incoming() {
-            if accept_stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            let catalog = Arc::clone(&catalog);
-            let config = config.clone();
-            let faults = config.faults.as_ref().map(|f| f.fork(conn_index));
-            conn_index += 1;
-            accept_stats.accepted_total.fetch_add(1, Ordering::Relaxed);
-            // Claim the slot before spawning so a flood cannot race past
-            // the cap; the handler releases it on exit.
-            let over_cap =
-                accept_stats.active.fetch_add(1, Ordering::SeqCst) >= config.max_connections;
-            let slot = ConnectionSlot(Arc::clone(&accept_stats));
-            let conn_stats = Arc::clone(&accept_stats);
-            let handle = std::thread::spawn(move || {
-                let _slot = slot;
-                serve_connection(stream, &catalog, &config, over_cap, faults, &conn_stats);
-            });
-            let mut guard = connections.lock().expect("connection list poisoned");
-            // Reap finished handlers so a long-lived server does not
-            // accumulate dead handles.
-            guard.retain(|h| !h.is_finished());
-            guard.push(handle);
-        }
-        for handle in connections.into_inner().expect("connection list poisoned") {
-            let _ = handle.join();
-        }
-    });
-    Ok(ServerHandle { addr, stop, stats, accept_thread: Some(accept_thread) })
+    let conn_seq = Arc::new(AtomicU64::new(0));
+    let pool = resolve_reactors(config.reactors);
+    stats.reactors.store(pool as u64, Ordering::Relaxed);
+    let mut reactors = Vec::with_capacity(pool);
+    for _ in 0..pool {
+        // Every reactor accepts from a clone of the same listener — a
+        // sharded accept queue: the kernel hands each pending connection
+        // to whichever reactor calls accept() first.
+        let reactor = Reactor {
+            listener: listener.try_clone()?,
+            catalog: Arc::clone(&catalog),
+            config: config.clone(),
+            stats: Arc::clone(&stats),
+            stop: Arc::clone(&stop),
+            conn_seq: Arc::clone(&conn_seq),
+        };
+        reactors.push(std::thread::spawn(move || reactor.run()));
+    }
+    Ok(ServerHandle { addr, stop, stats, reactors })
 }
 
-/// Releases one connection slot on drop, however the handler exits.
+/// Releases one connection slot on drop, however the connection ends.
 struct ConnectionSlot(Arc<ServerStats>);
 
 impl Drop for ConnectionSlot {
@@ -216,118 +271,291 @@ impl Drop for ConnectionSlot {
     }
 }
 
-/// Keep-alive request loop for one connection. Returns (closing the
-/// connection) on clean EOF, idle timeout, frame-deadline breach, I/O
-/// error, or after flushing an error response.
-fn serve_connection(
-    stream: TcpStream,
-    catalog: &RwLock<ModelCatalog>,
-    config: &ServeConfig,
+/// One connection's state between sweeps.
+struct Conn {
+    stream: FaultStream<TcpStream>,
+    reader: FrameReader,
+    writer: FrameWriter,
+    /// Accepted over the connection cap: answer the first frame with
+    /// [`Status::Busy`] and close.
     over_cap: bool,
-    faults: Option<TransportFaults>,
-    stats: &ServerStats,
-) {
-    if stream.set_write_timeout(Some(config.write_timeout)).is_err()
-        || stream.set_nodelay(true).is_err()
-    {
-        return;
-    }
-    let mut stream = match faults {
-        Some(faults) => FaultStream::with_faults(stream, faults),
-        None => FaultStream::transparent(stream),
-    };
-    if over_cap {
-        stats.error();
-        stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
-        // Read (and discard) one request before answering, so the client
-        // gets a clean Busy frame instead of a reset from closing a socket
-        // with unread data.
-        let frame = read_frame_deadline(
-            &mut stream,
-            MAX_REQUEST_BYTES,
-            config.read_timeout,
-            config.frame_deadline,
-        );
-        if let Ok(FrameRead::Frame(payload)) = frame {
-            // Echo the request ID even on the rejection path, if the
-            // request parsed far enough to carry one.
-            let req_id = match Request::decode(&payload) {
-                Ok((id, _)) | Err((id, _)) => id,
-            };
-            let _ = respond(&mut stream, req_id, Status::Busy, None);
-        } else if matches!(frame, Ok(FrameRead::TooLarge(_))) {
-            let _ = respond(&mut stream, 0, Status::Busy, None);
-        }
-        return;
-    }
-    loop {
-        let frame = read_frame_deadline(
-            &mut stream,
-            MAX_REQUEST_BYTES,
-            config.read_timeout,
-            config.frame_deadline,
-        );
-        let payload = match frame {
-            Ok(FrameRead::Frame(payload)) => payload,
-            Ok(FrameRead::Closed) => return,
-            Ok(FrameRead::TooLarge(_)) => {
-                stats.error();
-                let _ = respond(&mut stream, 0, Status::RequestTooLarge, None);
-                return;
+    /// An error response (or busy rejection) is queued; flush it, then
+    /// close without reading further.
+    close_after_flush: bool,
+    /// The peer closed its write side; serve what's buffered, then close.
+    read_eof: bool,
+    /// Last moment bytes arrived (accept counts), for the idle timeout.
+    last_activity: Instant,
+    /// When the currently-buffered partial frame started arriving.
+    partial_since: Option<Instant>,
+    /// When the current write stall started (queued bytes, no progress).
+    write_since: Option<Instant>,
+    _slot: ConnectionSlot,
+}
+
+/// One event-loop thread: accepts from the shared listener and sweeps its
+/// own connections with non-blocking reads and writes.
+struct Reactor {
+    listener: TcpListener,
+    catalog: Arc<RwLock<ModelCatalog>>,
+    config: ServeConfig,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    conn_seq: Arc<AtomicU64>,
+}
+
+impl Reactor {
+    fn run(self) {
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut idle_spins: u32 = 0;
+        while !self.stop.load(Ordering::Relaxed) {
+            let mut progress = false;
+            self.accept_burst(&mut conns, &mut progress);
+            let now = Instant::now();
+            conns.retain_mut(|conn| self.drive(conn, now, &mut progress));
+            if progress {
+                idle_spins = 0;
+            } else {
+                idle_spins = idle_spins.saturating_add(1);
+                if idle_spins <= IDLE_SPIN_YIELDS {
+                    std::thread::yield_now();
+                } else {
+                    let over = idle_spins - IDLE_SPIN_YIELDS;
+                    std::thread::sleep((IDLE_SLEEP_STEP * over).min(IDLE_SLEEP_MAX));
+                }
             }
-            // Idle timeout or transport error: drop the connection.
-            Err(_) => return,
-        };
+        }
+        // Dropping `conns` closes every socket; clients see EOF/reset and
+        // surface it as a typed I/O error, same as the threaded server.
+    }
+
+    /// Accepts every connection the listener has pending right now.
+    fn accept_burst(&self, conns: &mut Vec<Conn>, progress: &mut bool) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (peer reset mid-handshake, fd
+                // pressure): skip this round rather than kill the reactor.
+                Err(_) => return,
+            };
+            *progress = true;
+            self.stats.accepted_total.fetch_add(1, Ordering::Relaxed);
+            // Claim the slot before serving so a flood cannot race past
+            // the cap; `ConnectionSlot` releases it when the conn drops.
+            let over_cap =
+                self.stats.active.fetch_add(1, Ordering::SeqCst) >= self.config.max_connections;
+            let slot = ConnectionSlot(Arc::clone(&self.stats));
+            if over_cap {
+                self.stats.error();
+                self.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            }
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                continue; // slot released by drop
+            }
+            let index = self.conn_seq.fetch_add(1, Ordering::Relaxed);
+            let stream = match self.config.faults.as_ref().map(|f| f.fork(index)) {
+                Some(faults) => FaultStream::with_faults(stream, faults),
+                None => FaultStream::transparent(stream),
+            };
+            conns.push(Conn {
+                stream,
+                reader: FrameReader::new(),
+                writer: FrameWriter::new(),
+                over_cap,
+                close_after_flush: false,
+                read_eof: false,
+                last_activity: Instant::now(),
+                partial_since: None,
+                write_since: None,
+                _slot: slot,
+            });
+        }
+    }
+
+    /// One sweep over one connection: read and handle what has arrived,
+    /// flush what the socket will take, then enforce deadlines. Returns
+    /// `false` to drop the connection.
+    fn drive(&self, conn: &mut Conn, now: Instant, progress: &mut bool) -> bool {
+        // Read phase. Skipped once the connection is closing, and paused
+        // while the peer has a backlog of unread responses.
+        let mut fills = 0;
+        while !conn.close_after_flush
+            && !conn.read_eof
+            && conn.writer.queued_bytes() <= WRITE_BACKPRESSURE_BYTES
+            && fills < MAX_FILLS_PER_SWEEP
+        {
+            match conn.reader.fill(&mut conn.stream) {
+                Ok(Fill::Bytes(_)) => {
+                    fills += 1;
+                    conn.last_activity = now;
+                    *progress = true;
+                    self.handle_buffered_frames(conn);
+                }
+                Ok(Fill::WouldBlock) => break,
+                Ok(Fill::Eof) => conn.read_eof = true,
+                Err(_) => return false,
+            }
+        }
+
+        // Write phase: push queued bytes until the socket pushes back.
+        if !conn.writer.is_empty() {
+            let before = conn.writer.queued_bytes();
+            match conn.writer.flush_into(&mut conn.stream) {
+                Ok(Flush::Done) => {
+                    conn.write_since = None;
+                    *progress = true;
+                }
+                Ok(Flush::Pending) => {
+                    if conn.writer.queued_bytes() < before {
+                        conn.write_since = Some(now);
+                        *progress = true;
+                    } else {
+                        conn.write_since.get_or_insert(now);
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
+
+        // Close once a closing connection has nothing left to flush.
+        if (conn.close_after_flush || conn.read_eof) && conn.writer.is_empty() {
+            return false;
+        }
+
+        // Deadlines.
+        if let Some(t0) = conn.write_since {
+            if now.duration_since(t0) >= self.config.write_timeout {
+                return false;
+            }
+        }
+        if conn.reader.has_partial() {
+            let started = *conn.partial_since.get_or_insert(now);
+            if now.duration_since(started) >= self.config.frame_deadline {
+                return false;
+            }
+        } else {
+            conn.partial_since = None;
+            if conn.writer.is_empty()
+                && now.duration_since(conn.last_activity) >= self.config.read_timeout
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Pops and handles every complete frame in the connection's read
+    /// buffer. Stops at the first frame that ends the connection (error
+    /// response or busy rejection) — the rest of the buffer is untrusted.
+    fn handle_buffered_frames(&self, conn: &mut Conn) {
+        while !conn.close_after_flush {
+            match conn.reader.pop_frame(MAX_REQUEST_BYTES) {
+                Ok(Some(payload)) => {
+                    if conn.over_cap {
+                        // Echo the request ID even on the rejection path,
+                        // if the request parsed far enough to carry one.
+                        let req_id = match Request::decode(&payload) {
+                            Ok((id, _)) | Err((id, _)) => id,
+                        };
+                        self.push_response(conn, req_id, Status::Busy, None);
+                        conn.close_after_flush = true;
+                    } else {
+                        self.handle_request(conn, &payload);
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    // Oversized announcement: lengths are not self-syncing,
+                    // so reject and close without reading the body.
+                    if conn.over_cap {
+                        self.push_response(conn, 0, Status::Busy, None);
+                    } else {
+                        self.stats.error();
+                        self.push_response(conn, 0, Status::RequestTooLarge, None);
+                    }
+                    conn.close_after_flush = true;
+                }
+            }
+        }
+    }
+
+    /// Dispatches one request frame, queueing the response. Error statuses
+    /// mark the connection to close once flushed.
+    fn handle_request(&self, conn: &mut Conn, payload: &[u8]) {
         waldo_prof::count("serve_requests", 1);
-        stats.requests_total.fetch_add(1, Ordering::Relaxed);
-        let (req_id, request) = match Request::decode(&payload) {
+        self.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+        let (req_id, request) = match Request::decode(payload) {
             Ok(parsed) => parsed,
             Err((req_id, status)) => {
-                stats.error();
-                let _ = respond(&mut stream, req_id, status, None);
+                self.stats.error();
+                self.push_response(conn, req_id, status, None);
+                conn.close_after_flush = true;
                 return;
             }
         };
         let _span = waldo_obs::span_req("serve_handle", req_id);
         let _t = waldo_obs::timed("serve_handle");
         match request {
-            Request::Ping => {
-                if respond(&mut stream, req_id, Status::Ok, None).is_err() {
-                    return;
-                }
-            }
+            Request::Ping => self.push_response(conn, req_id, Status::Ok, None),
             Request::Fetch { channel, x_km, y_km, radius_km, have_epoch } => {
-                let guard = match catalog.read() {
-                    Ok(guard) => guard,
-                    Err(_) => {
-                        stats.error();
-                        let _ = respond(&mut stream, req_id, Status::Internal, None);
-                        return;
-                    }
+                let Ok(guard) = self.catalog.read() else {
+                    self.stats.error();
+                    self.push_response(conn, req_id, Status::Internal, None);
+                    conn.close_after_flush = true;
+                    return;
                 };
                 match guard.channel(channel) {
                     None => {
-                        stats.error();
-                        let _ = respond(&mut stream, req_id, Status::UnknownChannel, None);
-                        return;
+                        self.stats.error();
+                        self.push_response(conn, req_id, Status::UnknownChannel, None);
+                        conn.close_after_flush = true;
+                    }
+                    Some(served) if radius_km <= 0.0 => {
+                        // Hot path: unscoped responses are position-
+                        // independent, so the pre-encoded tail is shared
+                        // across every client at this have_epoch.
+                        let (tail, hit) = served.unscoped_response_tail(have_epoch);
+                        drop(guard);
+                        if hit {
+                            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let head = response_head(req_id);
+                        waldo_prof::count("serve_bytes_out", (head.len() + tail.len()) as u64);
+                        conn.writer.push_frame_split(&head, &tail);
                     }
                     Some(served) => {
+                        // Scoped fetch: the entry set depends on the
+                        // client's position, so it is encoded per request.
                         let body = build_fetch_response(served, x_km, y_km, radius_km, have_epoch);
                         drop(guard);
-                        if respond(&mut stream, req_id, Status::Ok, Some(&body)).is_err() {
-                            return;
-                        }
+                        self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        self.push_response(conn, req_id, Status::Ok, Some(&body));
                     }
                 }
             }
             Request::Stats => {
-                let payload = crate::stats::encode_stats_response(req_id, &stats.snapshot());
+                let payload = crate::stats::encode_stats_response(req_id, &self.stats.snapshot());
                 waldo_prof::count("serve_bytes_out", payload.len() as u64);
-                if write_frame(&mut stream, &payload).is_err() {
-                    return;
-                }
+                conn.writer.push_frame(&payload);
             }
         }
+    }
+
+    /// Queues one owned response frame.
+    fn push_response(
+        &self,
+        conn: &mut Conn,
+        req_id: u64,
+        status: Status,
+        body: Option<&FetchResponse>,
+    ) {
+        let payload = encode_response(req_id, status, body);
+        waldo_prof::count("serve_bytes_out", payload.len() as u64);
+        conn.writer.push_frame(&payload);
     }
 }
 
@@ -382,94 +610,45 @@ fn dist_sq_km(centroid: [f64; 2], x_km: f64, y_km: f64) -> f64 {
     dx * dx + dy * dy
 }
 
-fn respond<W: std::io::Write>(
-    stream: &mut W,
-    req_id: u64,
-    status: Status,
-    body: Option<&FetchResponse>,
-) -> std::io::Result<()> {
-    let payload = encode_response(req_id, status, body);
-    waldo_prof::count("serve_bytes_out", payload.len() as u64);
-    write_frame(stream, &payload)
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Reads one length-prefixed frame with two time bounds: the first byte
-/// may take up to `idle`, but once it lands the *entire* frame must
-/// complete within `frame_deadline`. Implemented by re-arming the socket
-/// read timeout to `min(idle, deadline remaining)` before every `read`, so
-/// a peer trickling one byte per idle window still runs out of budget.
-fn read_frame_deadline(
-    stream: &mut FaultStream<TcpStream>,
-    max_bytes: u32,
-    idle: Duration,
-    frame_deadline: Duration,
-) -> std::io::Result<FrameRead> {
-    let mut started: Option<Instant> = None;
-    let mut len_buf = [0u8; 4];
-    let mut got = 0usize;
-    while got < 4 {
-        arm_read_timeout(stream.get_ref(), idle, started, frame_deadline)?;
-        match stream.read(&mut len_buf[got..]) {
-            Ok(0) if got == 0 => return Ok(FrameRead::Closed),
-            Ok(0) => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "connection closed mid frame header",
-                ));
-            }
-            Ok(n) => {
-                got += n;
-                started.get_or_insert_with(Instant::now);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
+    #[test]
+    fn env_style_positive_integer_parsing() {
+        assert_eq!(parse_positive("3"), Some(3));
+        assert_eq!(parse_positive("  2048 "), Some(2048));
+        assert_eq!(parse_positive("0"), None);
+        assert_eq!(parse_positive("-4"), None);
+        assert_eq!(parse_positive("four"), None);
+        assert_eq!(parse_positive(""), None);
     }
-    let len = u32::from_le_bytes(len_buf);
-    if len > max_bytes {
-        return Ok(FrameRead::TooLarge(len));
-    }
-    let mut payload = vec![0u8; len as usize];
-    let mut filled = 0usize;
-    while filled < payload.len() {
-        arm_read_timeout(stream.get_ref(), idle, started, frame_deadline)?;
-        match stream.read(&mut payload[filled..]) {
-            Ok(0) => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "connection closed mid frame payload",
-                ));
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(FrameRead::Frame(payload))
-}
 
-/// Sets the socket read timeout for the next `read`: `idle` before a frame
-/// has started, `min(idle, deadline remaining)` once inside one. Errors
-/// with `TimedOut` when the frame deadline is already spent (a zero socket
-/// timeout is invalid, so the check happens here).
-fn arm_read_timeout(
-    stream: &TcpStream,
-    idle: Duration,
-    started: Option<Instant>,
-    frame_deadline: Duration,
-) -> std::io::Result<()> {
-    let budget = match started {
-        None => idle,
-        Some(t0) => {
-            let remaining = frame_deadline.saturating_sub(t0.elapsed());
-            if remaining.is_zero() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::TimedOut,
-                    "frame deadline exceeded",
-                ));
-            }
-            idle.min(remaining)
-        }
-    };
-    stream.set_read_timeout(Some(budget))
+    #[test]
+    fn reactor_pool_resolution() {
+        assert_eq!(resolve_reactors(7), 7);
+        let auto = resolve_reactors(0);
+        assert!((1..=4).contains(&auto));
+    }
+
+    /// No other test in this binary reads these variables, so mutating the
+    /// process environment here cannot race a parallel `default()` call.
+    #[test]
+    fn env_overrides_shape_the_default_config() {
+        std::env::set_var(ENV_MAX_CONNECTIONS, "9");
+        std::env::set_var(ENV_REACTORS, "3");
+        let config = ServeConfig::default();
+        assert_eq!(config.max_connections, 9);
+        assert_eq!(config.reactors, 3);
+
+        // Zero and garbage fall back to the built-in defaults.
+        std::env::set_var(ENV_MAX_CONNECTIONS, "0");
+        std::env::set_var(ENV_REACTORS, "many");
+        let config = ServeConfig::default();
+        assert_eq!(config.max_connections, 256);
+        assert_eq!(config.reactors, 0);
+
+        std::env::remove_var(ENV_MAX_CONNECTIONS);
+        std::env::remove_var(ENV_REACTORS);
+    }
 }

@@ -9,6 +9,7 @@
 //! body := stats_version u8 | protocol_version u8 | flags u8
 //!       | accepted_total u64 | active_connections u64
 //!       | busy_rejections u64 | requests_total u64 | errors_total u64
+//!       | cache_hits u64 | cache_misses u64 | reactors u64   (v2+)
 //!       | endpoint count u32 | endpoint…
 //! endpoint := name len u16 | name utf-8
 //!           | count u64 | sum u64 | min u64 | max u64
@@ -16,6 +17,10 @@
 //! flags    := bit 0: obs compiled in on the server
 //!             bit 1: obs recording enabled at snapshot time
 //! ```
+//!
+//! Version history: v1 ended at `errors_total`; v2 appended the response-
+//! cache and reactor counters of the reactor serving plane. A v2 decoder
+//! reads v1 bodies with those fields zeroed.
 //!
 //! Histograms travel in sparse `(bucket index, count)` form with their
 //! exact count/sum/min/max, so the receiving side reconstructs a
@@ -25,7 +30,7 @@ use waldo::wire::{put_u16, put_u32, put_u64, Reader, WireError};
 use waldo_obs::Histogram;
 
 /// Version written by this build's encoder.
-pub const STATS_VERSION: u8 = 1;
+pub const STATS_VERSION: u8 = 2;
 
 const FLAG_OBS_COMPILED: u8 = 1 << 0;
 const FLAG_OBS_ENABLED: u8 = 1 << 1;
@@ -56,6 +61,12 @@ pub struct StatsSnapshot {
     pub requests_total: u64,
     /// Requests answered with a non-`Ok` status.
     pub errors_total: u64,
+    /// Fetches answered from the pre-encoded response cache.
+    pub cache_hits: u64,
+    /// Fetches that had to encode a response (cache build or scoped).
+    pub cache_misses: u64,
+    /// Reactor event-loop threads the server is running.
+    pub reactors: u64,
     /// Per-endpoint latency histograms (empty unless obs is recording).
     pub endpoints: Vec<EndpointStats>,
 }
@@ -79,6 +90,9 @@ impl StatsSnapshot {
         put_u64(&mut out, self.busy_rejections);
         put_u64(&mut out, self.requests_total);
         put_u64(&mut out, self.errors_total);
+        put_u64(&mut out, self.cache_hits);
+        put_u64(&mut out, self.cache_misses);
+        put_u64(&mut out, self.reactors);
         put_u32(&mut out, self.endpoints.len() as u32);
         for ep in &self.endpoints {
             put_u16(&mut out, ep.name.len() as u16);
@@ -110,6 +124,8 @@ impl StatsSnapshot {
         let busy_rejections = r.u64()?;
         let requests_total = r.u64()?;
         let errors_total = r.u64()?;
+        let (cache_hits, cache_misses, reactors) =
+            if version >= 2 { (r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0) };
         let n = r.u32()? as usize;
         let mut endpoints = Vec::with_capacity(n.min(r.remaining() + 1));
         for _ in 0..n {
@@ -142,6 +158,9 @@ impl StatsSnapshot {
             busy_rejections,
             requests_total,
             errors_total,
+            cache_hits,
+            cache_misses,
+            reactors,
             endpoints,
         })
     }
@@ -190,6 +209,9 @@ mod tests {
             busy_rejections: 2,
             requests_total: 4,
             errors_total: 1,
+            cache_hits: 100,
+            cache_misses: 5,
+            reactors: 4,
             endpoints: vec![
                 EndpointStats { name: "serve_encode".into(), hist: encode },
                 EndpointStats { name: "serve_handle".into(), hist: handle },
@@ -223,6 +245,20 @@ mod tests {
         let (req_id, back) = decode_stats_response(&frame).unwrap();
         assert_eq!(req_id, 77);
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn v1_snapshot_decodes_with_zeroed_v2_fields() {
+        // A v1 body ends at errors_total + an empty endpoint list.
+        let mut bytes = vec![1u8, super::super::protocol::PROTOCOL_VERSION, 0];
+        for counter in [12u64, 3, 2, 4, 1] {
+            bytes.extend_from_slice(&counter.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let back = StatsSnapshot::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.accepted_total, 12);
+        assert_eq!(back.errors_total, 1);
+        assert_eq!((back.cache_hits, back.cache_misses, back.reactors), (0, 0, 0));
     }
 
     #[test]

@@ -518,6 +518,184 @@ fn injected_transport_faults_degrade_into_typed_errors_and_retries() {
 }
 
 #[test]
+fn pipelined_requests_on_one_connection_are_answered_in_order() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    let mut server = start(&catalog);
+
+    // Queue three requests in a single write — the reactor must parse all
+    // of them out of one read buffer and answer each, in order.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut burst = Vec::new();
+    let requests = [
+        (101u64, waldo_serve::Request::Ping),
+        (
+            102,
+            waldo_serve::Request::Fetch {
+                channel: CHANNEL,
+                x_km: 10.0,
+                y_km: 10.0,
+                radius_km: -1.0,
+                have_epoch: 0,
+            },
+        ),
+        (103, waldo_serve::Request::Ping),
+    ];
+    for (req_id, request) in &requests {
+        let payload = request.encode(*req_id);
+        burst.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        burst.extend_from_slice(&payload);
+    }
+    stream.write_all(&burst).unwrap();
+
+    for (req_id, request) in &requests {
+        let FrameRead::Frame(reply) = read_frame(&mut stream, 64 << 20).unwrap() else {
+            panic!("server closed before answering request {req_id}");
+        };
+        let (echoed, status, body) = decode_response(&reply).unwrap();
+        assert_eq!(echoed, *req_id);
+        assert_eq!(status, Status::Ok);
+        assert_eq!(body.is_some(), matches!(request, waldo_serve::Request::Fetch { .. }));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn configured_cap_and_reactor_pool_preserve_busy_semantics() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    // A non-default cap and an explicit multi-reactor pool: the Busy
+    // rejection contract must hold no matter which reactor accepts.
+    let config = ServeConfig { max_connections: 3, reactors: 2, ..ServeConfig::default() };
+    let mut server = serve("127.0.0.1:0", Arc::clone(&catalog), config).expect("ephemeral bind");
+    assert_eq!(server.stats_snapshot().reactors, 2);
+
+    let mut pinned: Vec<ModelClient> = (0..3)
+        .map(|_| {
+            let mut c = ModelClient::new(server.addr(), Duration::from_secs(5));
+            c.ping().expect("under-cap ping");
+            c
+        })
+        .collect();
+    let mut overflow = ModelClient::new(server.addr(), Duration::from_secs(5));
+    match overflow.ping() {
+        Err(ClientError::Server(Status::Busy)) => {}
+        other => panic!("expected Busy beyond the configured cap, got {other:?}"),
+    }
+    assert!(server.stats_snapshot().busy_rejections >= 1);
+
+    drop(pinned.pop());
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match overflow.ping() {
+            Ok(()) => break,
+            Err(ClientError::Server(Status::Busy)) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("expected the freed slot to admit us, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn unscoped_fetches_are_served_from_the_pre_encoded_cache() {
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(4));
+    let mut server = start(&catalog);
+
+    // Same (channel state, have_epoch) across clients: the first fetch
+    // builds the tail, every later one reuses it.
+    for i in 0..4 {
+        let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+        let (fetched, _) = client.fetch(CHANNEL, i as f64, 0.0, -1.0).expect("unscoped fetch");
+        assert_eq!(fetched.locality_count(), 4);
+    }
+    let snap = server.stats_snapshot();
+    assert_eq!(snap.cache_misses, 1, "one cache build per (channel state, have_epoch)");
+    assert_eq!(snap.cache_hits, 3, "every later identical fetch is a cache hit");
+
+    // A republish invalidates the cache (new channel value, empty memo):
+    // the next fetch at a fresh have_epoch is a miss again.
+    catalog.write().unwrap().publish(CHANNEL, &model(4));
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+    client.fetch(CHANNEL, 0.0, 0.0, -1.0).expect("post-republish fetch");
+    let snap = server.stats_snapshot();
+    assert_eq!(snap.cache_misses, 2, "a publish swaps in an empty cache");
+
+    // Scoped fetches are position-dependent and never cached.
+    client.fetch(CHANNEL, 1.0, 1.0, 4.0).expect("scoped fetch");
+    assert_eq!(server.stats_snapshot().cache_misses, 3);
+    server.shutdown();
+}
+
+/// The reactor transport under *server-side* injected faults: corrupted,
+/// truncated, and dropped writes plus read stalls must surface to clients
+/// as typed errors only — no panics, no reactor death — and clean
+/// connections must keep being served throughout.
+#[cfg(feature = "fault")]
+#[test]
+fn server_side_transport_faults_on_the_reactor_yield_typed_errors() {
+    use waldo_fault::{TransportFaults, TransportPlan};
+
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model(3));
+    let config = ServeConfig {
+        faults: Some(TransportFaults::new(
+            0x5e4e,
+            TransportPlan {
+                refuse_connect: 0.0,
+                corrupt_byte: 0.2,
+                short_write: 0.15,
+                drop_mid_frame: 0.15,
+                read_stall: 0.1,
+                stall: Duration::from_millis(2),
+            },
+        )),
+        ..ServeConfig::default()
+    };
+    let mut server = serve("127.0.0.1:0", Arc::clone(&catalog), config).expect("ephemeral bind");
+
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(2))
+        .retry_policy(waldo_serve::RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+            jitter: 0.5,
+        })
+        .jitter_seed(11);
+    let mut successes = 0usize;
+    let mut typed_errors = 0usize;
+    for _ in 0..30 {
+        match client.fetch(CHANNEL, 10.0, 10.0, -1.0) {
+            Ok((fetched, _)) => {
+                assert_eq!(fetched.locality_count(), 3);
+                successes += 1;
+            }
+            Err(
+                ClientError::Io(_)
+                | ClientError::Server(_)
+                | ClientError::Wire(_)
+                | ClientError::Protocol(_)
+                | ClientError::CircuitOpen,
+            ) => typed_errors += 1,
+        }
+    }
+    assert!(successes > 0, "some fetches must survive the fault schedule");
+    assert!(
+        typed_errors as u64 + client.retries_total() > 0,
+        "an aggressive server-side schedule must disturb at least one fetch"
+    );
+
+    // Every reactor is still alive and serving.
+    let mut clean = ModelClient::new(server.addr(), Duration::from_secs(5));
+    let (fetched, _) = clean.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("server survived the chaos");
+    assert_eq!(fetched.locality_count(), 3);
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_is_graceful_and_idempotent() {
     let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
     catalog.write().unwrap().publish(CHANNEL, &model(3));

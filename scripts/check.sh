@@ -40,12 +40,15 @@ cargo run --release -p waldo-bench --features prof --bin gate -- \
 
 echo "==> serve smoke (serve_load --quick --obs-overhead + gate --obs)"
 # Boots the model server, runs 16 concurrent clients through full fetches,
-# delta fetches, and malformed-frame probes, then shuts down gracefully.
-# serve_load itself exits nonzero on any protocol error; the gate addition-
-# ally enforces the fetch-latency floor (scripts/bench_floor.json) and,
-# with --obs, the recording-overhead ceiling on the obs-enabled build.
+# delta fetches, and malformed-frame probes, then holds 256 pipelined
+# keep-alive connections against the reactor pool for the throughput
+# phase, then shuts down gracefully. serve_load itself exits nonzero on
+# any protocol error or failed connect; the gate additionally enforces
+# the fetch-latency and fetches-per-second floors plus the 90% response-
+# cache hit-rate floor (scripts/bench_floor.json) and, with --obs, the
+# recording-overhead ceiling on the obs-enabled build.
 cargo run --release -p waldo-bench --features "prof obs" --bin serve_load -- \
-    --quick --obs-overhead --out target/BENCH_serve_smoke.json
+    --quick --connections 256 --obs-overhead --out target/BENCH_serve_smoke.json
 cargo run --release -p waldo-bench --features prof --bin gate -- \
     target/BENCH_smoke.json scripts/bench_floor.json target/BENCH_serve_smoke.json --obs
 
