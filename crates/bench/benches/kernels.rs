@@ -13,7 +13,7 @@ use waldo_data::{ChannelDataset, Labeler, Measurement, Safety};
 use waldo_geo::Point;
 use waldo_iq::window::Window;
 use waldo_iq::{
-    fft, Complex, EnergyDetector, FeatureSet, FeatureVector, FrameSynthesizer, IqFrame,
+    fft, Complex, EnergyDetector, FeatureSet, FeatureVector, FrameBatch, FrameSynthesizer, IqFrame,
 };
 use waldo_ml::nb::GaussianNbTrainer;
 use waldo_ml::svm::{Kernel, SvmTrainer};
@@ -103,6 +103,15 @@ fn bench_signal_path(c: &mut Criterion) {
     });
     group.bench_function("features_24_frame_reading", |b| {
         b.iter(|| FeatureVector::extract_from_frames(black_box(&batch), Window::Hann));
+    });
+    // Fused SoA extraction vs the retained per-frame reference — the
+    // before/after of the batched synth→FFT→feature pipeline.
+    let soa = FrameBatch::from_frames(&batch);
+    group.bench_function("extract_fused", |b| {
+        b.iter(|| FeatureVector::extract_from_batch(black_box(&soa), Window::Hann));
+    });
+    group.bench_function("extract_reference", |b| {
+        b.iter(|| FeatureVector::extract_from_frames_reference(black_box(&batch), Window::Hann));
     });
     group.bench_function("pilot_detector", |b| {
         b.iter(|| detector.pilot_dbfs(black_box(&frame)));

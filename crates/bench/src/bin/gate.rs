@@ -12,6 +12,14 @@
 //! - the error-cached SMO regresses more than 2× against the checked-in
 //!   floor (`svm_fit_ns_per_fit` in the floor file, measured on the
 //!   reference machine that produced `BENCH_pipeline.json`);
+//! - the fused measurement pipeline regresses more than 2× against the
+//!   floor file's implied context-build rate (`context_build_readings`
+//!   over `context_build_seconds`, compared ratio-wise against the
+//!   report's `serial_readings_per_sec` so quick-scale smokes and
+//!   full-scale runs gate alike);
+//! - the online detector ingest rate (`detector_push.readings_per_s`)
+//!   falls more than 2× below the checked-in
+//!   `detector_push_readings_per_s` reference;
 //! - a serve report is given and it recorded any protocol error, ran with
 //!   fewer than 16 clients, saved less than half the full-fetch bytes on
 //!   delta fetches, or its p50 fetch latency regressed more than 10×
@@ -42,6 +50,17 @@ const REQUIRED_STAGES: [&str; 6] = ["synth", "fft_features", "label", "kmeans", 
 /// floor; generous enough to absorb machine-to-machine variation, tight
 /// enough to catch an accidental return to O(n²) passes.
 const SVM_FIT_REGRESSION_LIMIT: f64 = 2.0;
+
+/// Maximum allowed regression of the serial context-build rate against
+/// the floor file's implied reference rate (`context_build_readings /
+/// context_build_seconds`). Rate-based so the same floor gates quick-scale
+/// smokes and full-scale runs; 2× absorbs runner variation while catching
+/// a return to per-frame synthesis or per-pass extraction.
+const CONTEXT_BUILD_REGRESSION_LIMIT: f64 = 2.0;
+
+/// Maximum allowed regression of the detector ingest rate against the
+/// checked-in `detector_push_readings_per_s` reference.
+const DETECTOR_PUSH_REGRESSION_LIMIT: f64 = 2.0;
 
 /// Maximum allowed ratio of measured p50 fetch latency to the checked-in
 /// floor. Wider than the svm_fit limit because loopback latency under 16
@@ -122,8 +141,47 @@ fn check(report: &Value, floor: &Value) -> Result<(), String> {
             floor_ns / 1e6
         ));
     }
+    let serial_rate = report
+        .get("context_build")
+        .and_then(|b| b.get("serial_readings_per_sec"))
+        .and_then(Value::as_f64)
+        .ok_or("report has no context_build.serial_readings_per_sec".to_string())?;
+    let floor_seconds = floor
+        .get("context_build_seconds")
+        .and_then(Value::as_f64)
+        .ok_or("floor file has no context_build_seconds".to_string())?;
+    let floor_readings = floor
+        .get("context_build_readings")
+        .and_then(Value::as_f64)
+        .ok_or("floor file has no context_build_readings".to_string())?;
+    let implied_rate = floor_readings / floor_seconds;
+    if serial_rate < implied_rate / CONTEXT_BUILD_REGRESSION_LIMIT {
+        return Err(format!(
+            "context build regressed: {serial_rate:.0} readings/s serial vs \
+             {implied_rate:.0} implied floor (> {CONTEXT_BUILD_REGRESSION_LIMIT}x slower)"
+        ));
+    }
+
+    let push_rate = report
+        .get("detector_push")
+        .and_then(|d| d.get("readings_per_s"))
+        .and_then(Value::as_f64)
+        .ok_or("report has no detector_push.readings_per_s".to_string())?;
+    let push_floor = floor
+        .get("detector_push_readings_per_s")
+        .and_then(Value::as_f64)
+        .ok_or("floor file has no detector_push_readings_per_s".to_string())?;
+    if push_rate < push_floor / DETECTOR_PUSH_REGRESSION_LIMIT {
+        return Err(format!(
+            "detector ingest regressed: {push_rate:.0} readings/s vs {push_floor:.0} floor \
+             (> {DETECTOR_PUSH_REGRESSION_LIMIT}x slower)"
+        ));
+    }
+
     eprintln!(
-        "gate ok: all {} stage timers present; svm_fit {:.2} ms vs {:.2} ms floor",
+        "gate ok: all {} stage timers present; svm_fit {:.2} ms vs {:.2} ms floor; \
+         context build {serial_rate:.0} readings/s vs {implied_rate:.0} implied floor; \
+         detector push {push_rate:.0} readings/s vs {push_floor:.0} floor",
         REQUIRED_STAGES.len(),
         measured / 1e6,
         floor_ns / 1e6

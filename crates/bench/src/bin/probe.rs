@@ -2,13 +2,15 @@
 //! parameters can be validated before the full harness is wired up.
 //!
 //! Always starts by timing the pipeline substrate — serial vs parallel
-//! `Context::build`, planned vs ad-hoc FFT, error-cached vs naive SMO, and
-//! batched vs per-draw frame synthesis — and writing the numbers to
+//! `Context::build`, planned vs ad-hoc FFT, error-cached vs naive SMO,
+//! fused-batch vs per-frame synthesis and feature extraction, and the
+//! online detector ingest rate — and writing the numbers to
 //! `BENCH_pipeline.json` (override with `--out <path>`). When built with
 //! the `prof` feature the report also carries the per-stage wall-clock
 //! breakdown (synth / fft_features / label / kmeans / svm_fit / cv / …)
-//! recorded by `waldo-prof` across the parallel build plus one model fit
-//! and one cross-validation. Pass `--quick` to time at [`Scale::Quick`],
+//! recorded by `waldo-prof` across the serial build plus one model fit
+//! and one cross-validation (the serial leg so stage seconds are not
+//! inflated by oversubscribed workers on small hosts). Pass `--quick` to time at [`Scale::Quick`],
 //! and `--bench-only` to stop after the JSON is written (skipping the slow
 //! tuning sections below).
 
@@ -95,32 +97,148 @@ fn bench_svm_fit() -> (f64, f64) {
     (cached_ns, naive_ns)
 }
 
-/// Times batched ([`FrameSynthesizer::synthesize`]) vs per-draw reference
-/// synthesis of occupied 256-sample frames. Returns best-of-passes
-/// nanoseconds per frame.
-fn bench_frame_synth() -> (f64, f64) {
-    const FRAMES: u32 = 2_000;
+/// Times the fused SoA batch path ([`FrameSynthesizer::synthesize_batch`]
+/// amortized over 24-frame readings) against the per-frame Box–Muller
+/// reference and the historical per-draw path, all on occupied 256-sample
+/// frames. Returns best-of-passes nanoseconds per frame
+/// `(fused, reference, unbatched)`.
+fn bench_frame_synth() -> (f64, f64, f64) {
+    const READINGS: u32 = 100;
+    const FRAMES_PER_READING: usize = 24;
     const PASSES: usize = 3;
     let synth = FrameSynthesizer::new(256).pilot_dbfs(-40.0).data_dbfs(-45.0).noise_dbfs(-70.0);
+    let frames = f64::from(READINGS) * FRAMES_PER_READING as f64;
 
-    let mut batched_ns = f64::INFINITY;
+    let mut fused_ns = f64::INFINITY;
+    let mut reference_ns = f64::INFINITY;
     let mut unbatched_ns = f64::INFINITY;
     for pass in 0..PASSES {
         let mut rng = StdRng::seed_from_u64(pass as u64);
         let t = Instant::now();
-        for _ in 0..FRAMES {
-            std::hint::black_box(synth.synthesize(&mut rng));
+        for _ in 0..READINGS {
+            std::hint::black_box(synth.synthesize_batch(FRAMES_PER_READING, &mut rng));
         }
-        batched_ns = batched_ns.min(t.elapsed().as_nanos() as f64 / f64::from(FRAMES));
+        fused_ns = fused_ns.min(t.elapsed().as_nanos() as f64 / frames);
 
         let mut rng = StdRng::seed_from_u64(pass as u64);
         let t = Instant::now();
-        for _ in 0..FRAMES {
+        for _ in 0..READINGS * FRAMES_PER_READING as u32 {
+            std::hint::black_box(synth.synthesize_reference(&mut rng));
+        }
+        reference_ns = reference_ns.min(t.elapsed().as_nanos() as f64 / frames);
+
+        let mut rng = StdRng::seed_from_u64(pass as u64);
+        let t = Instant::now();
+        for _ in 0..READINGS * FRAMES_PER_READING as u32 {
             std::hint::black_box(synth.synthesize_unbatched(&mut rng));
         }
-        unbatched_ns = unbatched_ns.min(t.elapsed().as_nanos() as f64 / f64::from(FRAMES));
+        unbatched_ns = unbatched_ns.min(t.elapsed().as_nanos() as f64 / frames);
     }
-    (batched_ns, unbatched_ns)
+    (fused_ns, reference_ns, unbatched_ns)
+}
+
+/// Times fused SoA feature extraction vs the retained per-frame reference
+/// on one 24-frame reading. Returns best-of-passes nanoseconds per reading
+/// `(fused, reference)`.
+fn bench_extract() -> (f64, f64) {
+    use waldo_iq::{window::Window, FeatureVector};
+    const ITERS: u32 = 2_000;
+    const PASSES: usize = 3;
+    let synth = FrameSynthesizer::new(256).pilot_dbfs(-40.0).data_dbfs(-45.0).noise_dbfs(-70.0);
+    let batch = synth.synthesize_batch(24, &mut StdRng::seed_from_u64(5));
+    let frames = batch.to_frames();
+
+    let mut fused_ns = f64::INFINITY;
+    let mut reference_ns = f64::INFINITY;
+    for _ in 0..PASSES {
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(FeatureVector::extract_from_batch(
+                std::hint::black_box(&batch),
+                Window::Hann,
+            ));
+        }
+        fused_ns = fused_ns.min(t.elapsed().as_nanos() as f64 / f64::from(ITERS));
+
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(FeatureVector::extract_from_frames_reference(
+                std::hint::black_box(&frames),
+                Window::Hann,
+            ));
+        }
+        reference_ns = reference_ns.min(t.elapsed().as_nanos() as f64 / f64::from(ITERS));
+    }
+    (fused_ns, reference_ns)
+}
+
+/// One synthetic calibrated observation at `rss` dBm (mirrors the
+/// criterion `kernels` helper).
+fn observation(rss: f64) -> waldo_sensors::Observation {
+    waldo_sensors::Observation {
+        rss_dbm: rss,
+        features: waldo_iq::FeatureVector {
+            rss_db: rss,
+            cft_db: rss - 11.3,
+            aft_db: rss - 12.5,
+            quadrature_imbalance_db: 0.0,
+            iq_kurtosis: 0.0,
+            edge_bin_db: -110.0,
+        },
+        raw_pilot_db: rss - 11.3,
+    }
+}
+
+/// Times the steady-state detector ingest loop — model predict + CI update
+/// per reading, restarting the episode on convergence — against a Naive
+/// Bayes model over a synthetic 600-reading channel. Returns best-of-passes
+/// readings pushed per second.
+fn bench_detector_push() -> f64 {
+    use waldo::{DetectorOutcome, ModelConstructor, WhiteSpaceDetector};
+    use waldo_data::{ChannelDataset, Measurement, Safety};
+    use waldo_geo::Point;
+    const READINGS: u32 = 20_000;
+    const PASSES: usize = 3;
+
+    let n = 600;
+    let mut measurements = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let x = (i as f64 / n as f64) * 30_000.0;
+        let not_safe = x > 15_000.0;
+        let rss = if not_safe { -70.0 } else { -92.0 } + ((i % 7) as f64 - 3.0) * 0.4;
+        measurements.push(Measurement {
+            location: Point::new(x, ((i * 13) % 20) as f64 * 1_000.0),
+            odometer_m: i as f64,
+            observation: observation(rss),
+            true_rss_dbm: rss,
+        });
+        labels.push(Safety::from_not_safe(not_safe));
+    }
+    let ds =
+        ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels);
+    let cfg = WaldoConfig::default()
+        .classifier(ClassifierKind::NaiveBayes)
+        .features(FeatureSet::first_n(2));
+    let model = ModelConstructor::new(cfg).fit(&ds).expect("synthetic channel trains");
+
+    let mut best_ns = f64::INFINITY;
+    for pass in 0..PASSES {
+        let mut rng = StdRng::seed_from_u64(pass as u64);
+        let mut det = WhiteSpaceDetector::new(model.clone(), 0.5);
+        let loc = Point::new(25_000.0, 10_000.0);
+        let t = Instant::now();
+        for _ in 0..READINGS {
+            let rss = -70.0 + 0.4 * waldo_iq::synth::standard_normal(&mut rng);
+            if let DetectorOutcome::Converged { .. } =
+                std::hint::black_box(det.push(loc, &observation(rss)))
+            {
+                det = WhiteSpaceDetector::new(model.clone(), 0.5);
+            }
+        }
+        best_ns = best_ns.min(t.elapsed().as_nanos() as f64 / f64::from(READINGS));
+    }
+    1e9 / best_ns
 }
 
 /// Total readings held by a campaign, summed across every (sensor,
@@ -153,29 +271,48 @@ fn bench_pipeline(scale: Scale, out: &str) -> Context {
         svm_naive_ns / 1e6,
         svm_naive_ns / svm_cached_ns
     );
-    let (synth_batched_ns, synth_unbatched_ns) = bench_frame_synth();
+    let (synth_fused_ns, synth_reference_ns, synth_unbatched_ns) = bench_frame_synth();
     eprintln!(
-        "frame_synth_256: batched {synth_batched_ns:.0} ns, unbatched {synth_unbatched_ns:.0} ns ({:.2}x)",
-        synth_unbatched_ns / synth_batched_ns
+        "frame_synth_256: fused {synth_fused_ns:.0} ns, reference {synth_reference_ns:.0} ns ({:.2}x), unbatched {synth_unbatched_ns:.0} ns ({:.2}x)",
+        synth_reference_ns / synth_fused_ns,
+        synth_unbatched_ns / synth_fused_ns
     );
+    let (extract_fused_ns, extract_reference_ns) = bench_extract();
+    eprintln!(
+        "extract_24_frame: fused {:.1} µs, reference {:.1} µs ({:.2}x)",
+        extract_fused_ns / 1e3,
+        extract_reference_ns / 1e3,
+        extract_reference_ns / extract_fused_ns
+    );
+    let detector_push_per_s = bench_detector_push();
+    eprintln!("detector_push: {detector_push_per_s:.0} readings/s");
 
-    let workers = waldo_par::available_workers();
+    // The parallel leg is pinned to at least two workers: on a single-core
+    // host (or under `WALDO_WORKERS=1`) the ambient count is 1, where
+    // `par_map` short-circuits to the serial loop — timing that would
+    // compare two serial runs and report noise as a "speedup" (the
+    // workers:1, 0.95x regression this replaced).
+    let ambient_workers = waldo_par::available_workers();
+    let parallel_workers = ambient_workers.max(2);
+    let t = Instant::now();
+    let ctx = waldo_par::with_workers(parallel_workers, || Context::build(scale));
+    let parallel_s = t.elapsed().as_secs_f64();
+    let readings = total_readings(&ctx);
+    eprintln!("context (parallel, {parallel_workers} workers, ambient {ambient_workers}) built");
+
+    // Profile window: the serial build plus one SVM model fit and one
+    // 5-fold cross-validation, so every stage of the ISSUE's breakdown
+    // (synth / fft_features / label / kmeans / svm_fit / cv) records.
+    // Profiling the serial leg keeps the per-stage seconds comparable
+    // across machines: scoped timers measure per-thread wall clock, which
+    // oversubscribed workers on a small host would inflate.
+    waldo_prof::reset();
     let t = Instant::now();
     let serial = waldo_par::with_workers(1, || Context::build(scale));
     let serial_s = t.elapsed().as_secs_f64();
-    let readings = total_readings(&serial);
     drop(serial);
-    eprintln!("context (serial, 1 worker) built in {serial_s:.1}s");
-
-    // Profile window: the parallel build plus one SVM model fit and one
-    // 5-fold cross-validation, so every stage of the ISSUE's breakdown
-    // (synth / fft_features / label / kmeans / svm_fit / cv) records.
-    waldo_prof::reset();
-    let t = Instant::now();
-    let ctx = Context::build(scale);
-    let parallel_s = t.elapsed().as_secs_f64();
     eprintln!(
-        "context (parallel, {workers} workers) built in {parallel_s:.1}s ({:.2}x)",
+        "context (serial, 1 worker) built in {serial_s:.1}s; parallel {parallel_s:.1}s ({:.2}x at {parallel_workers} workers)",
         serial_s / parallel_s
     );
 
@@ -208,7 +345,7 @@ fn bench_pipeline(scale: Scale, out: &str) -> Context {
     }
     if waldo_prof::enabled() {
         let snap = waldo_prof::snapshot();
-        eprintln!("stage attribution (parallel build + fit + cv):");
+        eprintln!("stage attribution (serial build + fit + cv):");
         for (name, stat) in &snap {
             eprintln!("  {name:>14}: {:>9.3}s over {} calls", stat.seconds(), stat.calls);
         }
@@ -216,10 +353,12 @@ fn bench_pipeline(scale: Scale, out: &str) -> Context {
 
     let report = json!({
         "scale": format!("{scale:?}"),
-        "workers": workers,
+        "workers": ambient_workers,
         "prof_enabled": waldo_prof::enabled(),
         "context_build": json!({
             "readings": readings,
+            "serial_workers": 1,
+            "parallel_workers": parallel_workers,
             "serial_seconds": serial_s,
             "parallel_seconds": parallel_s,
             "speedup": serial_s / parallel_s,
@@ -237,9 +376,19 @@ fn bench_pipeline(scale: Scale, out: &str) -> Context {
             "speedup": svm_naive_ns / svm_cached_ns,
         }),
         "frame_synth": json!({
-            "batched_ns_per_frame": synth_batched_ns,
+            "fused_ns_per_frame": synth_fused_ns,
+            "reference_ns_per_frame": synth_reference_ns,
             "unbatched_ns_per_frame": synth_unbatched_ns,
-            "speedup": synth_unbatched_ns / synth_batched_ns,
+            "speedup": synth_reference_ns / synth_fused_ns,
+            "speedup_vs_unbatched": synth_unbatched_ns / synth_fused_ns,
+        }),
+        "extract": json!({
+            "fused_ns_per_reading": extract_fused_ns,
+            "reference_ns_per_reading": extract_reference_ns,
+            "speedup": extract_reference_ns / extract_fused_ns,
+        }),
+        "detector_push": json!({
+            "readings_per_s": detector_push_per_s,
         }),
         "stages": Value::Object(stages),
     });

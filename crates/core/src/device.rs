@@ -155,12 +155,12 @@ impl PhoneScanner {
             let (location, rss) = state_at(captures);
             // Radio side: one frame-averaged reading (synthesis stands in
             // for the dongle; not billed as CPU).
-            let frames = self.sensor.capture_reading(rss, &mut self.rng);
+            let batch = self.sensor.capture_reading_batch(rss, &mut self.rng);
 
             // Compute side, measured for real: feature extraction, pilot
             // estimation, calibration, detector update, classification.
             let start = Instant::now();
-            let extraction = FeatureVector::extract_from_frames(&frames, Window::Hann);
+            let extraction = FeatureVector::extract_from_batch(&batch, Window::Hann);
             let raw_pilot = extraction.pilot_db;
             let rss_dbm = self.calibration.to_dbm(raw_pilot) + 12.0;
             let shift = self.calibration.to_dbm(0.0);

@@ -14,10 +14,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::spectral::with_spectral;
+use crate::spectral::{with_spectral, Spectral};
 use crate::units::power_to_db;
 use crate::window::Window;
-use crate::IqFrame;
+use crate::{FrameBatch, IqFrame};
 
 /// Every feature the extraction stage computes.
 ///
@@ -164,6 +164,105 @@ pub struct Extraction {
     pub pilot_db: f64,
 }
 
+/// Raw per-frame sample moments, accumulated in one pass: Σre, Σre²,
+/// Σre³, Σre⁴ and Σim². Everything the time-domain features need — power,
+/// I/Q power, mean, variance, kurtosis — falls out of these five sums, so
+/// one walk over the samples replaces the historical six. Both the fused
+/// SoA path and the per-frame reference path drive this same accumulator
+/// in the same sample order, which is what makes their feature vectors
+/// bit-identical (LLVM does not reassociate float adds without fast-math).
+#[derive(Debug, Default, Clone, Copy)]
+struct FrameMoments {
+    s1: f64,
+    s2: f64,
+    s3: f64,
+    s4: f64,
+    sq_im: f64,
+}
+
+impl FrameMoments {
+    /// Folds one sample (in-phase `x`, quadrature `y`) into the sums.
+    #[inline]
+    fn accumulate(&mut self, x: f64, y: f64) {
+        let x2 = x * x;
+        self.s1 += x;
+        self.s2 += x2;
+        self.s3 += x2 * x;
+        self.s4 += x2 * x2;
+        self.sq_im += y * y;
+    }
+}
+
+/// Batch-averaged time-domain statistics, built frame by frame from
+/// [`FrameMoments`] with the same division order in both extraction paths.
+#[derive(Debug, Default, Clone, Copy)]
+struct TimeAverages {
+    p_i: f64,
+    p_q: f64,
+    kurtosis: f64,
+}
+
+impl TimeAverages {
+    /// Folds one frame's moments into the running batch averages
+    /// (`n` samples per frame, `k` frames in the batch).
+    fn add_frame(&mut self, m: &FrameMoments, n: f64, k: f64) {
+        let p_i = m.s2 / n;
+        self.p_i += p_i / k;
+        self.p_q += m.sq_im / n / k;
+        let mean = m.s1 / n;
+        let var = p_i - mean * mean;
+        if var > 0.0 {
+            // Fourth central moment from raw moments (binomial expansion).
+            let m4 =
+                (m.s4 - 4.0 * mean * m.s3 + 6.0 * (mean * mean) * m.s2) / n - 3.0 * mean.powi(4);
+            self.kurtosis += (m4 / (var * var) - 3.0) / k;
+        }
+    }
+}
+
+/// Shared post-loop stage of both extraction paths: reads the accumulated
+/// shifted power spectrum out of the spectral context and the batch time
+/// averages, and derives every feature plus the pilot estimate. `time_power`
+/// is computed once here as `p_i + p_q` — the wideband energy *is* the sum
+/// of the per-component powers, which the pre-fusion code measured twice.
+fn finalize_extraction(ctx: &Spectral, n: usize, norm: f64, time: &TimeAverages) -> Extraction {
+    let avg_power = ctx.power();
+    let center = n / 2;
+    let cft_db = power_to_db(avg_power[center]);
+
+    // Central 15 % of bins.
+    let span = ((n as f64 * 0.15).round() as usize).max(1);
+    let lo = center.saturating_sub(span / 2);
+    let hi = (lo + span).min(n);
+    let aft = avg_power[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+    let aft_db = power_to_db(aft);
+
+    let edge_bin_db = power_to_db(avg_power[(3 * n) / 4]);
+    let rss_db = power_to_db(time.p_i + time.p_q);
+    let quadrature_imbalance_db = power_to_db(time.p_i) - power_to_db(time.p_q);
+
+    // Pilot estimate: central 3 bins of the averaged spectrum,
+    // re-normalized from coherent-gain to span-response units.
+    let half_span = 1usize;
+    let plo = center - half_span;
+    let phi = center + half_span;
+    let span_response: f64 = ctx.win_span_norms[plo..=phi].iter().sum();
+    let pilot_power: f64 = avg_power[plo..=phi].iter().sum::<f64>() * norm / span_response;
+    let pilot_db = power_to_db(pilot_power);
+
+    Extraction {
+        features: FeatureVector {
+            rss_db,
+            cft_db,
+            aft_db,
+            quadrature_imbalance_db,
+            iq_kurtosis: time.kurtosis,
+            edge_bin_db,
+        },
+        pilot_db,
+    }
+}
+
 impl FeatureVector {
     /// Extracts all features from `frame` using `window` for the spectral
     /// stages.
@@ -187,80 +286,84 @@ impl FeatureVector {
     /// evaluates no trig. Returns the features along with the batch pilot
     /// estimate.
     ///
+    /// This is a thin wrapper that copies the frames into a [`FrameBatch`]
+    /// and runs the fused [`Self::extract_from_batch`] kernel; callers
+    /// that already hold a batch should extract from it directly and skip
+    /// the copy.
+    ///
     /// # Panics
     ///
     /// Panics if `frames` is empty, any frame is empty, frames disagree in
     /// length, or the length is not a power of two.
     pub fn extract_from_frames(frames: &[IqFrame], window: Window) -> Extraction {
+        Self::extract_from_batch(&FrameBatch::from_frames(frames), window)
+    }
+
+    /// The fused SoA pipeline: one pass per frame over the batch's re/im
+    /// planes covers the windowed FFT with shift-during-accumulate
+    /// ([`crate::spectral`]) *and* the single-pass raw-moment time
+    /// statistics — no interleaved intermediates, no separate passes for
+    /// power / I-Q power / mean / variance / kurtosis. Produces
+    /// bit-identical results to [`Self::extract_from_frames_reference`]
+    /// on the same frames: both paths share the per-sample moment
+    /// accumulator and the spectral finalization (DESIGN.md §14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame length is not a power of two.
+    pub fn extract_from_batch(batch: &FrameBatch, window: Window) -> Extraction {
         let _t = waldo_prof::scope("fft_features");
+        let n = batch.frame_len();
+        with_spectral(window, n, |ctx| {
+            let norm = ctx.coherent_sum * ctx.coherent_sum;
+            let k = batch.frames() as f64;
+            let mut time = TimeAverages::default();
+            ctx.reset_power();
+            for f in 0..batch.frames() {
+                let (re, im) = (batch.re_plane(f), batch.im_plane(f));
+                ctx.accumulate_shifted_power_planes(re, im, 1.0 / (norm * k));
+                let mut moments = FrameMoments::default();
+                for (&x, &y) in re.iter().zip(im) {
+                    moments.accumulate(x, y);
+                }
+                time.add_frame(&moments, n as f64, k);
+            }
+            finalize_extraction(ctx, n, norm, &time)
+        })
+    }
+
+    /// The pre-fusion per-frame path, retained as the benchmark baseline
+    /// and equivalence reference: one
+    /// [`Spectral::accumulate_shifted_power`] call per interleaved frame
+    /// plus the shared single-pass time-statistics accumulator. (The
+    /// historical separate `mean_power`/`p_i`/`p_q`/mean/variance/kurtosis
+    /// passes are gone here too — `time_power` is just `p_i + p_q`, so the
+    /// six passes were recomputing each other — which keeps this path
+    /// bit-comparable with the fused one.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty, any frame is empty, frames disagree in
+    /// length, or the length is not a power of two.
+    pub fn extract_from_frames_reference(frames: &[IqFrame], window: Window) -> Extraction {
         assert!(!frames.is_empty(), "cannot extract features from an empty batch");
         let n = frames[0].len();
         assert!(n > 0, "cannot extract features from an empty frame");
         assert!(frames.iter().all(|f| f.len() == n), "frames must share a length");
         with_spectral(window, n, |ctx| {
-            let coherent_sum = ctx.coherent_sum;
-            let norm = coherent_sum * coherent_sum;
-
-            let mut time_power = 0.0f64;
-            let mut p_i = 0.0f64;
-            let mut p_q = 0.0f64;
-            let mut kurtosis = 0.0f64;
+            let norm = ctx.coherent_sum * ctx.coherent_sum;
             let k = frames.len() as f64;
-
+            let mut time = TimeAverages::default();
             ctx.reset_power();
             for frame in frames {
                 ctx.accumulate_shifted_power(frame, 1.0 / (norm * k));
-                time_power += frame.mean_power() / k;
-                p_i += frame.samples().iter().map(|z| z.re * z.re).sum::<f64>() / (n as f64 * k);
-                p_q += frame.samples().iter().map(|z| z.im * z.im).sum::<f64>() / (n as f64 * k);
-
-                let mean_i: f64 = frame.samples().iter().map(|z| z.re).sum::<f64>() / n as f64;
-                let var_i: f64 =
-                    frame.samples().iter().map(|z| (z.re - mean_i).powi(2)).sum::<f64>() / n as f64;
-                if var_i > 0.0 {
-                    kurtosis +=
-                        (frame.samples().iter().map(|z| (z.re - mean_i).powi(4)).sum::<f64>()
-                            / (n as f64 * var_i * var_i)
-                            - 3.0)
-                            / k;
+                let mut moments = FrameMoments::default();
+                for z in frame.samples() {
+                    moments.accumulate(z.re, z.im);
                 }
+                time.add_frame(&moments, n as f64, k);
             }
-
-            let avg_power = ctx.power();
-            let center = n / 2;
-            let cft_db = power_to_db(avg_power[center]);
-
-            // Central 15 % of bins.
-            let span = ((n as f64 * 0.15).round() as usize).max(1);
-            let lo = center.saturating_sub(span / 2);
-            let hi = (lo + span).min(n);
-            let aft = avg_power[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
-            let aft_db = power_to_db(aft);
-
-            let edge_bin_db = power_to_db(avg_power[(3 * n) / 4]);
-            let rss_db = power_to_db(time_power);
-            let quadrature_imbalance_db = power_to_db(p_i) - power_to_db(p_q);
-
-            // Pilot estimate: central 3 bins of the averaged spectrum,
-            // re-normalized from coherent-gain to span-response units.
-            let half_span = 1usize;
-            let plo = center - half_span;
-            let phi = center + half_span;
-            let span_response: f64 = ctx.win_span_norms[plo..=phi].iter().sum();
-            let pilot_power: f64 = avg_power[plo..=phi].iter().sum::<f64>() * norm / span_response;
-            let pilot_db = power_to_db(pilot_power);
-
-            Extraction {
-                features: Self {
-                    rss_db,
-                    cft_db,
-                    aft_db,
-                    quadrature_imbalance_db,
-                    iq_kurtosis: kurtosis,
-                    edge_bin_db,
-                },
-                pilot_db,
-            }
+            finalize_extraction(ctx, n, norm, &time)
         })
     }
 
@@ -389,7 +492,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty frame")]
+    #[should_panic(expected = "frame length must be positive")]
     fn empty_frame_panics() {
         let _ = FeatureVector::extract(&IqFrame::new(vec![]), Window::Hann);
     }

@@ -1,11 +1,25 @@
-//! The workspace's one Gaussian sampler.
+//! The workspace's Gaussian samplers.
 //!
-//! Box–Muller turns two uniforms into **two** independent standard normals
-//! for one `ln`/`sqrt` and one `sin_cos`. The original per-call sampler
-//! discarded the sine half, and a second copy of it lived in
-//! `waldo-rf::shadowing` to dodge a cross-crate dependency; both now route
-//! here. Bulk consumers (frame synthesis, shadowing grids) should use
-//! [`fill_standard_normal`], which keeps every draw.
+//! Two generations live here:
+//!
+//! * **Box–Muller** ([`standard_normal_pair`], [`standard_normal`],
+//!   [`fill_standard_normal`]) turns two uniforms into two independent
+//!   standard normals per `ln`/`sqrt`/`sin_cos`. It is the *reference*
+//!   sampler: scalar consumers (gain wobble, shadowing grids, detector
+//!   noise) still draw from it, and the `*_reference` synthesis baselines
+//!   replay it for the statistical-equivalence tests.
+//! * **Ziggurat** ([`standard_normal_ziggurat`],
+//!   [`fill_standard_normal_ziggurat`], [`fill_standard_normal_planes`])
+//!   is the bulk sampler behind the fused [`crate::FrameBatch`] pipeline.
+//!   One `u64` covers layer index, sign, and a 53-bit uniform; ~98.8 % of
+//!   draws finish with one table compare and one multiply — no
+//!   transcendentals — which is what takes a 256-sample Gaussian fill from
+//!   ~6.4 µs (Box–Muller) to well under 2 µs. Both samplers produce exact
+//!   standard normals; only the draw-to-bits mapping differs, so swapping
+//!   one for the other changes realizations, never distributions
+//!   (DESIGN.md §14).
+
+use std::sync::OnceLock;
 
 use rand::Rng;
 
@@ -50,6 +64,127 @@ pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
     }
     if let [last] = chunks.into_remainder() {
         *last = standard_normal_pair(rng).0;
+    }
+}
+
+/// Number of ziggurat layers (the classic 128-layer table).
+const ZIG_LAYERS: usize = 128;
+
+/// Right edge of the base layer: `x` beyond which the Marsaglia tail
+/// algorithm takes over (Doornik's ZIGNOR constant for 128 layers).
+const ZIG_R: f64 = 3.442_619_855_899;
+
+/// Common area of each layer (tail area included in the base layer).
+const ZIG_V: f64 = 9.912_563_035_262_17e-3;
+
+struct ZigTables {
+    /// Layer right edges `x[0] ..= x[LAYERS]`; `x[0] = V/f(R)` is the
+    /// *effective* base-layer width (> R), `x[LAYERS] = 0`.
+    x: [f64; ZIG_LAYERS + 1],
+    /// Per-layer rectangle acceptance ratio `x[i+1] / x[i]`.
+    ratio: [f64; ZIG_LAYERS],
+    /// `f(x[i]) = exp(-x[i]²/2)` for the wedge test.
+    fx: [f64; ZIG_LAYERS + 1],
+}
+
+fn zig_tables() -> &'static ZigTables {
+    static TABLES: OnceLock<ZigTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let f = |x: f64| (-0.5 * x * x).exp();
+        let mut x = [0.0f64; ZIG_LAYERS + 1];
+        x[0] = ZIG_V / f(ZIG_R);
+        x[1] = ZIG_R;
+        for i in 2..ZIG_LAYERS {
+            // Each layer holds the same area V: solve f(x[i]) from the
+            // recurrence V = x[i-1]·(f(x[i]) − f(x[i-1])).
+            x[i] = (-2.0 * (ZIG_V / x[i - 1] + f(x[i - 1])).ln()).sqrt();
+            debug_assert!(x[i] > 0.0 && x[i] < x[i - 1], "ziggurat edges must decrease");
+        }
+        x[ZIG_LAYERS] = 0.0;
+        let mut ratio = [0.0f64; ZIG_LAYERS];
+        let mut fx = [0.0f64; ZIG_LAYERS + 1];
+        for i in 0..ZIG_LAYERS {
+            ratio[i] = x[i + 1] / x[i];
+        }
+        for i in 0..=ZIG_LAYERS {
+            fx[i] = f(x[i]);
+        }
+        ZigTables { x, ratio, fx }
+    })
+}
+
+/// Draws one standard normal with the 128-layer ziggurat.
+///
+/// The common case consumes exactly one `u64`: 7 bits pick a layer, 1 bit
+/// the sign, and the top 53 bits the within-layer uniform. Rejections
+/// (wedge or tail, ~1.2 % of draws) consume more. The output distribution
+/// is exactly N(0, 1) — the ziggurat is not an approximation — but the
+/// bit-to-value mapping differs from [`standard_normal`], so the two
+/// samplers agree in distribution, not per draw.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = waldo_iq::gauss::standard_normal_ziggurat(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+pub fn standard_normal_ziggurat<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let t = zig_tables();
+    loop {
+        let bits = rng.next_u64();
+        let i = (bits & 0x7F) as usize;
+        let sign = if bits & 0x80 == 0 { 1.0 } else { -1.0 };
+        let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < t.ratio[i] {
+            // Inside the layer's rectangle: accept with one multiply.
+            return sign * u * t.x[i];
+        }
+        if i == 0 {
+            // Base layer, beyond R: Marsaglia's exact exponential tail.
+            loop {
+                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let x = -u1.ln() / ZIG_R;
+                let y = -u2.ln();
+                if y + y >= x * x {
+                    return sign * (ZIG_R + x);
+                }
+            }
+        }
+        // Wedge between the rectangle and the density curve.
+        let x = u * t.x[i];
+        let w: f64 = rng.gen();
+        if t.fx[i + 1] + w * (t.fx[i] - t.fx[i + 1]) < (-0.5 * x * x).exp() {
+            return sign * x;
+        }
+    }
+}
+
+/// Fills `out` with independent ziggurat standard normals.
+pub fn fill_standard_normal_ziggurat<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    for v in out {
+        *v = standard_normal_ziggurat(rng);
+    }
+}
+
+/// Fills two equal-length planes with independent ziggurat standard
+/// normals in **pairwise** draw order: `(a[j], b[j])` consume draws
+/// `2j` and `2j+1`. This is the draw-order contract the SoA frame fill
+/// relies on — splitting one contiguous fill into per-frame plane slices
+/// consumes the identical RNG stream as filling frame by frame
+/// (DESIGN.md §14).
+///
+/// # Panics
+///
+/// Panics if the planes disagree in length.
+pub fn fill_standard_normal_planes<R: Rng + ?Sized>(rng: &mut R, a: &mut [f64], b: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "planes must share a length");
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        *x = standard_normal_ziggurat(rng);
+        *y = standard_normal_ziggurat(rng);
     }
 }
 
@@ -107,5 +242,109 @@ mod tests {
                 "len {len} diverged"
             );
         }
+    }
+
+    #[test]
+    fn ziggurat_tables_are_well_formed() {
+        let t = zig_tables();
+        // Edges strictly decrease from the effective base width to zero.
+        for i in 1..=ZIG_LAYERS {
+            assert!(t.x[i] < t.x[i - 1], "x[{i}] must decrease");
+        }
+        assert!(t.x[0] > ZIG_R && t.x[1] == ZIG_R && t.x[ZIG_LAYERS] == 0.0);
+        // The base layer's rectangle-plus-tail area is V by construction.
+        assert!((t.x[0] * t.fx[1] - ZIG_V).abs() < 1e-15);
+        // Interior layers hold exactly V (the recurrence solves for it);
+        // the topmost layer closes only as well as the published R and V
+        // constants, so it gets a looser bound.
+        for i in 1..ZIG_LAYERS - 1 {
+            let area = t.x[i] * (t.fx[i + 1] - t.fx[i]);
+            assert!((area - ZIG_V).abs() < 1e-12, "layer {i} area {area}");
+        }
+        let top = t.x[ZIG_LAYERS - 1] * (t.fx[ZIG_LAYERS] - t.fx[ZIG_LAYERS - 1]);
+        assert!((top - ZIG_V).abs() < 1e-6 * ZIG_V, "top layer area {top}");
+        for r in &t.ratio {
+            assert!((0.0..1.0).contains(r));
+        }
+    }
+
+    #[test]
+    fn ziggurat_moments_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(0x21663);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal_ziggurat(&mut rng)).collect();
+        let nf = n as f64;
+        let mean = xs.iter().sum::<f64>() / nf;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nf;
+        let skew = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / (nf * var.powf(1.5));
+        let kurt = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / (nf * var * var) - 3.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+        assert!(skew.abs() < 0.03, "skew {skew}");
+        assert!(kurt.abs() < 0.06, "excess kurtosis {kurt}");
+    }
+
+    #[test]
+    fn ziggurat_quantiles_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let n = 400_000;
+        let (mut beyond_1, mut beyond_2, mut beyond_tail) = (0usize, 0usize, 0usize);
+        for _ in 0..n {
+            let x = standard_normal_ziggurat(&mut rng).abs();
+            beyond_1 += usize::from(x > 1.0);
+            beyond_2 += usize::from(x > 2.0);
+            beyond_tail += usize::from(x > ZIG_R);
+        }
+        // Two-sided exceedance probabilities of N(0,1).
+        let p1 = beyond_1 as f64 / n as f64;
+        let p2 = beyond_2 as f64 / n as f64;
+        assert!((p1 - 0.3173).abs() < 0.005, "P(|x|>1) = {p1}");
+        assert!((p2 - 0.0455).abs() < 0.002, "P(|x|>2) = {p2}");
+        // The tail algorithm must actually produce values beyond R
+        // (P(|x| > 3.4426) ≈ 5.76e-4).
+        let pt = beyond_tail as f64 / n as f64;
+        assert!((pt - 5.76e-4).abs() < 2e-4, "P(|x|>R) = {pt}");
+    }
+
+    #[test]
+    fn plane_fill_matches_interleaved_draw_order() {
+        // (a[j], b[j]) = (draw 2j, draw 2j+1): the planes fill must consume
+        // the identical stream as a flat sequential fill.
+        let n = 512;
+        let mut flat = vec![0.0f64; 2 * n];
+        fill_standard_normal_ziggurat(&mut StdRng::seed_from_u64(3), &mut flat);
+        let (mut a, mut b) = (vec![0.0f64; n], vec![0.0f64; n]);
+        fill_standard_normal_planes(&mut StdRng::seed_from_u64(3), &mut a, &mut b);
+        for j in 0..n {
+            assert_eq!(a[j].to_bits(), flat[2 * j].to_bits(), "re plane diverged at {j}");
+            assert_eq!(b[j].to_bits(), flat[2 * j + 1].to_bits(), "im plane diverged at {j}");
+        }
+    }
+
+    #[test]
+    fn plane_fill_concatenates_across_slices() {
+        // Filling one long plane pair equals filling consecutive sub-slices
+        // with the same RNG — the amortized one-fill-per-reading contract.
+        let (frames, n) = (4, 64);
+        let (mut a, mut b) = (vec![0.0f64; frames * n], vec![0.0f64; frames * n]);
+        fill_standard_normal_planes(&mut StdRng::seed_from_u64(11), &mut a, &mut b);
+        let (mut a2, mut b2) = (vec![0.0f64; frames * n], vec![0.0f64; frames * n]);
+        let mut rng = StdRng::seed_from_u64(11);
+        for f in 0..frames {
+            fill_standard_normal_planes(
+                &mut rng,
+                &mut a2[f * n..(f + 1) * n],
+                &mut b2[f * n..(f + 1) * n],
+            );
+        }
+        assert!(a.iter().zip(&a2).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(b.iter().zip(&b2).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn mismatched_planes_panic() {
+        let (mut a, mut b) = (vec![0.0f64; 4], vec![0.0f64; 5]);
+        fill_standard_normal_planes(&mut StdRng::seed_from_u64(0), &mut a, &mut b);
     }
 }

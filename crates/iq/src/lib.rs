@@ -9,6 +9,8 @@
 //! path from scratch:
 //!
 //! * [`Complex`] — a minimal complex number type.
+//! * [`FrameBatch`] — structure-of-arrays storage for one reading's worth
+//!   of frames, the unit of the fused synth → FFT → feature pipeline.
 //! * [`fft`] — an iterative radix-2 FFT driven by cached [`FftPlan`]s
 //!   (plus a reference DFT used in tests).
 //! * [`window`] — Hann / Hamming / Blackman / rectangular windows.
@@ -37,6 +39,7 @@
 //! assert!((p - -30.0).abs() < 2.0, "measured {p}");
 //! ```
 
+mod batch;
 mod complex;
 mod detect;
 pub mod features;
@@ -48,6 +51,7 @@ pub mod synth;
 mod units;
 pub mod window;
 
+pub use batch::FrameBatch;
 pub use complex::Complex;
 pub use detect::EnergyDetector;
 pub use features::{Extraction, FeatureKind, FeatureSet, FeatureVector};

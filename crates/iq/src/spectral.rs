@@ -80,6 +80,40 @@ impl Spectral {
         }
     }
 
+    /// The fused SoA kernel: windows one frame's re/im planes straight
+    /// into the complex scratch, runs the planned FFT, and accumulates
+    /// `|X[k]|² · scale` **shift-during-accumulate** — for power-of-two
+    /// `n` the fftshifted position of bin `i` is `i ^ n/2` (toggling the
+    /// top bit adds or subtracts n/2 mod n), so the separate in-place
+    /// rotate pass disappears. Each power bin receives the bit-identical
+    /// addend it would get from [`Self::accumulate_shifted_power`] on the
+    /// interleaved frame: the window multiply is the same two products,
+    /// the transform is the same plan, and reordering *which bin is
+    /// updated first within one frame* never changes any bin's own
+    /// accumulation order across frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either plane's length differs from the context length.
+    pub(crate) fn accumulate_shifted_power_planes(&mut self, re: &[f64], im: &[f64], scale: f64) {
+        assert_eq!(re.len(), self.n, "re plane length must match the spectral context");
+        assert_eq!(im.len(), self.n, "im plane length must match the spectral context");
+        for ((dst, (&x, &y)), &w) in
+            self.scratch.iter_mut().zip(re.iter().zip(im)).zip(&self.coeffs)
+        {
+            *dst = Complex::new(x * w, y * w);
+        }
+        self.plan.forward(&mut self.scratch);
+        let half = self.n / 2;
+        let (neg, pos) = self.power.split_at_mut(half);
+        for (acc, z) in pos.iter_mut().zip(&self.scratch[..half]) {
+            *acc += z.norm_sq() * scale;
+        }
+        for (acc, z) in neg.iter_mut().zip(&self.scratch[half..]) {
+            *acc += z.norm_sq() * scale;
+        }
+    }
+
     /// The accumulated, fftshifted power spectrum.
     pub(crate) fn power(&self) -> &[f64] {
         &self.power
@@ -152,6 +186,29 @@ mod tests {
             let expected: Vec<f64> = fftshift(&buf).iter().map(|z| z.norm_sq()).collect();
             for (got, want) in ctx.power().iter().zip(&expected) {
                 assert!((got - want).abs() <= 1e-12 * want.max(1.0), "{got} vs {want}");
+            }
+        });
+    }
+
+    #[test]
+    fn plane_kernel_matches_frame_kernel_bit_for_bit() {
+        // The fused SoA kernel (window from planes, shift-by-XOR during
+        // accumulation) must land the bit-identical sums as the
+        // shift-then-accumulate frame kernel.
+        let frame = IqFrame::new(
+            (0..32).map(|i| Complex::new((i as f64).sin(), (0.3 * i as f64).cos())).collect(),
+        );
+        let batch = crate::FrameBatch::from_frames(std::slice::from_ref(&frame));
+        with_spectral(Window::Hann, 32, |ctx| {
+            ctx.reset_power();
+            ctx.accumulate_shifted_power(&frame, 0.25);
+            ctx.accumulate_shifted_power(&frame, 0.5);
+            let reference: Vec<f64> = ctx.power().to_vec();
+            ctx.reset_power();
+            ctx.accumulate_shifted_power_planes(batch.re_plane(0), batch.im_plane(0), 0.25);
+            ctx.accumulate_shifted_power_planes(batch.re_plane(0), batch.im_plane(0), 0.5);
+            for (got, want) in ctx.power().iter().zip(&reference) {
+                assert_eq!(got.to_bits(), want.to_bits());
             }
         });
     }

@@ -12,7 +12,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::units::db_to_power;
-use crate::Complex;
+use crate::{Complex, FrameBatch};
 
 /// The pilot of an ATSC channel is 11.3 dB below total channel power; adding
 /// ~12 dB to a pilot measurement estimates full channel power (§2.1).
@@ -148,17 +148,86 @@ impl FrameSynthesizer {
         self
     }
 
-    /// Generates one frame.
+    /// Generates one frame — a thin wrapper over a one-frame
+    /// [`Self::synthesize_batch`], so per-frame and batched callers share
+    /// one code path and one draw-order contract.
+    pub fn synthesize<R: Rng + ?Sized>(&self, rng: &mut R) -> IqFrame {
+        self.synthesize_batch(1, rng).frame(0)
+    }
+
+    /// Generates a whole batch of frames into SoA planes with **one
+    /// amortized Gaussian fill** ([`crate::gauss::fill_standard_normal_planes`],
+    /// the ziggurat sampler) followed by one pilot pass per frame.
     ///
     /// Receiver noise and the 8VSB data skirt are independent circular
     /// complex Gaussians, so their sum is a single circular Gaussian of
-    /// combined power — both are realized with one buffered fill that
-    /// keeps every Box–Muller draw ([`crate::gauss::fill_standard_normal`]).
-    /// The pilot phasor advances by one complex multiply per sample, with
-    /// an exact `from_polar` resync every [`Self::PILOT_RESYNC`] samples to
-    /// bound rounding drift.
-    pub fn synthesize<R: Rng + ?Sized>(&self, rng: &mut R) -> IqFrame {
+    /// combined power; the whole batch's noise is one contiguous pairwise
+    /// plane fill, which means a `frames`-frame batch consumes the
+    /// identical RNG stream as `frames` consecutive one-frame batches
+    /// (vacant channels are bit-identical either way). Occupied channels
+    /// interleave pilot-phase draws differently — the batch draws all
+    /// noise first, then one phase per frame — so they are statistically
+    /// equivalent, not bit-identical, to the per-frame sequence
+    /// (DESIGN.md §14).
+    ///
+    /// The pilot phasor state (amplitude, per-sample rotation) is computed
+    /// once per batch; each frame draws its own random phase and advances
+    /// by one complex multiply per sample with an exact `from_polar`
+    /// resync every [`Self::PILOT_RESYNC`] samples to bound rounding
+    /// drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames == 0`.
+    pub fn synthesize_batch<R: Rng + ?Sized>(&self, frames: usize, rng: &mut R) -> FrameBatch {
         let _t = waldo_prof::scope("synth");
+        let n = self.len;
+        let mut batch = FrameBatch::zeroed(frames, n);
+
+        // Noise + data skirt in one pass: 2·frames·n ziggurat draws, none
+        // wasted, no per-frame allocation.
+        let mut power = db_to_power(self.noise_dbfs);
+        if let Some(data_dbfs) = self.data_dbfs {
+            power += db_to_power(data_dbfs);
+        }
+        let sigma = (power / 2.0).sqrt();
+        let (re, im) = batch.planes_mut();
+        crate::gauss::fill_standard_normal_planes(rng, re, im);
+        for v in re.iter_mut() {
+            *v *= sigma;
+        }
+        for v in im.iter_mut() {
+            *v *= sigma;
+        }
+
+        if let Some(pilot_dbfs) = self.pilot_dbfs {
+            let amp = db_to_power(pilot_dbfs).sqrt();
+            let dphi = 2.0 * std::f64::consts::PI * self.pilot_offset_cycles / n as f64;
+            let rot = Complex::cis(dphi);
+            for f in 0..frames {
+                let phase0: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+                let (re, im) = batch.frame_planes_mut(f);
+                let mut cur = Complex::ZERO;
+                for i in 0..n {
+                    if i % Self::PILOT_RESYNC == 0 {
+                        cur = Complex::from_polar(amp, phase0 + dphi * i as f64);
+                    }
+                    re[i] += cur.re;
+                    im[i] += cur.im;
+                    cur *= rot;
+                }
+            }
+        }
+
+        batch
+    }
+
+    /// The pre-SoA batched path (PR 2): merged noise + data skirt realized
+    /// with one buffered **Box–Muller** fill
+    /// ([`crate::gauss::fill_standard_normal`]) into interleaved samples,
+    /// pilot recurrence per frame. Retained as the benchmark baseline and
+    /// statistical-equivalence reference for [`Self::synthesize_batch`].
+    pub fn synthesize_reference<R: Rng + ?Sized>(&self, rng: &mut R) -> IqFrame {
         let n = self.len;
 
         // Noise + data skirt in one pass: 2n Gaussian draws, none wasted.
@@ -306,21 +375,61 @@ mod tests {
     }
 
     #[test]
-    fn batched_and_unbatched_agree_statistically() {
-        // The batched path merges noise + data skirt into one Gaussian of
-        // combined power and pairs Box–Muller draws; the distribution is
-        // identical, so averaged frame power must agree with the reference
-        // path well inside estimator variance.
+    fn fused_reference_and_unbatched_agree_statistically() {
+        // Three generations of the same distribution: the fused SoA batch
+        // (ziggurat fill), the merged Box–Muller reference, and the
+        // per-draw unbatched path. Averaged frame power must agree across
+        // all three well inside estimator variance.
         let synth = FrameSynthesizer::new(256).pilot_dbfs(-35.0).data_dbfs(-40.0).noise_dbfs(-55.0);
         let mut rng_a = rng();
         let mut rng_b = rng();
-        let batched: f64 =
+        let mut rng_c = rng();
+        let fused: f64 =
             (0..300).map(|_| synth.synthesize(&mut rng_a).mean_power()).sum::<f64>() / 300.0;
-        let unbatched: f64 =
-            (0..300).map(|_| synth.synthesize_unbatched(&mut rng_b).mean_power()).sum::<f64>()
+        let reference: f64 =
+            (0..300).map(|_| synth.synthesize_reference(&mut rng_b).mean_power()).sum::<f64>()
                 / 300.0;
-        let delta_db = power_to_db(batched) - power_to_db(unbatched);
-        assert!(delta_db.abs() < 0.3, "batched {batched} vs unbatched {unbatched}");
+        let unbatched: f64 =
+            (0..300).map(|_| synth.synthesize_unbatched(&mut rng_c).mean_power()).sum::<f64>()
+                / 300.0;
+        let fused_db = power_to_db(fused);
+        assert!((fused_db - power_to_db(reference)).abs() < 0.3, "fused {fused} vs {reference}");
+        assert!((fused_db - power_to_db(unbatched)).abs() < 0.3, "fused {fused} vs {unbatched}");
+    }
+
+    #[test]
+    fn vacant_batch_is_bit_identical_to_per_frame_wrappers() {
+        // With no pilot the batch is pure noise fill, and the contiguous
+        // plane fill consumes the identical RNG stream as consecutive
+        // one-frame batches: same seed → bit-identical samples.
+        let synth = FrameSynthesizer::new(64).noise_dbfs(-60.0);
+        let batch = synth.synthesize_batch(5, &mut StdRng::seed_from_u64(77));
+        let mut rng = StdRng::seed_from_u64(77);
+        let frames: Vec<IqFrame> = (0..5).map(|_| synth.synthesize(&mut rng)).collect();
+        assert_eq!(batch.to_frames(), frames);
+    }
+
+    #[test]
+    fn occupied_batch_matches_per_frame_statistics() {
+        // Occupied channels draw pilot phases after the whole noise fill,
+        // so batch vs per-frame realizations differ; the averaged power
+        // over many frames must still agree tightly.
+        let synth = FrameSynthesizer::new(256).pilot_dbfs(-35.0).data_dbfs(-40.0).noise_dbfs(-55.0);
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        let rounds = 15; // 15 × 24 = 360 frames per side
+        let batch_mean: f64 = (0..rounds)
+            .map(|_| {
+                let b = synth.synthesize_batch(24, &mut rng_a);
+                (0..b.frames()).map(|f| b.frame(f).mean_power()).sum::<f64>() / 24.0
+            })
+            .sum::<f64>()
+            / rounds as f64;
+        let frame_mean: f64 =
+            (0..rounds * 24).map(|_| synth.synthesize(&mut rng_b).mean_power()).sum::<f64>()
+                / (rounds * 24) as f64;
+        let delta_db = power_to_db(batch_mean) - power_to_db(frame_mean);
+        assert!(delta_db.abs() < 0.3, "batch {batch_mean} vs per-frame {frame_mean}");
     }
 
     #[test]
@@ -332,21 +441,23 @@ mod tests {
         let synth =
             FrameSynthesizer::new(n).pilot_dbfs(-20.0).noise_dbfs(-3000.0).pilot_offset_cycles(3.7);
         let seed = 0xB0B;
-        let frame = synth.synthesize(&mut StdRng::seed_from_u64(seed));
+        let batch = synth.synthesize_batch(2, &mut StdRng::seed_from_u64(seed));
 
-        // Replay the synthesizer's RNG consumption to learn the random
-        // pilot phase: 2n Gaussian draws, then the phase.
+        // Replay the synthesizer's RNG consumption to learn each frame's
+        // random pilot phase: the whole batch's plane fill first, then one
+        // phase draw per frame.
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut gaussians = vec![0.0f64; 2 * n];
-        crate::gauss::fill_standard_normal(&mut rng, &mut gaussians);
-        let phase0: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
-
+        let (mut re, mut im) = (vec![0.0f64; 2 * n], vec![0.0f64; 2 * n]);
+        crate::gauss::fill_standard_normal_planes(&mut rng, &mut re, &mut im);
         let amp = db_to_power(-20.0).sqrt();
         let dphi = 2.0 * std::f64::consts::PI * 3.7 / n as f64;
-        for (i, s) in frame.samples().iter().enumerate() {
-            let exact = Complex::from_polar(amp, phase0 + dphi * i as f64);
-            let err = (*s - exact).abs();
-            assert!(err < 1e-12 * amp, "sample {i}: drift {err}");
+        for f in 0..2 {
+            let phase0: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+            for (i, s) in batch.frame(f).samples().iter().enumerate() {
+                let exact = Complex::from_polar(amp, phase0 + dphi * i as f64);
+                let err = (*s - exact).abs();
+                assert!(err < 1e-12 * amp, "frame {f} sample {i}: drift {err}");
+            }
         }
     }
 }

@@ -52,16 +52,15 @@ impl SignalGenerator {
     /// reading (dB, uncalibrated). Wired operation bypasses over-the-air
     /// impairments but keeps the device's own gain wobble and floor.
     pub fn drive<R: Rng + ?Sized>(&self, sensor: &SensorModel, rng: &mut R) -> f64 {
-        use waldo_iq::{window::Window, FeatureVector, IqFrame};
+        use waldo_iq::{window::Window, FeatureVector};
         let wobble = sensor.reading_sigma_db() * waldo_iq::synth::standard_normal(rng);
         let mut synth =
             FrameSynthesizer::new(sensor.frame_len()).noise_dbfs(sensor.capture_noise_raw_db());
         if let Some(level) = self.level_dbm {
             synth = synth.pilot_dbfs(level + sensor.gain_db() + wobble);
         }
-        let frames: Vec<IqFrame> =
-            (0..sensor.frames_per_reading()).map(|_| synth.synthesize(rng)).collect();
-        FeatureVector::extract_from_frames(&frames, Window::Hann).pilot_db
+        let batch = synth.synthesize_batch(sensor.frames_per_reading(), rng);
+        FeatureVector::extract_from_batch(&batch, Window::Hann).pilot_db
     }
 }
 

@@ -1,6 +1,6 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use waldo_iq::{EnergyDetector, FrameSynthesizer, IqFrame};
+use waldo_iq::{EnergyDetector, FrameBatch, FrameSynthesizer, IqFrame};
 
 /// The three device classes of the measurement study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -207,24 +207,36 @@ impl SensorModel {
     pub fn capture<R: Rng + ?Sized>(&self, rss_dbm: Option<f64>, rng: &mut R) -> IqFrame {
         let wobble = self.reading_sigma_db * waldo_iq::synth::standard_normal(rng);
         let glitch = self.draw_glitch_db(rng);
-        self.capture_one(rss_dbm, wobble, glitch, rng)
+        self.capture_synth(rss_dbm, wobble, glitch).synthesize(rng)
     }
 
-    /// Captures a whole reading: [`frames_per_reading`] frames sharing one
-    /// gain-wobble and one (possibly zero) impulse burst — the burst and
-    /// the gain state persist across the few milliseconds a reading spans.
+    /// Captures a whole reading as one structure-of-arrays batch:
+    /// [`frames_per_reading`] frames sharing one gain-wobble and one
+    /// (possibly zero) impulse burst — the burst and the gain state persist
+    /// across the few milliseconds a reading spans. This is the fused hot
+    /// path: the whole reading's noise is one amortized Gaussian plane
+    /// fill.
     ///
     /// [`frames_per_reading`]: Self::frames_per_reading
+    pub fn capture_reading_batch<R: Rng + ?Sized>(
+        &self,
+        rss_dbm: Option<f64>,
+        rng: &mut R,
+    ) -> FrameBatch {
+        let wobble = self.reading_sigma_db * waldo_iq::synth::standard_normal(rng);
+        let glitch = self.draw_glitch_db(rng);
+        self.capture_synth(rss_dbm, wobble, glitch).synthesize_batch(self.frames_per_reading, rng)
+    }
+
+    /// Captures a whole reading as individual frames — a thin wrapper over
+    /// [`Self::capture_reading_batch`] for callers that still want
+    /// per-frame storage.
     pub fn capture_reading<R: Rng + ?Sized>(
         &self,
         rss_dbm: Option<f64>,
         rng: &mut R,
     ) -> Vec<IqFrame> {
-        let wobble = self.reading_sigma_db * waldo_iq::synth::standard_normal(rng);
-        let glitch = self.draw_glitch_db(rng);
-        (0..self.frames_per_reading)
-            .map(|_| self.capture_one(rss_dbm, wobble, glitch, rng))
-            .collect()
+        self.capture_reading_batch(rss_dbm, rng).to_frames()
     }
 
     /// Draws the impulse burst magnitude for one reading (0 when no burst
@@ -237,13 +249,9 @@ impl SensorModel {
         }
     }
 
-    fn capture_one<R: Rng + ?Sized>(
-        &self,
-        rss_dbm: Option<f64>,
-        wobble: f64,
-        glitch_db: f64,
-        rng: &mut R,
-    ) -> IqFrame {
+    /// The synthesizer for one capture state (shared by the per-frame and
+    /// batched paths so both see identical channel parameters).
+    fn capture_synth(&self, rss_dbm: Option<f64>, wobble: f64, glitch_db: f64) -> FrameSynthesizer {
         let mut synth = FrameSynthesizer::new(self.frame_len)
             .noise_dbfs(self.capture_noise_raw_db() + glitch_db);
         if let Some(rss) = rss_dbm {
@@ -254,15 +262,15 @@ impl SensorModel {
                     .data_dbfs(raw - 13.8);
             }
         }
-        synth.synthesize(rng)
+        synth
     }
 
     /// Raw pilot-estimator reading (dB, uncalibrated) for one full
     /// frame-averaged reading — the quantity plotted in Fig 5.
     pub fn raw_pilot_reading_db<R: Rng + ?Sized>(&self, rss_dbm: Option<f64>, rng: &mut R) -> f64 {
         use waldo_iq::{window::Window, FeatureVector};
-        let frames = self.capture_reading(rss_dbm, rng);
-        FeatureVector::extract_from_frames(&frames, Window::Hann).pilot_db
+        let batch = self.capture_reading_batch(rss_dbm, rng);
+        FeatureVector::extract_from_batch(&batch, Window::Hann).pilot_db
     }
 }
 

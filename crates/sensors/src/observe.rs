@@ -44,8 +44,8 @@ impl Observation {
         rng: &mut R,
     ) -> Self {
         let _t = waldo_prof::scope("observe");
-        let frames = sensor.capture_reading(true_rss_dbm, rng);
-        let extraction = FeatureVector::extract_from_frames(&frames, Window::Hann);
+        let batch = sensor.capture_reading_batch(true_rss_dbm, rng);
+        let extraction = FeatureVector::extract_from_batch(&batch, Window::Hann);
         let raw_pilot_db = extraction.pilot_db;
         let rss_dbm = calibration.to_dbm(raw_pilot_db) + 12.0;
 

@@ -38,6 +38,12 @@ cargo run --release -p waldo-bench --features prof --bin probe -- \
 cargo run --release -p waldo-bench --features prof --bin gate -- \
     target/BENCH_smoke.json scripts/bench_floor.json
 
+echo "==> criterion smoke (extract_fused vs extract_reference)"
+# One quick criterion pass over the fused-vs-reference extraction pair so
+# the kernels bench target keeps compiling and the fused path keeps
+# appearing in bench listings.
+cargo bench -p waldo-bench --bench kernels -- extract_
+
 echo "==> serve smoke (serve_load --quick --obs-overhead + gate --obs)"
 # Boots the model server, runs 16 concurrent clients through full fetches,
 # delta fetches, and malformed-frame probes, then holds 256 pipelined

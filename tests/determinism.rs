@@ -109,6 +109,46 @@ fn batched_synthesis_is_bit_identical_at_any_worker_count() {
 }
 
 #[test]
+fn fused_reading_pipeline_is_bit_identical_at_any_worker_count() {
+    // The fused hot path end to end: SoA capture batch → windowed-FFT
+    // accumulate → single-pass feature extraction, fanned out one reading
+    // per work item with a per-item seeded RNG. The extracted feature bits
+    // must not depend on the worker count.
+    use waldo_repro::iq::window::Window;
+    use waldo_repro::iq::FeatureVector;
+    use waldo_repro::sensors::SensorModel;
+    let seeds: Vec<u64> = (0..24).collect();
+    let measure_all = || {
+        let sensor = SensorModel::rtl_sdr();
+        par_map(&seeds, |&seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rss = if seed % 3 == 0 { None } else { Some(-90.0 + seed as f64) };
+            let batch = sensor.capture_reading_batch(rss, &mut rng);
+            let extraction = FeatureVector::extract_from_batch(&batch, Window::Hann);
+            let f = extraction.features;
+            [
+                extraction.pilot_db,
+                f.rss_db,
+                f.cft_db,
+                f.aft_db,
+                f.quadrature_imbalance_db,
+                f.iq_kurtosis,
+                f.edge_bin_db,
+            ]
+            .map(f64::to_bits)
+        })
+    };
+    let baseline = with_workers(1, measure_all);
+    for workers in WORKER_COUNTS {
+        let candidate = with_workers(workers, measure_all);
+        assert_eq!(
+            baseline, candidate,
+            "fused reading pipeline diverged from serial at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn cross_validation_is_bit_identical_at_any_worker_count() {
     let world = world();
     let campaign = collect(&world);
