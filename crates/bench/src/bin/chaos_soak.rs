@@ -2,7 +2,7 @@
 //! every client transport plus sensor-level faults on every detector,
 //! driven through a full outage/recovery cycle of the server.
 //!
-//! The run has three barrier-separated phases shared by all clients:
+//! The run has five barrier-separated phases shared by all clients:
 //!
 //! 1. **Healthy** — fetches succeed (modulo injected transport faults) and
 //!    detection bouts decide against ground truth.
@@ -12,6 +12,16 @@
 //! 3. **Recovery** — the server restarts on the same address; each client
 //!    loops until a fetch succeeds (timing the recovery from the restart
 //!    instant), then resumes healthy fetch+detect rounds.
+//! 4. **Upload** — every client crowd-sources reading batches from its
+//!    site through the same faulty transport into the server's durable
+//!    ingestion WAL, retrying under client-minted batch IDs until acked,
+//!    then re-sends an acked batch to prove the duplicate path.
+//! 5. **Refit** — the main thread kills the server *and* the ingestion
+//!    plane mid-stream, appends a torn tail to the WAL, reopens it (replay
+//!    must recover every acked batch), runs one incremental refit, and
+//!    restarts the server; every client must observe the bumped epoch
+//!    through a delta fetch — the crowd-sourcing loop, closed under
+//!    fault injection.
 //!
 //! Every random choice — fault schedules, retry jitter, synthetic readings —
 //! derives from `--seed` via [`derive_seed`], so a given seed reproduces
@@ -19,37 +29,46 @@
 //!
 //! Emits `BENCH_chaos.json`: fault counts per category, retry/breaker
 //! totals, decision tallies (including the outage-phase conservative
-//! count), recovery latency percentiles, and the panic count. Exits
-//! nonzero on any panic or any incorrect "safe" decision.
+//! count), recovery latency percentiles, upload/WAL-recovery/refit
+//! tallies, and the panic count. Exits nonzero on any panic, any
+//! incorrect "safe" decision, any duplicate-ingested batch, or any
+//! client that never observed the refitted model.
 //!
 //! Usage: `chaos_soak [--quick] [--seed N] [--clients N] [--out PATH]`
 //! (needs the `fault` feature; without it the schedules are no-ops and the
 //! report says so).
 
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
+use waldo::wire::ReadingBatch;
 use waldo::{
     ClassifierKind, DecisionAuditLog, DecisionRecord, DetectorOutcome, ModelConstructor,
     StaleModelGuard, WaldoConfig, WaldoModel, WhiteSpaceDetector,
 };
 use waldo_bench::report::{percentile, write_json};
-use waldo_data::{ChannelDataset, Measurement, Safety};
+use waldo_data::{ChannelDataset, Labeler, Measurement, Safety};
 use waldo_fault::{
     derive_seed, SensorFault, SensorFaults, SensorPlan, TransportFaults, TransportPlan,
 };
 use waldo_geo::Point;
 use waldo_iq::FeatureVector;
 use waldo_rf::TvChannel;
-use waldo_sensors::{Observation, SensorKind};
+use waldo_sensors::{Observation, ReadingSample, SensorKind};
 use waldo_serve::{
-    serve, CircuitBreakerPolicy, ClientError, ModelCatalog, ModelClient, RetryPolicy, ServeConfig,
+    serve_with_ingest, CircuitBreakerPolicy, ClientError, IngestPlane, ModelCatalog, ModelClient,
+    RetryPolicy, ServeConfig,
 };
+use waldo_store::RefitEngine;
 
 const CHANNEL: u8 = 30;
+/// Readings per crowd-sourced batch in the upload phase.
+const READINGS_PER_BATCH: usize = 12;
 /// CI convergence threshold (dB). With ±2 dB uniform reading noise the
 /// detector converges in a dozen-odd readings, so bouts stay cheap.
 const ALPHA_DB: f64 = 1.2;
@@ -75,6 +94,9 @@ struct Scale {
     outage_bouts: usize,
     /// Post-recovery fetch rounds.
     rounds_recovered: usize,
+    /// Crowd-sourced reading batches each client uploads in the upload
+    /// phase.
+    upload_batches: usize,
 }
 
 impl Scale {
@@ -87,6 +109,7 @@ impl Scale {
                 outage_fetches: 4,
                 outage_bouts: 4,
                 rounds_recovered: 4,
+                upload_batches: 5,
             }
         } else {
             Self {
@@ -96,6 +119,7 @@ impl Scale {
                 outage_fetches: 8,
                 outage_bouts: 8,
                 rounds_recovered: 10,
+                upload_batches: 8,
             }
         }
     }
@@ -137,10 +161,26 @@ fn observation(rss: f64) -> Observation {
     }
 }
 
-fn train() -> WaldoModel {
+fn constructor() -> ModelConstructor {
     ModelConstructor::new(WaldoConfig::default().classifier(ClassifierKind::Svm).localities(4))
-        .fit(&dataset(300))
-        .expect("synthetic data trains")
+}
+
+/// A crowd-sourced batch from `site`, deterministic in `(index, k)` so a
+/// re-send is byte-identical and the duplicate probe is honest.
+fn reading_batch(index: u64, k: usize, site: &Site) -> ReadingBatch {
+    let readings = (0..READINGS_PER_BATCH)
+        .map(|i| {
+            let dx = ((i * 37 + k * 11) % 40) as f64 * 25.0;
+            let dy = ((i * 53 + k * 7) % 40) as f64 * 25.0;
+            let rss = site.base_rss + ((i % 5) as f64 - 2.0) * 0.5;
+            ReadingSample {
+                location: Point::new(site.location.x + dx, site.location.y + dy),
+                rss_dbm: rss,
+                features: observation(rss).features,
+            }
+        })
+        .collect();
+    ReadingBatch { batch_id: index * 100_000 + k as u64 + 1, channel: CHANNEL, readings }
 }
 
 /// Everything one client thread tallies; summed by the main thread.
@@ -178,6 +218,15 @@ struct ClientStats {
     /// Stale-gate downgrades as the audit log counted them (must agree
     /// with `conservative_overrides`).
     audit_downgrades: u64,
+    /// Upload-phase batches acked as fresh (exactly once each).
+    uploads_acked: u64,
+    /// Acks that reported `duplicate` — retry re-sends plus the
+    /// deliberate duplicate probe.
+    upload_duplicate_acks: u64,
+    /// Upload attempts that errored before an ack landed (retried).
+    upload_errors: u64,
+    /// The epoch this client observed after the refit phase (0 = never).
+    observed_refit_epoch: u64,
 }
 
 /// One fetch through the hardened client, folded into the tallies.
@@ -285,6 +334,7 @@ fn run_client(
     scale: &Scale,
     barrier: &Barrier,
     restart_at: &Mutex<Option<Instant>>,
+    total_acked: &AtomicU64,
 ) -> ClientStats {
     let mut stats = ClientStats::default();
 
@@ -407,6 +457,67 @@ fn run_client(
         }
     }
 
+    // Phase 4: upload. Crowd-sourced readings from this client's site go
+    // up through the same faulty transport; client-minted batch IDs make
+    // every retry idempotent, so the loop hammers until each batch acks.
+    let epoch_before_upload = client.cached_epoch(CHANNEL);
+    for k in 0..scale.upload_batches {
+        let batch = reading_batch(index, k, &site);
+        let mut acked = false;
+        for _ in 0..60 {
+            match client.upload(&batch) {
+                Ok(report) => {
+                    if report.duplicate {
+                        // A retry re-sent a batch whose first ack was
+                        // lost to a fault: ingested exactly once anyway.
+                        stats.upload_duplicate_acks += 1;
+                    }
+                    acked = true;
+                    break;
+                }
+                Err(_) => {
+                    stats.upload_errors += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+        assert!(acked, "upload of batch {k} never acked within 60 attempts");
+        stats.uploads_acked += 1;
+        total_acked.fetch_add(1, Ordering::Relaxed);
+    }
+    // Deliberate duplicate probe: the first batch again, byte-identical.
+    // The WAL's seen set must ack it without re-ingesting.
+    for _ in 0..60 {
+        match client.upload(&reading_batch(index, 0, &site)) {
+            Ok(report) => {
+                assert!(report.duplicate, "re-sent batch must ack as a duplicate");
+                stats.upload_duplicate_acks += 1;
+                break;
+            }
+            Err(_) => {
+                stats.upload_errors += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+
+    barrier.wait(); // uploads done; main kills the plane and recovers the WAL
+    barrier.wait(); // refit published, server restarted
+
+    // Phase 5: the closed loop's last hop — every client must observe the
+    // refitted model's epoch through an ordinary delta fetch.
+    for attempt in 0.. {
+        assert!(attempt < 1_000, "client never observed the refit epoch");
+        if try_fetch(&mut client, &mut stats).is_some() {
+            let epoch = client.cached_epoch(CHANNEL);
+            if epoch > epoch_before_upload {
+                stats.observed_refit_epoch = epoch;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
     stats.retries = client.retries_total();
     stats.breaker_opens = client.breaker_opens();
     stats.transport = faults.events();
@@ -452,10 +563,19 @@ fn main() {
     let scale = Arc::new(scale);
 
     let started = Instant::now();
-    let model = train();
+    let base = dataset(300);
+    let model = constructor().fit(&base).expect("synthetic data trains");
     let mut catalog = ModelCatalog::new();
     catalog.publish(CHANNEL, &model);
     let catalog = Arc::new(RwLock::new(catalog));
+    // The ingestion plane's durable state; wiped per run so the WAL
+    // recovery below replays exactly this run's uploads.
+    let ingest_dir =
+        std::env::temp_dir().join(format!("waldo-chaos-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ingest_dir);
+    let engine = RefitEngine::new(constructor(), Labeler::new(), base.clone(), model.clone());
+    let plane = IngestPlane::open(&ingest_dir, Arc::clone(&catalog), CHANNEL, engine)
+        .expect("ingest plane opens");
     let config = ServeConfig {
         read_timeout: Duration::from_secs(2),
         write_timeout: Duration::from_secs(2),
@@ -464,7 +584,8 @@ fn main() {
         ..ServeConfig::default()
     };
     let mut server =
-        serve("127.0.0.1:0", Arc::clone(&catalog), config.clone()).expect("bind ephemeral port");
+        serve_with_ingest("127.0.0.1:0", Arc::clone(&catalog), config.clone(), Some(plane.clone()))
+            .expect("bind ephemeral port");
     let addr = server.addr();
     eprintln!(
         "chaos_soak: seed {seed}, {} clients, fault injection {} — serving on {addr}",
@@ -474,12 +595,16 @@ fn main() {
 
     let barrier = Arc::new(Barrier::new(scale.clients + 1));
     let restart_at = Arc::new(Mutex::new(None::<Instant>));
+    let total_acked = Arc::new(AtomicU64::new(0));
     let handles: Vec<_> = (0..scale.clients as u64)
         .map(|index| {
             let barrier = Arc::clone(&barrier);
             let restart_at = Arc::clone(&restart_at);
             let scale = Arc::clone(&scale);
-            std::thread::spawn(move || run_client(index, seed, addr, &scale, &barrier, &restart_at))
+            let total_acked = Arc::clone(&total_acked);
+            std::thread::spawn(move || {
+                run_client(index, seed, addr, &scale, &barrier, &restart_at, &total_acked)
+            })
         })
         .collect();
 
@@ -490,14 +615,66 @@ fn main() {
     barrier.wait(); // release clients into the outage
 
     barrier.wait(); // clients finished the outage phase
-    let mut server = serve(addr, Arc::clone(&catalog), config).expect("rebind the same address");
+    let mut server =
+        serve_with_ingest(addr, Arc::clone(&catalog), config.clone(), Some(plane.clone()))
+            .expect("rebind the same address");
     *restart_at.lock().unwrap() = Some(Instant::now());
     eprintln!("chaos_soak: server restarted — recovery phase");
     barrier.wait(); // release clients into recovery
 
+    barrier.wait(); // clients finished the upload phase
+                    // Kill: stop the server and drop the plane mid-stream — nothing but
+                    // the WAL and the segment manifest survive — then simulate the torn
+                    // write a real kill leaves behind and reopen. Replay must recover
+                    // every acked batch; the truncated tail must vanish silently.
+    server.shutdown();
+    drop(server);
+    let wal_pre_kill = plane.snapshot();
+    drop(plane);
+    {
+        let mut wal = std::fs::OpenOptions::new()
+            .append(true)
+            .open(ingest_dir.join("readings.wal"))
+            .expect("the WAL survived the kill");
+        wal.write_all(&[0x7f, 0x11, 0x22]).expect("append a torn tail");
+    }
+    let engine = RefitEngine::new(constructor(), Labeler::new(), base.clone(), model.clone());
+    let plane = IngestPlane::open(&ingest_dir, Arc::clone(&catalog), CHANNEL, engine)
+        .expect("ingest plane reopens past the torn tail");
+    let acked_batches = total_acked.load(Ordering::Relaxed);
+    let wal_recovered = plane.snapshot();
+    assert!(
+        wal_recovered.wal_batches >= acked_batches,
+        "WAL replay lost acked batches: {} recovered < {acked_batches} acked",
+        wal_recovered.wal_batches,
+    );
+    let t_refit = Instant::now();
+    let refit = plane
+        .run_refit_now()
+        .expect("refit succeeds")
+        .expect("recovered uploads must change the model");
+    let refit_ns = t_refit.elapsed().as_nanos() as u64;
+    let after_refit = plane.snapshot();
+    let duplicates_materialized = after_refit
+        .stored_readings
+        .saturating_sub(wal_recovered.wal_batches * READINGS_PER_BATCH as u64);
+    let mut server = serve_with_ingest(addr, Arc::clone(&catalog), config, Some(plane.clone()))
+        .expect("rebind after the refit");
+    eprintln!(
+        "chaos_soak: WAL recovered {} batches ({} acked), refit retrained {} localities in \
+         {:.1} ms — epoch {} served",
+        wal_recovered.wal_batches,
+        acked_batches,
+        refit.changed_localities.len(),
+        refit_ns as f64 / 1e6,
+        after_refit.model_epoch,
+    );
+    barrier.wait(); // release clients to observe the refitted model
+
     let mut total = ClientStats::default();
     let mut recoveries: Vec<u64> = Vec::new();
     let mut panics = 0u64;
+    let mut clients_observed_refit = 0u64;
     for handle in handles {
         match handle.join() {
             Ok(stats) => {
@@ -529,6 +706,12 @@ fn main() {
                 total.audit_dropped += stats.audit_dropped;
                 total.audit_retained += stats.audit_retained;
                 total.audit_downgrades += stats.audit_downgrades;
+                total.uploads_acked += stats.uploads_acked;
+                total.upload_duplicate_acks += stats.upload_duplicate_acks;
+                total.upload_errors += stats.upload_errors;
+                if stats.observed_refit_epoch > 0 {
+                    clients_observed_refit += 1;
+                }
                 recoveries.extend(stats.recovery_ns);
             }
             Err(_) => panics += 1,
@@ -589,6 +772,18 @@ fn main() {
         "audit_retained": total.audit_retained,
         "audit_dropped": total.audit_dropped,
         "audit_downgrades": total.audit_downgrades,
+        "uploads_acked": total.uploads_acked,
+        "upload_duplicate_acks": total.upload_duplicate_acks,
+        "upload_errors": total.upload_errors,
+        "readings_per_batch": READINGS_PER_BATCH as u64,
+        "wal_pre_kill_batches": wal_pre_kill.wal_batches,
+        "wal_recovered_batches": wal_recovered.wal_batches,
+        "stored_readings": after_refit.stored_readings,
+        "ingest_duplicates_materialized": duplicates_materialized,
+        "refit_ns": refit_ns,
+        "refit_changed_localities": refit.changed_localities.len() as u64,
+        "epoch_after_refit": after_refit.model_epoch,
+        "clients_observed_refit": clients_observed_refit,
     });
     write_json(&out, &report);
     eprintln!(
@@ -624,5 +819,17 @@ fn main() {
         total.audit_retained + total.audit_dropped,
         total.audit_total,
         "retained + dropped must account for every audit record"
+    );
+    // The closed loop's own invariants: every acked batch survived the
+    // kill, nothing was ingested twice, and every client saw the refit.
+    assert_eq!(
+        total.uploads_acked,
+        (scale.clients * scale.upload_batches) as u64,
+        "every minted batch must eventually ack"
+    );
+    assert_eq!(duplicates_materialized, 0, "a batch was ingested more than once");
+    assert_eq!(
+        clients_observed_refit, scale.clients as u64,
+        "not every client observed the refitted model's epoch"
     );
 }

@@ -1,8 +1,9 @@
 //! CI gate over a `probe`-written pipeline report (and, optionally, a
-//! `serve_load`-written serving report and a `chaos_soak`-written chaos
-//! report).
+//! `serve_load`-written serving report, a `serve_load`-written ingest
+//! report, and a `chaos_soak`-written chaos report).
 //!
-//! Usage: `gate <report.json> <floor.json> [serve_report.json] [--obs] [--chaos chaos_report.json]`
+//! Usage: `gate <report.json> <floor.json> [serve_report.json] [--obs]
+//! [--ingest ingest_report.json] [--chaos chaos_report.json]`
 //!
 //! Fails (exit 1) when:
 //! - any required stage timer (`synth`, `fft_features`, `label`, `kmeans`,
@@ -33,12 +34,21 @@
 //!   lost the `serve_handle` endpoint histogram, or the obs-enabled fetch
 //!   p50 exceeds the obs-disabled p50 by more than 5% plus a small
 //!   absolute slack — the recording-overhead ceiling;
+//! - an ingest report is given and its upload phase recorded any error,
+//!   no duplicate acks (the idempotency probe went unexercised), a
+//!   materialized duplicate, an upload rate below the absolute floor
+//!   (`ingest_uploads_per_s`), a refit slower than the absolute ceiling
+//!   (`ingest_refit_ns_ceiling`), no epoch bump, or a delta fetch that
+//!   did not observe the refit epoch — the crowd-sourcing loop must
+//!   demonstrably close;
 //! - a chaos report is given and it ran without the `fault` feature, any
 //!   fault category never fired (the soak proved nothing), it recorded a
 //!   panic, a protocol violation, an incorrect "safe" decision, an
 //!   unrecovered client, no retries / breaker opens / outage decisions
-//!   (the hardened paths went unexercised), or the recovery p99 exceeds
-//!   the absolute ceiling (`chaos_recovery_p99_ns` in the floor file).
+//!   (the hardened paths went unexercised), the recovery p99 exceeds
+//!   the absolute ceiling (`chaos_recovery_p99_ns` in the floor file),
+//!   no upload was acked, a WAL replay lost an acked batch, a batch was
+//!   ingested twice, or a client never observed the refitted epoch.
 
 use std::process::ExitCode;
 
@@ -319,6 +329,71 @@ fn check_obs(report: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn check_ingest(report: &Value, floor: &Value) -> Result<(), String> {
+    let field = |name: &str| {
+        report.get(name).and_then(Value::as_f64).ok_or(format!("ingest report has no {name}"))
+    };
+    for (name, why) in [
+        ("upload_errors", "an upload failed on the clean path"),
+        ("duplicates_materialized", "a duplicate ack materialized readings"),
+    ] {
+        let v = field(name)?;
+        if v != 0.0 {
+            return Err(format!("ingest report recorded {name} = {v}: {why}"));
+        }
+    }
+    let acked = field("uploads_acked")?;
+    if acked == 0.0 {
+        return Err("ingest report acked zero uploads; the phase did not run".into());
+    }
+    if field("upload_duplicate_acks")? == 0.0 {
+        return Err("ingest report has no duplicate acks; the idempotency probe never ran".into());
+    }
+    let uploads_per_s = field("uploads_per_s")?;
+    let rate_floor = floor
+        .get("ingest_uploads_per_s")
+        .and_then(Value::as_f64)
+        .ok_or("floor file has no ingest_uploads_per_s".to_string())?;
+    if uploads_per_s < rate_floor {
+        return Err(format!(
+            "ingest throughput regressed: {uploads_per_s:.0} uploads/s vs {rate_floor:.0} floor"
+        ));
+    }
+    let refit_ns = field("refit_ns")?;
+    let refit_ceiling = floor
+        .get("ingest_refit_ns_ceiling")
+        .and_then(Value::as_f64)
+        .ok_or("floor file has no ingest_refit_ns_ceiling".to_string())?;
+    if refit_ns > refit_ceiling {
+        return Err(format!(
+            "incremental refit too slow: {:.1} ms vs {:.1} ms ceiling",
+            refit_ns / 1e6,
+            refit_ceiling / 1e6
+        ));
+    }
+    let epoch_before = field("epoch_before")?;
+    let epoch_after = field("epoch_after")?;
+    if epoch_after <= epoch_before {
+        return Err(format!(
+            "refit did not bump the epoch: {epoch_before} before vs {epoch_after} after"
+        ));
+    }
+    let observed = field("delta_observed_epoch")?;
+    if observed != epoch_after {
+        return Err(format!(
+            "delta fetch observed epoch {observed}, expected the refit epoch {epoch_after}"
+        ));
+    }
+    eprintln!(
+        "gate ok: ingest {acked:.0} uploads acked at {uploads_per_s:.0}/s vs {rate_floor:.0} \
+         floor, 0 errors, refit {:.1} ms vs {:.1} ms ceiling, epoch {epoch_before:.0} -> \
+         {epoch_after:.0} observed by delta fetch",
+        refit_ns / 1e6,
+        refit_ceiling / 1e6
+    );
+    Ok(())
+}
+
 fn check_chaos(report: &Value, floor: &Value) -> Result<(), String> {
     let field = |name: &str| {
         report.get(name).and_then(Value::as_f64).ok_or(format!("chaos report has no {name}"))
@@ -376,6 +451,26 @@ fn check_chaos(report: &Value, floor: &Value) -> Result<(), String> {
             ceiling / 1e6
         ));
     }
+    // The crowd-sourcing loop under faults: batches acked, the WAL replay
+    // kept them, nothing ingested twice, and the refit reached every
+    // client.
+    let uploads_acked = field("uploads_acked")?;
+    if uploads_acked == 0.0 {
+        return Err("chaos soak acked zero uploads (the upload phase proved nothing)".into());
+    }
+    let wal_recovered = field("wal_recovered_batches")?;
+    if wal_recovered < uploads_acked {
+        return Err(format!(
+            "WAL replay lost acked batches: {wal_recovered} recovered < {uploads_acked} acked"
+        ));
+    }
+    let dup = field("ingest_duplicates_materialized")?;
+    if dup != 0.0 {
+        return Err(format!("chaos soak materialized {dup} duplicate-ingested readings"));
+    }
+    if field("clients_observed_refit")? < clients {
+        return Err("not every chaos client observed the refitted model's epoch".into());
+    }
     eprintln!(
         "gate ok: chaos soak {clients} clients all recovered, {} faults injected, \
          0 panics/violations/unsafe decisions, recovery p99 {:.1} ms vs {:.1} ms ceiling",
@@ -404,6 +499,15 @@ fn main() -> ExitCode {
         chaos_path = Some(args.remove(pos + 1));
         args.remove(pos);
     }
+    let mut ingest_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--ingest") {
+        if pos + 1 >= args.len() {
+            eprintln!("--ingest needs a path");
+            return ExitCode::FAILURE;
+        }
+        ingest_path = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
     let mut want_obs = false;
     if let Some(pos) = args.iter().position(|a| a == "--obs") {
         want_obs = true;
@@ -415,7 +519,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: gate <report.json> <floor.json> [serve_report.json] [--obs] \
-                 [--chaos chaos.json]"
+                 [--ingest ingest.json] [--chaos chaos.json]"
             );
             return ExitCode::FAILURE;
         }
@@ -434,6 +538,9 @@ fn main() -> ExitCode {
             if want_obs {
                 check_obs(&serve_report)?;
             }
+        }
+        if let Some(ingest_path) = &ingest_path {
+            check_ingest(&load(ingest_path)?, &floor)?;
         }
         if let Some(chaos_path) = &chaos_path {
             check_chaos(&load(chaos_path)?, &floor)?;

@@ -17,14 +17,24 @@
 //! `fetches_per_s`, connection-setup p50/p99, and — from the server's own
 //! stats — the pre-encoded response cache hit rate and reactor count.
 //!
-//! With `--obs-overhead`, after both phases a single client measures
+//! **Ingest phase** — after the throughput phase the same client fleet
+//! turns around and uploads location-tagged reading batches through the
+//! server's ingestion plane (durable WAL append per ack), re-sends one
+//! already-acked batch each to prove the duplicate path, then the main
+//! thread runs one incremental refit and verifies a delta fetch observes
+//! the bumped epoch — the paper's crowd-sourcing loop, closed in one
+//! binary. Emits the upload rate, upload latency percentiles, and refit
+//! wall time as a separate ingest report (`--ingest-out`) that
+//! `gate --ingest` holds to the checked-in floors.
+//!
+//! With `--obs-overhead`, after these phases a single client measures
 //! fetch p50 in alternating recording-off/recording-on blocks (same
 //! process, same server, same connection), emitting the A/B fields that
 //! `gate --obs` holds to the ≤5 % overhead ceiling.
 //!
 //! Usage: `serve_load [--quick] [--clients N] [--fetches M]
-//! [--connections N] [--duration SECS] [--out PATH] [--obs-overhead]
-//! [--trace PATH]`
+//! [--connections N] [--duration SECS] [--out PATH] [--ingest-out PATH]
+//! [--ingest-dir DIR] [--obs-overhead] [--trace PATH]`
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -33,18 +43,26 @@ use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use serde_json::json;
+use waldo::wire::ReadingBatch;
 use waldo::{ClassifierKind, ModelConstructor, WaldoConfig, WaldoModel};
 use waldo_bench::loadgen::{self, LoadConfig};
 use waldo_bench::report::{percentile, write_json};
-use waldo_data::{ChannelDataset, Measurement, Safety};
+use waldo_data::{ChannelDataset, Labeler, Measurement, Safety};
 use waldo_geo::Point;
 use waldo_iq::FeatureVector;
 use waldo_rf::TvChannel;
-use waldo_sensors::{Observation, SensorKind};
+use waldo_sensors::{Observation, ReadingSample, SensorKind};
 use waldo_serve::protocol::{read_frame, write_frame, FrameRead, Status};
-use waldo_serve::{serve, ClientObsSnapshot, ModelCatalog, ModelClient, ServeConfig};
+use waldo_serve::{
+    serve_with_ingest, ClientObsSnapshot, IngestPlane, ModelCatalog, ModelClient, ServeConfig,
+};
+use waldo_store::RefitEngine;
 
 const CHANNEL: u8 = 30;
+/// Readings per uploaded batch in the ingest phase. Small enough that a
+/// batch frame stays well under the upload size cap, large enough that
+/// the refit sees a meaningful number of crowd-sourced rows.
+const READINGS_PER_BATCH: usize = 24;
 
 /// Synthetic east/west channel, the same shape the core tests train on.
 /// `flip` relabels a slice of the map so retrained models differ in some —
@@ -86,6 +104,37 @@ fn train(n: usize, flip: bool, localities: usize) -> WaldoModel {
     )
     .fit(&dataset(n, flip))
     .expect("synthetic data trains")
+}
+
+/// A location-tagged reading batch whose contents follow the synthetic
+/// east/west truth (hot east of 15 km, quiet west of it), spread across
+/// the map so refits touch several localities. Batch IDs are minted from
+/// `(client, k)` so every retry of the same batch is idempotent.
+fn upload_batch(client_idx: usize, k: usize) -> ReadingBatch {
+    let readings = (0..READINGS_PER_BATCH)
+        .map(|i| {
+            let x = ((client_idx * 1_700 + k * 997 + i * 223) % 30_000) as f64;
+            let y = ((client_idx * 900 + i * 151) % 20_000) as f64;
+            let rss = if x > 15_000.0 { -70.0 } else { -95.0 };
+            ReadingSample {
+                location: Point::new(x, y),
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.3,
+                    aft_db: rss - 12.5,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -110.0,
+                },
+            }
+        })
+        .collect();
+    ReadingBatch {
+        batch_id: (client_idx as u64) * 100_000 + k as u64 + 1,
+        channel: CHANNEL,
+        readings,
+    }
 }
 
 /// Sends raw garbage (and an oversized length announcement) and expects
@@ -301,9 +350,12 @@ fn main() {
     let duration_s: f64 = flag("--duration")
         .map_or(if quick { 1.0 } else { 2.0 }, |v| v.parse().expect("--duration takes seconds"));
     let out = flag("--out").unwrap_or("BENCH_serve.json").to_string();
+    let ingest_out = flag("--ingest-out").unwrap_or("BENCH_ingest.json").to_string();
+    let ingest_dir = flag("--ingest-dir").unwrap_or("target/serve_load_ingest").to_string();
     let trace_path = flag("--trace").map(str::to_string);
     let train_n = if quick { 400 } else { 1200 };
     let localities = 6;
+    let upload_batches = fetches.max(4);
 
     if let Some(path) = &trace_path {
         if waldo_obs::compiled() {
@@ -316,14 +368,24 @@ fn main() {
     }
 
     eprintln!("training models ({train_n} readings, {localities} localities)...");
-    let model_a = train(train_n, false, localities);
+    let constructor = ModelConstructor::new(
+        WaldoConfig::default().classifier(ClassifierKind::Svm).localities(localities),
+    );
+    let base = dataset(train_n, false);
+    let model_a = constructor.fit(&base).expect("synthetic data trains");
     let model_b = train(train_n, true, localities);
     let full_model_bytes = model_a.to_wire().len();
 
     let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
     catalog.write().expect("catalog lock").publish(CHANNEL, &model_a);
+    // A fresh WAL/segment directory per run: the ingest numbers must
+    // measure this run's uploads, not a previous run's recovery.
+    let _ = std::fs::remove_dir_all(&ingest_dir);
+    let engine = RefitEngine::new(constructor, Labeler::new(), base, model_a.clone());
+    let plane = IngestPlane::open(&ingest_dir, Arc::clone(&catalog), CHANNEL, engine)
+        .expect("ingest plane opens");
     let default_config = ServeConfig::default();
-    let mut server = serve(
+    let mut server = serve_with_ingest(
         "127.0.0.1:0",
         Arc::clone(&catalog),
         ServeConfig {
@@ -333,6 +395,7 @@ fn main() {
             max_connections: default_config.max_connections.max(connections + clients + 64),
             ..default_config
         },
+        Some(Arc::clone(&plane)),
     )
     .expect("ephemeral bind succeeds");
     let addr = server.addr();
@@ -389,6 +452,89 @@ fn main() {
         load.connect_failures,
         load.errors,
         percentile(&connect_ns, 0.99) as f64 / 1e3,
+    );
+
+    // Ingest phase: the fleet turns around and uploads reading batches
+    // through the durable WAL, each client also re-sending its first
+    // batch to prove the idempotent duplicate path; then one incremental
+    // refit republishes into the catalog and a delta fetch must observe
+    // the bumped epoch.
+    eprintln!("ingest phase: {clients} uploaders x {upload_batches} batches...");
+    let epoch_before =
+        catalog.read().expect("catalog lock").channel(CHANNEL).map_or(0, |c| c.epoch);
+    let upload_errors = AtomicUsize::new(0);
+    let upload_errors_ref = &upload_errors;
+    let t_up = Instant::now();
+    let upload_stats: Vec<(Vec<u64>, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = ModelClient::new(addr, Duration::from_secs(10));
+                    let mut lat = Vec::with_capacity(upload_batches + 1);
+                    let (mut acked, mut duplicates) = (0usize, 0usize);
+                    for k in 0..upload_batches {
+                        let batch = upload_batch(i, k);
+                        let t = Instant::now();
+                        match client.upload(&batch) {
+                            Ok(report) => {
+                                lat.push(t.elapsed().as_nanos() as u64);
+                                if report.duplicate {
+                                    duplicates += 1;
+                                } else {
+                                    acked += 1;
+                                }
+                            }
+                            Err(_) => {
+                                upload_errors_ref.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    // Idempotency probe: the first batch again, verbatim.
+                    // The WAL must ack it as a duplicate, not re-ingest.
+                    match client.upload(&upload_batch(i, 0)) {
+                        Ok(report) if report.duplicate => duplicates += 1,
+                        _ => {
+                            upload_errors_ref.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    (lat, acked, duplicates)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("uploader thread")).collect()
+    });
+    let upload_wall_s = t_up.elapsed().as_secs_f64();
+    let mut upload_ns: Vec<u64> = upload_stats.iter().flat_map(|s| s.0.iter().copied()).collect();
+    upload_ns.sort_unstable();
+    let uploads_acked: usize = upload_stats.iter().map(|s| s.1).sum();
+    let duplicate_acks: usize = upload_stats.iter().map(|s| s.2).sum();
+    let upload_errors = upload_errors.load(Ordering::Relaxed);
+    let uploads_per_s = uploads_acked as f64 / upload_wall_s.max(1e-9);
+
+    let t_refit = Instant::now();
+    let refit = plane
+        .run_refit_now()
+        .expect("refit succeeds")
+        .expect("fresh segments must change the model");
+    let refit_ns = t_refit.elapsed().as_nanos() as u64;
+    let epoch_after = catalog.read().expect("catalog lock").channel(CHANNEL).map_or(0, |c| c.epoch);
+    let delta_observed_epoch = {
+        let mut probe = ModelClient::new(addr, Duration::from_secs(10));
+        let (_, report) = probe.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("post-refit fetch");
+        report.epoch
+    };
+    let ingest_snap = plane.snapshot();
+    let duplicates_materialized =
+        ingest_snap.stored_readings.saturating_sub((uploads_acked * READINGS_PER_BATCH) as u64);
+    eprintln!(
+        "ingest: {uploads_acked} uploads acked ({uploads_per_s:.0}/s), \
+         {duplicate_acks} duplicate acks, {upload_errors} errors, \
+         p50 {:.1}us; refit {:.1}ms retrained {} localities over {} rows, \
+         epoch {epoch_before} -> {epoch_after} (delta fetch observed {delta_observed_epoch})",
+        percentile(&upload_ns, 0.50) as f64 / 1e3,
+        refit_ns as f64 / 1e6,
+        refit.changed_localities.len(),
+        refit.total_rows,
     );
 
     // Read the server's live stats over the wire (exercising the `Stats`
@@ -466,6 +612,10 @@ fn main() {
         "cache_hits": server_stats.cache_hits,
         "cache_misses": server_stats.cache_misses,
         "reactors": server_stats.reactors,
+        "uploads_total": server_stats.uploads_total,
+        "upload_readings": server_stats.upload_readings,
+        "upload_duplicates": server_stats.upload_duplicates,
+        "refits_total": server_stats.refits_total,
         "endpoints": serde_json::Value::Object(endpoints),
     });
     let client_obs = json!({
@@ -533,6 +683,31 @@ fn main() {
     );
     write_json(&out, &report);
 
+    let ingest_report = json!({
+        "clients": clients,
+        "readings_per_batch": READINGS_PER_BATCH,
+        "uploads_acked": uploads_acked,
+        "upload_duplicate_acks": duplicate_acks,
+        "upload_errors": upload_errors,
+        "uploads_per_s": uploads_per_s,
+        "upload_p50_ns": percentile(&upload_ns, 0.50),
+        "upload_p99_ns": percentile(&upload_ns, 0.99),
+        "upload_wall_seconds": upload_wall_s,
+        "refit_ns": refit_ns,
+        "refit_changed_localities": refit.changed_localities.len(),
+        "refit_uploaded_readings": refit.uploaded_readings,
+        "refit_total_rows": refit.total_rows,
+        "epoch_before": epoch_before,
+        "epoch_after": epoch_after,
+        "delta_observed_epoch": delta_observed_epoch,
+        "stored_readings": ingest_snap.stored_readings,
+        "duplicates_materialized": duplicates_materialized,
+        "wal_batches": ingest_snap.wal_batches,
+        "checkpoint_seq": ingest_snap.checkpoint_seq,
+        "prof_enabled": waldo_prof::enabled(),
+    });
+    write_json(&ingest_out, &ingest_report);
+
     if trace_path.is_some() && waldo_obs::compiled() {
         waldo_obs::flush_sink();
         waldo_obs::set_sink(None);
@@ -546,4 +721,14 @@ fn main() {
         load.errors,
         load.fetches,
     );
+    assert_eq!(upload_errors, 0, "ingest phase must complete with zero upload errors");
+    assert_eq!(
+        uploads_acked,
+        clients * upload_batches,
+        "every minted batch must ack exactly once as fresh"
+    );
+    assert!(duplicate_acks >= clients, "every client's idempotency probe must ack as a duplicate");
+    assert_eq!(duplicates_materialized, 0, "duplicate acks must not materialize readings");
+    assert!(epoch_after > epoch_before, "the refit must republish and bump the epoch");
+    assert_eq!(delta_observed_epoch, epoch_after, "delta fetch must observe the refit epoch");
 }

@@ -253,6 +253,65 @@ impl ModelConstructor {
         Ok(WaldoModel { features: self.config.features.clone(), clustering, clusters })
     }
 
+    /// Retrains only the localities in `changed`, keeping `base`'s
+    /// clustering — and therefore its locality geometry and routing —
+    /// fixed. This is the ingestion plane's incremental refit: after new
+    /// crowd-sourced readings land, only the localities whose reading set
+    /// actually changed pay a training pass; every other locality keeps its
+    /// exact trained parameters (and so its payload bytes and digest, which
+    /// is what lets the serve catalog's publish diff leave their
+    /// change-epochs alone).
+    ///
+    /// `ml` must hold the *full* labeled reading set (base campaign plus
+    /// uploads) in `base`'s row layout — Algorithm 1's 6 km poisoning rule
+    /// is non-local, so labels are always recomputed globally even though
+    /// training is not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Empty`] for an empty dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a changed index is out of range or `ml`'s row width does
+    /// not match `base`'s feature layout.
+    pub fn refit_localities(
+        &self,
+        base: &WaldoModel,
+        ml: &Dataset,
+        changed: &[usize],
+    ) -> Result<WaldoModel, TrainError> {
+        let _t = waldo_prof::scope("model_refit");
+        if ml.is_empty() {
+            return Err(TrainError::Empty);
+        }
+        assert_eq!(ml.dim(), 2 + base.features.len(), "dataset does not match the base layout");
+        let k = base.clusters.len();
+        let mut order: Vec<usize> = changed.to_vec();
+        order.sort_unstable();
+        order.dedup();
+        assert!(order.iter().all(|&c| c < k), "changed locality out of range");
+
+        // Route every row through the *fixed* centroids, then retrain only
+        // the changed localities (in parallel, like the full fit).
+        let memberships: Vec<Vec<usize>> = order
+            .iter()
+            .map(|&c| {
+                (0..ml.len()).filter(|&i| base.clustering.assign(&ml.rows()[i][..2]) == c).collect()
+            })
+            .collect();
+        let retrained = waldo_par::par_map(&memberships, |indices| self.fit_cluster(ml, indices));
+        let mut clusters = base.clusters.clone();
+        for (&c, cluster) in order.iter().zip(retrained) {
+            clusters[c] = cluster;
+        }
+        Ok(WaldoModel {
+            features: base.features.clone(),
+            clustering: base.clustering.clone(),
+            clusters,
+        })
+    }
+
     fn fit_cluster(&self, ml: &Dataset, indices: &[usize]) -> ClusterModel {
         let sub = ml.subset(indices);
         if sub.is_empty() {
@@ -426,6 +485,47 @@ mod tests {
             nb.descriptor_bytes(),
             svm.descriptor_bytes()
         );
+    }
+
+    #[test]
+    fn refit_retrains_only_changed_localities() {
+        let ds = synthetic_dataset(400);
+        let constructor = ModelConstructor::new(WaldoConfig::default().localities(3).seed(5));
+        let base = constructor.fit(&ds).unwrap();
+        let ml = ds.to_ml_dataset(constructor.config().feature_set()).unwrap();
+
+        // Refitting on the unchanged dataset reproduces the base payloads
+        // exactly for untouched localities (training is deterministic).
+        let refit = constructor.refit_localities(&base, &ml, &[1]).unwrap();
+        assert_eq!(refit.centroids(), base.centroids(), "clustering must stay fixed");
+        let before = base.locality_payloads();
+        let after = refit.locality_payloads();
+        assert_eq!(before[0], after[0]);
+        assert_eq!(before[2], after[2]);
+
+        // Flip the labels of the rows routed to locality 1 and refit: only
+        // locality 1's payload may change.
+        let flipped: Vec<bool> = ml
+            .rows()
+            .iter()
+            .zip(ml.labels())
+            .map(|(r, &l)| if base.clustering.assign(&r[..2]) == 1 { !l } else { l })
+            .collect();
+        let flipped_ml = waldo_ml::Dataset::from_rows(ml.rows().to_vec(), flipped).unwrap();
+        let refit = constructor.refit_localities(&base, &flipped_ml, &[1]).unwrap();
+        let after = refit.locality_payloads();
+        assert_eq!(before[0], after[0]);
+        assert_eq!(before[2], after[2]);
+        assert_ne!(before[1], after[1], "the changed locality must retrain");
+    }
+
+    #[test]
+    fn refit_rejects_empty_dataset() {
+        let ds = synthetic_dataset(60);
+        let constructor = ModelConstructor::new(WaldoConfig::default());
+        let base = constructor.fit(&ds).unwrap();
+        let empty = waldo_ml::Dataset::from_rows(Vec::new(), Vec::new()).unwrap();
+        assert_eq!(constructor.refit_localities(&base, &empty, &[0]), Err(TrainError::Empty));
     }
 
     #[test]

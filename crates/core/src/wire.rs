@@ -526,6 +526,132 @@ impl WaldoModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Crowd-sourced reading batches (the upload direction of the wire).
+
+/// First bytes of every encoded reading batch.
+pub const BATCH_MAGIC: [u8; 4] = *b"WLDR";
+
+/// Current reading-batch wire version. Decoders reject anything newer.
+pub const BATCH_VERSION: u8 = 1;
+
+/// Encoded size of one reading: location (2), RSS (1), features (6).
+const READING_F64S: usize = 9;
+
+/// A batch of location-tagged readings one device uploads in one request.
+///
+/// The `batch_id` is minted by the *client* (not the server) so a retry
+/// after a short write re-sends the identical identity and the ingest WAL
+/// can deduplicate it — the idempotency contract of the upload path.
+///
+/// ```text
+/// batch   := magic "WLDR" | version u8 | batch_id u64 | channel u8
+///          | reading count u32 | reading…
+/// reading := x_m f64 | y_m f64 | rss_dbm f64 | feature f64 × 6
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadingBatch {
+    /// Client-minted identity; retries reuse it (idempotent ingestion).
+    pub batch_id: u64,
+    /// TV channel the readings observe.
+    pub channel: u8,
+    /// The readings, in capture order.
+    pub readings: Vec<waldo_sensors::ReadingSample>,
+}
+
+impl ReadingBatch {
+    /// Encodes the batch in the binary wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.readings.len() <= u32::MAX as usize, "reading count overflows u32");
+        let mut out = Vec::with_capacity(18 + self.readings.len() * READING_F64S * 8);
+        out.extend_from_slice(&BATCH_MAGIC);
+        out.push(BATCH_VERSION);
+        put_u64(&mut out, self.batch_id);
+        out.push(self.channel);
+        put_u32(&mut out, self.readings.len() as u32);
+        for r in &self.readings {
+            put_f64(&mut out, r.location.x);
+            put_f64(&mut out, r.location.y);
+            put_f64(&mut out, r.rss_dbm);
+            for v in [
+                r.features.rss_db,
+                r.features.cft_db,
+                r.features.aft_db,
+                r.features.quadrature_imbalance_db,
+                r.features.iq_kurtosis,
+                r.features.edge_bin_db,
+            ] {
+                put_f64(&mut out, v);
+            }
+        }
+        out
+    }
+
+    /// FNV-1a-64 digest of the encoded batch — the content identity the
+    /// ingest store uses for checksums and segment manifests.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(&self.encode())
+    }
+
+    /// Decodes a batch from the front of `r`, leaving the reader
+    /// positioned after it (the serve protocol embeds batches inside
+    /// request frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated, version-skewed, or otherwise
+    /// malformed input. Allocation is bounded by the reader's remaining
+    /// bytes, so a corrupt count cannot trigger a huge reservation.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        if r.bytes(4)? != BATCH_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != BATCH_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let batch_id = r.u64()?;
+        let channel = r.u8()?;
+        let n = r.u32()? as usize;
+        if r.remaining() < n.saturating_mul(READING_F64S * 8) {
+            return Err(WireError::Truncated);
+        }
+        let mut readings = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = r.f64()?;
+            let y = r.f64()?;
+            let rss_dbm = r.f64()?;
+            let features = waldo_iq::FeatureVector {
+                rss_db: r.f64()?,
+                cft_db: r.f64()?,
+                aft_db: r.f64()?,
+                quadrature_imbalance_db: r.f64()?,
+                iq_kurtosis: r.f64()?,
+                edge_bin_db: r.f64()?,
+            };
+            readings.push(waldo_sensors::ReadingSample {
+                location: waldo_geo::Point::new(x, y),
+                rss_dbm,
+                features,
+            });
+        }
+        Ok(Self { batch_id, channel, readings })
+    }
+
+    /// Decodes a standalone encoded batch, requiring every byte consumed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`decode_from`](Self::decode_from), plus
+    /// [`WireError::TrailingBytes`] for a batch with a suffix.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let batch = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(batch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -672,6 +798,75 @@ mod tests {
         let centroid = &m.centroids()[0];
         let row = [centroid[0], centroid[1], -95.0, -106.3];
         assert!(back.predict_row(&row).is_not_safe());
+    }
+
+    fn sample_batch(batch_id: u64, n: usize) -> ReadingBatch {
+        let readings = (0..n)
+            .map(|i| waldo_sensors::ReadingSample {
+                location: Point::new(i as f64 * 100.0, i as f64 * -50.0),
+                rss_dbm: -90.0 + i as f64,
+                features: FeatureVector {
+                    rss_db: -90.0 + i as f64,
+                    cft_db: -101.3 + i as f64,
+                    aft_db: -102.5,
+                    quadrature_imbalance_db: 0.25,
+                    iq_kurtosis: -0.1,
+                    edge_bin_db: -110.0,
+                },
+            })
+            .collect();
+        ReadingBatch { batch_id, channel: 30, readings }
+    }
+
+    #[test]
+    fn reading_batch_roundtrip() {
+        for n in [0usize, 1, 7, 120] {
+            let batch = sample_batch(0xfeed_0000 + n as u64, n);
+            let bytes = batch.encode();
+            assert_eq!(ReadingBatch::decode(&bytes), Ok(batch.clone()));
+            // Re-encoding is byte-stable, so the digest is a content identity.
+            assert_eq!(ReadingBatch::decode(&bytes).unwrap().encode(), bytes);
+            assert_eq!(batch.digest(), fnv1a64(&bytes));
+        }
+    }
+
+    #[test]
+    fn reading_batch_decode_rejects_corruption() {
+        let bytes = sample_batch(7, 3).encode();
+        assert_eq!(ReadingBatch::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(ReadingBatch::decode(b"XXXX\x01"), Err(WireError::BadMagic));
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = BATCH_VERSION + 1;
+        assert_eq!(
+            ReadingBatch::decode(&wrong_version),
+            Err(WireError::UnsupportedVersion(BATCH_VERSION + 1))
+        );
+
+        // Any truncation point fails with a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(ReadingBatch::decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(ReadingBatch::decode(&trailing), Err(WireError::TrailingBytes));
+
+        // A corrupt count cannot over-allocate: it is bounded by the
+        // remaining bytes and rejected as truncated.
+        let mut huge_count = bytes;
+        huge_count[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(ReadingBatch::decode(&huge_count), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn reading_batch_embeds_in_a_larger_frame() {
+        let batch = sample_batch(21, 4);
+        let mut framed = batch.encode();
+        framed.extend_from_slice(b"suffix");
+        let mut r = Reader::new(&framed);
+        assert_eq!(ReadingBatch::decode_from(&mut r).unwrap(), batch);
+        assert_eq!(r.bytes(6).unwrap(), b"suffix");
     }
 
     #[test]

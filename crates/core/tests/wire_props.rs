@@ -3,12 +3,13 @@
 //! and the decoded model must classify bit-identically to the original.
 
 use proptest::prelude::*;
+use waldo::wire::ReadingBatch;
 use waldo::{ClassifierKind, ModelConstructor, WaldoConfig, WaldoModel};
 use waldo_data::{ChannelDataset, Measurement, Safety};
 use waldo_geo::Point;
 use waldo_iq::FeatureVector;
 use waldo_rf::TvChannel;
-use waldo_sensors::{Observation, SensorKind};
+use waldo_sensors::{Observation, ReadingSample, SensorKind};
 
 /// A tiny east/west dataset, parameterized so different seeds yield
 /// different boundaries (and therefore different trained parameters).
@@ -60,6 +61,30 @@ fn probe_rows(model: &WaldoModel) -> Vec<Vec<f64>> {
             row
         })
         .collect()
+}
+
+/// A reading batch whose contents are a pure function of `seeds` — the
+/// same inputs always re-produce byte-identical encodings.
+fn sample_batch(batch_id: u64, channel: u8, seeds: &[u32]) -> ReadingBatch {
+    let readings = seeds
+        .iter()
+        .map(|&s| {
+            let v = f64::from(s % 1009);
+            ReadingSample {
+                location: Point::new(v * 37.0 - 15_000.0, v * 11.0 - 8_000.0),
+                rss_dbm: -110.0 + v * 0.05,
+                features: FeatureVector {
+                    rss_db: -110.0 + v * 0.05,
+                    cft_db: -121.0 + v * 0.05,
+                    aft_db: -122.0 + v * 0.05,
+                    quadrature_imbalance_db: 0.001 * v,
+                    iq_kurtosis: 2.0 + 0.001 * v,
+                    edge_bin_db: -130.0,
+                },
+            }
+        })
+        .collect();
+    ReadingBatch { batch_id, channel, readings }
 }
 
 /// One representative encoded model, built once: corruption tests sample
@@ -147,5 +172,50 @@ proptest! {
         bytes in prop::collection::vec(any::<u8>(), 0..512),
     ) {
         let _ = WaldoModel::from_wire(&bytes);
+    }
+
+    /// Encode→decode is the identity for reading batches at arbitrary
+    /// IDs, channels, and contents (the upload path's unit of transfer).
+    #[test]
+    fn reading_batch_roundtrip_is_identity(
+        batch_id in any::<u64>(),
+        channel in any::<u8>(),
+        seeds in prop::collection::vec(any::<u32>(), 0..40),
+    ) {
+        let batch = sample_batch(batch_id, channel, &seeds);
+        let bytes = batch.encode();
+        let decoded = ReadingBatch::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &batch);
+        prop_assert_eq!(decoded.encode(), bytes);
+        prop_assert_eq!(decoded.digest(), batch.digest());
+    }
+
+    /// Truncating an encoded batch anywhere must yield a typed error.
+    #[test]
+    fn truncated_reading_batches_decode_to_typed_errors(
+        seeds in prop::collection::vec(any::<u32>(), 1..20),
+        cut in 0.0f64..1.0,
+    ) {
+        let bytes = sample_batch(42, 30, &seeds).encode();
+        let keep = ((bytes.len() as f64) * cut) as usize;
+        prop_assert!(keep < bytes.len());
+        prop_assert!(ReadingBatch::decode(&bytes[..keep]).is_err());
+    }
+
+    /// Bit flips and arbitrary bytes must never panic the batch decoder.
+    #[test]
+    fn corrupted_reading_batches_never_panic(
+        seeds in prop::collection::vec(any::<u32>(), 0..20),
+        pos in 0.0f64..1.0,
+        bit in 0u32..8,
+        garbage in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut bytes = sample_batch(7, 30, &seeds).encode();
+        let at = (((bytes.len() - 1) as f64) * pos) as usize;
+        bytes[at] ^= 1u8 << bit;
+        if let Ok(batch) = ReadingBatch::decode(&bytes) {
+            let _ = batch.encode();
+        }
+        let _ = ReadingBatch::decode(&garbage);
     }
 }

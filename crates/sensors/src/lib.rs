@@ -21,7 +21,9 @@
 mod calibration;
 mod model;
 mod observe;
+mod upload;
 
 pub use calibration::{calibrate, Calibration, CalibrationError, SignalGenerator};
 pub use model::{SensorKind, SensorModel};
 pub use observe::Observation;
+pub use upload::ReadingSample;

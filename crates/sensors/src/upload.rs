@@ -1,0 +1,94 @@
+//! Crowd-sourced upload samples: the compact per-reading record a phone
+//! ships to the central constructor.
+//!
+//! The federated-ingestion literature (and the paper's own deployment
+//! story) assumes devices upload *compact feature summaries*, not raw I/Q:
+//! one [`ReadingSample`] is a location tag plus the calibrated channel
+//! power and the full [`FeatureVector`] — everything the labeler and the
+//! per-locality trainers need, and nothing else.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use waldo_geo::Point;
+use waldo_iq::FeatureVector;
+
+use crate::{Calibration, Observation, SensorModel};
+
+/// One location-tagged reading in upload form.
+///
+/// # Examples
+///
+/// ```
+/// use waldo_geo::Point;
+/// use waldo_sensors::{Calibration, Observation, ReadingSample, SensorModel};
+/// use rand::SeedableRng;
+///
+/// let sensor = SensorModel::spectrum_analyzer();
+/// let cal = Calibration::identity();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let obs = Observation::measure(&sensor, &cal, Some(-70.0), &mut rng);
+/// let sample = ReadingSample::new(Point::new(1_200.0, 800.0), &obs);
+/// assert_eq!(sample.rss_dbm, obs.rss_dbm);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadingSample {
+    /// Where the reading was taken, local frame (metres).
+    pub location: Point,
+    /// Calibrated channel-power estimate, dBm (the Algorithm-1 input).
+    pub rss_dbm: f64,
+    /// The full calibrated feature vector.
+    pub features: FeatureVector,
+}
+
+impl ReadingSample {
+    /// Converts a calibrated [`Observation`] into its upload form.
+    pub fn new(location: Point, observation: &Observation) -> Self {
+        Self { location, rss_dbm: observation.rss_dbm, features: observation.features }
+    }
+
+    /// Captures one observation at `location` and converts it in one step —
+    /// the whole phone-side pipeline from antenna to upload record.
+    pub fn capture<R: Rng + ?Sized>(
+        location: Point,
+        sensor: &SensorModel,
+        calibration: &Calibration,
+        true_rss_dbm: Option<f64>,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(location, &Observation::measure(sensor, calibration, true_rss_dbm, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_mirrors_its_observation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sensor = SensorModel::usrp_b200();
+        let cal = Calibration::factory(&sensor);
+        let obs = Observation::measure(&sensor, &cal, Some(-65.0), &mut rng);
+        let sample = ReadingSample::new(Point::new(10.0, 20.0), &obs);
+        assert_eq!(sample.rss_dbm, obs.rss_dbm);
+        assert_eq!(sample.features, obs.features);
+        assert_eq!(sample.location, Point::new(10.0, 20.0));
+    }
+
+    #[test]
+    fn capture_is_measure_plus_tagging() {
+        let sensor = SensorModel::rtl_sdr();
+        let cal = Calibration::factory(&sensor);
+        let direct = {
+            let mut rng = StdRng::seed_from_u64(11);
+            Observation::measure(&sensor, &cal, Some(-70.0), &mut rng)
+        };
+        let captured = {
+            let mut rng = StdRng::seed_from_u64(11);
+            ReadingSample::capture(Point::new(5.0, 6.0), &sensor, &cal, Some(-70.0), &mut rng)
+        };
+        assert_eq!(captured, ReadingSample::new(Point::new(5.0, 6.0), &direct));
+    }
+}

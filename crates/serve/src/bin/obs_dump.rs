@@ -7,9 +7,10 @@
 //! retries, breaker state) are printed alongside, so one invocation shows
 //! both halves of the observability story.
 //!
-//! `--self-test` instead spawns a server in-process, drives one ping and
-//! one fetch through a hardened client, and asserts the snapshot is
-//! consistent with that traffic — the smoke check `scripts/check.sh` runs.
+//! `--self-test` instead spawns a server in-process (with an ingestion
+//! plane), drives a ping, a fetch, an upload, a refit, and a delta fetch
+//! through a hardened client, and asserts the snapshots are consistent
+//! with that traffic — the smoke check `scripts/check.sh` runs.
 //!
 //! Usage: `obs_dump ADDR` or `obs_dump --self-test`
 
@@ -101,13 +102,15 @@ fn dump(addr: &str) {
 /// the snapshot reflects that traffic.
 fn self_test() {
     use std::sync::{Arc, RwLock};
+    use waldo::wire::ReadingBatch;
     use waldo::{ModelConstructor, WaldoConfig};
-    use waldo_data::{ChannelDataset, Measurement, Safety};
+    use waldo_data::{ChannelDataset, Labeler, Measurement, Safety};
     use waldo_geo::Point;
     use waldo_iq::FeatureVector;
     use waldo_rf::TvChannel;
-    use waldo_sensors::{Observation, SensorKind};
-    use waldo_serve::{serve, ModelCatalog, ServeConfig};
+    use waldo_sensors::{Observation, ReadingSample, SensorKind};
+    use waldo_serve::{serve_with_ingest, IngestPlane, ModelCatalog, ServeConfig};
+    use waldo_store::RefitEngine;
 
     let mut measurements = Vec::new();
     let mut labels = Vec::new();
@@ -137,14 +140,24 @@ fn self_test() {
     }
     let dataset =
         ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels);
-    let model = ModelConstructor::new(WaldoConfig::default().localities(4))
-        .fit(&dataset)
-        .expect("synthetic data trains");
+    let constructor = ModelConstructor::new(WaldoConfig::default().localities(4));
+    let model = constructor.fit(&dataset).expect("synthetic data trains");
 
     let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
     catalog.write().expect("catalog lock").publish(30, &model);
-    let mut server = serve("127.0.0.1:0", Arc::clone(&catalog), ServeConfig::default())
-        .expect("ephemeral bind succeeds");
+    let ingest_dir =
+        std::env::temp_dir().join(format!("waldo-obs-dump-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ingest_dir);
+    let engine = RefitEngine::new(constructor, Labeler::new(), dataset, model);
+    let plane = IngestPlane::open(&ingest_dir, Arc::clone(&catalog), 30, engine)
+        .expect("ingest plane opens");
+    let mut server = serve_with_ingest(
+        "127.0.0.1:0",
+        Arc::clone(&catalog),
+        ServeConfig::default(),
+        Some(Arc::clone(&plane)),
+    )
+    .expect("ephemeral bind succeeds");
     let addr = server.addr();
 
     let mut client = ModelClient::new(addr, Duration::from_secs(5));
@@ -175,9 +188,59 @@ fn self_test() {
     assert!(obs.attempts_total >= 3, "client counted its attempts");
     assert!(!obs.breaker_open, "breaker closed after clean traffic");
 
+    // The crowd-sourcing loop: one upload (plus its idempotent re-send),
+    // one incremental refit, and a delta fetch that must observe the
+    // bumped epoch — with both stats surfaces agreeing on the counters.
+    let batch = ReadingBatch {
+        batch_id: 1,
+        channel: 30,
+        readings: (0..8)
+            .map(|i| {
+                let rss = -60.0;
+                ReadingSample {
+                    location: Point::new(2_000.0 + f64::from(i) * 120.0, 4_000.0),
+                    rss_dbm: rss,
+                    features: FeatureVector {
+                        rss_db: rss,
+                        cft_db: rss - 11.3,
+                        aft_db: rss - 12.5,
+                        quadrature_imbalance_db: 0.0,
+                        iq_kurtosis: 0.0,
+                        edge_bin_db: -110.0,
+                    },
+                }
+            })
+            .collect(),
+    };
+    let ack = client.upload(&batch).expect("upload succeeds");
+    assert!(!ack.duplicate, "first upload must ack as fresh");
+    assert_eq!(ack.readings, 8, "ack echoes the reading count");
+    let dup = client.upload(&batch).expect("re-sent upload acks");
+    assert!(dup.duplicate, "re-sent batch must ack as a duplicate");
+    plane.run_refit_now().expect("refit succeeds").expect("fresh segments refit the model");
+    let (_, delta) = client.fetch(30, 10.0, 10.0, -1.0).expect("post-refit fetch succeeds");
+    assert_eq!(delta.epoch, 2, "the refit republish bumped the epoch");
+    let ingest = client.ingest_stats().expect("ingest stats query succeeds");
+    assert_eq!(ingest.uploads_total, 1, "one batch ingested");
+    assert_eq!(ingest.duplicates_total, 1, "one duplicate ack");
+    assert_eq!(ingest.readings_total, 8, "readings counted once");
+    assert_eq!(ingest.refits_total, 1, "one refit ran");
+    assert_eq!(ingest.stored_readings, 8, "the checkpoint absorbed the batch");
+    assert_eq!(ingest.wal_batches, 0, "the checkpoint truncated the WAL");
+    assert_eq!(ingest.model_epoch, 2, "the plane reports the served epoch");
+    let snap = client.stats().expect("post-ingest stats query succeeds");
+    assert_eq!(snap.uploads_total, 1, "stats v3 carries the upload counter");
+    assert_eq!(snap.upload_duplicates, 1, "stats v3 carries the duplicate counter");
+    assert_eq!(snap.refits_total, 1, "stats v3 carries the refit counter");
+    if snap.obs_compiled && snap.obs_enabled {
+        assert!(snap.endpoint("serve_upload").is_some(), "upload path timed");
+        assert!(snap.endpoint("ingest_append").is_some(), "WAL append timed");
+    }
+
     print_snapshot(&snap);
     print_client(&client);
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&ingest_dir);
     println!("obs_dump: self-test OK");
 }
 

@@ -30,11 +30,13 @@ use waldo::wire::{conservative_payload, decode_prelude, fnv1a64, Reader, WireErr
 use waldo::WaldoModel;
 use waldo_fault::{FaultStream, TransportFaults};
 
+use crate::ingest::IngestSnapshot;
 use crate::protocol::{
     decode_response, decode_response_header, read_frame, write_frame, FrameRead, LocalityEntry,
-    Request, Status, MAX_RESPONSE_BYTES,
+    Request, Status, UploadAck, MAX_RESPONSE_BYTES,
 };
 use crate::stats::StatsSnapshot;
+use waldo::wire::ReadingBatch;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -166,6 +168,19 @@ pub struct FetchReport {
     pub unchanged: usize,
     /// Localities outside the fetch scope (conservative fallback).
     pub out_of_scope: usize,
+}
+
+/// What one acknowledged upload carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadReport {
+    /// Request ID the upload travelled under (also in the JSONL trace).
+    pub request_id: u64,
+    /// Whether the server had already ingested this batch ID — the
+    /// retry-after-lost-ack path. Still a success: the readings are
+    /// durably stored exactly once.
+    pub duplicate: bool,
+    /// Readings in the (first-ingested) batch.
+    pub readings: u32,
 }
 
 #[derive(Debug, Default)]
@@ -326,6 +341,90 @@ impl ModelClient {
         }
         match StatsSnapshot::decode(&mut r) {
             Ok(snapshot) => Ok(snapshot),
+            Err(e) => {
+                self.stream = None;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Uploads one batch of crowd-sourced readings and returns the
+    /// server's ack. Inherits the full failure policy of
+    /// [`round_trip`](Self::round_trip) — and because the batch ID is
+    /// client-minted, a retry after a lost ack is acknowledged as a
+    /// [`UploadReport::duplicate`] rather than double-ingested, so the
+    /// retry loop is safe for a non-idempotent-looking operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport, server, or decode failure.
+    pub fn upload(&mut self, batch: &ReadingBatch) -> Result<UploadReport, ClientError> {
+        let req_id = waldo_obs::next_request_id();
+        let _span = waldo_obs::span_req("client_upload", req_id);
+        let _t = waldo_obs::timed("client_upload");
+        let request = Request::Upload { batch: batch.clone() };
+        let response = self.round_trip(req_id, &request)?;
+        let (echoed, status, mut r) = match decode_response_header(&response) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.stream = None;
+                return Err(e.into());
+            }
+        };
+        if echoed != req_id && echoed != 0 {
+            self.stream = None;
+            return Err(ClientError::Protocol("response echoed a different request ID"));
+        }
+        if status != Status::Ok {
+            self.stream = None;
+            return Err(ClientError::Server(status));
+        }
+        match UploadAck::decode_from(&mut r).and_then(|ack| {
+            r.finish()?;
+            Ok(ack)
+        }) {
+            Ok(ack) => Ok(UploadReport {
+                request_id: req_id,
+                duplicate: ack.duplicate,
+                readings: ack.readings,
+            }),
+            Err(e) => {
+                self.stream = None;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Queries the server's ingestion-plane counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport, server, or decode failure —
+    /// including [`ClientError::Server`]`(`[`Status::UnknownOpcode`]`)`
+    /// from a server without an ingestion plane.
+    pub fn ingest_stats(&mut self) -> Result<IngestSnapshot, ClientError> {
+        let req_id = waldo_obs::next_request_id();
+        let response = self.round_trip(req_id, &Request::IngestStats)?;
+        let (echoed, status, mut r) = match decode_response_header(&response) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.stream = None;
+                return Err(e.into());
+            }
+        };
+        if echoed != req_id && echoed != 0 {
+            self.stream = None;
+            return Err(ClientError::Protocol("response echoed a different request ID"));
+        }
+        if status != Status::Ok {
+            self.stream = None;
+            return Err(ClientError::Server(status));
+        }
+        match IngestSnapshot::decode_from(&mut r).and_then(|snap| {
+            r.finish()?;
+            Ok(snap)
+        }) {
+            Ok(snap) => Ok(snap),
             Err(e) => {
                 self.stream = None;
                 Err(e.into())

@@ -17,7 +17,14 @@
 //! * [`client`] — the device side: a payload cache per channel, so a fetch
 //!   at epoch N transfers only localities that changed since N, and
 //!   locality-scoped fetches assemble out-of-scope territory as the
-//!   conservative not-safe fallback.
+//!   conservative not-safe fallback. Also the upload side: batches of
+//!   location-tagged readings travel under client-minted batch IDs, so
+//!   the retry loop never double-ingests.
+//! * [`ingest`] — the server-side ingestion plane closing the paper's
+//!   crowd-sourcing loop: uploads land in a durable WAL (`waldo-store`),
+//!   a background worker checkpoints them into per-locality segments,
+//!   retrains only changed localities, and republishes into the catalog
+//!   so delta fetches propagate the refreshed model.
 //!
 //! Models travel in the compact binary wire format of [`waldo::wire`]
 //! (k-means centroids + per-locality SVM/NB/tree/logistic parameters);
@@ -50,6 +57,7 @@
 
 pub mod catalog;
 pub mod client;
+pub mod ingest;
 pub mod protocol;
 pub mod server;
 pub mod stats;
@@ -57,7 +65,9 @@ pub mod stats;
 pub use catalog::ModelCatalog;
 pub use client::{
     CircuitBreakerPolicy, ClientError, ClientObsSnapshot, FetchReport, ModelClient, RetryPolicy,
+    UploadReport,
 };
-pub use protocol::{Request, Status};
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use ingest::{IngestPlane, IngestSnapshot, IngestWorker};
+pub use protocol::{Request, Status, UploadAck};
+pub use server::{serve, serve_with_ingest, ServeConfig, ServerHandle};
 pub use stats::{EndpointStats, StatsSnapshot};

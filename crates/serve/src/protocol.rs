@@ -10,19 +10,31 @@
 //!
 //! ```text
 //! request  := "WSRQ" | version u8 | req_id u64 | opcode u8 | body
-//!   PING  (op 0): empty body
-//!   FETCH (op 1): channel u8 | x_km f64 | y_km f64 | radius_km f64
-//!                 | have_epoch u64
-//!   STATS (op 2): empty body
+//!   PING   (op 0): empty body
+//!   FETCH  (op 1): channel u8 | x_km f64 | y_km f64 | radius_km f64
+//!                  | have_epoch u64
+//!   STATS  (op 2): empty body
+//!   UPLOAD (op 3): an encoded reading batch ("WLDR" | version
+//!                  | batch_id u64 | channel u8 | count u32 | readings…)
+//!   INGEST_STATS (op 4): empty body
 //! response := "WSRS" | version u8 | req_id u64 | status u8 | body
-//!   PING  body: empty
-//!   FETCH body: epoch u64 | prelude len u32 | prelude
-//!               | locality count u32 | locality entry…
-//!   STATS body: versioned stats snapshot (see `crate::stats`)
+//!   PING   body: empty
+//!   FETCH  body: epoch u64 | prelude len u32 | prelude
+//!                | locality count u32 | locality entry…
+//!   STATS  body: versioned stats snapshot (see `crate::stats`)
+//!   UPLOAD body: duplicate u8 | readings u32
+//!   INGEST_STATS body: versioned ingest snapshot (see `crate::ingest`)
 //!   entry := 0 u8 | digest u64 | len u32 | payload   (sent)
 //!          | 1 u8                                    (unchanged since have_epoch)
 //!          | 2 u8                                    (changed but out of scope)
 //! ```
+//!
+//! Upload frames are the one request class that legitimately exceeds
+//! [`MAX_REQUEST_BYTES`]: a batch of location-tagged feature vectors is
+//! multi-KiB by design. The size gate is therefore *opcode-aware* —
+//! [`FrameReader::pop_request_frame`] admits frames above the small cap
+//! only when the buffered opcode byte says UPLOAD, up to a separate
+//! configurable upload bound. Every other opcode keeps the tight cap.
 //!
 //! The `req_id` is minted by the client (`waldo_obs::next_request_id`) and
 //! echoed verbatim by the server, so one logical fetch is traceable across
@@ -34,11 +46,13 @@
 //!
 //! Version history: v1 had no `req_id` and no STATS opcode; v2 is not
 //! wire-compatible with it, and v1 peers are answered/refused with
-//! `UnsupportedVersion`.
+//! `UnsupportedVersion`. The UPLOAD and INGEST_STATS opcodes were added to
+//! v2 without a version bump — they are new request kinds, and a server
+//! predating them answers `UnknownOpcode`, which is exactly the contract.
 
 use std::io::{Read, Write};
 
-use waldo::wire::{put_u32, put_u64, Reader, WireError};
+use waldo::wire::{put_u32, put_u64, Reader, ReadingBatch, WireError};
 
 /// Protocol version spoken by this build.
 pub const PROTOCOL_VERSION: u8 = 2;
@@ -127,7 +141,7 @@ impl std::fmt::Display for Status {
 }
 
 /// A parsed request.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness check.
     Ping,
@@ -147,11 +161,25 @@ pub enum Request {
     },
     /// Live server statistics snapshot (see `crate::stats`).
     Stats,
+    /// Crowd-sourced reading upload: one client-minted batch. Retrying the
+    /// same `batch_id` is safe — the server deduplicates in its WAL.
+    Upload {
+        /// The location-tagged readings.
+        batch: ReadingBatch,
+    },
+    /// Live ingestion counters (see `crate::ingest`).
+    IngestStats,
 }
 
 const OP_PING: u8 = 0;
 const OP_FETCH: u8 = 1;
 const OP_STATS: u8 = 2;
+const OP_UPLOAD: u8 = 3;
+const OP_INGEST_STATS: u8 = 4;
+
+/// Byte offset of the opcode within a framed request: the 4-byte length
+/// prefix plus magic, version, and request ID.
+const FRAMED_OPCODE_OFFSET: usize = 4 + RESPONSE_HEAD_BYTES;
 
 impl Request {
     /// Encodes the request frame payload (without the length prefix),
@@ -172,6 +200,11 @@ impl Request {
                 put_u64(&mut out, have_epoch);
             }
             Request::Stats => out.push(OP_STATS),
+            Request::Upload { ref batch } => {
+                out.push(OP_UPLOAD);
+                out.extend_from_slice(&batch.encode());
+            }
+            Request::IngestStats => out.push(OP_INGEST_STATS),
         }
         out
     }
@@ -202,6 +235,11 @@ impl Request {
                 have_epoch: r.u64().map_err(|_| (req_id, Status::MalformedFrame))?,
             },
             OP_STATS => Request::Stats,
+            OP_UPLOAD => Request::Upload {
+                batch: ReadingBatch::decode_from(&mut r)
+                    .map_err(|_| (req_id, Status::MalformedFrame))?,
+            },
+            OP_INGEST_STATS => Request::IngestStats,
             _ => return Err((req_id, Status::UnknownOpcode)),
         };
         r.finish().map_err(|_| (req_id, Status::MalformedFrame))?;
@@ -239,6 +277,39 @@ pub struct FetchResponse {
     pub prelude: Vec<u8>,
     /// One entry per locality, in locality order.
     pub entries: Vec<LocalityEntry>,
+}
+
+/// The body of a successful upload response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadAck {
+    /// Whether the batch ID had already been ingested: the retry path. A
+    /// duplicate is still a success — the readings are durably stored.
+    pub duplicate: bool,
+    /// Readings in the (first-ingested) batch.
+    pub readings: u32,
+}
+
+impl UploadAck {
+    /// Encodes the ack body (appended after an `Ok` response header).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = vec![u8::from(self.duplicate)];
+        put_u32(&mut out, self.readings);
+        out
+    }
+
+    /// Decodes the ack body from a response reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or a non-boolean duplicate tag.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let duplicate = match r.u8()? {
+            0 => false,
+            1 => true,
+            tag => return Err(WireError::BadTag { what: "upload ack duplicate flag", tag }),
+        };
+        Ok(Self { duplicate, readings: r.u32()? })
+    }
 }
 
 /// Encodes a response header: magic, version, echoed request ID, status.
@@ -491,12 +562,62 @@ impl FrameReader {
         Ok(Some(payload))
     }
 
+    /// Opcode-aware [`pop_frame`](Self::pop_frame): frames at or below
+    /// `small_cap` pop as usual; frames announcing more than `small_cap`
+    /// are admitted (up to `upload_cap`) only once the buffered opcode
+    /// byte identifies them as UPLOAD, and rejected otherwise. Returns
+    /// `Ok(None)` while a large frame's header has not yet arrived — the
+    /// caller keeps filling until the opcode byte is readable.
+    ///
+    /// # Errors
+    ///
+    /// `Err(len)` reports an announced length that no opcode may use.
+    pub fn pop_request_frame(&mut self, small_cap: u32, upload_cap: u32) -> PopFrame {
+        let cap = small_cap.max(upload_cap);
+        let avail = &self.buf[self.consumed..];
+        if avail.len() >= 4 {
+            let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+            if len > small_cap && len <= cap {
+                // Only an upload may be this large; wait for the opcode
+                // byte before deciding.
+                match avail.get(FRAMED_OPCODE_OFFSET) {
+                    None => return Ok(None),
+                    Some(&op) if op != OP_UPLOAD => return Err(len),
+                    Some(_) => {}
+                }
+            }
+        }
+        self.pop_frame(cap)
+    }
+
+    /// The in-progress frame, if a length prefix is buffered but the body
+    /// has not fully arrived: `(announced payload bytes, buffered payload
+    /// bytes)`. The reactor uses this to keep a large legitimate frame
+    /// (an upload) filling past its per-sweep read bound instead of
+    /// starving it behind the fairness cap.
+    pub fn pending_frame(&self) -> Option<(u32, usize)> {
+        let avail = &self.buf[self.consumed..];
+        if avail.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        let body = avail.len() - 4;
+        if body >= len as usize {
+            return None; // complete, poppable — not pending
+        }
+        Some((len, body))
+    }
+
     /// Whether un-popped bytes are buffered — i.e. a frame has started
     /// arriving but has not completed. Drives the slow-loris deadline.
     pub fn has_partial(&self) -> bool {
         self.buf.len() > self.consumed
     }
 }
+
+/// Result of [`FrameReader::pop_frame`]-family calls: a complete payload,
+/// nothing yet, or an inadmissible announced length.
+pub type PopFrame = Result<Option<Vec<u8>>, u32>;
 
 /// One queued chunk of outbound bytes: either owned (small coalesced
 /// frames) or a shared pre-encoded response tail.
@@ -634,15 +755,79 @@ impl FrameWriter {
 mod tests {
     use super::*;
 
+    fn sample_batch(batch_id: u64, n: usize) -> ReadingBatch {
+        use waldo_geo::Point;
+        use waldo_iq::FeatureVector;
+        use waldo_sensors::ReadingSample;
+        ReadingBatch {
+            batch_id,
+            channel: 30,
+            readings: (0..n)
+                .map(|i| {
+                    let v = i as f64;
+                    ReadingSample {
+                        location: Point::new(v * 100.0, v * -50.0),
+                        rss_dbm: -90.0 + v,
+                        features: FeatureVector {
+                            rss_db: -90.0 + v,
+                            cft_db: -101.0 + v,
+                            aft_db: -102.0 + v,
+                            quadrature_imbalance_db: 0.1,
+                            iq_kurtosis: 2.0,
+                            edge_bin_db: -120.0,
+                        },
+                    }
+                })
+                .collect(),
+        }
+    }
+
     #[test]
     fn request_roundtrip() {
         for request in [
             Request::Ping,
             Request::Fetch { channel: 30, x_km: 12.5, y_km: -3.0, radius_km: 8.0, have_epoch: 7 },
             Request::Stats,
+            Request::Upload { batch: sample_batch(0xfeed, 5) },
+            Request::IngestStats,
         ] {
             assert_eq!(Request::decode(&request.encode(99)), Ok((99, request)));
         }
+    }
+
+    #[test]
+    fn upload_request_rejects_corrupt_batches() {
+        let good = Request::Upload { batch: sample_batch(1, 3) }.encode(5);
+        // Truncated mid-reading.
+        assert_eq!(Request::decode(&good[..good.len() - 7]), Err((5, Status::MalformedFrame)));
+        // Batch magic broken.
+        let mut bad = good.clone();
+        bad[14] ^= 0xff; // first byte after the opcode
+        assert_eq!(Request::decode(&bad), Err((5, Status::MalformedFrame)));
+        // Trailing bytes after the batch.
+        let mut trailing = good;
+        trailing.push(0);
+        assert_eq!(Request::decode(&trailing), Err((5, Status::MalformedFrame)));
+    }
+
+    #[test]
+    fn upload_ack_roundtrip() {
+        for ack in [
+            UploadAck { duplicate: false, readings: 12 },
+            UploadAck { duplicate: true, readings: 0 },
+        ] {
+            let mut payload = encode_response_header(3, Status::Ok);
+            payload.extend_from_slice(&ack.encode_body());
+            let (req_id, status, mut r) = decode_response_header(&payload).unwrap();
+            assert_eq!((req_id, status), (3, Status::Ok));
+            assert_eq!(UploadAck::decode_from(&mut r).unwrap(), ack);
+            assert_eq!(r.finish(), Ok(()));
+        }
+        let mut bad_flag = Reader::new(&[7u8, 0, 0, 0, 0]);
+        assert!(matches!(
+            UploadAck::decode_from(&mut bad_flag),
+            Err(WireError::BadTag { tag: 7, .. })
+        ));
     }
 
     /// A v2 request header on the wire: magic, version, request ID.
@@ -785,6 +970,64 @@ mod tests {
         let mut oversize = std::io::Cursor::new(9000u32.to_le_bytes().to_vec());
         assert!(matches!(r.fill(&mut oversize).unwrap(), Fill::Bytes(4)));
         assert_eq!(r.pop_frame(1024), Err(9000));
+    }
+
+    #[test]
+    fn opcode_aware_pop_admits_large_uploads_only() {
+        let small_cap = MAX_REQUEST_BYTES;
+        let upload_cap = 256 * 1024;
+
+        // A 64KiB-class upload frame passes the upload cap.
+        let upload = Request::Upload { batch: sample_batch(9, 900) }.encode(1);
+        assert!(upload.len() > small_cap as usize, "the test batch must exceed the small cap");
+        let mut wire = (upload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&upload);
+        let mut r = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(wire);
+        while matches!(r.fill(&mut cursor).unwrap(), Fill::Bytes(_)) {}
+        assert_eq!(r.pop_request_frame(small_cap, upload_cap).unwrap(), Some(upload.clone()));
+
+        // The same length announced by a non-upload opcode is rejected.
+        let mut fake = upload.clone();
+        fake[13] = 0; // rewrite the opcode byte to PING
+        let mut wire = (fake.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&fake);
+        let mut r = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(wire);
+        while matches!(r.fill(&mut cursor).unwrap(), Fill::Bytes(_)) {}
+        assert_eq!(r.pop_request_frame(small_cap, upload_cap), Err(fake.len() as u32));
+
+        // Above the upload cap, even an upload is rejected.
+        let mut r = FrameReader::new();
+        let mut oversize = std::io::Cursor::new((upload_cap + 1).to_le_bytes().to_vec());
+        assert!(matches!(r.fill(&mut oversize).unwrap(), Fill::Bytes(4)));
+        assert_eq!(r.pop_request_frame(small_cap, upload_cap), Err(upload_cap + 1));
+
+        // A large announcement with only a partial header buffered is
+        // neither admitted nor rejected: the reader waits for the opcode.
+        let mut r = FrameReader::new();
+        let mut partial = std::io::Cursor::new(5000u32.to_le_bytes().to_vec());
+        assert!(matches!(r.fill(&mut partial).unwrap(), Fill::Bytes(4)));
+        assert_eq!(r.pop_request_frame(small_cap, upload_cap), Ok(None));
+        assert_eq!(r.pending_frame(), Some((5000, 0)));
+    }
+
+    #[test]
+    fn pending_frame_tracks_partial_bodies() {
+        let payload = vec![7u8; 100];
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+
+        let mut r = FrameReader::new();
+        assert_eq!(r.pending_frame(), None, "no length prefix yet");
+        let mut first_half = std::io::Cursor::new(wire[..40].to_vec());
+        while matches!(r.fill(&mut first_half).unwrap(), Fill::Bytes(_)) {}
+        assert_eq!(r.pending_frame(), Some((100, 36)));
+
+        let mut rest = std::io::Cursor::new(wire[40..].to_vec());
+        while matches!(r.fill(&mut rest).unwrap(), Fill::Bytes(_)) {}
+        assert_eq!(r.pending_frame(), None, "complete frames are poppable, not pending");
+        assert_eq!(r.pop_frame(1024).unwrap(), Some(payload));
     }
 
     #[test]

@@ -46,9 +46,10 @@ use std::time::{Duration, Instant};
 use waldo_fault::{FaultStream, TransportFaults};
 
 use crate::catalog::{ModelCatalog, ServedChannel};
+use crate::ingest::IngestPlane;
 use crate::protocol::{
-    encode_response, response_head, FetchResponse, Fill, Flush, FrameReader, FrameWriter,
-    LocalityEntry, Request, Status, MAX_REQUEST_BYTES,
+    encode_response, encode_response_header, response_head, FetchResponse, Fill, Flush,
+    FrameReader, FrameWriter, LocalityEntry, Request, Status, MAX_REQUEST_BYTES,
 };
 use crate::stats::{EndpointStats, StatsSnapshot};
 
@@ -92,6 +93,10 @@ pub struct ServeConfig {
     /// Reactor event-loop threads; `0` means auto (available parallelism,
     /// capped at 4 — reactors are I/O loops, not compute workers).
     pub reactors: usize,
+    /// Size bound for UPLOAD request frames. Non-upload opcodes stay
+    /// bounded by [`MAX_REQUEST_BYTES`]; only a frame whose buffered
+    /// opcode byte says UPLOAD may announce up to this many bytes.
+    pub max_upload_bytes: u32,
     /// Optional fault schedule wrapped around every accepted socket
     /// (forked per connection). Inert without the `fault` feature.
     pub faults: Option<TransportFaults>,
@@ -109,6 +114,7 @@ impl Default for ServeConfig {
             frame_deadline: Duration::from_secs(10),
             max_connections: env_positive(ENV_MAX_CONNECTIONS).unwrap_or(256),
             reactors: env_positive(ENV_REACTORS).unwrap_or(0),
+            max_upload_bytes: 256 * 1024,
             faults: None,
         }
     }
@@ -158,8 +164,10 @@ pub(crate) struct ServerStats {
 impl ServerStats {
     /// Builds the wire-facing snapshot, folding in the process-wide obs
     /// histograms (which is what "per-endpoint" means here: one histogram
-    /// per `waldo_obs::timed` name).
-    fn snapshot(&self) -> StatsSnapshot {
+    /// per `waldo_obs::timed` name) and, when an ingestion plane is
+    /// attached, its v3 counters.
+    fn snapshot(&self, ingest: Option<&IngestPlane>) -> StatsSnapshot {
+        let ingest = ingest.map(IngestPlane::snapshot).unwrap_or_default();
         StatsSnapshot {
             obs_compiled: waldo_obs::compiled(),
             obs_enabled: waldo_obs::enabled(),
@@ -171,6 +179,10 @@ impl ServerStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             reactors: self.reactors.load(Ordering::Relaxed),
+            uploads_total: ingest.uploads_total,
+            upload_readings: ingest.readings_total,
+            upload_duplicates: ingest.duplicates_total,
+            refits_total: ingest.refits_total,
             endpoints: waldo_obs::histogram_snapshot()
                 .into_iter()
                 .map(|(name, hist)| EndpointStats { name: name.to_owned(), hist })
@@ -192,6 +204,7 @@ pub struct ServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    ingest: Option<Arc<IngestPlane>>,
     reactors: Vec<JoinHandle<()>>,
 }
 
@@ -203,7 +216,7 @@ impl ServerHandle {
 
     /// The same snapshot the `Stats` opcode serves, read in-process.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.stats.snapshot(self.ingest.as_deref())
     }
 
     /// Signals the reactors to stop and joins them; open connections are
@@ -236,6 +249,27 @@ pub fn serve(
     catalog: Arc<RwLock<ModelCatalog>>,
     config: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_with_ingest(addr, catalog, config, None)
+}
+
+/// [`serve`] with an attached ingestion plane: `UPLOAD` frames are
+/// durably appended to its WAL and acknowledged, `INGEST_STATS` serves
+/// its counters, and `STATS` grows the v3 ingest fields. Without a plane
+/// (`None`, what [`serve`] passes) both ingest opcodes answer
+/// [`Status::UnknownOpcode`] — the same behaviour an older server gives a
+/// newer client. The caller keeps its own `Arc` to the plane and owns the
+/// refit worker's lifetime.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable, or the error from
+/// configuring/cloning the shared non-blocking listener.
+pub fn serve_with_ingest(
+    addr: impl ToSocketAddrs,
+    catalog: Arc<RwLock<ModelCatalog>>,
+    config: ServeConfig,
+    ingest: Option<Arc<IngestPlane>>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -256,10 +290,11 @@ pub fn serve(
             stats: Arc::clone(&stats),
             stop: Arc::clone(&stop),
             conn_seq: Arc::clone(&conn_seq),
+            ingest: ingest.clone(),
         };
         reactors.push(std::thread::spawn(move || reactor.run()));
     }
-    Ok(ServerHandle { addr, stop, stats, reactors })
+    Ok(ServerHandle { addr, stop, stats, ingest, reactors })
 }
 
 /// Releases one connection slot on drop, however the connection ends.
@@ -302,6 +337,7 @@ struct Reactor {
     stats: Arc<ServerStats>,
     stop: Arc<AtomicBool>,
     conn_seq: Arc<AtomicU64>,
+    ingest: Option<Arc<IngestPlane>>,
 }
 
 impl Reactor {
@@ -379,12 +415,19 @@ impl Reactor {
     /// `false` to drop the connection.
     fn drive(&self, conn: &mut Conn, now: Instant, progress: &mut bool) -> bool {
         // Read phase. Skipped once the connection is closing, and paused
-        // while the peer has a backlog of unread responses.
+        // while the peer has a backlog of unread responses. The fairness
+        // cap yields to one exception: a partially-buffered frame larger
+        // than the small-request cap (a legitimate upload mid-transfer)
+        // keeps filling while the socket has bytes — otherwise an 8-fill
+        // bound would stretch a multi-chunk upload across sweeps behind
+        // every other connection's traffic. The loop still exits on
+        // `WouldBlock`, so the exemption is bounded by what the kernel has
+        // buffered, and the frame deadline still applies.
         let mut fills = 0;
         while !conn.close_after_flush
             && !conn.read_eof
             && conn.writer.queued_bytes() <= WRITE_BACKPRESSURE_BYTES
-            && fills < MAX_FILLS_PER_SWEEP
+            && (fills < MAX_FILLS_PER_SWEEP || self.large_frame_in_flight(conn))
         {
             match conn.reader.fill(&mut conn.stream) {
                 Ok(Fill::Bytes(_)) => {
@@ -446,12 +489,23 @@ impl Reactor {
         true
     }
 
+    /// Whether the connection is mid-way through receiving a frame that
+    /// announces more than the small-request cap but stays within the
+    /// upload bound — the only frames allowed past the per-sweep fill
+    /// fairness cap.
+    fn large_frame_in_flight(&self, conn: &Conn) -> bool {
+        conn.reader.pending_frame().is_some_and(|(announced, _)| {
+            announced > MAX_REQUEST_BYTES
+                && announced <= MAX_REQUEST_BYTES.max(self.config.max_upload_bytes)
+        })
+    }
+
     /// Pops and handles every complete frame in the connection's read
     /// buffer. Stops at the first frame that ends the connection (error
     /// response or busy rejection) — the rest of the buffer is untrusted.
     fn handle_buffered_frames(&self, conn: &mut Conn) {
         while !conn.close_after_flush {
-            match conn.reader.pop_frame(MAX_REQUEST_BYTES) {
+            match conn.reader.pop_request_frame(MAX_REQUEST_BYTES, self.config.max_upload_bytes) {
                 Ok(Some(payload)) => {
                     if conn.over_cap {
                         // Echo the request ID even on the rejection path,
@@ -538,10 +592,52 @@ impl Reactor {
                 }
             }
             Request::Stats => {
-                let payload = crate::stats::encode_stats_response(req_id, &self.stats.snapshot());
+                let payload = crate::stats::encode_stats_response(
+                    req_id,
+                    &self.stats.snapshot(self.ingest.as_deref()),
+                );
                 waldo_prof::count("serve_bytes_out", payload.len() as u64);
                 conn.writer.push_frame(&payload);
             }
+            Request::Upload { batch } => {
+                let Some(ingest) = self.ingest.as_deref() else {
+                    // No ingestion plane attached: behave exactly like a
+                    // server that predates the opcode.
+                    self.stats.error();
+                    self.push_response(conn, req_id, Status::UnknownOpcode, None);
+                    conn.close_after_flush = true;
+                    return;
+                };
+                let _t = waldo_obs::timed("serve_upload");
+                match ingest.ingest(&batch) {
+                    Ok(ack) => {
+                        let mut payload = encode_response_header(req_id, Status::Ok);
+                        payload.extend_from_slice(&ack.encode_body());
+                        waldo_prof::count("serve_bytes_out", payload.len() as u64);
+                        conn.writer.push_frame(&payload);
+                    }
+                    Err(_) => {
+                        // WAL write failed: nothing was acknowledged, so
+                        // the client's retry (same batch ID) is safe.
+                        self.stats.error();
+                        self.push_response(conn, req_id, Status::Internal, None);
+                        conn.close_after_flush = true;
+                    }
+                }
+            }
+            Request::IngestStats => match self.ingest.as_deref() {
+                None => {
+                    self.stats.error();
+                    self.push_response(conn, req_id, Status::UnknownOpcode, None);
+                    conn.close_after_flush = true;
+                }
+                Some(ingest) => {
+                    let mut payload = encode_response_header(req_id, Status::Ok);
+                    payload.extend_from_slice(&ingest.snapshot().encode_body());
+                    waldo_prof::count("serve_bytes_out", payload.len() as u64);
+                    conn.writer.push_frame(&payload);
+                }
+            },
         }
     }
 

@@ -10,6 +10,8 @@
 //!       | accepted_total u64 | active_connections u64
 //!       | busy_rejections u64 | requests_total u64 | errors_total u64
 //!       | cache_hits u64 | cache_misses u64 | reactors u64   (v2+)
+//!       | uploads_total u64 | upload_readings u64
+//!       | upload_duplicates u64 | refits_total u64           (v3+)
 //!       | endpoint count u32 | endpoint…
 //! endpoint := name len u16 | name utf-8
 //!           | count u64 | sum u64 | min u64 | max u64
@@ -19,8 +21,9 @@
 //! ```
 //!
 //! Version history: v1 ended at `errors_total`; v2 appended the response-
-//! cache and reactor counters of the reactor serving plane. A v2 decoder
-//! reads v1 bodies with those fields zeroed.
+//! cache and reactor counters of the reactor serving plane; v3 appended
+//! the ingestion-plane counters (uploads, readings, duplicates, refits).
+//! A v3 decoder reads v1/v2 bodies with the missing fields zeroed.
 //!
 //! Histograms travel in sparse `(bucket index, count)` form with their
 //! exact count/sum/min/max, so the receiving side reconstructs a
@@ -30,7 +33,7 @@ use waldo::wire::{put_u16, put_u32, put_u64, Reader, WireError};
 use waldo_obs::Histogram;
 
 /// Version written by this build's encoder.
-pub const STATS_VERSION: u8 = 2;
+pub const STATS_VERSION: u8 = 3;
 
 const FLAG_OBS_COMPILED: u8 = 1 << 0;
 const FLAG_OBS_ENABLED: u8 = 1 << 1;
@@ -67,6 +70,15 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Reactor event-loop threads the server is running.
     pub reactors: u64,
+    /// Upload batches accepted and durably appended (v3+; zero when no
+    /// ingestion plane is attached).
+    pub uploads_total: u64,
+    /// Readings across accepted upload batches (v3+).
+    pub upload_readings: u64,
+    /// Upload batches acknowledged as already-ingested duplicates (v3+).
+    pub upload_duplicates: u64,
+    /// Refit passes that published a refreshed model (v3+).
+    pub refits_total: u64,
     /// Per-endpoint latency histograms (empty unless obs is recording).
     pub endpoints: Vec<EndpointStats>,
 }
@@ -93,6 +105,10 @@ impl StatsSnapshot {
         put_u64(&mut out, self.cache_hits);
         put_u64(&mut out, self.cache_misses);
         put_u64(&mut out, self.reactors);
+        put_u64(&mut out, self.uploads_total);
+        put_u64(&mut out, self.upload_readings);
+        put_u64(&mut out, self.upload_duplicates);
+        put_u64(&mut out, self.refits_total);
         put_u32(&mut out, self.endpoints.len() as u32);
         for ep in &self.endpoints {
             put_u16(&mut out, ep.name.len() as u16);
@@ -126,6 +142,8 @@ impl StatsSnapshot {
         let errors_total = r.u64()?;
         let (cache_hits, cache_misses, reactors) =
             if version >= 2 { (r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0) };
+        let (uploads_total, upload_readings, upload_duplicates, refits_total) =
+            if version >= 3 { (r.u64()?, r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0, 0) };
         let n = r.u32()? as usize;
         let mut endpoints = Vec::with_capacity(n.min(r.remaining() + 1));
         for _ in 0..n {
@@ -161,6 +179,10 @@ impl StatsSnapshot {
             cache_hits,
             cache_misses,
             reactors,
+            uploads_total,
+            upload_readings,
+            upload_duplicates,
+            refits_total,
             endpoints,
         })
     }
@@ -212,6 +234,10 @@ mod tests {
             cache_hits: 100,
             cache_misses: 5,
             reactors: 4,
+            uploads_total: 9,
+            upload_readings: 360,
+            upload_duplicates: 2,
+            refits_total: 3,
             endpoints: vec![
                 EndpointStats { name: "serve_encode".into(), hist: encode },
                 EndpointStats { name: "serve_handle".into(), hist: handle },
@@ -259,6 +285,24 @@ mod tests {
         assert_eq!(back.accepted_total, 12);
         assert_eq!(back.errors_total, 1);
         assert_eq!((back.cache_hits, back.cache_misses, back.reactors), (0, 0, 0));
+        assert_eq!(back.uploads_total, 0);
+    }
+
+    #[test]
+    fn v2_snapshot_decodes_with_zeroed_v3_fields() {
+        // A v2 body ends at reactors + an empty endpoint list.
+        let mut bytes = vec![2u8, super::super::protocol::PROTOCOL_VERSION, 0];
+        for counter in [12u64, 3, 2, 4, 1, 100, 5, 4] {
+            bytes.extend_from_slice(&counter.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let back = StatsSnapshot::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.accepted_total, 12);
+        assert_eq!((back.cache_hits, back.cache_misses, back.reactors), (100, 5, 4));
+        assert_eq!(
+            (back.uploads_total, back.upload_readings, back.upload_duplicates, back.refits_total),
+            (0, 0, 0, 0)
+        );
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! End-to-end tests of the ingestion plane over the reactor transport:
+//! large upload frames past the small-request cap, idempotent retries,
+//! refit-driven epoch bumps propagating through delta fetches, and
+//! response-cache invalidation on republish.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use waldo::wire::ReadingBatch;
+use waldo::{Assessor, ModelConstructor, WaldoConfig};
+use waldo_data::{ChannelDataset, Labeler, Measurement, Safety};
+use waldo_geo::Point;
+use waldo_iq::FeatureVector;
+use waldo_rf::TvChannel;
+use waldo_sensors::{Observation, ReadingSample, SensorKind};
+use waldo_serve::protocol::{decode_response_header, read_frame, write_frame, FrameRead};
+use waldo_serve::{
+    serve, serve_with_ingest, ClientError, IngestPlane, ModelCatalog, ModelClient, Request,
+    ServeConfig, Status,
+};
+use waldo_store::RefitEngine;
+
+const CHANNEL: u8 = 30;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("waldo-serve-ingest-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn features_for(rss: f64) -> FeatureVector {
+    FeatureVector {
+        rss_db: rss,
+        cft_db: rss - 11.3,
+        aft_db: rss - 12.5,
+        quadrature_imbalance_db: 0.0,
+        iq_kurtosis: 2.0,
+        edge_bin_db: -110.0,
+    }
+}
+
+/// East half hot (not safe), west half quiet — uploads near the west can
+/// flip a locality's decision on refit.
+fn base_dataset(n: usize) -> ChannelDataset {
+    let mut measurements = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let x = (i as f64 / n as f64) * 30_000.0;
+        let y = ((i * 7) % 20) as f64 * 1_000.0;
+        let rss = if x > 15_000.0 { -70.0 } else { -100.0 } + ((i % 5) as f64 - 2.0);
+        measurements.push(Measurement {
+            location: Point::new(x, y),
+            odometer_m: i as f64 * 100.0,
+            observation: Observation {
+                rss_dbm: rss,
+                features: features_for(rss),
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        });
+        labels.push(Safety::from_not_safe(x > 15_000.0));
+    }
+    ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+}
+
+/// Fits the base model, publishes it (epoch 1), and opens an ingestion
+/// plane in `dir` wired to the same catalog.
+fn plane_in(dir: &std::path::Path) -> (Arc<IngestPlane>, Arc<RwLock<ModelCatalog>>) {
+    let constructor = ModelConstructor::new(WaldoConfig::default().localities(3).seed(2));
+    let base = base_dataset(300);
+    let model = constructor.fit(&base).unwrap();
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model);
+    let engine = RefitEngine::new(constructor, Labeler::new(), base, model);
+    let plane = IngestPlane::open(dir, Arc::clone(&catalog), CHANNEL, engine).unwrap();
+    (plane, catalog)
+}
+
+/// A batch of strong readings near the quiet west spot `(2 km, 4 km)`.
+fn strong_batch(id: u64, n: usize) -> ReadingBatch {
+    ReadingBatch {
+        batch_id: id,
+        channel: CHANNEL,
+        readings: (0..n)
+            .map(|i| ReadingSample {
+                location: Point::new(
+                    2_000.0 + (i % 7) as f64 * 150.0,
+                    4_000.0 + (i / 7) as f64 * 150.0,
+                ),
+                rss_dbm: -60.0,
+                features: features_for(-60.0),
+            })
+            .collect(),
+    }
+}
+
+/// Satellite: a 64 KiB upload frame — far past the 1 KiB small-request
+/// cap — must travel the reactor transport intact and be acknowledged,
+/// while an equally large frame with a non-upload opcode is rejected.
+#[test]
+fn large_upload_frames_pass_where_other_opcodes_are_rejected() {
+    let dir = temp_dir("large");
+    let (plane, catalog) = plane_in(&dir);
+    let mut server =
+        serve_with_ingest("127.0.0.1:0", catalog, ServeConfig::default(), Some(Arc::clone(&plane)))
+            .expect("ephemeral bind");
+
+    // ~950 readings ≈ 68 KiB encoded: well past MAX_REQUEST_BYTES.
+    let batch = strong_batch(9, 950);
+    let encoded = Request::Upload { batch: batch.clone() }.encode(1);
+    assert!(encoded.len() > 64 * 1024, "fixture must exceed 64 KiB, got {}", encoded.len());
+
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+    let report = client.upload(&batch).expect("large upload over the reactor transport");
+    assert!(!report.duplicate);
+    assert_eq!(report.readings, 950);
+    assert_eq!(plane.snapshot().readings_total, 950);
+
+    // The same announced size under a PING opcode must be refused: only
+    // uploads may use the larger bound.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let ping = Request::Ping.encode(77);
+    stream.write_all(&(encoded.len() as u32).to_le_bytes()).unwrap();
+    stream.write_all(&ping).unwrap(); // header + opcode arrive, body never will
+    stream.flush().unwrap();
+    let FrameRead::Frame(reply) = read_frame(&mut stream, 1 << 20).unwrap() else {
+        panic!("server should reject before closing");
+    };
+    let (_, status, _) = decode_response_header(&reply).unwrap();
+    assert_eq!(status, Status::RequestTooLarge);
+    server.shutdown();
+}
+
+/// The closed loop of the paper's §3.1/§3.4 story: a phone uploads
+/// readings, the plane refits and republishes, and an existing client's
+/// delta fetch observes the bumped epoch and the flipped decision.
+#[test]
+fn uploads_refit_and_propagate_through_delta_fetches() {
+    let dir = temp_dir("loop");
+    let (plane, catalog) = plane_in(&dir);
+    let mut server =
+        serve_with_ingest("127.0.0.1:0", catalog, ServeConfig::default(), Some(Arc::clone(&plane)))
+            .expect("ephemeral bind");
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+
+    let (before, report) = client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("initial fetch");
+    assert_eq!(report.epoch, 1);
+    let spot = Point::new(2_000.0, 4_000.0);
+    let obs = Observation { rss_dbm: -60.0, features: features_for(-60.0), raw_pilot_db: -71.3 };
+    assert!(!before.assess(spot, &obs).is_not_safe(), "base model calls the quiet west safe");
+
+    let upload = client.upload(&strong_batch(1, 40)).expect("upload");
+    assert!(!upload.duplicate);
+    let refit = plane.run_refit_now().expect("refit pass").expect("uploads changed a locality");
+    assert!(!refit.changed_localities.is_empty());
+
+    // The delta fetch ships only the retrained localities.
+    let (after, delta) = client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("delta fetch");
+    assert_eq!(delta.epoch, 2, "refit publish bumps the channel epoch");
+    assert_eq!(delta.sent, refit.changed_localities.len());
+    assert_eq!(delta.sent + delta.unchanged, after.locality_count());
+    assert!(after.assess(spot, &obs).is_not_safe(), "refreshed model flips the decision");
+
+    // Both stats surfaces carry the ingest counters.
+    let ingest = client.ingest_stats().expect("ingest stats");
+    assert_eq!(ingest.uploads_total, 1);
+    assert_eq!(ingest.readings_total, 40);
+    assert_eq!(ingest.refits_total, 1);
+    assert_eq!(ingest.model_epoch, 2);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.uploads_total, 1);
+    assert_eq!(stats.upload_readings, 40);
+    assert_eq!(stats.refits_total, 1);
+    server.shutdown();
+}
+
+/// Satellite: a refit-driven republish must structurally invalidate the
+/// pre-encoded response cache — the tail served from cache after the
+/// republish is byte-identical to a fresh encode of the new state, and
+/// the hit/miss counters account for the invalidation.
+#[test]
+fn republish_after_upload_invalidates_the_response_cache() {
+    let dir = temp_dir("cache");
+    let (plane, catalog) = plane_in(&dir);
+    let mut server =
+        serve_with_ingest("127.0.0.1:0", catalog, ServeConfig::default(), Some(Arc::clone(&plane)))
+            .expect("ephemeral bind");
+
+    // One raw unscoped fetch, replayed byte-for-byte before and after the
+    // republish. Identical request bytes isolate the response delta.
+    let request =
+        Request::Fetch { channel: CHANNEL, x_km: 10.0, y_km: 10.0, radius_km: -1.0, have_epoch: 0 }
+            .encode(400);
+    let raw_fetch = |addr| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut stream, &request).unwrap();
+        let FrameRead::Frame(reply) = read_frame(&mut stream, 64 << 20).unwrap() else {
+            panic!("server closed before answering");
+        };
+        reply
+    };
+
+    let miss_before = raw_fetch(server.addr()); // builds the epoch-1 tail
+    let hit_before = raw_fetch(server.addr()); // served from cache
+    assert_eq!(miss_before, hit_before, "cached tail must equal the fresh encode");
+    let snap = server.stats_snapshot();
+    assert_eq!((snap.cache_misses, snap.cache_hits), (1, 1));
+
+    plane.ingest(&strong_batch(1, 40)).unwrap();
+    plane.run_refit_now().expect("refit pass").expect("uploads changed a locality");
+
+    // Same request bytes, new channel state: the response must change —
+    // a stale pre-encoded tail would replay `miss_before` verbatim.
+    let miss_after = raw_fetch(server.addr());
+    let hit_after = raw_fetch(server.addr());
+    assert_ne!(miss_after, miss_before, "republish must not serve the stale tail");
+    assert_eq!(miss_after, hit_after, "rebuilt cache must equal the fresh encode");
+    let snap = server.stats_snapshot();
+    assert_eq!((snap.cache_misses, snap.cache_hits), (2, 2), "republish costs one rebuild");
+    server.shutdown();
+}
+
+/// Without an ingestion plane both new opcodes answer `UnknownOpcode` —
+/// the exact behaviour a server predating them would give.
+#[test]
+fn servers_without_an_ingest_plane_answer_unknown_opcode() {
+    let constructor = ModelConstructor::new(WaldoConfig::default().localities(3).seed(2));
+    let model = constructor.fit(&base_dataset(200)).unwrap();
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().unwrap().publish(CHANNEL, &model);
+    let mut server = serve("127.0.0.1:0", catalog, ServeConfig::default()).expect("bind");
+
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(5));
+    match client.upload(&strong_batch(1, 3)) {
+        Err(ClientError::Server(Status::UnknownOpcode)) => {}
+        other => panic!("expected UnknownOpcode, got {other:?}"),
+    }
+    match client.ingest_stats() {
+        Err(ClientError::Server(Status::UnknownOpcode)) => {}
+        other => panic!("expected UnknownOpcode, got {other:?}"),
+    }
+    // The classic opcodes still serve.
+    let (fetched, _) = client.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("fetch still works");
+    assert_eq!(fetched.locality_count(), 3);
+    server.shutdown();
+}
+
+/// Satellite: client-minted batch IDs make the retry loop idempotent.
+/// Under an injected short-write schedule some upload attempts die
+/// mid-frame and are retried; whatever subset the server acknowledged, no
+/// batch may ever be ingested twice.
+#[cfg(feature = "fault")]
+#[test]
+fn short_write_retries_never_double_ingest() {
+    use waldo_fault::{TransportFaults, TransportPlan};
+
+    let dir = temp_dir("retry");
+    let (plane, catalog) = plane_in(&dir);
+    let mut server =
+        serve_with_ingest("127.0.0.1:0", catalog, ServeConfig::default(), Some(Arc::clone(&plane)))
+            .expect("ephemeral bind");
+
+    let faults = TransportFaults::new(
+        0x1d3a,
+        TransportPlan {
+            refuse_connect: 0.0,
+            corrupt_byte: 0.0,
+            short_write: 0.35,
+            drop_mid_frame: 0.1,
+            read_stall: 0.0,
+            stall: Duration::from_millis(1),
+        },
+    );
+    let mut client = ModelClient::new(server.addr(), Duration::from_secs(2))
+        .retry_policy(waldo_serve::RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(10),
+            jitter: 0.5,
+        })
+        .jitter_seed(3)
+        .with_transport_faults(faults);
+
+    const READINGS_PER_BATCH: usize = 6;
+    let mut acked = 0u64;
+    let mut duplicates_seen = 0u64;
+    for id in 1..=20u64 {
+        match client.upload(&strong_batch(id, READINGS_PER_BATCH)) {
+            Ok(report) => {
+                acked += 1;
+                assert_eq!(report.readings, READINGS_PER_BATCH as u32);
+                if report.duplicate {
+                    // First attempt landed in the WAL, its ack was lost,
+                    // and the retry was deduplicated — the satellite's
+                    // exact scenario.
+                    duplicates_seen += 1;
+                }
+            }
+            // Retries exhausted: the batch may or may not have landed;
+            // either way it must not be double-counted below.
+            Err(ClientError::Io(_) | ClientError::CircuitOpen) => {}
+            Err(other) => panic!("unexpected upload failure: {other:?}"),
+        }
+    }
+    assert!(client.retries_total() > 0, "the schedule must force retries");
+    assert!(acked > 0, "some uploads must get through");
+
+    let snap = plane.snapshot();
+    assert!(snap.uploads_total >= acked.saturating_sub(duplicates_seen));
+    // The no-double-ingest invariant, end to end: every reading in the
+    // WAL + segments traces to exactly one accepted batch.
+    plane.run_refit_now().expect("refit after the chaos");
+    let snap = plane.snapshot();
+    assert_eq!(
+        snap.stored_readings,
+        snap.uploads_total * READINGS_PER_BATCH as u64,
+        "stored readings must be exactly one copy per accepted batch"
+    );
+    server.shutdown();
+}

@@ -1,0 +1,64 @@
+//! The ingestion store: the durable half of the paper's crowd-sourcing
+//! loop (§3.1/§3.4 — phones upload readings, the central repository
+//! retrains, devices download refreshed models).
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`ReadingLog`] — an append-only write-ahead log of upload batches.
+//!   Records are length-prefixed and checksummed; replay truncates a torn
+//!   tail instead of failing, and batch IDs are remembered so a client
+//!   retry after a lost ack never double-ingests.
+//! * [`SegmentStore`] — checkpoint/compaction of replayed batches into
+//!   immutable per-locality segment files plus an atomically-rewritten
+//!   manifest. A locality's segment digest changes iff its reading set
+//!   changed, which is exactly the signal the refit layer diffs.
+//! * [`RefitEngine`] — the incremental trainer: relabels the full reading
+//!   set (Algorithm 1's 6 km poisoning rule is non-local) but retrains
+//!   only the localities whose segment digest moved since the last refit,
+//!   so steady-state uploads cost one locality's training pass, not k.
+//!
+//! Durability contract: [`ReadingLog::append`] does not return until the
+//! record is on disk (fsync batching is opt-in via
+//! [`ReadingLog::sync_every`]), so any acknowledged batch survives a kill
+//! and is recovered by replay on the next open.
+
+mod refit;
+mod segment;
+mod wal;
+
+pub use refit::{RefitEngine, RefitError, RefitReport};
+pub use segment::{CheckpointReport, Manifest, SegmentMeta, SegmentStore};
+pub use wal::{AppendOutcome, ReadingLog, ReplayReport, MAX_WAL_RECORD_BYTES};
+
+/// Errors from the store layers.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A manifest or segment file failed structural validation.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "store corruption: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

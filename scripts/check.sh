@@ -44,31 +44,40 @@ echo "==> criterion smoke (extract_fused vs extract_reference)"
 # appearing in bench listings.
 cargo bench -p waldo-bench --bench kernels -- extract_
 
-echo "==> serve smoke (serve_load --quick --obs-overhead + gate --obs)"
-# Boots the model server, runs 16 concurrent clients through full fetches,
-# delta fetches, and malformed-frame probes, then holds 256 pipelined
-# keep-alive connections against the reactor pool for the throughput
-# phase, then shuts down gracefully. serve_load itself exits nonzero on
-# any protocol error or failed connect; the gate additionally enforces
-# the fetch-latency and fetches-per-second floors plus the 90% response-
-# cache hit-rate floor (scripts/bench_floor.json) and, with --obs, the
-# recording-overhead ceiling on the obs-enabled build.
+echo "==> serve smoke (serve_load --quick --obs-overhead + gate --obs --ingest)"
+# Boots the model server (with its ingestion plane), runs 16 concurrent
+# clients through full fetches, delta fetches, and malformed-frame
+# probes, then holds 256 pipelined keep-alive connections against the
+# reactor pool for the throughput phase, then turns the fleet around for
+# the upload -> refit -> delta-fetch ingest smoke, then shuts down
+# gracefully. serve_load itself exits nonzero on any protocol or upload
+# error; the gate additionally enforces the fetch-latency and
+# fetches-per-second floors plus the 90% response-cache hit-rate floor,
+# the upload-rate floor and refit-latency ceiling from the ingest report
+# (scripts/bench_floor.json) and, with --obs, the recording-overhead
+# ceiling on the obs-enabled build.
 cargo run --release -p waldo-bench --features "prof obs" --bin serve_load -- \
-    --quick --connections 256 --obs-overhead --out target/BENCH_serve_smoke.json
+    --quick --connections 256 --obs-overhead --out target/BENCH_serve_smoke.json \
+    --ingest-out target/BENCH_ingest_smoke.json
 cargo run --release -p waldo-bench --features prof --bin gate -- \
-    target/BENCH_smoke.json scripts/bench_floor.json target/BENCH_serve_smoke.json --obs
+    target/BENCH_smoke.json scripts/bench_floor.json target/BENCH_serve_smoke.json --obs \
+    --ingest target/BENCH_ingest_smoke.json
 
 echo "==> obs_dump self-test"
-# In-process server + client round trip through the Stats opcode; asserts
-# connection/request counters and (with obs) per-endpoint histograms.
+# In-process server + client round trip through the Stats opcode plus one
+# upload -> refit -> delta-fetch loop through the ingestion plane; asserts
+# connection/request/ingest counters and (with obs) per-endpoint
+# histograms.
 cargo run --release -p waldo-serve --features obs --bin obs_dump -- --self-test
 
 echo "==> chaos smoke (chaos_soak --quick + gate --chaos)"
 # Seeded fault injection on every client transport and sensor, through a
-# full server outage/recovery cycle. chaos_soak itself exits nonzero on
-# any panic or incorrect safe decision; the gate additionally requires
-# every fault category to have fired and enforces the recovery-latency
-# ceiling (scripts/bench_floor.json).
+# full server outage/recovery cycle and a crowd-sourced upload phase with
+# a mid-run WAL kill/recovery. chaos_soak itself exits nonzero on any
+# panic, incorrect safe decision, duplicate-ingested batch, or client
+# that missed the refit; the gate additionally requires every fault
+# category to have fired and enforces the recovery-latency ceiling
+# (scripts/bench_floor.json).
 cargo run --release -p waldo-bench --features "prof fault" --bin chaos_soak -- \
     --quick --out target/BENCH_chaos_smoke.json
 cargo run --release -p waldo-bench --features prof --bin gate -- \
