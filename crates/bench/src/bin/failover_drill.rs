@@ -1,0 +1,812 @@
+//! Scripted failover drills for the geo-replicated serving plane: a
+//! leader with its ingestion plane plus two pull-replicating followers,
+//! a fleet of multi-endpoint clients under seeded transport/sensor
+//! faults, and a kill schedule that walks the topology through every
+//! failure mode the replication design claims to survive.
+//!
+//! The run has five barrier-separated scenarios shared by all clients:
+//!
+//! 1. **Healthy** — three replicas serve epoch 1; each client is sticky
+//!    to a different replica (the endpoint list is rotated per client) and
+//!    runs fetch+detect rounds.
+//! 2. **Kill a follower** — the main thread stops follower 1. Clients
+//!    sticky to it must fail over *within a single logical round trip*;
+//!    per-client recovery is timed from the kill instant to the next
+//!    successful fetch.
+//! 3. **Rebind** — follower 1 restarts on the same address with a *fresh*
+//!    catalog and a fresh sync worker; it must full-resync from the leader
+//!    before the fleet's next phase.
+//! 4. **Stale follower** — follower 2's sync worker is frozen, then the
+//!    leader ingests crowd-sourced readings and refits to epoch 2. Clients
+//!    reading through the frozen follower see stale-but-consistent epoch 1;
+//!    nothing may decide incorrect-safe. The worker then resumes and must
+//!    converge to epoch 2.
+//! 5. **Leader loss** — the leader is killed. Follower sync loops start
+//!    erroring (counted, never fatal) while both followers keep serving
+//!    epoch 2; every client must converge to the post-failover epoch
+//!    through the surviving replicas.
+//!
+//! Every decision goes through a [`StaleModelGuard`] and lands in a
+//! [`DecisionAuditLog`] ring; the drill exits nonzero on any panic, any
+//! incorrect "safe" decision, any client that failed to converge, or an
+//! audit trail that disagrees with the live tallies.
+//!
+//! Emits `BENCH_failover.json` for `gate --failover`: scenario completion
+//! flags, failover/recovery tallies and percentiles, follower sync
+//! counters, and the invariant counts.
+//!
+//! Usage: `failover_drill [--quick] [--seed N] [--clients N] [--out PATH]`
+//! (needs the `fault` feature; without it the schedules are no-ops and
+//! the report says so).
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use waldo::wire::ReadingBatch;
+use waldo::{
+    ClassifierKind, DecisionAuditLog, DecisionRecord, DetectorOutcome, ModelConstructor,
+    StaleModelGuard, WaldoConfig, WaldoModel, WhiteSpaceDetector,
+};
+use waldo_bench::report::{percentile, write_json};
+use waldo_data::{ChannelDataset, Labeler, Measurement, Safety};
+use waldo_fault::{
+    derive_seed, SensorFault, SensorFaults, SensorPlan, TransportFaults, TransportPlan,
+};
+use waldo_geo::Point;
+use waldo_iq::FeatureVector;
+use waldo_rf::TvChannel;
+use waldo_sensors::{Observation, ReadingSample, SensorKind};
+use waldo_serve::{
+    serve, serve_with_ingest, CircuitBreakerPolicy, ClientError, IngestPlane, ModelCatalog,
+    ModelClient, ReplicaFollower, ReplicaWorker, RetryPolicy, ServeConfig,
+};
+use waldo_store::RefitEngine;
+
+const CHANNEL: u8 = 30;
+/// Readings per crowd-sourced batch fed to the leader's refit.
+const READINGS_PER_BATCH: usize = 12;
+/// CI convergence threshold (dB).
+const ALPHA_DB: f64 = 1.2;
+/// Forced-decision cap per bout.
+const MAX_READINGS: usize = 120;
+/// Uniform reading-noise half width (dB).
+const NOISE_HALF_DB: f64 = 2.0;
+/// Model TTL; wall time never approaches it, so the stale gate stays
+/// open and `conservative_overrides` must end at zero.
+const TTL: Duration = Duration::from_secs(3600);
+/// The epoch the leader's mid-drill refit publishes and every client
+/// must converge to after the leader dies.
+const REFIT_EPOCH: u64 = 2;
+/// Follower sync-loop interval.
+const SYNC_INTERVAL: Duration = Duration::from_millis(10);
+
+struct Scale {
+    clients: usize,
+    /// Fetch rounds per scenario (each followed by detection bouts).
+    rounds_per_phase: usize,
+    /// Detection bouts per fetch round.
+    bouts_per_round: usize,
+    /// Crowd-sourced batches ingested before the leader's refit.
+    refit_batches: usize,
+}
+
+impl Scale {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self { clients: 3, rounds_per_phase: 3, bouts_per_round: 2, refit_batches: 6 }
+        } else {
+            Self { clients: 6, rounds_per_phase: 6, bouts_per_round: 3, refit_batches: 10 }
+        }
+    }
+}
+
+/// Synthetic east/west channel: safe west of 15 km, not-safe east of it.
+fn dataset(n: usize) -> ChannelDataset {
+    let mut measurements = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let x = (i as f64 / n as f64) * 30_000.0;
+        let y = ((i * 7) % 20) as f64 * 1_000.0;
+        let not_safe = x > 15_000.0;
+        let rss = if not_safe { -70.0 } else { -95.0 } + ((i % 5) as f64 - 2.0);
+        measurements.push(Measurement {
+            location: Point::new(x, y),
+            odometer_m: i as f64 * 100.0,
+            observation: observation(rss),
+            true_rss_dbm: rss,
+        });
+        labels.push(Safety::from_not_safe(not_safe));
+    }
+    ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+}
+
+fn observation(rss: f64) -> Observation {
+    Observation {
+        rss_dbm: rss,
+        features: FeatureVector {
+            rss_db: rss,
+            cft_db: rss - 11.3,
+            aft_db: rss - 12.5,
+            quadrature_imbalance_db: 0.0,
+            iq_kurtosis: 0.0,
+            edge_bin_db: -110.0,
+        },
+        raw_pilot_db: rss - 11.3,
+    }
+}
+
+fn constructor() -> ModelConstructor {
+    ModelConstructor::new(WaldoConfig::default().classifier(ClassifierKind::Svm).localities(4))
+}
+
+/// A crowd-sourced batch near `site`, deterministic in `k`.
+fn reading_batch(k: usize, site: &Site) -> ReadingBatch {
+    let readings = (0..READINGS_PER_BATCH)
+        .map(|i| {
+            let dx = ((i * 37 + k * 11) % 40) as f64 * 25.0;
+            let dy = ((i * 53 + k * 7) % 40) as f64 * 25.0;
+            let rss = site.base_rss + ((i % 5) as f64 - 2.0) * 0.5;
+            ReadingSample {
+                location: Point::new(site.location.x + dx, site.location.y + dy),
+                rss_dbm: rss,
+                features: observation(rss).features,
+            }
+        })
+        .collect();
+    ReadingBatch { batch_id: 900_000 + k as u64 + 1, channel: CHANNEL, readings }
+}
+
+/// Where a client sits and what the right answer there is.
+struct Site {
+    location: Point,
+    base_rss: f64,
+    truth: Safety,
+}
+
+fn site_for(index: u64) -> Site {
+    if index.is_multiple_of(2) {
+        Site { location: Point::new(25_000.0, 10_000.0), base_rss: -70.0, truth: Safety::NotSafe }
+    } else {
+        Site { location: Point::new(5_000.0, 10_000.0), base_rss: -95.0, truth: Safety::Safe }
+    }
+}
+
+/// Everything one client thread tallies; summed by the main thread.
+#[derive(Debug, Default)]
+struct ClientStats {
+    fetch_ok: u64,
+    fetch_err: u64,
+    circuit_rejections: u64,
+    /// Undecodable response frames — must stay zero.
+    wire_errors: u64,
+    /// Typed client-detected divergence after a corrupted-but-well-formed
+    /// request; recovered from, allowed nonzero.
+    consistency_rejections: u64,
+    decisions_total: u64,
+    conservative_overrides: u64,
+    incorrect_safe: u64,
+    /// Kill-a-follower scenario: kill instant to next successful fetch.
+    recovery_follower_ns: Option<u64>,
+    /// Leader-loss scenario: kill instant to convergence on the refit
+    /// epoch through a surviving replica.
+    recovery_leader_ns: Option<u64>,
+    /// The epoch this client held at exit (must be [`REFIT_EPOCH`]).
+    final_epoch: u64,
+    obs: waldo_serve::ClientObsSnapshot,
+    audit_total: u64,
+    audit_dropped: u64,
+    audit_retained: u64,
+    audit_downgrades: u64,
+}
+
+/// One fetch through the hardened client, folded into the tallies.
+fn try_fetch(client: &mut ModelClient, stats: &mut ClientStats) -> Option<WaldoModel> {
+    match client.fetch(CHANNEL, 10.0, 10.0, -1.0) {
+        Ok((model, _report)) => {
+            stats.fetch_ok += 1;
+            Some(model)
+        }
+        Err(e) => {
+            stats.fetch_err += 1;
+            match e {
+                ClientError::CircuitOpen => stats.circuit_rejections += 1,
+                ClientError::Wire(_) => stats.wire_errors += 1,
+                ClientError::Protocol(_) => stats.consistency_rejections += 1,
+                ClientError::Io(_) | ClientError::Server(_) => {}
+            }
+            None
+        }
+    }
+}
+
+/// Fetches until one lands; the failover policy makes this fast even with
+/// a dead sticky endpoint, but injected faults can still cost retries.
+fn fetch_until_ok(client: &mut ModelClient, stats: &mut ClientStats) -> WaldoModel {
+    for attempt in 0.. {
+        assert!(attempt < 1_000, "fetch failed 1000 times in a row");
+        if let Some(model) = try_fetch(client, stats) {
+            return model;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    unreachable!()
+}
+
+/// One detection bout against the guarded model, fault-injected readings,
+/// decision gated and audited, scored against ground truth.
+fn detection_bout(
+    guard: &StaleModelGuard,
+    sensor: &mut SensorFaults,
+    rng: &mut StdRng,
+    site: &Site,
+    epoch: u64,
+    log: &mut DecisionAuditLog,
+    stats: &mut ClientStats,
+) {
+    let mut det =
+        WhiteSpaceDetector::new(guard.model().clone(), ALPHA_DB).max_readings(MAX_READINGS);
+    let mut last_rss = site.base_rss;
+    let mut ci_trail: Vec<f64> = Vec::new();
+    for _ in 0..MAX_READINGS * 10 {
+        let mut rss = site.base_rss + (rng.gen::<f64>() * 2.0 - 1.0) * NOISE_HALF_DB;
+        match sensor.next_fault() {
+            SensorFault::Drop => continue,
+            SensorFault::Stuck => rss = last_rss,
+            SensorFault::Burst(db) => rss += db,
+            SensorFault::None => {}
+        }
+        last_rss = rss;
+        match det.push(site.location, &observation(rss)) {
+            DetectorOutcome::Converged { safety, readings_used } => {
+                let gated = guard.gate_decision(safety);
+                log.push(DecisionRecord {
+                    seq: 0,
+                    channel: CHANNEL,
+                    locality: guard.model().locality_for(site.location),
+                    model_epoch: epoch,
+                    readings_used,
+                    ci_trajectory_db: ci_trail,
+                    decided: safety,
+                    gated,
+                    converged: readings_used < MAX_READINGS,
+                });
+                stats.decisions_total += 1;
+                if gated != safety {
+                    stats.conservative_overrides += 1;
+                }
+                if gated == Safety::Safe && site.truth == Safety::NotSafe {
+                    stats.incorrect_safe += 1;
+                }
+                return;
+            }
+            DetectorOutcome::NeedMoreReadings { ci_span_db } => {
+                if let Some(span) = ci_span_db {
+                    if ci_trail.len() >= waldo::device::CI_TRAJECTORY_CAP {
+                        ci_trail.remove(0);
+                    }
+                    ci_trail.push(span);
+                }
+            }
+        }
+    }
+    unreachable!("detector must force a decision at the reading cap");
+}
+
+/// A fetch round followed by its detection bouts.
+#[allow(clippy::too_many_arguments)]
+fn load_round(
+    client: &mut ModelClient,
+    guard: &mut StaleModelGuard,
+    sensor: &mut SensorFaults,
+    rng: &mut StdRng,
+    site: &Site,
+    audit: &mut DecisionAuditLog,
+    stats: &mut ClientStats,
+    bouts: usize,
+) {
+    if let Some(model) = try_fetch(client, stats) {
+        guard.refresh(model);
+    }
+    for _ in 0..bouts {
+        let epoch = client.cached_epoch(CHANNEL);
+        detection_bout(guard, sensor, rng, site, epoch, audit, stats);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    index: u64,
+    seed: u64,
+    endpoints: Vec<SocketAddr>,
+    scale: &Scale,
+    barrier: &Barrier,
+    kill_follower_at: &Mutex<Option<Instant>>,
+    kill_leader_at: &Mutex<Option<Instant>>,
+) -> ClientStats {
+    let mut stats = ClientStats::default();
+    let faults = TransportFaults::new(
+        derive_seed(seed, "transport", index),
+        TransportPlan {
+            refuse_connect: 0.03,
+            corrupt_byte: 0.02,
+            short_write: 0.03,
+            drop_mid_frame: 0.02,
+            read_stall: 0.02,
+            stall: Duration::from_millis(20),
+        },
+    );
+    let mut client = ModelClient::with_endpoints(endpoints, Duration::from_secs(1))
+        .retry_policy(RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(80),
+            jitter: 0.5,
+        })
+        .circuit_breaker(CircuitBreakerPolicy { failure_threshold: 3, cooldown_requests: 2 })
+        .jitter_seed(derive_seed(seed, "jitter", index))
+        .with_transport_faults(faults);
+    let mut sensor = SensorFaults::new(
+        derive_seed(seed, "sensor", index),
+        SensorPlan { stuck: 0.05, stuck_len: 6, drop: 0.05, burst: 0.03, burst_db: 25.0 },
+    );
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, "readings", index));
+    let site = site_for(index);
+    let mut audit = DecisionAuditLog::new(32);
+
+    // Scenario 1: healthy — all replicas serve epoch 1.
+    let model = fetch_until_ok(&mut client, &mut stats);
+    let mut guard = StaleModelGuard::new(model, TTL);
+    for _ in 0..scale.rounds_per_phase {
+        load_round(
+            &mut client,
+            &mut guard,
+            &mut sensor,
+            &mut rng,
+            &site,
+            &mut audit,
+            &mut stats,
+            scale.bouts_per_round,
+        );
+    }
+
+    barrier.wait(); // healthy done; main kills follower 1
+    barrier.wait(); // kill instant recorded
+
+    // Scenario 2: kill-a-follower. Clients sticky to the dead replica
+    // rotate within the round trip; everyone else is unaffected.
+    let killed = kill_follower_at.lock().unwrap().expect("main records the kill instant");
+    let model = fetch_until_ok(&mut client, &mut stats);
+    stats.recovery_follower_ns = Some(killed.elapsed().as_nanos() as u64);
+    guard.refresh(model);
+    for _ in 0..scale.rounds_per_phase {
+        load_round(
+            &mut client,
+            &mut guard,
+            &mut sensor,
+            &mut rng,
+            &site,
+            &mut audit,
+            &mut stats,
+            scale.bouts_per_round,
+        );
+    }
+
+    barrier.wait(); // scenario 2 done; main rebinds follower 1, full resync
+    barrier.wait();
+
+    // Scenario 3: rebind — topology healthy again; keep the load on.
+    for _ in 0..scale.rounds_per_phase {
+        load_round(
+            &mut client,
+            &mut guard,
+            &mut sensor,
+            &mut rng,
+            &site,
+            &mut audit,
+            &mut stats,
+            scale.bouts_per_round,
+        );
+    }
+
+    barrier.wait(); // scenario 3 done; main freezes follower 2, refits leader
+    barrier.wait();
+
+    // Scenario 4: stale follower — fetches may land on the frozen replica
+    // (stale-but-consistent epoch 1) or a current one (epoch 2). Either
+    // way no decision may claim safe where the truth is not-safe.
+    for _ in 0..scale.rounds_per_phase {
+        load_round(
+            &mut client,
+            &mut guard,
+            &mut sensor,
+            &mut rng,
+            &site,
+            &mut audit,
+            &mut stats,
+            scale.bouts_per_round,
+        );
+    }
+
+    barrier.wait(); // scenario 4 done; main resumes follower 2, kills leader
+    barrier.wait();
+
+    // Scenario 5: leader loss — converge to the refit epoch through the
+    // surviving followers.
+    let killed = kill_leader_at.lock().unwrap().expect("main records the kill instant");
+    for attempt in 0.. {
+        assert!(attempt < 1_000, "client never converged after the leader died");
+        if let Some(model) = try_fetch(&mut client, &mut stats) {
+            guard.refresh(model);
+            if client.cached_epoch(CHANNEL) >= REFIT_EPOCH {
+                stats.recovery_leader_ns = Some(killed.elapsed().as_nanos() as u64);
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for _ in 0..scale.rounds_per_phase {
+        load_round(
+            &mut client,
+            &mut guard,
+            &mut sensor,
+            &mut rng,
+            &site,
+            &mut audit,
+            &mut stats,
+            scale.bouts_per_round,
+        );
+    }
+
+    stats.final_epoch = client.cached_epoch(CHANNEL);
+    stats.obs = client.obs_snapshot();
+    stats.audit_total = audit.total();
+    stats.audit_dropped = audit.dropped();
+    stats.audit_retained = audit.len() as u64;
+    stats.audit_downgrades = audit.downgrades();
+    stats
+}
+
+/// Polls `catalog` until `channel` reaches `epoch` (replication is
+/// asynchronous; the drill only advances once the topology settled).
+fn wait_for_epoch(catalog: &Arc<RwLock<ModelCatalog>>, epoch: u64, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let now = catalog.read().unwrap().channel(CHANNEL).map_or(0, |c| c.epoch);
+        if now >= epoch {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{what} never reached epoch {epoch} (at {now})");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed: u64 = 42;
+    let mut clients_override: Option<usize> = None;
+    let mut out = String::from("target/BENCH_failover.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes a u64");
+            }
+            "--clients" => {
+                i += 1;
+                clients_override = Some(args[i].parse().expect("--clients takes a count"));
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    let mut scale = Scale::new(quick);
+    if let Some(n) = clients_override {
+        scale.clients = n;
+    }
+    let scale = Arc::new(scale);
+
+    let started = Instant::now();
+    let base = dataset(300);
+    let model = constructor().fit(&base).expect("synthetic data trains");
+    let config = ServeConfig {
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        frame_deadline: Duration::from_secs(1),
+        max_connections: 32,
+        ..ServeConfig::default()
+    };
+
+    // Leader: catalog + ingestion plane (the refit in scenario 4 goes
+    // through the same path a crowd-sourced upload would).
+    let leader_catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    leader_catalog.write().unwrap().publish(CHANNEL, &model);
+    let ingest_dir =
+        std::env::temp_dir().join(format!("waldo-failover-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ingest_dir);
+    let engine = RefitEngine::new(constructor(), Labeler::new(), base.clone(), model.clone());
+    let plane = IngestPlane::open(&ingest_dir, Arc::clone(&leader_catalog), CHANNEL, engine)
+        .expect("ingest plane opens");
+    let mut leader = serve_with_ingest(
+        "127.0.0.1:0",
+        Arc::clone(&leader_catalog),
+        config.clone(),
+        Some(plane.clone()),
+    )
+    .expect("leader binds");
+    let leader_addr = leader.addr();
+
+    // Followers: own catalogs, own servers, pull-sync workers off the
+    // leader. Both must mirror epoch 1 before any client starts.
+    let f1_catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    let mut f1_server =
+        serve("127.0.0.1:0", Arc::clone(&f1_catalog), config.clone()).expect("follower 1 binds");
+    let f1_addr = f1_server.addr();
+    let f1_worker = ReplicaWorker::spawn(
+        ReplicaFollower::new(
+            vec![leader_addr],
+            Arc::clone(&f1_catalog),
+            vec![CHANNEL],
+            Duration::from_secs(1),
+        ),
+        SYNC_INTERVAL,
+    );
+    let f2_catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    let mut f2_server =
+        serve("127.0.0.1:0", Arc::clone(&f2_catalog), config.clone()).expect("follower 2 binds");
+    let f2_addr = f2_server.addr();
+    let f2_worker = ReplicaWorker::spawn(
+        ReplicaFollower::new(
+            vec![leader_addr],
+            Arc::clone(&f2_catalog),
+            vec![CHANNEL],
+            Duration::from_secs(1),
+        ),
+        SYNC_INTERVAL,
+    );
+    wait_for_epoch(&f1_catalog, 1, "follower 1");
+    wait_for_epoch(&f2_catalog, 1, "follower 2");
+    eprintln!(
+        "failover_drill: seed {seed}, {} clients, fault injection {} — leader {leader_addr}, \
+         followers {f1_addr} / {f2_addr}",
+        scale.clients,
+        if cfg!(feature = "fault") { "ON" } else { "OFF (build with --features fault)" },
+    );
+
+    let barrier = Arc::new(Barrier::new(scale.clients + 1));
+    let kill_follower_at = Arc::new(Mutex::new(None::<Instant>));
+    let kill_leader_at = Arc::new(Mutex::new(None::<Instant>));
+    let replicas = [leader_addr, f1_addr, f2_addr];
+    let handles: Vec<_> = (0..scale.clients as u64)
+        .map(|index| {
+            // Rotate the endpoint list per client so every replica starts
+            // as someone's sticky choice — each kill scenario then hits at
+            // least one client mid-session.
+            let r = (index as usize) % replicas.len();
+            let endpoints: Vec<SocketAddr> =
+                (0..replicas.len()).map(|k| replicas[(r + k) % replicas.len()]).collect();
+            let barrier = Arc::clone(&barrier);
+            let kill_follower_at = Arc::clone(&kill_follower_at);
+            let kill_leader_at = Arc::clone(&kill_leader_at);
+            let scale = Arc::clone(&scale);
+            std::thread::spawn(move || {
+                run_client(
+                    index,
+                    seed,
+                    endpoints,
+                    &scale,
+                    &barrier,
+                    &kill_follower_at,
+                    &kill_leader_at,
+                )
+            })
+        })
+        .collect();
+
+    barrier.wait(); // clients finished the healthy scenario
+    f1_server.shutdown();
+    drop(f1_server);
+    *kill_follower_at.lock().unwrap() = Some(Instant::now());
+    eprintln!("failover_drill: follower 1 killed — failover scenario");
+    barrier.wait();
+
+    barrier.wait(); // clients finished the kill-a-follower scenario
+    drop(f1_worker); // the dead replica's old sync worker goes too
+    let f1_catalog = Arc::new(RwLock::new(ModelCatalog::new())); // fresh: full resync
+    let mut f1_server =
+        serve(f1_addr, Arc::clone(&f1_catalog), config.clone()).expect("follower 1 rebinds");
+    let f1_worker = ReplicaWorker::spawn(
+        ReplicaFollower::new(
+            vec![leader_addr],
+            Arc::clone(&f1_catalog),
+            vec![CHANNEL],
+            Duration::from_secs(1),
+        ),
+        SYNC_INTERVAL,
+    );
+    wait_for_epoch(&f1_catalog, 1, "rebound follower 1");
+    eprintln!("failover_drill: follower 1 rebound and resynced — rebind scenario");
+    barrier.wait();
+
+    barrier.wait(); // clients finished the rebind scenario
+    let frozen = f2_worker.stop(); // follower 2 goes stale
+    for k in 0..scale.refit_batches {
+        let site = site_for(k as u64); // both polarities feed the refit
+        plane.ingest(&reading_batch(k, &site)).expect("leader ingests the batch");
+    }
+    let t_refit = Instant::now();
+    let refit = plane
+        .run_refit_now()
+        .expect("refit succeeds")
+        .expect("ingested readings must change the model");
+    let refit_ns = t_refit.elapsed().as_nanos() as u64;
+    let leader_epoch = leader_catalog.read().unwrap().channel(CHANNEL).unwrap().epoch;
+    assert_eq!(leader_epoch, REFIT_EPOCH, "the refit must publish epoch {REFIT_EPOCH}");
+    wait_for_epoch(&f1_catalog, REFIT_EPOCH, "follower 1 after the refit");
+    eprintln!(
+        "failover_drill: leader refit to epoch {REFIT_EPOCH} ({} localities, {:.1} ms); \
+         follower 2 frozen at epoch 1 — stale-follower scenario",
+        refit.changed_localities.len(),
+        refit_ns as f64 / 1e6,
+    );
+    barrier.wait();
+
+    barrier.wait(); // clients finished the stale-follower scenario
+    let f2_worker = ReplicaWorker::spawn(frozen, SYNC_INTERVAL);
+    wait_for_epoch(&f2_catalog, REFIT_EPOCH, "resumed follower 2");
+    leader.shutdown();
+    drop(leader);
+    *kill_leader_at.lock().unwrap() = Some(Instant::now());
+    eprintln!("failover_drill: leader killed — leader-loss scenario");
+    barrier.wait();
+
+    let mut total = ClientStats::default();
+    let mut recoveries: Vec<u64> = Vec::new();
+    let mut panics = 0u64;
+    let mut clients_converged = 0u64;
+    for handle in handles {
+        match handle.join() {
+            Ok(stats) => {
+                total.fetch_ok += stats.fetch_ok;
+                total.fetch_err += stats.fetch_err;
+                total.circuit_rejections += stats.circuit_rejections;
+                total.wire_errors += stats.wire_errors;
+                total.consistency_rejections += stats.consistency_rejections;
+                total.decisions_total += stats.decisions_total;
+                total.conservative_overrides += stats.conservative_overrides;
+                total.incorrect_safe += stats.incorrect_safe;
+                total.obs.attempts_total += stats.obs.attempts_total;
+                total.obs.retries_total += stats.obs.retries_total;
+                total.obs.reconnects_total += stats.obs.reconnects_total;
+                total.obs.breaker_opens += stats.obs.breaker_opens;
+                total.obs.half_open_probes += stats.obs.half_open_probes;
+                total.obs.failovers_total += stats.obs.failovers_total;
+                total.audit_total += stats.audit_total;
+                total.audit_dropped += stats.audit_dropped;
+                total.audit_retained += stats.audit_retained;
+                total.audit_downgrades += stats.audit_downgrades;
+                if stats.final_epoch >= REFIT_EPOCH {
+                    clients_converged += 1;
+                }
+                recoveries.extend(stats.recovery_follower_ns);
+                recoveries.extend(stats.recovery_leader_ns);
+            }
+            Err(_) => panics += 1,
+        }
+    }
+
+    // The surviving followers keep serving while their sync loops error
+    // against the dead leader; both must have counted at least one.
+    let sync_deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let errs = f1_worker.snapshot().sync_errors_total + f2_worker.snapshot().sync_errors_total;
+        if errs >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < sync_deadline,
+            "follower sync loops never erred against the dead leader"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let f1_snap = f1_worker.stop().snapshot();
+    let f2_snap = f2_worker.stop().snapshot();
+    f1_server.shutdown();
+    f2_server.shutdown();
+    let _ = std::fs::remove_dir_all(&ingest_dir);
+
+    recoveries.sort_unstable();
+    let recovery_p50 = percentile(&recoveries, 0.50);
+    let recovery_p99 = percentile(&recoveries, 0.99);
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let report = json!({
+        "seed": seed,
+        "clients": scale.clients as u64,
+        "quick": quick,
+        "fault_enabled": cfg!(feature = "fault"),
+        "replicas": 3u64,
+        "scenario_kill_follower": true,
+        "scenario_rebind": true,
+        "scenario_stale_follower": true,
+        "scenario_leader_loss": true,
+        "fetch_ok": total.fetch_ok,
+        "fetch_errors": total.fetch_err,
+        "circuit_open_rejections": total.circuit_rejections,
+        "protocol_violations": total.wire_errors,
+        "consistency_rejections": total.consistency_rejections,
+        "decisions_total": total.decisions_total,
+        "conservative_overrides": total.conservative_overrides,
+        "incorrect_safe_decisions": total.incorrect_safe,
+        "clients_converged": clients_converged,
+        "epoch_converged": REFIT_EPOCH,
+        "failovers_total": total.obs.failovers_total,
+        "client_attempts_total": total.obs.attempts_total,
+        "client_retries_total": total.obs.retries_total,
+        "client_reconnects_total": total.obs.reconnects_total,
+        "breaker_opens": total.obs.breaker_opens,
+        "follower_sync_errors_total": f1_snap.sync_errors_total + f2_snap.sync_errors_total,
+        "follower_installs_total": f1_snap.installs_total + f2_snap.installs_total,
+        "follower_full_resyncs_total": f1_snap.full_resyncs_total + f2_snap.full_resyncs_total,
+        "follower_rounds_total": f1_snap.rounds_total + f2_snap.rounds_total,
+        "recovery_samples": recoveries.len() as u64,
+        "recovery_p50_ns": recovery_p50,
+        "recovery_p99_ns": recovery_p99,
+        "audit_decisions": total.audit_total,
+        "audit_retained": total.audit_retained,
+        "audit_dropped": total.audit_dropped,
+        "audit_downgrades": total.audit_downgrades,
+        "refit_ns": refit_ns,
+        "refit_changed_localities": refit.changed_localities.len() as u64,
+        "panics": panics,
+        "wall_seconds": wall_seconds,
+    });
+    write_json(&out, &report);
+    eprintln!(
+        "failover_drill: {} fetches ok / {} errors, {} failovers, {} decisions \
+         (0 required incorrect-safe, got {}), {} / {} clients converged to epoch {REFIT_EPOCH}, \
+         recovery p50 {:.2} ms / p99 {:.2} ms, {} panics -> {out}",
+        total.fetch_ok,
+        total.fetch_err,
+        total.obs.failovers_total,
+        total.decisions_total,
+        total.incorrect_safe,
+        clients_converged,
+        scale.clients,
+        recovery_p50 as f64 / 1e6,
+        recovery_p99 as f64 / 1e6,
+        panics,
+    );
+
+    assert_eq!(panics, 0, "client thread panicked");
+    assert_eq!(total.incorrect_safe, 0, "incorrect safe decision recorded");
+    assert_eq!(total.wire_errors, 0, "undecodable response reached a client");
+    assert_eq!(
+        clients_converged, scale.clients as u64,
+        "not every client converged to the post-failover epoch"
+    );
+    assert!(total.obs.failovers_total >= 1, "no client ever failed over");
+    assert_eq!(
+        total.audit_total, total.decisions_total,
+        "every decision must land in the audit log"
+    );
+    assert_eq!(
+        total.audit_downgrades, total.conservative_overrides,
+        "audit-log downgrades must match the conservative-override tally"
+    );
+    assert_eq!(
+        total.audit_retained + total.audit_dropped,
+        total.audit_total,
+        "retained + dropped must account for every audit record"
+    );
+}

@@ -1,9 +1,11 @@
 //! CI gate over a `probe`-written pipeline report (and, optionally, a
 //! `serve_load`-written serving report, a `serve_load`-written ingest
-//! report, and a `chaos_soak`-written chaos report).
+//! report, a `chaos_soak`-written chaos report, and a
+//! `failover_drill`-written failover report).
 //!
 //! Usage: `gate <report.json> <floor.json> [serve_report.json] [--obs]
-//! [--ingest ingest_report.json] [--chaos chaos_report.json]`
+//! [--ingest ingest_report.json] [--chaos chaos_report.json]
+//! [--failover failover_report.json] [--history history.jsonl]`
 //!
 //! Fails (exit 1) when:
 //! - any required stage timer (`synth`, `fft_features`, `label`, `kmeans`,
@@ -48,11 +50,26 @@
 //!   (the hardened paths went unexercised), the recovery p99 exceeds
 //!   the absolute ceiling (`chaos_recovery_p99_ns` in the floor file),
 //!   no upload was acked, a WAL replay lost an acked batch, a batch was
-//!   ingested twice, or a client never observed the refitted epoch.
+//!   ingested twice, or a client never observed the refitted epoch;
+//! - a failover report is given and it ran without the `fault` feature,
+//!   skipped any of the four scripted scenarios (kill-a-follower, rebind,
+//!   stale-follower, leader-loss), recorded a panic / protocol violation /
+//!   incorrect "safe" decision, left a client short of the post-failover
+//!   epoch, never actually failed a client over, left the follower sync
+//!   loop unexercised (no installs or no errors against the dead leader),
+//!   timed no recoveries, or its recovery p99 exceeds the absolute ceiling
+//!   (`failover_recovery_p99_ns` in the floor file);
+//! - `--history` is given: after all checks pass, the gate appends one
+//!   compact line of headline metrics to the JSONL file, then fails if any
+//!   tracked metric shows a *sustained* regression — every one of the last
+//!   [`TREND_RECENT`] entries worse than the best earlier entry by more
+//!   than [`TREND_REGRESSION_LIMIT`]× (direction-aware; a single noisy
+//!   run cannot trip it, and fewer than three entries always pass).
 
 use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
 
-use serde::Value;
+use serde::{Map, Value};
 
 const REQUIRED_STAGES: [&str; 6] = ["synth", "fft_features", "label", "kmeans", "svm_fit", "cv"];
 
@@ -107,6 +124,28 @@ const OBS_OVERHEAD_CEILING: f64 = 0.05;
 /// flaking on timer granularity while still catching a real per-request
 /// recording cost.
 const OBS_OVERHEAD_SLACK_NS: f64 = 20_000.0;
+
+/// How many of the newest history entries must *all* be worse before the
+/// trend guard fires. Two in a row filters the single-run noise a ratio
+/// gate against a fixed floor cannot.
+const TREND_RECENT: usize = 2;
+
+/// How much worse (direction-aware ratio against the best earlier entry)
+/// a metric must be, across all of the last [`TREND_RECENT`] entries, to
+/// count as a sustained regression.
+const TREND_REGRESSION_LIMIT: f64 = 1.5;
+
+/// Headline metrics tracked in the bench history, with their direction
+/// (`true` = higher is better). Entries missing a metric (e.g. runs
+/// without a serve report) are skipped for that metric's series.
+const TREND_METRICS: [(&str, bool); 6] = [
+    ("svm_fit_ns_per_fit", false),
+    ("context_readings_per_s", true),
+    ("detector_push_readings_per_s", true),
+    ("serve_fetch_p50_ns", false),
+    ("serve_fetches_per_s", true),
+    ("failover_recovery_p99_ns", false),
+];
 
 fn load(path: &str) -> Result<Value, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -488,8 +527,219 @@ fn check_chaos(report: &Value, floor: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn check_failover(report: &Value, floor: &Value) -> Result<(), String> {
+    let field = |name: &str| {
+        report.get(name).and_then(Value::as_f64).ok_or(format!("failover report has no {name}"))
+    };
+    if report.get("fault_enabled").and_then(Value::as_bool) != Some(true) {
+        return Err("failover report was produced without the fault feature \
+             (fault_enabled != true); rebuild failover_drill with --features fault"
+            .into());
+    }
+    // Every scripted scenario must have completed, or the drill proved a
+    // weaker claim than the report's name suggests.
+    for name in [
+        "scenario_kill_follower",
+        "scenario_rebind",
+        "scenario_stale_follower",
+        "scenario_leader_loss",
+    ] {
+        if report.get(name).and_then(Value::as_bool) != Some(true) {
+            return Err(format!("failover drill did not complete {name}"));
+        }
+    }
+    // Invariants: replica deaths must never surface as panics, garbage
+    // frames, or an optimistic "safe".
+    for (name, why) in [
+        ("panics", "client thread panicked during a failover scenario"),
+        ("protocol_violations", "undecodable response reached the client"),
+        ("incorrect_safe_decisions", "a decision claimed safe when it must not"),
+    ] {
+        let v = field(name)?;
+        if v != 0.0 {
+            return Err(format!("failover drill recorded {name} = {v}: {why}"));
+        }
+    }
+    let clients = field("clients")?;
+    let converged = field("clients_converged")?;
+    if converged < clients {
+        return Err(format!(
+            "only {converged} of {clients} clients converged to the post-failover epoch"
+        ));
+    }
+    // Coverage: the rotation, the follower sync loop, and the recovery
+    // timers must all have actually fired.
+    for (name, why) in [
+        ("failovers_total", "no client ever rotated off a dead replica"),
+        ("follower_installs_total", "followers never installed a replicated epoch"),
+        ("follower_sync_errors_total", "follower sync loops never erred against the dead leader"),
+        ("recovery_samples", "no recovery was timed"),
+    ] {
+        if field(name)? == 0.0 {
+            return Err(format!("failover drill never exercised {name}: {why}"));
+        }
+    }
+    let p99 = field("recovery_p99_ns")?;
+    let ceiling = floor
+        .get("failover_recovery_p99_ns")
+        .and_then(Value::as_f64)
+        .ok_or("floor file has no failover_recovery_p99_ns".to_string())?;
+    if p99 > ceiling {
+        return Err(format!(
+            "failover recovery p99 too slow: {:.1} ms vs {:.1} ms ceiling",
+            p99 / 1e6,
+            ceiling / 1e6
+        ));
+    }
+    eprintln!(
+        "gate ok: failover drill {clients} clients over {} scenarios, {} failovers, \
+         all converged to epoch {}, 0 panics/violations/unsafe decisions, \
+         recovery p99 {:.1} ms vs {:.1} ms ceiling",
+        4,
+        field("failovers_total")?,
+        field("epoch_converged")?,
+        p99 / 1e6,
+        ceiling / 1e6
+    );
+    Ok(())
+}
+
+/// One compact history line: the headline rate/latency metrics of this
+/// gate run, stamped with wall-clock seconds. Only metrics whose source
+/// report was supplied appear, so the trend series stay honest.
+fn history_entry(report: &Value, serve: Option<&Value>, failover: Option<&Value>) -> Value {
+    let mut entry = Map::new();
+    let ts = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
+    entry.insert("ts", Value::from(ts as f64));
+    let mut put = |key: &str, value: Option<f64>| {
+        if let Some(v) = value {
+            entry.insert(key, Value::from(v));
+        }
+    };
+    put(
+        "svm_fit_ns_per_fit",
+        report.get("svm_fit").and_then(|s| s.get("cached_ns_per_fit")).and_then(Value::as_f64),
+    );
+    put(
+        "context_readings_per_s",
+        report
+            .get("context_build")
+            .and_then(|b| b.get("serial_readings_per_sec"))
+            .and_then(Value::as_f64),
+    );
+    put(
+        "detector_push_readings_per_s",
+        report.get("detector_push").and_then(|d| d.get("readings_per_s")).and_then(Value::as_f64),
+    );
+    if let Some(serve) = serve {
+        put("serve_fetch_p50_ns", serve.get("fetch_p50_ns").and_then(Value::as_f64));
+        put("serve_fetches_per_s", serve.get("fetches_per_s").and_then(Value::as_f64));
+    }
+    if let Some(failover) = failover {
+        put("failover_recovery_p99_ns", failover.get("recovery_p99_ns").and_then(Value::as_f64));
+    }
+    Value::Object(entry)
+}
+
+/// Appends `entry` as one JSONL line and returns the full series,
+/// oldest first (unparseable lines are reported, not skipped silently —
+/// a corrupt history should be noticed, not eroded).
+fn append_history(path: &str, entry: &Value) -> Result<Vec<Value>, String> {
+    let mut entries = Vec::new();
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let parsed: Value = serde_json::from_str(line)
+                    .map_err(|e| format!("{path}:{}: unparseable history line: {e:?}", i + 1))?;
+                entries.push(parsed);
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(format!("cannot read {path}: {e}")),
+    }
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {parent:?}: {e}"))?;
+        }
+    }
+    let line = serde_json::to_string(entry).map_err(|e| format!("cannot encode entry: {e:?}"))?;
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open {path} for append: {e}"))?;
+    writeln!(file, "{line}").map_err(|e| format!("cannot append to {path}: {e}"))?;
+    entries.push(entry.clone());
+    Ok(entries)
+}
+
+/// The sustained-regression guard: for each tracked metric, fail when all
+/// of the last [`TREND_RECENT`] entries are worse than the best earlier
+/// entry by more than [`TREND_REGRESSION_LIMIT`]×. One bad run never
+/// fires it; series shorter than `TREND_RECENT + 1` always pass.
+fn check_trend(entries: &[Value]) -> Result<(), String> {
+    let mut checked = 0usize;
+    for (key, higher_is_better) in TREND_METRICS {
+        let series: Vec<f64> =
+            entries.iter().filter_map(|e| e.get(key).and_then(Value::as_f64)).collect();
+        if series.len() <= TREND_RECENT {
+            continue;
+        }
+        checked += 1;
+        let (earlier, recent) = series.split_at(series.len() - TREND_RECENT);
+        let best = earlier
+            .iter()
+            .copied()
+            .reduce(|a, b| if higher_is_better { a.max(b) } else { a.min(b) })
+            .expect("earlier is non-empty");
+        let worse = |v: f64| {
+            if higher_is_better {
+                v * TREND_REGRESSION_LIMIT < best
+            } else {
+                v > best * TREND_REGRESSION_LIMIT
+            }
+        };
+        if recent.iter().all(|&v| worse(v)) {
+            return Err(format!(
+                "sustained regression in {key}: last {TREND_RECENT} entries {recent:?} are all \
+                 worse than the best earlier entry {best:.1} by more than \
+                 {TREND_REGRESSION_LIMIT}x"
+            ));
+        }
+    }
+    eprintln!(
+        "gate ok: bench history trend clean over {} entries ({checked} metrics deep enough \
+         to judge)",
+        entries.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut failover_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--failover") {
+        if pos + 1 >= args.len() {
+            eprintln!("--failover needs a path");
+            return ExitCode::FAILURE;
+        }
+        failover_path = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    let mut history_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--history") {
+        if pos + 1 >= args.len() {
+            eprintln!("--history needs a path");
+            return ExitCode::FAILURE;
+        }
+        history_path = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
     let mut chaos_path = None;
     if let Some(pos) = args.iter().position(|a| a == "--chaos") {
         if pos + 1 >= args.len() {
@@ -519,7 +769,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: gate <report.json> <floor.json> [serve_report.json] [--obs] \
-                 [--ingest ingest.json] [--chaos chaos.json]"
+                 [--ingest ingest.json] [--chaos chaos.json] [--failover failover.json] \
+                 [--history history.jsonl]"
             );
             return ExitCode::FAILURE;
         }
@@ -532,18 +783,34 @@ fn main() -> ExitCode {
         let report = load(report_path)?;
         let floor = load(floor_path)?;
         check(&report, &floor)?;
+        let mut serve_report = None;
         if let Some(serve_path) = serve_path {
-            let serve_report = load(serve_path)?;
-            check_serve(&serve_report, &floor)?;
+            let loaded = load(serve_path)?;
+            check_serve(&loaded, &floor)?;
             if want_obs {
-                check_obs(&serve_report)?;
+                check_obs(&loaded)?;
             }
+            serve_report = Some(loaded);
         }
         if let Some(ingest_path) = &ingest_path {
             check_ingest(&load(ingest_path)?, &floor)?;
         }
         if let Some(chaos_path) = &chaos_path {
             check_chaos(&load(chaos_path)?, &floor)?;
+        }
+        let mut failover_report = None;
+        if let Some(failover_path) = &failover_path {
+            let loaded = load(failover_path)?;
+            check_failover(&loaded, &floor)?;
+            failover_report = Some(loaded);
+        }
+        // History last: only runs that passed every ratio gate feed the
+        // trend series, so the guard judges regressions among good runs
+        // rather than re-flagging failures the gates above already caught.
+        if let Some(history_path) = &history_path {
+            let entry = history_entry(&report, serve_report.as_ref(), failover_report.as_ref());
+            let entries = append_history(history_path, &entry)?;
+            check_trend(&entries)?;
         }
         Ok(())
     };

@@ -652,6 +652,163 @@ impl ReadingBatch {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Replication channel state (the follower-sync direction of the wire).
+
+/// First bytes of every encoded replication channel state.
+pub const REPL_MAGIC: [u8; 4] = *b"WRPL";
+
+/// Current replication wire version. Decoders reject anything newer.
+pub const REPL_VERSION: u8 = 1;
+
+/// One locality slot as replicated between servers: the change-epoch and
+/// digest always travel so a follower can mirror the leader's delta
+/// bookkeeping verbatim; the payload travels only when it changed since
+/// the follower's `have_epoch` (`None` = keep your copy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplSlot {
+    /// Epoch at which this payload last changed on the leader.
+    pub epoch: u64,
+    /// FNV-1a-64 digest of the payload (travels even when the payload
+    /// does not, so an "unchanged" claim is verifiable).
+    pub digest: u64,
+    /// Centroid `[x_km, y_km]` used for locality scoping.
+    pub centroid: [f64; 2],
+    /// The encoded classifier, included iff it changed since the
+    /// requester's `have_epoch`.
+    pub payload: Option<Vec<u8>>,
+}
+
+const REPL_SLOT_SENT: u8 = 0;
+const REPL_SLOT_UNCHANGED: u8 = 1;
+
+/// A channel's full replication state as one leader publishes it to a
+/// follower: epoch, prelude, and every locality slot (delta-encoded
+/// against the follower's `have_epoch`). Unlike a device fetch response,
+/// this carries per-slot change-epochs and centroids, so a follower
+/// installing it serves byte-identical delta fetches to the leader —
+/// which is what makes client failover between replicas seamless.
+///
+/// ```text
+/// state := magic "WRPL" | version u8 | channel u8 | epoch u64
+///        | prelude len u32 | prelude | slot count u32 | slot…
+/// slot  := epoch u64 | digest u64 | cx f64 | cy f64
+///        | 0 u8 | payload len u32 | payload      (sent)
+///        | 1 u8                                  (unchanged since have_epoch)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplChannelState {
+    /// TV channel this state belongs to.
+    pub channel: u8,
+    /// The leader's current epoch for the channel.
+    pub epoch: u64,
+    /// Encoded prelude (features + centroids), always included.
+    pub prelude: Vec<u8>,
+    /// Per-locality slots, in locality order.
+    pub slots: Vec<ReplSlot>,
+}
+
+impl ReplChannelState {
+    /// Encodes the state in the binary wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.slots.len() <= u32::MAX as usize, "slot count overflows u32");
+        assert!(self.prelude.len() <= u32::MAX as usize, "prelude overflows u32");
+        let mut out = Vec::with_capacity(22 + self.prelude.len() + self.slots.len() * 64);
+        out.extend_from_slice(&REPL_MAGIC);
+        out.push(REPL_VERSION);
+        out.push(self.channel);
+        put_u64(&mut out, self.epoch);
+        put_u32(&mut out, self.prelude.len() as u32);
+        out.extend_from_slice(&self.prelude);
+        put_u32(&mut out, self.slots.len() as u32);
+        for slot in &self.slots {
+            put_u64(&mut out, slot.epoch);
+            put_u64(&mut out, slot.digest);
+            put_f64(&mut out, slot.centroid[0]);
+            put_f64(&mut out, slot.centroid[1]);
+            match &slot.payload {
+                Some(payload) => {
+                    out.push(REPL_SLOT_SENT);
+                    put_u32(&mut out, payload.len() as u32);
+                    out.extend_from_slice(payload);
+                }
+                None => out.push(REPL_SLOT_UNCHANGED),
+            }
+        }
+        out
+    }
+
+    /// Decodes a state from the front of `r`, leaving the reader
+    /// positioned after it (the serve protocol embeds it in a response
+    /// frame after the status byte).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated, version-skewed, or otherwise
+    /// malformed input. Allocation is bounded by the reader's remaining
+    /// bytes, so a corrupt count cannot trigger a huge reservation.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        if r.bytes(4)? != REPL_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != REPL_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let channel = r.u8()?;
+        let epoch = r.u64()?;
+        let prelude_len = r.u32()? as usize;
+        let prelude = r.bytes(prelude_len)?.to_vec();
+        let n = r.u32()? as usize;
+        // Each slot is at least 33 bytes; bound the reservation by that.
+        if r.remaining() < n.saturating_mul(33) {
+            return Err(WireError::Truncated);
+        }
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let slot_epoch = r.u64()?;
+            let digest = r.u64()?;
+            let centroid = [r.f64()?, r.f64()?];
+            let payload = match r.u8()? {
+                REPL_SLOT_SENT => {
+                    let len = r.u32()? as usize;
+                    Some(r.bytes(len)?.to_vec())
+                }
+                REPL_SLOT_UNCHANGED => None,
+                tag => return Err(WireError::BadTag { what: "replication slot", tag }),
+            };
+            if slot_epoch > epoch {
+                return Err(WireError::Malformed("slot epoch beyond channel epoch"));
+            }
+            slots.push(ReplSlot { epoch: slot_epoch, digest, centroid, payload });
+        }
+        Ok(Self { channel, epoch, prelude, slots })
+    }
+
+    /// Decodes a standalone encoded state, requiring every byte consumed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`decode_from`](Self::decode_from), plus
+    /// [`WireError::TrailingBytes`] for a suffix.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let state = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(state)
+    }
+
+    /// Checks every included payload against its advertised digest —
+    /// the install-time guard a follower runs before trusting replicated
+    /// bytes.
+    pub fn digests_match(&self) -> bool {
+        self.slots.iter().all(|s| match &s.payload {
+            Some(p) => fnv1a64(p) == s.digest,
+            None => true,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -867,6 +1024,79 @@ mod tests {
         let mut r = Reader::new(&framed);
         assert_eq!(ReadingBatch::decode_from(&mut r).unwrap(), batch);
         assert_eq!(r.bytes(6).unwrap(), b"suffix");
+    }
+
+    fn sample_repl_state(have_epoch: u64) -> ReplChannelState {
+        let m = model(ClassifierKind::NaiveBayes, 3);
+        let payloads = m.locality_payloads();
+        let slots = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| {
+                let epoch = (i as u64 % 2) + 1; // slots changed at epochs 1 and 2
+                ReplSlot {
+                    epoch,
+                    digest: fnv1a64(&payload),
+                    centroid: [m.centroids()[i][0], m.centroids()[i][1]],
+                    payload: (epoch > have_epoch).then_some(payload),
+                }
+            })
+            .collect();
+        ReplChannelState {
+            channel: 30,
+            epoch: 2,
+            prelude: encode_prelude(m.features(), m.centroids()),
+            slots,
+        }
+    }
+
+    #[test]
+    fn repl_state_roundtrip_is_identity_and_byte_stable() {
+        for have_epoch in [0u64, 1, 2] {
+            let state = sample_repl_state(have_epoch);
+            let bytes = state.encode();
+            let back = ReplChannelState::decode(&bytes).unwrap();
+            assert_eq!(back, state);
+            assert_eq!(back.encode(), bytes);
+            assert!(back.digests_match());
+        }
+    }
+
+    #[test]
+    fn repl_state_decode_rejects_corruption() {
+        let bytes = sample_repl_state(0).encode();
+        assert_eq!(ReplChannelState::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(ReplChannelState::decode(b"XXXX\x01\x1e"), Err(WireError::BadMagic));
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = REPL_VERSION + 1;
+        assert_eq!(
+            ReplChannelState::decode(&wrong_version),
+            Err(WireError::UnsupportedVersion(REPL_VERSION + 1))
+        );
+
+        for cut in 0..bytes.len() {
+            assert!(ReplChannelState::decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(ReplChannelState::decode(&trailing), Err(WireError::TrailingBytes));
+
+        // A corrupt slot count is bounded by the remaining bytes.
+        let state = sample_repl_state(0);
+        let count_at = 4 + 1 + 1 + 8 + 4 + state.prelude.len();
+        let mut huge_count = bytes.clone();
+        huge_count[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(ReplChannelState::decode(&huge_count), Err(WireError::Truncated));
+
+        // A flipped payload byte is caught by the digest guard.
+        let mut flipped = bytes;
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        if let Ok(decoded) = ReplChannelState::decode(&flipped) {
+            assert!(!decoded.digests_match());
+        }
     }
 
     #[test]

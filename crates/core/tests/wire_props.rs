@@ -3,7 +3,7 @@
 //! and the decoded model must classify bit-identically to the original.
 
 use proptest::prelude::*;
-use waldo::wire::ReadingBatch;
+use waldo::wire::{fnv1a64, ReadingBatch, ReplChannelState, ReplSlot};
 use waldo::{ClassifierKind, ModelConstructor, WaldoConfig, WaldoModel};
 use waldo_data::{ChannelDataset, Measurement, Safety};
 use waldo_geo::Point;
@@ -93,6 +93,37 @@ fn encoded_model() -> &'static [u8] {
     use std::sync::OnceLock;
     static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
     BYTES.get_or_init(|| train(ClassifierKind::Svm, 3, 7, 15_000.0).to_wire())
+}
+
+/// A replication channel state whose contents are a pure function of the
+/// inputs: per-slot payload bytes derive from `seeds`, change-epochs cycle
+/// below `epoch`, and payloads are delta-elided against `have_epoch`.
+fn sample_repl_state(channel: u8, epoch: u64, have_epoch: u64, seeds: &[u32]) -> ReplChannelState {
+    let slots = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let payload: Vec<u8> =
+                (0..(s % 96) as usize + 1).map(|j| (s as u8).wrapping_add(j as u8)).collect();
+            let slot_epoch = (i as u64 % epoch.max(1)) + 1;
+            ReplSlot {
+                epoch: slot_epoch.min(epoch),
+                digest: fnv1a64(&payload),
+                centroid: [f64::from(s % 211) * 0.3, f64::from(s % 97) * -0.7],
+                payload: (slot_epoch.min(epoch) > have_epoch).then_some(payload),
+            }
+        })
+        .collect();
+    ReplChannelState { channel, epoch, prelude: vec![1, 2, 3, 4, 5], slots }
+}
+
+/// One representative encoded replication state, built once, with every
+/// payload present (`have_epoch = 0`) so corruption sweeps cover the
+/// payload bytes too.
+fn encoded_repl_state() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| sample_repl_state(30, 5, 0, &[11, 222, 3333, 44_444, 555_555]).encode())
 }
 
 proptest! {
@@ -217,5 +248,53 @@ proptest! {
             let _ = batch.encode();
         }
         let _ = ReadingBatch::decode(&garbage);
+    }
+
+    /// Encode→decode is the identity for replication channel states at
+    /// arbitrary channels, epochs, delta baselines, and slot contents —
+    /// the follower-sync path's unit of transfer.
+    #[test]
+    fn repl_state_roundtrip_is_identity(
+        channel in any::<u8>(),
+        epoch in 1u64..50,
+        have_frac in 0.0f64..1.5,
+        seeds in prop::collection::vec(any::<u32>(), 1..24),
+    ) {
+        let have_epoch = ((epoch as f64) * have_frac) as u64;
+        let state = sample_repl_state(channel, epoch, have_epoch, &seeds);
+        let bytes = state.encode();
+        let decoded = ReplChannelState::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &state);
+        prop_assert_eq!(decoded.encode(), bytes);
+        prop_assert!(decoded.digests_match());
+    }
+
+    /// Truncating an encoded replication state anywhere must yield a
+    /// typed error, never a panic.
+    #[test]
+    fn truncated_repl_states_decode_to_typed_errors(cut in 0.0f64..1.0) {
+        let bytes = encoded_repl_state();
+        let keep = ((bytes.len() as f64) * cut) as usize;
+        prop_assert!(keep < bytes.len());
+        prop_assert!(ReplChannelState::decode(&bytes[..keep]).is_err());
+    }
+
+    /// Bit flips and arbitrary bytes must never panic the replication
+    /// decoder; a flip that still decodes must re-encode without panicking
+    /// and remain digest-checkable.
+    #[test]
+    fn corrupted_repl_states_never_panic(
+        pos in 0.0f64..1.0,
+        bit in 0u32..8,
+        garbage in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut bytes = encoded_repl_state().to_vec();
+        let at = (((bytes.len() - 1) as f64) * pos) as usize;
+        bytes[at] ^= 1u8 << bit;
+        if let Ok(state) = ReplChannelState::decode(&bytes) {
+            let _ = state.encode();
+            let _ = state.digests_match();
+        }
+        let _ = ReplChannelState::decode(&garbage);
     }
 }

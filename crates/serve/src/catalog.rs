@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use waldo::wire::{encode_prelude, fnv1a64};
+use waldo::wire::{encode_prelude, fnv1a64, ReplChannelState, ReplSlot};
 use waldo::WaldoModel;
 
 use crate::protocol::{encode_response_tail, FetchResponse, LocalityEntry, Status};
@@ -108,7 +108,71 @@ impl ServedChannel {
         tails.insert(key, Arc::clone(&tail));
         (tail, false)
     }
+
+    /// This channel's replication state for a follower that already
+    /// mirrors `have_epoch`: every slot's change-epoch, digest, and
+    /// centroid travel; payload bytes travel only for slots that changed
+    /// since `have_epoch` — the same delta rule device fetches use.
+    pub fn repl_state(&self, channel: u8, have_epoch: u64) -> ReplChannelState {
+        let slots = self
+            .slots
+            .iter()
+            .map(|slot| ReplSlot {
+                epoch: slot.epoch,
+                digest: slot.digest,
+                centroid: slot.centroid,
+                payload: (slot.epoch > have_epoch).then(|| slot.payload.clone()),
+            })
+            .collect();
+        ReplChannelState { channel, epoch: self.epoch, prelude: self.prelude.clone(), slots }
+    }
 }
+
+/// Why a replicated channel state could not be installed. Every variant
+/// leaves the catalog untouched — the follower keeps serving its last
+/// good state and should retry with `have_epoch = 0` (full sync).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaInstallError {
+    /// The incoming epoch is older than what this catalog already serves;
+    /// installing it would roll clients' delta baseline backwards.
+    EpochRegression {
+        /// Epoch already served for the channel.
+        have: u64,
+        /// Older epoch the leader offered.
+        offered: u64,
+    },
+    /// A slot arrived without payload bytes ("unchanged") but this
+    /// catalog holds no matching copy — the delta baseline the leader
+    /// assumed does not hold here.
+    MissingPayload {
+        /// Index of the locality slot.
+        slot: usize,
+    },
+    /// An included payload does not hash to its advertised digest —
+    /// corruption between leader and follower.
+    DigestMismatch {
+        /// Index of the locality slot.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for ReplicaInstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaInstallError::EpochRegression { have, offered } => {
+                write!(f, "replica install would regress epoch {have} to {offered}")
+            }
+            ReplicaInstallError::MissingPayload { slot } => {
+                write!(f, "replica slot {slot} marked unchanged but no local copy exists")
+            }
+            ReplicaInstallError::DigestMismatch { slot } => {
+                write!(f, "replica slot {slot} payload does not match its digest")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplicaInstallError {}
 
 /// Per-channel published models, keyed by TV channel number.
 ///
@@ -160,6 +224,73 @@ impl ModelCatalog {
         epoch
     }
 
+    /// Installs a replicated channel state pulled from a leader,
+    /// mirroring its epoch, prelude, and per-slot change-epochs verbatim
+    /// — which is what lets a client that fetched epoch N from the leader
+    /// fail over to this catalog and get the exact delta semantics it
+    /// would have gotten there. Slots without payload bytes keep this
+    /// catalog's current copy (verified by digest). The installed channel
+    /// gets a fresh pre-encoded response-tail cache, exactly like a local
+    /// [`publish`](Self::publish).
+    ///
+    /// Installing a state whose epoch equals the current one is a no-op
+    /// (the steady-state heartbeat pull).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicaInstallError`] — and leaves the catalog untouched
+    /// — on an epoch regression, a missing delta baseline, or a payload
+    /// that fails its digest check.
+    pub fn install_replica(
+        &mut self,
+        state: &ReplChannelState,
+    ) -> Result<u64, ReplicaInstallError> {
+        let existing = self.channels.get(&state.channel);
+        let have = existing.map_or(0, |c| c.epoch);
+        if state.epoch < have {
+            return Err(ReplicaInstallError::EpochRegression { have, offered: state.epoch });
+        }
+        if state.epoch == have && have > 0 {
+            return Ok(have);
+        }
+        let mut slots = Vec::with_capacity(state.slots.len());
+        for (i, slot) in state.slots.iter().enumerate() {
+            let payload = match &slot.payload {
+                Some(payload) => {
+                    if fnv1a64(payload) != slot.digest {
+                        return Err(ReplicaInstallError::DigestMismatch { slot: i });
+                    }
+                    payload.clone()
+                }
+                None => {
+                    let local = existing
+                        .and_then(|c| c.slots.get(i))
+                        .filter(|local| local.digest == slot.digest);
+                    match local {
+                        Some(local) => local.payload.clone(),
+                        None => return Err(ReplicaInstallError::MissingPayload { slot: i }),
+                    }
+                }
+            };
+            slots.push(LocalitySlot {
+                epoch: slot.epoch,
+                digest: slot.digest,
+                payload,
+                centroid: slot.centroid,
+            });
+        }
+        self.channels.insert(
+            state.channel,
+            ServedChannel {
+                epoch: state.epoch,
+                prelude: state.prelude.clone(),
+                slots,
+                tails: Mutex::new(BTreeMap::new()),
+            },
+        );
+        Ok(state.epoch)
+    }
+
     /// The published state for `channel`, if any.
     pub fn channel(&self, channel: u8) -> Option<&ServedChannel> {
         self.channels.get(&channel)
@@ -168,5 +299,136 @@ impl ModelCatalog {
     /// Channels with a published model.
     pub fn channels(&self) -> Vec<u8> {
         self.channels.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waldo::{ClassifierKind, ModelConstructor, WaldoConfig};
+    use waldo_data::{ChannelDataset, Measurement, Safety};
+    use waldo_geo::Point;
+    use waldo_iq::FeatureVector;
+    use waldo_rf::TvChannel;
+    use waldo_sensors::{Observation, SensorKind};
+
+    fn dataset(n: usize, flip: bool) -> ChannelDataset {
+        let mut measurements = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let x = (i as f64 / n as f64) * 30_000.0;
+            let y = ((i * 7) % 20) as f64 * 1_000.0;
+            let not_safe = (x > 15_000.0) ^ (flip && x < 5_000.0);
+            let rss = if not_safe { -70.0 } else { -95.0 } + ((i % 5) as f64 - 2.0);
+            measurements.push(Measurement {
+                location: Point::new(x, y),
+                odometer_m: i as f64 * 100.0,
+                observation: Observation {
+                    rss_dbm: rss,
+                    features: FeatureVector {
+                        rss_db: rss,
+                        cft_db: rss - 11.3,
+                        aft_db: rss - 12.5,
+                        quadrature_imbalance_db: 0.0,
+                        iq_kurtosis: 0.0,
+                        edge_bin_db: -110.0,
+                    },
+                    raw_pilot_db: rss - 11.3,
+                },
+                true_rss_dbm: rss,
+            });
+            labels.push(Safety::from_not_safe(not_safe));
+        }
+        ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+    }
+
+    fn model(flip: bool) -> waldo::WaldoModel {
+        let config = WaldoConfig::default().classifier(ClassifierKind::NaiveBayes).localities(3);
+        ModelConstructor::new(config).fit(&dataset(300, flip)).unwrap()
+    }
+
+    fn assert_mirrors(leader: &ServedChannel, follower: &ServedChannel) {
+        assert_eq!(follower.epoch, leader.epoch);
+        assert_eq!(follower.prelude, leader.prelude);
+        assert_eq!(follower.slots.len(), leader.slots.len());
+        for (a, b) in leader.slots.iter().zip(&follower.slots) {
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.digest, b.digest);
+            assert_eq!(a.payload, b.payload);
+            assert_eq!(a.centroid, b.centroid);
+        }
+        // The mirrored channel feeds the same pre-encoded response cache:
+        // every have_epoch key yields byte-identical cached tails.
+        for have_epoch in 0..=leader.epoch {
+            let (l, _) = leader.unscoped_response_tail(have_epoch);
+            let (f, _) = follower.unscoped_response_tail(have_epoch);
+            assert_eq!(&*l, &*f, "tail diverges at have_epoch {have_epoch}");
+        }
+    }
+
+    #[test]
+    fn full_sync_then_delta_sync_mirror_the_leader() {
+        let mut leader = ModelCatalog::new();
+        leader.publish(30, &model(false));
+
+        // Full sync (have_epoch 0) onto an empty follower.
+        let mut follower = ModelCatalog::new();
+        let full = leader.channel(30).unwrap().repl_state(30, 0);
+        assert!(full.slots.iter().all(|s| s.payload.is_some()));
+        assert_eq!(follower.install_replica(&full), Ok(1));
+        assert_mirrors(leader.channel(30).unwrap(), follower.channel(30).unwrap());
+
+        // Leader republishes a changed model; the delta against epoch 1
+        // elides unchanged payloads, and the follower fills them locally.
+        leader.publish(30, &model(true));
+        let delta = leader.channel(30).unwrap().repl_state(30, 1);
+        assert!(delta.slots.iter().any(|s| s.payload.is_none()), "delta elides something");
+        assert_eq!(follower.install_replica(&delta), Ok(2));
+        assert_mirrors(leader.channel(30).unwrap(), follower.channel(30).unwrap());
+
+        // Same-epoch pull is a heartbeat no-op.
+        let again = leader.channel(30).unwrap().repl_state(30, 2);
+        assert_eq!(follower.install_replica(&again), Ok(2));
+    }
+
+    #[test]
+    fn install_rejects_bad_states_and_leaves_catalog_untouched() {
+        let mut leader = ModelCatalog::new();
+        leader.publish(30, &model(false));
+        let full = leader.channel(30).unwrap().repl_state(30, 0);
+
+        // A delta against an epoch a fresh follower never held.
+        leader.publish(30, &model(true));
+        let delta = leader.channel(30).unwrap().repl_state(30, 1);
+        let mut fresh = ModelCatalog::new();
+        assert!(matches!(
+            fresh.install_replica(&delta),
+            Err(ReplicaInstallError::MissingPayload { .. })
+        ));
+        assert!(fresh.channel(30).is_none(), "failed install must not partially apply");
+
+        // Epoch regression after the follower caught up.
+        let mut follower = ModelCatalog::new();
+        let current = leader.channel(30).unwrap().repl_state(30, 0);
+        follower.install_replica(&current).unwrap();
+        assert_eq!(
+            follower.install_replica(&full),
+            Err(ReplicaInstallError::EpochRegression { have: 2, offered: 1 })
+        );
+        assert_eq!(follower.channel(30).unwrap().epoch, 2);
+
+        // A corrupted payload fails its digest check.
+        let mut corrupt = current.clone();
+        corrupt.epoch += 1;
+        for slot in &mut corrupt.slots {
+            slot.epoch = slot.epoch.min(corrupt.epoch);
+        }
+        if let Some(payload) = corrupt.slots[0].payload.as_mut() {
+            payload[0] ^= 0xff;
+        }
+        assert_eq!(
+            follower.install_replica(&corrupt),
+            Err(ReplicaInstallError::DigestMismatch { slot: 0 })
+        );
     }
 }

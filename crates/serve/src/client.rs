@@ -18,7 +18,19 @@
 //!   [`ClientError::CircuitOpen`] for the next
 //!   [`CircuitBreakerPolicy::cooldown_requests`] requests, then lets one
 //!   half-open probe through. Cooldown is counted in *requests*, not wall
-//!   time, so replays are deterministic.
+//!   time, so replays are deterministic;
+//! * **endpoint failover** — a client built with
+//!   [`with_endpoints`](ModelClient::with_endpoints) holds a list of
+//!   replicas. Selection is *sticky-until-failure*: requests keep going to
+//!   the current endpoint while it answers; when its retries exhaust on a
+//!   transport error, the request rotates to the next endpoint whose
+//!   breaker admits it, within the same logical round trip. Breaker state
+//!   (consecutive failures, open/cooldown) is tracked *per endpoint*, so
+//!   one dead replica sheds load without poisoning the others, and
+//!   [`ClientError::CircuitOpen`] surfaces only when every endpoint is
+//!   shedding. The per-channel payload cache is shared across endpoints —
+//!   replicas mirror the leader's epochs verbatim (see `crate::replica`),
+//!   so a delta baseline fetched from one replica is valid at the next.
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
@@ -26,7 +38,9 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use waldo::wire::{conservative_payload, decode_prelude, fnv1a64, Reader, WireError};
+use waldo::wire::{
+    conservative_payload, decode_prelude, fnv1a64, Reader, ReplChannelState, WireError,
+};
 use waldo::WaldoModel;
 use waldo_fault::{FaultStream, TransportFaults};
 
@@ -146,9 +160,12 @@ pub struct ClientObsSnapshot {
     pub breaker_opens: u64,
     /// Half-open probes let through after a cooldown.
     pub half_open_probes: u64,
-    /// Whether the breaker is open right now.
+    /// Endpoint switches (sticky selection moved to a different replica).
+    pub failovers_total: u64,
+    /// Whether the *current* endpoint's breaker is open right now.
     pub breaker_open: bool,
-    /// Requests left to shed before the next half-open probe.
+    /// Requests the current endpoint still sheds before its next
+    /// half-open probe.
     pub cooldown_left: u32,
 }
 
@@ -203,12 +220,34 @@ impl ChannelState {
     }
 }
 
+/// One replica endpoint's health state: failure counting and breaker
+/// transitions are tracked here, per endpoint, so one dead replica's
+/// history never sheds requests from a healthy one.
+#[derive(Debug)]
+struct EndpointState {
+    addr: SocketAddr,
+    consecutive_failures: u32,
+    breaker_open: bool,
+    cooldown_left: u32,
+}
+
+impl EndpointState {
+    fn new(addr: SocketAddr) -> Self {
+        Self { addr, consecutive_failures: 0, breaker_open: false, cooldown_left: 0 }
+    }
+}
+
 /// A model-distribution client. Holds one keep-alive connection
 /// (re-established transparently if the server dropped it as idle) and a
 /// per-channel cache of locality payloads that makes delta fetches cheap.
+/// Built with one endpoint ([`new`](Self::new)) or a replica list
+/// ([`with_endpoints`](Self::with_endpoints)) — see the module docs for
+/// the failover policy.
 #[derive(Debug)]
 pub struct ModelClient {
-    addr: SocketAddr,
+    endpoints: Vec<EndpointState>,
+    /// Index of the sticky endpoint requests currently go to.
+    current: usize,
     timeout: Duration,
     stream: Option<FaultStream<TcpStream>>,
     channels: BTreeMap<u8, ChannelState>,
@@ -216,25 +255,39 @@ pub struct ModelClient {
     breaker: CircuitBreakerPolicy,
     jitter_rng: StdRng,
     faults: Option<TransportFaults>,
-    consecutive_failures: u32,
-    breaker_open: bool,
-    cooldown_left: u32,
     retries_total: u64,
     breaker_opens: u64,
     attempts_total: u64,
     reconnects_total: u64,
     half_open_probes: u64,
+    failovers_total: u64,
     ever_connected: bool,
 }
 
 impl ModelClient {
-    /// Creates a client for the server at `addr` with the given I/O
-    /// timeout. No connection is made until the first request. Retry and
-    /// breaker behaviour come from the policy defaults; override them with
-    /// the builder methods.
+    /// Creates a client for the single server at `addr` with the given
+    /// I/O timeout. No connection is made until the first request. Retry
+    /// and breaker behaviour come from the policy defaults; override them
+    /// with the builder methods.
     pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        Self::with_endpoints(vec![addr], timeout)
+    }
+
+    /// Creates a client over a replica list. The first endpoint is the
+    /// initial sticky choice; requests rotate to later endpoints only on
+    /// failure (and health-aware selection skips endpoints whose breaker
+    /// is shedding). All replicas must serve the same catalog lineage —
+    /// followers mirroring a leader's epochs — because the per-channel
+    /// delta cache is shared across them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is empty.
+    pub fn with_endpoints(endpoints: Vec<SocketAddr>, timeout: Duration) -> Self {
+        assert!(!endpoints.is_empty(), "a client needs at least one endpoint");
         Self {
-            addr,
+            endpoints: endpoints.into_iter().map(EndpointState::new).collect(),
+            current: 0,
             timeout,
             stream: None,
             channels: BTreeMap::new(),
@@ -242,14 +295,12 @@ impl ModelClient {
             breaker: CircuitBreakerPolicy::default(),
             jitter_rng: StdRng::seed_from_u64(0xbac_c0ff),
             faults: None,
-            consecutive_failures: 0,
-            breaker_open: false,
-            cooldown_left: 0,
             retries_total: 0,
             breaker_opens: 0,
             attempts_total: 0,
             reconnects_total: 0,
             half_open_probes: 0,
+            failovers_total: 0,
             ever_connected: false,
         }
     }
@@ -296,23 +347,42 @@ impl ModelClient {
         self.breaker_opens
     }
 
-    /// Whether the breaker is currently open (requests may fail fast).
+    /// Whether the current endpoint's breaker is open (requests may fail
+    /// fast — unless a healthy replica is available to rotate to).
     pub fn breaker_is_open(&self) -> bool {
-        self.breaker_open
+        self.endpoints[self.current].breaker_open
+    }
+
+    /// Round trips that rotated away from the sticky endpoint, over the
+    /// client's lifetime.
+    pub fn failovers_total(&self) -> u64 {
+        self.failovers_total
+    }
+
+    /// The endpoint requests currently go to (sticky until it fails).
+    pub fn endpoint(&self) -> SocketAddr {
+        self.endpoints[self.current].addr
+    }
+
+    /// All configured endpoints, in rotation order.
+    pub fn endpoints(&self) -> Vec<SocketAddr> {
+        self.endpoints.iter().map(|e| e.addr).collect()
     }
 
     /// The client's retry/backoff/breaker counters as one snapshot — the
     /// obs-facing view that used to be reconstructible only from
     /// chaos_soak's report.
     pub fn obs_snapshot(&self) -> ClientObsSnapshot {
+        let current = &self.endpoints[self.current];
         ClientObsSnapshot {
             attempts_total: self.attempts_total,
             retries_total: self.retries_total,
             reconnects_total: self.reconnects_total,
             breaker_opens: self.breaker_opens,
             half_open_probes: self.half_open_probes,
-            breaker_open: self.breaker_open,
-            cooldown_left: self.cooldown_left,
+            failovers_total: self.failovers_total,
+            breaker_open: current.breaker_open,
+            cooldown_left: current.cooldown_left,
         }
     }
 
@@ -425,6 +495,57 @@ impl ModelClient {
             Ok(snap)
         }) {
             Ok(snap) => Ok(snap),
+            Err(e) => {
+                self.stream = None;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Pulls the full replication state for `channel`, delta-encoded
+    /// against `have_epoch` (0 = everything). This is the follower half of
+    /// catalog replication — see `crate::replica` — but it works against
+    /// any replica, so followers can chain off followers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport, server, or decode failure —
+    /// including [`ClientError::Server`]`(`[`Status::UnknownOpcode`]`)`
+    /// from a pre-replication server.
+    pub fn repl_sync(
+        &mut self,
+        channel: u8,
+        have_epoch: u64,
+    ) -> Result<ReplChannelState, ClientError> {
+        let req_id = waldo_obs::next_request_id();
+        let _t = waldo_obs::timed("client_repl_sync");
+        let response = self.round_trip(req_id, &Request::ReplSync { channel, have_epoch })?;
+        let (echoed, status, mut r) = match decode_response_header(&response) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.stream = None;
+                return Err(e.into());
+            }
+        };
+        if echoed != req_id && echoed != 0 {
+            self.stream = None;
+            return Err(ClientError::Protocol("response echoed a different request ID"));
+        }
+        if status != Status::Ok {
+            self.stream = None;
+            return Err(ClientError::Server(status));
+        }
+        match ReplChannelState::decode_from(&mut r).and_then(|state| {
+            r.finish()?;
+            Ok(state)
+        }) {
+            Ok(state) => {
+                if state.channel != channel {
+                    self.stream = None;
+                    return Err(ClientError::Protocol("replication state for a different channel"));
+                }
+                Ok(state)
+            }
             Err(e) => {
                 self.stream = None;
                 Err(e.into())
@@ -597,47 +718,80 @@ impl ModelClient {
     /// failed attempt drops the cached stream (poisoned-stream invariant),
     /// so a retry always reconnects from scratch.
     fn round_trip(&mut self, req_id: u64, request: &Request) -> Result<Vec<u8>, ClientError> {
-        // An open breaker with cooldown spent falls through as the
-        // half-open probe.
-        if self.breaker_open && self.cooldown_left > 0 {
-            self.cooldown_left -= 1;
+        // Health-aware admission, starting from the sticky endpoint: an
+        // endpoint whose breaker is shedding pays down its cooldown and is
+        // skipped this round trip (cooldown spent falls through as the
+        // half-open probe, below). Every replica shedding = fail fast.
+        let n = self.endpoints.len();
+        let mut admitted: Vec<usize> = Vec::with_capacity(n);
+        for k in 0..n {
+            let i = (self.current + k) % n;
+            let ep = &mut self.endpoints[i];
+            if ep.breaker_open && ep.cooldown_left > 0 {
+                ep.cooldown_left -= 1;
+                continue;
+            }
+            admitted.push(i);
+        }
+        if admitted.is_empty() {
             return Err(ClientError::CircuitOpen);
         }
-        if self.breaker_open {
-            self.half_open_probes += 1;
-        }
-        // One ID for the whole logical request: retries reuse it, so a
-        // trace shows every attempt of one fetch under one req.
+        // One ID for the whole logical request: retries and failovers
+        // reuse it, so a trace shows every attempt of one fetch under one
+        // req.
         let payload = request.encode(req_id);
         let max_attempts = self.retry.max_attempts.max(1);
-        let mut attempt = 0u32;
-        loop {
-            self.attempts_total += 1;
-            match self.attempt(&payload) {
-                Ok(response) => {
-                    self.consecutive_failures = 0;
-                    self.breaker_open = false;
-                    return Ok(response);
-                }
-                Err(e) => {
-                    // Poisoned-stream invariant: never reuse a socket that
-                    // saw any failure (short read, timeout, stray bytes).
-                    self.stream = None;
-                    attempt += 1;
-                    let retryable = matches!(e, ClientError::Io(_));
-                    if retryable && attempt < max_attempts {
-                        self.retries_total += 1;
-                        let delay = self.backoff_delay(attempt - 1);
-                        if !delay.is_zero() {
-                            std::thread::sleep(delay);
-                        }
-                        continue;
-                    }
-                    self.note_round_trip_failure();
-                    return Err(e);
-                }
+        let mut last_err: Option<ClientError> = None;
+        for &i in &admitted {
+            if i != self.current {
+                // Rotating within one logical round trip is a failover:
+                // the sticky endpoint moves and the old socket is dropped.
+                self.failovers_total += 1;
+                self.stream = None;
+                self.current = i;
             }
+            if self.endpoints[i].breaker_open {
+                self.half_open_probes += 1;
+            }
+            let mut attempt = 0u32;
+            let outcome = loop {
+                self.attempts_total += 1;
+                match self.attempt(&payload) {
+                    Ok(response) => {
+                        let ep = &mut self.endpoints[i];
+                        ep.consecutive_failures = 0;
+                        ep.breaker_open = false;
+                        return Ok(response);
+                    }
+                    Err(e) => {
+                        // Poisoned-stream invariant: never reuse a socket
+                        // that saw any failure (short read, timeout, stray
+                        // bytes).
+                        self.stream = None;
+                        attempt += 1;
+                        let retryable = matches!(e, ClientError::Io(_));
+                        if retryable && attempt < max_attempts {
+                            self.retries_total += 1;
+                            let delay = self.backoff_delay(attempt - 1);
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            continue;
+                        }
+                        self.note_round_trip_failure(i);
+                        break e;
+                    }
+                }
+            };
+            // Only transport failure justifies trying a replica; a server
+            // or protocol error would reproduce on any mirror of the same
+            // catalog, so surface it immediately.
+            if !matches!(outcome, ClientError::Io(_)) {
+                return Err(outcome);
+            }
+            last_err = Some(outcome);
         }
+        Err(last_err.expect("admitted was non-empty"))
     }
 
     /// One connect-if-needed + request/response exchange.
@@ -651,7 +805,7 @@ impl ModelClient {
                     )));
                 }
             }
-            let stream = TcpStream::connect(self.addr)?;
+            let stream = TcpStream::connect(self.endpoints[self.current].addr)?;
             if self.ever_connected {
                 self.reconnects_total += 1;
             }
@@ -696,19 +850,21 @@ impl ModelClient {
         Duration::from_secs_f64((exp.min(cap) * factor).min(cap))
     }
 
-    /// Records one failed round trip (retries exhausted) and opens or
-    /// re-arms the breaker at the threshold.
-    fn note_round_trip_failure(&mut self) {
-        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
-        if self.breaker.failure_threshold > 0
-            && self.consecutive_failures >= self.breaker.failure_threshold
-        {
+    /// Records one failed round trip (retries exhausted) against endpoint
+    /// `i` and opens or re-arms its breaker at the threshold.
+    fn note_round_trip_failure(&mut self, i: usize) {
+        let threshold = self.breaker.failure_threshold;
+        let cooldown = self.breaker.cooldown_requests;
+        let ep = &mut self.endpoints[i];
+        ep.consecutive_failures = ep.consecutive_failures.saturating_add(1);
+        if threshold > 0 && ep.consecutive_failures >= threshold {
             // First opening, or a failed half-open probe re-arming it.
-            if !self.breaker_open || self.cooldown_left == 0 {
+            if !ep.breaker_open || ep.cooldown_left == 0 {
                 self.breaker_opens += 1;
             }
-            self.breaker_open = true;
-            self.cooldown_left = self.breaker.cooldown_requests;
+            let ep = &mut self.endpoints[i];
+            ep.breaker_open = true;
+            ep.cooldown_left = cooldown;
         }
     }
 }

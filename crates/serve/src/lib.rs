@@ -25,6 +25,12 @@
 //!   a background worker checkpoints them into per-locality segments,
 //!   retrains only changed localities, and republishes into the catalog
 //!   so delta fetches propagate the refreshed model.
+//! * [`replica`] — geo-replicated serving: followers pull `REPL_SYNC`
+//!   deltas from a leader (or any replica) and mirror its epochs,
+//!   change-epochs, and digests verbatim into a local catalog, so a
+//!   client failing over mid-session keeps its delta cache valid.
+//!   Clients take a replica *list* ([`ModelClient::with_endpoints`]) with
+//!   sticky-until-failure selection and per-endpoint circuit breakers.
 //!
 //! Models travel in the compact binary wire format of [`waldo::wire`]
 //! (k-means centroids + per-locality SVM/NB/tree/logistic parameters);
@@ -59,15 +65,17 @@ pub mod catalog;
 pub mod client;
 pub mod ingest;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 pub mod stats;
 
-pub use catalog::ModelCatalog;
+pub use catalog::{ModelCatalog, ReplicaInstallError};
 pub use client::{
     CircuitBreakerPolicy, ClientError, ClientObsSnapshot, FetchReport, ModelClient, RetryPolicy,
     UploadReport,
 };
 pub use ingest::{IngestPlane, IngestSnapshot, IngestWorker};
 pub use protocol::{Request, Status, UploadAck};
-pub use server::{serve, serve_with_ingest, ServeConfig, ServerHandle};
+pub use replica::{ReplicaFollower, ReplicaSyncSnapshot, ReplicaWorker};
+pub use server::{serve, serve_with_ingest, EnvConfigError, ServeConfig, ServerHandle};
 pub use stats::{EndpointStats, StatsSnapshot};

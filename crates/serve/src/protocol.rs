@@ -17,6 +17,7 @@
 //!   UPLOAD (op 3): an encoded reading batch ("WLDR" | version
 //!                  | batch_id u64 | channel u8 | count u32 | readings…)
 //!   INGEST_STATS (op 4): empty body
+//!   REPL_SYNC (op 5): channel u8 | have_epoch u64
 //! response := "WSRS" | version u8 | req_id u64 | status u8 | body
 //!   PING   body: empty
 //!   FETCH  body: epoch u64 | prelude len u32 | prelude
@@ -24,6 +25,9 @@
 //!   STATS  body: versioned stats snapshot (see `crate::stats`)
 //!   UPLOAD body: duplicate u8 | readings u32
 //!   INGEST_STATS body: versioned ingest snapshot (see `crate::ingest`)
+//!   REPL_SYNC body: an encoded replication channel state ("WRPL" |
+//!                version | channel u8 | epoch u64 | prelude | slots…,
+//!                see `waldo::wire::ReplChannelState`)
 //!   entry := 0 u8 | digest u64 | len u32 | payload   (sent)
 //!          | 1 u8                                    (unchanged since have_epoch)
 //!          | 2 u8                                    (changed but out of scope)
@@ -46,9 +50,16 @@
 //!
 //! Version history: v1 had no `req_id` and no STATS opcode; v2 is not
 //! wire-compatible with it, and v1 peers are answered/refused with
-//! `UnsupportedVersion`. The UPLOAD and INGEST_STATS opcodes were added to
-//! v2 without a version bump — they are new request kinds, and a server
-//! predating them answers `UnknownOpcode`, which is exactly the contract.
+//! `UnsupportedVersion`. The UPLOAD, INGEST_STATS, and REPL_SYNC opcodes
+//! were added to v2 without a version bump — they are new request kinds,
+//! and a server predating them answers `UnknownOpcode`, which is exactly
+//! the contract.
+//!
+//! REPL_SYNC is deliberately *pull*-shaped: a follower acts as an
+//! ordinary wire client of the leader, so the large replication payload
+//! travels in the response (bounded by [`MAX_RESPONSE_BYTES`] on the
+//! puller's side) and the request stays under [`MAX_REQUEST_BYTES`] — no
+//! change to the server's opcode-aware large-frame admission is needed.
 
 use std::io::{Read, Write};
 
@@ -169,6 +180,15 @@ pub enum Request {
     },
     /// Live ingestion counters (see `crate::ingest`).
     IngestStats,
+    /// Replication pull: a follower asking for a channel's full state
+    /// (epoch, prelude, per-slot change-epochs/digests/centroids),
+    /// delta-encoded against the follower's `have_epoch`.
+    ReplSync {
+        /// TV channel whose state is requested.
+        channel: u8,
+        /// Channel epoch the follower already mirrors (0 = none).
+        have_epoch: u64,
+    },
 }
 
 const OP_PING: u8 = 0;
@@ -176,6 +196,7 @@ const OP_FETCH: u8 = 1;
 const OP_STATS: u8 = 2;
 const OP_UPLOAD: u8 = 3;
 const OP_INGEST_STATS: u8 = 4;
+const OP_REPL_SYNC: u8 = 5;
 
 /// Byte offset of the opcode within a framed request: the 4-byte length
 /// prefix plus magic, version, and request ID.
@@ -205,6 +226,11 @@ impl Request {
                 out.extend_from_slice(&batch.encode());
             }
             Request::IngestStats => out.push(OP_INGEST_STATS),
+            Request::ReplSync { channel, have_epoch } => {
+                out.push(OP_REPL_SYNC);
+                out.push(channel);
+                put_u64(&mut out, have_epoch);
+            }
         }
         out
     }
@@ -240,6 +266,10 @@ impl Request {
                     .map_err(|_| (req_id, Status::MalformedFrame))?,
             },
             OP_INGEST_STATS => Request::IngestStats,
+            OP_REPL_SYNC => Request::ReplSync {
+                channel: r.u8().map_err(|_| (req_id, Status::MalformedFrame))?,
+                have_epoch: r.u64().map_err(|_| (req_id, Status::MalformedFrame))?,
+            },
             _ => return Err((req_id, Status::UnknownOpcode)),
         };
         r.finish().map_err(|_| (req_id, Status::MalformedFrame))?;
@@ -790,9 +820,21 @@ mod tests {
             Request::Stats,
             Request::Upload { batch: sample_batch(0xfeed, 5) },
             Request::IngestStats,
+            Request::ReplSync { channel: 30, have_epoch: 12 },
         ] {
             assert_eq!(Request::decode(&request.encode(99)), Ok((99, request)));
         }
+    }
+
+    #[test]
+    fn repl_sync_requests_stay_under_the_small_cap() {
+        let encoded = Request::ReplSync { channel: 255, have_epoch: u64::MAX }.encode(u64::MAX);
+        assert!(encoded.len() <= MAX_REQUEST_BYTES as usize);
+        // Truncated body is malformed, not unknown.
+        assert_eq!(
+            Request::decode(&encoded[..encoded.len() - 3]),
+            Err((u64::MAX, Status::MalformedFrame))
+        );
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Follower half of catalog replication: a pull loop that mirrors a
+//! leader's [`ModelCatalog`](crate::catalog::ModelCatalog) into a local
+//! one, plus a background worker that runs it on an interval.
+//!
+//! # Topology
+//!
+//! Replication is *pull-shaped*: the follower is an ordinary wire client
+//! of its upstream, issuing `REPL_SYNC` requests delta-encoded against
+//! the epoch it already holds. That keeps the large payload in the
+//! *response* (bounded by the client's 64 MiB cap) and means the leader
+//! needs no follower registry, no push queue, and no new listener — any
+//! serving replica can answer `REPL_SYNC`, so followers may chain off
+//! followers. The upstream is an endpoint *list*: if the leader dies but
+//! another replica is reachable, the follower keeps converging through it
+//! (same failover policy as any [`ModelClient`](crate::client::ModelClient)).
+//!
+//! # Verbatim mirroring
+//!
+//! [`install_replica`](crate::catalog::ModelCatalog::install_replica)
+//! copies the leader's epoch, per-locality change-epochs, and digests
+//! *verbatim* rather than re-publishing (which would mint fresh local
+//! epochs). That is what makes client failover seamless: a device that
+//! fetched epoch `N` from the leader gets byte-identical delta semantics
+//! from any follower, so the client's per-channel payload cache stays
+//! valid across a failover.
+//!
+//! # Failure handling
+//!
+//! A delta install can fail if the follower's base diverged from the
+//! leader (e.g. the follower restarted with a partially-seeded catalog):
+//! the follower then falls back to one *full* resync (`have_epoch = 0`),
+//! which carries every payload and cannot need a base. An upstream
+//! offering an *older* epoch than the follower holds (a rebound leader
+//! that lost state) is counted as an error and the follower keeps serving
+//! its newer, internally-consistent catalog — regressing live clients
+//! would violate the delta protocol's monotonic-epoch assumption.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::catalog::{ModelCatalog, ReplicaInstallError};
+use crate::client::{ClientError, ModelClient};
+
+/// Counters for one follower's sync loop, cheap to copy out for
+/// assertions and obs dumps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaSyncSnapshot {
+    /// Sync rounds completed (one round pulls every tracked channel).
+    pub rounds_total: u64,
+    /// Channel pulls that installed a newer epoch.
+    pub installs_total: u64,
+    /// Channel pulls that found the follower already current.
+    pub noop_total: u64,
+    /// Channel pulls that failed (transport, server, decode, or an
+    /// upstream epoch regression).
+    pub sync_errors_total: u64,
+    /// Delta installs that failed verification and were retried — and
+    /// succeeded — as a full resync.
+    pub full_resyncs_total: u64,
+    /// Highest epoch this follower has installed across all channels.
+    pub max_installed_epoch: u64,
+}
+
+/// The follower state machine: an upstream client, the local catalog it
+/// feeds, and the channel set it tracks. Drive it manually with
+/// [`sync_once`](Self::sync_once) (deterministic tests, drills) or hand
+/// it to [`ReplicaWorker::spawn`] for interval-driven syncing.
+#[derive(Debug)]
+pub struct ReplicaFollower {
+    client: ModelClient,
+    catalog: Arc<RwLock<ModelCatalog>>,
+    channels: Vec<u8>,
+    snapshot: ReplicaSyncSnapshot,
+}
+
+impl ReplicaFollower {
+    /// Creates a follower that pulls `channels` from `upstream` (tried in
+    /// failover order) into `catalog`. No I/O happens until the first
+    /// sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upstream` is empty.
+    pub fn new(
+        upstream: Vec<SocketAddr>,
+        catalog: Arc<RwLock<ModelCatalog>>,
+        channels: Vec<u8>,
+        timeout: Duration,
+    ) -> Self {
+        Self {
+            client: ModelClient::with_endpoints(upstream, timeout),
+            catalog,
+            channels,
+            snapshot: ReplicaSyncSnapshot::default(),
+        }
+    }
+
+    /// Replaces the follower's upstream client (e.g. to install a fault
+    /// schedule or tighter retry policy built via the client's builder
+    /// methods). The client's endpoint list becomes the new upstream.
+    pub fn with_client(mut self, client: ModelClient) -> Self {
+        self.client = client;
+        self
+    }
+
+    /// The sync counters so far.
+    pub fn snapshot(&self) -> ReplicaSyncSnapshot {
+        self.snapshot
+    }
+
+    /// The local catalog this follower feeds.
+    pub fn catalog(&self) -> Arc<RwLock<ModelCatalog>> {
+        Arc::clone(&self.catalog)
+    }
+
+    /// Pulls every tracked channel once. Returns the number of channels
+    /// that installed a newer epoch this round; per-channel failures are
+    /// counted, not propagated, so one unreachable upstream never wedges
+    /// the loop.
+    pub fn sync_once(&mut self) -> u64 {
+        let _t = waldo_obs::timed("replica_sync_round");
+        let mut installed = 0u64;
+        for i in 0..self.channels.len() {
+            let channel = self.channels[i];
+            match self.sync_channel(channel) {
+                Ok(true) => {
+                    installed += 1;
+                    self.snapshot.installs_total += 1;
+                }
+                Ok(false) => self.snapshot.noop_total += 1,
+                Err(_) => self.snapshot.sync_errors_total += 1,
+            }
+        }
+        self.snapshot.rounds_total += 1;
+        installed
+    }
+
+    /// One channel pull: delta sync against the local epoch, with a full
+    /// resync fallback if the delta does not verify against our base.
+    /// `Ok(true)` means a newer epoch was installed.
+    fn sync_channel(&mut self, channel: u8) -> Result<bool, ClientError> {
+        let have = {
+            let guard = self
+                .catalog
+                .read()
+                .map_err(|_| ClientError::Protocol("follower catalog lock poisoned"))?;
+            guard.channel(channel).map_or(0, |c| c.epoch)
+        };
+        let state = self.client.repl_sync(channel, have)?;
+        let install = {
+            let mut guard = self
+                .catalog
+                .write()
+                .map_err(|_| ClientError::Protocol("follower catalog lock poisoned"))?;
+            guard.install_replica(&state)
+        };
+        match install {
+            Ok(epoch) => {
+                self.snapshot.max_installed_epoch = self.snapshot.max_installed_epoch.max(epoch);
+                Ok(epoch > have)
+            }
+            Err(ReplicaInstallError::EpochRegression { .. }) => {
+                // The upstream lost state; keep serving our newer catalog.
+                Err(ClientError::Protocol("upstream offered an older epoch"))
+            }
+            Err(ReplicaInstallError::MissingPayload { .. })
+            | Err(ReplicaInstallError::DigestMismatch { .. }) => {
+                // Our base diverged from the leader's delta assumptions:
+                // pull everything and install from scratch.
+                let full = self.client.repl_sync(channel, 0)?;
+                let mut guard = self
+                    .catalog
+                    .write()
+                    .map_err(|_| ClientError::Protocol("follower catalog lock poisoned"))?;
+                match guard.install_replica(&full) {
+                    Ok(epoch) => {
+                        self.snapshot.full_resyncs_total += 1;
+                        self.snapshot.max_installed_epoch =
+                            self.snapshot.max_installed_epoch.max(epoch);
+                        Ok(epoch > have)
+                    }
+                    Err(_) => Err(ClientError::Protocol("full resync failed verification")),
+                }
+            }
+        }
+    }
+}
+
+/// A background thread driving a [`ReplicaFollower`] on a fixed interval.
+/// Stop it with [`stop`](Self::stop) to get the follower back (the drill
+/// uses this to freeze a follower, let it go stale, then resume it).
+#[derive(Debug)]
+pub struct ReplicaWorker {
+    follower: Arc<Mutex<ReplicaFollower>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReplicaWorker {
+    /// Spawns the sync thread. The first sync runs immediately; later
+    /// rounds run every `interval`.
+    pub fn spawn(follower: ReplicaFollower, interval: Duration) -> Self {
+        let follower = Arc::new(Mutex::new(follower));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_follower = Arc::clone(&follower);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("waldo-replica".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Relaxed) {
+                    if let Ok(mut f) = thread_follower.lock() {
+                        f.sync_once();
+                    }
+                    // Sleep in short slices so stop() is prompt even with
+                    // a generous interval.
+                    let mut left = interval;
+                    while !left.is_zero() && !thread_stop.load(Ordering::Relaxed) {
+                        let slice = left.min(Duration::from_millis(10));
+                        std::thread::sleep(slice);
+                        left = left.saturating_sub(slice);
+                    }
+                }
+            })
+            .expect("spawn replica worker");
+        Self { follower, stop, handle: Some(handle) }
+    }
+
+    /// The follower's counters right now.
+    pub fn snapshot(&self) -> ReplicaSyncSnapshot {
+        self.follower.lock().map(|f| f.snapshot()).unwrap_or_default()
+    }
+
+    /// Stops the thread and returns the follower so it can be resumed
+    /// later (or inspected).
+    pub fn stop(mut self) -> ReplicaFollower {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        let follower = Arc::clone(&self.follower);
+        drop(self); // releases the worker's own Arc (Drop sees handle == None)
+        Arc::try_unwrap(follower)
+            .expect("worker thread joined; no other follower handles")
+            .into_inner()
+            .expect("follower lock cannot be poisoned after join")
+    }
+}
+
+impl Drop for ReplicaWorker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ModelCatalog;
+    use crate::server::{serve, ServeConfig};
+    use waldo::{ClassifierKind, ModelConstructor, WaldoConfig};
+    use waldo_data::{ChannelDataset, Measurement, Safety};
+    use waldo_geo::Point;
+    use waldo_iq::FeatureVector;
+    use waldo_rf::TvChannel;
+    use waldo_sensors::{Observation, SensorKind};
+
+    fn dataset(n: usize, flip: bool) -> ChannelDataset {
+        let mut measurements = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let x = (i as f64 / n as f64) * 30_000.0;
+            let y = ((i * 7) % 20) as f64 * 1_000.0;
+            let not_safe = (x > 15_000.0) ^ (flip && x < 5_000.0);
+            let rss = if not_safe { -70.0 } else { -95.0 } + ((i % 5) as f64 - 2.0);
+            measurements.push(Measurement {
+                location: Point::new(x, y),
+                odometer_m: i as f64 * 100.0,
+                observation: Observation {
+                    rss_dbm: rss,
+                    features: FeatureVector {
+                        rss_db: rss,
+                        cft_db: rss - 11.3,
+                        aft_db: rss - 12.5,
+                        quadrature_imbalance_db: 0.0,
+                        iq_kurtosis: 0.0,
+                        edge_bin_db: -110.0,
+                    },
+                    raw_pilot_db: rss - 11.3,
+                },
+                true_rss_dbm: rss,
+            });
+            labels.push(Safety::from_not_safe(not_safe));
+        }
+        ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+    }
+
+    fn model(flip: bool) -> waldo::WaldoModel {
+        let config = WaldoConfig::default().classifier(ClassifierKind::NaiveBayes).localities(3);
+        ModelConstructor::new(config).fit(&dataset(300, flip)).unwrap()
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig { max_connections: 16, reactors: 1, ..ServeConfig::default() }
+    }
+
+    #[test]
+    fn follower_converges_and_survives_leader_epochs() {
+        let leader_catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+        leader_catalog.write().unwrap().publish(30, &model(false));
+        let mut leader =
+            serve("127.0.0.1:0", Arc::clone(&leader_catalog), config()).expect("leader up");
+
+        let follower_catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+        let mut follower = ReplicaFollower::new(
+            vec![leader.addr()],
+            Arc::clone(&follower_catalog),
+            vec![30],
+            Duration::from_millis(500),
+        );
+
+        // First sync mirrors epoch 1 in full.
+        assert_eq!(follower.sync_once(), 1);
+        assert_eq!(follower_catalog.read().unwrap().channel(30).unwrap().epoch, 1);
+
+        // Nothing new: the delta pull is a no-op.
+        assert_eq!(follower.sync_once(), 0);
+
+        // Leader publishes epoch 2; the follower converges by delta.
+        leader_catalog.write().unwrap().publish(30, &model(true));
+        assert_eq!(follower.sync_once(), 1);
+        assert_eq!(follower_catalog.read().unwrap().channel(30).unwrap().epoch, 2);
+
+        let snap = follower.snapshot();
+        assert_eq!(snap.rounds_total, 3);
+        assert_eq!(snap.installs_total, 2);
+        assert_eq!(snap.noop_total, 1);
+        assert_eq!(snap.sync_errors_total, 0);
+        assert_eq!(snap.max_installed_epoch, 2);
+
+        // Leader gone: the pull fails but is counted, never propagated.
+        leader.shutdown();
+        assert_eq!(follower.sync_once(), 0);
+        assert_eq!(follower.snapshot().sync_errors_total, 1);
+        // The follower keeps serving what it has.
+        assert_eq!(follower_catalog.read().unwrap().channel(30).unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn worker_syncs_in_background_and_returns_follower_on_stop() {
+        let leader_catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+        leader_catalog.write().unwrap().publish(7, &model(false));
+        let mut leader =
+            serve("127.0.0.1:0", Arc::clone(&leader_catalog), config()).expect("leader up");
+
+        let follower_catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+        let follower = ReplicaFollower::new(
+            vec![leader.addr()],
+            Arc::clone(&follower_catalog),
+            vec![7],
+            Duration::from_millis(500),
+        );
+        let worker = ReplicaWorker::spawn(follower, Duration::from_millis(5));
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if worker.snapshot().installs_total >= 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "worker never synced");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(follower_catalog.read().unwrap().channel(7).unwrap().epoch, 1);
+
+        let follower = worker.stop();
+        assert!(follower.snapshot().installs_total >= 1);
+        leader.shutdown();
+    }
+}

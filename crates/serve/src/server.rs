@@ -54,11 +54,13 @@ use crate::protocol::{
 use crate::stats::{EndpointStats, StatsSnapshot};
 
 /// Environment variable overriding the default connection cap
-/// (mirrors `WALDO_WORKERS`: positive integer, anything else ignored).
+/// (positive integer; a present-but-invalid value is a loud error — see
+/// [`ServeConfig::from_env`]).
 pub const ENV_MAX_CONNECTIONS: &str = "WALDO_SERVE_MAX_CONNECTIONS";
 
 /// Environment variable overriding the reactor-pool size
-/// (mirrors `WALDO_WORKERS`: positive integer, anything else ignored).
+/// (positive integer; a present-but-invalid value is a loud error — see
+/// [`ServeConfig::from_env`]).
 pub const ENV_REACTORS: &str = "WALDO_SERVE_REACTORS";
 
 /// A peer that has queued this many unread response bytes stops being
@@ -102,23 +104,83 @@ pub struct ServeConfig {
     pub faults: Option<TransportFaults>,
 }
 
-impl Default for ServeConfig {
-    /// 5 s idle limit, 5 s write stall limit, 10 s frame deadline, no
-    /// fault injection. The connection cap defaults to 256 and the
-    /// reactor pool to auto, each overridable via [`ENV_MAX_CONNECTIONS`]
-    /// and [`ENV_REACTORS`].
-    fn default() -> Self {
+impl ServeConfig {
+    /// The hard-coded defaults, with no environment consulted: 5 s idle
+    /// limit, 5 s write stall limit, 10 s frame deadline, 256-connection
+    /// cap, auto reactor pool, no fault injection.
+    pub fn baseline() -> Self {
         Self {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             frame_deadline: Duration::from_secs(10),
-            max_connections: env_positive(ENV_MAX_CONNECTIONS).unwrap_or(256),
-            reactors: env_positive(ENV_REACTORS).unwrap_or(0),
+            max_connections: 256,
+            reactors: 0,
             max_upload_bytes: 256 * 1024,
             faults: None,
         }
     }
+
+    /// [`baseline`](Self::baseline) with [`ENV_MAX_CONNECTIONS`] and
+    /// [`ENV_REACTORS`] overrides applied. A variable that is *set but
+    /// invalid* (zero, negative, garbage, non-unicode) is a typed error,
+    /// not a silent fallback — a fleet operator who typo'd a cap should
+    /// find out at startup, not during an overload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvConfigError`] naming the variable and its raw value.
+    pub fn from_env() -> Result<Self, EnvConfigError> {
+        let mut config = Self::baseline();
+        if let Some(n) = env_positive_checked(ENV_MAX_CONNECTIONS)? {
+            config.max_connections = n;
+        }
+        if let Some(n) = env_positive_checked(ENV_REACTORS)? {
+            config.reactors = n;
+        }
+        Ok(config)
+    }
 }
+
+impl Default for ServeConfig {
+    /// [`from_env`](ServeConfig::from_env), except `Default` cannot fail:
+    /// an invalid override is reported loudly on stderr and ignored
+    /// (valid overrides still apply). Binaries that should *refuse* to
+    /// start on a bad variable call [`ServeConfig::from_env`] directly.
+    fn default() -> Self {
+        let mut config = Self::baseline();
+        match env_positive_checked(ENV_MAX_CONNECTIONS) {
+            Ok(Some(n)) => config.max_connections = n,
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("waldo-serve: {e}; keeping max_connections = {}", config.max_connections)
+            }
+        }
+        match env_positive_checked(ENV_REACTORS) {
+            Ok(Some(n)) => config.reactors = n,
+            Ok(None) => {}
+            Err(e) => eprintln!("waldo-serve: {e}; keeping reactors = auto"),
+        }
+        config
+    }
+}
+
+/// A `WALDO_SERVE_*` variable that was set but did not parse as a
+/// positive integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvConfigError {
+    /// The offending variable.
+    pub var: &'static str,
+    /// Its raw value (lossily decoded if not unicode).
+    pub value: String,
+}
+
+impl std::fmt::Display for EnvConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} is set to {:?}, which is not a positive integer", self.var, self.value)
+    }
+}
+
+impl std::error::Error for EnvConfigError {}
 
 /// Parses a positive integer the way `WALDO_WORKERS` does: trimmed,
 /// base 10, rejecting zero and garbage.
@@ -126,8 +188,19 @@ fn parse_positive(raw: &str) -> Option<usize> {
     raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
-fn env_positive(name: &str) -> Option<usize> {
-    std::env::var(name).ok().and_then(|raw| parse_positive(&raw))
+/// Reads `name` as a positive integer: `Ok(None)` when unset,
+/// `Ok(Some(n))` when valid, and a typed error when present but invalid.
+fn env_positive_checked(name: &'static str) -> Result<Option<usize>, EnvConfigError> {
+    match std::env::var(name) {
+        Ok(raw) => match parse_positive(&raw) {
+            Some(n) => Ok(Some(n)),
+            None => Err(EnvConfigError { var: name, value: raw }),
+        },
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(os)) => {
+            Err(EnvConfigError { var: name, value: os.to_string_lossy().into_owned() })
+        }
+    }
 }
 
 /// Resolves `ServeConfig::reactors == 0` to the machine's parallelism,
@@ -638,6 +711,33 @@ impl Reactor {
                     conn.writer.push_frame(&payload);
                 }
             },
+            Request::ReplSync { channel, have_epoch } => {
+                let Ok(guard) = self.catalog.read() else {
+                    self.stats.error();
+                    self.push_response(conn, req_id, Status::Internal, None);
+                    conn.close_after_flush = true;
+                    return;
+                };
+                match guard.channel(channel) {
+                    None => {
+                        self.stats.error();
+                        self.push_response(conn, req_id, Status::UnknownChannel, None);
+                        conn.close_after_flush = true;
+                    }
+                    Some(served) => {
+                        // Any replica can answer a sync pull — followers
+                        // serve the same mirrored state, so chained
+                        // topologies work without special-casing.
+                        let _t = waldo_obs::timed("serve_repl_sync");
+                        let state = served.repl_state(channel, have_epoch);
+                        drop(guard);
+                        let mut payload = encode_response_header(req_id, Status::Ok);
+                        payload.extend_from_slice(&state.encode());
+                        waldo_prof::count("serve_bytes_out", payload.len() as u64);
+                        conn.writer.push_frame(&payload);
+                    }
+                }
+            }
         }
     }
 
@@ -728,7 +828,8 @@ mod tests {
     }
 
     /// No other test in this binary reads these variables, so mutating the
-    /// process environment here cannot race a parallel `default()` call.
+    /// process environment here cannot race a parallel `default()` or
+    /// `from_env()` call.
     #[test]
     fn env_overrides_shape_the_default_config() {
         std::env::set_var(ENV_MAX_CONNECTIONS, "9");
@@ -736,15 +837,31 @@ mod tests {
         let config = ServeConfig::default();
         assert_eq!(config.max_connections, 9);
         assert_eq!(config.reactors, 3);
+        assert_eq!(ServeConfig::from_env().unwrap().max_connections, 9);
 
-        // Zero and garbage fall back to the built-in defaults.
+        // A present-but-invalid value is a typed error from `from_env`,
+        // naming the variable and the raw value.
         std::env::set_var(ENV_MAX_CONNECTIONS, "0");
-        std::env::set_var(ENV_REACTORS, "many");
+        let err = ServeConfig::from_env().unwrap_err();
+        assert_eq!(err, EnvConfigError { var: ENV_MAX_CONNECTIONS, value: "0".into() });
+        assert!(err.to_string().contains(ENV_MAX_CONNECTIONS));
+        assert!(err.to_string().contains("\"0\""));
+
+        std::env::set_var(ENV_MAX_CONNECTIONS, "many");
+        let err = ServeConfig::from_env().unwrap_err();
+        assert_eq!(err.value, "many");
+
+        // `Default` cannot fail: the invalid cap is ignored (loudly, on
+        // stderr), while the still-valid reactor override applies.
         let config = ServeConfig::default();
         assert_eq!(config.max_connections, 256);
-        assert_eq!(config.reactors, 0);
+        assert_eq!(config.reactors, 3);
 
+        // Unset variables are not errors — just the baseline.
         std::env::remove_var(ENV_MAX_CONNECTIONS);
         std::env::remove_var(ENV_REACTORS);
+        let config = ServeConfig::from_env().unwrap();
+        assert_eq!(config.max_connections, 256);
+        assert_eq!(config.reactors, 0);
     }
 }

@@ -83,4 +83,22 @@ cargo run --release -p waldo-bench --features "prof fault" --bin chaos_soak -- \
 cargo run --release -p waldo-bench --features prof --bin gate -- \
     target/BENCH_smoke.json scripts/bench_floor.json --chaos target/BENCH_chaos_smoke.json
 
+echo "==> failover drill smoke (failover_drill --quick + gate --failover --history)"
+# Geo-replicated serving under fire: a leader with two pull-syncing
+# followers, multi-endpoint clients rotated across the replica list, and
+# a scripted kill schedule (kill-a-follower, rebind with full resync,
+# stale-follower during a leader refit, leader loss). failover_drill
+# itself exits nonzero on any panic, incorrect safe decision, or client
+# that failed to converge on the post-failover epoch; the gate enforces
+# scenario completion, failover/sync coverage, and the recovery-p99
+# ceiling (scripts/bench_floor.json), then appends this run's headline
+# metrics to results/bench_history.jsonl and fails on any sustained
+# (last-2-entries) trend regression.
+cargo run --release -p waldo-bench --features "prof fault" --bin failover_drill -- \
+    --quick --out target/BENCH_failover_smoke.json
+cargo run --release -p waldo-bench --features prof --bin gate -- \
+    target/BENCH_smoke.json scripts/bench_floor.json \
+    --failover target/BENCH_failover_smoke.json \
+    --history results/bench_history.jsonl
+
 echo "ok"
