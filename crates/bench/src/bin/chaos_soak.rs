@@ -34,9 +34,13 @@
 //! incorrect "safe" decision, any duplicate-ingested batch, or any
 //! client that never observed the refitted model.
 //!
-//! Usage: `chaos_soak [--quick] [--seed N] [--clients N] [--out PATH]`
-//! (needs the `fault` feature; without it the schedules are no-ops and the
-//! report says so).
+//! A [`waldo_bench::fleet::FleetObserver`] rides the whole soak, polling
+//! the server's metrics export and streaming a per-tick timeline
+//! (default `results/chaos_timeline.jsonl`) for `gate --slo`.
+//!
+//! Usage: `chaos_soak [--quick] [--seed N] [--clients N] [--out PATH]
+//! [--timeline PATH]` (needs the `fault` feature; without it the
+//! schedules are no-ops and the report says so).
 
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +55,7 @@ use waldo::{
     ClassifierKind, DecisionAuditLog, DecisionRecord, DetectorOutcome, ModelConstructor,
     StaleModelGuard, WaldoConfig, WaldoModel, WhiteSpaceDetector,
 };
+use waldo_bench::fleet::{ExternalCounter, FleetNode, FleetObserver};
 use waldo_bench::report::{percentile, write_json};
 use waldo_data::{ChannelDataset, Labeler, Measurement, Safety};
 use waldo_fault::{
@@ -183,9 +188,21 @@ fn reading_batch(index: u64, k: usize, site: &Site) -> ReadingBatch {
     ReadingBatch { batch_id: index * 100_000 + k as u64 + 1, channel: CHANNEL, readings }
 }
 
+/// Live tallies shared between every client thread and the
+/// [`FleetObserver`]: the client-side half of the timeline, bumped as
+/// traffic happens and sampled into per-tick deltas.
+#[derive(Debug, Default)]
+struct FleetTallies {
+    fetch_ok: Arc<AtomicU64>,
+    fetch_err: Arc<AtomicU64>,
+    incorrect_safe: Arc<AtomicU64>,
+}
+
 /// Everything one client thread tallies; summed by the main thread.
 #[derive(Debug, Default)]
 struct ClientStats {
+    /// Shared live tallies for the observer's timeline.
+    tallies: Arc<FleetTallies>,
     fetch_ok: u64,
     fetch_err: u64,
     retries: u64,
@@ -235,10 +252,12 @@ fn try_fetch(client: &mut ModelClient, stats: &mut ClientStats) -> Option<WaldoM
     match client.fetch(CHANNEL, 10.0, 10.0, -1.0) {
         Ok((model, _report)) => {
             stats.fetch_ok += 1;
+            stats.tallies.fetch_ok.fetch_add(1, Ordering::Relaxed);
             Some(model)
         }
         Err(e) => {
             stats.fetch_err += 1;
+            stats.tallies.fetch_err.fetch_add(1, Ordering::Relaxed);
             match e {
                 ClientError::CircuitOpen => stats.circuit_rejections += 1,
                 ClientError::Wire(_) => stats.wire_errors += 1,
@@ -311,6 +330,7 @@ fn detection_bout(
                 }
                 if gated == Safety::Safe && (site.truth == Safety::NotSafe || outage) {
                     stats.incorrect_safe += 1;
+                    stats.tallies.incorrect_safe.fetch_add(1, Ordering::Relaxed);
                 }
                 return;
             }
@@ -327,6 +347,7 @@ fn detection_bout(
     unreachable!("detector must force a decision at the reading cap");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_client(
     index: u64,
     seed: u64,
@@ -335,8 +356,9 @@ fn run_client(
     barrier: &Barrier,
     restart_at: &Mutex<Option<Instant>>,
     total_acked: &AtomicU64,
+    tallies: Arc<FleetTallies>,
 ) -> ClientStats {
-    let mut stats = ClientStats::default();
+    let mut stats = ClientStats { tallies, ..ClientStats::default() };
 
     let faults = TransportFaults::new(
         derive_seed(seed, "transport", index),
@@ -536,6 +558,7 @@ fn main() {
     let mut seed: u64 = 42;
     let mut clients_override: Option<usize> = None;
     let mut out = String::from("target/BENCH_chaos.json");
+    let mut timeline = String::from("results/chaos_timeline.jsonl");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -551,6 +574,10 @@ fn main() {
             "--out" => {
                 i += 1;
                 out = args[i].clone();
+            }
+            "--timeline" => {
+                i += 1;
+                timeline = args[i].clone();
             }
             other => panic!("unknown argument {other:?}"),
         }
@@ -593,6 +620,22 @@ fn main() {
         if cfg!(feature = "fault") { "ON" } else { "OFF (build with --features fault)" },
     );
 
+    // The fleet observer rides the whole soak: it polls the (single-node)
+    // fleet's metrics export, samples the shared client tallies, and
+    // streams the per-tick timeline `gate --slo` can evaluate. The two
+    // server outages below just show up as poll errors and fetch gaps.
+    let tallies = Arc::new(FleetTallies::default());
+    let observer = FleetObserver::spawn(
+        vec![FleetNode::new("server", addr)],
+        vec![
+            ExternalCounter::new("fetch_ok", Arc::clone(&tallies.fetch_ok)),
+            ExternalCounter::new("fetch_err", Arc::clone(&tallies.fetch_err)),
+            ExternalCounter::new("incorrect_safe", Arc::clone(&tallies.incorrect_safe)),
+        ],
+        Duration::from_millis(50),
+        Some(std::path::PathBuf::from(&timeline)),
+    );
+
     let barrier = Arc::new(Barrier::new(scale.clients + 1));
     let restart_at = Arc::new(Mutex::new(None::<Instant>));
     let total_acked = Arc::new(AtomicU64::new(0));
@@ -602,8 +645,9 @@ fn main() {
             let restart_at = Arc::clone(&restart_at);
             let scale = Arc::clone(&scale);
             let total_acked = Arc::clone(&total_acked);
+            let tallies = Arc::clone(&tallies);
             std::thread::spawn(move || {
-                run_client(index, seed, addr, &scale, &barrier, &restart_at, &total_acked)
+                run_client(index, seed, addr, &scale, &barrier, &restart_at, &total_acked, tallies)
             })
         })
         .collect();
@@ -724,6 +768,7 @@ fn main() {
         let mut probe = ModelClient::new(addr, Duration::from_secs(10));
         probe.stats().ok()
     };
+    let fleet = observer.stop();
     server.shutdown();
     recoveries.sort_unstable();
     let recovered = recoveries.len() as u64;
@@ -784,6 +829,9 @@ fn main() {
         "refit_changed_localities": refit.changed_localities.len() as u64,
         "epoch_after_refit": after_refit.model_epoch,
         "clients_observed_refit": clients_observed_refit,
+        "observer_ticks": fleet.ticks,
+        "observer_poll_errors": fleet.poll_errors,
+        "timeline": timeline.clone(),
     });
     write_json(&out, &report);
     eprintln!(

@@ -33,13 +33,17 @@
 //!
 //! Emits `BENCH_failover.json` for `gate --failover`: scenario completion
 //! flags, failover/recovery tallies and percentiles, follower sync
-//! counters, and the invariant counts.
+//! counters, and the invariant counts. A
+//! [`waldo_bench::fleet::FleetObserver`] rides the whole drill, polling
+//! every node's metrics export and streaming the per-tick fleet timeline
+//! (default `results/fleet_timeline.jsonl`) that `gate --slo` evaluates.
 //!
-//! Usage: `failover_drill [--quick] [--seed N] [--clients N] [--out PATH]`
-//! (needs the `fault` feature; without it the schedules are no-ops and
-//! the report says so).
+//! Usage: `failover_drill [--quick] [--seed N] [--clients N] [--out PATH]
+//! [--timeline PATH]` (needs the `fault` feature; without it the
+//! schedules are no-ops and the report says so).
 
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -51,6 +55,7 @@ use waldo::{
     ClassifierKind, DecisionAuditLog, DecisionRecord, DetectorOutcome, ModelConstructor,
     StaleModelGuard, WaldoConfig, WaldoModel, WhiteSpaceDetector,
 };
+use waldo_bench::fleet::{ExternalCounter, FleetNode, FleetObserver};
 use waldo_bench::report::{percentile, write_json};
 use waldo_data::{ChannelDataset, Labeler, Measurement, Safety};
 use waldo_fault::{
@@ -175,9 +180,24 @@ fn site_for(index: u64) -> Site {
     }
 }
 
+/// Live fleet tallies shared between every client thread and the
+/// [`FleetObserver`]: the client-side half of the timeline (the servers
+/// cannot see fetch outcomes, failovers, or decision quality). All
+/// cumulative; the observer samples them into per-tick deltas.
+#[derive(Debug, Default)]
+struct FleetTallies {
+    fetch_ok: Arc<AtomicU64>,
+    fetch_err: Arc<AtomicU64>,
+    incorrect_safe: Arc<AtomicU64>,
+    failovers: Arc<AtomicU64>,
+}
+
 /// Everything one client thread tallies; summed by the main thread.
 #[derive(Debug, Default)]
 struct ClientStats {
+    /// Shared live tallies, bumped alongside the local counters so the
+    /// observer's timeline sees traffic as it happens.
+    tallies: Arc<FleetTallies>,
     fetch_ok: u64,
     fetch_err: u64,
     circuit_rejections: u64,
@@ -208,10 +228,12 @@ fn try_fetch(client: &mut ModelClient, stats: &mut ClientStats) -> Option<WaldoM
     match client.fetch(CHANNEL, 10.0, 10.0, -1.0) {
         Ok((model, _report)) => {
             stats.fetch_ok += 1;
+            stats.tallies.fetch_ok.fetch_add(1, Ordering::Relaxed);
             Some(model)
         }
         Err(e) => {
             stats.fetch_err += 1;
+            stats.tallies.fetch_err.fetch_add(1, Ordering::Relaxed);
             match e {
                 ClientError::CircuitOpen => stats.circuit_rejections += 1,
                 ClientError::Wire(_) => stats.wire_errors += 1,
@@ -280,6 +302,7 @@ fn detection_bout(
                 }
                 if gated == Safety::Safe && site.truth == Safety::NotSafe {
                     stats.incorrect_safe += 1;
+                    stats.tallies.incorrect_safe.fetch_add(1, Ordering::Relaxed);
                 }
                 return;
             }
@@ -317,6 +340,15 @@ fn load_round(
     }
 }
 
+/// Publishes the client's failover tally growth to the shared fleet
+/// counter (the per-client snapshot is cumulative; the observer wants
+/// one fleet-wide cumulative series).
+fn publish_failovers(client: &ModelClient, last: &mut u64, tallies: &FleetTallies) {
+    let now = client.obs_snapshot().failovers_total;
+    tallies.failovers.fetch_add(now.saturating_sub(*last), Ordering::Relaxed);
+    *last = now;
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_client(
     index: u64,
@@ -326,8 +358,10 @@ fn run_client(
     barrier: &Barrier,
     kill_follower_at: &Mutex<Option<Instant>>,
     kill_leader_at: &Mutex<Option<Instant>>,
+    tallies: Arc<FleetTallies>,
 ) -> ClientStats {
-    let mut stats = ClientStats::default();
+    let mut stats = ClientStats { tallies, ..ClientStats::default() };
+    let mut last_failovers = 0u64;
     let faults = TransportFaults::new(
         derive_seed(seed, "transport", index),
         TransportPlan {
@@ -373,6 +407,7 @@ fn run_client(
         );
     }
 
+    publish_failovers(&client, &mut last_failovers, &stats.tallies);
     barrier.wait(); // healthy done; main kills follower 1
     barrier.wait(); // kill instant recorded
 
@@ -395,6 +430,7 @@ fn run_client(
         );
     }
 
+    publish_failovers(&client, &mut last_failovers, &stats.tallies);
     barrier.wait(); // scenario 2 done; main rebinds follower 1, full resync
     barrier.wait();
 
@@ -412,6 +448,7 @@ fn run_client(
         );
     }
 
+    publish_failovers(&client, &mut last_failovers, &stats.tallies);
     barrier.wait(); // scenario 3 done; main freezes follower 2, refits leader
     barrier.wait();
 
@@ -431,6 +468,7 @@ fn run_client(
         );
     }
 
+    publish_failovers(&client, &mut last_failovers, &stats.tallies);
     barrier.wait(); // scenario 4 done; main resumes follower 2, kills leader
     barrier.wait();
 
@@ -461,6 +499,7 @@ fn run_client(
         );
     }
 
+    publish_failovers(&client, &mut last_failovers, &stats.tallies);
     stats.final_epoch = client.cached_epoch(CHANNEL);
     stats.obs = client.obs_snapshot();
     stats.audit_total = audit.total();
@@ -490,6 +529,7 @@ fn main() {
     let mut seed: u64 = 42;
     let mut clients_override: Option<usize> = None;
     let mut out = String::from("target/BENCH_failover.json");
+    let mut timeline = String::from("results/fleet_timeline.jsonl");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -505,6 +545,10 @@ fn main() {
             "--out" => {
                 i += 1;
                 out = args[i].clone();
+            }
+            "--timeline" => {
+                i += 1;
+                timeline = args[i].clone();
             }
             other => panic!("unknown argument {other:?}"),
         }
@@ -576,6 +620,27 @@ fn main() {
     );
     wait_for_epoch(&f1_catalog, 1, "follower 1");
     wait_for_epoch(&f2_catalog, 1, "follower 2");
+
+    // The fleet observer rides the whole drill: it polls every node's
+    // metrics export, samples the shared client tallies, and streams the
+    // per-tick timeline `gate --slo` evaluates afterwards. Killed nodes
+    // just become poll errors.
+    let tallies = Arc::new(FleetTallies::default());
+    let observer = FleetObserver::spawn(
+        vec![
+            FleetNode::new("leader", leader_addr),
+            FleetNode::new("follower1", f1_addr),
+            FleetNode::new("follower2", f2_addr),
+        ],
+        vec![
+            ExternalCounter::new("fetch_ok", Arc::clone(&tallies.fetch_ok)),
+            ExternalCounter::new("fetch_err", Arc::clone(&tallies.fetch_err)),
+            ExternalCounter::new("incorrect_safe", Arc::clone(&tallies.incorrect_safe)),
+            ExternalCounter::new("failovers", Arc::clone(&tallies.failovers)),
+        ],
+        Duration::from_millis(50),
+        Some(std::path::PathBuf::from(&timeline)),
+    );
     eprintln!(
         "failover_drill: seed {seed}, {} clients, fault injection {} — leader {leader_addr}, \
          followers {f1_addr} / {f2_addr}",
@@ -599,6 +664,7 @@ fn main() {
             let kill_follower_at = Arc::clone(&kill_follower_at);
             let kill_leader_at = Arc::clone(&kill_leader_at);
             let scale = Arc::clone(&scale);
+            let tallies = Arc::clone(&tallies);
             std::thread::spawn(move || {
                 run_client(
                     index,
@@ -608,6 +674,7 @@ fn main() {
                     &barrier,
                     &kill_follower_at,
                     &kill_leader_at,
+                    tallies,
                 )
             })
         })
@@ -721,6 +788,7 @@ fn main() {
     }
     let f1_snap = f1_worker.stop().snapshot();
     let f2_snap = f2_worker.stop().snapshot();
+    let fleet = observer.stop();
     f1_server.shutdown();
     f2_server.shutdown();
     let _ = std::fs::remove_dir_all(&ingest_dir);
@@ -768,6 +836,11 @@ fn main() {
         "audit_downgrades": total.audit_downgrades,
         "refit_ns": refit_ns,
         "refit_changed_localities": refit.changed_localities.len() as u64,
+        "observer_ticks": fleet.ticks,
+        "observer_poll_errors": fleet.poll_errors,
+        "repl_lag_ms_p99": fleet.repl_lag_ms_p99,
+        "repl_lag_epochs_max": fleet.repl_lag_epochs_max,
+        "timeline": timeline.clone(),
         "panics": panics,
         "wall_seconds": wall_seconds,
     });
@@ -787,6 +860,12 @@ fn main() {
         recovery_p99 as f64 / 1e6,
         panics,
     );
+    eprintln!(
+        "failover_drill: observer {} ticks ({} poll errors against killed nodes), \
+         replication catch-up p99 {} ms, worst epoch lag {} -> {timeline}",
+        fleet.ticks, fleet.poll_errors, fleet.repl_lag_ms_p99, fleet.repl_lag_epochs_max,
+    );
+    assert!(fleet.ticks >= 2, "the fleet observer never ticked");
 
     assert_eq!(panics, 0, "client thread panicked");
     assert_eq!(total.incorrect_safe, 0, "incorrect safe decision recorded");

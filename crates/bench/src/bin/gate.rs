@@ -5,7 +5,8 @@
 //!
 //! Usage: `gate <report.json> <floor.json> [serve_report.json] [--obs]
 //! [--ingest ingest_report.json] [--chaos chaos_report.json]
-//! [--failover failover_report.json] [--history history.jsonl]`
+//! [--failover failover_report.json] [--slo fleet_timeline.jsonl]
+//! [--history history.jsonl]`
 //!
 //! Fails (exit 1) when:
 //! - any required stage timer (`synth`, `fft_features`, `label`, `kmeans`,
@@ -59,6 +60,14 @@
 //!   loop unexercised (no installs or no errors against the dead leader),
 //!   timed no recoveries, or its recovery p99 exceeds the absolute ceiling
 //!   (`failover_recovery_p99_ns` in the floor file);
+//! - `--slo` is given a fleet timeline (the JSONL a
+//!   [`waldo_bench::fleet::FleetObserver`] writes during a drill) and any
+//!   declarative objective in [`waldo_bench::slo::SloSet`] fails:
+//!   availability below the floor or a sustained outage, the fetch-p99
+//!   latency budget overspent, replication lag beyond its tick budget or
+//!   stalled outright, or *any* incorrect-safe decision — each objective
+//!   is burn-rate shaped (whole-run budget plus consecutive-tick streak),
+//!   and verdicts are printed per objective either way;
 //! - `--history` is given: after all checks pass, the gate appends one
 //!   compact line of headline metrics to the JSONL file, then fails if any
 //!   tracked metric shows a *sustained* regression — every one of the last
@@ -604,10 +613,40 @@ fn check_failover(report: &Value, floor: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Evaluates the declarative fleet SLOs over an observer timeline and
+/// prints one verdict line per objective. Fails when the timeline is
+/// missing or empty (an observer that never ticked proves nothing) or
+/// when any objective is breached.
+fn check_slo(path: &str) -> Result<waldo_bench::slo::SloReport, String> {
+    use waldo_bench::slo::{evaluate, parse_timeline, SloSet};
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let ticks = parse_timeline(&text);
+    if ticks.is_empty() {
+        return Err(format!("{path} holds no parseable timeline ticks; did the observer run?"));
+    }
+    let report = evaluate(&ticks, &SloSet::default());
+    for result in &report.results {
+        eprintln!("gate slo {result}");
+    }
+    if let Some(failed) = report.results.iter().find(|r| !r.pass) {
+        return Err(format!("fleet SLO {} breached: {}", failed.name, failed.detail));
+    }
+    eprintln!(
+        "gate ok: fleet SLOs held over {} observer ticks (replication catch-up p99 {} ms)",
+        report.ticks, report.repl_lag_ms_p99,
+    );
+    Ok(report)
+}
+
 /// One compact history line: the headline rate/latency metrics of this
 /// gate run, stamped with wall-clock seconds. Only metrics whose source
 /// report was supplied appear, so the trend series stay honest.
-fn history_entry(report: &Value, serve: Option<&Value>, failover: Option<&Value>) -> Value {
+fn history_entry(
+    report: &Value,
+    serve: Option<&Value>,
+    failover: Option<&Value>,
+    slo: Option<&waldo_bench::slo::SloReport>,
+) -> Value {
     let mut entry = Map::new();
     let ts = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
     entry.insert("ts", Value::from(ts as f64));
@@ -634,9 +673,28 @@ fn history_entry(report: &Value, serve: Option<&Value>, failover: Option<&Value>
     if let Some(serve) = serve {
         put("serve_fetch_p50_ns", serve.get("fetch_p50_ns").and_then(Value::as_f64));
         put("serve_fetches_per_s", serve.get("fetches_per_s").and_then(Value::as_f64));
+        // The enabled-vs-disabled recording cost as a fraction, when the
+        // A/B table is present: the headline number behind the <5% + 20µs
+        // obs ceiling, trended so creep below the hard gate is visible.
+        let off = serve
+            .get("obs_overhead")
+            .and_then(|o| o.get("fetch_p50_off_ns"))
+            .and_then(Value::as_f64);
+        let on = serve
+            .get("obs_overhead")
+            .and_then(|o| o.get("fetch_p50_on_ns"))
+            .and_then(Value::as_f64);
+        if let (Some(off), Some(on)) = (off, on) {
+            if off > 0.0 {
+                put("obs_overhead_frac", Some((on - off) / off));
+            }
+        }
     }
     if let Some(failover) = failover {
         put("failover_recovery_p99_ns", failover.get("recovery_p99_ns").and_then(Value::as_f64));
+    }
+    if let Some(slo) = slo {
+        put("fleet_repl_lag_ms_p99", Some(slo.repl_lag_ms_p99 as f64));
     }
     Value::Object(entry)
 }
@@ -758,6 +816,15 @@ fn main() -> ExitCode {
         ingest_path = Some(args.remove(pos + 1));
         args.remove(pos);
     }
+    let mut slo_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--slo") {
+        if pos + 1 >= args.len() {
+            eprintln!("--slo needs a path");
+            return ExitCode::FAILURE;
+        }
+        slo_path = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
     let mut want_obs = false;
     if let Some(pos) = args.iter().position(|a| a == "--obs") {
         want_obs = true;
@@ -770,7 +837,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: gate <report.json> <floor.json> [serve_report.json] [--obs] \
                  [--ingest ingest.json] [--chaos chaos.json] [--failover failover.json] \
-                 [--history history.jsonl]"
+                 [--slo fleet_timeline.jsonl] [--history history.jsonl]"
             );
             return ExitCode::FAILURE;
         }
@@ -804,11 +871,20 @@ fn main() -> ExitCode {
             check_failover(&loaded, &floor)?;
             failover_report = Some(loaded);
         }
+        let mut slo_report = None;
+        if let Some(slo_path) = &slo_path {
+            slo_report = Some(check_slo(slo_path)?);
+        }
         // History last: only runs that passed every ratio gate feed the
         // trend series, so the guard judges regressions among good runs
         // rather than re-flagging failures the gates above already caught.
         if let Some(history_path) = &history_path {
-            let entry = history_entry(&report, serve_report.as_ref(), failover_report.as_ref());
+            let entry = history_entry(
+                &report,
+                serve_report.as_ref(),
+                failover_report.as_ref(),
+                slo_report.as_ref(),
+            );
             let entries = append_history(history_path, &entry)?;
             check_trend(&entries)?;
         }

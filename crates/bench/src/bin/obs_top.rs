@@ -1,0 +1,357 @@
+//! Live fleet dashboard: polls every node's `OBS_EXPORT` registry and
+//! redraws a one-screen summary — per-node request rate, errors, active
+//! connections, catalog epoch, WAL backlog, and serve-path latency
+//! quantiles, plus the fleet rollup (replication lag, fetch outcomes,
+//! failovers, incorrect-safe count).
+//!
+//! The first address is treated as the leader for lag accounting; the
+//! rest are followers. Latency columns read 0 when servers were built
+//! without the `obs` feature (the series still flow; only histogram
+//! gauges are absent).
+//!
+//! `--self-test` instead stands up a leader (with an ingestion plane),
+//! a pull-syncing follower, and a client in-process, attaches a
+//! [`waldo_bench::fleet::FleetObserver`] over both nodes, drives
+//! upload → refit → replicate → fetch traffic, and asserts the merged
+//! fleet view, the JSONL timeline, and the SLO evaluation all agree —
+//! the smoke check `scripts/check.sh` runs.
+//!
+//! Usage: `obs_top ADDR [ADDR...] [--cadence MS] [--ticks N]`
+//!    or: `obs_top --self-test`
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use waldo_bench::fleet::{render_dashboard, ExternalCounter, FleetNode, FleetObserver};
+
+fn usage() -> ! {
+    eprintln!("usage: obs_top ADDR [ADDR...] [--cadence MS] [--ticks N] | obs_top --self-test");
+    std::process::exit(2);
+}
+
+/// Runs the live dashboard until `ticks` frames have rendered (0 =
+/// until interrupted).
+fn top(addrs: &[SocketAddr], cadence: Duration, ticks: u64) {
+    let nodes: Vec<FleetNode> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &addr)| {
+            let label = if i == 0 { "leader".to_owned() } else { format!("follower{i}") };
+            FleetNode::new(label, addr)
+        })
+        .collect();
+    let window_ms = (cadence.as_millis() as u64 * 10).max(5_000);
+    let observer = FleetObserver::spawn(nodes.clone(), Vec::new(), cadence, None);
+    let mut rendered = 0u64;
+    loop {
+        std::thread::sleep(cadence);
+        let frame = render_dashboard(&observer.registry_snapshot(), &nodes, window_ms);
+        // Clear + home, then the frame: a flicker-free rewrite on any
+        // ANSI terminal.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        rendered += 1;
+        if ticks > 0 && rendered >= ticks {
+            break;
+        }
+    }
+    let report = observer.stop();
+    println!(
+        "obs_top: {} ticks, {} poll errors, repl lag p99 {} ms",
+        report.ticks, report.poll_errors, report.repl_lag_ms_p99,
+    );
+}
+
+/// Stands up a two-node fleet in-process and checks the whole
+/// observability loop: export → merge → timeline → SLO verdict.
+fn self_test() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, RwLock};
+    use waldo::wire::ReadingBatch;
+    use waldo::{ModelConstructor, WaldoConfig};
+    use waldo_bench::slo::{evaluate, parse_timeline, SloSet, TimelineTick};
+    use waldo_data::{ChannelDataset, Labeler, Measurement, Safety};
+    use waldo_geo::Point;
+    use waldo_iq::FeatureVector;
+    use waldo_rf::TvChannel;
+    use waldo_sensors::{Observation, ReadingSample, SensorKind};
+    use waldo_serve::{
+        serve, serve_with_ingest, IngestPlane, ModelCatalog, ModelClient, ReplicaFollower,
+        ReplicaWorker, ServeConfig,
+    };
+    use waldo_store::RefitEngine;
+
+    // A synthetic channel: east half occupied, west half quiet.
+    let mut measurements = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..200usize {
+        let x = (i as f64 / 200.0) * 30_000.0;
+        let y = ((i * 7) % 20) as f64 * 1_000.0;
+        let not_safe = x > 15_000.0;
+        let rss = if not_safe { -70.0 } else { -95.0 } + ((i % 5) as f64 - 2.0);
+        measurements.push(Measurement {
+            location: Point::new(x, y),
+            odometer_m: i as f64 * 100.0,
+            observation: Observation {
+                rss_dbm: rss,
+                features: FeatureVector {
+                    rss_db: rss,
+                    cft_db: rss - 11.3,
+                    aft_db: rss - 12.5,
+                    quadrature_imbalance_db: 0.0,
+                    iq_kurtosis: 0.0,
+                    edge_bin_db: -110.0,
+                },
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        });
+        labels.push(Safety::from_not_safe(not_safe));
+    }
+    let dataset =
+        ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels);
+    let constructor = ModelConstructor::new(WaldoConfig::default().localities(4));
+    let model = constructor.fit(&dataset).expect("synthetic data trains");
+
+    // Leader: catalog + ingestion plane.
+    let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    catalog.write().expect("catalog lock").publish(30, &model);
+    let ingest_dir =
+        std::env::temp_dir().join(format!("waldo-obs-top-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ingest_dir);
+    let engine = RefitEngine::new(constructor, Labeler::new(), dataset, model);
+    let plane = IngestPlane::open(&ingest_dir, Arc::clone(&catalog), 30, engine)
+        .expect("ingest plane opens");
+    let mut leader = serve_with_ingest(
+        "127.0.0.1:0",
+        Arc::clone(&catalog),
+        ServeConfig::default(),
+        Some(Arc::clone(&plane)),
+    )
+    .expect("leader binds");
+
+    // Follower: own catalog, pull-syncing from the leader.
+    let follower_catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    let follower = ReplicaFollower::new(
+        vec![leader.addr()],
+        Arc::clone(&follower_catalog),
+        vec![30],
+        Duration::from_secs(5),
+    );
+    let worker = ReplicaWorker::spawn(follower, Duration::from_millis(10));
+    let mut follower_server =
+        serve("127.0.0.1:0", Arc::clone(&follower_catalog), ServeConfig::default())
+            .expect("follower binds");
+
+    // The observer over both nodes, with harness-side tallies and a
+    // timeline the SLO layer will read back.
+    let fetch_ok = Arc::new(AtomicU64::new(0));
+    let fetch_err = Arc::new(AtomicU64::new(0));
+    let incorrect_safe = Arc::new(AtomicU64::new(0));
+    let failovers = Arc::new(AtomicU64::new(0));
+    let timeline_path =
+        std::env::temp_dir().join(format!("waldo-obs-top-timeline-{}.jsonl", std::process::id()));
+    let nodes = vec![
+        FleetNode::new("leader", leader.addr()),
+        FleetNode::new("follower1", follower_server.addr()),
+    ];
+    let observer = FleetObserver::spawn(
+        nodes.clone(),
+        vec![
+            ExternalCounter::new("fetch_ok", Arc::clone(&fetch_ok)),
+            ExternalCounter::new("fetch_err", Arc::clone(&fetch_err)),
+            ExternalCounter::new("incorrect_safe", Arc::clone(&incorrect_safe)),
+            ExternalCounter::new("failovers", Arc::clone(&failovers)),
+        ],
+        Duration::from_millis(50),
+        Some(timeline_path.clone()),
+    );
+
+    // Known traffic: fetches from both nodes, an upload, a refit, and
+    // the replicated delta fetch.
+    let mut client = ModelClient::new(leader.addr(), Duration::from_secs(5));
+    let mut follower_client = ModelClient::new(follower_server.addr(), Duration::from_secs(5));
+    for _ in 0..5 {
+        client.fetch(30, 10.0, 10.0, -1.0).expect("leader fetch succeeds");
+        fetch_ok.fetch_add(1, Ordering::Relaxed);
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match follower_client.fetch(30, 10.0, 10.0, -1.0) {
+            Ok((_, report)) if report.epoch >= 1 => {
+                fetch_ok.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            _ => {
+                fetch_err.fetch_add(1, Ordering::Relaxed);
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "follower never served the replicated epoch"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    let batch = ReadingBatch {
+        batch_id: 1,
+        channel: 30,
+        readings: (0..8)
+            .map(|i| {
+                let rss = -60.0;
+                ReadingSample {
+                    location: Point::new(2_000.0 + f64::from(i) * 120.0, 4_000.0),
+                    rss_dbm: rss,
+                    features: FeatureVector {
+                        rss_db: rss,
+                        cft_db: rss - 11.3,
+                        aft_db: rss - 12.5,
+                        quadrature_imbalance_db: 0.0,
+                        iq_kurtosis: 0.0,
+                        edge_bin_db: -110.0,
+                    },
+                }
+            })
+            .collect(),
+    };
+    client.upload(&batch).expect("upload succeeds");
+    plane.run_refit_now().expect("refit runs").expect("fresh segments refit the model");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let (_, report) = follower_client.fetch(30, 10.0, 10.0, -1.0).expect("follower fetch");
+        fetch_ok.fetch_add(1, Ordering::Relaxed);
+        if report.epoch >= 2 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "epoch 2 never replicated");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Let the observer catch the settled state (it must see both nodes
+    // at epoch 2 and the sampled counters behind the traffic above),
+    // then stop it — the stop path runs one final tick.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let registry = observer.registry_snapshot();
+        let leader_sampled =
+            registry.series("leader/serve/requests_total").is_some_and(|s| s.sum_since(0) >= 5);
+        let follower_sampled =
+            registry.series("follower1/serve/requests_total").is_some_and(|s| s.sum_since(0) >= 1);
+        let caught_up = registry
+            .series("follower1/catalog/epoch/30")
+            .and_then(|s| s.latest())
+            .is_some_and(|p| p.value >= 2);
+        if (leader_sampled && follower_sampled && caught_up)
+            || std::time::Instant::now() >= deadline
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report = observer.stop();
+
+    // The merged fleet view: per-node namespaces plus the rollup series.
+    assert!(report.ticks >= 2, "observer ticked (got {})", report.ticks);
+    let registry = &report.registry;
+    let leader_requests =
+        registry.series("leader/serve/requests_total").expect("leader series merged");
+    assert!(leader_requests.sum_since(0) >= 5, "leader sampled the fetch traffic");
+    assert!(
+        registry.series("follower1/serve/requests_total").is_some(),
+        "follower series merged under its own prefix"
+    );
+    assert!(
+        registry.series("leader/ingest/uploads_total").is_some(),
+        "ingest counters reached the fleet view"
+    );
+    let leader_epoch = registry
+        .series("leader/catalog/epoch/30")
+        .and_then(|s| s.latest())
+        .expect("leader epoch gauge present");
+    assert_eq!(leader_epoch.value, 2, "leader settled at the refit epoch");
+    let follower_epoch = registry
+        .series("follower1/catalog/epoch/30")
+        .and_then(|s| s.latest())
+        .expect("follower epoch gauge present");
+    assert_eq!(follower_epoch.value, 2, "follower caught up to the refit epoch");
+    assert!(registry.series("fleet/repl_lag_epochs").is_some(), "lag gauge recorded");
+    let ok_series = registry.series("fleet/fetch_ok").expect("external tallies recorded");
+    assert_eq!(
+        ok_series.sum_since(0),
+        fetch_ok.load(Ordering::Relaxed),
+        "external deltas sum back to the cumulative tally"
+    );
+
+    // One rendered frame, with every node row and the rollup.
+    let frame = render_dashboard(registry, &nodes, 60_000);
+    print!("{frame}");
+    assert!(frame.contains("leader") && frame.contains("follower1"), "both nodes rendered");
+    assert!(frame.contains("fleet: lag"), "rollup rendered");
+
+    // The timeline round-trips through the SLO layer and passes.
+    let text = std::fs::read_to_string(&timeline_path).expect("timeline written");
+    let ticks = parse_timeline(&text);
+    assert!(!ticks.is_empty(), "timeline has ticks");
+    assert_eq!(ticks.len() as u64, report.ticks, "one line per tick");
+    let ok_from_timeline: u64 = ticks.iter().map(|t| t.fetch_ok).sum();
+    assert_eq!(
+        ok_from_timeline,
+        fetch_ok.load(Ordering::Relaxed),
+        "timeline deltas reconstruct the fetch tally"
+    );
+    let slo = evaluate(&ticks, &SloSet::default());
+    for result in &slo.results {
+        println!("{result}");
+    }
+    assert!(slo.pass(), "healthy two-node run passes the default SLOs");
+
+    // And a synthetic violation must fail: an incorrect-safe decision
+    // appearing mid-run breaks the absolute safety objective.
+    let mut violated: Vec<TimelineTick> = ticks.clone();
+    violated.last_mut().expect("non-empty").incorrect_safe_cum = 1;
+    let bad = evaluate(&violated, &SloSet::default());
+    assert!(!bad.pass(), "an incorrect-safe decision must fail the gate");
+
+    drop(client);
+    drop(follower_client);
+    worker.stop();
+    follower_server.shutdown();
+    leader.shutdown();
+    let _ = std::fs::remove_file(&timeline_path);
+    let _ = std::fs::remove_dir_all(&ingest_dir);
+    println!("obs_top: self-test OK");
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--self-test") {
+        self_test();
+        return;
+    }
+    let mut cadence = Duration::from_millis(500);
+    if let Some(i) = args.iter().position(|a| a == "--cadence") {
+        args.remove(i);
+        let ms: u64 = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+        args.remove(i);
+        cadence = Duration::from_millis(ms.max(50));
+    }
+    let mut ticks = 0u64;
+    if let Some(i) = args.iter().position(|a| a == "--ticks") {
+        args.remove(i);
+        ticks = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+        args.remove(i);
+    }
+    let addrs: Vec<SocketAddr> = args
+        .iter()
+        .map(|a| {
+            a.parse().unwrap_or_else(|e| {
+                eprintln!("obs_top: bad address {a:?}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if addrs.is_empty() {
+        usage();
+    }
+    top(&addrs, cadence, ticks);
+}

@@ -1,0 +1,481 @@
+//! Fleet-wide observability: a poller that merges every node's
+//! time-series registry into one view, tracks cross-node replication
+//! lag, and streams a JSONL timeline the SLO gate evaluates after the
+//! run.
+//!
+//! # Topology
+//!
+//! A [`FleetObserver`] is a background thread holding one wire client
+//! per node. Each tick it pulls every node's `OBS_EXPORT` registry
+//! (see `waldo_obs::series`), namespaces it under the node's label via
+//! [`MetricsRegistry::prefixed`], and merges the result into one fleet
+//! registry — `leader/serve/requests_total` and
+//! `follower1/serve/requests_total` stay distinct series, while the
+//! merge stays commutative so poll order never matters. Client-side
+//! tallies that only the harness knows (fetch outcomes, incorrect-safe
+//! decisions, failovers) ride along as [`ExternalCounter`]s: shared
+//! atomics the drill's client threads bump and the observer samples
+//! under `fleet/...` names.
+//!
+//! # Replication lag
+//!
+//! The leader's `catalog/epoch/<ch>` gauge is the reference clock: the
+//! first tick that sees the leader at epoch `E` records the wall time,
+//! and a follower's lag in milliseconds is measured when its own epoch
+//! gauge first reaches `E`. Lag in *epochs* is instantaneous:
+//! `leader_epoch - min(follower_epoch)`. A dead node (kill scenarios)
+//! just stops answering; its poll failures are counted, never fatal,
+//! and its last-known series stay in the fleet view.
+//!
+//! # Timeline
+//!
+//! When given a path, the observer appends one JSON object per tick —
+//! the flat schema `gate --slo` and `waldo_bench::slo` consume:
+//! `ts_ms`, per-tick fetch deltas, the current tail-latency gauge,
+//! instantaneous replication lag, and the cumulative invariant counters.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use waldo_obs::series::{wall_ms, MetricsRegistry};
+use waldo_serve::{ModelClient, RetryPolicy};
+
+/// One node the observer polls.
+#[derive(Debug, Clone)]
+pub struct FleetNode {
+    /// Series-name prefix for this node (`leader`, `follower1`, ...).
+    pub label: String,
+    /// Where its `OBS_EXPORT` endpoint listens.
+    pub addr: SocketAddr,
+}
+
+impl FleetNode {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, addr: SocketAddr) -> Self {
+        Self { label: label.into(), addr }
+    }
+}
+
+/// A harness-side cumulative counter the observer samples each tick
+/// (recorded as per-tick deltas under `fleet/<name>`). The drills wire
+/// these to the tallies their client threads bump — the half of the
+/// fleet story no server can see.
+#[derive(Debug, Clone)]
+pub struct ExternalCounter {
+    /// Series name under the `fleet/` prefix.
+    pub name: String,
+    /// The cumulative value, bumped elsewhere.
+    pub value: Arc<AtomicU64>,
+}
+
+impl ExternalCounter {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: Arc<AtomicU64>) -> Self {
+        Self { name: name.into(), value }
+    }
+}
+
+/// What [`FleetObserver::stop`] returns: the merged fleet registry and
+/// the run's rollup summary.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Every node's series, name-prefixed, merged.
+    pub registry: MetricsRegistry,
+    /// Poll rounds completed.
+    pub ticks: u64,
+    /// Node polls that failed (dead node, timeout); counted per poll.
+    pub poll_errors: u64,
+    /// p99 of the measured follower catch-up times, ms (0 = no epoch
+    /// change was ever observed propagating).
+    pub repl_lag_ms_p99: u64,
+    /// Worst instantaneous epoch lag seen on any tick.
+    pub repl_lag_epochs_max: u64,
+    /// Where the timeline was written, if anywhere.
+    pub timeline: Option<PathBuf>,
+}
+
+/// Measures how long followers trail the leader's epoch bumps.
+#[derive(Debug, Default)]
+struct LagTracker {
+    /// Wall ms when the leader was first seen at each epoch.
+    leader_first_seen: BTreeMap<u64, u64>,
+    /// Last epoch each follower was seen at.
+    follower_at: BTreeMap<String, u64>,
+    /// Completed catch-up measurements, ms.
+    caught_up_ms: Vec<u64>,
+}
+
+impl LagTracker {
+    /// Feeds one tick's epoch observations; returns `(lag_epochs,
+    /// lag_ms)` — the instantaneous epoch gap and the catch-up time of
+    /// any follower that reached a newer epoch this tick (0 otherwise).
+    fn observe(
+        &mut self,
+        now_ms: u64,
+        leader_epoch: Option<u64>,
+        followers: &[(String, u64)],
+    ) -> (u64, u64) {
+        if let Some(epoch) = leader_epoch {
+            self.leader_first_seen.entry(epoch).or_insert(now_ms);
+        }
+        let mut caught_up_now = 0u64;
+        let mut min_follower = None::<u64>;
+        for (label, epoch) in followers {
+            min_follower = Some(min_follower.map_or(*epoch, |m: u64| m.min(*epoch)));
+            let prev = self.follower_at.insert(label.clone(), *epoch);
+            // Only a *progression* is a catch-up measurement; the first
+            // sighting of a follower has no baseline to measure from.
+            if prev.is_some_and(|prev| *epoch > prev) {
+                if let Some(&since) = self.leader_first_seen.get(epoch) {
+                    let lag = now_ms.saturating_sub(since);
+                    self.caught_up_ms.push(lag);
+                    caught_up_now = caught_up_now.max(lag);
+                }
+            }
+        }
+        let lag_epochs = match (leader_epoch, min_follower) {
+            (Some(lead), Some(follow)) => lead.saturating_sub(follow),
+            _ => 0,
+        };
+        (lag_epochs, caught_up_now)
+    }
+}
+
+/// Shared between the poll thread and `stop()`.
+#[derive(Debug, Default)]
+struct FleetShared {
+    registry: MetricsRegistry,
+    ticks: u64,
+    poll_errors: u64,
+    repl_lag_epochs_max: u64,
+}
+
+/// Background fleet poller. Build with [`FleetObserver::spawn`], stop
+/// with [`stop`](Self::stop) to get the [`FleetReport`].
+#[derive(Debug)]
+pub struct FleetObserver {
+    stop: Arc<AtomicBool>,
+    shared: Arc<Mutex<FleetShared>>,
+    handle: Option<JoinHandle<LagTracker>>,
+    timeline: Option<PathBuf>,
+}
+
+impl FleetObserver {
+    /// Spawns the poll thread. `nodes[0]` is the leader for lag
+    /// accounting; the rest are followers. `externals` are sampled as
+    /// per-tick deltas under `fleet/<name>`. With a `timeline` path the
+    /// observer truncates the file and appends one JSON line per tick.
+    pub fn spawn(
+        nodes: Vec<FleetNode>,
+        externals: Vec<ExternalCounter>,
+        cadence: Duration,
+        timeline: Option<PathBuf>,
+    ) -> Self {
+        assert!(!nodes.is_empty(), "the observer needs at least one node");
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Mutex::new(FleetShared::default()));
+        let thread_stop = Arc::clone(&stop);
+        let thread_shared = Arc::clone(&shared);
+        let thread_timeline = timeline.clone();
+        let handle = std::thread::Builder::new()
+            .name("waldo-fleet".into())
+            .spawn(move || {
+                poll_loop(nodes, externals, cadence, thread_timeline, thread_stop, thread_shared)
+            })
+            .expect("spawn fleet observer");
+        Self { stop, shared, handle: Some(handle), timeline }
+    }
+
+    /// A clone of the merged fleet registry right now (the live view
+    /// `obs_top` renders between ticks).
+    pub fn registry_snapshot(&self) -> MetricsRegistry {
+        self.shared.lock().unwrap_or_else(|e| e.into_inner()).registry.clone()
+    }
+
+    /// Stops the poll thread and returns the rollup.
+    pub fn stop(mut self) -> FleetReport {
+        self.stop.store(true, Ordering::Relaxed);
+        let lag = self.handle.take().expect("stop() runs once").join().unwrap_or_default();
+        let shared = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+        let mut caught = lag.caught_up_ms;
+        caught.sort_unstable();
+        FleetReport {
+            registry: shared.registry.clone(),
+            ticks: shared.ticks,
+            poll_errors: shared.poll_errors,
+            repl_lag_ms_p99: crate::report::percentile(&caught, 0.99),
+            repl_lag_epochs_max: shared.repl_lag_epochs_max,
+            timeline: self.timeline.clone(),
+        }
+    }
+}
+
+impl Drop for FleetObserver {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The poll client: one attempt, short timeout — a dead node must cost
+/// one tick a fraction of the cadence, not a retry schedule.
+fn poll_client(addr: SocketAddr) -> ModelClient {
+    ModelClient::new(addr, Duration::from_millis(500)).retry_policy(RetryPolicy {
+        max_attempts: 1,
+        base_delay: Duration::ZERO,
+        max_delay: Duration::ZERO,
+        jitter: 0.0,
+    })
+}
+
+fn poll_loop(
+    nodes: Vec<FleetNode>,
+    externals: Vec<ExternalCounter>,
+    cadence: Duration,
+    timeline: Option<PathBuf>,
+    stop: Arc<AtomicBool>,
+    shared: Arc<Mutex<FleetShared>>,
+) -> LagTracker {
+    let mut clients: Vec<ModelClient> = nodes.iter().map(|n| poll_client(n.addr)).collect();
+    let mut lag = LagTracker::default();
+    let mut last_external: BTreeMap<String, u64> = BTreeMap::new();
+    let mut timeline_file = timeline.and_then(|path| {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::File::create(&path).ok()
+    });
+    loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        tick(
+            &nodes,
+            &mut clients,
+            &externals,
+            &mut lag,
+            &mut last_external,
+            timeline_file.as_mut(),
+            &shared,
+        );
+        if stopping {
+            // The tick above ran with `stopping` set: one final sample so
+            // short-lived runs still export their last state.
+            return lag;
+        }
+        let mut slept = Duration::ZERO;
+        while slept < cadence && !stop.load(Ordering::Relaxed) {
+            let nap = (cadence - slept).min(Duration::from_millis(10));
+            std::thread::sleep(nap);
+            slept += nap;
+        }
+    }
+}
+
+/// Newest value of a gauge series, 0 when absent.
+fn gauge(registry: &MetricsRegistry, name: &str) -> u64 {
+    registry.series(name).and_then(|s| s.latest()).map_or(0, |p| p.value)
+}
+
+/// Sum of a counter series' deltas newer than `since_ms`.
+fn counter_since(registry: &MetricsRegistry, name: &str, since_ms: u64) -> u64 {
+    registry.series(name).map_or(0, |s| s.sum_since(since_ms))
+}
+
+/// Largest current epoch gauge across this node's channels, `None` when
+/// the node exported no catalog gauges (dead, or never polled).
+fn node_epoch(registry: &MetricsRegistry, label: &str) -> Option<u64> {
+    let prefix = format!("{label}/catalog/epoch/");
+    registry
+        .iter()
+        .filter(|(name, _)| name.starts_with(&prefix))
+        .filter_map(|(_, s)| s.latest())
+        .map(|p| p.value)
+        .max()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tick(
+    nodes: &[FleetNode],
+    clients: &mut [ModelClient],
+    externals: &[ExternalCounter],
+    lag: &mut LagTracker,
+    last_external: &mut BTreeMap<String, u64>,
+    timeline: Option<&mut std::fs::File>,
+    shared: &Arc<Mutex<FleetShared>>,
+) {
+    let now = wall_ms();
+    let mut polled = Vec::with_capacity(nodes.len());
+    let mut errors = 0u64;
+    for (node, client) in nodes.iter().zip(clients.iter_mut()) {
+        match client.obs_export() {
+            Ok(registry) => polled.push(registry.prefixed(&node.label)),
+            Err(_) => errors += 1,
+        }
+    }
+    let external_deltas: Vec<(String, u64, u64)> = externals
+        .iter()
+        .map(|e| {
+            let cumulative = e.value.load(Ordering::Relaxed);
+            let prev = last_external.insert(e.name.clone(), cumulative).unwrap_or(0);
+            (format!("fleet/{}", e.name), cumulative.saturating_sub(prev), cumulative)
+        })
+        .collect();
+
+    let mut guard = shared.lock().unwrap_or_else(|e| e.into_inner());
+    for registry in &polled {
+        guard.registry.merge(registry);
+    }
+    for (name, delta, _) in &external_deltas {
+        guard.registry.record_counter(name, now, *delta);
+    }
+    let leader_epoch = node_epoch(&guard.registry, &nodes[0].label);
+    let followers: Vec<(String, u64)> = nodes[1..]
+        .iter()
+        .filter_map(|n| node_epoch(&guard.registry, &n.label).map(|e| (n.label.clone(), e)))
+        .collect();
+    let (lag_epochs, lag_ms) = lag.observe(now, leader_epoch, &followers);
+    guard.registry.record_gauge("fleet/repl_lag_epochs", now, lag_epochs);
+    if lag_ms > 0 {
+        guard.registry.record_gauge("fleet/repl_lag_ms", now, lag_ms);
+    }
+    guard.ticks += 1;
+    guard.poll_errors += errors;
+    guard.repl_lag_epochs_max = guard.repl_lag_epochs_max.max(lag_epochs);
+
+    // The tail-latency gauge the SLO layer watches: worst serve_handle
+    // p99 across the fleet (0 in builds without obs recording).
+    let fetch_p99_ns = nodes
+        .iter()
+        .map(|n| gauge(&guard.registry, &format!("{}/lat/serve_handle/p99_ns", n.label)))
+        .max()
+        .unwrap_or(0);
+    let wal_backlog: u64 = nodes
+        .iter()
+        .map(|n| gauge(&guard.registry, &format!("{}/ingest/wal_backlog", n.label)))
+        .sum();
+
+    if let Some(file) = timeline {
+        let external_json: Vec<String> = external_deltas
+            .iter()
+            .map(|(name, delta, cumulative)| {
+                let short = name.strip_prefix("fleet/").unwrap_or(name);
+                format!("\"{short}\":{delta},\"{short}_cum\":{cumulative}")
+            })
+            .collect();
+        // Flat JSONL, hand-built so a tick costs no Value tree: the
+        // schema `waldo_bench::slo::parse_timeline` documents.
+        let mut line = format!(
+            "{{\"ts_ms\":{now},\"nodes\":{},\"poll_errors\":{errors},\
+             \"leader_epoch\":{},\"repl_lag_epochs\":{lag_epochs},\"repl_lag_ms\":{lag_ms},\
+             \"fetch_p99_ns\":{fetch_p99_ns},\"wal_backlog\":{wal_backlog}",
+            nodes.len(),
+            leader_epoch.unwrap_or(0),
+        );
+        for fragment in &external_json {
+            line.push(',');
+            line.push_str(fragment);
+        }
+        line.push('}');
+        let _ = writeln!(file, "{line}");
+    }
+}
+
+/// Renders the fleet registry as a plain-text dashboard frame: one row
+/// per node with its request rate, error count, active connections,
+/// epoch, WAL backlog, and tail latency, then the fleet rollup row.
+/// Shared by `obs_top` and its self-test.
+pub fn render_dashboard(registry: &MetricsRegistry, nodes: &[FleetNode], window_ms: u64) -> String {
+    use std::fmt::Write as _;
+    let now = wall_ms();
+    let since = now.saturating_sub(window_ms);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>8} {:>7} {:>7} {:>9} {:>10} {:>10}",
+        "node", "req/s", "errors", "active", "epoch", "wal", "p50 us", "p99 us",
+    );
+    for node in nodes {
+        let l = &node.label;
+        let rate = registry
+            .series(&format!("{l}/serve/requests_total"))
+            .map_or(0.0, |s| s.rate_per_s(window_ms, now));
+        let errors = counter_since(registry, &format!("{l}/serve/errors_total"), 0);
+        let active = gauge(registry, &format!("{l}/serve/active_connections"));
+        let epoch = node_epoch(registry, l).unwrap_or(0);
+        let wal = gauge(registry, &format!("{l}/ingest/wal_backlog"));
+        let p50 = gauge(registry, &format!("{l}/lat/serve_handle/p50_ns"));
+        let p99 = gauge(registry, &format!("{l}/lat/serve_handle/p99_ns"));
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10.1} {:>8} {:>7} {:>7} {:>9} {:>10.1} {:>10.1}",
+            l,
+            rate,
+            errors,
+            active,
+            epoch,
+            wal,
+            p50 as f64 / 1e3,
+            p99 as f64 / 1e3,
+        );
+    }
+    let lag_epochs = gauge(registry, "fleet/repl_lag_epochs");
+    let lag_ms = registry.series("fleet/repl_lag_ms").and_then(|s| s.max_since(since)).unwrap_or(0);
+    let fetch_ok = counter_since(registry, "fleet/fetch_ok", since);
+    let fetch_err = counter_since(registry, "fleet/fetch_err", since);
+    let incorrect = counter_since(registry, "fleet/incorrect_safe", 0);
+    let failovers = counter_since(registry, "fleet/failovers", 0);
+    let _ = writeln!(
+        out,
+        "fleet: lag {lag_epochs} epochs / {lag_ms} ms; fetch {fetch_ok} ok / {fetch_err} err \
+         (window); failovers {failovers}; incorrect-safe {incorrect}",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_tracker_measures_catch_up_and_instantaneous_gap() {
+        let mut lag = LagTracker::default();
+        // Tick 1: leader and follower both at epoch 1.
+        let (gap, ms) = lag.observe(1_000, Some(1), &[("f1".into(), 1)]);
+        assert_eq!((gap, ms), (0, 0));
+        // Tick 2: leader publishes epoch 2; follower still at 1.
+        let (gap, ms) = lag.observe(1_100, Some(2), &[("f1".into(), 1)]);
+        assert_eq!((gap, ms), (1, 0));
+        // Tick 3: follower catches up; lag measured from the tick the
+        // leader was first seen at epoch 2.
+        let (gap, ms) = lag.observe(1_350, Some(2), &[("f1".into(), 2)]);
+        assert_eq!((gap, ms), (0, 250));
+        assert_eq!(lag.caught_up_ms, vec![250]);
+    }
+
+    #[test]
+    fn lag_tracker_takes_worst_follower() {
+        let mut lag = LagTracker::default();
+        lag.observe(0, Some(3), &[("a".into(), 3), ("b".into(), 3)]);
+        let (gap, _) = lag.observe(10, Some(5), &[("a".into(), 5), ("b".into(), 3)]);
+        assert_eq!(gap, 2, "the gap tracks the furthest-behind follower");
+    }
+
+    #[test]
+    fn dashboard_renders_rows_for_every_node() {
+        let mut registry = MetricsRegistry::default();
+        registry.record_counter("leader/serve/requests_total", wall_ms(), 42);
+        registry.record_gauge("leader/catalog/epoch/30", wall_ms(), 7);
+        let nodes = vec![FleetNode::new("leader", "127.0.0.1:1".parse().unwrap())];
+        let frame = render_dashboard(&registry, &nodes, 10_000);
+        assert!(frame.contains("leader"), "node row rendered");
+        assert!(frame.contains("fleet: lag"), "rollup row rendered");
+        assert!(frame.lines().count() >= 3, "header + node + rollup");
+    }
+}

@@ -3,8 +3,10 @@
 //! experiment.
 
 pub mod experiments;
+pub mod fleet;
 pub mod loadgen;
 pub mod report;
+pub mod slo;
 
 mod context_tests;
 

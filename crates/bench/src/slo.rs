@@ -1,0 +1,393 @@
+//! Declarative service-level objectives evaluated over a fleet
+//! timeline (`results/fleet_timeline.jsonl`, one JSON object per
+//! observer tick — the schema `crate::fleet` writes).
+//!
+//! Each objective is burn-rate shaped: an error budget over the whole
+//! run (long window) plus a sustained-breach detector (short window of
+//! consecutive ticks). A run fails an objective when either the total
+//! budget is spent *or* the short window stays breached — the classic
+//! "slow burn or fast burn" pair, sized down to drill-length runs.
+//!
+//! The defaults are tuned for the chaos drills, which *inject* faults
+//! on purpose: availability floors sit low enough to absorb a killed
+//! node, and replication lag is budgeted as a fraction of ticks rather
+//! than a hard ceiling because `failover_drill` deliberately freezes a
+//! follower for a whole scenario. The two non-negotiables stay
+//! absolute: zero incorrect-safe detections, ever, and the overhead
+//! ceiling enforced separately by `gate`.
+
+use std::fmt;
+
+use serde::Value;
+
+/// One observer tick, parsed from a timeline line. Fields missing from
+/// a line decode as zero so older timelines stay readable.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimelineTick {
+    /// Wall-clock ms of the tick.
+    pub ts_ms: u64,
+    /// Fetches acknowledged this tick (delta).
+    pub fetch_ok: u64,
+    /// Fetches failed this tick (delta).
+    pub fetch_err: u64,
+    /// Worst fleet serve-path p99 at this tick, ns (0 without obs).
+    pub fetch_p99_ns: u64,
+    /// Instantaneous leader-minus-slowest-follower epoch gap.
+    pub repl_lag_epochs: u64,
+    /// Catch-up time measured this tick, ms (0 when none completed).
+    pub repl_lag_ms: u64,
+    /// Cumulative incorrect-safe decisions up to this tick.
+    pub incorrect_safe_cum: u64,
+    /// Cumulative client failovers up to this tick.
+    pub failovers_cum: u64,
+    /// Total WAL backlog across the fleet at this tick.
+    pub wal_backlog: u64,
+    /// Node polls that failed this tick.
+    pub poll_errors: u64,
+}
+
+/// The objective set `gate --slo` evaluates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSet {
+    /// Minimum fetch success ratio over the whole run (long window).
+    pub availability_floor: f64,
+    /// Consecutive ticks with zero successes and at least one failure
+    /// that count as a sustained outage (short window).
+    pub outage_ticks: usize,
+    /// Ceiling on the fleet fetch p99 gauge, ns. Ticks above it spend
+    /// latency budget; `latency_budget` of them may breach.
+    pub fetch_p99_ceiling_ns: u64,
+    /// Fraction of ticks allowed above the latency ceiling.
+    pub latency_budget: f64,
+    /// Fraction of ticks allowed with a nonzero epoch lag. Generous by
+    /// design: the drills freeze followers on purpose.
+    pub lag_budget: f64,
+    /// Consecutive lagging ticks that count as replication stalled
+    /// outright (short window).
+    pub lag_stall_ticks: usize,
+    /// Hard cap on incorrect-safe detections (the paper's safety
+    /// invariant; always 0).
+    pub incorrect_safe_max: u64,
+}
+
+impl Default for SloSet {
+    /// Drill-tolerant defaults: 90 % availability (faults are
+    /// injected), 1 ms p99 ceiling with a 20 % budget, half the run
+    /// allowed to lag (a follower is frozen for one of five
+    /// scenarios), zero incorrect-safe.
+    fn default() -> Self {
+        Self {
+            availability_floor: 0.90,
+            outage_ticks: 40,
+            fetch_p99_ceiling_ns: 1_000_000_000,
+            latency_budget: 0.20,
+            lag_budget: 0.60,
+            lag_stall_ticks: 200,
+            incorrect_safe_max: 0,
+        }
+    }
+}
+
+/// Verdict for one objective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloResult {
+    /// Objective name (stable, machine-friendly).
+    pub name: &'static str,
+    /// Whether the run met it.
+    pub pass: bool,
+    /// Human-readable evidence either way.
+    pub detail: String,
+}
+
+impl fmt::Display for SloResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = if self.pass { "PASS" } else { "FAIL" };
+        write!(f, "[{verdict}] {}: {}", self.name, self.detail)
+    }
+}
+
+/// The full evaluation: every objective's verdict plus the rollup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloReport {
+    /// Per-objective verdicts, definition order.
+    pub results: Vec<SloResult>,
+    /// Ticks evaluated.
+    pub ticks: usize,
+    /// p99 of the nonzero catch-up measurements, ms.
+    pub repl_lag_ms_p99: u64,
+}
+
+impl SloReport {
+    /// True when every objective passed.
+    pub fn pass(&self) -> bool {
+        self.results.iter().all(|r| r.pass)
+    }
+}
+
+fn field(map: &serde::Map, name: &str) -> u64 {
+    map.get(name).and_then(Value::as_u64).unwrap_or(0)
+}
+
+/// Parses a timeline (JSONL) into ticks. Unparseable lines are
+/// skipped — a killed process can truncate the final line mid-write,
+/// and that must not invalidate the run.
+pub fn parse_timeline(text: &str) -> Vec<TimelineTick> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() {
+                return None;
+            }
+            let value = serde_json::from_str(line).ok()?;
+            let Value::Object(map) = value else { return None };
+            Some(TimelineTick {
+                ts_ms: field(&map, "ts_ms"),
+                fetch_ok: field(&map, "fetch_ok"),
+                fetch_err: field(&map, "fetch_err"),
+                fetch_p99_ns: field(&map, "fetch_p99_ns"),
+                repl_lag_epochs: field(&map, "repl_lag_epochs"),
+                repl_lag_ms: field(&map, "repl_lag_ms"),
+                incorrect_safe_cum: field(&map, "incorrect_safe_cum"),
+                failovers_cum: field(&map, "failovers_cum"),
+                wal_backlog: field(&map, "wal_backlog"),
+                poll_errors: field(&map, "poll_errors"),
+            })
+        })
+        .collect()
+}
+
+/// Longest run of consecutive ticks matching `breached`.
+fn longest_streak(ticks: &[TimelineTick], breached: impl Fn(&TimelineTick) -> bool) -> usize {
+    let mut longest = 0usize;
+    let mut current = 0usize;
+    for tick in ticks {
+        if breached(tick) {
+            current += 1;
+            longest = longest.max(current);
+        } else {
+            current = 0;
+        }
+    }
+    longest
+}
+
+/// Evaluates the objective set over a parsed timeline.
+pub fn evaluate(ticks: &[TimelineTick], slos: &SloSet) -> SloReport {
+    let mut results = Vec::new();
+
+    // Availability: long-window success ratio + short-window outage.
+    let ok: u64 = ticks.iter().map(|t| t.fetch_ok).sum();
+    let err: u64 = ticks.iter().map(|t| t.fetch_err).sum();
+    let total = ok + err;
+    let ratio = if total == 0 { 1.0 } else { ok as f64 / total as f64 };
+    let outage = longest_streak(ticks, |t| t.fetch_ok == 0 && t.fetch_err > 0);
+    let ratio_ok = ratio >= slos.availability_floor;
+    let outage_ok = outage < slos.outage_ticks;
+    results.push(SloResult {
+        name: "availability",
+        pass: ratio_ok && outage_ok,
+        detail: format!(
+            "{ok}/{total} fetches ok ({:.2}% vs {:.0}% floor), longest outage {outage} ticks \
+             (limit {})",
+            ratio * 100.0,
+            slos.availability_floor * 100.0,
+            slos.outage_ticks,
+        ),
+    });
+
+    // Tail latency: budgeted fraction of ticks above the ceiling.
+    // Gauge reads 0 in builds without obs recording; those ticks are
+    // excluded rather than counted as instant passes.
+    let measured: Vec<&TimelineTick> = ticks.iter().filter(|t| t.fetch_p99_ns > 0).collect();
+    let above = measured.iter().filter(|t| t.fetch_p99_ns > slos.fetch_p99_ceiling_ns).count();
+    let latency_frac = if measured.is_empty() { 0.0 } else { above as f64 / measured.len() as f64 };
+    results.push(SloResult {
+        name: "fetch_p99",
+        pass: latency_frac <= slos.latency_budget,
+        detail: format!(
+            "{above}/{} measured ticks above {} ns ceiling ({:.1}% vs {:.0}% budget)",
+            measured.len(),
+            slos.fetch_p99_ceiling_ns,
+            latency_frac * 100.0,
+            slos.latency_budget * 100.0,
+        ),
+    });
+
+    // Replication lag: budgeted lagging-tick fraction + stall streak.
+    let lagging = ticks.iter().filter(|t| t.repl_lag_epochs > 0).count();
+    let lag_frac = if ticks.is_empty() { 0.0 } else { lagging as f64 / ticks.len() as f64 };
+    let stall = longest_streak(ticks, |t| t.repl_lag_epochs > 0);
+    let lag_budget_ok = lag_frac <= slos.lag_budget;
+    let stall_ok = stall < slos.lag_stall_ticks;
+    results.push(SloResult {
+        name: "replication_lag",
+        pass: lag_budget_ok && stall_ok,
+        detail: format!(
+            "{lagging}/{} ticks lagging ({:.1}% vs {:.0}% budget), longest stall {stall} ticks \
+             (limit {})",
+            ticks.len(),
+            lag_frac * 100.0,
+            slos.lag_budget * 100.0,
+            slos.lag_stall_ticks,
+        ),
+    });
+
+    // Safety invariant: incorrect-safe is cumulative, so the last tick
+    // carries the run's total.
+    let incorrect = ticks.last().map_or(0, |t| t.incorrect_safe_cum);
+    results.push(SloResult {
+        name: "incorrect_safe",
+        pass: incorrect <= slos.incorrect_safe_max,
+        detail: format!("{incorrect} incorrect-safe decisions (max {})", slos.incorrect_safe_max),
+    });
+
+    let mut catch_ups: Vec<u64> =
+        ticks.iter().map(|t| t.repl_lag_ms).filter(|&ms| ms > 0).collect();
+    catch_ups.sort_unstable();
+    SloReport {
+        results,
+        ticks: ticks.len(),
+        repl_lag_ms_p99: crate::report::percentile(&catch_ups, 0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy_tick(ts_ms: u64) -> TimelineTick {
+        TimelineTick {
+            ts_ms,
+            fetch_ok: 50,
+            fetch_err: 1,
+            fetch_p99_ns: 40_000,
+            repl_lag_ms: if ts_ms.is_multiple_of(500) { 12 } else { 0 },
+            ..TimelineTick::default()
+        }
+    }
+
+    fn healthy_timeline() -> Vec<TimelineTick> {
+        (0..100).map(|i| healthy_tick(i * 100)).collect()
+    }
+
+    #[test]
+    fn healthy_timeline_passes_default_slos() {
+        let report = evaluate(&healthy_timeline(), &SloSet::default());
+        assert!(report.pass(), "healthy run passes: {:#?}", report.results);
+        assert_eq!(report.ticks, 100);
+        assert!(report.repl_lag_ms_p99 >= 12, "catch-up samples roll up");
+    }
+
+    #[test]
+    fn transient_lag_within_budget_passes() {
+        let mut ticks = healthy_timeline();
+        // One scenario's worth of deliberate follower freeze: 40 % of
+        // ticks lag, under the 60 % budget and the stall streak.
+        for tick in ticks.iter_mut().take(40) {
+            tick.repl_lag_epochs = 1;
+        }
+        let report = evaluate(&ticks, &SloSet::default());
+        assert!(report.pass(), "budgeted lag passes: {:#?}", report.results);
+    }
+
+    #[test]
+    fn error_ratio_violation_fails_availability() {
+        let mut ticks = healthy_timeline();
+        for tick in ticks.iter_mut() {
+            tick.fetch_ok = 1;
+            tick.fetch_err = 9;
+        }
+        let report = evaluate(&ticks, &SloSet::default());
+        assert!(!report.pass());
+        let availability = &report.results[0];
+        assert_eq!(availability.name, "availability");
+        assert!(!availability.pass, "10% success ratio breaches the 90% floor");
+    }
+
+    #[test]
+    fn sustained_outage_fails_even_with_good_overall_ratio() {
+        let mut ticks: Vec<TimelineTick> = (0..1000).map(|i| healthy_tick(i * 100)).collect();
+        for tick in ticks.iter_mut().take(40) {
+            tick.fetch_ok = 0;
+            tick.fetch_err = 1;
+        }
+        let report = evaluate(&ticks, &SloSet::default());
+        let availability = &report.results[0];
+        assert!(!availability.pass, "a 40-tick hard outage fails the short window");
+    }
+
+    #[test]
+    fn sustained_lag_violation_fails_replication() {
+        let mut ticks = healthy_timeline();
+        for tick in ticks.iter_mut() {
+            tick.repl_lag_epochs = 2;
+        }
+        let report = evaluate(&ticks, &SloSet::default());
+        let lag = &report.results[2];
+        assert_eq!(lag.name, "replication_lag");
+        assert!(!lag.pass, "lagging the whole run breaches the budget");
+    }
+
+    #[test]
+    fn any_incorrect_safe_fails() {
+        let mut ticks = healthy_timeline();
+        ticks.last_mut().unwrap().incorrect_safe_cum = 1;
+        let report = evaluate(&ticks, &SloSet::default());
+        let safety = &report.results[3];
+        assert_eq!(safety.name, "incorrect_safe");
+        assert!(!safety.pass, "the safety invariant is absolute");
+    }
+
+    #[test]
+    fn sustained_tail_latency_fails() {
+        let mut ticks = healthy_timeline();
+        for tick in ticks.iter_mut().take(30) {
+            tick.fetch_p99_ns = 5_000_000_000;
+        }
+        let report = evaluate(&ticks, &SloSet::default());
+        let latency = &report.results[1];
+        assert_eq!(latency.name, "fetch_p99");
+        assert!(!latency.pass, "30% of ticks above the ceiling blows the 20% budget");
+    }
+
+    #[test]
+    fn unmeasured_latency_gauge_is_excluded_not_passed() {
+        let mut ticks = healthy_timeline();
+        for tick in ticks.iter_mut() {
+            tick.fetch_p99_ns = 0;
+        }
+        let report = evaluate(&ticks, &SloSet::default());
+        assert!(report.results[1].pass);
+        assert!(report.results[1].detail.contains("0/0 measured"));
+    }
+
+    #[test]
+    fn parse_timeline_reads_fleet_schema_and_skips_garbage() {
+        let text = "\
+            {\"ts_ms\":100,\"nodes\":3,\"poll_errors\":0,\"leader_epoch\":2,\
+             \"repl_lag_epochs\":1,\"repl_lag_ms\":7,\"fetch_p99_ns\":42000,\
+             \"wal_backlog\":5,\"fetch_ok\":10,\"fetch_ok_cum\":10,\
+             \"fetch_err\":1,\"fetch_err_cum\":1,\
+             \"incorrect_safe\":0,\"incorrect_safe_cum\":0}\n\
+            not json\n\
+            \n\
+            {\"ts_ms\":200,\"fetch_ok\":12,\"incorrect_safe_cum\":0}\n\
+            {\"ts_ms\":300,\"truncated";
+        let ticks = parse_timeline(text);
+        assert_eq!(ticks.len(), 2, "garbage and truncated lines are skipped");
+        assert_eq!(ticks[0].ts_ms, 100);
+        assert_eq!(ticks[0].fetch_ok, 10);
+        assert_eq!(ticks[0].repl_lag_epochs, 1);
+        assert_eq!(ticks[0].repl_lag_ms, 7);
+        assert_eq!(ticks[0].fetch_p99_ns, 42_000);
+        assert_eq!(ticks[0].wal_backlog, 5);
+        assert_eq!(ticks[1].fetch_ok, 12);
+    }
+
+    #[test]
+    fn display_carries_verdict_and_detail() {
+        let report = evaluate(&healthy_timeline(), &SloSet::default());
+        let line = report.results[0].to_string();
+        assert!(line.starts_with("[PASS] availability:"), "got {line}");
+    }
+}

@@ -658,8 +658,9 @@ impl ReadingBatch {
 /// First bytes of every encoded replication channel state.
 pub const REPL_MAGIC: [u8; 4] = *b"WRPL";
 
-/// Current replication wire version. Decoders reject anything newer.
-pub const REPL_VERSION: u8 = 1;
+/// Current replication wire version. Decoders reject anything newer and
+/// accept anything older: v1 predates `trace_id`, which decodes as 0.
+pub const REPL_VERSION: u8 = 2;
 
 /// One locality slot as replicated between servers: the change-epoch and
 /// digest always travel so a follower can mirror the leader's delta
@@ -691,6 +692,7 @@ const REPL_SLOT_UNCHANGED: u8 = 1;
 ///
 /// ```text
 /// state := magic "WRPL" | version u8 | channel u8 | epoch u64
+///        | trace_id u64 (v2+)
 ///        | prelude len u32 | prelude | slot count u32 | slot…
 /// slot  := epoch u64 | digest u64 | cx f64 | cy f64
 ///        | 0 u8 | payload len u32 | payload      (sent)
@@ -702,6 +704,12 @@ pub struct ReplChannelState {
     pub channel: u8,
     /// The leader's current epoch for the channel.
     pub epoch: u64,
+    /// Trace ID of the request chain whose publish produced `epoch` (the
+    /// uploader's request ID carried through the refit, or a minted one
+    /// for internally-originated publishes). 0 = unknown — a v1 peer or a
+    /// publish that predates trace propagation. Followers mirror it
+    /// verbatim, so spans on every replica join the originating trace.
+    pub trace_id: u64,
     /// Encoded prelude (features + centroids), always included.
     pub prelude: Vec<u8>,
     /// Per-locality slots, in locality order.
@@ -718,6 +726,7 @@ impl ReplChannelState {
         out.push(REPL_VERSION);
         out.push(self.channel);
         put_u64(&mut out, self.epoch);
+        put_u64(&mut out, self.trace_id);
         put_u32(&mut out, self.prelude.len() as u32);
         out.extend_from_slice(&self.prelude);
         put_u32(&mut out, self.slots.len() as u32);
@@ -752,11 +761,12 @@ impl ReplChannelState {
             return Err(WireError::BadMagic);
         }
         let version = r.u8()?;
-        if version != REPL_VERSION {
+        if version > REPL_VERSION {
             return Err(WireError::UnsupportedVersion(version));
         }
         let channel = r.u8()?;
         let epoch = r.u64()?;
+        let trace_id = if version >= 2 { r.u64()? } else { 0 };
         let prelude_len = r.u32()? as usize;
         let prelude = r.bytes(prelude_len)?.to_vec();
         let n = r.u32()? as usize;
@@ -782,7 +792,7 @@ impl ReplChannelState {
             }
             slots.push(ReplSlot { epoch: slot_epoch, digest, centroid, payload });
         }
-        Ok(Self { channel, epoch, prelude, slots })
+        Ok(Self { channel, epoch, trace_id, prelude, slots })
     }
 
     /// Decodes a standalone encoded state, requiring every byte consumed.
@@ -1045,6 +1055,7 @@ mod tests {
         ReplChannelState {
             channel: 30,
             epoch: 2,
+            trace_id: 77,
             prelude: encode_prelude(m.features(), m.centroids()),
             slots,
         }
@@ -1085,7 +1096,7 @@ mod tests {
 
         // A corrupt slot count is bounded by the remaining bytes.
         let state = sample_repl_state(0);
-        let count_at = 4 + 1 + 1 + 8 + 4 + state.prelude.len();
+        let count_at = 4 + 1 + 1 + 8 + 8 + 4 + state.prelude.len();
         let mut huge_count = bytes.clone();
         huge_count[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(ReplChannelState::decode(&huge_count), Err(WireError::Truncated));
@@ -1097,6 +1108,21 @@ mod tests {
         if let Ok(decoded) = ReplChannelState::decode(&flipped) {
             assert!(!decoded.digests_match());
         }
+    }
+
+    #[test]
+    fn repl_state_v1_decodes_with_zero_trace_id() {
+        // A v1 peer's encoding: same layout minus the trace_id u64 that
+        // v2 inserted after the channel epoch.
+        let state = sample_repl_state(0);
+        let v2 = state.encode();
+        let mut v1 = Vec::with_capacity(v2.len() - 8);
+        v1.extend_from_slice(&v2[..4 + 1 + 1 + 8]); // magic | version | channel | epoch
+        v1.extend_from_slice(&v2[4 + 1 + 1 + 8 + 8..]); // skip trace_id
+        v1[4] = 1;
+        let back = ReplChannelState::decode(&v1).unwrap();
+        assert_eq!(back.trace_id, 0, "v1 has no trace id");
+        assert_eq!(back, ReplChannelState { trace_id: 0, ..state });
     }
 
     #[test]

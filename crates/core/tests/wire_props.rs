@@ -114,7 +114,13 @@ fn sample_repl_state(channel: u8, epoch: u64, have_epoch: u64, seeds: &[u32]) ->
             }
         })
         .collect();
-    ReplChannelState { channel, epoch, prelude: vec![1, 2, 3, 4, 5], slots }
+    ReplChannelState {
+        channel,
+        epoch,
+        trace_id: u64::from(channel) * 31 + epoch,
+        prelude: vec![1, 2, 3, 4, 5],
+        slots,
+    }
 }
 
 /// One representative encoded replication state, built once, with every

@@ -22,15 +22,22 @@
 //! - **Request IDs** ([`next_request_id`]): a process-wide counter that is
 //!   *always* compiled in (it is just an atomic), because the serve wire
 //!   protocol carries a request ID whether or not tracing is recording.
+//! - **Time series** ([`series::MetricsRegistry`]): bounded ring-buffer
+//!   series of counter deltas and gauge levels with a versioned wire form
+//!   and an order-independent merge — what the serve metrics sampler
+//!   exports over `OP_OBS_EXPORT` and the fleet aggregator stitches into
+//!   one timeline.
 //!
-//! [`hist::Histogram`] itself is also always compiled: it is a passive
-//! data structure that the serve stats codec needs for decoding snapshots
-//! even in default builds.
+//! [`hist::Histogram`] and [`series::MetricsRegistry`] are also always
+//! compiled: they are passive data structures the serve codecs need for
+//! decoding snapshots even in default builds.
 
 pub mod hist;
+pub mod series;
 pub mod trace;
 
 pub use hist::Histogram;
+pub use series::{MetricsRegistry, Point, Series, SeriesKind, SeriesWireError};
 #[cfg(feature = "obs")]
 pub use trace::SharedBuffer;
 pub use trace::{event, flush_sink, set_sink, span, span_req, Span};

@@ -1,0 +1,582 @@
+//! Bounded time-series metrics: named ring-buffer series of timestamped
+//! samples, a compact versioned wire form, and an order-independent merge
+//! — the fleet-observability layer's data model.
+//!
+//! A [`MetricsRegistry`] holds named [`Series`], each a bounded ring of
+//! `(ts_ms, value)` [`Point`]s sorted by timestamp:
+//!
+//! * **Counter** series hold *deltas* — "requests served since the last
+//!   sample" — so points from different sources combine by addition and a
+//!   rate is just a windowed sum ([`Series::rate_per_s`]).
+//! * **Gauge** series hold *levels* — active connections, catalog epoch,
+//!   a histogram quantile snapshot — so coincident points combine by max
+//!   (the conservative reading) and the latest point is the live value.
+//!
+//! Values are `u64` (counts, nanoseconds, epochs, bytes) rather than
+//! floats, deliberately: saturating addition and max over non-negative
+//! integers are exact, commutative, and associative, which makes
+//! [`MetricsRegistry::merge`] order-independent — a fleet view assembled
+//! leader-first equals one assembled follower-first, property-tested in
+//! `tests/series_props.rs`. (Merge associativity additionally requires
+//! the operands to agree on per-name kinds and on capacity, which the
+//! fleet does by construction: every node runs the same sampler.)
+//!
+//! Timestamps are wall-clock milliseconds since the Unix epoch — unlike
+//! span timestamps (which are offsets from a per-process monotonic
+//! origin), series points must line up *across* nodes on one timeline.
+//! Within a clock-skew bound that is what wall time gives; causal claims
+//! still belong to traces, not series.
+
+use std::collections::BTreeMap;
+
+/// Wire-format version emitted by [`MetricsRegistry::encode`]. Decoders
+/// refuse anything newer.
+pub const SERIES_WIRE_VERSION: u8 = 1;
+
+/// Magic prefix of the series wire form.
+pub const SERIES_MAGIC: [u8; 4] = *b"WMTR";
+
+/// Default per-series point bound.
+pub const DEFAULT_SERIES_CAPACITY: usize = 512;
+
+/// Hard cap on series count and per-series point count accepted by the
+/// decoder, against absurd length claims in corrupted frames.
+const MAX_WIRE_ITEMS: usize = 1 << 20;
+
+/// How a series combines coincident points (and what its values mean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SeriesKind {
+    /// Per-interval deltas; coincident points add.
+    Counter = 0,
+    /// Sampled levels; coincident points keep the max.
+    Gauge = 1,
+}
+
+impl SeriesKind {
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(SeriesKind::Counter),
+            1 => Some(SeriesKind::Gauge),
+            _ => None,
+        }
+    }
+}
+
+/// One timestamped sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Point {
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub ts_ms: u64,
+    /// Sample value (a delta for counters, a level for gauges).
+    pub value: u64,
+}
+
+/// A bounded, timestamp-sorted ring of points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Series {
+    kind: SeriesKind,
+    /// Sorted by `ts_ms`, ascending, at most one point per timestamp.
+    points: Vec<Point>,
+}
+
+impl Series {
+    fn new(kind: SeriesKind) -> Self {
+        Self { kind, points: Vec::new() }
+    }
+
+    /// The series' combination rule.
+    #[must_use]
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// The points, oldest first.
+    #[must_use]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The newest point, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<Point> {
+        self.points.last().copied()
+    }
+
+    /// Sum of values with `ts_ms > since_ms` (saturating). For a counter
+    /// series this is "how much happened after `since_ms`".
+    #[must_use]
+    pub fn sum_since(&self, since_ms: u64) -> u64 {
+        self.points
+            .iter()
+            .rev()
+            .take_while(|p| p.ts_ms > since_ms)
+            .fold(0u64, |acc, p| acc.saturating_add(p.value))
+    }
+
+    /// Counter rate over the trailing window ending at `now_ms`: windowed
+    /// delta sum divided by the window length. 0 for an empty window.
+    #[must_use]
+    pub fn rate_per_s(&self, window_ms: u64, now_ms: u64) -> f64 {
+        if window_ms == 0 {
+            return 0.0;
+        }
+        let since = now_ms.saturating_sub(window_ms);
+        self.sum_since(since) as f64 / (window_ms as f64 / 1e3)
+    }
+
+    /// Largest value with `ts_ms > since_ms`, if any point qualifies.
+    #[must_use]
+    pub fn max_since(&self, since_ms: u64) -> Option<u64> {
+        self.points.iter().rev().take_while(|p| p.ts_ms > since_ms).map(|p| p.value).max()
+    }
+
+    /// Gauge derivative over the trailing window: `(last - first) / dt`
+    /// in value units per second, `None` with fewer than two points in
+    /// the window or a zero time span. Signed, so falling gauges (WAL
+    /// backlog draining) read negative.
+    #[must_use]
+    pub fn delta_per_s(&self, window_ms: u64, now_ms: u64) -> Option<f64> {
+        let since = now_ms.saturating_sub(window_ms);
+        let windowed: Vec<&Point> = self.points.iter().filter(|p| p.ts_ms > since).collect();
+        let (first, last) = match (windowed.first(), windowed.last()) {
+            (Some(f), Some(l)) if f.ts_ms < l.ts_ms => (**f, **l),
+            _ => return None,
+        };
+        let dt_s = (last.ts_ms - first.ts_ms) as f64 / 1e3;
+        Some((last.value as f64 - first.value as f64) / dt_s)
+    }
+
+    /// Inserts one point, combining with an existing coincident point by
+    /// the kind's rule, then drops oldest points past `capacity`.
+    fn insert(&mut self, point: Point, capacity: usize) {
+        match self.points.binary_search_by_key(&point.ts_ms, |p| p.ts_ms) {
+            Ok(i) => {
+                let existing = &mut self.points[i];
+                existing.value = match self.kind {
+                    SeriesKind::Counter => existing.value.saturating_add(point.value),
+                    SeriesKind::Gauge => existing.value.max(point.value),
+                };
+            }
+            Err(i) => self.points.insert(i, point),
+        }
+        if self.points.len() > capacity {
+            let excess = self.points.len() - capacity;
+            self.points.drain(..excess);
+        }
+    }
+}
+
+/// Typed decode failures of the series wire form. Decoding is total:
+/// arbitrary bytes produce one of these, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesWireError {
+    /// The buffer ended before the structure it promised.
+    Truncated,
+    /// The magic prefix was not `WMTR`.
+    BadMagic,
+    /// The version byte is newer than this build understands.
+    UnsupportedVersion(u8),
+    /// An unknown series-kind code.
+    BadKind(u8),
+    /// A series name was not valid UTF-8.
+    BadName,
+    /// A length field claimed more items than the hard cap allows.
+    LengthOverflow,
+    /// Bytes remained after the advertised structure.
+    TrailingBytes,
+    /// Points were out of order or duplicated within one series.
+    UnsortedPoints,
+}
+
+impl std::fmt::Display for SeriesWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeriesWireError::Truncated => f.write_str("series buffer truncated"),
+            SeriesWireError::BadMagic => f.write_str("bad series magic"),
+            SeriesWireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported series wire version {v}")
+            }
+            SeriesWireError::BadKind(k) => write!(f, "unknown series kind {k}"),
+            SeriesWireError::BadName => f.write_str("series name is not UTF-8"),
+            SeriesWireError::LengthOverflow => f.write_str("series length field too large"),
+            SeriesWireError::TrailingBytes => f.write_str("trailing bytes after series"),
+            SeriesWireError::UnsortedPoints => f.write_str("series points not strictly sorted"),
+        }
+    }
+}
+
+impl std::error::Error for SeriesWireError {}
+
+/// A named collection of bounded series — one node's metrics, or a whole
+/// fleet's after [`merge`](Self::merge)-ing per-node registries under
+/// distinct name prefixes ([`prefixed`](Self::prefixed)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    capacity: usize,
+    series: BTreeMap<String, Series>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new(DEFAULT_SERIES_CAPACITY)
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry whose series each hold at most `capacity` points
+    /// (0 acts as 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), series: BTreeMap::new() }
+    }
+
+    /// The per-series point bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the registry holds no series.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Records a counter delta ("`value` more since the last sample").
+    pub fn record_counter(&mut self, name: &str, ts_ms: u64, value: u64) {
+        self.record(name, SeriesKind::Counter, ts_ms, value);
+    }
+
+    /// Records a gauge level.
+    pub fn record_gauge(&mut self, name: &str, ts_ms: u64, value: u64) {
+        self.record(name, SeriesKind::Gauge, ts_ms, value);
+    }
+
+    fn record(&mut self, name: &str, kind: SeriesKind, ts_ms: u64, value: u64) {
+        let capacity = self.capacity;
+        self.series
+            .entry(name.to_owned())
+            .or_insert_with(|| Series::new(kind))
+            .insert(Point { ts_ms, value }, capacity);
+    }
+
+    /// The named series, if recorded.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// All series, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Series)> {
+        self.series.iter().map(|(name, s)| (name.as_str(), s))
+    }
+
+    /// A copy with every series name prefixed (`leader/serve.requests`) —
+    /// how a fleet merge keeps per-node series distinct.
+    #[must_use]
+    pub fn prefixed(&self, prefix: &str) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new(self.capacity);
+        for (name, series) in &self.series {
+            out.series.insert(format!("{prefix}/{name}"), series.clone());
+        }
+        out
+    }
+
+    /// Folds `other` into `self`. Same-name series combine point-wise —
+    /// coincident timestamps add (counters) or keep the max (gauges) —
+    /// then truncate to the larger of the two capacities, keeping the
+    /// newest points. If the two sides disagree on a series' kind, the
+    /// merged series is a counter (the symmetric choice), which only
+    /// happens when two nodes misuse one name.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        self.capacity = self.capacity.max(other.capacity);
+        let capacity = self.capacity;
+        for (name, theirs) in &other.series {
+            match self.series.get_mut(name) {
+                None => {
+                    let mut adopted = theirs.clone();
+                    if adopted.points.len() > capacity {
+                        let excess = adopted.points.len() - capacity;
+                        adopted.points.drain(..excess);
+                    }
+                    self.series.insert(name.clone(), adopted);
+                }
+                Some(ours) => {
+                    if ours.kind != theirs.kind {
+                        ours.kind = SeriesKind::Counter;
+                    }
+                    for &point in &theirs.points {
+                        ours.insert(point, capacity);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Encodes the registry into the compact versioned wire form
+    /// (`WMTR | version | capacity u32 | series count u32 | series...`).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&SERIES_MAGIC);
+        out.push(SERIES_WIRE_VERSION);
+        out.extend_from_slice(&(self.capacity as u32).to_le_bytes());
+        out.extend_from_slice(&(self.series.len() as u32).to_le_bytes());
+        for (name, series) in &self.series {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.push(series.kind as u8);
+            out.extend_from_slice(&(series.points.len() as u32).to_le_bytes());
+            for p in &series.points {
+                out.extend_from_slice(&p.ts_ms.to_le_bytes());
+                out.extend_from_slice(&p.value.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes the wire form. Total over arbitrary bytes: truncation,
+    /// corruption, and hostile length claims all surface as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesWireError`] on any malformed input; refuses
+    /// versions newer than [`SERIES_WIRE_VERSION`].
+    pub fn decode(bytes: &[u8]) -> Result<MetricsRegistry, SeriesWireError> {
+        let mut r = SliceReader { bytes, at: 0 };
+        if r.take(4)? != SERIES_MAGIC {
+            return Err(SeriesWireError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version > SERIES_WIRE_VERSION {
+            return Err(SeriesWireError::UnsupportedVersion(version));
+        }
+        let capacity = r.u32()? as usize;
+        let series_count = r.u32()? as usize;
+        if series_count > MAX_WIRE_ITEMS {
+            return Err(SeriesWireError::LengthOverflow);
+        }
+        let mut out = MetricsRegistry::new(capacity);
+        for _ in 0..series_count {
+            let name_len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| SeriesWireError::BadName)?
+                .to_owned();
+            let kind_code = r.u8()?;
+            let kind =
+                SeriesKind::from_code(kind_code).ok_or(SeriesWireError::BadKind(kind_code))?;
+            let point_count = r.u32()? as usize;
+            if point_count > MAX_WIRE_ITEMS || point_count > out.capacity {
+                return Err(SeriesWireError::LengthOverflow);
+            }
+            // Bound the allocation by what the buffer can actually hold.
+            if r.remaining() < point_count.saturating_mul(16) {
+                return Err(SeriesWireError::Truncated);
+            }
+            let mut points = Vec::with_capacity(point_count);
+            let mut last_ts: Option<u64> = None;
+            for _ in 0..point_count {
+                let ts_ms = r.u64()?;
+                let value = r.u64()?;
+                if last_ts.is_some_and(|prev| prev >= ts_ms) {
+                    return Err(SeriesWireError::UnsortedPoints);
+                }
+                last_ts = Some(ts_ms);
+                points.push(Point { ts_ms, value });
+            }
+            out.series.insert(name, Series { kind, points });
+        }
+        if r.remaining() > 0 {
+            return Err(SeriesWireError::TrailingBytes);
+        }
+        Ok(out)
+    }
+}
+
+/// Minimal cursor over a byte slice (this crate is zero-dep by design,
+/// so it cannot borrow `waldo::wire::Reader`).
+struct SliceReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SeriesWireError> {
+        let end = self.at.checked_add(n).ok_or(SeriesWireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SeriesWireError::Truncated);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    fn u8(&mut self) -> Result<u8, SeriesWireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SeriesWireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, SeriesWireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SeriesWireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Wall-clock milliseconds since the Unix epoch — the series timestamp
+/// base. Saturates at 0 if the clock reads before the epoch.
+#[must_use]
+pub fn wall_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_points_accumulate_and_rate_reads_the_window() {
+        let mut reg = MetricsRegistry::new(16);
+        reg.record_counter("req", 1_000, 5);
+        reg.record_counter("req", 2_000, 7);
+        reg.record_counter("req", 2_000, 3); // coincident: adds
+        let s = reg.series("req").expect("recorded");
+        assert_eq!(s.kind(), SeriesKind::Counter);
+        assert_eq!(
+            s.points(),
+            &[Point { ts_ms: 1_000, value: 5 }, Point { ts_ms: 2_000, value: 10 }]
+        );
+        // Window covering only the second point.
+        assert!((s.rate_per_s(1_000, 2_500) - 10.0).abs() < 1e-9);
+        // Window covering both.
+        assert!((s.rate_per_s(2_000, 2_500) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_points_keep_the_max_and_latest_wins() {
+        let mut reg = MetricsRegistry::new(16);
+        reg.record_gauge("epoch", 1_000, 1);
+        reg.record_gauge("epoch", 1_000, 3);
+        reg.record_gauge("epoch", 2_000, 2);
+        let s = reg.series("epoch").expect("recorded");
+        assert_eq!(s.points()[0].value, 3);
+        assert_eq!(s.latest(), Some(Point { ts_ms: 2_000, value: 2 }));
+        assert_eq!(s.max_since(0), Some(3));
+        assert_eq!(s.max_since(1_500), Some(2));
+        assert_eq!(s.max_since(2_000), None);
+    }
+
+    #[test]
+    fn capacity_drops_oldest_points() {
+        let mut reg = MetricsRegistry::new(3);
+        for i in 0..10u64 {
+            reg.record_gauge("g", i * 100, i);
+        }
+        let s = reg.series("g").expect("recorded");
+        assert_eq!(s.points().len(), 3);
+        assert_eq!(s.points()[0].ts_ms, 700);
+        assert_eq!(s.latest().map(|p| p.value), Some(9));
+    }
+
+    #[test]
+    fn delta_per_s_reads_the_slope() {
+        let mut reg = MetricsRegistry::new(16);
+        reg.record_gauge("backlog", 1_000, 10);
+        reg.record_gauge("backlog", 3_000, 4);
+        let s = reg.series("backlog").expect("recorded");
+        let slope = s.delta_per_s(10_000, 3_000).expect("two points in window");
+        assert!((slope - (-3.0)).abs() < 1e-9, "slope {slope}");
+        assert_eq!(s.delta_per_s(1_000, 3_000), None, "one point is no slope");
+    }
+
+    #[test]
+    fn merge_is_commutative_on_a_known_pair() {
+        let mut a = MetricsRegistry::new(8);
+        a.record_counter("req", 1_000, 5);
+        a.record_gauge("epoch", 1_000, 2);
+        let mut b = MetricsRegistry::new(8);
+        b.record_counter("req", 1_000, 7);
+        b.record_counter("req", 2_000, 1);
+        b.record_gauge("epoch", 1_000, 3);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.series("req").unwrap().points()[0].value, 12);
+        assert_eq!(ab.series("epoch").unwrap().points()[0].value, 3);
+    }
+
+    #[test]
+    fn prefixed_namespaces_every_series() {
+        let mut a = MetricsRegistry::new(8);
+        a.record_counter("req", 1_000, 5);
+        let p = a.prefixed("leader");
+        assert!(p.series("leader/req").is_some());
+        assert!(p.series("req").is_none());
+    }
+
+    #[test]
+    fn wire_round_trip_is_identity() {
+        let mut reg = MetricsRegistry::new(32);
+        reg.record_counter("serve.requests", 1_000, 41);
+        reg.record_counter("serve.requests", 2_000, 2);
+        reg.record_gauge("catalog.epoch.30", 2_000, 3);
+        let back = MetricsRegistry::decode(&reg.encode()).expect("round trip");
+        assert_eq!(back, reg);
+    }
+
+    #[test]
+    fn decode_refuses_newer_versions_and_junk() {
+        let mut bytes = MetricsRegistry::new(4).encode();
+        bytes[4] = SERIES_WIRE_VERSION + 1;
+        assert_eq!(
+            MetricsRegistry::decode(&bytes),
+            Err(SeriesWireError::UnsupportedVersion(SERIES_WIRE_VERSION + 1))
+        );
+        assert_eq!(MetricsRegistry::decode(b"nop"), Err(SeriesWireError::Truncated));
+        assert_eq!(
+            MetricsRegistry::decode(b"XXXX\x01\0\0\0\0\0\0\0\0"),
+            Err(SeriesWireError::BadMagic)
+        );
+        let mut trailing = MetricsRegistry::new(4).encode();
+        trailing.push(0);
+        assert_eq!(MetricsRegistry::decode(&trailing), Err(SeriesWireError::TrailingBytes));
+    }
+
+    #[test]
+    fn decode_rejects_hostile_length_claims_without_allocating() {
+        // A point count far past the buffer must error, not OOM.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SERIES_MAGIC);
+        bytes.push(SERIES_WIRE_VERSION);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // capacity
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one series
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.push(b'x');
+        bytes.push(0); // counter
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd points
+        assert!(matches!(
+            MetricsRegistry::decode(&bytes),
+            Err(SeriesWireError::LengthOverflow | SeriesWireError::Truncated)
+        ));
+    }
+}

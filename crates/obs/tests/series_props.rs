@@ -1,0 +1,132 @@
+//! Property-based tests of the metrics-series invariants the fleet
+//! aggregator leans on: wire round-trip identity, decoder totality under
+//! truncation and corruption, and order-independence of merge.
+
+use proptest::prelude::*;
+use waldo_obs::series::{MetricsRegistry, SeriesKind};
+
+/// Builds a registry from raw samples. The kind is a deterministic
+/// function of the name — the real-world invariant merge associativity
+/// rests on (every node samples a given name the same way).
+fn build(capacity: usize, samples: &[(u8, u16, u32)]) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new(capacity);
+    for &(name_idx, ts, value) in samples {
+        let name = format!("series-{}", name_idx % 6);
+        if name_idx % 2 == 0 {
+            reg.record_counter(&name, u64::from(ts), u64::from(value));
+        } else {
+            reg.record_gauge(&name, u64::from(ts), u64::from(value));
+        }
+    }
+    reg
+}
+
+fn samples() -> impl Strategy<Value = Vec<(u8, u16, u32)>> {
+    prop::collection::vec((any::<u8>(), any::<u16>(), any::<u32>()), 0..60)
+}
+
+proptest! {
+    #[test]
+    fn wire_round_trip_is_identity(
+        capacity in 1usize..128,
+        raw in samples(),
+    ) {
+        let reg = build(capacity, &raw);
+        let back = MetricsRegistry::decode(&reg.encode()).expect("own encoding decodes");
+        prop_assert_eq!(back, reg);
+    }
+
+    #[test]
+    fn truncation_always_errors_and_never_panics(
+        capacity in 1usize..64,
+        raw in samples(),
+        cut in any::<usize>(),
+    ) {
+        let bytes = build(capacity, &raw).encode();
+        // Any strict prefix must surface a typed error: the wire form has
+        // no valid proper prefixes.
+        let prefix = &bytes[..cut % bytes.len()];
+        prop_assert!(MetricsRegistry::decode(prefix).is_err());
+    }
+
+    #[test]
+    fn corruption_never_panics(
+        capacity in 1usize..64,
+        raw in samples(),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut bytes = build(capacity, &raw).encode();
+        let at = flip_at % bytes.len();
+        bytes[at] ^= 1 << flip_bit;
+        // Decoding is total: corrupted bytes produce Ok or a typed error,
+        // never a panic or an unbounded allocation.
+        let _ = MetricsRegistry::decode(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = MetricsRegistry::decode(&bytes);
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        capacity in 1usize..64,
+        raw_a in samples(),
+        raw_b in samples(),
+    ) {
+        let a = build(capacity, &raw_a);
+        let b = build(capacity, &raw_b);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        capacity in 1usize..64,
+        raw_a in samples(),
+        raw_b in samples(),
+        raw_c in samples(),
+    ) {
+        let a = build(capacity, &raw_a);
+        let b = build(capacity, &raw_b);
+        let c = build(capacity, &raw_c);
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one(
+        capacity in 1usize..64,
+        raw_a in samples(),
+        raw_b in samples(),
+    ) {
+        // Splitting a sample stream across two registries and merging must
+        // equal recording the whole stream into one — the claim that lets
+        // per-node sampling and fleet aggregation commute.
+        let mut whole: Vec<(u8, u16, u32)> = raw_a.clone();
+        whole.extend_from_slice(&raw_b);
+        let mut merged = build(capacity, &raw_a);
+        merged.merge(&build(capacity, &raw_b));
+        prop_assert_eq!(merged, build(capacity, &whole));
+    }
+
+    #[test]
+    fn kinds_survive_the_wire(raw in samples()) {
+        let reg = build(32, &raw);
+        let back = MetricsRegistry::decode(&reg.encode()).expect("decodes");
+        for (name, series) in reg.iter() {
+            prop_assert_eq!(back.series(name).expect("series survives").kind(), series.kind());
+            prop_assert!(matches!(series.kind(), SeriesKind::Counter | SeriesKind::Gauge));
+        }
+    }
+}

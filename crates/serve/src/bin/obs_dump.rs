@@ -43,6 +43,14 @@ fn print_snapshot(snap: &StatsSnapshot) {
         "response cache: {} hits, {} misses ({hit_rate}); reactors: {}",
         snap.cache_hits, snap.cache_misses, snap.reactors,
     );
+    println!(
+        "ingest: {} uploads ({} readings, {} duplicates), {} refits",
+        snap.uploads_total, snap.upload_readings, snap.upload_duplicates, snap.refits_total,
+    );
+    println!(
+        "fleet: {} repl syncs served, {} metrics exports",
+        snap.repl_syncs_total, snap.obs_exports_total,
+    );
     if snap.endpoints.is_empty() {
         println!("no latency histograms (server built without obs, or recording off)");
         return;
@@ -77,6 +85,10 @@ fn print_client(client: &ModelClient) {
         obs.breaker_opens,
         obs.half_open_probes,
         if obs.breaker_open { "OPEN" } else { "closed" },
+    );
+    println!(
+        "client fleet: {} failovers, {} stale-guard downgrades",
+        obs.failovers_total, obs.downgrades_total,
     );
 }
 
@@ -236,6 +248,35 @@ fn self_test() {
         assert!(snap.endpoint("serve_upload").is_some(), "upload path timed");
         assert!(snap.endpoint("ingest_append").is_some(), "WAL append timed");
     }
+
+    // The fleet-observability surface: the metrics sampler must have
+    // published series for the traffic above (poll — it ticks on its own
+    // cadence), the export must be counted, and the client's failover and
+    // stale-guard-downgrade tallies must ride in its obs snapshot.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let registry = loop {
+        let registry = client.obs_export().expect("metrics export succeeds");
+        let sampled = registry.series("serve/requests_total").is_some_and(|s| s.sum_since(0) >= 3);
+        if sampled || std::time::Instant::now() >= deadline {
+            break registry;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let requests = registry.series("serve/requests_total").expect("request series sampled");
+    assert!(requests.sum_since(0) >= 3, "sampled request deltas cover the known traffic");
+    assert!(
+        registry.series("ingest/uploads_total").is_some(),
+        "ingest counters reached the series registry"
+    );
+    let snap = client.stats().expect("post-export stats query succeeds");
+    assert!(snap.obs_exports_total >= 1, "stats v4 counts the metrics export");
+    assert_eq!(snap.repl_syncs_total, 0, "no follower synced in the self-test");
+    let obs = client.obs_snapshot();
+    assert_eq!(obs.failovers_total, 0, "single endpoint, nothing to fail over to");
+    assert_eq!(obs.downgrades_total, 0, "no downgrades reported yet");
+    client.record_audit_downgrades(3);
+    assert_eq!(client.obs_snapshot().downgrades_total, 3, "audit downgrades ride the obs snapshot");
+    client.record_audit_downgrades(0);
 
     print_snapshot(&snap);
     print_client(&client);

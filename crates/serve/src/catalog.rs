@@ -43,6 +43,10 @@ const RESPONSE_CACHE_CAP: usize = 64;
 pub struct ServedChannel {
     /// Current epoch (bumped on every publish).
     pub epoch: u64,
+    /// Trace ID of the request chain whose publish produced `epoch` (0 =
+    /// untraced). Mirrored verbatim on replica installs, so follower-side
+    /// spans join the originating upload's trace.
+    pub trace_id: u64,
     /// Encoded prelude (features + centroids).
     pub prelude: Vec<u8>,
     /// Per-locality slots, in locality order.
@@ -58,6 +62,7 @@ impl Clone for ServedChannel {
     fn clone(&self) -> Self {
         Self {
             epoch: self.epoch,
+            trace_id: self.trace_id,
             prelude: self.prelude.clone(),
             slots: self.slots.clone(),
             tails: Mutex::new(BTreeMap::new()),
@@ -94,7 +99,12 @@ impl ServedChannel {
                     }
                 })
                 .collect();
-            let body = FetchResponse { epoch: self.epoch, prelude: self.prelude.clone(), entries };
+            let body = FetchResponse {
+                epoch: self.epoch,
+                trace_id: self.trace_id,
+                prelude: self.prelude.clone(),
+                entries,
+            };
             encode_response_tail(Status::Ok, Some(&body)).into()
         };
         let mut tails = self.tails.lock().unwrap_or_else(|e| e.into_inner());
@@ -124,7 +134,13 @@ impl ServedChannel {
                 payload: (slot.epoch > have_epoch).then(|| slot.payload.clone()),
             })
             .collect();
-        ReplChannelState { channel, epoch: self.epoch, prelude: self.prelude.clone(), slots }
+        ReplChannelState {
+            channel,
+            epoch: self.epoch,
+            trace_id: self.trace_id,
+            prelude: self.prelude.clone(),
+            slots,
+        }
     }
 }
 
@@ -196,6 +212,16 @@ impl ModelCatalog {
     /// including structural changes like a different locality count — is
     /// stamped with the new epoch.
     pub fn publish(&mut self, channel: u8, model: &WaldoModel) -> u64 {
+        self.publish_traced(channel, model, 0)
+    }
+
+    /// [`publish`](Self::publish) carrying the trace ID of the request
+    /// chain that caused it (an uploader's request ID propagated through
+    /// the refit, or a freshly minted ID for internally-originated
+    /// publishes). The ID travels with the channel into `REPL_SYNC`
+    /// states and fetch responses, so spans on followers and devices can
+    /// join the originating trace.
+    pub fn publish_traced(&mut self, channel: u8, model: &WaldoModel, trace_id: u64) -> u64 {
         let previous = self.channels.get(&channel);
         let epoch = previous.map_or(0, |c| c.epoch) + 1;
         let prelude = encode_prelude(model.features(), model.centroids());
@@ -219,7 +245,7 @@ impl ModelCatalog {
             .collect();
         self.channels.insert(
             channel,
-            ServedChannel { epoch, prelude, slots, tails: Mutex::new(BTreeMap::new()) },
+            ServedChannel { epoch, trace_id, prelude, slots, tails: Mutex::new(BTreeMap::new()) },
         );
         epoch
     }
@@ -283,6 +309,7 @@ impl ModelCatalog {
             state.channel,
             ServedChannel {
                 epoch: state.epoch,
+                trace_id: state.trace_id,
                 prelude: state.prelude.clone(),
                 slots,
                 tails: Mutex::new(BTreeMap::new()),
@@ -389,6 +416,22 @@ mod tests {
         // Same-epoch pull is a heartbeat no-op.
         let again = leader.channel(30).unwrap().repl_state(30, 2);
         assert_eq!(follower.install_replica(&again), Ok(2));
+    }
+
+    #[test]
+    fn trace_id_travels_publish_to_replica_install() {
+        let mut leader = ModelCatalog::new();
+        leader.publish_traced(30, &model(false), 4242);
+        assert_eq!(leader.channel(30).unwrap().trace_id, 4242);
+        let full = leader.channel(30).unwrap().repl_state(30, 0);
+        assert_eq!(full.trace_id, 4242);
+        let mut follower = ModelCatalog::new();
+        follower.install_replica(&full).unwrap();
+        assert_eq!(follower.channel(30).unwrap().trace_id, 4242, "installs mirror the trace id");
+        // An untraced publish reads as 0 end to end.
+        let mut plain = ModelCatalog::new();
+        plain.publish(30, &model(false));
+        assert_eq!(plain.channel(30).unwrap().repl_state(30, 0).trace_id, 0);
     }
 
     #[test]

@@ -162,6 +162,12 @@ pub struct ClientObsSnapshot {
     pub half_open_probes: u64,
     /// Endpoint switches (sticky selection moved to a different replica).
     pub failovers_total: u64,
+    /// Stale-guard downgrades tallied by this device's `DecisionAuditLog`
+    /// and reported via [`record_audit_downgrades`]
+    /// (ModelClient::record_audit_downgrades) — lets the fleet view
+    /// attribute conservative fallbacks per node instead of losing them
+    /// inside the device layer.
+    pub downgrades_total: u64,
     /// Whether the *current* endpoint's breaker is open right now.
     pub breaker_open: bool,
     /// Requests the current endpoint still sheds before its next
@@ -261,6 +267,7 @@ pub struct ModelClient {
     reconnects_total: u64,
     half_open_probes: u64,
     failovers_total: u64,
+    audit_downgrades: u64,
     ever_connected: bool,
 }
 
@@ -301,6 +308,7 @@ impl ModelClient {
             reconnects_total: 0,
             half_open_probes: 0,
             failovers_total: 0,
+            audit_downgrades: 0,
             ever_connected: false,
         }
     }
@@ -381,8 +389,56 @@ impl ModelClient {
             breaker_opens: self.breaker_opens,
             half_open_probes: self.half_open_probes,
             failovers_total: self.failovers_total,
+            downgrades_total: self.audit_downgrades,
             breaker_open: current.breaker_open,
             cooldown_left: current.cooldown_left,
+        }
+    }
+
+    /// Reports the device's cumulative `waldo::DecisionAuditLog` downgrade
+    /// tally so it rides along in [`obs_snapshot`](Self::obs_snapshot).
+    /// The audit log lives in the device layer (`waldo::device`), which
+    /// has no transport — callers bridge the two by passing
+    /// `audit.downgrades()` here whenever they refresh their obs view.
+    pub fn record_audit_downgrades(&mut self, total: u64) {
+        self.audit_downgrades = total;
+    }
+
+    /// Pulls the server's time-series metrics registry (see
+    /// [`waldo_obs::series`]) — the per-node feed the fleet aggregator
+    /// merges into one view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport, server, or decode failure —
+    /// including [`ClientError::Server`]`(`[`Status::UnknownOpcode`]`)`
+    /// from a pre-observability server.
+    pub fn obs_export(&mut self) -> Result<waldo_obs::series::MetricsRegistry, ClientError> {
+        let req_id = waldo_obs::next_request_id();
+        let _t = waldo_obs::timed("client_obs_export");
+        let response = self.round_trip(req_id, &Request::ObsExport)?;
+        let (echoed, status, mut r) = match decode_response_header(&response) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.stream = None;
+                return Err(e.into());
+            }
+        };
+        if echoed != req_id && echoed != 0 {
+            self.stream = None;
+            return Err(ClientError::Protocol("response echoed a different request ID"));
+        }
+        if status != Status::Ok {
+            self.stream = None;
+            return Err(ClientError::Server(status));
+        }
+        let body = r.bytes(r.remaining()).expect("remaining bytes always available");
+        match waldo_obs::series::MetricsRegistry::decode(body) {
+            Ok(registry) => Ok(registry),
+            Err(_) => {
+                self.stream = None;
+                Err(ClientError::Protocol("undecodable metrics export"))
+            }
         }
     }
 
@@ -641,6 +697,11 @@ impl ModelClient {
             return Err(ClientError::Server(status));
         }
         let body = body.ok_or(ClientError::Protocol("fetch response without a body"))?;
+        // Applying the fetched state joins the *publish* trace carried in
+        // the response (the uploader's chain for refit-driven epochs), not
+        // this fetch's own req — that cross-node join is what lets one
+        // trace span ingest → refit → replicate → fetch.
+        let _apply_span = waldo_obs::span_req("client_apply_model", body.trace_id);
 
         let mut r = Reader::new(&body.prelude);
         let (features, centroids) = match decode_prelude(&mut r).and_then(|p| {

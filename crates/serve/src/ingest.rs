@@ -125,6 +125,11 @@ pub struct IngestPlane {
     readings_total: AtomicU64,
     duplicates_total: AtomicU64,
     refits_total: AtomicU64,
+    /// Trace ID of the most recent traced upload whose readings await
+    /// refit (0 = none). The refit worker consumes it so the publish —
+    /// and everything downstream (replication, client delta fetch) —
+    /// joins the uploader's request chain.
+    pending_trace: AtomicU64,
 }
 
 impl IngestPlane {
@@ -163,6 +168,7 @@ impl IngestPlane {
             readings_total: AtomicU64::new(0),
             duplicates_total: AtomicU64::new(0),
             refits_total: AtomicU64::new(0),
+            pending_trace: AtomicU64::new(0),
         }))
     }
 
@@ -182,6 +188,25 @@ impl IngestPlane {
     /// Returns [`StoreError`] if the WAL write fails; the caller should
     /// answer `Internal` and leave the client to retry.
     pub fn ingest(&self, batch: &ReadingBatch) -> Result<UploadAck, StoreError> {
+        self.ingest_traced(batch, 0)
+    }
+
+    /// [`ingest`](Self::ingest) carrying the uploader's request ID, so the
+    /// append span — and the refit pass the accepted readings trigger —
+    /// continues the uploader's trace instead of starting an orphan one.
+    /// `trace_id == 0` means untraced (the span inherits whatever request
+    /// is current on this thread, and the refit mints its own ID).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the WAL write fails; the caller should
+    /// answer `Internal` and leave the client to retry.
+    pub fn ingest_traced(
+        &self,
+        batch: &ReadingBatch,
+        trace_id: u64,
+    ) -> Result<UploadAck, StoreError> {
+        let _span = waldo_obs::span_req("ingest_append", trace_id);
         let _t = waldo_obs::timed("ingest_append");
         let readings = batch.readings.len() as u32;
         let outcome = self.wal.lock().unwrap_or_else(|e| e.into_inner()).append(batch)?;
@@ -191,6 +216,9 @@ impl IngestPlane {
                 self.readings_total.fetch_add(u64::from(readings), Ordering::Relaxed);
                 waldo_prof::count("ingest_batches", 1);
                 waldo_prof::count("ingest_readings", u64::from(readings));
+                if trace_id != 0 {
+                    self.pending_trace.store(trace_id, Ordering::Relaxed);
+                }
                 self.mark_dirty();
                 Ok(UploadAck { duplicate: false, readings })
             }
@@ -221,6 +249,15 @@ impl IngestPlane {
             (wal.batches().to_vec(), wal.len())
         };
 
+        // The pass continues the most recent traced upload's request
+        // chain; internally-originated work (WAL replay at startup, the
+        // shutdown drain) mints a fresh ID so its spans still correlate.
+        let trace_id = match self.pending_trace.swap(0, Ordering::Relaxed) {
+            0 => waldo_obs::next_request_id(),
+            pending => pending,
+        };
+        let _span = waldo_obs::span_req("ingest_refit", trace_id);
+
         let report = {
             let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
             let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
@@ -231,7 +268,7 @@ impl IngestPlane {
                         .catalog
                         .write()
                         .unwrap_or_else(|e| e.into_inner())
-                        .publish(self.channel, &model);
+                        .publish_traced(self.channel, &model, trace_id);
                     self.refits_total.fetch_add(1, Ordering::Relaxed);
                     waldo_prof::count("ingest_refits", 1);
                     waldo_obs::event("ingest_refit_published", &[("epoch", &epoch.to_string())]);

@@ -18,9 +18,10 @@
 //!                  | batch_id u64 | channel u8 | count u32 | readings…)
 //!   INGEST_STATS (op 4): empty body
 //!   REPL_SYNC (op 5): channel u8 | have_epoch u64
+//!   OBS_EXPORT (op 6): empty body
 //! response := "WSRS" | version u8 | req_id u64 | status u8 | body
 //!   PING   body: empty
-//!   FETCH  body: epoch u64 | prelude len u32 | prelude
+//!   FETCH  body: epoch u64 | trace_id u64 | prelude len u32 | prelude
 //!                | locality count u32 | locality entry…
 //!   STATS  body: versioned stats snapshot (see `crate::stats`)
 //!   UPLOAD body: duplicate u8 | readings u32
@@ -28,6 +29,9 @@
 //!   REPL_SYNC body: an encoded replication channel state ("WRPL" |
 //!                version | channel u8 | epoch u64 | prelude | slots…,
 //!                see `waldo::wire::ReplChannelState`)
+//!   OBS_EXPORT body: an encoded metrics registry ("WMTR" | version |
+//!                capacity u32 | series count u32 | series…, see
+//!                `waldo_obs::series`)
 //!   entry := 0 u8 | digest u64 | len u32 | payload   (sent)
 //!          | 1 u8                                    (unchanged since have_epoch)
 //!          | 2 u8                                    (changed but out of scope)
@@ -53,7 +57,13 @@
 //! `UnsupportedVersion`. The UPLOAD, INGEST_STATS, and REPL_SYNC opcodes
 //! were added to v2 without a version bump — they are new request kinds,
 //! and a server predating them answers `UnknownOpcode`, which is exactly
-//! the contract.
+//! the contract. v3 adds `trace_id` to the FETCH body — the request chain
+//! whose publish produced the served epoch, so a client's model-apply
+//! span can join the originating upload's trace. That reshapes an
+//! *existing* body, so unlike a new opcode it needs the bump: a v2 peer
+//! would mis-parse the extra eight bytes as prelude length. OBS_EXPORT
+//! rides along in v3 but follows the new-opcode rule — it alone would not
+//! have forced a bump.
 //!
 //! REPL_SYNC is deliberately *pull*-shaped: a follower acts as an
 //! ordinary wire client of the leader, so the large replication payload
@@ -66,7 +76,7 @@ use std::io::{Read, Write};
 use waldo::wire::{put_u32, put_u64, Reader, ReadingBatch, WireError};
 
 /// Protocol version spoken by this build.
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Magic prefix of every request frame.
 pub const REQUEST_MAGIC: [u8; 4] = *b"WSRQ";
@@ -189,6 +199,9 @@ pub enum Request {
         /// Channel epoch the follower already mirrors (0 = none).
         have_epoch: u64,
     },
+    /// Metrics-series export: the server's time-series registry (see
+    /// `waldo_obs::series`), polled by the fleet aggregator.
+    ObsExport,
 }
 
 const OP_PING: u8 = 0;
@@ -197,6 +210,7 @@ const OP_STATS: u8 = 2;
 const OP_UPLOAD: u8 = 3;
 const OP_INGEST_STATS: u8 = 4;
 const OP_REPL_SYNC: u8 = 5;
+const OP_OBS_EXPORT: u8 = 6;
 
 /// Byte offset of the opcode within a framed request: the 4-byte length
 /// prefix plus magic, version, and request ID.
@@ -231,6 +245,7 @@ impl Request {
                 out.push(channel);
                 put_u64(&mut out, have_epoch);
             }
+            Request::ObsExport => out.push(OP_OBS_EXPORT),
         }
         out
     }
@@ -270,6 +285,7 @@ impl Request {
                 channel: r.u8().map_err(|_| (req_id, Status::MalformedFrame))?,
                 have_epoch: r.u64().map_err(|_| (req_id, Status::MalformedFrame))?,
             },
+            OP_OBS_EXPORT => Request::ObsExport,
             _ => return Err((req_id, Status::UnknownOpcode)),
         };
         r.finish().map_err(|_| (req_id, Status::MalformedFrame))?;
@@ -303,6 +319,11 @@ const ENTRY_OUT_OF_SCOPE: u8 = 2;
 pub struct FetchResponse {
     /// Server's current epoch for the channel.
     pub epoch: u64,
+    /// Trace ID of the request chain whose publish produced `epoch` (0 =
+    /// unknown). Like the epoch it is a property of the channel state, not
+    /// of the individual fetch, which is what lets it live inside the
+    /// shared pre-encoded response tail.
+    pub trace_id: u64,
     /// Encoded prelude (features + centroids), always included.
     pub prelude: Vec<u8>,
     /// One entry per locality, in locality order.
@@ -378,6 +399,7 @@ pub fn encode_response_tail(status: Status, body: Option<&FetchResponse>) -> Vec
     if let Some(body) = body {
         debug_assert_eq!(status, Status::Ok);
         put_u64(&mut out, body.epoch);
+        put_u64(&mut out, body.trace_id);
         put_u32(&mut out, body.prelude.len() as u32);
         out.extend_from_slice(&body.prelude);
         put_u32(&mut out, body.entries.len() as u32);
@@ -435,6 +457,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Status, Option<FetchRespo
         return Ok((req_id, status, None));
     }
     let epoch = r.u64()?;
+    let trace_id = r.u64()?;
     let prelude_len = r.u32()? as usize;
     let prelude = r.bytes(prelude_len)?.to_vec();
     let n = r.u32()? as usize;
@@ -452,7 +475,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Status, Option<FetchRespo
         });
     }
     r.finish()?;
-    Ok((req_id, status, Some(FetchResponse { epoch, prelude, entries })))
+    Ok((req_id, status, Some(FetchResponse { epoch, trace_id, prelude, entries })))
 }
 
 /// Writes one length-prefixed frame.
@@ -821,6 +844,7 @@ mod tests {
             Request::Upload { batch: sample_batch(0xfeed, 5) },
             Request::IngestStats,
             Request::ReplSync { channel: 30, have_epoch: 12 },
+            Request::ObsExport,
         ] {
             assert_eq!(Request::decode(&request.encode(99)), Ok((99, request)));
         }
@@ -872,10 +896,10 @@ mod tests {
         ));
     }
 
-    /// A v2 request header on the wire: magic, version, request ID.
+    /// A v3 request header on the wire: magic, version, request ID.
     fn req_header(req_id: u64) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(b"WSRQ\x02");
+        out.extend_from_slice(b"WSRQ\x03");
         out.extend_from_slice(&req_id.to_le_bytes());
         out
     }
@@ -884,11 +908,13 @@ mod tests {
     fn request_decode_rejects_garbage() {
         assert_eq!(Request::decode(b""), Err((0, Status::MalformedFrame)));
         assert_eq!(Request::decode(b"XXXX\x02\x00"), Err((0, Status::MalformedFrame)));
-        // v1 (no req_id) and future versions are both refused up front.
+        // v1, v2, and future versions are all refused up front: v1 has no
+        // req_id, v2's fetch body predates trace_id.
         assert_eq!(Request::decode(b"WSRQ\x01\x00"), Err((0, Status::UnsupportedVersion)));
+        assert_eq!(Request::decode(b"WSRQ\x02\x00"), Err((0, Status::UnsupportedVersion)));
         assert_eq!(Request::decode(b"WSRQ\x63\x00"), Err((0, Status::UnsupportedVersion)));
         // Header truncated inside the request ID: the ID is unrecoverable.
-        assert_eq!(Request::decode(b"WSRQ\x02\x07\x00"), Err((0, Status::MalformedFrame)));
+        assert_eq!(Request::decode(b"WSRQ\x03\x07\x00"), Err((0, Status::MalformedFrame)));
         // Once the ID parsed, errors carry it so responses can echo it.
         let mut unknown_op = req_header(7);
         unknown_op.push(0x7f);
@@ -907,6 +933,7 @@ mod tests {
     fn response_roundtrip() {
         let body = FetchResponse {
             epoch: 3,
+            trace_id: 0x007a_ce1d,
             prelude: vec![1, 2, 3],
             entries: vec![
                 LocalityEntry::Sent { digest: 0xdead_beef, payload: vec![9, 8] },
@@ -942,6 +969,7 @@ mod tests {
     fn split_response_is_byte_identical_to_encode_response() {
         let body = FetchResponse {
             epoch: 9,
+            trace_id: 77,
             prelude: vec![4, 5, 6, 7],
             entries: vec![
                 LocalityEntry::Unchanged,

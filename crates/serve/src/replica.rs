@@ -150,6 +150,10 @@ impl ReplicaFollower {
             guard.channel(channel).map_or(0, |c| c.epoch)
         };
         let state = self.client.repl_sync(channel, have)?;
+        // Installing joins the trace of the publish that minted this state
+        // (carried on the wire since REPL_VERSION 2), so the follower's
+        // span threads into the originating upload's chain.
+        let _span = waldo_obs::span_req("replica_install", state.trace_id);
         let install = {
             let mut guard = self
                 .catalog

@@ -37,13 +37,15 @@
 //! each connection replays its own deterministic sequence); fault-induced
 //! I/O errors tear the one connection down, never the reactor.
 
+use std::collections::BTreeMap;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use waldo_fault::{FaultStream, TransportFaults};
+use waldo_obs::series::{wall_ms, MetricsRegistry};
 
 use crate::catalog::{ModelCatalog, ServedChannel};
 use crate::ingest::IngestPlane;
@@ -102,6 +104,10 @@ pub struct ServeConfig {
     /// Optional fault schedule wrapped around every accepted socket
     /// (forked per connection). Inert without the `fault` feature.
     pub faults: Option<TransportFaults>,
+    /// Cadence of the background metrics sampler feeding the server's
+    /// time-series registry (served by `OBS_EXPORT`). Sampling happens on
+    /// its own thread, never on the request path.
+    pub metrics_cadence: Duration,
 }
 
 impl ServeConfig {
@@ -117,6 +123,7 @@ impl ServeConfig {
             reactors: 0,
             max_upload_bytes: 256 * 1024,
             faults: None,
+            metrics_cadence: Duration::from_millis(100),
         }
     }
 
@@ -232,6 +239,10 @@ pub(crate) struct ServerStats {
     cache_misses: AtomicU64,
     /// Reactor threads, fixed at startup.
     reactors: AtomicU64,
+    /// Replication pulls served to followers.
+    repl_syncs_total: AtomicU64,
+    /// Metrics-series exports served to observers.
+    obs_exports_total: AtomicU64,
 }
 
 impl ServerStats {
@@ -256,6 +267,8 @@ impl ServerStats {
             upload_readings: ingest.readings_total,
             upload_duplicates: ingest.duplicates_total,
             refits_total: ingest.refits_total,
+            repl_syncs_total: self.repl_syncs_total.load(Ordering::Relaxed),
+            obs_exports_total: self.obs_exports_total.load(Ordering::Relaxed),
             endpoints: waldo_obs::histogram_snapshot()
                 .into_iter()
                 .map(|(name, hist)| EndpointStats { name: name.to_owned(), hist })
@@ -278,7 +291,9 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     ingest: Option<Arc<IngestPlane>>,
+    metrics: Arc<Mutex<MetricsRegistry>>,
     reactors: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -292,11 +307,22 @@ impl ServerHandle {
         self.stats.snapshot(self.ingest.as_deref())
     }
 
-    /// Signals the reactors to stop and joins them; open connections are
-    /// dropped. Idempotent.
+    /// A point-in-time clone of this server's time-series registry — the
+    /// same series `OBS_EXPORT` serves, read in-process. Per-handle, not
+    /// process-global, so a drill running a leader and followers in one
+    /// process still gets per-node series.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Signals the reactors and sampler to stop and joins them; open
+    /// connections are dropped. Idempotent.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         for t in self.reactors.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.sampler.take() {
             let _ = t.join();
         }
     }
@@ -348,6 +374,7 @@ pub fn serve_with_ingest(
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
+    let metrics = Arc::new(Mutex::new(MetricsRegistry::default()));
     let conn_seq = Arc::new(AtomicU64::new(0));
     let pool = resolve_reactors(config.reactors);
     stats.reactors.store(pool as u64, Ordering::Relaxed);
@@ -364,10 +391,24 @@ pub fn serve_with_ingest(
             stop: Arc::clone(&stop),
             conn_seq: Arc::clone(&conn_seq),
             ingest: ingest.clone(),
+            metrics: Arc::clone(&metrics),
         };
         reactors.push(std::thread::spawn(move || reactor.run()));
     }
-    Ok(ServerHandle { addr, stop, stats, ingest, reactors })
+    let sampler = MetricsSampler {
+        metrics: Arc::clone(&metrics),
+        stats: Arc::clone(&stats),
+        catalog: Arc::clone(&catalog),
+        ingest: ingest.clone(),
+        stop: Arc::clone(&stop),
+        cadence: config.metrics_cadence,
+        last: BTreeMap::new(),
+    };
+    let sampler = std::thread::Builder::new()
+        .name("waldo-metrics".into())
+        .spawn(move || sampler.run())
+        .expect("spawn metrics sampler");
+    Ok(ServerHandle { addr, stop, stats, ingest, metrics, reactors, sampler: Some(sampler) })
 }
 
 /// Releases one connection slot on drop, however the connection ends.
@@ -411,6 +452,7 @@ struct Reactor {
     stop: Arc<AtomicBool>,
     conn_seq: Arc<AtomicU64>,
     ingest: Option<Arc<IngestPlane>>,
+    metrics: Arc<Mutex<MetricsRegistry>>,
 }
 
 impl Reactor {
@@ -682,7 +724,7 @@ impl Reactor {
                     return;
                 };
                 let _t = waldo_obs::timed("serve_upload");
-                match ingest.ingest(&batch) {
+                match ingest.ingest_traced(&batch, req_id) {
                     Ok(ack) => {
                         let mut payload = encode_response_header(req_id, Status::Ok);
                         payload.extend_from_slice(&ack.encode_body());
@@ -731,12 +773,22 @@ impl Reactor {
                         let _t = waldo_obs::timed("serve_repl_sync");
                         let state = served.repl_state(channel, have_epoch);
                         drop(guard);
+                        self.stats.repl_syncs_total.fetch_add(1, Ordering::Relaxed);
                         let mut payload = encode_response_header(req_id, Status::Ok);
                         payload.extend_from_slice(&state.encode());
                         waldo_prof::count("serve_bytes_out", payload.len() as u64);
                         conn.writer.push_frame(&payload);
                     }
                 }
+            }
+            Request::ObsExport => {
+                let _t = waldo_obs::timed("serve_obs_export");
+                self.stats.obs_exports_total.fetch_add(1, Ordering::Relaxed);
+                let encoded = self.metrics.lock().unwrap_or_else(|e| e.into_inner()).encode();
+                let mut payload = encode_response_header(req_id, Status::Ok);
+                payload.extend_from_slice(&encoded);
+                waldo_prof::count("serve_bytes_out", payload.len() as u64);
+                conn.writer.push_frame(&payload);
             }
         }
     }
@@ -752,6 +804,117 @@ impl Reactor {
         let payload = encode_response(req_id, status, body);
         waldo_prof::count("serve_bytes_out", payload.len() as u64);
         conn.writer.push_frame(&payload);
+    }
+}
+
+/// The per-server metrics sampler: one background thread per
+/// [`ServerHandle`] recording counter deltas and gauge levels into the
+/// server's time-series registry at the configured cadence. Entirely off
+/// the request path — reactors only touch the registry when serving
+/// `OBS_EXPORT`, and even that is one lock + encode.
+///
+/// Per-handle (not process-global) on purpose: a failover drill runs a
+/// leader and several followers in one process, and each must export its
+/// own `serve/*`, `ingest/*`, and `catalog/*` series. The one exception
+/// is latency quantiles: `waldo_obs` histograms are process-wide, so the
+/// `lat/*` gauges are a process view sampled identically by every
+/// co-resident server.
+struct MetricsSampler {
+    metrics: Arc<Mutex<MetricsRegistry>>,
+    stats: Arc<ServerStats>,
+    catalog: Arc<RwLock<ModelCatalog>>,
+    ingest: Option<Arc<IngestPlane>>,
+    stop: Arc<AtomicBool>,
+    cadence: Duration,
+    /// Last-seen cumulative counter values, so each tick records the
+    /// per-interval delta (what `Series` counters hold).
+    last: BTreeMap<String, u64>,
+}
+
+impl MetricsSampler {
+    fn run(mut self) {
+        while !self.stop.load(Ordering::Relaxed) {
+            self.sample_once();
+            // Nap in small slices so shutdown never waits a full cadence.
+            let mut slept = Duration::ZERO;
+            while slept < self.cadence && !self.stop.load(Ordering::Relaxed) {
+                let nap = (self.cadence - slept).min(Duration::from_millis(20));
+                std::thread::sleep(nap);
+                slept += nap;
+            }
+        }
+        // Final tick so a short-lived server still exports its last state.
+        self.sample_once();
+    }
+
+    fn sample_once(&mut self) {
+        let now = wall_ms();
+
+        // Gather everything before taking the registry lock.
+        let counters = [
+            ("serve/accepted_total", self.stats.accepted_total.load(Ordering::Relaxed)),
+            ("serve/busy_rejections", self.stats.busy_rejections.load(Ordering::Relaxed)),
+            ("serve/requests_total", self.stats.requests_total.load(Ordering::Relaxed)),
+            ("serve/errors_total", self.stats.errors_total.load(Ordering::Relaxed)),
+            ("serve/cache_hits", self.stats.cache_hits.load(Ordering::Relaxed)),
+            ("serve/cache_misses", self.stats.cache_misses.load(Ordering::Relaxed)),
+            ("serve/repl_syncs_total", self.stats.repl_syncs_total.load(Ordering::Relaxed)),
+            ("serve/obs_exports_total", self.stats.obs_exports_total.load(Ordering::Relaxed)),
+        ];
+        let active = self.stats.active.load(Ordering::Relaxed) as u64;
+
+        let epochs: Vec<(u8, u64)> = match self.catalog.read() {
+            Ok(guard) => guard
+                .channels()
+                .into_iter()
+                .filter_map(|ch| guard.channel(ch).map(|served| (ch, served.epoch)))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+
+        let ingest = self.ingest.as_deref().map(IngestPlane::snapshot);
+
+        // Latency quantiles only exist while obs is recording; skip the
+        // snapshot walk entirely otherwise.
+        let quantiles: Vec<(String, u64, u64)> = if waldo_obs::enabled() {
+            waldo_obs::histogram_snapshot()
+                .into_iter()
+                .filter(|(_, hist)| hist.count() > 0)
+                .map(|(name, hist)| (name.to_owned(), hist.quantile(0.5), hist.quantile(0.99)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut reg = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, cumulative) in counters {
+            let prev = self.last.get(name).copied().unwrap_or(0);
+            reg.record_counter(name, now, cumulative.saturating_sub(prev));
+            self.last.insert(name.to_owned(), cumulative);
+        }
+        reg.record_gauge("serve/active_connections", now, active);
+        for (ch, epoch) in epochs {
+            reg.record_gauge(&format!("catalog/epoch/{ch}"), now, epoch);
+        }
+        if let Some(snap) = ingest {
+            for (name, cumulative) in [
+                ("ingest/uploads_total", snap.uploads_total),
+                ("ingest/readings_total", snap.readings_total),
+                ("ingest/duplicates_total", snap.duplicates_total),
+                ("ingest/refits_total", snap.refits_total),
+            ] {
+                let prev = self.last.get(name).copied().unwrap_or(0);
+                reg.record_counter(name, now, cumulative.saturating_sub(prev));
+                self.last.insert(name.to_owned(), cumulative);
+            }
+            reg.record_gauge("ingest/wal_backlog", now, snap.wal_batches);
+            reg.record_gauge("ingest/stored_readings", now, snap.stored_readings);
+            reg.record_gauge("ingest/model_epoch", now, snap.model_epoch);
+        }
+        for (name, p50, p99) in quantiles {
+            reg.record_gauge(&format!("lat/{name}/p50_ns"), now, p50);
+            reg.record_gauge(&format!("lat/{name}/p99_ns"), now, p99);
+        }
     }
 }
 
@@ -797,7 +960,12 @@ fn build_fetch_response(
             }
         })
         .collect();
-    FetchResponse { epoch: served.epoch, prelude: served.prelude.clone(), entries }
+    FetchResponse {
+        epoch: served.epoch,
+        trace_id: served.trace_id,
+        prelude: served.prelude.clone(),
+        entries,
+    }
 }
 
 fn dist_sq_km(centroid: [f64; 2], x_km: f64, y_km: f64) -> f64 {

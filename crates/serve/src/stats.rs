@@ -12,6 +12,7 @@
 //!       | cache_hits u64 | cache_misses u64 | reactors u64   (v2+)
 //!       | uploads_total u64 | upload_readings u64
 //!       | upload_duplicates u64 | refits_total u64           (v3+)
+//!       | repl_syncs_total u64 | obs_exports_total u64       (v4+)
 //!       | endpoint count u32 | endpoint…
 //! endpoint := name len u16 | name utf-8
 //!           | count u64 | sum u64 | min u64 | max u64
@@ -22,8 +23,11 @@
 //!
 //! Version history: v1 ended at `errors_total`; v2 appended the response-
 //! cache and reactor counters of the reactor serving plane; v3 appended
-//! the ingestion-plane counters (uploads, readings, duplicates, refits).
-//! A v3 decoder reads v1/v2 bodies with the missing fields zeroed.
+//! the ingestion-plane counters (uploads, readings, duplicates, refits);
+//! v4 appended the fleet-observability counters (replication syncs and
+//! metrics exports served). A v4 decoder reads every older body with the
+//! missing fields zeroed — the compat matrix is pinned by a table-driven
+//! test over all versions.
 //!
 //! Histograms travel in sparse `(bucket index, count)` form with their
 //! exact count/sum/min/max, so the receiving side reconstructs a
@@ -33,7 +37,7 @@ use waldo::wire::{put_u16, put_u32, put_u64, Reader, WireError};
 use waldo_obs::Histogram;
 
 /// Version written by this build's encoder.
-pub const STATS_VERSION: u8 = 3;
+pub const STATS_VERSION: u8 = 4;
 
 const FLAG_OBS_COMPILED: u8 = 1 << 0;
 const FLAG_OBS_ENABLED: u8 = 1 << 1;
@@ -79,6 +83,12 @@ pub struct StatsSnapshot {
     pub upload_duplicates: u64,
     /// Refit passes that published a refreshed model (v3+).
     pub refits_total: u64,
+    /// Replication pulls served to followers (v4+). On a leader this is
+    /// the fleet's replication liveness signal: a healthy follower set
+    /// keeps it moving.
+    pub repl_syncs_total: u64,
+    /// Metrics-series exports served to observers (v4+).
+    pub obs_exports_total: u64,
     /// Per-endpoint latency histograms (empty unless obs is recording).
     pub endpoints: Vec<EndpointStats>,
 }
@@ -109,6 +119,8 @@ impl StatsSnapshot {
         put_u64(&mut out, self.upload_readings);
         put_u64(&mut out, self.upload_duplicates);
         put_u64(&mut out, self.refits_total);
+        put_u64(&mut out, self.repl_syncs_total);
+        put_u64(&mut out, self.obs_exports_total);
         put_u32(&mut out, self.endpoints.len() as u32);
         for ep in &self.endpoints {
             put_u16(&mut out, ep.name.len() as u16);
@@ -144,6 +156,8 @@ impl StatsSnapshot {
             if version >= 2 { (r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0) };
         let (uploads_total, upload_readings, upload_duplicates, refits_total) =
             if version >= 3 { (r.u64()?, r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0, 0) };
+        let (repl_syncs_total, obs_exports_total) =
+            if version >= 4 { (r.u64()?, r.u64()?) } else { (0, 0) };
         let n = r.u32()? as usize;
         let mut endpoints = Vec::with_capacity(n.min(r.remaining() + 1));
         for _ in 0..n {
@@ -183,6 +197,8 @@ impl StatsSnapshot {
             upload_readings,
             upload_duplicates,
             refits_total,
+            repl_syncs_total,
+            obs_exports_total,
             endpoints,
         })
     }
@@ -238,6 +254,8 @@ mod tests {
             upload_readings: 360,
             upload_duplicates: 2,
             refits_total: 3,
+            repl_syncs_total: 6,
+            obs_exports_total: 8,
             endpoints: vec![
                 EndpointStats { name: "serve_encode".into(), hist: encode },
                 EndpointStats { name: "serve_handle".into(), hist: handle },
@@ -273,36 +291,91 @@ mod tests {
         assert_eq!(back, snap);
     }
 
-    #[test]
-    fn v1_snapshot_decodes_with_zeroed_v2_fields() {
-        // A v1 body ends at errors_total + an empty endpoint list.
-        let mut bytes = vec![1u8, super::super::protocol::PROTOCOL_VERSION, 0];
-        for counter in [12u64, 3, 2, 4, 1] {
+    /// Encodes `snap` the way a `version` encoder would have: the counter
+    /// prefix that version knew about, flags zero, an empty endpoint list.
+    fn encode_as_version(snap: &StatsSnapshot, version: u8) -> Vec<u8> {
+        let mut bytes = vec![version, super::super::protocol::PROTOCOL_VERSION, 0];
+        let mut counters = vec![
+            snap.accepted_total,
+            snap.active_connections,
+            snap.busy_rejections,
+            snap.requests_total,
+            snap.errors_total,
+        ];
+        if version >= 2 {
+            counters.extend([snap.cache_hits, snap.cache_misses, snap.reactors]);
+        }
+        if version >= 3 {
+            counters.extend([
+                snap.uploads_total,
+                snap.upload_readings,
+                snap.upload_duplicates,
+                snap.refits_total,
+            ]);
+        }
+        if version >= 4 {
+            counters.extend([snap.repl_syncs_total, snap.obs_exports_total]);
+        }
+        for counter in counters {
             bytes.extend_from_slice(&counter.to_le_bytes());
         }
         bytes.extend_from_slice(&0u32.to_le_bytes());
-        let back = StatsSnapshot::decode(&mut Reader::new(&bytes)).unwrap();
-        assert_eq!(back.accepted_total, 12);
-        assert_eq!(back.errors_total, 1);
-        assert_eq!((back.cache_hits, back.cache_misses, back.reactors), (0, 0, 0));
-        assert_eq!(back.uploads_total, 0);
+        bytes
     }
 
     #[test]
-    fn v2_snapshot_decodes_with_zeroed_v3_fields() {
-        // A v2 body ends at reactors + an empty endpoint list.
-        let mut bytes = vec![2u8, super::super::protocol::PROTOCOL_VERSION, 0];
-        for counter in [12u64, 3, 2, 4, 1, 100, 5, 4] {
-            bytes.extend_from_slice(&counter.to_le_bytes());
+    fn snapshot_version_compat_matrix() {
+        // One row per historical wire version: the bytes that version's
+        // encoder produced must decode to the full snapshot with every
+        // field the version predates zero-filled.
+        let full = StatsSnapshot {
+            obs_compiled: false,
+            obs_enabled: false,
+            accepted_total: 12,
+            active_connections: 3,
+            busy_rejections: 2,
+            requests_total: 4,
+            errors_total: 1,
+            cache_hits: 100,
+            cache_misses: 5,
+            reactors: 4,
+            uploads_total: 9,
+            upload_readings: 360,
+            upload_duplicates: 2,
+            refits_total: 3,
+            repl_syncs_total: 6,
+            obs_exports_total: 8,
+            endpoints: vec![],
+        };
+        let zero_v4 = |s: &StatsSnapshot| StatsSnapshot {
+            repl_syncs_total: 0,
+            obs_exports_total: 0,
+            ..s.clone()
+        };
+        let zero_v3 = |s: &StatsSnapshot| StatsSnapshot {
+            uploads_total: 0,
+            upload_readings: 0,
+            upload_duplicates: 0,
+            refits_total: 0,
+            ..zero_v4(s)
+        };
+        let zero_v2 = |s: &StatsSnapshot| StatsSnapshot {
+            cache_hits: 0,
+            cache_misses: 0,
+            reactors: 0,
+            ..zero_v3(s)
+        };
+        let matrix: [(u8, StatsSnapshot); 4] =
+            [(1, zero_v2(&full)), (2, zero_v3(&full)), (3, zero_v4(&full)), (4, full.clone())];
+        for (version, expected) in &matrix {
+            let bytes = encode_as_version(&full, *version);
+            let back = StatsSnapshot::decode(&mut Reader::new(&bytes))
+                .unwrap_or_else(|e| panic!("v{version} body must decode: {e}"));
+            assert_eq!(&back, expected, "decoding a v{version} body");
         }
-        bytes.extend_from_slice(&0u32.to_le_bytes());
-        let back = StatsSnapshot::decode(&mut Reader::new(&bytes)).unwrap();
-        assert_eq!(back.accepted_total, 12);
-        assert_eq!((back.cache_hits, back.cache_misses, back.reactors), (100, 5, 4));
-        assert_eq!(
-            (back.uploads_total, back.upload_readings, back.upload_duplicates, back.refits_total),
-            (0, 0, 0, 0)
-        );
+        // The current encoder's bytes match the synthetic current row —
+        // pinning encode_as_version to the real wire format.
+        assert_eq!(full.encode(), encode_as_version(&full, STATS_VERSION));
     }
 
     #[test]

@@ -6,18 +6,26 @@
 //! the same paths with the no-op twins via `tests/serve.rs`.
 #![cfg(feature = "obs")]
 
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
+use waldo::wire::ReadingBatch;
 use waldo::{ClassifierKind, ModelConstructor, WaldoConfig, WaldoModel};
-use waldo_data::{ChannelDataset, Measurement, Safety};
+use waldo_data::{ChannelDataset, Labeler, Measurement, Safety};
 use waldo_geo::Point;
 use waldo_iq::FeatureVector;
 use waldo_rf::TvChannel;
-use waldo_sensors::{Observation, SensorKind};
-use waldo_serve::{serve, ModelCatalog, ModelClient, ServeConfig};
+use waldo_sensors::{Observation, ReadingSample, SensorKind};
+use waldo_serve::{
+    serve, serve_with_ingest, IngestPlane, ModelCatalog, ModelClient, ReplicaFollower, ServeConfig,
+};
+use waldo_store::RefitEngine;
 
 const CHANNEL: u8 = 30;
+
+/// The obs sink is process-global; tests that install one must not
+/// overlap or they would steal (and later null out) each other's buffer.
+static SINK_LOCK: Mutex<()> = Mutex::new(());
 
 fn dataset(n: usize) -> ChannelDataset {
     let mut measurements = Vec::new();
@@ -69,6 +77,7 @@ fn lines_for_request(trace: &str, req_id: u64) -> Vec<String> {
 /// the same sink.
 #[test]
 fn client_and_server_spans_share_one_request_id() {
+    let _sink = SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let catalog = Arc::new(RwLock::new(ModelCatalog::new()));
     catalog.write().unwrap().publish(CHANNEL, &model(3));
     let mut server =
@@ -139,4 +148,160 @@ fn stats_snapshot_reflects_known_traffic() {
     assert!(obs.attempts_total >= 3, "client counted each wire attempt");
     assert_eq!(obs.breaker_opens, 0);
     server.shutdown();
+}
+
+fn features_for(rss: f64) -> FeatureVector {
+    FeatureVector {
+        rss_db: rss,
+        cft_db: rss - 11.3,
+        aft_db: rss - 12.5,
+        quadrature_imbalance_db: 0.0,
+        iq_kurtosis: 2.0,
+        edge_bin_db: -110.0,
+    }
+}
+
+/// East half hot, west half quiet — strong west readings flip a locality
+/// on refit, forcing a real republish (same fixture as `tests/ingest.rs`).
+fn refit_dataset(n: usize) -> ChannelDataset {
+    let mut measurements = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let x = (i as f64 / n as f64) * 30_000.0;
+        let y = ((i * 7) % 20) as f64 * 1_000.0;
+        let rss = if x > 15_000.0 { -70.0 } else { -100.0 } + ((i % 5) as f64 - 2.0);
+        measurements.push(Measurement {
+            location: Point::new(x, y),
+            odometer_m: i as f64 * 100.0,
+            observation: Observation {
+                rss_dbm: rss,
+                features: features_for(rss),
+                raw_pilot_db: rss - 11.3,
+            },
+            true_rss_dbm: rss,
+        });
+        labels.push(Safety::from_not_safe(x > 15_000.0));
+    }
+    ChannelDataset::new(TvChannel::new(30).unwrap(), SensorKind::RtlSdr, measurements, labels)
+}
+
+fn strong_batch(id: u64, n: usize) -> ReadingBatch {
+    ReadingBatch {
+        batch_id: id,
+        channel: CHANNEL,
+        readings: (0..n)
+            .map(|i| ReadingSample {
+                location: Point::new(
+                    2_000.0 + (i % 7) as f64 * 150.0,
+                    4_000.0 + (i / 7) as f64 * 150.0,
+                ),
+                rss_dbm: -60.0,
+                features: features_for(-60.0),
+            })
+            .collect(),
+    }
+}
+
+/// Start timestamp of the first span line matching `name` among `lines`.
+fn span_start(lines: &[String], name: &str) -> Option<u64> {
+    let needle = format!("\"name\":\"{name}\"");
+    lines.iter().find(|l| l.contains(&needle) && l.contains("\"kind\":\"span\"")).map(|l| {
+        let at = l.find("\"ts_ns\":").expect("span lines carry ts_ns") + "\"ts_ns\":".len();
+        let digits: String = l[at..].chars().take_while(char::is_ascii_digit).collect();
+        digits.parse().expect("ts_ns is an integer")
+    })
+}
+
+/// The tentpole's acceptance test: one upload's request ID must thread the
+/// whole `ingest → refit → replicate → fetch` chain across a leader with
+/// an ingestion plane, a follower mirroring it, and a device client
+/// delta-fetching from the follower — five spans on three nodes, one
+/// trace, in causal order.
+#[test]
+fn one_trace_spans_ingest_refit_replicate_and_fetch_across_nodes() {
+    let _sink = SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("waldo-serve-obs-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Leader: base model at epoch 1 plus an ingestion plane.
+    let constructor = ModelConstructor::new(WaldoConfig::default().localities(3).seed(2));
+    let base = refit_dataset(300);
+    let base_model = constructor.fit(&base).expect("base model trains");
+    let leader_catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    leader_catalog.write().unwrap().publish(CHANNEL, &base_model);
+    let engine = RefitEngine::new(constructor, Labeler::new(), base, base_model);
+    let plane = IngestPlane::open(&dir, Arc::clone(&leader_catalog), CHANNEL, engine)
+        .expect("ingestion plane opens");
+    let mut leader = serve_with_ingest(
+        "127.0.0.1:0",
+        Arc::clone(&leader_catalog),
+        ServeConfig::default(),
+        Some(Arc::clone(&plane)),
+    )
+    .expect("leader binds");
+
+    // Follower: mirrors the leader into its own catalog and serves it.
+    let follower_catalog = Arc::new(RwLock::new(ModelCatalog::new()));
+    let mut follower = ReplicaFollower::new(
+        vec![leader.addr()],
+        Arc::clone(&follower_catalog),
+        vec![CHANNEL],
+        Duration::from_secs(5),
+    );
+    assert_eq!(follower.sync_once(), 1, "follower mirrors epoch 1");
+    let mut follower_server =
+        serve("127.0.0.1:0", Arc::clone(&follower_catalog), ServeConfig::default())
+            .expect("follower binds");
+
+    // Device: a full fetch against the follower seeds the delta cache, so
+    // the post-refit fetch below is a genuine delta fetch.
+    let mut device = ModelClient::new(follower_server.addr(), Duration::from_secs(5));
+    let (_, seed) = device.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("seed fetch");
+    assert_eq!(seed.epoch, 1);
+
+    let buffer = waldo_obs::SharedBuffer::new();
+    waldo_obs::set_enabled(true);
+    waldo_obs::set_sink(Some(Box::new(buffer.clone())));
+
+    // The chain: upload → refit+republish → replica sync → delta fetch.
+    let mut uploader = ModelClient::new(leader.addr(), Duration::from_secs(5));
+    let upload = uploader.upload(&strong_batch(1, 40)).expect("upload");
+    assert!(!upload.duplicate);
+    let trace_id = upload.request_id;
+    assert!(trace_id > 0);
+    plane.run_refit_now().expect("refit pass").expect("uploads changed a locality");
+    assert_eq!(follower.sync_once(), 1, "follower pulls the refit epoch");
+    let (_, delta) = device.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("delta fetch");
+    assert_eq!(delta.epoch, 2, "the refit epoch reached the device via the follower");
+    assert!(delta.unchanged > 0, "the second fetch was a delta, not a re-download");
+
+    // All five spans must land under the uploader's request ID. Server
+    // handler spans close after their response is flushed, so poll.
+    const CHAIN: [&str; 5] =
+        ["client_upload", "ingest_append", "ingest_refit", "replica_install", "client_apply_model"];
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let lines: Vec<String> = loop {
+        waldo_obs::flush_sink();
+        let lines = lines_for_request(&buffer.contents(), trace_id);
+        if CHAIN.iter().all(|name| span_start(&lines, name).is_some())
+            || std::time::Instant::now() >= deadline
+        {
+            break lines;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    waldo_obs::set_sink(None);
+    follower_server.shutdown();
+    leader.shutdown();
+
+    let starts: Vec<u64> = CHAIN
+        .iter()
+        .map(|name| {
+            span_start(&lines, name)
+                .unwrap_or_else(|| panic!("span {name:?} missing under trace {trace_id}"))
+        })
+        .collect();
+    for pair in starts.windows(2) {
+        assert!(pair[0] <= pair[1], "chain spans start in causal order, got {starts:?}");
+    }
 }

@@ -688,10 +688,19 @@ fn server_side_transport_faults_on_the_reactor_yield_typed_errors() {
         "an aggressive server-side schedule must disturb at least one fetch"
     );
 
-    // Every reactor is still alive and serving.
+    // Every reactor is still alive and serving. The fault schedule stays
+    // armed on every connection (and detected corruption is a typed,
+    // non-retryable error), so probe with fresh fetches until one lands
+    // clean — what must never happen is the server going silent.
     let mut clean = ModelClient::new(server.addr(), Duration::from_secs(5));
-    let (fetched, _) = clean.fetch(CHANNEL, 10.0, 10.0, -1.0).expect("server survived the chaos");
-    assert_eq!(fetched.locality_count(), 3);
+    let survived = (0..10).any(|_| match clean.fetch(CHANNEL, 10.0, 10.0, -1.0) {
+        Ok((fetched, _)) => {
+            assert_eq!(fetched.locality_count(), 3);
+            true
+        }
+        Err(_) => false,
+    });
+    assert!(survived, "server survived the chaos");
     server.shutdown();
 }
 

@@ -70,6 +70,13 @@ echo "==> obs_dump self-test"
 # histograms.
 cargo run --release -p waldo-serve --features obs --bin obs_dump -- --self-test
 
+echo "==> obs_top self-test"
+# In-process leader + pull-syncing follower + client with a FleetObserver
+# attached: asserts the merged per-node series registry, the JSONL fleet
+# timeline, and the SLO evaluation (healthy passes, synthetic
+# incorrect-safe violation fails), then renders one dashboard frame.
+cargo run --release -p waldo-bench --features obs --bin obs_top -- --self-test
+
 echo "==> chaos smoke (chaos_soak --quick + gate --chaos)"
 # Seeded fault injection on every client transport and sensor, through a
 # full server outage/recovery cycle and a crowd-sourced upload phase with
@@ -79,26 +86,34 @@ echo "==> chaos smoke (chaos_soak --quick + gate --chaos)"
 # category to have fired and enforces the recovery-latency ceiling
 # (scripts/bench_floor.json).
 cargo run --release -p waldo-bench --features "prof fault" --bin chaos_soak -- \
-    --quick --out target/BENCH_chaos_smoke.json
+    --quick --out target/BENCH_chaos_smoke.json \
+    --timeline target/chaos_timeline_smoke.jsonl
 cargo run --release -p waldo-bench --features prof --bin gate -- \
     target/BENCH_smoke.json scripts/bench_floor.json --chaos target/BENCH_chaos_smoke.json
 
-echo "==> failover drill smoke (failover_drill --quick + gate --failover --history)"
+echo "==> failover drill smoke (failover_drill --quick + gate --failover --slo --history)"
 # Geo-replicated serving under fire: a leader with two pull-syncing
 # followers, multi-endpoint clients rotated across the replica list, and
 # a scripted kill schedule (kill-a-follower, rebind with full resync,
-# stale-follower during a leader refit, leader loss). failover_drill
-# itself exits nonzero on any panic, incorrect safe decision, or client
-# that failed to converge on the post-failover epoch; the gate enforces
-# scenario completion, failover/sync coverage, and the recovery-p99
-# ceiling (scripts/bench_floor.json), then appends this run's headline
-# metrics to results/bench_history.jsonl and fails on any sustained
-# (last-2-entries) trend regression.
+# stale-follower during a leader refit, leader loss). A FleetObserver
+# rides the drill, polling every node's metrics export and streaming the
+# per-tick fleet timeline. failover_drill itself exits nonzero on any
+# panic, incorrect safe decision, or client that failed to converge on
+# the post-failover epoch; the gate enforces scenario completion,
+# failover/sync coverage, and the recovery-p99 ceiling
+# (scripts/bench_floor.json), evaluates the declarative fleet SLOs
+# (availability, fetch p99 budget, replication-lag budget, zero
+# incorrect-safe) over the timeline, then appends this run's headline
+# metrics — now including the replication catch-up p99 and the obs
+# overhead fraction — to results/bench_history.jsonl and fails on any
+# sustained (last-2-entries) trend regression.
 cargo run --release -p waldo-bench --features "prof fault" --bin failover_drill -- \
-    --quick --out target/BENCH_failover_smoke.json
+    --quick --out target/BENCH_failover_smoke.json \
+    --timeline target/fleet_timeline_smoke.jsonl
 cargo run --release -p waldo-bench --features prof --bin gate -- \
-    target/BENCH_smoke.json scripts/bench_floor.json \
+    target/BENCH_smoke.json scripts/bench_floor.json target/BENCH_serve_smoke.json --obs \
     --failover target/BENCH_failover_smoke.json \
+    --slo target/fleet_timeline_smoke.jsonl \
     --history results/bench_history.jsonl
 
 echo "ok"
